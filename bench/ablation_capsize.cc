@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation — capability size. Section 8 concludes "these results
+ * reconfirm that CHERI will benefit from capability compression";
+ * this harness quantifies it by running the Figure 4 benchmarks under
+ * the 256-bit research format and the proposed 128-bit production
+ * format.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "workloads/experiments.h"
+
+using namespace cheri;
+
+int
+main()
+{
+    bool paper = bench::paperScale();
+    std::printf("Ablation: capability size (256-bit vs 128-bit), "
+                "%s parameters\n\n",
+                paper ? "paper" : "scaled-down");
+
+    auto results = workloads::runCapSizeAblation(paper);
+
+    support::TextTable table({"Benchmark", "256b overhead",
+                              "128b overhead", "reduction"});
+    bool all_reduced = true;
+    for (const auto &entry : results) {
+        double o256 = static_cast<double>(entry.cheri256_cycles) /
+                          static_cast<double>(entry.mips_cycles) -
+                      1.0;
+        double o128 = static_cast<double>(entry.cheri128_cycles) /
+                          static_cast<double>(entry.mips_cycles) -
+                      1.0;
+        all_reduced = all_reduced && o128 < o256;
+        table.addRow({entry.benchmark, bench::pct(o256),
+                      bench::pct(o128),
+                      o256 > 0.0
+                          ? support::format("%.0f%%",
+                                            (1.0 - o128 / o256) * 100.0)
+                          : "n/a"});
+    }
+    table.print(std::cout);
+
+    std::printf("\nShape check: 128-bit overhead below 256-bit on "
+                "every benchmark: %s\n",
+                all_reduced ? "yes" : "NO");
+    return 0;
+}

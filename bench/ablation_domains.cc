@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Ablation — protected domain crossing (Section 11). The paper's
+ * prototype "traps to the OS to emulate a protected procedure-call
+ * instruction"; this harness measures the modeled cost of that
+ * trap-based CCall/CReturn round trip against an ordinary jal/jr
+ * function call, quantifying the gap a hardware implementation would
+ * need to close.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/machine.h"
+#include "isa/assembler.h"
+#include "os/domain.h"
+#include "os/simple_os.h"
+
+using namespace cheri;
+using namespace cheri::isa::reg;
+
+namespace
+{
+
+constexpr int kIterations = 1000;
+
+/** Cycles for kIterations plain jal/jr round trips. */
+std::uint64_t
+measurePlainCalls()
+{
+    isa::Assembler a(os::kTextBase);
+    auto func = a.newLabel();
+    auto loop = a.newLabel();
+    a.li(s0, kIterations);
+    a.bind(loop);
+    a.jal(func);
+    a.nop();
+    a.daddiu(s0, s0, -1);
+    a.bne(s0, zero, loop);
+    a.nop();
+    a.li(v0, os::kSysExit);
+    a.syscall();
+    a.bind(func);
+    a.jr(ra);
+    a.nop();
+
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+    kernel.exec(a.finish());
+    std::uint64_t before = machine.cpu().totalCycles();
+    core::RunResult result = kernel.run();
+    if (result.reason != core::StopReason::kExited)
+        support::fatal("plain-call guest failed: %s",
+                       result.trap.toString().c_str());
+    return machine.cpu().totalCycles() - before;
+}
+
+/** Cycles for kIterations CCall/CReturn round trips. */
+std::uint64_t
+measureDomainCalls()
+{
+    // CCall clears non-argument registers and CReturn clears all but
+    // the return value, so a realistic caller reloads the sealed pair
+    // through its (restored) C0 on every call.
+    const std::int32_t kCodeSlot = 0x100;
+    const std::int32_t kDataSlot = 0x120;
+
+    isa::Assembler a(os::kTextBase);
+    auto loop = a.newLabel();
+    a.li(s0, kIterations);
+    a.li(s1, static_cast<std::int32_t>(os::kHeapBase));
+    a.bind(loop);
+    a.clc(3, 0, s1, kCodeSlot);
+    a.clc(4, 0, s1, kDataSlot);
+    a.ccall(3, 4);
+    a.daddiu(s0, s0, -1);
+    a.bne(s0, zero, loop);
+    a.nop();
+    a.li(v0, os::kSysExit);
+    a.syscall();
+    std::uint64_t callee_offset = a.here() - os::kTextBase;
+    a.creturn();
+
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+    kernel.exec(a.finish());
+
+    cap::Capability code = cap::Capability::make(
+        os::kTextBase + callee_offset, 4,
+        cap::kPermExecute | cap::kPermLoad);
+    cap::Capability data = cap::Capability::make(
+        os::kHeapBase + 0x800, 1024,
+        cap::kPermLoad | cap::kPermStore);
+    os::ProtectedObject object =
+        kernel.domains().createObject(code, data);
+    machine.cpu().debugWriteCap(os::kHeapBase + kCodeSlot,
+                                object.sealed_code);
+    machine.cpu().debugWriteCap(os::kHeapBase + kDataSlot,
+                                object.sealed_data);
+
+    std::uint64_t before = machine.cpu().totalCycles();
+    core::RunResult result = kernel.run();
+    if (result.reason != core::StopReason::kExited)
+        support::fatal("domain-call guest failed: %s",
+                       result.trap.toString().c_str());
+    return machine.cpu().totalCycles() - before;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: protected domain crossing vs ordinary "
+                "call (%d round trips)\n\n", kIterations);
+
+    std::uint64_t plain = measurePlainCalls();
+    std::uint64_t domain = measureDomainCalls();
+
+    support::TextTable table({"Mechanism", "total cycles",
+                              "cycles/round-trip"});
+    table.addRow({"jal/jr function call",
+                  support::format("%llu",
+                                  static_cast<unsigned long long>(plain)),
+                  support::format("%.1f",
+                                  static_cast<double>(plain) /
+                                      kIterations)});
+    table.addRow({"CCall/CReturn (trap to OS)",
+                  support::format("%llu",
+                                  static_cast<unsigned long long>(
+                                      domain)),
+                  support::format("%.1f",
+                                  static_cast<double>(domain) /
+                                      kIterations)});
+    table.print(std::cout);
+
+    std::printf("\nThe trap-based domain crossing costs %.1fx a plain "
+                "call — the motivation for the\nhardware-assisted "
+                "implementation Section 11 plans. Even trap-based, a "
+                "full mutual-\ndistrust crossing (register clearing + "
+                "trusted stack) costs about what a single\nIA32 "
+                "protected-segment register load did (>=241 cycles, "
+                "Section 4.4), which\nprotected far less.\n",
+                static_cast<double>(domain) / static_cast<double>(plain));
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation — tag-cache size. Section 4.2: "the current tag controller
+ * (which minimizes table lookups using an 8KB tag cache) does not
+ * noticeably degrade performance." This harness sweeps the tag-cache
+ * capacity while running treeadd and reports how many DRAM tag-table
+ * reads survive the cache, as a fraction of all tagged transactions.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "workloads/olden.h"
+#include "workloads/timing_context.h"
+
+using namespace cheri;
+
+int
+main()
+{
+    std::printf("Ablation: tag-cache capacity vs DRAM tag-table "
+                "traffic (treeadd, CHERI model)\n\n");
+
+    support::TextTable table({"Tag cache", "tag lookups",
+                              "table reads", "miss rate"});
+    const std::uint64_t sizes[] = {0, 512, 1024, 2048, 4096,
+                                   8192, 16384};
+    double eight_kb_missrate = 1.0;
+
+    for (std::uint64_t bytes : sizes) {
+        core::MachineConfig config;
+        config.tag_cache.capacity_bytes = bytes == 0 ? 32 : bytes;
+        workloads::TimingContext ctx(workloads::CompileModel::kCheri,
+                                     config);
+        workloads::Treeadd treeadd;
+        treeadd.run(ctx, {12, 0, 1});
+
+        const support::StatSet &stats =
+            ctx.machine().tagManager().stats();
+        std::uint64_t lookups = stats.get("tag.lookups");
+        std::uint64_t reads = stats.get("tag.table_reads");
+        double miss_rate =
+            lookups ? static_cast<double>(reads) /
+                          static_cast<double>(lookups)
+                    : 0.0;
+        if (bytes == 8192)
+            eight_kb_missrate = miss_rate;
+        std::string label;
+        if (bytes == 0)
+            label = "~none (32B)";
+        else if (bytes < 1024)
+            label = support::format(
+                "%lluB", static_cast<unsigned long long>(bytes));
+        else
+            label = support::format(
+                "%lluKB", static_cast<unsigned long long>(bytes / 1024));
+        table.addRow({label,
+                      support::format("%llu",
+                                      static_cast<unsigned long long>(
+                                          lookups)),
+                      support::format("%llu",
+                                      static_cast<unsigned long long>(
+                                          reads)),
+                      support::format("%.2f%%", miss_rate * 100.0)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nShape check: the paper's 8KB tag cache absorbs "
+                "nearly all lookups (<5%% miss): %s\n",
+                eight_kb_missrate < 0.05 ? "yes" : "NO");
+    return 0;
+}

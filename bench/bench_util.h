@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries: the paper-scale switch and
+ * formatting shorthands.
+ */
+
+#ifndef CHERI_BENCH_BENCH_UTIL_H
+#define CHERI_BENCH_BENCH_UTIL_H
+
+#include <cstdlib>
+#include <string>
+
+#include "support/logging.h"
+#include "support/stats.h"
+
+namespace cheri::bench
+{
+
+/** True when CHERI_PAPER_SCALE=1: run the paper's full parameters. */
+inline bool
+paperScale()
+{
+    const char *env = std::getenv("CHERI_PAPER_SCALE");
+    return env != nullptr && env[0] == '1';
+}
+
+/** Render a fractional overhead as the paper's percentage style. */
+inline std::string
+pct(double fraction)
+{
+    return support::format("%+.1f%%", fraction * 100.0);
+}
+
+} // namespace cheri::bench
+
+#endif // CHERI_BENCH_BENCH_UTIL_H

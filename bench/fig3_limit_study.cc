@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Figure 3 — simulated overheads of the Olden benchmarks under eight
+ * protection models: the five panels (virtual-memory footprint,
+ * memory I/O bytes, memory references, total instructions optimistic
+ * and pessimistic) as normalized overhead against the unprotected
+ * 64-bit MIPS baseline, plus the per-workload detail and system-call
+ * counts.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "workloads/experiments.h"
+
+using namespace cheri;
+using workloads::LimitStudyResult;
+
+int
+main()
+{
+    bool paper = bench::paperScale();
+    std::printf("Figure 3: Simulated overheads of Olden benchmarks "
+                "(%s parameters)\n\n",
+                paper ? "paper" : "scaled-down");
+
+    LimitStudyResult study = workloads::runLimitStudy(paper);
+
+    struct Panel
+    {
+        const char *title;
+        double models::Overheads::*field;
+    };
+    const Panel panels[] = {
+        {"Virtual memory footprint (pages)", &models::Overheads::pages},
+        {"Memory I/O (bytes)", &models::Overheads::traffic_bytes},
+        {"Memory references (count)", &models::Overheads::refs},
+        {"Total instructions - optimistic (count)",
+         &models::Overheads::instr_optimistic},
+        {"Total instructions - pessimistic (count)",
+         &models::Overheads::instr_pessimistic},
+    };
+
+    for (const Panel &panel : panels) {
+        std::printf("-- %s --\n", panel.title);
+        std::vector<std::string> headers = {"Model"};
+        for (const std::string &name : study.workloads)
+            headers.push_back(name);
+        headers.push_back("mean");
+        support::TextTable table(headers);
+        for (const auto &model : study.models) {
+            std::vector<std::string> row = {model.model};
+            for (const models::Overheads &o : model.per_workload)
+                row.push_back(bench::pct(o.*(panel.field)));
+            row.push_back(bench::pct(model.mean.*(panel.field)));
+            table.addRow(row);
+        }
+        table.print(std::cout);
+        std::printf("\n");
+    }
+
+    std::printf("-- Protection-related system calls (total) --\n");
+    support::TextTable syscalls({"Model", "syscalls"});
+    for (const auto &model : study.models) {
+        syscalls.addRow({model.model,
+                         support::format("%llu",
+                                         static_cast<unsigned long long>(
+                                             model.mean.syscalls))});
+    }
+    syscalls.print(std::cout);
+
+    std::printf("\nShape checks (paper expectations):\n");
+    auto mean = [&](const char *name,
+                    double models::Overheads::*field) -> double {
+        for (const auto &model : study.models)
+            if (model.model == name)
+                return model.mean.*field;
+        return 0.0;
+    };
+    std::printf("  MPX has the highest page overhead:          %s\n",
+                mean("MPX", &models::Overheads::pages) >=
+                        mean("Hardbound", &models::Overheads::pages)
+                    ? "yes"
+                    : "NO");
+    std::printf("  Mondrian has the lowest memory I/O:         %s\n",
+                mean("Mondrian", &models::Overheads::traffic_bytes) <=
+                        mean("CHERI",
+                             &models::Overheads::traffic_bytes)
+                    ? "yes"
+                    : "NO");
+    std::printf("  128b CHERI traffic below 256b CHERI:        %s\n",
+                mean("128b CHERI", &models::Overheads::traffic_bytes) <
+                        mean("CHERI",
+                             &models::Overheads::traffic_bytes)
+                    ? "yes"
+                    : "NO");
+    std::printf("  CHERI adds no extra memory references:      %s\n",
+                mean("CHERI", &models::Overheads::refs) == 0.0 ? "yes"
+                                                               : "NO");
+    std::printf("  Software FP worst pessimistic instructions: %s\n",
+                mean("SoftwareFP",
+                     &models::Overheads::instr_pessimistic) >=
+                        mean("Hardbound",
+                             &models::Overheads::instr_pessimistic)
+                    ? "yes"
+                    : "NO");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 6 and Section 9 — FPGA area and speed: the component
+ * breakdown of the CHERI synthesis, the 32% logic-element overhead
+ * over BERI, the 8.1% clock-speed reduction, and the projected
+ * 128-bit variant the paper proposes for production.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "area/area_model.h"
+#include "support/logging.h"
+#include "support/stats.h"
+
+using namespace cheri;
+
+int
+main()
+{
+    area::AreaModel model;
+
+    std::printf("Figure 6: CHERI layout on FPGA (share of total "
+                "logic)\n\n");
+    area::Synthesis cheri = model.synthesizeCheri();
+    area::Synthesis beri = model.synthesizeBeri();
+    area::Synthesis cheri128 = model.synthesizeCheriWidth(128);
+
+    support::TextTable table({"Component", "CHERI share", "ALMs",
+                              "in BERI"});
+    for (std::size_t i = 0; i < cheri.component_alms.size(); ++i) {
+        const auto &[name, alms] = cheri.component_alms[i];
+        bool in_beri = false;
+        double beri_alms = 0;
+        for (const auto &[bname, balms] : beri.component_alms) {
+            if (bname == name) {
+                in_beri = true;
+                beri_alms = balms;
+            }
+        }
+        table.addRow({name,
+                      support::format("%.1f%%",
+                                      alms / cheri.total_alms * 100.0),
+                      support::format("%.0f", alms),
+                      in_beri ? support::format("%.0f", beri_alms)
+                              : "-"});
+    }
+    table.print(std::cout);
+
+    std::printf("\nSection 9 figures:\n");
+    std::printf("  BERI  total logic: %8.0f ALMs, Fmax %.2f MHz\n",
+                beri.total_alms, beri.fmax_mhz);
+    std::printf("  CHERI total logic: %8.0f ALMs, Fmax %.2f MHz\n",
+                cheri.total_alms, cheri.fmax_mhz);
+    std::printf("  Logic overhead CHERI vs BERI: %.0f%%  (paper: "
+                "32%%)\n",
+                model.logicOverhead() * 100.0);
+    std::printf("  Clock-speed reduction:        %.1f%%  (paper: "
+                "8.1%%)\n",
+                model.clockReduction() * 100.0);
+
+    std::printf("\nProjected 128-bit capability variant:\n");
+    std::printf("  128b CHERI total logic: %.0f ALMs (%.0f%% over "
+                "BERI), Fmax %.2f MHz\n",
+                cheri128.total_alms,
+                (cheri128.total_alms / beri.total_alms - 1.0) * 100.0,
+                cheri128.fmax_mhz);
+    return 0;
+}

@@ -1,0 +1,18 @@
+# bounds_trap.s — derive a 64-byte capability and run off its end.
+# Run: cheri-run examples/asm/bounds_trap.s   (expects a trap)
+
+        li       $t0, 0x1000000
+        cincbase $c1, $c0, $t0      # c1 -> heap buffer
+        li       $t1, 64
+        csetlen  $c1, $c1, $t1      # exactly 64 bytes
+        li       $t2, 0             # index
+loop:
+        dsll     $t3, $t2, 3
+        csd      $t2, $t3, 0($c1)   # store through the capability
+        daddiu   $t2, $t2, 1
+        slti     $t4, $t2, 10       # 10 iterations: 8 fit, #8 traps
+        bne      $t4, $zero, loop
+        nop
+        li       $v0, 1
+        li       $a0, 0
+        syscall

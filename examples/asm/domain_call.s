@@ -1,0 +1,41 @@
+# domain_call.s — protected domain crossing entirely from assembly:
+# the program packages its own callee as a sealed object (deriving a
+# sealing authority from C0), invokes it with ccall, and gets the
+# result back through creturn.
+# Run: cheri-run examples/asm/domain_call.s   (exits 42)
+
+        # c3 = sealing authority for object type 9.
+        li       $t0, 9
+        cincbase $c3, $c0, $t0
+        li       $t1, 1
+        csetlen  $c3, $c3, $t1
+        li       $t2, 32            # kPermSeal
+        candperm $c3, $c3, $t2
+
+        # c4 = code capability over the callee (at 'callee', 3 words).
+        li       $t3, 0x10064       # callee address (word 25)
+        cincbase $c4, $c0, $t3
+        li       $t4, 12
+        csetlen  $c4, $c4, $t4
+        li       $t5, 5             # execute | load
+        candperm $c4, $c4, $t5
+
+        # c5 = the callee's private data capability.
+        li       $t6, 0x1000100
+        cincbase $c5, $c0, $t6
+        li       $t7, 64
+        csetlen  $c5, $c5, $t7
+
+        # Seal both halves with the same otype and call.
+        cseal    $c6, $c4, $c3
+        cseal    $c7, $c5, $c3
+        li       $s0, 41
+        ccall    $c6, $c7
+        # creturn resumes here with v0 = callee's answer.
+        move     $a0, $v0
+        li       $v0, 1             # kSysExit
+        syscall
+
+callee: daddiu   $v0, $s0, 1        # GPRs flow through the crossing
+        creturn
+        nop

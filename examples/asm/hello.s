@@ -1,0 +1,17 @@
+# hello.s — write a greeting to the console and exit.
+# Run: cheri-run examples/asm/hello.s
+
+        li    $t0, 0x1000000        # heap base (kSysWrite source)
+        li    $t1, 72               # 'H'
+        sb    $t1, 0($t0)
+        li    $t1, 105              # 'i'
+        sb    $t1, 1($t0)
+        li    $t1, 10               # '\n'
+        sb    $t1, 2($t0)
+        li    $v0, 4                # kSysWrite
+        li    $a0, 0x1000000
+        li    $a1, 3
+        syscall
+        li    $v0, 1                # kSysExit
+        li    $a0, 0
+        syscall

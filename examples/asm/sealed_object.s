@@ -1,0 +1,24 @@
+# sealed_object.s — seal a data capability, show that using it traps,
+# unseal it, and read through the unsealed copy.
+# Run: cheri-run examples/asm/sealed_object.s
+
+        li       $t0, 0x1000000
+        cincbase $c2, $c0, $t0      # c2 -> heap object
+        li       $t1, 64
+        csetlen  $c2, $c2, $t1
+        li       $t2, 99
+        csd      $t2, 0($c2)        # store a value while unsealed
+
+        li       $t3, 7             # object type 7
+        cincbase $c3, $c0, $t3      # build a sealing authority
+        li       $t4, 1
+        csetlen  $c3, $c3, $t4
+        li       $t5, 32            # kPermSeal
+        candperm $c3, $c3, $t5
+
+        cseal    $c4, $c2, $c3      # c4 = sealed object
+        cgettype $s0, $c4           # s0 = 7
+        cunseal  $c5, $c4, $c3
+        cld      $s1, 0($c5)        # reads 99 through unsealed copy
+        cld      $s2, 0($c4)        # sealed dereference -> trap
+        break

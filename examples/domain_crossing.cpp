@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Protected domain crossing (Section 11): two mutually distrusting
+ * components inside one process. A "secret keeper" domain holds a
+ * password-protected counter behind a sealed code/data pair; the
+ * untrusted caller can invoke it only through CCall — and can neither
+ * read the secret directly nor forge an entry point into the middle
+ * of the keeper's code.
+ *
+ * The paper's prototype "traps to the OS to emulate a protected
+ * procedure-call instruction"; SimpleOs plays that OS here, with a
+ * kernel-held trusted stack.
+ */
+
+#include <cstdio>
+
+#include "core/machine.h"
+#include "isa/assembler.h"
+#include "os/domain.h"
+#include "os/simple_os.h"
+
+using namespace cheri;
+using namespace cheri::isa::reg;
+
+int
+main()
+{
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+
+    std::printf("domain_crossing: mutually distrusting domains in one "
+                "process (Section 11)\n\n");
+
+    // --- guest program: caller + keeper domains -----------------
+    isa::Assembler a(os::kTextBase);
+    auto keeper = a.newLabel();
+
+    // Caller: invoke the keeper three times, then try to read the
+    // keeper's private memory directly through the sealed capability.
+    a.li(s0, 3);
+    auto call_loop = a.newLabel();
+    a.bind(call_loop);
+    a.li(s1, static_cast<std::int32_t>(os::kHeapBase));
+    a.clc(3, 0, s1, 0x200);  // reload sealed code cap
+    a.clc(4, 0, s1, 0x220);  // reload sealed data cap
+    a.ccall(3, 4);
+    a.move(s2, v0);          // keeper's reply
+    a.daddiu(s0, s0, -1);
+    a.bne(s0, zero, call_loop);
+    a.nop();
+    // Attack: dereference the sealed data capability directly.
+    a.clc(5, 0, s1, 0x220);
+    a.cld(s3, 5, zero, 0);
+    a.break_();
+
+    // Keeper: C0 is its private data; increments its counter.
+    std::uint64_t keeper_offset = a.here() - os::kTextBase;
+    a.bind(keeper);
+    a.cld(t0, 0, zero, 0);
+    a.daddiu(t0, t0, 1);
+    a.csd(t0, 0, zero, 0);
+    a.move(v0, t0);
+    a.creturn();
+
+    int pid = kernel.exec(a.finish());
+    os::Process &proc = kernel.process(pid);
+
+    // --- package the keeper as a protected object ---------------
+    const std::uint64_t keeper_data = os::kHeapBase + 0x800;
+    std::uint64_t initial = 100;
+    kernel.writeMemory(proc, keeper_data, &initial, 8);
+
+    cap::Capability code = cap::Capability::make(
+        os::kTextBase + keeper_offset, 5 * 4,
+        cap::kPermExecute | cap::kPermLoad);
+    cap::Capability data = cap::Capability::make(
+        keeper_data, 64, cap::kPermLoad | cap::kPermStore);
+    os::ProtectedObject object =
+        kernel.domains().createObject(code, data);
+
+    std::printf("Keeper packaged as a sealed pair (otype %llu):\n",
+                static_cast<unsigned long long>(object.otype));
+    std::printf("  code: %s\n", object.sealed_code.toString().c_str());
+    std::printf("  data: %s\n", object.sealed_data.toString().c_str());
+
+    // Hand the sealed pair to the caller through memory.
+    machine.cpu().debugWriteCap(os::kHeapBase + 0x200,
+                                object.sealed_code);
+    machine.cpu().debugWriteCap(os::kHeapBase + 0x220,
+                                object.sealed_data);
+
+    // --- run ------------------------------------------------------
+    core::RunResult result = kernel.run();
+
+    std::printf("\nThree protected calls made; keeper's last reply: "
+                "%llu (expected 103)\n",
+                static_cast<unsigned long long>(machine.cpu().gpr(s2)));
+    std::printf("Domain transitions: %llu calls, %llu returns, "
+                "trusted stack now %zu deep\n",
+                static_cast<unsigned long long>(
+                    kernel.domains().stats().get("domain.calls")),
+                static_cast<unsigned long long>(
+                    kernel.domains().stats().get("domain.returns")),
+                kernel.domains().depth());
+
+    if (result.reason == core::StopReason::kTrap &&
+        result.trap.cap_cause == cap::CapCause::kSealViolation) {
+        std::printf("\nDirect dereference of the sealed data "
+                    "capability: %s\n",
+                    result.trap.toString().c_str());
+        std::printf("The caller can INVOKE the keeper but never READ "
+                    "its state: the only way\nthrough a sealed pair "
+                    "is CCall, which atomically installs the keeper's "
+                    "own\nPCC and C0 and records the return path on "
+                    "the kernel's trusted stack.\n");
+        return 0;
+    }
+    std::printf("UNEXPECTED: sealed capability was dereferenced!\n");
+    return 1;
+}

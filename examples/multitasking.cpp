@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Preemptive multitasking (Section 4.3): "The kernel saves and
+ * restores per-thread capability-register state on context switches."
+ * Two processes run in round-robin time slices; each holds a private
+ * derived capability in the same register number, and each keeps a
+ * counter in its own page at the same virtual address. Neither the
+ * capability nor the memory of one process is ever visible to the
+ * other.
+ */
+
+#include <cstdio>
+
+#include "core/machine.h"
+#include "isa/assembler.h"
+#include "os/simple_os.h"
+
+using namespace cheri;
+using namespace cheri::isa::reg;
+
+namespace
+{
+
+/** A guest that increments heap[0] forever (until preempted). */
+std::vector<std::uint32_t>
+counterProgram(std::int32_t step)
+{
+    isa::Assembler a(os::kTextBase);
+    auto loop = a.newLabel();
+    a.li(t0, static_cast<std::int32_t>(os::kHeapBase));
+    a.bind(loop);
+    a.ld(t1, t0, 0);
+    a.daddiu(t1, t1, step);
+    a.sd(t1, t0, 0);
+    a.b(loop);
+    a.nop();
+    return a.finish();
+}
+
+} // namespace
+
+int
+main()
+{
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+
+    std::printf("multitasking: capability state across time slices "
+                "(Section 4.3)\n\n");
+
+    int pid_a = kernel.exec(counterProgram(1));
+    // Give A a distinctive private capability in c9.
+    machine.cpu().caps().write(
+        9, cap::Capability::make(0xaaaa000, 0x100, cap::kPermLoad));
+
+    int pid_b = kernel.exec(counterProgram(100));
+    machine.cpu().caps().write(
+        9, cap::Capability::make(0xbbbb000, 0x200, cap::kPermStore));
+
+    // Round-robin scheduler: 10 slices of 5000 instructions each.
+    int current = pid_b;
+    for (int slice = 0; slice < 10; ++slice) {
+        core::RunResult result = kernel.run(5000);
+        if (result.reason != core::StopReason::kInstLimit) {
+            std::printf("unexpected stop: %s\n",
+                        result.trap.toString().c_str());
+            return 1;
+        }
+        current = current == pid_a ? pid_b : pid_a;
+        kernel.switchTo(current);
+    }
+
+    auto counter_of = [&](int pid) {
+        std::uint64_t value = 0;
+        kernel.readMemory(kernel.process(pid), os::kHeapBase, &value,
+                          8);
+        return value;
+    };
+
+    std::printf("After 10 slices of 5000 instructions:\n");
+    std::printf("  process A counter (step 1):   %llu\n",
+                static_cast<unsigned long long>(counter_of(pid_a)));
+    std::printf("  process B counter (step 100): %llu\n",
+                static_cast<unsigned long long>(counter_of(pid_b)));
+
+    kernel.switchTo(pid_a);
+    cap::Capability c9_a = machine.cpu().caps().read(9);
+    kernel.switchTo(pid_b);
+    cap::Capability c9_b = machine.cpu().caps().read(9);
+    std::printf("\nPer-process capability register c9 after all the "
+                "switching:\n");
+    std::printf("  A: %s\n", c9_a.toString().c_str());
+    std::printf("  B: %s\n", c9_b.toString().c_str());
+
+    bool ok = counter_of(pid_a) > 0 && counter_of(pid_b) > 0 &&
+              counter_of(pid_a) != counter_of(pid_b) &&
+              c9_a.base() == 0xaaaa000 && c9_b.base() == 0xbbbb000;
+    if (!ok) {
+        std::printf("\nUNEXPECTED: state leaked between processes\n");
+        return 1;
+    }
+    std::printf("\nSame virtual address, same register number — two "
+                "disjoint protection\ndomains, preserved across every "
+                "context switch by the kernel's capability\nsave/"
+                "restore (and the TLB switch underneath).\n");
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Porting pitfalls (Section 10): "practical C implementations
+ * tolerate undefined pointer behaviors that CHERI capabilities will
+ * not. ... Some applications routinely construct pointers that extend
+ * significantly beyond the end of valid buffers (disallowed by the C
+ * specification), which will trigger exceptions on CHERI."
+ *
+ * Three idioms from real C code, and what happens to each here:
+ *
+ *  1. `p = buf + n; while (q < p)` — one-past-the-end pointer: legal
+ *     C, representable as a zero-length capability, works.
+ *  2. `p = buf + n + 64` then compare-only — far-out-of-bounds
+ *     construction: undefined C that conventional compilation
+ *     tolerates; under CHERI the *construction* itself traps
+ *     (CIncBase beyond length), exactly the tcpdump-adaptation
+ *     experience Section 10 reports.
+ *  3. decrement-below-base scanning — same story from the other end.
+ */
+
+#include <cstdio>
+
+#include "core/machine.h"
+#include "isa/assembler.h"
+#include "os/simple_os.h"
+#include "support/logging.h"
+
+using namespace cheri;
+using namespace cheri::isa::reg;
+
+namespace
+{
+
+const char *
+describe(const core::RunResult &result)
+{
+    static std::string text;
+    switch (result.reason) {
+      case core::StopReason::kExited:
+        text = support::format("ran to completion (exit %lld)",
+                               static_cast<long long>(
+                                   result.exit_code));
+        break;
+      case core::StopReason::kTrap:
+        text = result.trap.toString();
+        break;
+      default:
+        text = "stopped unexpectedly";
+        break;
+    }
+    return text.c_str();
+}
+
+core::RunResult
+runIdiom(void (*emit)(isa::Assembler &))
+{
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+    isa::Assembler a(os::kTextBase);
+    // Common prologue: c1 = 64-byte buffer at the heap base.
+    a.li(t0, static_cast<std::int32_t>(os::kHeapBase));
+    a.cincbase(1, 0, t0);
+    a.li(t1, 64);
+    a.csetlen(1, 1, t1);
+    emit(a);
+    kernel.exec(a.finish());
+    return kernel.run();
+}
+
+/** Idiom 1: one-past-the-end loop bound — legal C. */
+void
+emitOnePastEnd(isa::Assembler &a)
+{
+    // end = buf + 64 (capability with zero length): construction OK.
+    a.li(t2, 64);
+    a.cincbase(2, 1, t2);
+    // Walk q from buf to end, comparing bases (pointer compare).
+    a.cgetbase(t3, 2); // end address
+    a.li(t4, 0);       // offset cursor
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.cld(t5, 1, t4, 0); // read buf[q]
+    a.daddiu(t4, t4, 8);
+    a.cgetbase(t6, 1);
+    a.daddu(t6, t6, t4);
+    a.bne(t6, t3, loop); // q != end
+    a.nop();
+    a.li(v0, os::kSysExit);
+    a.li(a0, 0);
+    a.syscall();
+}
+
+/** Idiom 2: construct buf + 64 + 64 "just for comparison" — UB. */
+void
+emitFarOutOfBounds(isa::Assembler &a)
+{
+    a.li(t2, 128);
+    a.cincbase(2, 1, t2); // traps here: beyond the capability's length
+    a.li(v0, os::kSysExit);
+    a.li(a0, 0);
+    a.syscall();
+}
+
+/** Idiom 3: scan downward past the base — UB. */
+void
+emitBelowBase(isa::Assembler &a)
+{
+    a.li(t2, -8);
+    a.cld(t3, 1, t2, 0); // buf[-1]: below base
+    a.li(v0, os::kSysExit);
+    a.li(a0, 0);
+    a.syscall();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("porting_pitfalls: which C pointer idioms survive "
+                "CHERI adaptation (Section 10)\n\n");
+
+    std::printf("1. one-past-the-end loop bound (legal C):\n   -> %s\n",
+                describe(runIdiom(emitOnePastEnd)));
+    std::printf("\n2. pointer constructed 64 bytes past the end, used "
+                "only in comparisons (UB,\n   tolerated by "
+                "conventional compilation):\n   -> %s\n",
+                describe(runIdiom(emitFarOutOfBounds)));
+    std::printf("\n3. scanning below the buffer base (UB):\n   -> %s\n",
+                describe(runIdiom(emitBelowBase)));
+
+    std::printf(
+        "\nThis is the Olden-vs-tcpdump contrast of Section 10: the "
+        "Olden suite adapted\ntrivially, while tcpdump's "
+        "out-of-bounds pointer constructions trapped — and\nseveral "
+        "of those turned out to be real, potentially exploitable "
+        "bugs that\nconventional compilation silently tolerated.\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Quickstart: boot a CHERI machine, run a guest program that derives
+ * a bounded capability for a buffer, writes through it safely, and
+ * then walks off the end — demonstrating that the out-of-bounds store
+ * is caught by hardware, not by software checks.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/machine.h"
+#include "isa/assembler.h"
+#include "os/simple_os.h"
+
+using namespace cheri;
+using namespace cheri::isa::reg;
+
+int
+main()
+{
+    // 1. A complete CHERI system: DRAM + tag table, caches with tag
+    //    propagation, TLB, and the CPU with its capability
+    //    coprocessor.
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+
+    // 2. A guest program, written with the structured assembler.
+    //    It derives c1 = [heap, heap+64) from the almighty C0 the OS
+    //    delegated at exec time, then stores 10 words through it.
+    //    Iteration 8 steps past the 64-byte bound.
+    isa::Assembler a(os::kTextBase);
+    auto loop = a.newLabel();
+    a.li(t0, static_cast<std::int32_t>(os::kHeapBase));
+    a.cincbase(1, 0, t0);  // c1 = c0 advanced to the buffer
+    a.li(t1, 64);
+    a.csetlen(1, 1, t1);   // c1 now exactly covers 64 bytes
+    a.li(t2, 0);           // index
+    a.bind(loop);
+    a.dsll(t3, t2, 3);     // byte offset = index * 8
+    a.csd(t2, 1, t3, 0);   // store through the capability
+    a.daddiu(t2, t2, 1);
+    a.slti(t4, t2, 10);
+    a.bne(t4, zero, loop);
+    a.nop();
+    a.li(v0, os::kSysExit);
+    a.li(a0, 0);
+    a.syscall();
+
+    // 3. Run it.
+    kernel.exec(a.finish());
+    core::RunResult result = kernel.run();
+
+    std::printf("quickstart: CHERI bounds checking in hardware\n\n");
+    std::printf("Guest stored words through a 64-byte capability in a "
+                "10-iteration loop.\n");
+    if (result.reason == core::StopReason::kTrap) {
+        std::printf("Result: trapped as expected.\n");
+        std::printf("  %s\n", result.trap.toString().c_str());
+        std::printf("  (stores 0..7 landed; store 8 at offset 64 was "
+                    "rejected before touching memory)\n");
+    } else {
+        std::printf("Result: UNEXPECTED - no trap (reason %d)\n",
+                    static_cast<int>(result.reason));
+        return 1;
+    }
+
+    // 4. Inspect the memory the guest wrote: exactly 8 words.
+    os::Process &proc = kernel.process(kernel.currentPid());
+    std::printf("\nBuffer contents after the trap:\n  ");
+    for (int i = 0; i < 10; ++i) {
+        std::uint64_t word = 0;
+        kernel.readMemory(proc, os::kHeapBase + i * 8, &word, 8);
+        std::printf("%llu ", static_cast<unsigned long long>(word));
+    }
+    std::printf("\n  (indices 8 and 9 remain zero: the overflow never "
+                "reached memory)\n");
+    return 0;
+}

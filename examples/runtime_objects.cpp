@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Managed-language runtime support (Section 5.2): the runtime
+ * represents each heap object as a capability, so JIT-compiled method
+ * code gets hardware-enforced object bounds "for free" — no
+ * segment-table scaling limits (the iAPX-432/80286 problem), no
+ * software array-bounds checks (the Java problem).
+ *
+ * The host side plays the runtime/JIT: it allocates objects, hands
+ * object capabilities to guest "methods", and shows that a method
+ * can address only its receiver.
+ */
+
+#include <cstdio>
+
+#include "core/machine.h"
+#include "isa/assembler.h"
+#include "os/cap_allocator.h"
+#include "os/simple_os.h"
+
+using namespace cheri;
+using namespace cheri::isa::reg;
+
+namespace
+{
+
+/**
+ * "JIT" one method: sum the elements of an int64 array object whose
+ * length the runtime placed in its first word. All bounds safety
+ * comes from the object capability in c1 — the method body contains
+ * no checks.
+ */
+std::vector<std::uint32_t>
+jitSumMethod()
+{
+    isa::Assembler a(os::kTextBase);
+    auto loop = a.newLabel();
+    auto done = a.newLabel();
+    a.cld(t0, 1, zero, 0); // element count
+    a.li(t1, 0);           // index
+    a.li(v1, 0);           // sum
+    a.bind(loop);
+    a.slt(t2, t1, t0);
+    a.beq(t2, zero, done);
+    a.nop();
+    a.daddiu(t3, t1, 1);   // element i lives at offset (i+1)*8
+    a.dsll(t3, t3, 3);
+    a.cld(t4, 1, t3, 0);
+    a.daddu(v1, v1, t4);
+    a.daddiu(t1, t1, 1);
+    a.b(loop);
+    a.nop();
+    a.bind(done);
+    a.li(v0, os::kSysExit);
+    a.move(a0, v1);
+    a.syscall();
+    return a.finish();
+}
+
+} // namespace
+
+int
+main()
+{
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+
+    std::printf("runtime_objects: hardware object bounds for a "
+                "managed runtime (Section 5.2)\n\n");
+
+    // The runtime's heap: delegated once, then managed in user space.
+    cap::Capability heap =
+        cap::Capability::make(os::kHeapBase, 64 * 1024, cap::kPermAll);
+    os::CapAllocator allocator(heap);
+
+    // Two adjacent array objects.
+    auto obj_a = allocator.allocate((1 + 4) * 8); // 4 elements
+    auto obj_b = allocator.allocate((1 + 3) * 8); // 3 elements
+
+    std::vector<std::uint32_t> method = jitSumMethod();
+
+    // Run the method on object A: header says 4, elements 10..40.
+    int pid = kernel.exec(method);
+    os::Process &proc = kernel.process(pid);
+    kernel.mapRange(proc, os::kHeapBase, 64 * 1024);
+    std::uint64_t words_a[5] = {4, 10, 20, 30, 40};
+    kernel.writeMemory(proc, obj_a->base(), words_a, sizeof(words_a));
+    std::uint64_t words_b[4] = {3, 7, 8, 9};
+    kernel.writeMemory(proc, obj_b->base(), words_b, sizeof(words_b));
+
+    kernel.machine().cpu().caps().write(1, *obj_a);
+    core::RunResult result = kernel.run();
+    std::printf("sum(objectA[4 elems]) -> %lld (expected 100), via "
+                "capability %s\n",
+                static_cast<long long>(result.exit_code),
+                obj_a->toString().c_str());
+
+    // A buggy (or malicious) method: the runtime wrote a corrupted
+    // header claiming 100 elements. On a conventional runtime this
+    // reads straight into object B and beyond; under CHERI the first
+    // out-of-bounds element access traps.
+    pid = kernel.exec(method);
+    os::Process &proc2 = kernel.process(pid);
+    kernel.mapRange(proc2, os::kHeapBase, 64 * 1024);
+    std::uint64_t corrupted[5] = {100, 10, 20, 30, 40};
+    kernel.writeMemory(proc2, obj_a->base(), corrupted,
+                       sizeof(corrupted));
+    kernel.machine().cpu().caps().write(1, *obj_a);
+    result = kernel.run();
+    if (result.reason == core::StopReason::kTrap) {
+        std::printf("sum with corrupted length 100 -> %s\n",
+                    result.trap.toString().c_str());
+        std::printf("  Object B's fields were never readable: the "
+                    "receiver capability ends at 0x%llx.\n",
+                    static_cast<unsigned long long>(obj_a->top()));
+    } else {
+        std::printf("UNEXPECTED: out-of-bounds read succeeded "
+                    "(sum=%lld)\n",
+                    static_cast<long long>(result.exit_code));
+        return 1;
+    }
+
+    std::printf("\nEvery object reference is a capability: bounds "
+                "scale with the heap, not with\na segment table, and "
+                "the JIT emits zero check instructions.\n");
+    return 0;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tag-oblivious memcpy (Section 4.2): capability registers may hold
+ * general-purpose data with the tag cleared, so a memcpy implemented
+ * with CLC/CSC moves 256-bit blocks without caring whether they hold
+ * data or capabilities — tags are preserved for capabilities and stay
+ * clear for data. A byte-wise memcpy of the same structure destroys
+ * the capabilities, demonstrating why the loop must be
+ * capability-sized and why that is sufficient.
+ */
+
+#include <cstdio>
+
+#include "core/machine.h"
+#include "isa/assembler.h"
+#include "os/simple_os.h"
+
+using namespace cheri;
+using namespace cheri::isa::reg;
+
+namespace
+{
+
+constexpr std::int32_t kStructBytes = 4 * 32; // 4 lines: mixed content
+
+/** Guest memcpy(dst, src, 128) using CLC/CSC (cap-oblivious). */
+void
+emitCapMemcpy(isa::Assembler &a, unsigned dst_cap, unsigned src_cap)
+{
+    auto loop = a.newLabel();
+    a.li(t0, 0);
+    a.bind(loop);
+    a.clc(4, src_cap, t0, 0);  // 257-bit load (data or capability)
+    a.csc(4, dst_cap, t0, 0);  // 257-bit store, tag preserved
+    a.daddiu(t0, t0, 32);
+    a.slti(t1, t0, kStructBytes);
+    a.bne(t1, zero, loop);
+    a.nop();
+}
+
+/** Guest memcpy(dst, src, 128) using byte loads/stores. */
+void
+emitByteMemcpy(isa::Assembler &a, unsigned dst_cap, unsigned src_cap)
+{
+    auto loop = a.newLabel();
+    a.li(t0, 0);
+    a.bind(loop);
+    a.clbu(t2, src_cap, t0, 0);
+    a.csb(t2, dst_cap, t0, 0);
+    a.daddiu(t0, t0, 1);
+    a.slti(t1, t0, kStructBytes);
+    a.bne(t1, zero, loop);
+    a.nop();
+}
+
+void
+describeStruct(os::SimpleOs &kernel, const char *label,
+               std::uint64_t base)
+{
+    std::printf("%s\n", label);
+    for (int line = 0; line < 4; ++line) {
+        cap::Capability word;
+        kernel.machine().cpu().debugReadCap(base + line * 32, word);
+        std::uint64_t first = 0;
+        kernel.machine().cpu().debugRead(base + line * 32, 8, first);
+        std::printf("  line %d: tag=%d  first-word=0x%llx%s\n", line,
+                    word.tag() ? 1 : 0,
+                    static_cast<unsigned long long>(first),
+                    word.tag() ? "  <- live capability" : "");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+
+    std::printf("tagged_memcpy: copying structures that mix data and "
+                "capabilities (Section 4.2)\n\n");
+
+    const std::uint64_t src = os::kHeapBase;
+    const std::uint64_t dst_cap_copy = os::kHeapBase + 0x400;
+    const std::uint64_t dst_byte_copy = os::kHeapBase + 0x800;
+
+    // Guest program: build the source structure, then copy it twice.
+    isa::Assembler a(os::kTextBase);
+    // c1 = src, c2 = dst (capability copy), c3 = dst (byte copy).
+    a.li(t0, static_cast<std::int32_t>(src));
+    a.cincbase(1, 0, t0);
+    a.li(t0, static_cast<std::int32_t>(dst_cap_copy));
+    a.cincbase(2, 0, t0);
+    a.li(t0, static_cast<std::int32_t>(dst_byte_copy));
+    a.cincbase(3, 0, t0);
+
+    // Source structure: line 0 = integer data; line 1 = a capability
+    // to the heap (c5); line 2 = more data; line 3 = another
+    // capability (c6, read-only).
+    a.li64(t2, 0x1111111111111111ULL);
+    a.csd(t2, 1, zero, 0);
+    a.li(t3, 0x1000);
+    a.cincbase(5, 1, zero);
+    a.csetlen(5, 5, t3);
+    a.csc(5, 1, zero, 32);
+    a.li64(t2, 0x2222222222222222ULL);
+    a.csd(t2, 1, zero, 64);
+    a.li(t4, static_cast<std::int32_t>(cap::kPermLoad));
+    a.candperm(6, 5, t4);
+    a.csc(6, 1, zero, 96);
+
+    emitCapMemcpy(a, 2, 1);
+    emitByteMemcpy(a, 3, 1);
+
+    a.li(v0, os::kSysExit);
+    a.li(a0, 0);
+    a.syscall();
+
+    kernel.exec(a.finish());
+    // The heap page at kHeapBase is mapped by exec; map the copies.
+    os::Process &proc = kernel.process(kernel.currentPid());
+    kernel.mapRange(proc, os::kHeapBase, 0x1000);
+    core::RunResult result = kernel.run();
+    if (result.reason != core::StopReason::kExited) {
+        std::printf("guest failed: %s\n", result.trap.toString().c_str());
+        return 1;
+    }
+
+    describeStruct(kernel, "Source structure:", src);
+    describeStruct(kernel, "\nCLC/CSC copy (tag-oblivious, correct):",
+                   dst_cap_copy);
+    describeStruct(kernel,
+                   "\nByte-wise copy (tags destroyed, as required):",
+                   dst_byte_copy);
+
+    std::printf("\nThe capability-sized copy preserved both "
+                "capabilities AND plain data exactly;\n"
+                "the byte-wise copy moved the same bits but every tag "
+                "is clear - the copied\n\"capabilities\" are inert "
+                "data and cannot be dereferenced. memcpy() needs no\n"
+                "knowledge of what it is copying (Section 4.2).\n");
+    return 0;
+}

@@ -1,0 +1,140 @@
+#include "cache/cache.h"
+
+#include "support/bits.h"
+#include "support/logging.h"
+
+namespace cheri::cache
+{
+
+std::uint64_t
+DramSource::accessLatency(std::uint64_t paddr)
+{
+    std::uint64_t row = paddr / timing_.row_bytes;
+    std::uint64_t latency = row == open_row_ ? timing_.row_hit_latency
+                                             : timing_.row_miss_latency;
+    open_row_ = row;
+    return latency;
+}
+
+LineAccess
+DramSource::readLine(std::uint64_t paddr)
+{
+    ++transactions_;
+    return LineAccess{manager_.readLine(paddr), accessLatency(paddr)};
+}
+
+std::uint64_t
+DramSource::writeLine(std::uint64_t paddr, const mem::TaggedLine &line)
+{
+    ++transactions_;
+    manager_.writeLine(paddr, line);
+    return accessLatency(paddr);
+}
+
+Cache::Cache(CacheConfig config, LineSource &below)
+    : config_(std::move(config)), below_(below)
+{
+    std::uint64_t lines = config_.size_bytes / mem::kLineBytes;
+    if (config_.ways == 0 || lines % config_.ways != 0)
+        support::fatal("cache %s: %u ways do not divide %llu lines",
+                       config_.name.c_str(), config_.ways,
+                       static_cast<unsigned long long>(lines));
+    num_sets_ = lines / config_.ways;
+    if (!support::isPowerOfTwo(num_sets_))
+        support::fatal("cache %s: set count %llu not a power of two",
+                       config_.name.c_str(),
+                       static_cast<unsigned long long>(num_sets_));
+    sets_.assign(num_sets_, std::vector<Way>(config_.ways));
+}
+
+std::uint64_t
+Cache::setIndex(std::uint64_t paddr) const
+{
+    return (paddr / mem::kLineBytes) % num_sets_;
+}
+
+std::uint64_t
+Cache::addrTag(std::uint64_t paddr) const
+{
+    return (paddr / mem::kLineBytes) / num_sets_;
+}
+
+Cache::Way &
+Cache::findOrFill(std::uint64_t paddr, std::uint64_t &cycles)
+{
+    std::vector<Way> &set = sets_[setIndex(paddr)];
+    std::uint64_t tag = addrTag(paddr);
+
+    for (Way &way : set) {
+        if (way.valid && way.addr_tag == tag) {
+            stats_.add(config_.name + ".hits");
+            way.lru = ++lru_clock_;
+            cycles += config_.hit_latency;
+            return way;
+        }
+    }
+
+    stats_.add(config_.name + ".misses");
+    // Victim: invalid way if any, else LRU.
+    Way *victim = &set[0];
+    for (Way &way : set) {
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (way.lru < victim->lru)
+            victim = &way;
+    }
+    std::uint64_t line_addr = support::roundDown(paddr, mem::kLineBytes);
+    if (victim->valid && victim->dirty) {
+        stats_.add(config_.name + ".writebacks");
+        std::uint64_t victim_addr =
+            (victim->addr_tag * num_sets_ + setIndex(paddr)) *
+            mem::kLineBytes;
+        cycles += below_.writeLine(victim_addr, victim->line);
+    }
+    LineAccess fill = below_.readLine(line_addr);
+    cycles += fill.cycles + config_.hit_latency;
+    victim->valid = true;
+    victim->dirty = false;
+    victim->addr_tag = tag;
+    victim->lru = ++lru_clock_;
+    victim->line = fill.line;
+    return *victim;
+}
+
+LineAccess
+Cache::readLine(std::uint64_t paddr)
+{
+    std::uint64_t cycles = 0;
+    Way &way = findOrFill(paddr, cycles);
+    return LineAccess{way.line, cycles};
+}
+
+std::uint64_t
+Cache::writeLine(std::uint64_t paddr, const mem::TaggedLine &line)
+{
+    std::uint64_t cycles = 0;
+    Way &way = findOrFill(paddr, cycles);
+    way.line = line;
+    way.dirty = true;
+    return cycles;
+}
+
+void
+Cache::flush()
+{
+    for (std::uint64_t set = 0; set < num_sets_; ++set) {
+        for (Way &way : sets_[set]) {
+            if (way.valid && way.dirty) {
+                std::uint64_t addr =
+                    (way.addr_tag * num_sets_ + set) * mem::kLineBytes;
+                below_.writeLine(addr, way.line);
+            }
+            way.valid = false;
+            way.dirty = false;
+        }
+    }
+}
+
+} // namespace cheri::cache

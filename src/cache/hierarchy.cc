@@ -1,0 +1,123 @@
+#include "cache/hierarchy.h"
+
+#include "support/bits.h"
+#include "support/logging.h"
+
+namespace cheri::cache
+{
+
+CacheHierarchy::CacheHierarchy(mem::TagManager &manager,
+                               HierarchyConfig config)
+    : dram_(manager, config.dram), l2_(config.l2, dram_),
+      l1i_(config.l1i, l2_), l1d_(config.l1d, l2_)
+{
+}
+
+void
+CacheHierarchy::checkContained(std::uint64_t paddr, unsigned size) const
+{
+    if (paddr / mem::kLineBytes !=
+        (paddr + size - 1) / mem::kLineBytes) {
+        support::panic("access [0x%llx, +%u) straddles a cache line",
+                       static_cast<unsigned long long>(paddr), size);
+    }
+}
+
+std::uint32_t
+CacheHierarchy::fetch32(std::uint64_t paddr, std::uint64_t &cycles)
+{
+    checkContained(paddr, 4);
+    LineAccess access = l1i_.readLine(paddr);
+    cycles += access.cycles;
+    std::uint64_t offset = paddr % mem::kLineBytes;
+    std::uint32_t word = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        word |= static_cast<std::uint32_t>(access.line.data[offset + i])
+                << (8 * i);
+    }
+    return word;
+}
+
+std::uint64_t
+CacheHierarchy::read(std::uint64_t paddr, unsigned size,
+                     std::uint64_t &cycles)
+{
+    checkContained(paddr, size);
+    LineAccess access = l1d_.readLine(paddr);
+    cycles += access.cycles;
+    std::uint64_t offset = paddr % mem::kLineBytes;
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        value |= static_cast<std::uint64_t>(access.line.data[offset + i])
+                 << (8 * i);
+    }
+    return value;
+}
+
+void
+CacheHierarchy::write(std::uint64_t paddr, unsigned size,
+                      std::uint64_t value, std::uint64_t &cycles)
+{
+    checkContained(paddr, size);
+    LineAccess access = l1d_.readLine(paddr);
+    cycles += access.cycles;
+    mem::TaggedLine line = access.line;
+    std::uint64_t offset = paddr % mem::kLineBytes;
+    for (unsigned i = 0; i < size; ++i)
+        line.data[offset + i] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    line.tag = false; // general-purpose store clears the tag
+    cycles += l1d_.writeLine(paddr, line);
+}
+
+mem::TaggedLine
+CacheHierarchy::readCapLine(std::uint64_t paddr, std::uint64_t &cycles)
+{
+    if (paddr % mem::kLineBytes != 0)
+        support::panic("capability load at unaligned 0x%llx",
+                       static_cast<unsigned long long>(paddr));
+    LineAccess access = l1d_.readLine(paddr);
+    cycles += access.cycles;
+    return access.line;
+}
+
+void
+CacheHierarchy::writeCapLine(std::uint64_t paddr,
+                             const mem::TaggedLine &line,
+                             std::uint64_t &cycles)
+{
+    if (paddr % mem::kLineBytes != 0)
+        support::panic("capability store at unaligned 0x%llx",
+                       static_cast<unsigned long long>(paddr));
+    cycles += l1d_.writeLine(paddr, line);
+}
+
+void
+CacheHierarchy::flushAll()
+{
+    // L1s first so their dirty lines land in L2 before L2 drains.
+    l1i_.flush();
+    l1d_.flush();
+    l2_.flush();
+}
+
+support::StatSet
+CacheHierarchy::collectStats() const
+{
+    support::StatSet merged;
+    for (const Cache *cache : {&l1i_, &l1d_, &l2_})
+        for (const auto &[name, value] : cache->stats().all())
+            merged.add(name, value);
+    merged.add("dram.transactions", dram_.transactions());
+    return merged;
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    l1i_.resetStats();
+    l1d_.resetStats();
+    l2_.resetStats();
+}
+
+} // namespace cheri::cache

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The CHERI cache hierarchy of Section 4: split 16 KB L1 instruction
+ * and data caches, a shared 64 KB L2, 32-byte lines throughout, and
+ * the tag manager as the DRAM endpoint. Implements the CHERI tag
+ * semantics — a general-purpose store clears the line's capability
+ * tag; a capability store sets it from the source register — so
+ * capability unforgeability holds at every level (Section 4.2).
+ */
+
+#ifndef CHERI_CACHE_HIERARCHY_H
+#define CHERI_CACHE_HIERARCHY_H
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/cache.h"
+#include "mem/tag_manager.h"
+#include "support/stats.h"
+
+namespace cheri::cache
+{
+
+/** Geometry of the full hierarchy (paper defaults, Sections 8/9). */
+struct HierarchyConfig
+{
+    CacheConfig l1i{"l1i", 16 * 1024, 4, 1};
+    CacheConfig l1d{"l1d", 16 * 1024, 4, 1};
+    CacheConfig l2{"l2", 64 * 1024, 8, 4};
+    DramTiming dram;
+};
+
+/**
+ * CPU-facing memory system operating on physical addresses (the TLB
+ * has already translated). Sub-line accesses must be naturally
+ * aligned and line-contained — the CPU raises address-error faults
+ * before calling in.
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(mem::TagManager &manager, HierarchyConfig config = {});
+
+    /** Instruction fetch of one 32-bit word through the L1I. */
+    std::uint32_t fetch32(std::uint64_t paddr, std::uint64_t &cycles);
+
+    /** General-purpose load of 1/2/4/8 bytes (tag-oblivious). */
+    std::uint64_t read(std::uint64_t paddr, unsigned size,
+                       std::uint64_t &cycles);
+
+    /**
+     * General-purpose store of 1/2/4/8 bytes. Clears the capability
+     * tag of the containing line — the architectural guarantee that
+     * data writes cannot forge capabilities.
+     */
+    void write(std::uint64_t paddr, unsigned size, std::uint64_t value,
+               std::uint64_t &cycles);
+
+    /** Capability load: the full 257-bit line (CLC). */
+    mem::TaggedLine readCapLine(std::uint64_t paddr,
+                                std::uint64_t &cycles);
+
+    /** Capability store: full line plus tag (CSC). */
+    void writeCapLine(std::uint64_t paddr, const mem::TaggedLine &line,
+                      std::uint64_t &cycles);
+
+    /** Write back and invalidate everything (used by tests). */
+    void flushAll();
+
+    /** DRAM line transactions so far (memory-traffic metric). */
+    std::uint64_t dramTransactions() const { return dram_.transactions(); }
+
+    /** Merge all per-level stats into one set. */
+    support::StatSet collectStats() const;
+
+    void resetStats();
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+
+  private:
+    void checkContained(std::uint64_t paddr, unsigned size) const;
+
+    DramSource dram_;
+    Cache l2_;
+    Cache l1i_;
+    Cache l1d_;
+};
+
+} // namespace cheri::cache
+
+#endif // CHERI_CACHE_HIERARCHY_H

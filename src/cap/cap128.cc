@@ -1,0 +1,66 @@
+#include "cap/cap128.h"
+
+#include "support/bits.h"
+
+namespace cheri::cap
+{
+
+namespace
+{
+constexpr std::uint64_t kFieldMask = (1ULL << kCap128AddrBits) - 1;
+} // namespace
+
+bool
+Cap128::isRepresentable(const Capability &cap)
+{
+    if (!cap.tag())
+        return false;
+    if (cap.base() > kFieldMask || cap.length() > kFieldMask)
+        return false;
+    // The top must also stay inside the 40-bit space.
+    return cap.base() + cap.length() <= (1ULL << kCap128AddrBits);
+}
+
+std::optional<Cap128>
+Cap128::compress(const Capability &cap)
+{
+    if (!isRepresentable(cap))
+        return std::nullopt;
+    Cap128 c;
+    // lo: base[0..39] | length[40..63] (low 24 bits of length)
+    // hi: length[24..39] in bits 0..15 | perms in bits 16..46
+    c.lo_ = (cap.base() & kFieldMask) |
+            ((cap.length() & 0xffffff) << 40);
+    c.hi_ = ((cap.length() >> 24) & 0xffff) |
+            (static_cast<std::uint64_t>(cap.perms() & kPermMask) << 16);
+    c.tag_ = true;
+    return c;
+}
+
+std::uint64_t
+Cap128::base() const
+{
+    return lo_ & kFieldMask;
+}
+
+std::uint64_t
+Cap128::length() const
+{
+    return ((lo_ >> 40) & 0xffffff) | ((hi_ & 0xffff) << 24);
+}
+
+std::uint32_t
+Cap128::perms() const
+{
+    return static_cast<std::uint32_t>((hi_ >> 16) & kPermMask);
+}
+
+Capability
+Cap128::expand() const
+{
+    if (!tag_)
+        return Capability();
+    return Capability::make(base(), length(), perms());
+}
+
+} // namespace cheri::cap

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The 128-bit compressed capability variant evaluated in the limit
+ * study (Section 7). Following the paper's suggestion of "128 bits
+ * using 40-bit virtual addresses", the format packs:
+ *
+ *   bits   0..39  base     (40-bit virtual address)
+ *   bits  40..79  length   (40 bits)
+ *   bits  80..110 perms    (full 31-bit vector)
+ *   bits 111..127 reserved
+ *
+ * Compression is exact within a 40-bit address space; capabilities
+ * whose base or top exceed 2^40 are not representable and must stay in
+ * the 256-bit format (the production tradeoff the paper discusses).
+ */
+
+#ifndef CHERI_CAP_CAP128_H
+#define CHERI_CAP_CAP128_H
+
+#include <cstdint>
+#include <optional>
+
+#include "cap/capability.h"
+
+namespace cheri::cap
+{
+
+/** Size of the compressed in-memory representation. */
+constexpr unsigned kCap128Bytes = 16;
+
+/** Virtual-address width the compressed format supports. */
+constexpr unsigned kCap128AddrBits = 40;
+
+/** A compressed 128-bit capability image plus its tag. */
+class Cap128
+{
+  public:
+    Cap128() = default;
+
+    /** True when cap's fields fit the 40-bit compressed format. */
+    static bool isRepresentable(const Capability &cap);
+
+    /**
+     * Compress a 256-bit capability. Returns nullopt when the fields
+     * do not fit (tagged capabilities only; untagged data cannot be
+     * meaningfully compressed and also yields nullopt).
+     */
+    static std::optional<Cap128> compress(const Capability &cap);
+
+    /** Expand back to the 256-bit architectural form. */
+    Capability expand() const;
+
+    bool tag() const { return tag_; }
+    std::uint64_t base() const;
+    std::uint64_t length() const;
+    std::uint32_t perms() const;
+
+    /** Raw 128-bit image (two little-endian 64-bit words). */
+    std::uint64_t low() const { return lo_; }
+    std::uint64_t high() const { return hi_; }
+
+    bool operator==(const Cap128 &other) const = default;
+
+  private:
+    std::uint64_t lo_ = 0;
+    std::uint64_t hi_ = 0;
+    bool tag_ = false;
+};
+
+} // namespace cheri::cap
+
+#endif // CHERI_CAP_CAP128_H

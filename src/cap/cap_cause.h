@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Capability exception causes. These are guest-visible architectural
+ * values delivered through the CP2 cause register when a capability
+ * check fails; they are never host C++ exceptions.
+ */
+
+#ifndef CHERI_CAP_CAP_CAUSE_H
+#define CHERI_CAP_CAP_CAUSE_H
+
+namespace cheri::cap
+{
+
+/** Why a capability instruction or checked access faulted. */
+enum class CapCause
+{
+    kNone,
+    /** Operated on or dereferenced an untagged capability. */
+    kTagViolation,
+    /** Operated on or dereferenced a sealed capability, or seal /
+     *  unseal authority was missing or mismatched (Section 11's
+     *  protected domain-crossing experiments). */
+    kSealViolation,
+    /** Offset or extent fell outside [base, base+length). */
+    kLengthViolation,
+    /** Attempted to grow length or move base backwards. */
+    kMonotonicityViolation,
+    /** Load-data permission missing. */
+    kPermitLoadViolation,
+    /** Store-data permission missing. */
+    kPermitStoreViolation,
+    /** Execute permission missing. */
+    kPermitExecuteViolation,
+    /** Load-capability permission missing. */
+    kPermitLoadCapViolation,
+    /** Store-capability permission missing. */
+    kPermitStoreCapViolation,
+    /** TLB page did not authorize a capability load (PTE bit). */
+    kTlbNoLoadCap,
+    /** TLB page did not authorize a capability store (PTE bit). */
+    kTlbNoStoreCap,
+    /** Capability-relative access was not naturally aligned. */
+    kAlignmentViolation,
+};
+
+/** Human-readable cause name (for traps, logs and tests). */
+const char *capCauseName(CapCause cause);
+
+} // namespace cheri::cap
+
+#endif // CHERI_CAP_CAP_CAUSE_H

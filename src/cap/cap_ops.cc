@@ -1,0 +1,158 @@
+#include "cap/cap_ops.h"
+
+namespace cheri::cap
+{
+
+CapOpResult
+incBase(const Capability &cap, std::uint64_t delta)
+{
+    if (!cap.tag())
+        return {CapCause::kTagViolation, cap};
+    if (cap.sealed())
+        return {CapCause::kSealViolation, cap};
+    if (delta > cap.length())
+        return {CapCause::kLengthViolation, cap};
+    Capability out = cap;
+    out.setBaseRaw(cap.base() + delta);
+    out.setLengthRaw(cap.length() - delta);
+    return {CapCause::kNone, out};
+}
+
+CapOpResult
+setLen(const Capability &cap, std::uint64_t new_length)
+{
+    if (!cap.tag())
+        return {CapCause::kTagViolation, cap};
+    if (cap.sealed())
+        return {CapCause::kSealViolation, cap};
+    if (new_length > cap.length())
+        return {CapCause::kMonotonicityViolation, cap};
+    Capability out = cap;
+    out.setLengthRaw(new_length);
+    return {CapCause::kNone, out};
+}
+
+CapOpResult
+andPerm(const Capability &cap, std::uint32_t mask)
+{
+    if (!cap.tag())
+        return {CapCause::kTagViolation, cap};
+    if (cap.sealed())
+        return {CapCause::kSealViolation, cap};
+    Capability out = cap;
+    out.setPermsRaw(cap.perms() & mask & kPermMask);
+    return {CapCause::kNone, out};
+}
+
+std::uint64_t
+toPtr(const Capability &cap, const Capability &c0)
+{
+    if (!cap.tag())
+        return 0;
+    return cap.base() - c0.base();
+}
+
+CapOpResult
+fromPtr(const Capability &c0, std::uint64_t ptr)
+{
+    if (ptr == 0)
+        return {CapCause::kNone, Capability()}; // untagged NULL
+    return incBase(c0, ptr);
+}
+
+namespace
+{
+
+/** Validate a sealing authority against an object type. */
+CapCause
+checkAuthority(const Capability &authority, std::uint64_t otype)
+{
+    if (!authority.tag())
+        return CapCause::kTagViolation;
+    if (authority.sealed())
+        return CapCause::kSealViolation;
+    if (!authority.hasPerms(kPermSeal))
+        return CapCause::kSealViolation;
+    if (!authority.covers(otype, 1))
+        return CapCause::kSealViolation;
+    return CapCause::kNone;
+}
+
+} // namespace
+
+CapOpResult
+seal(const Capability &cap, const Capability &authority)
+{
+    if (!cap.tag())
+        return {CapCause::kTagViolation, cap};
+    if (cap.sealed())
+        return {CapCause::kSealViolation, cap};
+    std::uint64_t otype = authority.base();
+    if (otype > 0xffffff)
+        return {CapCause::kSealViolation, cap};
+    CapCause cause = checkAuthority(authority, otype);
+    if (cause != CapCause::kNone)
+        return {cause, cap};
+    Capability out = cap;
+    out.setSealedRaw(true, otype);
+    return {CapCause::kNone, out};
+}
+
+CapOpResult
+unseal(const Capability &cap, const Capability &authority)
+{
+    if (!cap.tag())
+        return {CapCause::kTagViolation, cap};
+    if (!cap.sealed())
+        return {CapCause::kSealViolation, cap};
+    CapCause cause = checkAuthority(authority, cap.otype());
+    if (cause != CapCause::kNone)
+        return {cause, cap};
+    Capability out = cap;
+    out.setSealedRaw(false, 0);
+    return {CapCause::kNone, out};
+}
+
+CapCause
+checkDataAccess(const Capability &cap, std::uint64_t offset,
+                std::uint64_t size, std::uint32_t perm,
+                bool require_alignment)
+{
+    if (!cap.tag())
+        return CapCause::kTagViolation;
+    if (cap.sealed())
+        return CapCause::kSealViolation;
+    if (!cap.hasPerms(perm)) {
+        if (perm & kPermStoreCap)
+            return CapCause::kPermitStoreCapViolation;
+        if (perm & kPermLoadCap)
+            return CapCause::kPermitLoadCapViolation;
+        if (perm & kPermStore)
+            return CapCause::kPermitStoreViolation;
+        if (perm & kPermLoad)
+            return CapCause::kPermitLoadViolation;
+        return CapCause::kPermitLoadViolation;
+    }
+    std::uint64_t addr = effectiveAddress(cap, offset);
+    if (!cap.covers(addr, size))
+        return CapCause::kLengthViolation;
+    if (require_alignment && size != 0 && addr % size != 0)
+        return CapCause::kAlignmentViolation;
+    return CapCause::kNone;
+}
+
+CapCause
+checkFetch(const Capability &pcc, std::uint64_t pc)
+{
+    if (!pcc.tag())
+        return CapCause::kTagViolation;
+    if (pcc.sealed())
+        return CapCause::kSealViolation;
+    if (!pcc.hasPerms(kPermExecute))
+        return CapCause::kPermitExecuteViolation;
+    if (!pcc.covers(pc, 4))
+        return CapCause::kLengthViolation;
+    return CapCause::kNone;
+}
+
+} // namespace cheri::cap

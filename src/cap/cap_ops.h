@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Guest-visible capability operations (Table 1 semantics), shared by
+ * the instruction executor and the host-level API. Every mutating
+ * operation strictly reduces privilege — these functions are the single
+ * place where monotonicity is enforced.
+ *
+ * Failures are returned as CapCause values (architectural faults), not
+ * host exceptions: the executor converts them into CP2 exceptions.
+ */
+
+#ifndef CHERI_CAP_CAP_OPS_H
+#define CHERI_CAP_CAP_OPS_H
+
+#include <cstdint>
+
+#include "cap/capability.h"
+
+namespace cheri::cap
+{
+
+/** Result of a capability-producing operation. */
+struct CapOpResult
+{
+    CapCause cause = CapCause::kNone;
+    Capability value;
+
+    bool ok() const { return cause == CapCause::kNone; }
+};
+
+/**
+ * CIncBase: advance base by delta and shrink length by the same
+ * amount. Faults with kTagViolation on an untagged source (unless
+ * delta is zero, the CFromPtr NULL-cast case handled by fromPtr) and
+ * kLengthViolation when delta exceeds length.
+ */
+CapOpResult incBase(const Capability &cap, std::uint64_t delta);
+
+/**
+ * CSetLen: reduce length to new_length. Faults with kTagViolation on
+ * an untagged source and kMonotonicityViolation on any attempt to grow.
+ */
+CapOpResult setLen(const Capability &cap, std::uint64_t new_length);
+
+/**
+ * CAndPerm: intersect permissions with mask. Faults with
+ * kTagViolation on an untagged source. Never grows rights by
+ * construction.
+ */
+CapOpResult andPerm(const Capability &cap, std::uint32_t mask);
+
+/**
+ * CToPtr: derive a C0-relative integer pointer from cap. An untagged
+ * capability yields 0 (the NULL pointer), supporting pointer
+ * round-trips for legacy interop (Section 4.3).
+ */
+std::uint64_t toPtr(const Capability &cap, const Capability &c0);
+
+/**
+ * CFromPtr: derive a capability from a C0-relative integer pointer.
+ * A zero pointer yields the untagged NULL capability; otherwise this
+ * is CIncBase on c0 (Section 4.3 / Table 1).
+ */
+CapOpResult fromPtr(const Capability &c0, std::uint64_t ptr);
+
+/**
+ * CSeal: seal 'cap' with the object type named by the sealing
+ * authority 'authority' (its base is the otype). Requires authority
+ * to be tagged, unsealed, hold kPermSeal, and cover the otype within
+ * its range. A sealed capability is immutable and non-dereferenceable
+ * until unsealed (Section 11 domain crossing).
+ */
+CapOpResult seal(const Capability &cap, const Capability &authority);
+
+/**
+ * CUnseal: remove the seal from 'cap' using an authority whose range
+ * covers cap's object type and which holds kPermSeal.
+ */
+CapOpResult unseal(const Capability &cap, const Capability &authority);
+
+/**
+ * Check a data access of 'size' bytes at offset 'offset' from cap's
+ * base, needing permission mask 'perm'. Returns the fault cause or
+ * kNone. Offsets are 64-bit wrapping values, so a negative signed
+ * index arrives as a large unsigned offset and is rejected by the
+ * bounds check unless the capability genuinely covers the wrapped
+ * address (only the almighty capability does). When require_alignment
+ * is set (capability loads/stores), the effective address must be
+ * size-aligned.
+ */
+CapCause checkDataAccess(const Capability &cap, std::uint64_t offset,
+                         std::uint64_t size, std::uint32_t perm,
+                         bool require_alignment = false);
+
+/**
+ * Check an instruction fetch of 4 bytes at absolute address pc against
+ * the program-counter capability (Section 4.4: the implementation
+ * validates an absolute PC against PCC).
+ */
+CapCause checkFetch(const Capability &pcc, std::uint64_t pc);
+
+/** Effective address of a capability-relative access (wrapping). */
+inline std::uint64_t
+effectiveAddress(const Capability &cap, std::uint64_t offset)
+{
+    return cap.base() + offset;
+}
+
+} // namespace cheri::cap
+
+#endif // CHERI_CAP_CAP_OPS_H

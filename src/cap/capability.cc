@@ -1,0 +1,150 @@
+#include "cap/capability.h"
+
+#include <limits>
+
+#include "support/logging.h"
+
+namespace cheri::cap
+{
+
+std::uint64_t
+Capability::word(unsigned index) const
+{
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        value |= static_cast<std::uint64_t>(raw_[index * 8 + i])
+                 << (8 * i);
+    }
+    return value;
+}
+
+void
+Capability::setWord(unsigned index, std::uint64_t value)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        raw_[index * 8 + i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+Capability
+Capability::make(std::uint64_t base, std::uint64_t length,
+                 std::uint32_t perms)
+{
+    Capability c;
+    c.setBaseRaw(base);
+    c.setLengthRaw(length);
+    c.setPermsRaw(perms);
+    c.tag_ = true;
+    return c;
+}
+
+Capability
+Capability::almighty()
+{
+    return make(0, std::numeric_limits<std::uint64_t>::max(), kPermAll);
+}
+
+Capability
+Capability::fromRaw(const std::array<std::uint8_t, kCapBytes> &raw,
+                    bool tag)
+{
+    Capability c;
+    c.raw_ = raw;
+    c.tag_ = tag;
+    return c;
+}
+
+void
+Capability::setPermsRaw(std::uint32_t perms)
+{
+    std::uint64_t w = word(0);
+    w = (w & ~static_cast<std::uint64_t>(kPermMask)) | (perms & kPermMask);
+    setWord(0, w);
+}
+
+void
+Capability::setSealedRaw(bool sealed, std::uint64_t otype)
+{
+    std::uint64_t w = word(0);
+    w &= ~(0xffffffULL << 32);      // clear otype
+    w &= ~(1ULL << 31);             // clear sealed flag
+    if (sealed)
+        w |= (1ULL << 31) | ((otype & 0xffffff) << 32);
+    setWord(0, w);
+}
+
+std::uint64_t
+Capability::top() const
+{
+    std::uint64_t b = base();
+    std::uint64_t l = length();
+    std::uint64_t t = b + l;
+    if (t < b) // overflow: saturate at the top of the address space
+        return std::numeric_limits<std::uint64_t>::max();
+    return t;
+}
+
+bool
+Capability::covers(std::uint64_t addr, std::uint64_t size) const
+{
+    if (addr < base())
+        return false;
+    std::uint64_t end = addr + size;
+    if (end < addr) // wrapped
+        return false;
+    return end <= top();
+}
+
+std::string
+Capability::toString() const
+{
+    std::string seal_info;
+    if (sealed())
+        seal_info = support::format(" sealed(otype=0x%llx)",
+                                    static_cast<unsigned long long>(
+                                        otype()));
+    return support::format(
+        "cap{tag=%d base=0x%llx len=0x%llx perms=%s%s}", tag_ ? 1 : 0,
+        static_cast<unsigned long long>(base()),
+        static_cast<unsigned long long>(length()),
+        permString(perms()).c_str(), seal_info.c_str());
+}
+
+std::string
+permString(std::uint32_t perms)
+{
+    std::string s;
+    s += (perms & kPermLoad) ? 'r' : '-';
+    s += (perms & kPermStore) ? 'w' : '-';
+    s += (perms & kPermExecute) ? 'x' : '-';
+    s += (perms & kPermLoadCap) ? 'R' : '-';
+    s += (perms & kPermStoreCap) ? 'W' : '-';
+    return s;
+}
+
+const char *
+capCauseName(CapCause cause)
+{
+    switch (cause) {
+      case CapCause::kNone: return "none";
+      case CapCause::kTagViolation: return "tag violation";
+      case CapCause::kSealViolation: return "seal violation";
+      case CapCause::kLengthViolation: return "length violation";
+      case CapCause::kMonotonicityViolation:
+        return "monotonicity violation";
+      case CapCause::kPermitLoadViolation: return "permit-load violation";
+      case CapCause::kPermitStoreViolation:
+        return "permit-store violation";
+      case CapCause::kPermitExecuteViolation:
+        return "permit-execute violation";
+      case CapCause::kPermitLoadCapViolation:
+        return "permit-load-capability violation";
+      case CapCause::kPermitStoreCapViolation:
+        return "permit-store-capability violation";
+      case CapCause::kTlbNoLoadCap: return "TLB capability-load denied";
+      case CapCause::kTlbNoStoreCap: return "TLB capability-store denied";
+      case CapCause::kAlignmentViolation: return "alignment violation";
+    }
+    return "unknown";
+}
+
+} // namespace cheri::cap

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The 256-bit architectural capability (Figure 1): a 64-bit base, a
+ * 64-bit length, a 31-bit permissions vector, and an out-of-band tag.
+ *
+ * A capability register may also hold general-purpose data with its
+ * tag cleared (Section 4.2) — memcpy implemented with CLC/CSC must
+ * round-trip arbitrary 256-bit patterns. The register therefore stores
+ * the raw 32-byte image as its canonical representation, with the
+ * architectural fields decoded from fixed word positions:
+ *
+ *   word 0 (bits   0..63): permissions in the low 31 bits; bit 31 is
+ *                          the sealed flag and bits 32..55 the object
+ *                          type (Section 11 experimental fields)
+ *   word 1 (bits  64..127): reserved (preserved verbatim)
+ *   word 2 (bits 128..191): base
+ *   word 3 (bits 192..255): length
+ */
+
+#ifndef CHERI_CAP_CAPABILITY_H
+#define CHERI_CAP_CAPABILITY_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "cap/cap_cause.h"
+#include "cap/perms.h"
+
+namespace cheri::cap
+{
+
+/** Size of the in-memory capability representation. */
+constexpr unsigned kCapBytes = 32;
+
+/**
+ * One capability register or in-memory capability: a raw 256-bit image
+ * plus the tag bit. Field mutation goes through the monotonic
+ * operations in cap_ops.h when modelling guest instructions; the raw
+ * setters here are for machine initialization and tests.
+ */
+class Capability
+{
+  public:
+    /** Untagged, zero-filled capability (the NULL capability). */
+    Capability() = default;
+
+    /** Build a tagged capability with explicit fields. */
+    static Capability make(std::uint64_t base, std::uint64_t length,
+                           std::uint32_t perms);
+
+    /**
+     * The almighty capability delegated at reset: base 0, maximum
+     * length, all permissions (Section 4.3).
+     */
+    static Capability almighty();
+
+    /** Reconstruct from a raw 256-bit memory image plus tag. */
+    static Capability fromRaw(const std::array<std::uint8_t, kCapBytes> &raw,
+                              bool tag);
+
+    /** The raw 256-bit image as stored in memory. */
+    const std::array<std::uint8_t, kCapBytes> &raw() const { return raw_; }
+
+    bool tag() const { return tag_; }
+    std::uint64_t base() const { return word(2); }
+    std::uint64_t length() const { return word(3); }
+    std::uint32_t
+    perms() const
+    {
+        return static_cast<std::uint32_t>(word(0)) & kPermMask;
+    }
+
+    /** Sealed capabilities are immutable and non-dereferenceable
+     *  until unsealed (Section 11 domain crossing). */
+    bool sealed() const { return (word(0) >> 31) & 1; }
+
+    /** Object type of a sealed capability (24 bits). */
+    std::uint64_t otype() const { return (word(0) >> 32) & 0xffffff; }
+
+    /** One-past-the-end address; saturates at 2^64-1. */
+    std::uint64_t top() const;
+
+    /** True when [addr, addr+size) falls inside [base, top). */
+    bool covers(std::uint64_t addr, std::uint64_t size) const;
+
+    /** True when every permission in mask is granted. */
+    bool
+    hasPerms(std::uint32_t mask) const
+    {
+        return (perms() & mask) == mask;
+    }
+
+    /** Clear the tag, keeping the data image (CClearTag). */
+    void clearTag() { tag_ = false; }
+
+    // Raw field setters: machine initialization and test use only;
+    // guest-visible mutation must go through cap_ops.h so that
+    // monotonicity is enforced in one place.
+    void setBaseRaw(std::uint64_t base) { setWord(2, base); }
+    void setLengthRaw(std::uint64_t length) { setWord(3, length); }
+    void setPermsRaw(std::uint32_t perms);
+    void setTagRaw(bool tag) { tag_ = tag; }
+    void setSealedRaw(bool sealed, std::uint64_t otype);
+
+    /** Bytewise-equal image and equal tag. */
+    bool operator==(const Capability &other) const = default;
+
+    /** Diagnostic rendering: tag, base, length, perms. */
+    std::string toString() const;
+
+  private:
+    std::uint64_t word(unsigned index) const;
+    void setWord(unsigned index, std::uint64_t value);
+
+    std::array<std::uint8_t, kCapBytes> raw_{};
+    bool tag_ = false;
+};
+
+} // namespace cheri::cap
+
+#endif // CHERI_CAP_CAPABILITY_H

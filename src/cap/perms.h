@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The 31-bit capability permissions vector (Figure 1). A "1" in each
+ * position indicates an allowed permission for the region. The paper
+ * names load data, store data, execute, and capability load/store; the
+ * remaining bits are reserved for experimentation — we expose a few of
+ * them as user-defined (software) permissions, as the CHERI ISA does.
+ */
+
+#ifndef CHERI_CAP_PERMS_H
+#define CHERI_CAP_PERMS_H
+
+#include <cstdint>
+#include <string>
+
+namespace cheri::cap
+{
+
+/** Permission bit positions within the 31-bit vector. */
+enum Perm : std::uint32_t
+{
+    kPermLoad = 1u << 0,     ///< Load data through the capability.
+    kPermStore = 1u << 1,    ///< Store data through the capability.
+    kPermExecute = 1u << 2,  ///< Fetch instructions through it.
+    kPermLoadCap = 1u << 3,  ///< Load capabilities (CLC).
+    kPermStoreCap = 1u << 4, ///< Store capabilities (CSC).
+    /** Seal/unseal authority for object types within the capability's
+     *  range (one of the experimental bits of Section 11). */
+    kPermSeal = 1u << 5,
+    /** First of the software-defined permission bits. */
+    kPermUser0 = 1u << 15,
+};
+
+/** Mask of all architecturally valid permission bits (31 bits). */
+constexpr std::uint32_t kPermMask = 0x7fffffffu;
+
+/** All permissions set: the reset / almighty value. */
+constexpr std::uint32_t kPermAll = kPermMask;
+
+/** Render a permission set like "rwxRW" for diagnostics. */
+std::string permString(std::uint32_t perms);
+
+} // namespace cheri::cap
+
+#endif // CHERI_CAP_PERMS_H

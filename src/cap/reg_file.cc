@@ -1,0 +1,43 @@
+#include "cap/reg_file.h"
+
+#include "support/logging.h"
+
+namespace cheri::cap
+{
+
+CapRegFile::CapRegFile()
+{
+    regs_.fill(Capability::almighty());
+    pcc_ = Capability::almighty();
+}
+
+const Capability &
+CapRegFile::read(unsigned index) const
+{
+    if (index >= kNumCapRegs)
+        support::panic("capability register index %u out of range", index);
+    return regs_[index];
+}
+
+void
+CapRegFile::write(unsigned index, const Capability &value)
+{
+    if (index >= kNumCapRegs)
+        support::panic("capability register index %u out of range", index);
+    regs_[index] = value;
+}
+
+CapRegFile::Snapshot
+CapRegFile::save() const
+{
+    return Snapshot{regs_, pcc_};
+}
+
+void
+CapRegFile::restore(const Snapshot &snapshot)
+{
+    regs_ = snapshot.regs;
+    pcc_ = snapshot.pcc;
+}
+
+} // namespace cheri::cap

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The capability register file: 32 capability registers mirroring the
+ * MIPS integer register count (Section 4.1), plus the program-counter
+ * capability PCC. C0 (register 0) is the default data capability that
+ * implicitly offsets legacy MIPS loads and stores.
+ */
+
+#ifndef CHERI_CAP_REG_FILE_H
+#define CHERI_CAP_REG_FILE_H
+
+#include <array>
+#include <cstdint>
+
+#include "cap/capability.h"
+
+namespace cheri::cap
+{
+
+/** Number of architectural capability registers. */
+constexpr unsigned kNumCapRegs = 32;
+
+/**
+ * CP2 architectural register state. Unlike the integer file, register
+ * 0 is a real register (the default data capability C0), not a
+ * hardwired zero.
+ */
+class CapRegFile
+{
+  public:
+    /** Reset state: every register and PCC almighty (Section 4.3). */
+    CapRegFile();
+
+    /** Read capability register 'index'. */
+    const Capability &read(unsigned index) const;
+
+    /** Write capability register 'index'. */
+    void write(unsigned index, const Capability &value);
+
+    /** The default data capability C0. */
+    const Capability &c0() const { return regs_[0]; }
+
+    /** The program-counter capability. */
+    const Capability &pcc() const { return pcc_; }
+
+    /** Replace PCC (jumps, domain transitions, reset). */
+    void setPcc(const Capability &value) { pcc_ = value; }
+
+    /**
+     * Snapshot/restore of the full CP2 state: what the kernel saves on
+     * a context switch (Section 4.3).
+     */
+    struct Snapshot
+    {
+        std::array<Capability, kNumCapRegs> regs;
+        Capability pcc;
+    };
+
+    Snapshot save() const;
+    void restore(const Snapshot &snapshot);
+
+  private:
+    std::array<Capability, kNumCapRegs> regs_;
+    Capability pcc_;
+};
+
+} // namespace cheri::cap
+
+#endif // CHERI_CAP_REG_FILE_H

@@ -1,0 +1,958 @@
+#include "core/cpu.h"
+
+#include "isa/disasm.h"
+#include "support/bits.h"
+#include "support/logging.h"
+
+namespace cheri::core
+{
+
+using cap::CapCause;
+using isa::Instruction;
+using isa::Opcode;
+using support::signExtend;
+
+namespace
+{
+
+/** Sign-extend a 32-bit result as MIPS64 word operations require. */
+std::uint64_t
+sext32(std::uint64_t value)
+{
+    return static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(static_cast<std::int32_t>(value)));
+}
+
+} // namespace
+
+Cpu::Cpu(cache::CacheHierarchy &memory, tlb::Tlb &tlb, CpuTiming timing)
+    : memory_(memory), tlb_(tlb), timing_(timing),
+      predictor_(timing.predictor_entries, 1) // weakly not-taken
+{
+}
+
+void
+Cpu::predictBranch(bool taken)
+{
+    std::uint8_t &counter =
+        predictor_[(current_pc_ >> 2) & (predictor_.size() - 1)];
+    bool predicted_taken = counter >= 2;
+    if (predicted_taken != taken) {
+        cycles_ += timing_.branch_mispredict_cycles;
+        stats_.add("branch.mispredicts");
+    }
+    if (taken && counter < 3)
+        ++counter;
+    else if (!taken && counter > 0)
+        --counter;
+}
+
+void
+Cpu::setGpr(unsigned index, std::uint64_t value)
+{
+    if (index >= 32)
+        support::panic("GPR index %u out of range", index);
+    if (index != 0)
+        gpr_[index] = value;
+}
+
+void
+Cpu::setPc(std::uint64_t pc)
+{
+    pc_ = pc;
+    next_pc_ = pc + 4;
+    branch_pending_ = false;
+    pcc_swap_countdown_ = 0;
+}
+
+void
+Cpu::raise(ExcCode code, std::uint64_t bad_vaddr)
+{
+    pending_trap_ = Trap{};
+    pending_trap_.code = code;
+    pending_trap_.epc = current_pc_;
+    pending_trap_.bad_vaddr = bad_vaddr;
+    pending_trap_.in_delay_slot = in_delay_slot_;
+    trap_pending_ = true;
+}
+
+void
+Cpu::raiseCap(CapCause cause, std::uint8_t cap_reg,
+              std::uint64_t bad_vaddr)
+{
+    raise(ExcCode::kCp2, bad_vaddr);
+    pending_trap_.cap_cause = cause;
+    pending_trap_.cap_reg = cap_reg;
+}
+
+void
+Cpu::branchTo(std::uint64_t target)
+{
+    next_pc_ = target;
+    branch_pending_ = true;
+}
+
+bool
+Cpu::checkedDataAccess(unsigned cap_index, std::uint64_t offset,
+                       unsigned size, bool is_store, bool is_cap,
+                       std::uint64_t &paddr_out)
+{
+    const cap::Capability &capr = caps_.read(cap_index);
+    std::uint32_t perm;
+    if (is_cap)
+        perm = is_store ? cap::kPermStoreCap : cap::kPermLoadCap;
+    else
+        perm = is_store ? cap::kPermStore : cap::kPermLoad;
+
+    std::uint64_t vaddr = cap::effectiveAddress(capr, offset);
+    CapCause cause =
+        cap::checkDataAccess(capr, offset, size, perm, is_cap);
+    if (cause != CapCause::kNone) {
+        raiseCap(cause, static_cast<std::uint8_t>(cap_index), vaddr);
+        return false;
+    }
+
+    if (!is_cap && vaddr % size != 0) {
+        raise(is_store ? ExcCode::kAddressErrorStore
+                       : ExcCode::kAddressErrorLoad,
+              vaddr);
+        return false;
+    }
+
+    tlb::Access access;
+    if (is_cap)
+        access = is_store ? tlb::Access::kCapStore : tlb::Access::kCapLoad;
+    else
+        access = is_store ? tlb::Access::kStore : tlb::Access::kLoad;
+
+    tlb::TlbResult result = tlb_.translate(vaddr, access);
+    cycles_ += result.penalty_cycles;
+    if (!result.ok()) {
+        switch (result.fault) {
+          case tlb::TlbFault::kNoMapping:
+          case tlb::TlbFault::kNotReadable:
+            raise(is_store ? ExcCode::kTlbStore : ExcCode::kTlbLoad,
+                  vaddr);
+            break;
+          case tlb::TlbFault::kNotWritable:
+            raise(ExcCode::kTlbModified, vaddr);
+            break;
+          case tlb::TlbFault::kCapLoadDenied:
+            raiseCap(CapCause::kTlbNoLoadCap,
+                     static_cast<std::uint8_t>(cap_index), vaddr);
+            break;
+          case tlb::TlbFault::kCapStoreDenied:
+            raiseCap(CapCause::kTlbNoStoreCap,
+                     static_cast<std::uint8_t>(cap_index), vaddr);
+            break;
+          default:
+            raise(ExcCode::kTlbLoad, vaddr);
+            break;
+        }
+        return false;
+    }
+    paddr_out = result.paddr;
+    return true;
+}
+
+Cpu::StepOutcome
+Cpu::step()
+{
+    StepOutcome outcome;
+    current_pc_ = pc_;
+    in_delay_slot_ = branch_pending_;
+
+    // A control transfer takes effect after its delay slot; the PCC
+    // swap of CJR/CJALR activates at the same moment.
+    if (pcc_swap_countdown_ > 0 && --pcc_swap_countdown_ == 0)
+        caps_.setPcc(pending_pcc_);
+
+    // --- fetch ---
+    CapCause fetch_cause = cap::checkFetch(caps_.pcc(), pc_);
+    if (fetch_cause != CapCause::kNone) {
+        raiseCap(fetch_cause, kCapRegPcc, pc_);
+        outcome.trapped = true;
+        return outcome;
+    }
+    if (pc_ % 4 != 0) {
+        raise(ExcCode::kAddressErrorLoad, pc_);
+        outcome.trapped = true;
+        return outcome;
+    }
+    tlb::TlbResult fetch_tr = tlb_.translate(pc_, tlb::Access::kFetch);
+    cycles_ += fetch_tr.penalty_cycles;
+    if (!fetch_tr.ok()) {
+        raise(ExcCode::kTlbLoad, pc_);
+        outcome.trapped = true;
+        return outcome;
+    }
+    // L1I hits overlap with the fetch stage; only the stall beyond
+    // the hit latency costs cycles.
+    std::uint64_t fetch_cycles = 0;
+    std::uint32_t word = memory_.fetch32(fetch_tr.paddr, fetch_cycles);
+    cycles_ += fetch_cycles > 0 ? fetch_cycles - 1 : 0;
+    Instruction inst = isa::decode(word);
+    if (trace_hook_)
+        trace_hook_(current_pc_, inst);
+
+    // --- advance control flow (branch targets land in next_pc_) ---
+    pc_ = next_pc_;
+    next_pc_ = pc_ + 4;
+    branch_pending_ = false;
+
+    // --- execute ---
+    syscall_taken_ = false;
+    execute(inst);
+    ++instructions_;
+    ++cycles_; // base CPI of 1
+
+    if (trap_pending_) {
+        outcome.trapped = true;
+        return outcome;
+    }
+    if (syscall_taken_ && syscall_action_.exit) {
+        outcome.exited = true;
+        outcome.exit_code = syscall_action_.exit_code;
+        return outcome;
+    }
+    if (inst.op == Opcode::kBreak)
+        outcome.hit_break = true;
+    return outcome;
+}
+
+RunResult
+Cpu::run(std::uint64_t max_instructions)
+{
+    RunResult result;
+    std::uint64_t start_insts = instructions_;
+    std::uint64_t start_cycles = cycles_;
+
+    // Never stop between a taken branch and its delay slot: the
+    // pending-branch state is microarchitectural, and a context
+    // switch restored via setPc() would lose the target. Run the
+    // delay slot before honouring the instruction limit, so every
+    // stop is at a clean commit boundary.
+    while (instructions_ - start_insts < max_instructions ||
+           branch_pending_) {
+        trap_pending_ = false;
+        StepOutcome outcome = step();
+        if (outcome.trapped) {
+            result.reason = StopReason::kTrap;
+            result.trap = pending_trap_;
+            break;
+        }
+        if (outcome.exited) {
+            result.reason = StopReason::kExited;
+            result.exit_code = outcome.exit_code;
+            break;
+        }
+        if (outcome.hit_break) {
+            result.reason = StopReason::kBreak;
+            break;
+        }
+    }
+    result.instructions = instructions_ - start_insts;
+    result.cycles = cycles_ - start_cycles;
+    return result;
+}
+
+void
+Cpu::execute(const Instruction &inst)
+{
+    std::uint64_t rs = gpr_[inst.rs];
+    std::uint64_t rt = gpr_[inst.rt];
+
+    switch (inst.op) {
+      // --- shifts ---
+      case Opcode::kSll:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, sext32(static_cast<std::uint32_t>(rt) << inst.sa));
+        break;
+      case Opcode::kSrl:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, sext32(static_cast<std::uint32_t>(rt) >> inst.sa));
+        break;
+      case Opcode::kSra:
+        stats_.add("inst.alu");
+        setGpr(inst.rd,
+               sext32(static_cast<std::uint32_t>(
+                   static_cast<std::int32_t>(rt) >> inst.sa)));
+        break;
+      case Opcode::kSllv:
+        stats_.add("inst.alu");
+        setGpr(inst.rd,
+               sext32(static_cast<std::uint32_t>(rt) << (rs & 31)));
+        break;
+      case Opcode::kSrlv:
+        stats_.add("inst.alu");
+        setGpr(inst.rd,
+               sext32(static_cast<std::uint32_t>(rt) >> (rs & 31)));
+        break;
+      case Opcode::kSrav:
+        stats_.add("inst.alu");
+        setGpr(inst.rd,
+               sext32(static_cast<std::uint32_t>(
+                   static_cast<std::int32_t>(rt) >>
+                   static_cast<int>(rs & 31))));
+        break;
+      case Opcode::kDsll:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, rt << inst.sa);
+        break;
+      case Opcode::kDsrl:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, rt >> inst.sa);
+        break;
+      case Opcode::kDsra:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(rt) >> inst.sa));
+        break;
+      case Opcode::kDsll32:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, rt << (inst.sa + 32));
+        break;
+      case Opcode::kDsrl32:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, rt >> (inst.sa + 32));
+        break;
+      case Opcode::kDsra32:
+        stats_.add("inst.alu");
+        setGpr(inst.rd,
+               static_cast<std::uint64_t>(static_cast<std::int64_t>(rt) >>
+                                          (inst.sa + 32)));
+        break;
+      case Opcode::kDsllv:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, rt << (rs & 63));
+        break;
+      case Opcode::kDsrlv:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, rt >> (rs & 63));
+        break;
+      case Opcode::kDsrav:
+        stats_.add("inst.alu");
+        setGpr(inst.rd,
+               static_cast<std::uint64_t>(static_cast<std::int64_t>(rt) >>
+                                          static_cast<int>(rs & 63)));
+        break;
+
+      // --- ALU register ---
+      case Opcode::kAddu:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, sext32(rs + rt));
+        break;
+      case Opcode::kDaddu:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, rs + rt);
+        break;
+      case Opcode::kSubu:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, sext32(rs - rt));
+        break;
+      case Opcode::kDsubu:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, rs - rt);
+        break;
+      case Opcode::kAnd:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, rs & rt);
+        break;
+      case Opcode::kOr:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, rs | rt);
+        break;
+      case Opcode::kXor:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, rs ^ rt);
+        break;
+      case Opcode::kNor:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, ~(rs | rt));
+        break;
+      case Opcode::kSlt:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, static_cast<std::int64_t>(rs) <
+                                static_cast<std::int64_t>(rt)
+                            ? 1
+                            : 0);
+        break;
+      case Opcode::kSltu:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, rs < rt ? 1 : 0);
+        break;
+      case Opcode::kMovz:
+        stats_.add("inst.alu");
+        if (rt == 0)
+            setGpr(inst.rd, rs);
+        break;
+      case Opcode::kMovn:
+        stats_.add("inst.alu");
+        if (rt != 0)
+            setGpr(inst.rd, rs);
+        break;
+      case Opcode::kDmult: {
+        stats_.add("inst.muldiv");
+        cycles_ += timing_.mult_cycles;
+        __int128 product = static_cast<__int128>(
+                               static_cast<std::int64_t>(rs)) *
+                           static_cast<std::int64_t>(rt);
+        lo_ = static_cast<std::uint64_t>(product);
+        hi_ = static_cast<std::uint64_t>(product >> 64);
+        break;
+      }
+      case Opcode::kDmultu: {
+        stats_.add("inst.muldiv");
+        cycles_ += timing_.mult_cycles;
+        unsigned __int128 product =
+            static_cast<unsigned __int128>(rs) * rt;
+        lo_ = static_cast<std::uint64_t>(product);
+        hi_ = static_cast<std::uint64_t>(product >> 64);
+        break;
+      }
+      case Opcode::kDdiv:
+        stats_.add("inst.muldiv");
+        cycles_ += timing_.div_cycles;
+        if (rt != 0) {
+            lo_ = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(rs) /
+                static_cast<std::int64_t>(rt));
+            hi_ = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(rs) %
+                static_cast<std::int64_t>(rt));
+        }
+        break;
+      case Opcode::kDdivu:
+        stats_.add("inst.muldiv");
+        cycles_ += timing_.div_cycles;
+        if (rt != 0) {
+            lo_ = rs / rt;
+            hi_ = rs % rt;
+        }
+        break;
+      case Opcode::kMfhi:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, hi_);
+        break;
+      case Opcode::kMflo:
+        stats_.add("inst.alu");
+        setGpr(inst.rd, lo_);
+        break;
+
+      // --- ALU immediate ---
+      case Opcode::kAddiu:
+        stats_.add("inst.alu");
+        setGpr(inst.rt, sext32(rs + static_cast<std::uint64_t>(
+                                        static_cast<std::int64_t>(
+                                            inst.imm))));
+        break;
+      case Opcode::kDaddiu:
+        stats_.add("inst.alu");
+        setGpr(inst.rt,
+               rs + static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(inst.imm)));
+        break;
+      case Opcode::kSlti:
+        stats_.add("inst.alu");
+        setGpr(inst.rt, static_cast<std::int64_t>(rs) < inst.imm ? 1 : 0);
+        break;
+      case Opcode::kSltiu:
+        stats_.add("inst.alu");
+        setGpr(inst.rt,
+               rs < static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(inst.imm))
+                   ? 1
+                   : 0);
+        break;
+      case Opcode::kAndi:
+        stats_.add("inst.alu");
+        setGpr(inst.rt, rs & (static_cast<std::uint32_t>(inst.imm) &
+                              0xffff));
+        break;
+      case Opcode::kOri:
+        stats_.add("inst.alu");
+        setGpr(inst.rt, rs | (static_cast<std::uint32_t>(inst.imm) &
+                              0xffff));
+        break;
+      case Opcode::kXori:
+        stats_.add("inst.alu");
+        setGpr(inst.rt, rs ^ (static_cast<std::uint32_t>(inst.imm) &
+                              0xffff));
+        break;
+      case Opcode::kLui:
+        stats_.add("inst.alu");
+        setGpr(inst.rt, signExtend(
+                            static_cast<std::uint64_t>(inst.imm & 0xffff)
+                                << 16,
+                            32));
+        break;
+
+      // --- control flow ---
+      case Opcode::kJ:
+        stats_.add("inst.branch");
+        branchTo(((current_pc_ + 4) & ~0x0fffffffULL) |
+                 (static_cast<std::uint64_t>(inst.target) << 2));
+        break;
+      case Opcode::kJal:
+        stats_.add("inst.branch");
+        setGpr(31, current_pc_ + 8);
+        branchTo(((current_pc_ + 4) & ~0x0fffffffULL) |
+                 (static_cast<std::uint64_t>(inst.target) << 2));
+        break;
+      case Opcode::kJr:
+        stats_.add("inst.branch");
+        branchTo(rs);
+        break;
+      case Opcode::kJalr:
+        stats_.add("inst.branch");
+        setGpr(inst.rd, current_pc_ + 8);
+        branchTo(rs);
+        break;
+      case Opcode::kBeq: {
+        stats_.add("inst.branch");
+        bool taken = rs == rt;
+        predictBranch(taken);
+        if (taken)
+            branchTo(current_pc_ + 4 +
+                     (static_cast<std::int64_t>(inst.imm) << 2));
+        break;
+      }
+      case Opcode::kBne: {
+        stats_.add("inst.branch");
+        bool taken = rs != rt;
+        predictBranch(taken);
+        if (taken)
+            branchTo(current_pc_ + 4 +
+                     (static_cast<std::int64_t>(inst.imm) << 2));
+        break;
+      }
+      case Opcode::kBlez: {
+        stats_.add("inst.branch");
+        bool taken = static_cast<std::int64_t>(rs) <= 0;
+        predictBranch(taken);
+        if (taken)
+            branchTo(current_pc_ + 4 +
+                     (static_cast<std::int64_t>(inst.imm) << 2));
+        break;
+      }
+      case Opcode::kBgtz: {
+        stats_.add("inst.branch");
+        bool taken = static_cast<std::int64_t>(rs) > 0;
+        predictBranch(taken);
+        if (taken)
+            branchTo(current_pc_ + 4 +
+                     (static_cast<std::int64_t>(inst.imm) << 2));
+        break;
+      }
+      case Opcode::kBltz: {
+        stats_.add("inst.branch");
+        bool taken = static_cast<std::int64_t>(rs) < 0;
+        predictBranch(taken);
+        if (taken)
+            branchTo(current_pc_ + 4 +
+                     (static_cast<std::int64_t>(inst.imm) << 2));
+        break;
+      }
+      case Opcode::kBgez: {
+        stats_.add("inst.branch");
+        bool taken = static_cast<std::int64_t>(rs) >= 0;
+        predictBranch(taken);
+        if (taken)
+            branchTo(current_pc_ + 4 +
+                     (static_cast<std::int64_t>(inst.imm) << 2));
+        break;
+      }
+      case Opcode::kSyscall:
+        stats_.add("inst.syscall");
+        if (syscall_handler_) {
+            syscall_action_ = syscall_handler_(*this);
+            syscall_taken_ = true;
+        } else {
+            raise(ExcCode::kSyscall);
+        }
+        break;
+      case Opcode::kBreak:
+        stats_.add("inst.break");
+        break;
+
+      // --- memory ---
+      case Opcode::kLb:
+      case Opcode::kLbu:
+      case Opcode::kLh:
+      case Opcode::kLhu:
+      case Opcode::kLw:
+      case Opcode::kLwu:
+      case Opcode::kLd:
+      case Opcode::kSb:
+      case Opcode::kSh:
+      case Opcode::kSw:
+      case Opcode::kSd:
+      case Opcode::kLld:
+      case Opcode::kScd:
+        executeMemory(inst);
+        break;
+
+      case Opcode::kInvalid:
+        raise(ExcCode::kReservedInstruction);
+        break;
+
+      default:
+        // All remaining opcodes are CP2 (CHERI) instructions.
+        if (!cp2_enabled_) {
+            raise(ExcCode::kCoprocessorUnusable);
+            break;
+        }
+        executeCp2(inst);
+        break;
+    }
+}
+
+void
+Cpu::executeMemory(const Instruction &inst)
+{
+    stats_.add("inst.mem");
+    unsigned size = 1u << isa::accessSizeLog2(inst.op);
+    // Legacy accesses are implicitly offset via C0 (Section 4.1): the
+    // integer address is an offset into the C0 segment.
+    std::uint64_t offset =
+        gpr_[inst.rs] +
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(inst.imm));
+    bool is_store = inst.op == Opcode::kSb || inst.op == Opcode::kSh ||
+                    inst.op == Opcode::kSw || inst.op == Opcode::kSd ||
+                    inst.op == Opcode::kScd;
+
+    if (inst.op == Opcode::kScd) {
+        std::uint64_t paddr = 0;
+        if (!checkedDataAccess(0, offset, size, true, false, paddr))
+            return;
+        if (ll_valid_ && ll_addr_ == paddr) {
+            std::uint64_t mem_cycles = 0;
+            memory_.write(paddr, size, gpr_[inst.rt], mem_cycles);
+            cycles_ += mem_cycles > 0 ? mem_cycles - 1 : 0;
+            setGpr(inst.rt, 1);
+        } else {
+            setGpr(inst.rt, 0);
+        }
+        ll_valid_ = false;
+        return;
+    }
+
+    std::uint64_t paddr = 0;
+    if (!checkedDataAccess(0, offset, size, is_store, false, paddr))
+        return;
+
+    std::uint64_t mem_cycles = 0;
+    if (is_store) {
+        memory_.write(paddr, size, gpr_[inst.rt], mem_cycles);
+        cycles_ += mem_cycles > 0 ? mem_cycles - 1 : 0;
+        // Any store to the monitored line breaks the reservation.
+        if (ll_valid_ && ll_addr_ == paddr)
+            ll_valid_ = false;
+        return;
+    }
+
+    std::uint64_t value = memory_.read(paddr, size, mem_cycles);
+    cycles_ += mem_cycles > 0 ? mem_cycles - 1 : 0;
+    if (!isa::loadIsUnsigned(inst.op) && size < 8)
+        value = static_cast<std::uint64_t>(
+            signExtend(value, size * 8));
+    setGpr(inst.rt, value);
+
+    if (inst.op == Opcode::kLld) {
+        ll_valid_ = true;
+        ll_addr_ = paddr;
+    }
+}
+
+void
+Cpu::executeCapMemory(const Instruction &inst)
+{
+    stats_.add("inst.capmem");
+    std::uint64_t offset =
+        gpr_[inst.rt] +
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(inst.imm));
+
+    if (inst.op == Opcode::kCLc || inst.op == Opcode::kCSc) {
+        bool is_store = inst.op == Opcode::kCSc;
+        std::uint64_t paddr = 0;
+        if (!checkedDataAccess(inst.cb, offset, mem::kLineBytes,
+                               is_store, true, paddr))
+            return;
+        std::uint64_t mem_cycles = 0;
+        if (is_store) {
+            const cap::Capability &src = caps_.read(inst.cd);
+            mem::TaggedLine line{src.raw(), src.tag()};
+            memory_.writeCapLine(paddr, line, mem_cycles);
+        } else {
+            mem::TaggedLine line =
+                memory_.readCapLine(paddr, mem_cycles);
+            caps_.write(inst.cd,
+                        cap::Capability::fromRaw(line.data, line.tag));
+        }
+        cycles_ += mem_cycles > 0 ? mem_cycles - 1 : 0;
+        return;
+    }
+
+    unsigned size = 1u << isa::accessSizeLog2(inst.op);
+    bool is_store = inst.op == Opcode::kCsb || inst.op == Opcode::kCsh ||
+                    inst.op == Opcode::kCsw || inst.op == Opcode::kCsd ||
+                    inst.op == Opcode::kCscd;
+
+    // Capability-relative data accesses must also be naturally
+    // aligned; enforce through the same alignment exception MIPS uses.
+    if (inst.op == Opcode::kCscd) {
+        std::uint64_t paddr = 0;
+        if (!checkedDataAccess(inst.cb, offset, size, true, false, paddr))
+            return;
+        if (ll_valid_ && ll_addr_ == paddr) {
+            std::uint64_t mem_cycles = 0;
+            memory_.write(paddr, size, gpr_[inst.rd], mem_cycles);
+            cycles_ += mem_cycles > 0 ? mem_cycles - 1 : 0;
+            setGpr(inst.rd, 1);
+        } else {
+            setGpr(inst.rd, 0);
+        }
+        ll_valid_ = false;
+        return;
+    }
+
+    std::uint64_t paddr = 0;
+    if (!checkedDataAccess(inst.cb, offset, size, is_store, false, paddr))
+        return;
+
+    std::uint64_t mem_cycles = 0;
+    if (is_store) {
+        memory_.write(paddr, size, gpr_[inst.rd], mem_cycles);
+        cycles_ += mem_cycles > 0 ? mem_cycles - 1 : 0;
+        if (ll_valid_ && ll_addr_ == paddr)
+            ll_valid_ = false;
+        return;
+    }
+
+    std::uint64_t value = memory_.read(paddr, size, mem_cycles);
+    cycles_ += mem_cycles > 0 ? mem_cycles - 1 : 0;
+    if (!isa::loadIsUnsigned(inst.op) && size < 8)
+        value = static_cast<std::uint64_t>(signExtend(value, size * 8));
+    setGpr(inst.rd, value);
+
+    if (inst.op == Opcode::kClld) {
+        ll_valid_ = true;
+        ll_addr_ = paddr;
+    }
+}
+
+void
+Cpu::executeCp2(const Instruction &inst)
+{
+    if (inst.isCapMemory()) {
+        executeCapMemory(inst);
+        return;
+    }
+    stats_.add("inst.cp2");
+
+    switch (inst.op) {
+      case Opcode::kCGetBase:
+        setGpr(inst.rd, caps_.read(inst.cb).base());
+        break;
+      case Opcode::kCGetLen:
+        setGpr(inst.rd, caps_.read(inst.cb).length());
+        break;
+      case Opcode::kCGetTag:
+        setGpr(inst.rd, caps_.read(inst.cb).tag() ? 1 : 0);
+        break;
+      case Opcode::kCGetPerm:
+        setGpr(inst.rd, caps_.read(inst.cb).perms());
+        break;
+      case Opcode::kCGetPcc:
+        caps_.write(inst.cd, caps_.pcc());
+        setGpr(inst.rd, current_pc_);
+        break;
+      case Opcode::kCIncBase: {
+        cap::CapOpResult result =
+            cap::incBase(caps_.read(inst.cb), gpr_[inst.rt]);
+        if (!result.ok()) {
+            raiseCap(result.cause, inst.cb);
+            break;
+        }
+        caps_.write(inst.cd, result.value);
+        break;
+      }
+      case Opcode::kCSetLen: {
+        cap::CapOpResult result =
+            cap::setLen(caps_.read(inst.cb), gpr_[inst.rt]);
+        if (!result.ok()) {
+            raiseCap(result.cause, inst.cb);
+            break;
+        }
+        caps_.write(inst.cd, result.value);
+        break;
+      }
+      case Opcode::kCClearTag: {
+        cap::Capability value = caps_.read(inst.cb);
+        value.clearTag();
+        caps_.write(inst.cd, value);
+        break;
+      }
+      case Opcode::kCAndPerm: {
+        cap::CapOpResult result = cap::andPerm(
+            caps_.read(inst.cb),
+            static_cast<std::uint32_t>(gpr_[inst.rt]));
+        if (!result.ok()) {
+            raiseCap(result.cause, inst.cb);
+            break;
+        }
+        caps_.write(inst.cd, result.value);
+        break;
+      }
+      case Opcode::kCToPtr:
+        setGpr(inst.rd,
+               cap::toPtr(caps_.read(inst.cb), caps_.read(inst.ct)));
+        break;
+      case Opcode::kCFromPtr: {
+        cap::CapOpResult result =
+            cap::fromPtr(caps_.read(inst.cb), gpr_[inst.rt]);
+        if (!result.ok()) {
+            raiseCap(result.cause, inst.cb);
+            break;
+        }
+        caps_.write(inst.cd, result.value);
+        break;
+      }
+      case Opcode::kCBtu: {
+        stats_.add("inst.branch");
+        bool taken = !caps_.read(inst.cb).tag();
+        predictBranch(taken);
+        if (taken)
+            branchTo(current_pc_ + 4 +
+                     (static_cast<std::int64_t>(inst.imm) << 2));
+        break;
+      }
+      case Opcode::kCBts: {
+        stats_.add("inst.branch");
+        bool taken = caps_.read(inst.cb).tag();
+        predictBranch(taken);
+        if (taken)
+            branchTo(current_pc_ + 4 +
+                     (static_cast<std::int64_t>(inst.imm) << 2));
+        break;
+      }
+      case Opcode::kCSeal: {
+        cap::CapOpResult result =
+            cap::seal(caps_.read(inst.cb), caps_.read(inst.ct));
+        if (!result.ok()) {
+            raiseCap(result.cause, inst.cb);
+            break;
+        }
+        caps_.write(inst.cd, result.value);
+        break;
+      }
+      case Opcode::kCUnseal: {
+        cap::CapOpResult result =
+            cap::unseal(caps_.read(inst.cb), caps_.read(inst.ct));
+        if (!result.ok()) {
+            raiseCap(result.cause, inst.cb);
+            break;
+        }
+        caps_.write(inst.cd, result.value);
+        break;
+      }
+      case Opcode::kCGetType: {
+        const cap::Capability &sealed_cap = caps_.read(inst.cb);
+        setGpr(inst.rd, sealed_cap.sealed() ? sealed_cap.otype()
+                                            : ~0ULL);
+        break;
+      }
+      case Opcode::kCCall:
+        // The prototype traps to the OS to emulate a protected
+        // procedure call (Section 11); the handler validates the
+        // sealed pair and performs the domain transition.
+        raise(ExcCode::kCCall);
+        pending_trap_.cap_reg = inst.cb;
+        pending_trap_.cap_reg2 = inst.ct;
+        break;
+      case Opcode::kCReturn:
+        raise(ExcCode::kCReturn);
+        break;
+      case Opcode::kCJr:
+      case Opcode::kCJalr: {
+        stats_.add("inst.branch");
+        const cap::Capability &target_cap = caps_.read(inst.cb);
+        if (!target_cap.tag()) {
+            raiseCap(CapCause::kTagViolation, inst.cb);
+            break;
+        }
+        if (target_cap.sealed()) {
+            raiseCap(CapCause::kSealViolation, inst.cb);
+            break;
+        }
+        if (!target_cap.hasPerms(cap::kPermExecute)) {
+            raiseCap(CapCause::kPermitExecuteViolation, inst.cb);
+            break;
+        }
+        std::uint64_t target = target_cap.base() + gpr_[inst.rt];
+        if (inst.op == Opcode::kCJalr) {
+            // Link: cd receives the caller's PCC; ra receives the
+            // return point as an offset within that PCC, so the
+            // return sequence is simply "cjr ra(cd)".
+            caps_.write(inst.cd, caps_.pcc());
+            setGpr(31, current_pc_ + 8 - caps_.pcc().base());
+        }
+        pending_pcc_ = target_cap;
+        pcc_swap_countdown_ = 2;
+        branchTo(target);
+        break;
+      }
+      default:
+        raise(ExcCode::kReservedInstruction);
+        break;
+    }
+}
+
+bool
+Cpu::debugRead(std::uint64_t vaddr, unsigned size, std::uint64_t &value)
+{
+    tlb::TlbResult result = tlb_.translate(vaddr, tlb::Access::kLoad);
+    if (!result.ok())
+        return false;
+    std::uint64_t scratch = 0;
+    value = memory_.read(result.paddr, size, scratch);
+    return true;
+}
+
+bool
+Cpu::debugWrite(std::uint64_t vaddr, unsigned size, std::uint64_t value)
+{
+    tlb::TlbResult result = tlb_.translate(vaddr, tlb::Access::kStore);
+    if (!result.ok())
+        return false;
+    std::uint64_t scratch = 0;
+    memory_.write(result.paddr, size, value, scratch);
+    return true;
+}
+
+bool
+Cpu::debugReadCap(std::uint64_t vaddr, cap::Capability &out)
+{
+    tlb::TlbResult result = tlb_.translate(vaddr, tlb::Access::kCapLoad);
+    if (!result.ok())
+        return false;
+    std::uint64_t scratch = 0;
+    mem::TaggedLine line = memory_.readCapLine(result.paddr, scratch);
+    out = cap::Capability::fromRaw(line.data, line.tag);
+    return true;
+}
+
+bool
+Cpu::debugWriteCap(std::uint64_t vaddr, const cap::Capability &value)
+{
+    tlb::TlbResult result = tlb_.translate(vaddr, tlb::Access::kCapStore);
+    if (!result.ok())
+        return false;
+    std::uint64_t scratch = 0;
+    memory_.writeCapLine(result.paddr,
+                         mem::TaggedLine{value.raw(), value.tag()},
+                         scratch);
+    return true;
+}
+
+} // namespace cheri::core

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * The BERI/CHERI processor model: a single-issue in-order 64-bit MIPS
+ * core with the CHERI capability coprocessor (CP2) tightly coupled to
+ * its execute and memory stages (Section 4.4). Functionally complete
+ * for the implemented subset; timing is cycle-accounted (CPI ~ 1 plus
+ * cache, TLB, multiply/divide penalties) rather than pipelined in
+ * detail — the substitution DESIGN.md documents for the paper's FPGA.
+ *
+ * Memory access order for a checked access (capability addressing
+ * happens before translation, Section 1):
+ *   1. capability check (tag, permissions, bounds) against the
+ *      explicit register or C0/PCC;
+ *   2. MIPS alignment check;
+ *   3. TLB translation, including the CHERI PTE capability bits;
+ *   4. cache-hierarchy access at the physical address.
+ */
+
+#ifndef CHERI_CORE_CPU_H
+#define CHERI_CORE_CPU_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "cap/cap_ops.h"
+#include "cap/reg_file.h"
+#include "core/exceptions.h"
+#include "isa/decoder.h"
+#include "support/stats.h"
+#include "tlb/tlb.h"
+
+namespace cheri::core
+{
+
+/** Timing parameters of the core (Section 4 / R4000 parity). */
+struct CpuTiming
+{
+    std::uint64_t mult_cycles = 8;
+    std::uint64_t div_cycles = 64;
+    /** Pipeline refill penalty for a mispredicted branch (BERI has a
+     *  branch predictor and a 6-stage pipeline, Section 4). */
+    std::uint64_t branch_mispredict_cycles = 3;
+    /** Bimodal predictor table entries (power of two). */
+    std::uint64_t predictor_entries = 512;
+};
+
+/** Why Cpu::run returned. */
+enum class StopReason
+{
+    kInstLimit, ///< executed the requested number of instructions
+    kExited,    ///< syscall handler requested exit
+    kTrap,      ///< unhandled guest exception (see Trap)
+    kBreak,     ///< BREAK instruction
+};
+
+/** Outcome of a run. */
+struct RunResult
+{
+    StopReason reason = StopReason::kInstLimit;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    Trap trap;            ///< valid when reason == kTrap
+    std::int64_t exit_code = 0; ///< valid when reason == kExited
+};
+
+/** What a syscall handler tells the CPU to do next. */
+struct SyscallAction
+{
+    bool exit = false;
+    std::int64_t exit_code = 0;
+};
+
+/**
+ * The processor. Owns architectural state (integer registers, HI/LO,
+ * PC, the CP2 capability register file); references the shared TLB
+ * and cache hierarchy.
+ */
+class Cpu
+{
+  public:
+    /**
+     * Syscall upcall: invoked on SYSCALL with full access to the CPU;
+     * the OS layer reads/writes registers and memory through it.
+     */
+    using SyscallHandler = std::function<SyscallAction(Cpu &)>;
+
+    Cpu(cache::CacheHierarchy &memory, tlb::Tlb &tlb,
+        CpuTiming timing = {});
+
+    // --- architectural state ---
+    std::uint64_t gpr(unsigned index) const { return gpr_[index]; }
+    void setGpr(unsigned index, std::uint64_t value);
+    std::uint64_t pc() const { return pc_; }
+    /** Reset the flow of control (clears any pending delay slot). */
+    void setPc(std::uint64_t pc);
+    cap::CapRegFile &caps() { return caps_; }
+    const cap::CapRegFile &caps() const { return caps_; }
+    std::uint64_t hi() const { return hi_; }
+    std::uint64_t lo() const { return lo_; }
+
+    /** Enable/disable CP2 (disabled => CHERI opcodes trap). */
+    void setCp2Enabled(bool enabled) { cp2_enabled_ = enabled; }
+    bool cp2Enabled() const { return cp2_enabled_; }
+
+    void setSyscallHandler(SyscallHandler handler)
+    {
+        syscall_handler_ = std::move(handler);
+    }
+
+    /**
+     * Per-instruction observer invoked after fetch/decode with the pc
+     * and decoded instruction (tracing, debuggers, coverage). Pass an
+     * empty function to disable.
+     */
+    using TraceHook =
+        std::function<void(std::uint64_t pc, const isa::Instruction &)>;
+    void setTraceHook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
+    /** Run up to max_instructions; stops early on exit/trap/break. */
+    RunResult run(std::uint64_t max_instructions);
+
+    /** Cycles accumulated over the CPU's lifetime. */
+    std::uint64_t totalCycles() const { return cycles_; }
+    /** Charge extra cycles (OS emulation of trapped instructions). */
+    void chargeCycles(std::uint64_t cycles) { cycles_ += cycles; }
+    /** Instructions retired over the CPU's lifetime. */
+    std::uint64_t totalInstructions() const { return instructions_; }
+
+    /** Per-opcode-class counters ("inst.alu", "inst.mem", ...). */
+    const support::StatSet &stats() const { return stats_; }
+
+    /**
+     * Untimed virtual-memory access helpers for the OS layer and
+     * tests. They traverse the TLB (without charging penalties) and
+     * the cache hierarchy, so they stay coherent with guest accesses.
+     */
+    bool debugRead(std::uint64_t vaddr, unsigned size,
+                   std::uint64_t &value);
+    bool debugWrite(std::uint64_t vaddr, unsigned size,
+                    std::uint64_t value);
+    bool debugReadCap(std::uint64_t vaddr, cap::Capability &out);
+    bool debugWriteCap(std::uint64_t vaddr, const cap::Capability &value);
+
+  private:
+    struct StepOutcome
+    {
+        bool trapped = false;
+        bool exited = false;
+        bool hit_break = false;
+        std::int64_t exit_code = 0;
+    };
+
+    StepOutcome step();
+
+    /** Raise a guest exception for the instruction at epc. */
+    void raise(ExcCode code, std::uint64_t bad_vaddr = 0);
+    void raiseCap(cap::CapCause cause, std::uint8_t cap_reg,
+                  std::uint64_t bad_vaddr = 0);
+
+    /**
+     * Checked data access through capability register index (or the
+     * almighty-equivalent conventions for legacy ops via C0). Returns
+     * false after raising the appropriate exception.
+     */
+    bool checkedDataAccess(unsigned cap_index, std::uint64_t offset,
+                           unsigned size, bool is_store, bool is_cap,
+                           std::uint64_t &paddr_out);
+
+    void execute(const isa::Instruction &inst);
+    void executeCp2(const isa::Instruction &inst);
+    void executeMemory(const isa::Instruction &inst);
+    void executeCapMemory(const isa::Instruction &inst);
+
+    void branchTo(std::uint64_t target);
+
+    /**
+     * Consult/train the bimodal predictor for a conditional branch at
+     * the current pc and charge the misprediction penalty when the
+     * prediction disagrees with 'taken'.
+     */
+    void predictBranch(bool taken);
+
+    cache::CacheHierarchy &memory_;
+    tlb::Tlb &tlb_;
+    CpuTiming timing_;
+
+    std::array<std::uint64_t, 32> gpr_{};
+    std::uint64_t hi_ = 0, lo_ = 0;
+    std::uint64_t pc_ = 0;
+    std::uint64_t next_pc_ = 4;
+    cap::CapRegFile caps_;
+
+    bool cp2_enabled_ = true;
+
+    // LL/SC monitor (single core: address match only).
+    bool ll_valid_ = false;
+    std::uint64_t ll_addr_ = 0;
+
+    /** Bimodal 2-bit branch predictor (0..3; >=2 predicts taken). */
+    std::vector<std::uint8_t> predictor_;
+
+    std::uint64_t cycles_ = 0;
+    std::uint64_t instructions_ = 0;
+
+    // Per-step bookkeeping.
+    std::uint64_t current_pc_ = 0;   ///< pc of the executing instruction
+    bool in_delay_slot_ = false;
+    bool branch_pending_ = false;
+
+    // CJR/CJALR swap PCC when control reaches the target (after the
+    // delay slot); countdown 2 -> 1 -> apply.
+    unsigned pcc_swap_countdown_ = 0;
+    cap::Capability pending_pcc_;
+
+    Trap pending_trap_;
+    bool trap_pending_ = false;
+
+    SyscallHandler syscall_handler_;
+    SyscallAction syscall_action_;
+    bool syscall_taken_ = false;
+    TraceHook trace_hook_;
+
+    support::StatSet stats_;
+};
+
+} // namespace cheri::core
+
+#endif // CHERI_CORE_CPU_H

@@ -1,0 +1,82 @@
+#include "core/debugger.h"
+
+namespace cheri::core
+{
+
+namespace
+{
+constexpr std::size_t kRecentPcLimit = 32;
+} // namespace
+
+Debugger::Debugger(Cpu &cpu) : cpu_(cpu)
+{
+    cpu_.setTraceHook(
+        [this](std::uint64_t pc, const isa::Instruction &inst) {
+            onInstruction(pc, inst);
+        });
+}
+
+Debugger::~Debugger()
+{
+    cpu_.setTraceHook({});
+}
+
+void
+Debugger::onInstruction(std::uint64_t pc, const isa::Instruction &)
+{
+    if (recent_pcs_.size() >= kRecentPcLimit)
+        recent_pcs_.erase(recent_pcs_.begin());
+    recent_pcs_.push_back(pc);
+}
+
+RunResult
+Debugger::step()
+{
+    return cpu_.run(1);
+}
+
+DebugRunResult
+Debugger::run(std::uint64_t max_instructions)
+{
+    DebugRunResult result;
+
+    // Snapshot the watched registers.
+    std::vector<std::pair<unsigned, cap::Capability>> watched;
+    for (unsigned index : watched_)
+        watched.emplace_back(index, cpu_.caps().read(index));
+
+    for (std::uint64_t executed = 0; executed < max_instructions;
+         ++executed) {
+        // Breakpoints fire before the instruction executes — except
+        // immediately after stopping at one, so run() can resume.
+        if (breakpoints_.count(cpu_.pc()) != 0 && executed > 0) {
+            result.stop = DebugStop::kBreakpoint;
+            result.stop_pc = cpu_.pc();
+            return result;
+        }
+        result.cpu = cpu_.run(1);
+        if (result.cpu.reason != StopReason::kInstLimit) {
+            result.stop = DebugStop::kCpuStopped;
+            result.stop_pc =
+                recent_pcs_.empty() ? cpu_.pc() : recent_pcs_.back();
+            return result;
+        }
+
+        for (auto &[index, old_value] : watched) {
+            const cap::Capability &now = cpu_.caps().read(index);
+            if (!(now == old_value)) {
+                result.stop = DebugStop::kCapWrite;
+                result.cap_reg = index;
+                result.stop_pc = recent_pcs_.empty()
+                                     ? cpu_.pc()
+                                     : recent_pcs_.back();
+                return result;
+            }
+        }
+    }
+    result.stop = DebugStop::kCpuStopped;
+    result.stop_pc = cpu_.pc();
+    return result;
+}
+
+} // namespace cheri::core

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A small debugger over the CPU's trace hook: PC breakpoints,
+ * single-stepping, and capability-register watch — the kind of
+ * bring-up tooling the BERI/CHERI project shipped alongside the soft
+ * core. Purely host-side; the guest cannot observe it.
+ */
+
+#ifndef CHERI_CORE_DEBUGGER_H
+#define CHERI_CORE_DEBUGGER_H
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cpu.h"
+
+namespace cheri::core
+{
+
+/** Why Debugger::run stopped. */
+enum class DebugStop
+{
+    kBreakpoint, ///< hit a PC breakpoint
+    kCapWrite,   ///< a watched capability register changed
+    kCpuStopped, ///< the CPU stopped itself (exit/trap/break/limit)
+};
+
+/** Result of a debugger-controlled run. */
+struct DebugRunResult
+{
+    DebugStop stop = DebugStop::kCpuStopped;
+    /** PC of the instruction that triggered the stop. */
+    std::uint64_t stop_pc = 0;
+    /** Watched register that changed (kCapWrite only). */
+    unsigned cap_reg = 0;
+    /** The underlying CPU result for the final segment. */
+    RunResult cpu;
+};
+
+/**
+ * Attaches to a Cpu by installing a trace hook; detaches (restoring
+ * nothing — the hook slot is owned by the debugger while alive) on
+ * destruction. Breakpoints take effect before the instruction at the
+ * breakpoint executes.
+ */
+class Debugger
+{
+  public:
+    explicit Debugger(Cpu &cpu);
+    ~Debugger();
+
+    Debugger(const Debugger &) = delete;
+    Debugger &operator=(const Debugger &) = delete;
+
+    /** Add/remove a PC breakpoint. */
+    void setBreakpoint(std::uint64_t pc) { breakpoints_.insert(pc); }
+    void clearBreakpoint(std::uint64_t pc) { breakpoints_.erase(pc); }
+
+    /**
+     * Watch a capability register: run() stops after any instruction
+     * that changes its value (including its tag).
+     */
+    void watchCapReg(unsigned index) { watched_.insert(index); }
+
+    /** Execute exactly one instruction. */
+    RunResult step();
+
+    /**
+     * Run until a breakpoint/watch fires or the CPU stops, up to
+     * max_instructions.
+     */
+    DebugRunResult run(std::uint64_t max_instructions = 1'000'000);
+
+    /** PCs executed since attach (bounded ring of the last 32). */
+    const std::vector<std::uint64_t> &recentPcs() const
+    {
+        return recent_pcs_;
+    }
+
+  private:
+    void onInstruction(std::uint64_t pc, const isa::Instruction &inst);
+
+    Cpu &cpu_;
+    std::unordered_set<std::uint64_t> breakpoints_;
+    std::unordered_set<unsigned> watched_;
+    std::vector<std::uint64_t> recent_pcs_;
+
+    // Hook-to-run communication.
+    bool break_armed_ = false;
+    bool break_hit_ = false;
+    std::uint64_t break_pc_ = 0;
+};
+
+} // namespace cheri::core
+
+#endif // CHERI_CORE_DEBUGGER_H

@@ -1,0 +1,50 @@
+#include "core/exceptions.h"
+
+#include "support/logging.h"
+
+namespace cheri::core
+{
+
+const char *
+excCodeName(ExcCode code)
+{
+    switch (code) {
+      case ExcCode::kNone: return "none";
+      case ExcCode::kTlbLoad: return "TLB (load/fetch)";
+      case ExcCode::kTlbStore: return "TLB (store)";
+      case ExcCode::kTlbModified: return "TLB modified";
+      case ExcCode::kAddressErrorLoad: return "address error (load)";
+      case ExcCode::kAddressErrorStore: return "address error (store)";
+      case ExcCode::kSyscall: return "syscall";
+      case ExcCode::kBreakpoint: return "breakpoint";
+      case ExcCode::kReservedInstruction: return "reserved instruction";
+      case ExcCode::kCoprocessorUnusable: return "coprocessor unusable";
+      case ExcCode::kCp2: return "capability exception";
+      case ExcCode::kCCall: return "CCall trap";
+      case ExcCode::kCReturn: return "CReturn trap";
+    }
+    return "unknown";
+}
+
+std::string
+Trap::toString() const
+{
+    if (code == ExcCode::kCp2) {
+        return support::format(
+            "capability exception: %s (reg %s%u) at pc 0x%llx vaddr "
+            "0x%llx%s",
+            cap::capCauseName(cap_cause),
+            cap_reg == kCapRegPcc ? "PCC/" : "c",
+            cap_reg == kCapRegPcc ? 0u : cap_reg,
+            static_cast<unsigned long long>(epc),
+            static_cast<unsigned long long>(bad_vaddr),
+            in_delay_slot ? " (delay slot)" : "");
+    }
+    return support::format(
+        "%s at pc 0x%llx vaddr 0x%llx%s", excCodeName(code),
+        static_cast<unsigned long long>(epc),
+        static_cast<unsigned long long>(bad_vaddr),
+        in_delay_slot ? " (delay slot)" : "");
+}
+
+} // namespace cheri::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Guest-visible exception model: MIPS-style cause codes plus the CP2
+ * capability cause (CapCause + offending register), mirroring how the
+ * paper's coprocessor delivers capability faults into the MIPS
+ * exception path.
+ */
+
+#ifndef CHERI_CORE_EXCEPTIONS_H
+#define CHERI_CORE_EXCEPTIONS_H
+
+#include <cstdint>
+#include <string>
+
+#include "cap/cap_cause.h"
+
+namespace cheri::core
+{
+
+/** MIPS-style exception codes (subset the emulator can raise). */
+enum class ExcCode
+{
+    kNone,
+    kTlbLoad,          ///< TLB miss / invalid on a load or fetch
+    kTlbStore,         ///< TLB miss / invalid on a store
+    kTlbModified,      ///< store to a read-only page
+    kAddressErrorLoad, ///< unaligned load / fetch
+    kAddressErrorStore,///< unaligned store
+    kSyscall,
+    kBreakpoint,
+    kReservedInstruction,
+    kCoprocessorUnusable, ///< CP2 instruction with CP2 disabled
+    kCp2,              ///< capability exception (see cap_cause)
+    /** CCall trap: the protected procedure-call instruction traps to
+     *  the OS, which emulates the domain transition (Section 11). */
+    kCCall,
+    /** CReturn trap: the matching protected return. */
+    kCReturn,
+};
+
+/** Human-readable exception-code name. */
+const char *excCodeName(ExcCode code);
+
+/** Full description of a delivered guest exception. */
+struct Trap
+{
+    ExcCode code = ExcCode::kNone;
+    /** Capability cause when code == kCp2. */
+    cap::CapCause cap_cause = cap::CapCause::kNone;
+    /** Capability register at fault when code == kCp2 (0xff = PCC);
+     *  for kCCall, the sealed code-capability register. */
+    std::uint8_t cap_reg = 0;
+    /** For kCCall: the sealed data-capability register. */
+    std::uint8_t cap_reg2 = 0;
+    /** PC of the faulting instruction. */
+    std::uint64_t epc = 0;
+    /** Faulting virtual address for memory exceptions. */
+    std::uint64_t bad_vaddr = 0;
+    /** Whether the fault hit in a branch delay slot. */
+    bool in_delay_slot = false;
+
+    /** Diagnostic rendering. */
+    std::string toString() const;
+};
+
+/** Register-number value meaning "the fault was against PCC". */
+constexpr std::uint8_t kCapRegPcc = 0xff;
+
+} // namespace cheri::core
+
+#endif // CHERI_CORE_EXCEPTIONS_H

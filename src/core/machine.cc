@@ -1,0 +1,62 @@
+#include "core/machine.h"
+
+#include "support/logging.h"
+
+namespace cheri::core
+{
+
+Machine::Machine(MachineConfig config)
+    : config_(config), dram_(config.dram_bytes), tags_(config.dram_bytes),
+      tag_manager_(dram_, tags_, config.tag_cache),
+      hierarchy_(tag_manager_, config.caches), page_table_(),
+      tlb_(page_table_, config.tlb), cpu_(hierarchy_, tlb_, config.timing)
+{
+}
+
+std::uint64_t
+Machine::allocFrame()
+{
+    std::uint64_t frames = config_.dram_bytes / tlb::kPageBytes;
+    if (next_frame_ >= frames)
+        support::fatal("out of physical frames (%llu allocated)",
+                       static_cast<unsigned long long>(next_frame_));
+    return next_frame_++;
+}
+
+void
+Machine::mapRange(std::uint64_t vaddr, std::uint64_t bytes,
+                  tlb::PteFlags flags)
+{
+    std::uint64_t first_vpn = vaddr / tlb::kPageBytes;
+    std::uint64_t last_vpn = (vaddr + bytes - 1) / tlb::kPageBytes;
+    for (std::uint64_t vpn = first_vpn; vpn <= last_vpn; ++vpn) {
+        if (!page_table_.lookup(vpn))
+            page_table_.map(vpn, allocFrame(), flags);
+    }
+}
+
+void
+Machine::loadProgram(std::uint64_t vaddr,
+                     const std::vector<std::uint32_t> &words)
+{
+    if (vaddr % 4 != 0)
+        support::fatal("program load address 0x%llx not word aligned",
+                       static_cast<unsigned long long>(vaddr));
+    mapRange(vaddr, words.size() * 4);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        std::uint64_t va = vaddr + i * 4;
+        auto pte = page_table_.lookup(va / tlb::kPageBytes);
+        std::uint64_t paddr =
+            pte->pfn * tlb::kPageBytes + va % tlb::kPageBytes;
+        dram_.write(paddr, 4, words[i]);
+    }
+}
+
+void
+Machine::reset(std::uint64_t entry_pc)
+{
+    cpu_.setPc(entry_pc);
+    cpu_.caps() = cap::CapRegFile(); // all registers almighty
+}
+
+} // namespace cheri::core

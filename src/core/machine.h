@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Machine facade: wires DRAM, the tag table and tag manager, the
+ * cache hierarchy, the page table and TLB, and the CPU into one
+ * CHERI system, and provides the loader conveniences the OS layer,
+ * examples and tests build on.
+ */
+
+#ifndef CHERI_CORE_MACHINE_H
+#define CHERI_CORE_MACHINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "core/cpu.h"
+#include "mem/physical_memory.h"
+#include "mem/tag_manager.h"
+#include "mem/tag_table.h"
+#include "tlb/page_table.h"
+#include "tlb/tlb.h"
+
+namespace cheri::core
+{
+
+/** Top-level machine parameters. */
+struct MachineConfig
+{
+    std::uint64_t dram_bytes = 64 * 1024 * 1024;
+    mem::TagCacheConfig tag_cache;
+    cache::HierarchyConfig caches;
+    tlb::TlbConfig tlb;
+    CpuTiming timing;
+};
+
+/** A complete emulated CHERI system. */
+class Machine
+{
+  public:
+    explicit Machine(MachineConfig config = {});
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    mem::PhysicalMemory &dram() { return dram_; }
+    mem::TagTable &tagTable() { return tags_; }
+    mem::TagManager &tagManager() { return tag_manager_; }
+    cache::CacheHierarchy &memory() { return hierarchy_; }
+    tlb::PageTable &pageTable() { return page_table_; }
+    tlb::Tlb &tlb() { return tlb_; }
+    Cpu &cpu() { return cpu_; }
+
+    /** Allocate one physical frame (bump allocator); returns pfn. */
+    std::uint64_t allocFrame();
+
+    /**
+     * Map [vaddr, vaddr+bytes) with fresh frames and the given flags;
+     * pages already mapped are left untouched.
+     */
+    void mapRange(std::uint64_t vaddr, std::uint64_t bytes,
+                  tlb::PteFlags flags = {});
+
+    /**
+     * Load a program image at vaddr: maps executable pages and writes
+     * the words straight into DRAM (before caches warm, so the L1I
+     * never observes stale lines).
+     */
+    void loadProgram(std::uint64_t vaddr,
+                     const std::vector<std::uint32_t> &words);
+
+    /** Point the CPU at an entry point with a fresh register state. */
+    void reset(std::uint64_t entry_pc);
+
+  private:
+    MachineConfig config_;
+    mem::PhysicalMemory dram_;
+    mem::TagTable tags_;
+    mem::TagManager tag_manager_;
+    cache::CacheHierarchy hierarchy_;
+    tlb::PageTable page_table_;
+    tlb::Tlb tlb_;
+    Cpu cpu_;
+    std::uint64_t next_frame_ = 0;
+};
+
+} // namespace cheri::core
+
+#endif // CHERI_CORE_MACHINE_H

@@ -1,0 +1,379 @@
+#include "isa/assembler.h"
+
+#include "support/logging.h"
+
+namespace cheri::isa
+{
+
+using namespace encode;
+
+Assembler::Assembler(std::uint64_t base_addr) : base_addr_(base_addr)
+{
+    if (base_addr % 4 != 0)
+        support::fatal("code base address 0x%llx must be word aligned",
+                       static_cast<unsigned long long>(base_addr));
+}
+
+Assembler::Label
+Assembler::newLabel()
+{
+    Label label{static_cast<unsigned>(label_offsets_.size())};
+    label_offsets_.push_back(-1);
+    return label;
+}
+
+void
+Assembler::bind(Label label)
+{
+    if (label.id >= label_offsets_.size())
+        support::panic("bind of unknown label %u", label.id);
+    if (label_offsets_[label.id] >= 0)
+        support::panic("label %u bound twice", label.id);
+    label_offsets_[label.id] = static_cast<std::int64_t>(words_.size());
+}
+
+std::uint64_t
+Assembler::here() const
+{
+    return base_addr_ + words_.size() * 4;
+}
+
+void
+Assembler::emit(std::uint32_t word)
+{
+    if (finished_)
+        support::panic("emit after finish()");
+    words_.push_back(word);
+}
+
+std::vector<std::uint32_t>
+Assembler::finish()
+{
+    finished_ = true;
+    for (const Fixup &fixup : fixups_) {
+        if (label_offsets_[fixup.label_id] < 0)
+            support::panic("label %u never bound", fixup.label_id);
+        std::int64_t target = label_offsets_[fixup.label_id];
+        std::int64_t source = static_cast<std::int64_t>(fixup.word_index);
+        std::uint32_t &word = words_[fixup.word_index];
+        if (fixup.kind == FixupKind::kBranch16) {
+            // Branch offsets are in words relative to the delay slot.
+            std::int64_t delta = target - (source + 1);
+            if (delta < -(1 << 15) || delta >= (1 << 15))
+                support::panic("branch to label %u out of range (%lld)",
+                               fixup.label_id,
+                               static_cast<long long>(delta));
+            word = (word & 0xffff0000u) |
+                   (static_cast<std::uint32_t>(delta) & 0xffff);
+        } else {
+            std::uint64_t addr =
+                base_addr_ + static_cast<std::uint64_t>(target) * 4;
+            word = (word & 0xfc000000u) |
+                   (static_cast<std::uint32_t>(addr >> 2) & 0x03ffffff);
+        }
+    }
+    return words_;
+}
+
+void
+Assembler::move(unsigned rd, unsigned rs)
+{
+    or_(rd, rs, reg::zero);
+}
+
+void
+Assembler::li(unsigned rd, std::int32_t value)
+{
+    if (value >= -32768 && value <= 32767) {
+        daddiu(rd, reg::zero, value);
+    } else {
+        lui(rd, static_cast<std::int16_t>(value >> 16));
+        if (value & 0xffff)
+            ori(rd, rd, static_cast<std::uint32_t>(value) & 0xffff);
+    }
+}
+
+void
+Assembler::li64(unsigned rd, std::uint64_t value)
+{
+    std::int64_t sval = static_cast<std::int64_t>(value);
+    if (sval >= INT32_MIN && sval <= INT32_MAX) {
+        li(rd, static_cast<std::int32_t>(sval));
+        return;
+    }
+    // Build from the top: lui high, or in pieces with shifts.
+    lui(rd, static_cast<std::int16_t>(value >> 48));
+    ori(rd, rd, (value >> 32) & 0xffff);
+    dsll(rd, rd, 16);
+    ori(rd, rd, (value >> 16) & 0xffff);
+    dsll(rd, rd, 16);
+    ori(rd, rd, value & 0xffff);
+}
+
+void
+Assembler::b(Label label)
+{
+    beq(reg::zero, reg::zero, label);
+}
+
+void Assembler::sll(unsigned rd, unsigned rt, unsigned sa)
+{ emit(alu(Opcode::kSll, rd, 0, rt, sa)); }
+void Assembler::srl(unsigned rd, unsigned rt, unsigned sa)
+{ emit(alu(Opcode::kSrl, rd, 0, rt, sa)); }
+void Assembler::sra(unsigned rd, unsigned rt, unsigned sa)
+{ emit(alu(Opcode::kSra, rd, 0, rt, sa)); }
+void Assembler::dsll(unsigned rd, unsigned rt, unsigned sa)
+{ emit(alu(Opcode::kDsll, rd, 0, rt, sa)); }
+void Assembler::dsrl(unsigned rd, unsigned rt, unsigned sa)
+{ emit(alu(Opcode::kDsrl, rd, 0, rt, sa)); }
+void Assembler::dsra(unsigned rd, unsigned rt, unsigned sa)
+{ emit(alu(Opcode::kDsra, rd, 0, rt, sa)); }
+void Assembler::dsll32(unsigned rd, unsigned rt, unsigned sa)
+{ emit(alu(Opcode::kDsll32, rd, 0, rt, sa)); }
+void Assembler::dsrl32(unsigned rd, unsigned rt, unsigned sa)
+{ emit(alu(Opcode::kDsrl32, rd, 0, rt, sa)); }
+void Assembler::sllv(unsigned rd, unsigned rt, unsigned rs)
+{ emit(alu(Opcode::kSllv, rd, rs, rt)); }
+void Assembler::srlv(unsigned rd, unsigned rt, unsigned rs)
+{ emit(alu(Opcode::kSrlv, rd, rs, rt)); }
+void Assembler::srav(unsigned rd, unsigned rt, unsigned rs)
+{ emit(alu(Opcode::kSrav, rd, rs, rt)); }
+void Assembler::dsllv(unsigned rd, unsigned rt, unsigned rs)
+{ emit(alu(Opcode::kDsllv, rd, rs, rt)); }
+void Assembler::dsrlv(unsigned rd, unsigned rt, unsigned rs)
+{ emit(alu(Opcode::kDsrlv, rd, rs, rt)); }
+void Assembler::dsrav(unsigned rd, unsigned rt, unsigned rs)
+{ emit(alu(Opcode::kDsrav, rd, rs, rt)); }
+
+void Assembler::addu(unsigned rd, unsigned rs, unsigned rt)
+{ emit(alu(Opcode::kAddu, rd, rs, rt)); }
+void Assembler::daddu(unsigned rd, unsigned rs, unsigned rt)
+{ emit(alu(Opcode::kDaddu, rd, rs, rt)); }
+void Assembler::subu(unsigned rd, unsigned rs, unsigned rt)
+{ emit(alu(Opcode::kSubu, rd, rs, rt)); }
+void Assembler::dsubu(unsigned rd, unsigned rs, unsigned rt)
+{ emit(alu(Opcode::kDsubu, rd, rs, rt)); }
+void Assembler::and_(unsigned rd, unsigned rs, unsigned rt)
+{ emit(alu(Opcode::kAnd, rd, rs, rt)); }
+void Assembler::or_(unsigned rd, unsigned rs, unsigned rt)
+{ emit(alu(Opcode::kOr, rd, rs, rt)); }
+void Assembler::xor_(unsigned rd, unsigned rs, unsigned rt)
+{ emit(alu(Opcode::kXor, rd, rs, rt)); }
+void Assembler::nor(unsigned rd, unsigned rs, unsigned rt)
+{ emit(alu(Opcode::kNor, rd, rs, rt)); }
+void Assembler::slt(unsigned rd, unsigned rs, unsigned rt)
+{ emit(alu(Opcode::kSlt, rd, rs, rt)); }
+void Assembler::sltu(unsigned rd, unsigned rs, unsigned rt)
+{ emit(alu(Opcode::kSltu, rd, rs, rt)); }
+void Assembler::movz(unsigned rd, unsigned rs, unsigned rt)
+{ emit(alu(Opcode::kMovz, rd, rs, rt)); }
+void Assembler::movn(unsigned rd, unsigned rs, unsigned rt)
+{ emit(alu(Opcode::kMovn, rd, rs, rt)); }
+void Assembler::dmult(unsigned rs, unsigned rt)
+{ emit(alu(Opcode::kDmult, 0, rs, rt)); }
+void Assembler::dmultu(unsigned rs, unsigned rt)
+{ emit(alu(Opcode::kDmultu, 0, rs, rt)); }
+void Assembler::ddiv(unsigned rs, unsigned rt)
+{ emit(alu(Opcode::kDdiv, 0, rs, rt)); }
+void Assembler::ddivu(unsigned rs, unsigned rt)
+{ emit(alu(Opcode::kDdivu, 0, rs, rt)); }
+void Assembler::mfhi(unsigned rd) { emit(alu(Opcode::kMfhi, rd, 0, 0)); }
+void Assembler::mflo(unsigned rd) { emit(alu(Opcode::kMflo, rd, 0, 0)); }
+
+void Assembler::addiu(unsigned rt, unsigned rs, std::int32_t imm)
+{ emit(iType(kMajAddiu, rs, rt, imm)); }
+void Assembler::daddiu(unsigned rt, unsigned rs, std::int32_t imm)
+{ emit(iType(kMajDaddiu, rs, rt, imm)); }
+void Assembler::slti(unsigned rt, unsigned rs, std::int32_t imm)
+{ emit(iType(kMajSlti, rs, rt, imm)); }
+void Assembler::sltiu(unsigned rt, unsigned rs, std::int32_t imm)
+{ emit(iType(kMajSltiu, rs, rt, imm)); }
+
+void
+Assembler::andi(unsigned rt, unsigned rs, std::uint32_t imm)
+{
+    if (imm > 0xffff)
+        support::panic("andi immediate 0x%x too wide", imm);
+    emit((kMajAndi << 26) | (rs << 21) | (rt << 16) | imm);
+}
+
+void
+Assembler::ori(unsigned rt, unsigned rs, std::uint32_t imm)
+{
+    if (imm > 0xffff)
+        support::panic("ori immediate 0x%x too wide", imm);
+    emit((kMajOri << 26) | (rs << 21) | (rt << 16) | imm);
+}
+
+void
+Assembler::xori(unsigned rt, unsigned rs, std::uint32_t imm)
+{
+    if (imm > 0xffff)
+        support::panic("xori immediate 0x%x too wide", imm);
+    emit((kMajXori << 26) | (rs << 21) | (rt << 16) | imm);
+}
+
+void Assembler::lui(unsigned rt, std::int32_t imm)
+{ emit(iType(kMajLui, 0, rt, imm)); }
+
+void
+Assembler::branch(unsigned opcode, unsigned rs, unsigned rt, Label label)
+{
+    fixups_.push_back(
+        {words_.size(), label.id, FixupKind::kBranch16});
+    emit(iType(opcode, rs, rt, 0));
+}
+
+void
+Assembler::regimm(unsigned sel, unsigned rs, Label label)
+{
+    fixups_.push_back(
+        {words_.size(), label.id, FixupKind::kBranch16});
+    emit(iType(kMajRegimm, rs, sel, 0));
+}
+
+void
+Assembler::j(Label label)
+{
+    fixups_.push_back({words_.size(), label.id, FixupKind::kJump26});
+    emit(jType(kMajJ, 0));
+}
+
+void
+Assembler::jal(Label label)
+{
+    fixups_.push_back({words_.size(), label.id, FixupKind::kJump26});
+    emit(jType(kMajJal, 0));
+}
+
+void Assembler::jr(unsigned rs) { emit(alu(Opcode::kJr, 0, rs, 0)); }
+void Assembler::jalr(unsigned rd, unsigned rs)
+{ emit(alu(Opcode::kJalr, rd, rs, 0)); }
+void Assembler::beq(unsigned rs, unsigned rt, Label label)
+{ branch(kMajBeq, rs, rt, label); }
+void Assembler::bne(unsigned rs, unsigned rt, Label label)
+{ branch(kMajBne, rs, rt, label); }
+void Assembler::blez(unsigned rs, Label label)
+{ branch(kMajBlez, rs, 0, label); }
+void Assembler::bgtz(unsigned rs, Label label)
+{ branch(kMajBgtz, rs, 0, label); }
+void Assembler::bltz(unsigned rs, Label label) { regimm(0, rs, label); }
+void Assembler::bgez(unsigned rs, Label label) { regimm(1, rs, label); }
+void Assembler::syscall() { emit(alu(Opcode::kSyscall, 0, 0, 0)); }
+void Assembler::break_() { emit(alu(Opcode::kBreak, 0, 0, 0)); }
+
+void Assembler::lb(unsigned rt, unsigned rs, std::int32_t imm)
+{ emit(iType(kMajLb, rs, rt, imm)); }
+void Assembler::lbu(unsigned rt, unsigned rs, std::int32_t imm)
+{ emit(iType(kMajLbu, rs, rt, imm)); }
+void Assembler::lh(unsigned rt, unsigned rs, std::int32_t imm)
+{ emit(iType(kMajLh, rs, rt, imm)); }
+void Assembler::lhu(unsigned rt, unsigned rs, std::int32_t imm)
+{ emit(iType(kMajLhu, rs, rt, imm)); }
+void Assembler::lw(unsigned rt, unsigned rs, std::int32_t imm)
+{ emit(iType(kMajLw, rs, rt, imm)); }
+void Assembler::lwu(unsigned rt, unsigned rs, std::int32_t imm)
+{ emit(iType(kMajLwu, rs, rt, imm)); }
+void Assembler::ld(unsigned rt, unsigned rs, std::int32_t imm)
+{ emit(iType(kMajLd, rs, rt, imm)); }
+void Assembler::sb(unsigned rt, unsigned rs, std::int32_t imm)
+{ emit(iType(kMajSb, rs, rt, imm)); }
+void Assembler::sh(unsigned rt, unsigned rs, std::int32_t imm)
+{ emit(iType(kMajSh, rs, rt, imm)); }
+void Assembler::sw(unsigned rt, unsigned rs, std::int32_t imm)
+{ emit(iType(kMajSw, rs, rt, imm)); }
+void Assembler::sd(unsigned rt, unsigned rs, std::int32_t imm)
+{ emit(iType(kMajSd, rs, rt, imm)); }
+void Assembler::lld(unsigned rt, unsigned rs, std::int32_t imm)
+{ emit(iType(kMajLld, rs, rt, imm)); }
+void Assembler::scd(unsigned rt, unsigned rs, std::int32_t imm)
+{ emit(iType(kMajScd, rs, rt, imm)); }
+
+void Assembler::cgetbase(unsigned rd, unsigned cb)
+{ emit(cop2(kC2GetBase, rd, cb, 0)); }
+void Assembler::cgetlen(unsigned rd, unsigned cb)
+{ emit(cop2(kC2GetLen, rd, cb, 0)); }
+void Assembler::cgettag(unsigned rd, unsigned cb)
+{ emit(cop2(kC2GetTag, rd, cb, 0)); }
+void Assembler::cgetperm(unsigned rd, unsigned cb)
+{ emit(cop2(kC2GetPerm, rd, cb, 0)); }
+void Assembler::cgetpcc(unsigned cd, unsigned rd)
+{ emit(cop2(kC2GetPcc, cd, rd, 0)); }
+
+void Assembler::cincbase(unsigned cd, unsigned cb, unsigned rt)
+{ emit(cop2(kC2IncBase, cd, cb, rt)); }
+void Assembler::csetlen(unsigned cd, unsigned cb, unsigned rt)
+{ emit(cop2(kC2SetLen, cd, cb, rt)); }
+void Assembler::ccleartag(unsigned cd, unsigned cb)
+{ emit(cop2(kC2ClearTag, cd, cb, 0)); }
+void Assembler::candperm(unsigned cd, unsigned cb, unsigned rt)
+{ emit(cop2(kC2AndPerm, cd, cb, rt)); }
+
+void Assembler::ctoptr(unsigned rd, unsigned cb, unsigned ct)
+{ emit(cop2(kC2ToPtr, rd, cb, ct)); }
+void Assembler::cfromptr(unsigned cd, unsigned cb, unsigned rt)
+{ emit(cop2(kC2FromPtr, cd, cb, rt)); }
+
+void
+Assembler::cbtu(unsigned cb, Label label)
+{
+    fixups_.push_back({words_.size(), label.id, FixupKind::kBranch16});
+    emit(capBranch(/*on_set=*/false, cb, 0));
+}
+
+void
+Assembler::cbts(unsigned cb, Label label)
+{
+    fixups_.push_back({words_.size(), label.id, FixupKind::kBranch16});
+    emit(capBranch(/*on_set=*/true, cb, 0));
+}
+
+void Assembler::clc(unsigned cd, unsigned cb, unsigned rt, std::int32_t imm)
+{ emit(capCapMem(true, cd, cb, rt, imm)); }
+void Assembler::csc(unsigned cd, unsigned cb, unsigned rt, std::int32_t imm)
+{ emit(capCapMem(false, cd, cb, rt, imm)); }
+
+void Assembler::clb(unsigned rd, unsigned cb, unsigned rt, std::int32_t imm)
+{ emit(capMem(true, false, 0, rd, cb, rt, imm)); }
+void Assembler::clbu(unsigned rd, unsigned cb, unsigned rt, std::int32_t imm)
+{ emit(capMem(true, true, 0, rd, cb, rt, imm)); }
+void Assembler::clh(unsigned rd, unsigned cb, unsigned rt, std::int32_t imm)
+{ emit(capMem(true, false, 1, rd, cb, rt, imm)); }
+void Assembler::clhu(unsigned rd, unsigned cb, unsigned rt, std::int32_t imm)
+{ emit(capMem(true, true, 1, rd, cb, rt, imm)); }
+void Assembler::clw(unsigned rd, unsigned cb, unsigned rt, std::int32_t imm)
+{ emit(capMem(true, false, 2, rd, cb, rt, imm)); }
+void Assembler::clwu(unsigned rd, unsigned cb, unsigned rt, std::int32_t imm)
+{ emit(capMem(true, true, 2, rd, cb, rt, imm)); }
+void Assembler::cld(unsigned rd, unsigned cb, unsigned rt, std::int32_t imm)
+{ emit(capMem(true, false, 3, rd, cb, rt, imm)); }
+void Assembler::csb(unsigned rd, unsigned cb, unsigned rt, std::int32_t imm)
+{ emit(capMem(false, false, 0, rd, cb, rt, imm)); }
+void Assembler::csh(unsigned rd, unsigned cb, unsigned rt, std::int32_t imm)
+{ emit(capMem(false, false, 1, rd, cb, rt, imm)); }
+void Assembler::csw(unsigned rd, unsigned cb, unsigned rt, std::int32_t imm)
+{ emit(capMem(false, false, 2, rd, cb, rt, imm)); }
+void Assembler::csd(unsigned rd, unsigned cb, unsigned rt, std::int32_t imm)
+{ emit(capMem(false, false, 3, rd, cb, rt, imm)); }
+
+void Assembler::clld(unsigned rd, unsigned cb, unsigned rt)
+{ emit(cop2(kC2Lld, rd, cb, rt)); }
+void Assembler::cscd(unsigned rd, unsigned cb, unsigned rt)
+{ emit(cop2(kC2Scd, rd, cb, rt)); }
+
+void Assembler::cjr(unsigned cb, unsigned rt)
+{ emit(cop2(kC2Jr, cb, rt, 0)); }
+void Assembler::cjalr(unsigned cd, unsigned cb, unsigned rt)
+{ emit(cop2(kC2Jalr, cd, cb, rt)); }
+
+void Assembler::cseal(unsigned cd, unsigned cb, unsigned ct)
+{ emit(cop2(kC2Seal, cd, cb, ct)); }
+void Assembler::cunseal(unsigned cd, unsigned cb, unsigned ct)
+{ emit(cop2(kC2Unseal, cd, cb, ct)); }
+void Assembler::cgettype(unsigned rd, unsigned cb)
+{ emit(cop2(kC2GetType, rd, cb, 0)); }
+void Assembler::ccall(unsigned cs, unsigned cb)
+{ emit(cop2(kC2Call, cs, cb, 0)); }
+void Assembler::creturn() { emit(cop2(kC2Return, 0, 0, 0)); }
+
+} // namespace cheri::isa

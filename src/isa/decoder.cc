@@ -1,0 +1,276 @@
+#include "isa/decoder.h"
+
+#include "support/bits.h"
+
+namespace cheri::isa
+{
+
+namespace
+{
+
+using support::bits;
+using support::signExtend;
+
+Instruction
+decodeSpecial(std::uint32_t word, Instruction inst)
+{
+    unsigned funct = bits(word, 0, 6);
+    inst.rs = static_cast<std::uint8_t>(bits(word, 21, 5));
+    inst.rt = static_cast<std::uint8_t>(bits(word, 16, 5));
+    inst.rd = static_cast<std::uint8_t>(bits(word, 11, 5));
+    inst.sa = static_cast<std::uint8_t>(bits(word, 6, 5));
+    switch (funct) {
+      case 0x00: inst.op = Opcode::kSll; break;
+      case 0x02: inst.op = Opcode::kSrl; break;
+      case 0x03: inst.op = Opcode::kSra; break;
+      case 0x04: inst.op = Opcode::kSllv; break;
+      case 0x06: inst.op = Opcode::kSrlv; break;
+      case 0x07: inst.op = Opcode::kSrav; break;
+      case 0x08: inst.op = Opcode::kJr; break;
+      case 0x09: inst.op = Opcode::kJalr; break;
+      case 0x0a: inst.op = Opcode::kMovz; break;
+      case 0x0b: inst.op = Opcode::kMovn; break;
+      case 0x0c: inst.op = Opcode::kSyscall; break;
+      case 0x0d: inst.op = Opcode::kBreak; break;
+      case 0x10: inst.op = Opcode::kMfhi; break;
+      case 0x12: inst.op = Opcode::kMflo; break;
+      case 0x14: inst.op = Opcode::kDsllv; break;
+      case 0x16: inst.op = Opcode::kDsrlv; break;
+      case 0x17: inst.op = Opcode::kDsrav; break;
+      case 0x1c: inst.op = Opcode::kDmult; break;
+      case 0x1d: inst.op = Opcode::kDmultu; break;
+      case 0x1e: inst.op = Opcode::kDdiv; break;
+      case 0x1f: inst.op = Opcode::kDdivu; break;
+      case 0x21: inst.op = Opcode::kAddu; break;
+      case 0x23: inst.op = Opcode::kSubu; break;
+      case 0x24: inst.op = Opcode::kAnd; break;
+      case 0x25: inst.op = Opcode::kOr; break;
+      case 0x26: inst.op = Opcode::kXor; break;
+      case 0x27: inst.op = Opcode::kNor; break;
+      case 0x2a: inst.op = Opcode::kSlt; break;
+      case 0x2b: inst.op = Opcode::kSltu; break;
+      case 0x2d: inst.op = Opcode::kDaddu; break;
+      case 0x2f: inst.op = Opcode::kDsubu; break;
+      case 0x38: inst.op = Opcode::kDsll; break;
+      case 0x3a: inst.op = Opcode::kDsrl; break;
+      case 0x3b: inst.op = Opcode::kDsra; break;
+      case 0x3c: inst.op = Opcode::kDsll32; break;
+      case 0x3e: inst.op = Opcode::kDsrl32; break;
+      case 0x3f: inst.op = Opcode::kDsra32; break;
+      default: inst.op = Opcode::kInvalid; break;
+    }
+    return inst;
+}
+
+Instruction
+decodeCop2(std::uint32_t word, Instruction inst)
+{
+    unsigned sub = bits(word, 21, 5);
+    unsigned f1 = bits(word, 16, 5);
+    unsigned f2 = bits(word, 11, 5);
+    unsigned f3 = bits(word, 6, 5);
+    switch (sub) {
+      case kC2GetBase:
+      case kC2GetLen:
+      case kC2GetTag:
+      case kC2GetPerm:
+        inst.rd = static_cast<std::uint8_t>(f1);
+        inst.cb = static_cast<std::uint8_t>(f2);
+        inst.op = sub == kC2GetBase  ? Opcode::kCGetBase
+                : sub == kC2GetLen   ? Opcode::kCGetLen
+                : sub == kC2GetTag   ? Opcode::kCGetTag
+                                     : Opcode::kCGetPerm;
+        break;
+      case kC2GetPcc:
+        inst.cd = static_cast<std::uint8_t>(f1);
+        inst.rd = static_cast<std::uint8_t>(f2);
+        inst.op = Opcode::kCGetPcc;
+        break;
+      case kC2IncBase:
+      case kC2SetLen:
+      case kC2AndPerm:
+      case kC2FromPtr:
+        inst.cd = static_cast<std::uint8_t>(f1);
+        inst.cb = static_cast<std::uint8_t>(f2);
+        inst.rt = static_cast<std::uint8_t>(f3);
+        inst.op = sub == kC2IncBase ? Opcode::kCIncBase
+                : sub == kC2SetLen  ? Opcode::kCSetLen
+                : sub == kC2AndPerm ? Opcode::kCAndPerm
+                                    : Opcode::kCFromPtr;
+        break;
+      case kC2ClearTag:
+        inst.cd = static_cast<std::uint8_t>(f1);
+        inst.cb = static_cast<std::uint8_t>(f2);
+        inst.op = Opcode::kCClearTag;
+        break;
+      case kC2ToPtr:
+        inst.rd = static_cast<std::uint8_t>(f1);
+        inst.cb = static_cast<std::uint8_t>(f2);
+        inst.ct = static_cast<std::uint8_t>(f3);
+        inst.op = Opcode::kCToPtr;
+        break;
+      case kC2Btu:
+      case kC2Bts:
+        inst.cb = static_cast<std::uint8_t>(f1);
+        inst.imm = static_cast<std::int32_t>(signExtend(word, 16));
+        inst.op = sub == kC2Btu ? Opcode::kCBtu : Opcode::kCBts;
+        break;
+      case kC2Jr:
+        inst.cb = static_cast<std::uint8_t>(f1);
+        inst.rt = static_cast<std::uint8_t>(f2);
+        inst.op = Opcode::kCJr;
+        break;
+      case kC2Jalr:
+        inst.cd = static_cast<std::uint8_t>(f1);
+        inst.cb = static_cast<std::uint8_t>(f2);
+        inst.rt = static_cast<std::uint8_t>(f3);
+        inst.op = Opcode::kCJalr;
+        break;
+      case kC2Lld:
+      case kC2Scd:
+        inst.rd = static_cast<std::uint8_t>(f1);
+        inst.cb = static_cast<std::uint8_t>(f2);
+        inst.rt = static_cast<std::uint8_t>(f3);
+        inst.op = sub == kC2Lld ? Opcode::kClld : Opcode::kCscd;
+        break;
+      case kC2Seal:
+      case kC2Unseal:
+        inst.cd = static_cast<std::uint8_t>(f1);
+        inst.cb = static_cast<std::uint8_t>(f2);
+        inst.ct = static_cast<std::uint8_t>(f3);
+        inst.op = sub == kC2Seal ? Opcode::kCSeal : Opcode::kCUnseal;
+        break;
+      case kC2GetType:
+        inst.rd = static_cast<std::uint8_t>(f1);
+        inst.cb = static_cast<std::uint8_t>(f2);
+        inst.op = Opcode::kCGetType;
+        break;
+      case kC2Call:
+        inst.cb = static_cast<std::uint8_t>(f1); // sealed code
+        inst.ct = static_cast<std::uint8_t>(f2); // sealed data
+        inst.op = Opcode::kCCall;
+        break;
+      case kC2Return:
+        inst.op = Opcode::kCReturn;
+        break;
+      default:
+        inst.op = Opcode::kInvalid;
+        break;
+    }
+    return inst;
+}
+
+Instruction
+decodeCapMem(std::uint32_t word, bool is_load, Instruction inst)
+{
+    inst.rd = static_cast<std::uint8_t>(bits(word, 21, 5));
+    inst.cb = static_cast<std::uint8_t>(bits(word, 16, 5));
+    inst.rt = static_cast<std::uint8_t>(bits(word, 11, 5));
+    unsigned size = bits(word, 0, 2);
+    bool zero_extend = bits(word, 2, 1) != 0;
+    std::int32_t scaled =
+        static_cast<std::int32_t>(signExtend(bits(word, 3, 8), 8));
+    inst.imm = scaled * (1 << size);
+    if (is_load) {
+        static const Opcode signed_ops[4] = {Opcode::kClb, Opcode::kClh,
+                                             Opcode::kClw, Opcode::kCld};
+        static const Opcode unsigned_ops[4] = {
+            Opcode::kClbu, Opcode::kClhu, Opcode::kClwu, Opcode::kCld};
+        inst.op = zero_extend ? unsigned_ops[size] : signed_ops[size];
+    } else {
+        static const Opcode store_ops[4] = {Opcode::kCsb, Opcode::kCsh,
+                                            Opcode::kCsw, Opcode::kCsd};
+        inst.op = store_ops[size];
+    }
+    return inst;
+}
+
+Instruction
+decodeCapCapMem(std::uint32_t word, bool is_load, Instruction inst)
+{
+    inst.cd = static_cast<std::uint8_t>(bits(word, 21, 5));
+    inst.cb = static_cast<std::uint8_t>(bits(word, 16, 5));
+    inst.rt = static_cast<std::uint8_t>(bits(word, 11, 5));
+    std::int32_t scaled =
+        static_cast<std::int32_t>(signExtend(bits(word, 0, 11), 11));
+    inst.imm = scaled * 32;
+    inst.op = is_load ? Opcode::kCLc : Opcode::kCSc;
+    return inst;
+}
+
+} // namespace
+
+Instruction
+decode(std::uint32_t word)
+{
+    Instruction inst;
+    inst.raw = word;
+    unsigned major = bits(word, 26, 6);
+
+    switch (major) {
+      case kMajSpecial:
+        return decodeSpecial(word, inst);
+      case kMajRegimm: {
+        unsigned sel = bits(word, 16, 5);
+        inst.rs = static_cast<std::uint8_t>(bits(word, 21, 5));
+        inst.imm = static_cast<std::int32_t>(signExtend(word, 16));
+        inst.op = sel == 0   ? Opcode::kBltz
+                : sel == 1   ? Opcode::kBgez
+                             : Opcode::kInvalid;
+        return inst;
+      }
+      case kMajJ:
+      case kMajJal:
+        inst.target = static_cast<std::uint32_t>(bits(word, 0, 26));
+        inst.op = major == kMajJ ? Opcode::kJ : Opcode::kJal;
+        return inst;
+      case kMajCop2:
+        return decodeCop2(word, inst);
+      case kMajClx:
+        return decodeCapMem(word, /*is_load=*/true, inst);
+      case kMajCsx:
+        return decodeCapMem(word, /*is_load=*/false, inst);
+      case kMajClc:
+        return decodeCapCapMem(word, /*is_load=*/true, inst);
+      case kMajCsc:
+        return decodeCapCapMem(word, /*is_load=*/false, inst);
+      default:
+        break;
+    }
+
+    // Remaining majors are I-type.
+    inst.rs = static_cast<std::uint8_t>(bits(word, 21, 5));
+    inst.rt = static_cast<std::uint8_t>(bits(word, 16, 5));
+    inst.imm = static_cast<std::int32_t>(signExtend(word, 16));
+    switch (major) {
+      case kMajBeq: inst.op = Opcode::kBeq; break;
+      case kMajBne: inst.op = Opcode::kBne; break;
+      case kMajBlez: inst.op = Opcode::kBlez; break;
+      case kMajBgtz: inst.op = Opcode::kBgtz; break;
+      case kMajAddiu: inst.op = Opcode::kAddiu; break;
+      case kMajSlti: inst.op = Opcode::kSlti; break;
+      case kMajSltiu: inst.op = Opcode::kSltiu; break;
+      case kMajAndi: inst.op = Opcode::kAndi; break;
+      case kMajOri: inst.op = Opcode::kOri; break;
+      case kMajXori: inst.op = Opcode::kXori; break;
+      case kMajLui: inst.op = Opcode::kLui; break;
+      case kMajDaddiu: inst.op = Opcode::kDaddiu; break;
+      case kMajLb: inst.op = Opcode::kLb; break;
+      case kMajLh: inst.op = Opcode::kLh; break;
+      case kMajLw: inst.op = Opcode::kLw; break;
+      case kMajLbu: inst.op = Opcode::kLbu; break;
+      case kMajLhu: inst.op = Opcode::kLhu; break;
+      case kMajLwu: inst.op = Opcode::kLwu; break;
+      case kMajLd: inst.op = Opcode::kLd; break;
+      case kMajSb: inst.op = Opcode::kSb; break;
+      case kMajSh: inst.op = Opcode::kSh; break;
+      case kMajSw: inst.op = Opcode::kSw; break;
+      case kMajSd: inst.op = Opcode::kSd; break;
+      case kMajLld: inst.op = Opcode::kLld; break;
+      case kMajScd: inst.op = Opcode::kScd; break;
+      default: inst.op = Opcode::kInvalid; break;
+    }
+    return inst;
+}
+
+} // namespace cheri::isa

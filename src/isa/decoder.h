@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Binary instruction decoder: inverts every encoding in encoder.h and
+ * produces the decoded Instruction the executor consumes. Unknown
+ * encodings decode to Opcode::kInvalid, which the CPU turns into a
+ * reserved-instruction exception.
+ */
+
+#ifndef CHERI_ISA_DECODER_H
+#define CHERI_ISA_DECODER_H
+
+#include <cstdint>
+
+#include "isa/isa.h"
+
+namespace cheri::isa
+{
+
+/** Decode one 32-bit instruction word. */
+Instruction decode(std::uint32_t word);
+
+} // namespace cheri::isa
+
+#endif // CHERI_ISA_DECODER_H

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Minimal disassembler used for traces, fault reports and tests.
+ */
+
+#ifndef CHERI_ISA_DISASM_H
+#define CHERI_ISA_DISASM_H
+
+#include <string>
+
+#include "isa/isa.h"
+
+namespace cheri::isa
+{
+
+/** Render a decoded instruction like "daddiu t0, t0, -1". */
+std::string disassemble(const Instruction &inst);
+
+} // namespace cheri::isa
+
+#endif // CHERI_ISA_DISASM_H

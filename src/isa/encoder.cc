@@ -1,0 +1,166 @@
+#include "isa/encoder.h"
+
+#include "support/logging.h"
+
+namespace cheri::isa::encode
+{
+
+namespace
+{
+
+void
+checkReg(unsigned r)
+{
+    if (r >= 32)
+        support::panic("register index %u out of range", r);
+}
+
+void
+checkSignedField(std::int32_t value, unsigned bits, const char *what)
+{
+    std::int32_t lo = -(1 << (bits - 1));
+    std::int32_t hi = (1 << (bits - 1)) - 1;
+    if (value < lo || value > hi)
+        support::panic("%s %d does not fit %u signed bits", what, value,
+                       bits);
+}
+
+} // namespace
+
+std::uint32_t
+rType(unsigned funct, unsigned rs, unsigned rt, unsigned rd, unsigned sa)
+{
+    checkReg(rs);
+    checkReg(rt);
+    checkReg(rd);
+    if (sa >= 32) {
+        support::panic("shift amount %u does not fit the sa field; "
+                       "use the *32 shift forms", sa);
+    }
+    return (0u << 26) | (rs << 21) | (rt << 16) | (rd << 11) |
+           ((sa & 31) << 6) | (funct & 63);
+}
+
+std::uint32_t
+iType(unsigned opcode, unsigned rs, unsigned rt, std::int32_t imm)
+{
+    checkReg(rs);
+    checkReg(rt);
+    checkSignedField(imm, 16, "immediate");
+    return (opcode << 26) | (rs << 21) | (rt << 16) |
+           (static_cast<std::uint32_t>(imm) & 0xffff);
+}
+
+std::uint32_t
+jType(unsigned opcode, std::uint32_t target)
+{
+    return (opcode << 26) | (target & 0x03ffffff);
+}
+
+std::uint32_t
+alu(Opcode op, unsigned rd, unsigned rs, unsigned rt, unsigned sa)
+{
+    switch (op) {
+      case Opcode::kSll: return rType(0x00, 0, rt, rd, sa);
+      case Opcode::kSrl: return rType(0x02, 0, rt, rd, sa);
+      case Opcode::kSra: return rType(0x03, 0, rt, rd, sa);
+      case Opcode::kSllv: return rType(0x04, rs, rt, rd);
+      case Opcode::kSrlv: return rType(0x06, rs, rt, rd);
+      case Opcode::kSrav: return rType(0x07, rs, rt, rd);
+      case Opcode::kJr: return rType(0x08, rs, 0, 0);
+      case Opcode::kJalr: return rType(0x09, rs, 0, rd);
+      case Opcode::kMovz: return rType(0x0a, rs, rt, rd);
+      case Opcode::kMovn: return rType(0x0b, rs, rt, rd);
+      case Opcode::kSyscall: return rType(0x0c, 0, 0, 0);
+      case Opcode::kBreak: return rType(0x0d, 0, 0, 0);
+      case Opcode::kMfhi: return rType(0x10, 0, 0, rd);
+      case Opcode::kMflo: return rType(0x12, 0, 0, rd);
+      case Opcode::kDsllv: return rType(0x14, rs, rt, rd);
+      case Opcode::kDsrlv: return rType(0x16, rs, rt, rd);
+      case Opcode::kDsrav: return rType(0x17, rs, rt, rd);
+      case Opcode::kDmult: return rType(0x1c, rs, rt, 0);
+      case Opcode::kDmultu: return rType(0x1d, rs, rt, 0);
+      case Opcode::kDdiv: return rType(0x1e, rs, rt, 0);
+      case Opcode::kDdivu: return rType(0x1f, rs, rt, 0);
+      case Opcode::kAddu: return rType(0x21, rs, rt, rd);
+      case Opcode::kSubu: return rType(0x23, rs, rt, rd);
+      case Opcode::kAnd: return rType(0x24, rs, rt, rd);
+      case Opcode::kOr: return rType(0x25, rs, rt, rd);
+      case Opcode::kXor: return rType(0x26, rs, rt, rd);
+      case Opcode::kNor: return rType(0x27, rs, rt, rd);
+      case Opcode::kSlt: return rType(0x2a, rs, rt, rd);
+      case Opcode::kSltu: return rType(0x2b, rs, rt, rd);
+      case Opcode::kDaddu: return rType(0x2d, rs, rt, rd);
+      case Opcode::kDsubu: return rType(0x2f, rs, rt, rd);
+      case Opcode::kDsll: return rType(0x38, 0, rt, rd, sa);
+      case Opcode::kDsrl: return rType(0x3a, 0, rt, rd, sa);
+      case Opcode::kDsra: return rType(0x3b, 0, rt, rd, sa);
+      case Opcode::kDsll32: return rType(0x3c, 0, rt, rd, sa);
+      case Opcode::kDsrl32: return rType(0x3e, 0, rt, rd, sa);
+      case Opcode::kDsra32: return rType(0x3f, 0, rt, rd, sa);
+      default:
+        support::panic("alu() cannot encode opcode %s", opcodeName(op));
+    }
+}
+
+std::uint32_t
+cop2(unsigned sub, unsigned f1, unsigned f2, unsigned f3)
+{
+    checkReg(f1);
+    checkReg(f2);
+    checkReg(f3);
+    if (sub >= 32)
+        support::panic("COP2 sub-opcode %u out of range", sub);
+    return (kMajCop2 << 26) | (sub << 21) | (f1 << 16) | (f2 << 11) |
+           (f3 << 6);
+}
+
+std::uint32_t
+capBranch(bool on_set, unsigned cb, std::int32_t offset)
+{
+    checkReg(cb);
+    checkSignedField(offset, 16, "branch offset");
+    unsigned sub = on_set ? kC2Bts : kC2Btu;
+    return (kMajCop2 << 26) | (sub << 21) | (cb << 16) |
+           (static_cast<std::uint32_t>(offset) & 0xffff);
+}
+
+std::uint32_t
+capMem(bool is_load, bool zero_extend, unsigned size_log2, unsigned rd,
+       unsigned cb, unsigned rt, std::int32_t imm)
+{
+    checkReg(rd);
+    checkReg(cb);
+    checkReg(rt);
+    if (size_log2 > 3)
+        support::panic("capMem size_log2 %u out of range", size_log2);
+    std::int32_t scale = 1 << size_log2;
+    if (imm % scale != 0)
+        support::panic("capMem immediate %d not a multiple of %d", imm,
+                       scale);
+    std::int32_t scaled = imm / scale;
+    checkSignedField(scaled, 8, "scaled immediate");
+    unsigned major = is_load ? kMajClx : kMajCsx;
+    return (major << 26) | (rd << 21) | (cb << 16) | (rt << 11) |
+           ((static_cast<std::uint32_t>(scaled) & 0xff) << 3) |
+           ((zero_extend ? 1u : 0u) << 2) | size_log2;
+}
+
+std::uint32_t
+capCapMem(bool is_load, unsigned cd, unsigned cb, unsigned rt,
+          std::int32_t imm)
+{
+    checkReg(cd);
+    checkReg(cb);
+    checkReg(rt);
+    if (imm % 32 != 0)
+        support::panic("capability load/store immediate %d not a "
+                       "multiple of 32", imm);
+    std::int32_t scaled = imm / 32;
+    checkSignedField(scaled, 11, "scaled immediate");
+    unsigned major = is_load ? kMajClc : kMajCsc;
+    return (major << 26) | (cd << 21) | (cb << 16) | (rt << 11) |
+           (static_cast<std::uint32_t>(scaled) & 0x7ff);
+}
+
+} // namespace cheri::isa::encode

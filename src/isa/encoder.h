@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Binary instruction encoders: one function per instruction form,
+ * producing the 32-bit words the Decoder consumes. The Assembler
+ * builds programs on top of these.
+ */
+
+#ifndef CHERI_ISA_ENCODER_H
+#define CHERI_ISA_ENCODER_H
+
+#include <cstdint>
+
+#include "isa/isa.h"
+
+namespace cheri::isa::encode
+{
+
+/** SPECIAL-major R-type: opcode 0, fields rs/rt/rd/sa/funct. */
+std::uint32_t rType(unsigned funct, unsigned rs, unsigned rt,
+                    unsigned rd, unsigned sa = 0);
+
+/** I-type: opcode, rs, rt, 16-bit immediate. */
+std::uint32_t iType(unsigned opcode, unsigned rs, unsigned rt,
+                    std::int32_t imm);
+
+/** J-type: opcode, 26-bit word target. */
+std::uint32_t jType(unsigned opcode, std::uint32_t target);
+
+/** Encode any register-register ALU / shift / jump-register form. */
+std::uint32_t alu(Opcode op, unsigned rd, unsigned rs, unsigned rt,
+                  unsigned sa = 0);
+
+/** Encode a COP2 register operation (sub-opcode under major 0x12). */
+std::uint32_t cop2(unsigned sub, unsigned f1, unsigned f2, unsigned f3);
+
+/** CBTU/CBTS: capability tag branch with signed word offset. */
+std::uint32_t capBranch(bool on_set, unsigned cb, std::int32_t offset);
+
+/**
+ * Capability-relative data access (CLx/CSx): rd data register, cb
+ * capability, rt register offset, imm signed element-scaled immediate,
+ * size_log2 in 0..3, is_load and zero_extend selectors.
+ */
+std::uint32_t capMem(bool is_load, bool zero_extend, unsigned size_log2,
+                     unsigned rd, unsigned cb, unsigned rt,
+                     std::int32_t imm);
+
+/** CLC/CSC: capability load/store, imm scaled by 32 bytes. */
+std::uint32_t capCapMem(bool is_load, unsigned cd, unsigned cb,
+                        unsigned rt, std::int32_t imm);
+
+} // namespace cheri::isa::encode
+
+#endif // CHERI_ISA_ENCODER_H

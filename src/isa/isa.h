@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Instruction-set definitions for the 64-bit MIPS subset plus the
+ * CHERI extensions of Table 1. The MIPS encodings follow MIPS IV; the
+ * CHERI encodings live in the COP2 opcode space (major 0x12) and the
+ * LWC2/SWC2/LDC2/SDC2 majors for capability-relative memory accesses,
+ * mirroring how the paper implements CHERI as coprocessor 2.
+ *
+ * Encoding summary for the CHERI additions (fields are [hi:lo]):
+ *
+ *  COP2 register ops   [31:26]=0x12, [25:21]=sub-opcode, then
+ *                      cd/rd=[20:16], cb=[15:11], rt/ct=[10:6]
+ *  CBTU/CBTS           [31:26]=0x12, [25:21]=sub, cb=[20:16],
+ *                      offset=[15:0] (signed words)
+ *  CL[BHWD][U]         [31:26]=0x32, rd=[25:21], cb=[20:16],
+ *                      rt=[15:11], imm8=[10:3] (signed, scaled by
+ *                      size), s=[2], size=[1:0] (log2 bytes)
+ *  CS[BHWD]            [31:26]=0x3a, same layout (s unused)
+ *  CLC                 [31:26]=0x36, cd=[25:21], cb=[20:16],
+ *                      rt=[15:11], imm11=[10:0] (signed, x32)
+ *  CSC                 [31:26]=0x3e, same layout
+ */
+
+#ifndef CHERI_ISA_ISA_H
+#define CHERI_ISA_ISA_H
+
+#include <cstdint>
+#include <string>
+
+namespace cheri::isa
+{
+
+/** Semantic opcode after decode. */
+enum class Opcode
+{
+    kInvalid,
+
+    // --- MIPS64 subset: shifts ---
+    kSll, kSrl, kSra, kSllv, kSrlv, kSrav,
+    kDsll, kDsrl, kDsra, kDsll32, kDsrl32, kDsra32,
+    kDsllv, kDsrlv, kDsrav,
+
+    // --- ALU register ---
+    kAddu, kDaddu, kSubu, kDsubu,
+    kAnd, kOr, kXor, kNor, kSlt, kSltu,
+    kMovz, kMovn,
+    kDmult, kDmultu, kDdiv, kDdivu, kMfhi, kMflo,
+
+    // --- ALU immediate ---
+    kAddiu, kDaddiu, kSlti, kSltiu, kAndi, kOri, kXori, kLui,
+
+    // --- control flow ---
+    kJ, kJal, kJr, kJalr,
+    kBeq, kBne, kBlez, kBgtz, kBltz, kBgez,
+    kSyscall, kBreak,
+
+    // --- legacy loads/stores (implicitly via C0) ---
+    kLb, kLbu, kLh, kLhu, kLw, kLwu, kLd,
+    kSb, kSh, kSw, kSd,
+    kLld, kScd,
+
+    // --- CHERI: inspection (Table 1) ---
+    kCGetBase, kCGetLen, kCGetTag, kCGetPerm, kCGetPcc,
+
+    // --- CHERI: monotonic manipulation ---
+    kCIncBase, kCSetLen, kCClearTag, kCAndPerm,
+
+    // --- CHERI: pointer interop ---
+    kCToPtr, kCFromPtr,
+
+    // --- CHERI: tag branches ---
+    kCBtu, kCBts,
+
+    // --- CHERI: capability loads/stores ---
+    kCLc, kCSc,
+    kClb, kClbu, kClh, kClhu, kClw, kClwu, kCld,
+    kCsb, kCsh, kCsw, kCsd,
+    kClld, kCscd,
+
+    // --- CHERI: jumps ---
+    kCJr, kCJalr,
+
+    // --- CHERI: sealing and protected domain crossing (Section 11) ---
+    kCSeal, kCUnseal, kCGetType, kCCall, kCReturn,
+};
+
+/** Major opcodes used by the encodings. */
+enum MajorOpcode : std::uint32_t
+{
+    kMajSpecial = 0x00,
+    kMajRegimm = 0x01,
+    kMajJ = 0x02,
+    kMajJal = 0x03,
+    kMajBeq = 0x04,
+    kMajBne = 0x05,
+    kMajBlez = 0x06,
+    kMajBgtz = 0x07,
+    kMajAddiu = 0x09,
+    kMajSlti = 0x0a,
+    kMajSltiu = 0x0b,
+    kMajAndi = 0x0c,
+    kMajOri = 0x0d,
+    kMajXori = 0x0e,
+    kMajLui = 0x0f,
+    kMajCop2 = 0x12,
+    kMajDaddiu = 0x19,
+    kMajLb = 0x20,
+    kMajLh = 0x21,
+    kMajLw = 0x23,
+    kMajLbu = 0x24,
+    kMajLhu = 0x25,
+    kMajLwu = 0x27,
+    kMajSb = 0x28,
+    kMajSh = 0x29,
+    kMajSw = 0x2b,
+    kMajClx = 0x32, ///< capability-relative loads (LWC2 space)
+    kMajLld = 0x34,
+    kMajClc = 0x36, ///< capability load (LDC2 space)
+    kMajLd = 0x37,
+    kMajCsx = 0x3a, ///< capability-relative stores (SWC2 space)
+    kMajScd = 0x3c,
+    kMajCsc = 0x3e, ///< capability store (SDC2 space)
+    kMajSd = 0x3f,
+};
+
+/** COP2 sub-opcodes (bits [25:21] under major 0x12). */
+enum Cop2Sub : std::uint32_t
+{
+    kC2GetBase = 0,
+    kC2GetLen = 1,
+    kC2GetTag = 2,
+    kC2GetPerm = 3,
+    kC2GetPcc = 4,
+    kC2IncBase = 5,
+    kC2SetLen = 6,
+    kC2ClearTag = 7,
+    kC2AndPerm = 8,
+    kC2ToPtr = 9,
+    kC2FromPtr = 10,
+    kC2Btu = 11,
+    kC2Bts = 12,
+    kC2Jr = 13,
+    kC2Jalr = 14,
+    kC2Lld = 15,
+    kC2Scd = 16,
+    kC2Seal = 17,
+    kC2Unseal = 18,
+    kC2Call = 19,
+    kC2Return = 20,
+    kC2GetType = 21,
+};
+
+/**
+ * A decoded instruction: semantic opcode plus every field any
+ * instruction uses (unused fields are zero).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::kInvalid;
+    std::uint8_t rs = 0; ///< integer source register
+    std::uint8_t rt = 0; ///< integer source/dest register
+    std::uint8_t rd = 0; ///< integer dest register
+    std::uint8_t sa = 0; ///< shift amount
+    std::uint8_t cd = 0; ///< capability dest register
+    std::uint8_t cb = 0; ///< capability base register
+    std::uint8_t ct = 0; ///< capability source register
+    std::int32_t imm = 0; ///< sign-extended immediate (unscaled)
+    std::uint32_t target = 0; ///< J/JAL 26-bit target field
+    std::uint32_t raw = 0; ///< original encoding
+
+    /** True for instructions with an architectural delay slot. */
+    bool hasDelaySlot() const;
+
+    /** True for loads/stores through a capability register. */
+    bool isCapMemory() const;
+};
+
+/** Log2 access size in bytes for a memory opcode (0,1,2,3 → 1..8B). */
+unsigned accessSizeLog2(Opcode op);
+
+/** True when the memory opcode zero-extends (unsigned load). */
+bool loadIsUnsigned(Opcode op);
+
+/** Conventional MIPS ABI register names, index 0..31. */
+extern const char *const kRegNames[32];
+
+/** Mnemonic for an opcode (lower case, as in Table 1 style). */
+const char *opcodeName(Opcode op);
+
+} // namespace cheri::isa
+
+#endif // CHERI_ISA_ISA_H

@@ -1,0 +1,879 @@
+#include "isa/text_assembler.h"
+
+#include <cctype>
+#include <functional>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "isa/assembler.h"
+#include "support/logging.h"
+
+namespace cheri::isa
+{
+
+namespace
+{
+
+/** A parsed operand. */
+struct Operand
+{
+    enum class Kind
+    {
+        kGpr,   ///< $t0 / $8
+        kCap,   ///< $c1
+        kImm,   ///< 42 / -8 / 0x1000
+        kLabel, ///< bare identifier
+        kMem,   ///< offset($base): offset is imm or gpr, base gpr/cap
+    };
+
+    Kind kind;
+    unsigned reg = 0;        ///< kGpr/kCap register number
+    std::int64_t imm = 0;    ///< kImm value / kMem immediate offset
+    std::string label;       ///< kLabel name
+    // kMem fields:
+    bool base_is_cap = false;
+    unsigned base_reg = 0;
+    bool offset_is_reg = false;
+    unsigned offset_reg = 0;
+};
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t first = text.find_first_not_of(" \t");
+    if (first == std::string::npos)
+        return "";
+    std::size_t last = text.find_last_not_of(" \t");
+    return text.substr(first, last - first + 1);
+}
+
+/** Strip comments (#, ;, //) outside of any context. */
+std::string
+stripComment(const std::string &line)
+{
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (c == '#' || c == ';')
+            return line.substr(0, i);
+        if (c == '/' && i + 1 < line.size() && line[i + 1] == '/')
+            return line.substr(0, i);
+    }
+    return line;
+}
+
+/** Parse a register token like "t0", "8", "c3", "zero". */
+std::optional<std::pair<bool, unsigned>> // {is_cap, index}
+parseRegisterName(const std::string &name)
+{
+    if (name.empty())
+        return std::nullopt;
+    // Capability register: c0..c31.
+    if (name[0] == 'c' && name.size() > 1 &&
+        std::isdigit(static_cast<unsigned char>(name[1]))) {
+        unsigned index = 0;
+        for (std::size_t i = 1; i < name.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(name[i])))
+                return std::nullopt;
+            index = index * 10 + static_cast<unsigned>(name[i] - '0');
+        }
+        if (index >= 32)
+            return std::nullopt;
+        return std::make_pair(true, index);
+    }
+    // Numeric GPR.
+    if (std::isdigit(static_cast<unsigned char>(name[0]))) {
+        unsigned index = 0;
+        for (char c : name) {
+            if (!std::isdigit(static_cast<unsigned char>(c)))
+                return std::nullopt;
+            index = index * 10 + static_cast<unsigned>(c - '0');
+        }
+        if (index >= 32)
+            return std::nullopt;
+        return std::make_pair(false, index);
+    }
+    // ABI name.
+    for (unsigned i = 0; i < 32; ++i) {
+        if (name == kRegNames[i])
+            return std::make_pair(false, i);
+    }
+    return std::nullopt;
+}
+
+std::optional<std::int64_t>
+parseImmediate(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    std::size_t pos = 0;
+    bool negative = false;
+    if (text[0] == '-' || text[0] == '+') {
+        negative = text[0] == '-';
+        pos = 1;
+    }
+    if (pos >= text.size())
+        return std::nullopt;
+    int base = 10;
+    if (text.size() > pos + 1 && text[pos] == '0' &&
+        (text[pos + 1] == 'x' || text[pos + 1] == 'X')) {
+        base = 16;
+        pos += 2;
+    }
+    std::uint64_t value = 0;
+    bool any = false;
+    for (; pos < text.size(); ++pos) {
+        char c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(text[pos])));
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            return std::nullopt;
+        value = value * static_cast<std::uint64_t>(base) +
+                static_cast<std::uint64_t>(digit);
+        any = true;
+    }
+    if (!any)
+        return std::nullopt;
+    std::int64_t result = static_cast<std::int64_t>(value);
+    return negative ? -result : result;
+}
+
+std::optional<Operand>
+parseOperand(const std::string &raw)
+{
+    std::string text = trim(raw);
+    if (text.empty())
+        return std::nullopt;
+
+    // offset($base) — offset may be empty, an immediate, or $reg.
+    std::size_t open = text.find('(');
+    if (open != std::string::npos && text.back() == ')') {
+        std::string offset_text = trim(text.substr(0, open));
+        std::string base_text =
+            trim(text.substr(open + 1, text.size() - open - 2));
+        if (base_text.empty() || base_text[0] != '$')
+            return std::nullopt;
+        auto base = parseRegisterName(base_text.substr(1));
+        if (!base)
+            return std::nullopt;
+
+        Operand op;
+        op.kind = Operand::Kind::kMem;
+        op.base_is_cap = base->first;
+        op.base_reg = base->second;
+        if (offset_text.empty()) {
+            op.imm = 0;
+        } else if (offset_text[0] == '$') {
+            auto offset = parseRegisterName(offset_text.substr(1));
+            if (!offset || offset->first)
+                return std::nullopt;
+            op.offset_is_reg = true;
+            op.offset_reg = offset->second;
+        } else {
+            auto imm = parseImmediate(offset_text);
+            if (!imm)
+                return std::nullopt;
+            op.imm = *imm;
+        }
+        return op;
+    }
+
+    if (text[0] == '$') {
+        auto reg = parseRegisterName(text.substr(1));
+        if (!reg)
+            return std::nullopt;
+        Operand op;
+        op.kind = reg->first ? Operand::Kind::kCap : Operand::Kind::kGpr;
+        op.reg = reg->second;
+        return op;
+    }
+
+    if (auto imm = parseImmediate(text)) {
+        Operand op;
+        op.kind = Operand::Kind::kImm;
+        op.imm = *imm;
+        return op;
+    }
+
+    // Identifier -> label reference.
+    if (std::isalpha(static_cast<unsigned char>(text[0])) ||
+        text[0] == '_' || text[0] == '.') {
+        Operand op;
+        op.kind = Operand::Kind::kLabel;
+        op.label = text;
+        return op;
+    }
+    return std::nullopt;
+}
+
+/** Statement context handed to per-mnemonic emitters. */
+class LineAssembler
+{
+  public:
+    LineAssembler(Assembler &assembler,
+                  std::map<std::string, Assembler::Label> &labels)
+        : assembler_(assembler), labels_(labels)
+    {
+    }
+
+    Assembler &a() { return assembler_; }
+
+    Assembler::Label
+    labelFor(const std::string &name)
+    {
+        auto it = labels_.find(name);
+        if (it != labels_.end())
+            return it->second;
+        Assembler::Label label = assembler_.newLabel();
+        labels_.emplace(name, label);
+        return label;
+    }
+
+  private:
+    Assembler &assembler_;
+    std::map<std::string, Assembler::Label> &labels_;
+};
+
+using Ops = std::vector<Operand>;
+using Emitter =
+    std::function<bool(LineAssembler &, const Ops &, std::string &)>;
+
+bool
+expectKinds(const Ops &ops, std::initializer_list<Operand::Kind> kinds,
+            std::string &error)
+{
+    if (ops.size() != kinds.size()) {
+        error = support::format("expected %zu operands, got %zu",
+                                kinds.size(), ops.size());
+        return false;
+    }
+    std::size_t index = 0;
+    for (Operand::Kind kind : kinds) {
+        if (ops[index].kind != kind) {
+            error = support::format("operand %zu has the wrong form",
+                                    index + 1);
+            return false;
+        }
+        ++index;
+    }
+    return true;
+}
+
+constexpr auto kGpr = Operand::Kind::kGpr;
+constexpr auto kCap = Operand::Kind::kCap;
+constexpr auto kImm = Operand::Kind::kImm;
+constexpr auto kLabel = Operand::Kind::kLabel;
+constexpr auto kMem = Operand::Kind::kMem;
+
+/** Build the mnemonic dispatch table. */
+const std::map<std::string, Emitter> &
+emitters()
+{
+    static const std::map<std::string, Emitter> table = [] {
+        std::map<std::string, Emitter> t;
+
+        auto r3 = [](void (Assembler::*fn)(unsigned, unsigned,
+                                           unsigned)) {
+            return [fn](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+                if (!expectKinds(ops, {kGpr, kGpr, kGpr}, error))
+                    return false;
+                (ctx.a().*fn)(ops[0].reg, ops[1].reg, ops[2].reg);
+                return true;
+            };
+        };
+        t["addu"] = r3(&Assembler::addu);
+        t["daddu"] = r3(&Assembler::daddu);
+        t["subu"] = r3(&Assembler::subu);
+        t["dsubu"] = r3(&Assembler::dsubu);
+        t["and"] = r3(&Assembler::and_);
+        t["or"] = r3(&Assembler::or_);
+        t["xor"] = r3(&Assembler::xor_);
+        t["nor"] = r3(&Assembler::nor);
+        t["slt"] = r3(&Assembler::slt);
+        t["sltu"] = r3(&Assembler::sltu);
+        t["movz"] = r3(&Assembler::movz);
+        t["movn"] = r3(&Assembler::movn);
+        // Variable shifts: rd, rt, rs.
+        t["sllv"] = r3(&Assembler::dsllv); // placeholder replaced below
+        t.erase("sllv");
+        auto shift_var = [](void (Assembler::*fn)(unsigned, unsigned,
+                                                  unsigned)) {
+            return [fn](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+                if (!expectKinds(ops, {kGpr, kGpr, kGpr}, error))
+                    return false;
+                (ctx.a().*fn)(ops[0].reg, ops[1].reg, ops[2].reg);
+                return true;
+            };
+        };
+        t["sllv"] = shift_var(&Assembler::sllv);
+        t["srlv"] = shift_var(&Assembler::srlv);
+        t["srav"] = shift_var(&Assembler::srav);
+        t["dsllv"] = shift_var(&Assembler::dsllv);
+        t["dsrlv"] = shift_var(&Assembler::dsrlv);
+        t["dsrav"] = shift_var(&Assembler::dsrav);
+
+        auto shift_imm = [](void (Assembler::*fn)(unsigned, unsigned,
+                                                  unsigned)) {
+            return [fn](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+                if (!expectKinds(ops, {kGpr, kGpr, kImm}, error))
+                    return false;
+                if (ops[2].imm < 0 || ops[2].imm > 31) {
+                    error = "shift amount out of range";
+                    return false;
+                }
+                (ctx.a().*fn)(ops[0].reg, ops[1].reg,
+                              static_cast<unsigned>(ops[2].imm));
+                return true;
+            };
+        };
+        t["sll"] = shift_imm(&Assembler::sll);
+        t["srl"] = shift_imm(&Assembler::srl);
+        t["sra"] = shift_imm(&Assembler::sra);
+        t["dsll"] = shift_imm(&Assembler::dsll);
+        t["dsrl"] = shift_imm(&Assembler::dsrl);
+        t["dsra"] = shift_imm(&Assembler::dsra);
+        t["dsll32"] = shift_imm(&Assembler::dsll32);
+        t["dsrl32"] = shift_imm(&Assembler::dsrl32);
+
+        auto itype = [](void (Assembler::*fn)(unsigned, unsigned,
+                                              std::int32_t)) {
+            return [fn](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+                if (!expectKinds(ops, {kGpr, kGpr, kImm}, error))
+                    return false;
+                (ctx.a().*fn)(ops[0].reg, ops[1].reg,
+                              static_cast<std::int32_t>(ops[2].imm));
+                return true;
+            };
+        };
+        t["addiu"] = itype(&Assembler::addiu);
+        t["daddiu"] = itype(&Assembler::daddiu);
+        t["slti"] = itype(&Assembler::slti);
+        t["sltiu"] = itype(&Assembler::sltiu);
+
+        auto logic_imm = [](void (Assembler::*fn)(unsigned, unsigned,
+                                                  std::uint32_t)) {
+            return [fn](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+                if (!expectKinds(ops, {kGpr, kGpr, kImm}, error))
+                    return false;
+                (ctx.a().*fn)(ops[0].reg, ops[1].reg,
+                              static_cast<std::uint32_t>(ops[2].imm));
+                return true;
+            };
+        };
+        t["andi"] = logic_imm(&Assembler::andi);
+        t["ori"] = logic_imm(&Assembler::ori);
+        t["xori"] = logic_imm(&Assembler::xori);
+
+        t["lui"] = [](LineAssembler &ctx, const Ops &ops,
+                      std::string &error) {
+            if (!expectKinds(ops, {kGpr, kImm}, error))
+                return false;
+            ctx.a().lui(ops[0].reg,
+                        static_cast<std::int32_t>(ops[1].imm));
+            return true;
+        };
+
+        auto muldiv = [](void (Assembler::*fn)(unsigned, unsigned)) {
+            return [fn](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+                if (!expectKinds(ops, {kGpr, kGpr}, error))
+                    return false;
+                (ctx.a().*fn)(ops[0].reg, ops[1].reg);
+                return true;
+            };
+        };
+        t["dmult"] = muldiv(&Assembler::dmult);
+        t["dmultu"] = muldiv(&Assembler::dmultu);
+        t["ddiv"] = muldiv(&Assembler::ddiv);
+        t["ddivu"] = muldiv(&Assembler::ddivu);
+
+        auto hilo = [](void (Assembler::*fn)(unsigned)) {
+            return [fn](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+                if (!expectKinds(ops, {kGpr}, error))
+                    return false;
+                (ctx.a().*fn)(ops[0].reg);
+                return true;
+            };
+        };
+        t["mfhi"] = hilo(&Assembler::mfhi);
+        t["mflo"] = hilo(&Assembler::mflo);
+
+        // --- branches / jumps ---
+        auto branch2 = [](void (Assembler::*fn)(unsigned, unsigned,
+                                                Assembler::Label)) {
+            return [fn](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+                if (!expectKinds(ops, {kGpr, kGpr, kLabel}, error))
+                    return false;
+                (ctx.a().*fn)(ops[0].reg, ops[1].reg,
+                              ctx.labelFor(ops[2].label));
+                return true;
+            };
+        };
+        t["beq"] = branch2(&Assembler::beq);
+        t["bne"] = branch2(&Assembler::bne);
+
+        auto branch1 = [](void (Assembler::*fn)(unsigned,
+                                                Assembler::Label)) {
+            return [fn](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+                if (!expectKinds(ops, {kGpr, kLabel}, error))
+                    return false;
+                (ctx.a().*fn)(ops[0].reg, ctx.labelFor(ops[1].label));
+                return true;
+            };
+        };
+        t["blez"] = branch1(&Assembler::blez);
+        t["bgtz"] = branch1(&Assembler::bgtz);
+        t["bltz"] = branch1(&Assembler::bltz);
+        t["bgez"] = branch1(&Assembler::bgez);
+
+        t["b"] = [](LineAssembler &ctx, const Ops &ops,
+                    std::string &error) {
+            if (!expectKinds(ops, {kLabel}, error))
+                return false;
+            ctx.a().b(ctx.labelFor(ops[0].label));
+            return true;
+        };
+        t["j"] = [](LineAssembler &ctx, const Ops &ops,
+                    std::string &error) {
+            if (!expectKinds(ops, {kLabel}, error))
+                return false;
+            ctx.a().j(ctx.labelFor(ops[0].label));
+            return true;
+        };
+        t["jal"] = [](LineAssembler &ctx, const Ops &ops,
+                      std::string &error) {
+            if (!expectKinds(ops, {kLabel}, error))
+                return false;
+            ctx.a().jal(ctx.labelFor(ops[0].label));
+            return true;
+        };
+        t["jr"] = [](LineAssembler &ctx, const Ops &ops,
+                     std::string &error) {
+            if (!expectKinds(ops, {kGpr}, error))
+                return false;
+            ctx.a().jr(ops[0].reg);
+            return true;
+        };
+        t["jalr"] = [](LineAssembler &ctx, const Ops &ops,
+                       std::string &error) {
+            if (ops.size() == 1 && ops[0].kind == kGpr) {
+                ctx.a().jalr(reg::ra, ops[0].reg);
+                return true;
+            }
+            if (!expectKinds(ops, {kGpr, kGpr}, error))
+                return false;
+            ctx.a().jalr(ops[0].reg, ops[1].reg);
+            return true;
+        };
+
+        t["syscall"] = [](LineAssembler &ctx, const Ops &ops,
+                          std::string &error) {
+            if (!expectKinds(ops, {}, error))
+                return false;
+            ctx.a().syscall();
+            return true;
+        };
+        t["break"] = [](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+            if (!expectKinds(ops, {}, error))
+                return false;
+            ctx.a().break_();
+            return true;
+        };
+        t["nop"] = [](LineAssembler &ctx, const Ops &ops,
+                      std::string &error) {
+            if (!expectKinds(ops, {}, error))
+                return false;
+            ctx.a().nop();
+            return true;
+        };
+
+        // --- legacy memory: op $rt, imm($rs) ---
+        auto mem = [](void (Assembler::*fn)(unsigned, unsigned,
+                                            std::int32_t)) {
+            return [fn](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+                if (!expectKinds(ops, {kGpr, kMem}, error))
+                    return false;
+                const Operand &ref = ops[1];
+                if (ref.base_is_cap || ref.offset_is_reg) {
+                    error = "legacy memory operand must be imm($gpr)";
+                    return false;
+                }
+                (ctx.a().*fn)(ops[0].reg, ref.base_reg,
+                              static_cast<std::int32_t>(ref.imm));
+                return true;
+            };
+        };
+        t["lb"] = mem(&Assembler::lb);
+        t["lbu"] = mem(&Assembler::lbu);
+        t["lh"] = mem(&Assembler::lh);
+        t["lhu"] = mem(&Assembler::lhu);
+        t["lw"] = mem(&Assembler::lw);
+        t["lwu"] = mem(&Assembler::lwu);
+        t["ld"] = mem(&Assembler::ld);
+        t["sb"] = mem(&Assembler::sb);
+        t["sh"] = mem(&Assembler::sh);
+        t["sw"] = mem(&Assembler::sw);
+        t["sd"] = mem(&Assembler::sd);
+        t["lld"] = mem(&Assembler::lld);
+        t["scd"] = mem(&Assembler::scd);
+
+        // --- CHERI: inspection ---
+        auto cap_get = [](void (Assembler::*fn)(unsigned, unsigned)) {
+            return [fn](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+                if (!expectKinds(ops, {kGpr, kCap}, error))
+                    return false;
+                (ctx.a().*fn)(ops[0].reg, ops[1].reg);
+                return true;
+            };
+        };
+        t["cgetbase"] = cap_get(&Assembler::cgetbase);
+        t["cgetlen"] = cap_get(&Assembler::cgetlen);
+        t["cgettag"] = cap_get(&Assembler::cgettag);
+        t["cgetperm"] = cap_get(&Assembler::cgetperm);
+        t["cgettype"] = cap_get(&Assembler::cgettype);
+        t["cgetpcc"] = [](LineAssembler &ctx, const Ops &ops,
+                          std::string &error) {
+            if (!expectKinds(ops, {kCap, kGpr}, error))
+                return false;
+            ctx.a().cgetpcc(ops[0].reg, ops[1].reg);
+            return true;
+        };
+
+        // --- CHERI: manipulation cd, cb, $rt ---
+        auto cap_manip = [](void (Assembler::*fn)(unsigned, unsigned,
+                                                  unsigned)) {
+            return [fn](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+                if (!expectKinds(ops, {kCap, kCap, kGpr}, error))
+                    return false;
+                (ctx.a().*fn)(ops[0].reg, ops[1].reg, ops[2].reg);
+                return true;
+            };
+        };
+        t["cincbase"] = cap_manip(&Assembler::cincbase);
+        t["csetlen"] = cap_manip(&Assembler::csetlen);
+        t["candperm"] = cap_manip(&Assembler::candperm);
+        t["cfromptr"] = cap_manip(&Assembler::cfromptr);
+        t["ccleartag"] = [](LineAssembler &ctx, const Ops &ops,
+                            std::string &error) {
+            if (!expectKinds(ops, {kCap, kCap}, error))
+                return false;
+            ctx.a().ccleartag(ops[0].reg, ops[1].reg);
+            return true;
+        };
+        t["ctoptr"] = [](LineAssembler &ctx, const Ops &ops,
+                         std::string &error) {
+            if (!expectKinds(ops, {kGpr, kCap, kCap}, error))
+                return false;
+            ctx.a().ctoptr(ops[0].reg, ops[1].reg, ops[2].reg);
+            return true;
+        };
+
+        // --- CHERI: sealing ---
+        auto cap3 = [](void (Assembler::*fn)(unsigned, unsigned,
+                                             unsigned)) {
+            return [fn](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+                if (!expectKinds(ops, {kCap, kCap, kCap}, error))
+                    return false;
+                (ctx.a().*fn)(ops[0].reg, ops[1].reg, ops[2].reg);
+                return true;
+            };
+        };
+        t["cseal"] = cap3(&Assembler::cseal);
+        t["cunseal"] = cap3(&Assembler::cunseal);
+        t["ccall"] = [](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+            if (!expectKinds(ops, {kCap, kCap}, error))
+                return false;
+            ctx.a().ccall(ops[0].reg, ops[1].reg);
+            return true;
+        };
+        t["creturn"] = [](LineAssembler &ctx, const Ops &ops,
+                          std::string &error) {
+            if (!expectKinds(ops, {}, error))
+                return false;
+            ctx.a().creturn();
+            return true;
+        };
+
+        // --- CHERI: tag branches ---
+        t["cbtu"] = [](LineAssembler &ctx, const Ops &ops,
+                       std::string &error) {
+            if (!expectKinds(ops, {kCap, kLabel}, error))
+                return false;
+            ctx.a().cbtu(ops[0].reg, ctx.labelFor(ops[1].label));
+            return true;
+        };
+        t["cbts"] = [](LineAssembler &ctx, const Ops &ops,
+                       std::string &error) {
+            if (!expectKinds(ops, {kCap, kLabel}, error))
+                return false;
+            ctx.a().cbts(ops[0].reg, ctx.labelFor(ops[1].label));
+            return true;
+        };
+
+        // --- CHERI: memory — op $r, $index, imm($cap) form ---
+        auto cap_mem = [](void (Assembler::*fn)(unsigned, unsigned,
+                                                unsigned,
+                                                std::int32_t)) {
+            return [fn](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+                // rd, rt, imm(cb)  or  rd, imm(cb) with rt = zero.
+                if (ops.size() == 2 && ops[1].kind == kMem) {
+                    const Operand &ref = ops[1];
+                    if (!ref.base_is_cap || ref.offset_is_reg) {
+                        error = "capability memory operand must be "
+                                "imm($cN)";
+                        return false;
+                    }
+                    unsigned data = ops[0].reg;
+                    (ctx.a().*fn)(data, ref.base_reg, reg::zero,
+                                  static_cast<std::int32_t>(ref.imm));
+                    return true;
+                }
+                if (ops.size() != 3 || ops[1].kind != kGpr ||
+                    ops[2].kind != kMem) {
+                    error = "expected $r, $index, imm($cN)";
+                    return false;
+                }
+                const Operand &ref = ops[2];
+                if (!ref.base_is_cap || ref.offset_is_reg) {
+                    error = "capability memory operand must be imm($cN)";
+                    return false;
+                }
+                (ctx.a().*fn)(ops[0].reg, ref.base_reg, ops[1].reg,
+                              static_cast<std::int32_t>(ref.imm));
+                return true;
+            };
+        };
+        t["clb"] = cap_mem(&Assembler::clb);
+        t["clbu"] = cap_mem(&Assembler::clbu);
+        t["clh"] = cap_mem(&Assembler::clh);
+        t["clhu"] = cap_mem(&Assembler::clhu);
+        t["clw"] = cap_mem(&Assembler::clw);
+        t["clwu"] = cap_mem(&Assembler::clwu);
+        t["cld"] = cap_mem(&Assembler::cld);
+        t["csb"] = cap_mem(&Assembler::csb);
+        t["csh"] = cap_mem(&Assembler::csh);
+        t["csw"] = cap_mem(&Assembler::csw);
+        t["csd"] = cap_mem(&Assembler::csd);
+        t["clc"] = cap_mem(&Assembler::clc);
+        t["csc"] = cap_mem(&Assembler::csc);
+
+        // clld/cscd: $rd, $rt($cN)
+        auto cap_llsc = [](void (Assembler::*fn)(unsigned, unsigned,
+                                                 unsigned)) {
+            return [fn](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+                if (ops.size() != 2 || ops[0].kind != kGpr ||
+                    ops[1].kind != kMem) {
+                    error = "expected $r, $index($cN)";
+                    return false;
+                }
+                const Operand &ref = ops[1];
+                if (!ref.base_is_cap || !ref.offset_is_reg) {
+                    error = "expected $r, $index($cN)";
+                    return false;
+                }
+                (ctx.a().*fn)(ops[0].reg, ref.base_reg, ref.offset_reg);
+                return true;
+            };
+        };
+        t["clld"] = cap_llsc(&Assembler::clld);
+        t["cscd"] = cap_llsc(&Assembler::cscd);
+
+        // cjr $rt($cN) / cjalr $cd, $rt($cN)
+        t["cjr"] = [](LineAssembler &ctx, const Ops &ops,
+                      std::string &error) {
+            if (ops.size() != 1 || ops[0].kind != kMem ||
+                !ops[0].base_is_cap || !ops[0].offset_is_reg) {
+                error = "expected $index($cN)";
+                return false;
+            }
+            ctx.a().cjr(ops[0].base_reg, ops[0].offset_reg);
+            return true;
+        };
+        t["cjalr"] = [](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+            if (ops.size() != 2 || ops[0].kind != kCap ||
+                ops[1].kind != kMem || !ops[1].base_is_cap ||
+                !ops[1].offset_is_reg) {
+                error = "expected $cd, $index($cN)";
+                return false;
+            }
+            ctx.a().cjalr(ops[0].reg, ops[1].base_reg,
+                          ops[1].offset_reg);
+            return true;
+        };
+
+        // --- pseudo-ops ---
+        t["move"] = [](LineAssembler &ctx, const Ops &ops,
+                       std::string &error) {
+            if (!expectKinds(ops, {kGpr, kGpr}, error))
+                return false;
+            ctx.a().move(ops[0].reg, ops[1].reg);
+            return true;
+        };
+        t["li"] = [](LineAssembler &ctx, const Ops &ops,
+                     std::string &error) {
+            if (!expectKinds(ops, {kGpr, kImm}, error))
+                return false;
+            if (ops[1].imm < INT32_MIN || ops[1].imm > INT32_MAX) {
+                error = "constant does not fit li; use li64";
+                return false;
+            }
+            ctx.a().li(ops[0].reg,
+                       static_cast<std::int32_t>(ops[1].imm));
+            return true;
+        };
+        t["li64"] = [](LineAssembler &ctx, const Ops &ops,
+                       std::string &error) {
+            if (!expectKinds(ops, {kGpr, kImm}, error))
+                return false;
+            ctx.a().li64(ops[0].reg,
+                         static_cast<std::uint64_t>(ops[1].imm));
+            return true;
+        };
+        t[".word"] = [](LineAssembler &ctx, const Ops &ops,
+                        std::string &error) {
+            if (!expectKinds(ops, {kImm}, error))
+                return false;
+            ctx.a().emit(static_cast<std::uint32_t>(ops[0].imm));
+            return true;
+        };
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+AsmResult
+assembleText(const std::string &source, std::uint64_t base_addr)
+{
+    AsmResult result;
+    Assembler assembler(base_addr);
+    std::map<std::string, Assembler::Label> labels;
+    std::map<std::string, bool> bound;
+    LineAssembler ctx(assembler, labels);
+
+    std::istringstream stream(source);
+    std::string raw_line;
+    unsigned line_number = 0;
+
+    while (std::getline(stream, raw_line)) {
+        ++line_number;
+        std::string line = trim(stripComment(raw_line));
+
+        // Peel leading labels ("name:").
+        while (true) {
+            std::size_t colon = line.find(':');
+            if (colon == std::string::npos)
+                break;
+            std::string head = trim(line.substr(0, colon));
+            // Only treat as label when the head is a lone identifier.
+            bool is_label = !head.empty();
+            for (char c : head) {
+                if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                    c != '_' && c != '.')
+                    is_label = false;
+            }
+            if (!is_label ||
+                std::isdigit(static_cast<unsigned char>(head[0])))
+                break;
+            if (bound[head]) {
+                result.errors.push_back(
+                    {line_number,
+                     support::format("label '%s' bound twice",
+                                     head.c_str())});
+            } else {
+                assembler.bind(ctx.labelFor(head));
+                bound[head] = true;
+            }
+            line = trim(line.substr(colon + 1));
+        }
+        if (line.empty())
+            continue;
+
+        // Mnemonic and operand list.
+        std::size_t space = line.find_first_of(" \t");
+        std::string mnemonic = line.substr(0, space);
+        for (char &c : mnemonic)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        std::string rest =
+            space == std::string::npos ? "" : trim(line.substr(space));
+
+        Ops ops;
+        bool parse_ok = true;
+        if (!rest.empty()) {
+            std::size_t start = 0;
+            while (start <= rest.size()) {
+                std::size_t comma = rest.find(',', start);
+                std::string piece =
+                    comma == std::string::npos
+                        ? rest.substr(start)
+                        : rest.substr(start, comma - start);
+                auto operand = parseOperand(piece);
+                if (!operand) {
+                    result.errors.push_back(
+                        {line_number,
+                         support::format("cannot parse operand '%s'",
+                                         trim(piece).c_str())});
+                    parse_ok = false;
+                    break;
+                }
+                ops.push_back(*operand);
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+        }
+        if (!parse_ok)
+            continue;
+
+        auto it = emitters().find(mnemonic);
+        if (it == emitters().end()) {
+            result.errors.push_back(
+                {line_number, support::format("unknown mnemonic '%s'",
+                                              mnemonic.c_str())});
+            continue;
+        }
+        std::string error;
+        if (!it->second(ctx, ops, error))
+            result.errors.push_back({line_number, error});
+    }
+
+    // Unbound labels referenced by branches would panic in finish();
+    // report them as errors instead.
+    for (const auto &[name, label] : labels) {
+        if (!bound[name]) {
+            result.errors.push_back(
+                {0, support::format("label '%s' never defined",
+                                    name.c_str())});
+        }
+    }
+    if (!result.errors.empty())
+        return result;
+
+    result.words = assembler.finish();
+    return result;
+}
+
+} // namespace cheri::isa

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A text-syntax assembler on top of the structured Assembler, so
+ * guest programs can be written as ordinary .s files and run with the
+ * cheri-run tool. Supports the full implemented instruction set
+ * (MIPS subset + every CHERI instruction), labels, common pseudo-ops
+ * and data words.
+ *
+ * Syntax (one statement per line):
+ *
+ *   # comment           ; comment          // comment
+ *   label:              (optionally followed by an instruction)
+ *   daddiu $t0, $t1, -4
+ *   ld     $t0, 8($sp)
+ *   cincbase $c1, $c0, $t0
+ *   cld    $t0, $t1, 8($c1)     # rd, index-register, offset(cap)
+ *   clc    $c2, $t0, 32($c1)
+ *   cjr    $ra($c4)
+ *   cjalr  $c4, $t3($c2)
+ *   beq    $t0, $zero, done
+ *   li     $t0, 0x1000          # pseudo; li64 for 64-bit constants
+ *   .word  0x0000000d
+ *
+ * Registers are written $zero/$t0/... or $0..$31; capability
+ * registers are $c0..$c31.
+ */
+
+#ifndef CHERI_ISA_TEXT_ASSEMBLER_H
+#define CHERI_ISA_TEXT_ASSEMBLER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cheri::isa
+{
+
+/** One assembly diagnostic. */
+struct AsmError
+{
+    unsigned line = 0; ///< 1-based source line
+    std::string message;
+};
+
+/** Result of assembling a source file. */
+struct AsmResult
+{
+    std::vector<std::uint32_t> words;
+    std::vector<AsmError> errors;
+
+    bool ok() const { return errors.empty(); }
+};
+
+/** Assemble source text for code loaded at base_addr. */
+AsmResult assembleText(const std::string &source,
+                       std::uint64_t base_addr);
+
+} // namespace cheri::isa
+
+#endif // CHERI_ISA_TEXT_ASSEMBLER_H

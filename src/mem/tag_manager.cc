@@ -1,0 +1,70 @@
+#include "mem/tag_manager.h"
+
+namespace cheri::mem
+{
+
+TagManager::TagManager(PhysicalMemory &dram, TagTable &tags,
+                       TagCacheConfig config)
+    : dram_(dram), tags_(tags), config_(config),
+      max_entries_(config.capacity_bytes / config.entry_bytes)
+{
+}
+
+void
+TagManager::touchTagCache(std::uint64_t paddr, bool dirtying)
+{
+    stats_.add("tag.lookups");
+    std::uint64_t table_line =
+        tags_.tableByteFor(paddr) / config_.entry_bytes;
+
+    auto it = cached_.find(table_line);
+    if (it != cached_.end()) {
+        stats_.add("tag.cache_hits");
+        lru_.splice(lru_.begin(), lru_, it->second);
+        if (dirtying)
+            stats_.add("tag.table_writes");
+        return;
+    }
+
+    stats_.add("tag.cache_misses");
+    stats_.add("tag.table_reads");
+    if (dirtying)
+        stats_.add("tag.table_writes");
+
+    if (cached_.size() >= max_entries_ && !lru_.empty()) {
+        std::uint64_t victim = lru_.back();
+        lru_.pop_back();
+        cached_.erase(victim);
+    }
+    lru_.push_front(table_line);
+    cached_[table_line] = lru_.begin();
+}
+
+TaggedLine
+TagManager::readLine(std::uint64_t paddr)
+{
+    stats_.add("dram.reads");
+    touchTagCache(paddr, /*dirtying=*/false);
+    TaggedLine line;
+    line.data = dram_.readLine(paddr);
+    line.tag = tags_.get(paddr);
+    return line;
+}
+
+void
+TagManager::writeLine(std::uint64_t paddr, const TaggedLine &line)
+{
+    stats_.add("dram.writes");
+    touchTagCache(paddr, /*dirtying=*/true);
+    dram_.writeLine(paddr, line.data);
+    tags_.set(paddr, line.tag);
+}
+
+bool
+TagManager::readTag(std::uint64_t paddr)
+{
+    touchTagCache(paddr, /*dirtying=*/false);
+    return tags_.get(paddr);
+}
+
+} // namespace cheri::mem

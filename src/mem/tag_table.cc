@@ -1,0 +1,54 @@
+#include "mem/tag_table.h"
+
+#include <bit>
+
+#include "support/logging.h"
+
+namespace cheri::mem
+{
+
+TagTable::TagTable(std::uint64_t dram_bytes)
+    : line_count_(dram_bytes / kLineBytes),
+      bits_((line_count_ + 63) / 64, 0)
+{
+}
+
+std::uint64_t
+TagTable::lineIndex(std::uint64_t paddr) const
+{
+    std::uint64_t idx = paddr / kLineBytes;
+    if (idx >= line_count_) {
+        support::panic("tag access beyond DRAM: paddr 0x%llx",
+                       static_cast<unsigned long long>(paddr));
+    }
+    return idx;
+}
+
+bool
+TagTable::get(std::uint64_t paddr) const
+{
+    std::uint64_t idx = lineIndex(paddr);
+    return (bits_[idx / 64] >> (idx % 64)) & 1;
+}
+
+void
+TagTable::set(std::uint64_t paddr, bool tag)
+{
+    std::uint64_t idx = lineIndex(paddr);
+    std::uint64_t mask = 1ULL << (idx % 64);
+    if (tag)
+        bits_[idx / 64] |= mask;
+    else
+        bits_[idx / 64] &= ~mask;
+}
+
+std::uint64_t
+TagTable::popCount() const
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t word : bits_)
+        n += static_cast<std::uint64_t>(std::popcount(word));
+    return n;
+}
+
+} // namespace cheri::mem

@@ -1,0 +1,399 @@
+#include "models/limit_models.h"
+
+#include "models/cost_params.h"
+
+namespace cheri::models
+{
+
+namespace
+{
+
+double
+frac(double extra, double base)
+{
+    return base > 0.0 ? extra / base : 0.0;
+}
+
+constexpr Feature kYes = Feature::kYes;
+constexpr Feature kNo = Feature::kNo;
+constexpr Feature kNa = Feature::kNotApplicable;
+
+} // namespace
+
+// --------------------------------------------------------------- MMU
+
+Overheads
+MmuModel::evaluate(const trace::TraceProfile &) const
+{
+    // Page-granularity address validation adds nothing per pointer:
+    // there is no per-pointer protection whose overhead could be
+    // measured, which is exactly why the MMU row exists only in the
+    // functional comparison (Table 2).
+    return Overheads{};
+}
+
+FeatureRow
+MmuModel::features() const
+{
+    return {kNo, kNo, kNo, kYes, kNo, kNo, kNo, kYes};
+}
+
+// ---------------------------------------------------------- Mondrian
+
+Overheads
+MondrianModel::evaluate(const trace::TraceProfile &p) const
+{
+    Overheads o;
+    const trace::BaselineStats &b = p.base;
+
+    // Protection table: one 8-byte record per 128 bytes of protected
+    // footprint, plus two upper-level pages.
+    double table_bytes =
+        static_cast<double>(p.footprint_bytes) / kMondrianRecordCoverage *
+        kMondrianRecordBytes;
+    double table_pages = table_bytes / kPageBytes + 2.0;
+    o.pages = frac(table_pages, static_cast<double>(b.pages_touched));
+
+    // Records written over the block's lifetime: the kernel fill
+    // dirties each record on malloc, and the free-time clear
+    // write-combines into the same cache lines, so the DRAM traffic
+    // is one record-set write per allocate/free pair.
+    double records =
+        static_cast<double>(b.heap_bytes) / kMondrianRecordCoverage +
+        static_cast<double>(b.mallocs);
+    double update_bytes = records * kMondrianRecordBytes;
+    // Table walks: one two-level read per first-touched page.
+    double walk_bytes =
+        static_cast<double>(b.pages_touched) * kMondrianWalkBytes;
+    o.traffic_bytes =
+        frac(update_bytes + walk_bytes,
+             static_cast<double>(b.memory_bytes));
+
+    double extra_refs =
+        static_cast<double>(b.pages_touched) * kMondrianWalkRefs +
+        records;
+    o.refs = frac(extra_refs, static_cast<double>(b.memory_refs));
+
+    // Every allocation and free is a domain switch (Section 6.2); the
+    // kernel entry/exit burden is reported as the system-call rate
+    // (the paper's separate metric), while the instruction panels
+    // carry the software table-fill algorithm itself.
+    double instr = 2.0 * records * kMondrianFillInstrPerRecord;
+    o.instr_optimistic = frac(instr, static_cast<double>(b.instructions));
+    o.instr_pessimistic = o.instr_optimistic;
+    o.syscalls = b.mallocs + b.frees;
+    return o;
+}
+
+FeatureRow
+MondrianModel::features() const
+{
+    return {kNo, Feature::kPartial, kNo, kYes, kNo, kYes, kNo, kYes};
+}
+
+// --------------------------------------------------------- MPX table
+
+Overheads
+MpxTableModel::evaluate(const trace::TraceProfile &p) const
+{
+    Overheads o;
+    const trace::BaselineStats &b = p.base;
+
+    // Leaf tables: >4 pages of table per page of pointers, plus a
+    // directory page per 512 leaf pages.
+    double table_pages =
+        static_cast<double>(p.ptr_pages) * kMpxTablePagesPerPtrPage;
+    table_pages += table_pages / 512.0 + 1.0;
+    o.pages = frac(table_pages, static_cast<double>(b.pages_touched));
+
+    // BNDLDX/BNDSTX walk the directory and move one 32-byte entry for
+    // every pointer load and store.
+    double per_ref_bytes = kMpxEntryBytes + kMpxDirectoryBytes;
+    o.traffic_bytes = frac(static_cast<double>(p.ptr_refs) * per_ref_bytes,
+                           static_cast<double>(b.memory_bytes));
+    o.refs = frac(static_cast<double>(p.ptr_refs) * 2.0,
+                  static_cast<double>(b.memory_refs));
+
+    // One BNDLDX/BNDSTX per pointer move; explicit BNDCL/BNDCU checks
+    // once per pointer load (optimistic) or per dereference
+    // (pessimistic).
+    double moves = static_cast<double>(p.ptr_refs);
+    double opt = moves + kMpxCheckInstr *
+                             static_cast<double>(b.pointer_loads);
+    double pess =
+        moves + kMpxCheckInstr * static_cast<double>(p.derefs);
+    o.instr_optimistic = frac(opt, static_cast<double>(b.instructions));
+    o.instr_pessimistic = frac(pess, static_cast<double>(b.instructions));
+    return o;
+}
+
+FeatureRow
+MpxTableModel::features() const
+{
+    return {kYes, kYes, kYes, kNo, kYes, kYes, kNa, kYes};
+}
+
+// ---------------------------------------------------------- MPX (FP)
+
+Overheads
+MpxFatPtrModel::evaluate(const trace::TraceProfile &p) const
+{
+    Overheads o;
+    const trace::BaselineStats &b = p.base;
+
+    double inflation = static_cast<double>(p.ptr_locations) *
+                       kMpxFpExtraBytesPerPtr;
+    o.pages = frac(inflation / kPageBytes,
+                   static_cast<double>(b.pages_touched));
+
+    o.traffic_bytes =
+        frac(static_cast<double>(p.ptr_refs) * kMpxFpExtraBytesPerPtr,
+             static_cast<double>(b.memory_bytes));
+    o.refs = frac(static_cast<double>(p.ptr_refs) *
+                      kMpxFpExtraRefsPerPtr,
+                  static_cast<double>(b.memory_refs));
+
+    double moves =
+        static_cast<double>(p.ptr_refs) * kMpxFpExtraRefsPerPtr;
+    double opt = moves + kMpxCheckInstr *
+                             static_cast<double>(b.pointer_loads);
+    double pess = moves + kMpxCheckInstr * static_cast<double>(p.derefs);
+    o.instr_optimistic = frac(opt, static_cast<double>(b.instructions));
+    o.instr_pessimistic = frac(pess, static_cast<double>(b.instructions));
+    return o;
+}
+
+FeatureRow
+MpxFatPtrModel::features() const
+{
+    return {kYes, kYes, kNo, kNo, kYes, kYes, kNa, kNo};
+}
+
+// ------------------------------------------------------- Software FP
+
+Overheads
+SoftFatPtrModel::evaluate(const trace::TraceProfile &p) const
+{
+    Overheads o;
+    const trace::BaselineStats &b = p.base;
+
+    double inflation = static_cast<double>(p.ptr_locations) *
+                       kSoftFpExtraBytesPerPtr;
+    o.pages = frac(inflation / kPageBytes,
+                   static_cast<double>(b.pages_touched));
+
+    o.traffic_bytes =
+        frac(static_cast<double>(p.ptr_refs) * kSoftFpExtraBytesPerPtr,
+             static_cast<double>(b.memory_bytes));
+    o.refs = frac(static_cast<double>(p.ptr_refs) *
+                      kSoftFpExtraRefsPerPtr,
+                  static_cast<double>(b.memory_refs));
+
+    double moves =
+        static_cast<double>(p.ptr_refs) * kSoftFpExtraRefsPerPtr;
+    double setup = static_cast<double>(b.mallocs) * kSoftFpMallocInstr;
+    double opt = moves + setup +
+                 kSoftFpCheckInstr * static_cast<double>(b.pointer_loads);
+    double pess = moves + setup +
+                  kSoftFpCheckInstr * static_cast<double>(p.derefs);
+    o.instr_optimistic = frac(opt, static_cast<double>(b.instructions));
+    o.instr_pessimistic = frac(pess, static_cast<double>(b.instructions));
+    return o;
+}
+
+FeatureRow
+SoftFatPtrModel::features() const
+{
+    // Software fat pointers behave like the iMPX fat-pointer row:
+    // forgeable, no access control, intrusive to the ABI.
+    return {kYes, kYes, kNo, kNo, kYes, kYes, kNa, kNo};
+}
+
+// --------------------------------------------------------- Hardbound
+
+Overheads
+HardboundModel::evaluate(const trace::TraceProfile &p) const
+{
+    Overheads o;
+    const trace::BaselineStats &b = p.base;
+
+    double incompressible = static_cast<double>(
+        p.ptr_refs - p.compressible_ptr_refs);
+    double incompressible_fraction =
+        p.ptr_refs ? incompressible / static_cast<double>(p.ptr_refs)
+                   : 0.0;
+
+    // Shadow bounds table: two table pages per pointer page, scaled by
+    // the fraction of pointers that actually need entries; plus the
+    // 2-bits-per-word tag table.
+    double table_pages = 2.0 * static_cast<double>(p.ptr_pages) *
+                         incompressible_fraction;
+    double tag_pages = static_cast<double>(p.footprint_bytes) /
+                       kHardboundTagDivisor / kPageBytes;
+    o.pages = frac(table_pages + tag_pages,
+                   static_cast<double>(b.pages_touched));
+
+    // Tag-table traffic scales with data traffic (2 bits per 64-bit
+    // word travel with every access, modulo caching), plus the
+    // bounds-table accesses for incompressible pointers.
+    double table_bytes = incompressible * kHardboundTableBytes;
+    double tag_bytes = static_cast<double>(b.memory_bytes) /
+                       kHardboundTagDivisor +
+                       static_cast<double>(p.footprint_bytes) /
+                           kHardboundTagDivisor;
+    o.traffic_bytes = frac(table_bytes + tag_bytes,
+                           static_cast<double>(b.memory_bytes));
+    o.refs = frac(incompressible + tag_bytes / 32.0,
+                  static_cast<double>(b.memory_refs));
+
+    // Hardware checks are implicit; the only extra instruction is
+    // setbound at allocation.
+    double instr = static_cast<double>(b.mallocs) * kHwSetBoundsInstr;
+    o.instr_optimistic = frac(instr, static_cast<double>(b.instructions));
+    o.instr_pessimistic = o.instr_optimistic;
+    return o;
+}
+
+FeatureRow
+HardboundModel::features() const
+{
+    return {kYes, kYes, kYes, kNo, kYes, kYes, kNa, kYes};
+}
+
+// --------------------------------------------------------- M-Machine
+
+Overheads
+MMachineModel::evaluate(const trace::TraceProfile &p) const
+{
+    Overheads o;
+    const trace::BaselineStats &b = p.base;
+
+    // Guarded pointers stay 64-bit; the cost is power-of-two padding
+    // of every allocation (Section 6.5).
+    o.pages = frac(static_cast<double>(p.pow2_padding_bytes) /
+                       kPageBytes,
+                   static_cast<double>(b.pages_touched));
+    o.traffic_bytes = 0.0;
+    o.refs = 0.0;
+
+    double instr = static_cast<double>(b.mallocs) * kHwSetBoundsInstr;
+    o.instr_optimistic = frac(instr, static_cast<double>(b.instructions));
+    o.instr_pessimistic = o.instr_optimistic;
+    return o;
+}
+
+FeatureRow
+MMachineModel::features() const
+{
+    return {kYes, kNo, kYes, kYes, kYes, kYes, kYes, kNo};
+}
+
+// ------------------------------------------------------------- CHERI
+
+namespace
+{
+
+Overheads
+cheriOverheads(const trace::TraceProfile &p,
+               std::uint64_t extra_bytes_per_ptr)
+{
+    Overheads o;
+    const trace::BaselineStats &b = p.base;
+
+    // Inline capabilities inflate structures holding pointers; tags
+    // add 1 bit per 256-bit line of footprint.
+    double inflation = static_cast<double>(p.ptr_locations) *
+                       static_cast<double>(extra_bytes_per_ptr);
+    double tag_bytes =
+        static_cast<double>(p.footprint_bytes) / kCheriTagDivisor;
+    o.pages = frac((inflation + tag_bytes) / kPageBytes,
+                   static_cast<double>(b.pages_touched));
+
+    // Every pointer load/store moves a whole capability; the tag
+    // travels with the cache line, so there is no separate reference,
+    // and the tag table costs only its cold-fill traffic (the 8 KB
+    // tag cache absorbs re-references; Section 4.2).
+    o.traffic_bytes =
+        frac(static_cast<double>(p.ptr_refs) *
+                     static_cast<double>(extra_bytes_per_ptr) +
+                 tag_bytes,
+             static_cast<double>(b.memory_bytes));
+    o.refs = 0.0;
+
+    // CIncBase/CSetLen at allocation; all checks are implicit.
+    double instr = static_cast<double>(b.mallocs) * kHwSetBoundsInstr;
+    o.instr_optimistic = frac(instr, static_cast<double>(b.instructions));
+    o.instr_pessimistic = o.instr_optimistic;
+    return o;
+}
+
+} // namespace
+
+Overheads
+Cheri256Model::evaluate(const trace::TraceProfile &p) const
+{
+    return cheriOverheads(p, kCheri256ExtraBytesPerPtr);
+}
+
+FeatureRow
+Cheri256Model::features() const
+{
+    return {kYes, kYes, kYes, kYes, kYes, kYes, kYes, kYes};
+}
+
+Overheads
+Cheri128Model::evaluate(const trace::TraceProfile &p) const
+{
+    return cheriOverheads(p, kCheri128ExtraBytesPerPtr);
+}
+
+FeatureRow
+Cheri128Model::features() const
+{
+    return {kYes, kYes, kYes, kYes, kYes, kYes, kYes, kYes};
+}
+
+// ---------------------------------------------------------- registry
+
+std::vector<std::unique_ptr<ProtectionModel>>
+limitStudyModels()
+{
+    std::vector<std::unique_ptr<ProtectionModel>> models;
+    models.push_back(std::make_unique<MondrianModel>());
+    models.push_back(std::make_unique<MpxTableModel>());
+    models.push_back(std::make_unique<MpxFatPtrModel>());
+    models.push_back(std::make_unique<SoftFatPtrModel>());
+    models.push_back(std::make_unique<HardboundModel>());
+    models.push_back(std::make_unique<MMachineModel>());
+    models.push_back(std::make_unique<Cheri256Model>());
+    models.push_back(std::make_unique<Cheri128Model>());
+    return models;
+}
+
+std::vector<std::unique_ptr<ProtectionModel>>
+featureTableModels()
+{
+    std::vector<std::unique_ptr<ProtectionModel>> models;
+    models.push_back(std::make_unique<MmuModel>());
+    models.push_back(std::make_unique<MondrianModel>());
+    models.push_back(std::make_unique<HardboundModel>());
+    models.push_back(std::make_unique<MpxTableModel>());
+    models.push_back(std::make_unique<MpxFatPtrModel>());
+    models.push_back(std::make_unique<MMachineModel>());
+    models.push_back(std::make_unique<Cheri256Model>());
+    return models;
+}
+
+const char *
+featureMark(Feature feature)
+{
+    switch (feature) {
+      case Feature::kYes: return "yes";
+      case Feature::kNo: return "-";
+      case Feature::kNotApplicable: return "n/a";
+      case Feature::kPartial: return "yes**";
+    }
+    return "?";
+}
+
+} // namespace cheri::models

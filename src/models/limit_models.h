@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The concrete protection models of the Section 7 limit study:
+ * Mondrian, iMPX (table and fat-pointer modes), software fat
+ * pointers, Hardbound, the M-Machine, and CHERI in its 256-bit and
+ * 128-bit forms — plus the plain MMU for the Table 2 feature matrix.
+ */
+
+#ifndef CHERI_MODELS_LIMIT_MODELS_H
+#define CHERI_MODELS_LIMIT_MODELS_H
+
+#include "models/protection_model.h"
+
+namespace cheri::models
+{
+
+/** Conventional MMU (Section 6.1). Table 2 only: page-granularity
+ *  address validity provides no per-pointer protection to measure. */
+class MmuModel : public ProtectionModel
+{
+  public:
+    std::string name() const override { return "MMU"; }
+    Overheads evaluate(const trace::TraceProfile &p) const override;
+    FeatureRow features() const override;
+};
+
+/** Mondrian memory protection (Section 6.2): supervisor-maintained
+ *  word-granularity permission tables behind a PLB. */
+class MondrianModel : public ProtectionModel
+{
+  public:
+    std::string name() const override { return "Mondrian"; }
+    Overheads evaluate(const trace::TraceProfile &p) const override;
+    FeatureRow features() const override;
+};
+
+/** iMPX with architecturally-supported look-aside bounds tables
+ *  (Section 6.4), ABI-preserving. */
+class MpxTableModel : public ProtectionModel
+{
+  public:
+    std::string name() const override { return "MPX"; }
+    Overheads evaluate(const trace::TraceProfile &p) const override;
+    FeatureRow features() const override;
+};
+
+/** iMPX with compiler-managed consecutive fat pointers. */
+class MpxFatPtrModel : public ProtectionModel
+{
+  public:
+    std::string name() const override { return "MPX(FP)"; }
+    Overheads evaluate(const trace::TraceProfile &p) const override;
+    FeatureRow features() const override;
+};
+
+/** Pure software fat pointers (Cyclone/CCured style, Section 5.1). */
+class SoftFatPtrModel : public ProtectionModel
+{
+  public:
+    std::string name() const override { return "SoftwareFP"; }
+    Overheads evaluate(const trace::TraceProfile &p) const override;
+    FeatureRow features() const override;
+};
+
+/** Hardbound (Section 6.3): shadow base/bounds table, tag table, and
+ *  pointer compression for small word-aligned objects. */
+class HardboundModel : public ProtectionModel
+{
+  public:
+    std::string name() const override { return "Hardbound"; }
+    Overheads evaluate(const trace::TraceProfile &p) const override;
+    FeatureRow features() const override;
+};
+
+/** M-Machine guarded pointers (Section 6.5): 64-bit compressed fat
+ *  pointers, power-of-two segment padding. */
+class MMachineModel : public ProtectionModel
+{
+  public:
+    std::string name() const override { return "M-Machine"; }
+    Overheads evaluate(const trace::TraceProfile &p) const override;
+    FeatureRow features() const override;
+};
+
+/** CHERI with the 256-bit research capability format (Figure 1). */
+class Cheri256Model : public ProtectionModel
+{
+  public:
+    std::string name() const override { return "CHERI"; }
+    Overheads evaluate(const trace::TraceProfile &p) const override;
+    FeatureRow features() const override;
+};
+
+/** CHERI with the proposed 128-bit production format (Section 7). */
+class Cheri128Model : public ProtectionModel
+{
+  public:
+    std::string name() const override { return "128b CHERI"; }
+    Overheads evaluate(const trace::TraceProfile &p) const override;
+    FeatureRow features() const override;
+};
+
+} // namespace cheri::models
+
+#endif // CHERI_MODELS_LIMIT_MODELS_H

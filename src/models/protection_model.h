@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The protection-model interface for the Section 7 limit study. Each
+ * model consumes the shared trace profile and reports the five
+ * overhead metrics of Figure 3 plus the system-call count, all
+ * normalized against the unprotected 64-bit MIPS baseline. Each model
+ * also carries its Table 2 feature row.
+ */
+
+#ifndef CHERI_MODELS_PROTECTION_MODEL_H
+#define CHERI_MODELS_PROTECTION_MODEL_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/profile.h"
+
+namespace cheri::models
+{
+
+/** The five Figure 3 panels plus the syscall rate, as overheads. */
+struct Overheads
+{
+    /** Fractional overheads vs baseline (0.15 == +15%). */
+    double pages = 0.0;        ///< virtual memory footprint (pages)
+    double traffic_bytes = 0.0;///< memory I/O (bytes)
+    double refs = 0.0;         ///< memory references (count)
+    double instr_optimistic = 0.0;
+    double instr_pessimistic = 0.0;
+    /** Absolute protection-related system calls. */
+    std::uint64_t syscalls = 0;
+};
+
+/** Tri-state entry for the Table 2 feature matrix. */
+enum class Feature
+{
+    kYes,
+    kNo,
+    kNotApplicable,
+    kPartial, ///< Mondrian's heap-only fine granularity (footnote **)
+};
+
+/** One Table 2 row. */
+struct FeatureRow
+{
+    Feature unprivileged_use;
+    Feature fine_grained;
+    Feature unforgeable;
+    Feature access_control;
+    Feature pointer_safety;
+    Feature segment_scalability;
+    Feature domain_scalability;
+    Feature incremental_deployment;
+};
+
+/** Render a Feature cell like the paper's check/dash/n-a marks. */
+const char *featureMark(Feature feature);
+
+/** A protection scheme evaluated by the limit study. */
+class ProtectionModel
+{
+  public:
+    virtual ~ProtectionModel() = default;
+
+    /** Display name, as in Figure 3's x-axis. */
+    virtual std::string name() const = 0;
+
+    /** Evaluate the model's overheads against a trace profile. */
+    virtual Overheads evaluate(const trace::TraceProfile &p) const = 0;
+
+    /** This model's Table 2 row. */
+    virtual FeatureRow features() const = 0;
+};
+
+/**
+ * All models in the paper's Figure 3 order: Mondrian, MPX, MPX(FP),
+ * Software FP, Hardbound, M-Machine, CHERI (256-bit), 128-bit CHERI.
+ */
+std::vector<std::unique_ptr<ProtectionModel>> limitStudyModels();
+
+/**
+ * All models in Table 2 order (MMU first, which is not in the limit
+ * study because it cannot provide per-pointer protection at all).
+ */
+std::vector<std::unique_ptr<ProtectionModel>> featureTableModels();
+
+} // namespace cheri::models
+
+#endif // CHERI_MODELS_PROTECTION_MODEL_H

@@ -1,0 +1,106 @@
+#include "os/cap_allocator.h"
+
+#include "support/bits.h"
+#include "support/logging.h"
+
+namespace cheri::os
+{
+
+namespace
+{
+/** Alignment so any allocation can store capabilities. */
+constexpr std::uint64_t kAllocAlign = 32;
+} // namespace
+
+CapAllocator::CapAllocator(cap::Capability heap_cap, ReusePolicy policy)
+    : heap_(heap_cap), policy_(policy)
+{
+    if (!heap_.tag())
+        support::fatal("CapAllocator needs a tagged heap capability");
+    if (heap_.base() % kAllocAlign != 0)
+        support::fatal("heap capability base must be 32-byte aligned");
+    free_blocks_[0] = heap_.length();
+}
+
+std::optional<cap::Capability>
+CapAllocator::allocate(std::uint64_t size, std::uint32_t perms)
+{
+    stats_.add("alloc.calls");
+    if (size == 0)
+        return std::nullopt;
+    std::uint64_t block_size = support::roundUp(size, kAllocAlign);
+
+    // First fit over the free map (ordered by offset).
+    for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+        auto [offset, avail] = *it;
+        if (avail < block_size)
+            continue;
+        free_blocks_.erase(it);
+        if (avail > block_size)
+            free_blocks_[offset + block_size] = avail - block_size;
+        live_blocks_[offset] = block_size;
+        bytes_in_use_ += block_size;
+        stats_.add("alloc.bytes", block_size);
+
+        // Derive the object capability exactly as compiled code
+        // would: CIncBase to the block, CSetLen to the request,
+        // CAndPerm to the requested rights (Section 5.1).
+        cap::CapOpResult derived = cap::incBase(heap_, offset);
+        if (derived.ok())
+            derived = cap::setLen(derived.value, size);
+        if (derived.ok())
+            derived = cap::andPerm(derived.value, perms);
+        if (!derived.ok())
+            support::panic("allocator derivation failed: %s",
+                           cap::capCauseName(derived.cause));
+        return derived.value;
+    }
+    stats_.add("alloc.failures");
+    return std::nullopt;
+}
+
+void
+CapAllocator::free(const cap::Capability &capability)
+{
+    stats_.add("alloc.free_calls");
+    if (!capability.tag()) {
+        support::warn("free of untagged capability ignored");
+        return;
+    }
+    std::uint64_t offset = capability.base() - heap_.base();
+    auto it = live_blocks_.find(offset);
+    if (it == live_blocks_.end()) {
+        support::warn("free of unknown block at offset 0x%llx",
+                      static_cast<unsigned long long>(offset));
+        return;
+    }
+    std::uint64_t block_size = it->second;
+    live_blocks_.erase(it);
+    bytes_in_use_ -= block_size;
+
+    if (policy_ == ReusePolicy::kNoReuse)
+        return; // address space is never recycled (Section 11)
+
+    // Insert and coalesce with neighbours.
+    auto [pos, inserted] = free_blocks_.emplace(offset, block_size);
+    if (!inserted)
+        support::panic("double free at offset 0x%llx",
+                       static_cast<unsigned long long>(offset));
+    // Merge with next.
+    auto next = std::next(pos);
+    if (next != free_blocks_.end() &&
+        pos->first + pos->second == next->first) {
+        pos->second += next->second;
+        free_blocks_.erase(next);
+    }
+    // Merge with previous.
+    if (pos != free_blocks_.begin()) {
+        auto prev = std::prev(pos);
+        if (prev->first + prev->second == pos->first) {
+            prev->second += pos->second;
+            free_blocks_.erase(pos);
+        }
+    }
+}
+
+} // namespace cheri::os

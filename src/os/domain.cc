@@ -1,0 +1,101 @@
+#include "os/domain.h"
+
+#include "support/logging.h"
+
+namespace cheri::os
+{
+
+DomainManager::DomainManager()
+    : sealing_root_(cap::Capability::make(0, 1ULL << 24, cap::kPermSeal))
+{
+}
+
+ProtectedObject
+DomainManager::createObject(const cap::Capability &code,
+                            const cap::Capability &data)
+{
+    // A per-object sealing capability: exactly one otype.
+    cap::CapOpResult authority =
+        cap::incBase(sealing_root_, next_otype_);
+    if (authority.ok())
+        authority = cap::setLen(authority.value, 1);
+    if (!authority.ok())
+        support::panic("sealing authority derivation failed");
+
+    ProtectedObject object;
+    object.otype = next_otype_++;
+    cap::CapOpResult sealed_code = cap::seal(code, authority.value);
+    cap::CapOpResult sealed_data = cap::seal(data, authority.value);
+    if (!sealed_code.ok() || !sealed_data.ok())
+        support::fatal("cannot seal domain: %s",
+                       cap::capCauseName(sealed_code.ok()
+                                             ? sealed_data.cause
+                                             : sealed_code.cause));
+    object.sealed_code = sealed_code.value;
+    object.sealed_data = sealed_data.value;
+    return object;
+}
+
+DomainOutcome
+DomainManager::handleCCall(core::Cpu &cpu, const core::Trap &trap)
+{
+    const cap::Capability &code = cpu.caps().read(trap.cap_reg);
+    const cap::Capability &data = cpu.caps().read(trap.cap_reg2);
+
+    // Validation: both sealed, same object type, code executable.
+    if (!code.tag() || !data.tag() || !code.sealed() ||
+        !data.sealed() || code.otype() != data.otype() ||
+        !code.hasPerms(cap::kPermExecute)) {
+        stats_.add("domain.faults");
+        return DomainOutcome::kBadCall;
+    }
+
+    cap::CapOpResult unsealed_code = cap::unseal(code, sealing_root_);
+    cap::CapOpResult unsealed_data = cap::unseal(data, sealing_root_);
+    if (!unsealed_code.ok() || !unsealed_data.ok()) {
+        stats_.add("domain.faults");
+        return DomainOutcome::kBadCall;
+    }
+
+    trusted_stack_.push_back(
+        Frame{cpu.caps().pcc(), cpu.caps().c0(), trap.epc + 4});
+
+    // Enter the callee domain: clear every capability register except
+    // the declared argument window, then install its C0 and PCC.
+    for (unsigned i = 0; i < cap::kNumCapRegs; ++i) {
+        if (i < kCapArgFirst || i > kCapArgLast)
+            cpu.caps().write(i, cap::Capability());
+    }
+    cpu.caps().write(0, unsealed_data.value);
+    cpu.caps().setPcc(unsealed_code.value);
+    cpu.setPc(unsealed_code.value.base());
+    cpu.chargeCycles(kDomainCrossingCycles);
+    stats_.add("domain.calls");
+    return DomainOutcome::kTransitioned;
+}
+
+DomainOutcome
+DomainManager::handleCReturn(core::Cpu &cpu)
+{
+    if (trusted_stack_.empty()) {
+        stats_.add("domain.faults");
+        return DomainOutcome::kStackEmpty;
+    }
+    Frame frame = trusted_stack_.back();
+    trusted_stack_.pop_back();
+
+    // The capability return value rides in c3; clear the rest so the
+    // callee's authority cannot leak back.
+    for (unsigned i = 0; i < cap::kNumCapRegs; ++i) {
+        if (i != 3)
+            cpu.caps().write(i, cap::Capability());
+    }
+    cpu.caps().write(0, frame.caller_c0);
+    cpu.caps().setPcc(frame.caller_pcc);
+    cpu.setPc(frame.return_pc);
+    cpu.chargeCycles(kDomainCrossingCycles);
+    stats_.add("domain.returns");
+    return DomainOutcome::kTransitioned;
+}
+
+} // namespace cheri::os

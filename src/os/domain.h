@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Protected domain crossing (Section 11): the paper's prototype traps
+ * to the OS to emulate a protected procedure-call instruction. This
+ * manager is that OS side. A protection domain is packaged as a
+ * sealed code/data capability pair sharing an object type; CCall
+ * validates the pair, saves the caller's {PCC, C0, return PC} on a
+ * kernel-held trusted stack, and installs the unsealed pair; CReturn
+ * pops the frame. Register clearing enforces mutual distrust: the
+ * callee sees only its own authority plus the declared argument
+ * registers.
+ */
+
+#ifndef CHERI_OS_DOMAIN_H
+#define CHERI_OS_DOMAIN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cap/cap_ops.h"
+#include "core/cpu.h"
+#include "core/exceptions.h"
+#include "support/stats.h"
+
+namespace cheri::os
+{
+
+/** Capability registers that carry arguments across a CCall. */
+constexpr unsigned kCapArgFirst = 3;
+constexpr unsigned kCapArgLast = 10;
+
+/** Modeled cycle cost of the trap-based domain transition. */
+constexpr std::uint64_t kDomainCrossingCycles = 100;
+
+/** A sealed code/data pair representing one protection domain. */
+struct ProtectedObject
+{
+    cap::Capability sealed_code;
+    cap::Capability sealed_data;
+    std::uint64_t otype = 0;
+};
+
+/** Outcome of a CCall/CReturn emulation. */
+enum class DomainOutcome
+{
+    kTransitioned, ///< transition performed; execution may resume
+    kBadCall,      ///< validation failed (treated as a CP2 fault)
+    kStackEmpty,   ///< CReturn with no matching CCall
+};
+
+/**
+ * The OS domain-transition service. Owns the sealing root (the
+ * kernel reserves the whole object-type space) and the trusted stack.
+ */
+class DomainManager
+{
+  public:
+    DomainManager();
+
+    /**
+     * Package a domain: seal 'code' and 'data' with a fresh object
+     * type. The resulting pair can be handed to distrusting code —
+     * neither half is dereferenceable or modifiable until CCall
+     * unseals them together.
+     */
+    ProtectedObject createObject(const cap::Capability &code,
+                                 const cap::Capability &data);
+
+    /**
+     * Emulate CCall on a trapped CPU: validate the sealed pair named
+     * by the trap's capability registers, push the caller frame, and
+     * enter the callee domain (PCC = unsealed code, C0 = unsealed
+     * data, PC = code base; non-argument capability registers are
+     * cleared).
+     */
+    DomainOutcome handleCCall(core::Cpu &cpu, const core::Trap &trap);
+
+    /**
+     * Emulate CReturn: pop the caller frame and restore its PCC, C0
+     * and PC. The capability return value travels in c3; every other
+     * capability register is cleared.
+     */
+    DomainOutcome handleCReturn(core::Cpu &cpu);
+
+    /** Current trusted-stack depth (live nested calls). */
+    std::size_t depth() const { return trusted_stack_.size(); }
+
+    /** Counters: "domain.calls", "domain.returns", "domain.faults". */
+    const support::StatSet &stats() const { return stats_; }
+
+  private:
+    struct Frame
+    {
+        cap::Capability caller_pcc;
+        cap::Capability caller_c0;
+        std::uint64_t return_pc = 0;
+    };
+
+    /** Kernel sealing authority over the whole otype space. */
+    cap::Capability sealing_root_;
+    std::uint64_t next_otype_ = 1;
+    std::vector<Frame> trusted_stack_;
+    support::StatSet stats_;
+};
+
+} // namespace cheri::os
+
+#endif // CHERI_OS_DOMAIN_H

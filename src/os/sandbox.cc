@@ -1,0 +1,59 @@
+#include "os/sandbox.h"
+
+namespace cheri::os
+{
+
+namespace
+{
+
+/** Derive a sub-capability [base, base+len) with perms from parent. */
+cap::CapOpResult
+derive(const cap::Capability &parent, std::uint64_t base,
+       std::uint64_t len, std::uint32_t perms)
+{
+    cap::CapOpResult result = cap::incBase(parent, base - parent.base());
+    if (result.ok())
+        result = cap::setLen(result.value, len);
+    if (result.ok())
+        result = cap::andPerm(result.value, perms);
+    return result;
+}
+
+} // namespace
+
+SandboxResult
+makeSandbox(const cap::Capability &parent, std::uint64_t code_base,
+            std::uint64_t code_len, std::uint64_t data_base,
+            std::uint64_t data_len)
+{
+    SandboxResult result;
+
+    cap::CapOpResult code = derive(parent, code_base, code_len,
+                                   cap::kPermExecute | cap::kPermLoad);
+    if (!code.ok()) {
+        result.cause = code.cause;
+        return result;
+    }
+    cap::CapOpResult data = derive(parent, data_base, data_len,
+                                   cap::kPermLoad | cap::kPermStore);
+    if (!data.ok()) {
+        result.cause = data.cause;
+        return result;
+    }
+    result.caps.pcc = code.value;
+    result.caps.c0 = data.value;
+    return result;
+}
+
+void
+enterSandbox(core::Cpu &cpu, const SandboxCaps &caps,
+             std::uint64_t entry_pc)
+{
+    for (unsigned i = 0; i < cap::kNumCapRegs; ++i)
+        cpu.caps().write(i, cap::Capability());
+    cpu.caps().write(0, caps.c0);
+    cpu.caps().setPcc(caps.pcc);
+    cpu.setPc(entry_pc);
+}
+
+} // namespace cheri::os

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sandboxing of unmodified (legacy) code inside a micro-address-space
+ * (Section 5.3): conventional binaries are confined by constraining
+ * C0 and PCC, so every legacy load, store and instruction fetch is
+ * bounded without recompilation.
+ */
+
+#ifndef CHERI_OS_SANDBOX_H
+#define CHERI_OS_SANDBOX_H
+
+#include <cstdint>
+
+#include "cap/cap_ops.h"
+#include "core/cpu.h"
+
+namespace cheri::os
+{
+
+/** The capability pair defining a sandbox. */
+struct SandboxCaps
+{
+    cap::Capability pcc; ///< code: execute-only over the text range
+    cap::Capability c0;  ///< data: load/store over the data range
+};
+
+/**
+ * Derive sandbox capabilities from a parent authority. The code
+ * capability covers [code_base, code_base+code_len) with execute (and
+ * load, so constants in the text segment stay readable); the data
+ * capability covers [data_base, data_base+data_len) with load/store
+ * only — deliberately no capability load/store, so the sandbox cannot
+ * exfiltrate or receive authority through memory.
+ *
+ * Returns untagged capabilities (and a fault cause) if the parent
+ * does not cover the requested ranges — a sandbox can never exceed
+ * its creator's authority.
+ */
+struct SandboxResult
+{
+    cap::CapCause cause = cap::CapCause::kNone;
+    SandboxCaps caps;
+
+    bool ok() const { return cause == cap::CapCause::kNone; }
+};
+
+SandboxResult makeSandbox(const cap::Capability &parent,
+                          std::uint64_t code_base, std::uint64_t code_len,
+                          std::uint64_t data_base, std::uint64_t data_len);
+
+/**
+ * Install sandbox capabilities on a CPU: C0 and PCC are replaced and,
+ * because compromised sandbox code could read any capability
+ * register, every other capability register is cleared to the
+ * untagged NULL capability.
+ */
+void enterSandbox(core::Cpu &cpu, const SandboxCaps &caps,
+                  std::uint64_t entry_pc);
+
+} // namespace cheri::os
+
+#endif // CHERI_OS_SANDBOX_H

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * SimpleOs: the minimal operating-system layer the paper's CHERI
+ * needs from FreeBSD (Section 4.3) — and nothing more:
+ *
+ *  - process creation that delegates the entire user virtual address
+ *    space to the new process's capability register file;
+ *  - per-process page tables layered under the capability model;
+ *  - saving and restoring capability-register state on context switch;
+ *  - a small syscall surface (exit, write, sbrk, mmap) so guest
+ *    programs can allocate and report without kernel involvement in
+ *    capability management.
+ */
+
+#ifndef CHERI_OS_SIMPLE_OS_H
+#define CHERI_OS_SIMPLE_OS_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+#include "os/domain.h"
+#include "tlb/page_table.h"
+
+namespace cheri::os
+{
+
+/** Syscall numbers (passed in v0). */
+enum Syscall : std::uint64_t
+{
+    kSysExit = 1,    ///< a0 = exit code
+    kSysWrite = 4,   ///< a0 = buffer vaddr, a1 = length; to console
+    kSysSbrk = 9,    ///< a0 = delta; returns old break in v0
+    kSysMmap = 10,   ///< a0 = length; returns fresh mapping in v0
+    kSysPutChar = 11,///< a0 = character; to console
+};
+
+/** Default user address-space layout. */
+constexpr std::uint64_t kTextBase = 0x10000;
+constexpr std::uint64_t kStackTop = 0x7ff0000;
+constexpr std::uint64_t kHeapBase = 0x1000000;
+constexpr std::uint64_t kMmapBase = 0x4000000;
+/** One-past-the-end of the user virtual address space. */
+constexpr std::uint64_t kUserTop = 0x8000000;
+
+/** One user process. */
+struct Process
+{
+    int pid = -1;
+    tlb::PageTable table;
+    std::array<std::uint64_t, 32> gpr{};
+    std::uint64_t pc = 0, hi = 0, lo = 0;
+    cap::CapRegFile::Snapshot caps;
+    std::uint64_t brk = kHeapBase;
+    std::uint64_t mmap_next = kMmapBase;
+    std::string console;
+    bool exited = false;
+    std::int64_t exit_code = 0;
+};
+
+/** The OS. Owns all processes; exactly one is current at a time. */
+class SimpleOs
+{
+  public:
+    explicit SimpleOs(core::Machine &machine);
+
+    /**
+     * Create a process from a text image, map its stack and initial
+     * heap, delegate the whole user address space to its capability
+     * registers (C0 and PCC almighty over [0, kUserTop)), and make it
+     * current. Returns the pid.
+     */
+    int exec(const std::vector<std::uint32_t> &text,
+             std::uint64_t entry = kTextBase,
+             std::uint64_t stack_bytes = 64 * 1024);
+
+    /**
+     * Context switch: save the current process's integer and
+     * capability register state, restore the target's, and repoint
+     * the TLB at its page table.
+     */
+    void switchTo(int pid);
+
+    /**
+     * Run the current process for up to max_instructions. CCall and
+     * CReturn traps are handled transparently by the domain manager
+     * (the Section 11 trap-to-OS protected procedure call); an
+     * invalid call surfaces as a CP2 seal-violation trap.
+     */
+    core::RunResult run(std::uint64_t max_instructions = 1'000'000'000);
+
+    /** The protected-domain-crossing service. */
+    DomainManager &domains() { return domains_; }
+
+    Process &process(int pid);
+    int currentPid() const { return current_; }
+    core::Machine &machine() { return machine_; }
+
+    /** Map [vaddr, vaddr+bytes) in a process's address space. */
+    void mapRange(Process &proc, std::uint64_t vaddr,
+                  std::uint64_t bytes, tlb::PteFlags flags = {});
+
+    /**
+     * Unmap a virtual range and flush the TLB: the OS-side revocation
+     * mechanism the paper describes (capabilities to the range remain
+     * tagged but every dereference now faults).
+     */
+    void revokeRange(Process &proc, std::uint64_t vaddr,
+                     std::uint64_t bytes);
+
+    /** Copy bytes into a process's memory (loader / test setup). */
+    void writeMemory(Process &proc, std::uint64_t vaddr,
+                     const void *data, std::uint64_t len);
+
+    /** Copy bytes out of a process's memory. */
+    void readMemory(Process &proc, std::uint64_t vaddr, void *data,
+                    std::uint64_t len);
+
+  private:
+    core::SyscallAction handleSyscall(core::Cpu &cpu);
+
+    /** Physical address of vaddr in proc (fatal if unmapped). */
+    std::uint64_t translate(Process &proc, std::uint64_t vaddr);
+
+    core::Machine &machine_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    DomainManager domains_;
+    int current_ = -1;
+};
+
+} // namespace cheri::os
+
+#endif // CHERI_OS_SIMPLE_OS_H

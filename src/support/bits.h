@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared across the emulator: field
+ * extraction/insertion, sign extension, alignment and power-of-two
+ * arithmetic on 64-bit values.
+ */
+
+#ifndef CHERI_SUPPORT_BITS_H
+#define CHERI_SUPPORT_BITS_H
+
+#include <bit>
+#include <cstdint>
+
+namespace cheri::support
+{
+
+/** Extract bits [lo, lo+width) of value (width in 1..64). */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned lo, unsigned width)
+{
+    std::uint64_t mask =
+        width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    return (value >> lo) & mask;
+}
+
+/** Insert the low 'width' bits of field at position lo of value. */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned lo, unsigned width,
+           std::uint64_t field)
+{
+    std::uint64_t mask =
+        (width >= 64 ? ~0ULL : ((1ULL << width) - 1)) << lo;
+    return (value & ~mask) | ((field << lo) & mask);
+}
+
+/** Sign-extend the low 'width' bits of value to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t value, unsigned width)
+{
+    if (width >= 64)
+        return static_cast<std::int64_t>(value);
+    std::uint64_t sign = 1ULL << (width - 1);
+    std::uint64_t masked = value & ((1ULL << width) - 1);
+    return static_cast<std::int64_t>((masked ^ sign) - sign);
+}
+
+/** True when value is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Round value up to the next multiple of align (align: power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round value down to a multiple of align (align: power of two). */
+constexpr std::uint64_t
+roundDown(std::uint64_t value, std::uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+/** Smallest power of two >= value (value <= 2^63). */
+constexpr std::uint64_t
+nextPowerOfTwo(std::uint64_t value)
+{
+    return value <= 1 ? 1 : std::bit_ceil(value);
+}
+
+/** Floor of log2(value); value must be nonzero. */
+constexpr unsigned
+log2Floor(std::uint64_t value)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(value));
+}
+
+} // namespace cheri::support
+
+#endif // CHERI_SUPPORT_BITS_H

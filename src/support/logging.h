@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Host-side status and error reporting, following the gem5 convention:
+ * panic() for internal emulator bugs (aborts), fatal() for user/config
+ * errors (clean exit), warn()/inform() for status messages.
+ *
+ * Guest-visible faults (capability violations, TLB misses, MIPS
+ * exceptions) never use these; they travel through the architectural
+ * exception path as modeled values.
+ */
+
+#ifndef CHERI_SUPPORT_LOGGING_H
+#define CHERI_SUPPORT_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace cheri::support
+{
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, std::va_list ap);
+
+/** Format a printf-style message into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal emulator bug and abort. Call when a condition
+ * arises that no guest program or configuration should be able to
+ * trigger.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1). Call
+ * when the emulator cannot continue because of caller-supplied input.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit a warning about suspicious but survivable conditions. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit an informational status message. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Number of warnings emitted so far (for tests). */
+unsigned long warnCount();
+
+} // namespace cheri::support
+
+#endif // CHERI_SUPPORT_LOGGING_H

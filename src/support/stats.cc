@@ -1,0 +1,62 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "support/logging.h"
+
+namespace cheri::support
+{
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != headers_.size()) {
+        panic("TextTable row arity %zu != header arity %zu",
+              row.size(), headers_.size());
+    }
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ") << std::left
+               << std::setw(static_cast<int>(widths[c])) << row[c];
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    size_t total = headers_.size() - 1;
+    for (size_t w : widths)
+        total += w + 1;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+percent(double fraction)
+{
+    return format("%.1f%%", fraction * 100.0);
+}
+
+std::string
+overheadPercent(double value, double base)
+{
+    if (base == 0.0)
+        return "n/a";
+    return format("%+.1f%%", (value / base - 1.0) * 100.0);
+}
+
+} // namespace cheri::support

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Lightweight named-counter statistics used by the memory hierarchy,
+ * models, and benchmark harnesses, plus table-formatting helpers so
+ * every bench binary prints its paper table/figure the same way.
+ */
+
+#ifndef CHERI_SUPPORT_STATS_H
+#define CHERI_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cheri::support
+{
+
+/** A bag of named monotonically increasing counters. */
+class StatSet
+{
+  public:
+    /** Add delta to the named counter (creating it at zero). */
+    void
+    add(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Current value of the named counter (0 if never touched). */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Reset every counter to zero. */
+    void reset() { counters_.clear(); }
+
+    /** All counters in name order. */
+    const std::map<std::string, std::uint64_t> &
+    all() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+/**
+ * Fixed-column text table used by the bench binaries to render the
+ * paper's tables and figure series in a uniform plain-text form.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {
+    }
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns to the stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a ratio as a percentage string with one decimal ("12.3%"). */
+std::string percent(double fraction);
+
+/** Format an overhead (value/base - 1) as a percentage string. */
+std::string overheadPercent(double value, double base);
+
+} // namespace cheri::support
+
+#endif // CHERI_SUPPORT_STATS_H

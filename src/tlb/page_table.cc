@@ -1,0 +1,37 @@
+#include "tlb/page_table.h"
+
+namespace cheri::tlb
+{
+
+void
+PageTable::map(std::uint64_t vpn, std::uint64_t pfn, PteFlags flags)
+{
+    entries_[vpn] = Pte{pfn, flags};
+}
+
+void
+PageTable::unmap(std::uint64_t vpn)
+{
+    entries_.erase(vpn);
+}
+
+std::optional<Pte>
+PageTable::lookup(std::uint64_t vpn) const
+{
+    auto it = entries_.find(vpn);
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+PageTable::protect(std::uint64_t vpn, PteFlags flags)
+{
+    auto it = entries_.find(vpn);
+    if (it == entries_.end())
+        return false;
+    it->second.flags = flags;
+    return true;
+}
+
+} // namespace cheri::tlb

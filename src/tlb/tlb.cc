@@ -1,0 +1,108 @@
+#include "tlb/tlb.h"
+
+namespace cheri::tlb
+{
+
+Tlb::Tlb(const PageTable &table, TlbConfig config)
+    : table_(&table), config_(config)
+{
+}
+
+void
+Tlb::setTable(const PageTable &table)
+{
+    table_ = &table;
+    flush();
+}
+
+void
+Tlb::flush()
+{
+    lru_.clear();
+    cached_.clear();
+}
+
+void
+Tlb::flushPage(std::uint64_t vaddr)
+{
+    std::uint64_t vpn = vaddr / kPageBytes;
+    auto it = cached_.find(vpn);
+    if (it != cached_.end()) {
+        lru_.erase(it->second.lru_it);
+        cached_.erase(it);
+    }
+}
+
+TlbResult
+Tlb::checkPte(const Pte &pte, std::uint64_t vaddr, Access access,
+              std::uint64_t penalty)
+{
+    TlbResult result;
+    result.penalty_cycles = penalty;
+    result.paddr = pte.pfn * kPageBytes + vaddr % kPageBytes;
+
+    const PteFlags &f = pte.flags;
+    switch (access) {
+      case Access::kFetch:
+        if (!f.executable)
+            result.fault = TlbFault::kNotExecutable;
+        break;
+      case Access::kLoad:
+        if (!f.readable)
+            result.fault = TlbFault::kNotReadable;
+        break;
+      case Access::kStore:
+        if (!f.writable)
+            result.fault = TlbFault::kNotWritable;
+        break;
+      case Access::kCapLoad:
+        if (!f.readable)
+            result.fault = TlbFault::kNotReadable;
+        else if (!f.cap_load)
+            result.fault = TlbFault::kCapLoadDenied;
+        break;
+      case Access::kCapStore:
+        if (!f.writable)
+            result.fault = TlbFault::kNotWritable;
+        else if (!f.cap_store)
+            result.fault = TlbFault::kCapStoreDenied;
+        break;
+    }
+    if (result.fault != TlbFault::kNone)
+        stats_.add("tlb.faults");
+    return result;
+}
+
+TlbResult
+Tlb::translate(std::uint64_t vaddr, Access access)
+{
+    std::uint64_t vpn = vaddr / kPageBytes;
+
+    auto it = cached_.find(vpn);
+    if (it != cached_.end()) {
+        stats_.add("tlb.hits");
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        return checkPte(it->second.pte, vaddr, access, 0);
+    }
+
+    stats_.add("tlb.misses");
+    std::optional<Pte> pte = table_->lookup(vpn);
+    if (!pte) {
+        stats_.add("tlb.faults");
+        TlbResult result;
+        result.fault = TlbFault::kNoMapping;
+        result.penalty_cycles = config_.refill_cycles;
+        return result;
+    }
+
+    if (cached_.size() >= config_.entries && !lru_.empty()) {
+        std::uint64_t victim = lru_.back();
+        lru_.pop_back();
+        cached_.erase(victim);
+    }
+    lru_.push_front(vpn);
+    cached_[vpn] = CachedEntry{*pte, lru_.begin()};
+    return checkPte(*pte, vaddr, access, config_.refill_cycles);
+}
+
+} // namespace cheri::tlb

@@ -1,0 +1,66 @@
+#include "trace/profile.h"
+
+#include <unordered_set>
+
+#include "support/bits.h"
+
+namespace cheri::trace
+{
+
+TraceProfile
+profileTrace(const Trace &trace)
+{
+    constexpr std::uint64_t kPage = 4096;
+    TraceProfile profile;
+    profile.base = baselineStats(trace);
+
+    std::unordered_set<std::uint64_t> ptr_locations;
+    std::unordered_set<std::uint64_t> ptr_pages;
+
+    for (const Event &event : trace.events()) {
+        switch (event.kind) {
+          case EventKind::kLoad:
+          case EventKind::kStore:
+            ++profile.derefs;
+            break;
+          case EventKind::kLoadPtr:
+          case EventKind::kStorePtr: {
+            ++profile.derefs;
+            ++profile.ptr_refs;
+            ptr_locations.insert(event.addr);
+            ptr_pages.insert(event.addr / kPage);
+            // Null/unknown-target pointers carry no bounds in
+            // Hardbound (no table entry is ever written for them), so
+            // they are as cheap as compressed pointers; real
+            // compression needs length <= 1024 and word alignment.
+            bool compressible = event.target_size == 0 ||
+                                (event.target_size <= 1024 &&
+                                 event.target_size % 4 == 0);
+            if (compressible)
+                ++profile.compressible_ptr_refs;
+            break;
+          }
+          case EventKind::kMalloc: {
+            // M-Machine segments are power-of-two sized AND aligned
+            // (Section 6.5), so each allocation pays both the size
+            // padding and an expected alignment hole of a quarter
+            // segment when sizes mix — the reason the M-Machine
+            // "performs poorly by the page metric" (Section 7).
+            std::uint64_t segment = support::nextPowerOfTwo(event.size);
+            profile.pow2_padding_bytes +=
+                (segment - event.size) + segment / 4;
+            break;
+          }
+          case EventKind::kFree:
+          case EventKind::kInstrBlock:
+            break;
+        }
+    }
+
+    profile.ptr_locations = ptr_locations.size();
+    profile.ptr_pages = ptr_pages.size();
+    profile.footprint_bytes = profile.base.pages_touched * kPage;
+    return profile;
+}
+
+} // namespace cheri::trace

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Aggregate trace profile: everything the Section 7 protection models
+ * need from a workload trace, computed once and shared by all eight
+ * model evaluations.
+ */
+
+#ifndef CHERI_TRACE_PROFILE_H
+#define CHERI_TRACE_PROFILE_H
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace cheri::trace
+{
+
+/** Derived quantities of one traced execution. */
+struct TraceProfile
+{
+    BaselineStats base;
+
+    /** Loads + stores: every access is a potential dereference. */
+    std::uint64_t derefs = 0;
+    /** Pointer loads + pointer stores. */
+    std::uint64_t ptr_refs = 0;
+    /** Distinct memory locations that ever held a pointer. */
+    std::uint64_t ptr_locations = 0;
+    /** Distinct 4 KB pages containing pointer locations. */
+    std::uint64_t ptr_pages = 0;
+    /**
+     * Pointer references whose target object is Hardbound-compressible
+     * (length <= 1024 bytes and 4-byte-word-aligned, Section 7).
+     */
+    std::uint64_t compressible_ptr_refs = 0;
+    /** Extra bytes M-Machine power-of-two padding adds to the heap. */
+    std::uint64_t pow2_padding_bytes = 0;
+    /** Baseline footprint in bytes (pages touched x 4 KB). */
+    std::uint64_t footprint_bytes = 0;
+};
+
+/** Analyze a trace into the shared profile. */
+TraceProfile profileTrace(const Trace &trace);
+
+} // namespace cheri::trace
+
+#endif // CHERI_TRACE_PROFILE_H

@@ -1,0 +1,47 @@
+#include "trace/trace.h"
+
+#include <unordered_set>
+
+namespace cheri::trace
+{
+
+BaselineStats
+baselineStats(const Trace &trace)
+{
+    constexpr std::uint64_t kPage = 4096;
+    BaselineStats stats;
+    std::unordered_set<std::uint64_t> pages;
+
+    for (const Event &event : trace.events()) {
+        switch (event.kind) {
+          case EventKind::kLoad:
+          case EventKind::kLoadPtr:
+          case EventKind::kStore:
+          case EventKind::kStorePtr:
+            ++stats.instructions;
+            ++stats.memory_refs;
+            stats.memory_bytes += event.size;
+            pages.insert(event.addr / kPage);
+            if (event.kind == EventKind::kLoadPtr)
+                ++stats.pointer_loads;
+            if (event.kind == EventKind::kStorePtr)
+                ++stats.pointer_stores;
+            break;
+          case EventKind::kMalloc:
+            ++stats.mallocs;
+            stats.heap_bytes += event.size;
+            pages.insert(event.addr / kPage);
+            break;
+          case EventKind::kFree:
+            ++stats.frees;
+            break;
+          case EventKind::kInstrBlock:
+            stats.instructions += event.size;
+            break;
+        }
+    }
+    stats.pages_touched = pages.size();
+    return stats;
+}
+
+} // namespace cheri::trace

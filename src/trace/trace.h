@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Execution traces for the limit study (Section 7). The paper records
+ * complete instruction traces of the Olden benchmarks on hardware and
+ * extracts the events relevant to bounds checking: memory-management
+ * calls (malloc/free) and all loads and stores, with their pointer
+ * classification. This module is the in-memory equivalent: workloads
+ * emit events while running against the baseline machine, and each
+ * protection model consumes the trace to compute its overheads.
+ */
+
+#ifndef CHERI_TRACE_TRACE_H
+#define CHERI_TRACE_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cheri::trace
+{
+
+/** Kind of a trace event. */
+enum class EventKind : std::uint8_t
+{
+    kLoad,       ///< data load (non-pointer)
+    kStore,      ///< data store (non-pointer)
+    kLoadPtr,    ///< load of a pointer value
+    kStorePtr,   ///< store of a pointer value
+    kMalloc,     ///< heap allocation
+    kFree,       ///< heap free
+    kInstrBlock, ///< 'count' non-memory instructions executed
+};
+
+/** One event. Meaning of fields depends on kind. */
+struct Event
+{
+    EventKind kind;
+    /** Virtual address (load/store) or block address (malloc/free). */
+    std::uint64_t addr = 0;
+    /** Access size, allocation size, or instruction count. */
+    std::uint64_t size = 0;
+    /**
+     * For kLoadPtr/kStorePtr: size of the object the pointer value
+     * refers to (0 when unknown, e.g. globals); lets the Hardbound
+     * model decide pointer compressibility (length <= 1024 bytes,
+     * word-aligned, Section 7).
+     */
+    std::uint64_t target_size = 0;
+};
+
+/** A recorded workload execution. */
+class Trace
+{
+  public:
+    void
+    load(std::uint64_t addr, std::uint64_t size)
+    {
+        events_.push_back({EventKind::kLoad, addr, size, 0});
+    }
+
+    void
+    store(std::uint64_t addr, std::uint64_t size)
+    {
+        events_.push_back({EventKind::kStore, addr, size, 0});
+    }
+
+    void
+    loadPtr(std::uint64_t addr, std::uint64_t size,
+            std::uint64_t target_size)
+    {
+        events_.push_back({EventKind::kLoadPtr, addr, size, target_size});
+    }
+
+    void
+    storePtr(std::uint64_t addr, std::uint64_t size,
+             std::uint64_t target_size)
+    {
+        events_.push_back(
+            {EventKind::kStorePtr, addr, size, target_size});
+    }
+
+    void
+    malloc(std::uint64_t addr, std::uint64_t size)
+    {
+        events_.push_back({EventKind::kMalloc, addr, size, 0});
+    }
+
+    void
+    free(std::uint64_t addr)
+    {
+        events_.push_back({EventKind::kFree, addr, 0, 0});
+    }
+
+    /** Record 'count' non-memory instructions. */
+    void
+    instructions(std::uint64_t count)
+    {
+        if (!events_.empty() &&
+            events_.back().kind == EventKind::kInstrBlock) {
+            events_.back().size += count;
+        } else {
+            events_.push_back({EventKind::kInstrBlock, 0, count, 0});
+        }
+    }
+
+    const std::vector<Event> &events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+    void clear() { events_.clear(); }
+
+  private:
+    std::vector<Event> events_;
+};
+
+/** Baseline (unprotected 64-bit MIPS) aggregate figures of a trace. */
+struct BaselineStats
+{
+    std::uint64_t instructions = 0;   ///< total baseline instructions
+    std::uint64_t memory_refs = 0;    ///< loads + stores
+    std::uint64_t memory_bytes = 0;   ///< bytes moved by loads/stores
+    std::uint64_t pointer_loads = 0;
+    std::uint64_t pointer_stores = 0;
+    std::uint64_t mallocs = 0;
+    std::uint64_t frees = 0;
+    std::uint64_t pages_touched = 0;  ///< distinct 4 KB pages referenced
+    std::uint64_t heap_bytes = 0;     ///< total bytes allocated
+};
+
+/** Compute baseline statistics for a trace. */
+BaselineStats baselineStats(const Trace &trace);
+
+} // namespace cheri::trace
+
+#endif // CHERI_TRACE_TRACE_H

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * bisort — adaptive bitonic sort over a perfect binary tree plus a
+ * spare value, following the Olden benchmark's Bimerge/Bisort
+ * recursion (Bilardi & Nicolau's algorithm). The access pattern is
+ * the one Section 8 characterizes: tree traversal with value swaps,
+ * dominated by cache misses once the tree outgrows the caches.
+ */
+
+#include "workloads/olden.h"
+
+#include "support/rng.h"
+
+namespace cheri::workloads
+{
+
+namespace
+{
+
+/** Field indices of a bisort node: {value, left, right}. */
+enum : unsigned
+{
+    kValue = 0,
+    kLeft = 1,
+    kRight = 2,
+};
+
+/** Build a perfect tree of 'levels' levels with random values. */
+ObjRef
+buildTree(Context &ctx, unsigned type, unsigned levels,
+          support::Xoshiro256 &rng)
+{
+    if (levels == 0)
+        return kNull;
+    ctx.compute(kCallOverheadInstr);
+    ObjRef node = ctx.alloc(type);
+    // Wide keys: the adaptive bitonic merge assumes (effectively)
+    // distinct values, as the original's random() keys are.
+    ctx.storeWord(node, kValue, rng.next() >> 1);
+    ctx.storePtr(node, kLeft, buildTree(ctx, type, levels - 1, rng));
+    ctx.storePtr(node, kRight, buildTree(ctx, type, levels - 1, rng));
+    return node;
+}
+
+/**
+ * Bitonic merge: (inorder(root), spare) is bitonic; make it sorted
+ * ascending when dir is false, descending when true. Returns the new
+ * spare value. The down-phase follows Olden's SwapValLeft /
+ * SwapValRight: values are exchanged together with one pair of
+ * subtree pointers, which is what makes the block exchange O(log n).
+ */
+std::uint64_t
+bimerge(Context &ctx, ObjRef root, std::uint64_t spare, bool dir)
+{
+    std::uint64_t value = ctx.loadWord(root, kValue);
+    bool rightexchange = (value > spare) != dir;
+    ctx.compute(kCallOverheadInstr + 3);
+    if (rightexchange) {
+        ctx.storeWord(root, kValue, spare);
+        spare = value;
+    }
+
+    ObjRef pl = ctx.loadPtr(root, kLeft);
+    ObjRef pr = ctx.loadPtr(root, kRight);
+    while (pl != kNull) {
+        std::uint64_t lv = ctx.loadWord(pl, kValue);
+        std::uint64_t rv = ctx.loadWord(pr, kValue);
+        ObjRef pll = ctx.loadPtr(pl, kLeft);
+        ObjRef plr = ctx.loadPtr(pl, kRight);
+        ObjRef prl = ctx.loadPtr(pr, kLeft);
+        ObjRef prr = ctx.loadPtr(pr, kRight);
+        bool elementexchange = (lv > rv) != dir;
+        ctx.compute(4);
+        if (rightexchange) {
+            if (elementexchange) {
+                // SwapValRight: values + right subtrees.
+                ctx.storeWord(pl, kValue, rv);
+                ctx.storeWord(pr, kValue, lv);
+                ctx.storePtr(pl, kRight, prr);
+                ctx.storePtr(pr, kRight, plr);
+                pl = pll;
+                pr = prl;
+            } else {
+                pl = plr;
+                pr = prr;
+            }
+        } else {
+            if (elementexchange) {
+                // SwapValLeft: values + left subtrees.
+                ctx.storeWord(pl, kValue, rv);
+                ctx.storeWord(pr, kValue, lv);
+                ctx.storePtr(pl, kLeft, prl);
+                ctx.storePtr(pr, kLeft, pll);
+                pl = plr;
+                pr = prr;
+            } else {
+                pl = pll;
+                pr = prl;
+            }
+        }
+    }
+
+    ObjRef left = ctx.loadPtr(root, kLeft);
+    if (left != kNull) {
+        std::uint64_t root_value = ctx.loadWord(root, kValue);
+        ctx.storeWord(root, kValue,
+                      bimerge(ctx, left, root_value, dir));
+        spare = bimerge(ctx, ctx.loadPtr(root, kRight), spare, dir);
+    }
+    return spare;
+}
+
+/** Bitonic sort of (inorder(root), spare); returns the new spare. */
+std::uint64_t
+bisort(Context &ctx, ObjRef root, std::uint64_t spare, bool dir)
+{
+    ObjRef left = ctx.loadPtr(root, kLeft);
+    if (left == kNull) {
+        ctx.compute(kCallOverheadInstr + 3);
+        if ((ctx.loadWord(root, kValue) > spare) != dir) {
+            std::uint64_t value = ctx.loadWord(root, kValue);
+            ctx.storeWord(root, kValue, spare);
+            spare = value;
+        }
+    } else {
+        std::uint64_t root_value = ctx.loadWord(root, kValue);
+        ctx.storeWord(root, kValue, bisort(ctx, left, root_value, dir));
+        std::uint64_t val =
+            bisort(ctx, ctx.loadPtr(root, kRight), spare, !dir);
+        spare = bimerge(ctx, root, val, dir);
+    }
+    return spare;
+}
+
+/** In-order checksum (order-sensitive mix). */
+std::uint64_t
+checksum(Context &ctx, ObjRef root, std::uint64_t acc)
+{
+    if (root == kNull)
+        return acc;
+    acc = checksum(ctx, ctx.loadPtr(root, kLeft), acc);
+    acc = acc * 1099511628211ULL + ctx.loadWord(root, kValue);
+    return checksum(ctx, ctx.loadPtr(root, kRight), acc);
+}
+
+} // namespace
+
+std::uint64_t
+Bisort::run(Context &ctx, const WorkloadParams &params) const
+{
+    unsigned type = ctx.defineType(
+        {FieldKind::kWord, FieldKind::kPtr, FieldKind::kPtr});
+
+    // Round the requested size down to a perfect tree.
+    unsigned levels = 1;
+    while ((2ULL << levels) - 1 <= params.size_a)
+        ++levels;
+
+    support::Xoshiro256 rng(params.seed);
+    ctx.setPhase(Phase::kAlloc);
+    ObjRef root = buildTree(ctx, type, levels, rng);
+    std::uint64_t spare = rng.next() >> 1;
+
+    ctx.setPhase(Phase::kCompute);
+    spare = bisort(ctx, root, spare, /*dir=*/false);
+    return checksum(ctx, root, spare);
+}
+
+WorkloadParams
+Bisort::paramsForHeapBytes(std::uint64_t heap_bytes) const
+{
+    // A MIPS node is 24 bytes (Section 8).
+    std::uint64_t nodes = heap_bytes / 24;
+    if (nodes < 3)
+        nodes = 3;
+    return {nodes, 0, 7};
+}
+
+} // namespace cheri::workloads

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * em3d — models electromagnetic wave propagation: a bipartite graph
+ * of E and H nodes, where each node's value is repeatedly updated
+ * from its dependency nodes scaled by per-edge coefficients. Values
+ * are 24.8 fixed-point integers so results are exact and identical
+ * across compilation models.
+ */
+
+#include "workloads/olden.h"
+
+#include "support/rng.h"
+
+namespace cheri::workloads
+{
+
+namespace
+{
+
+/** Node fields: {value} word; {next, to_nodes, coeffs} pointers. */
+enum : unsigned
+{
+    kValue = 0,
+    kNext = 1,
+    kToNodes = 2,
+    kCoeffs = 3,
+};
+
+constexpr unsigned kFixedShift = 8;
+
+/** Build one side of the bipartite graph as a linked list. */
+std::vector<ObjRef>
+buildSide(Context &ctx, unsigned type, std::uint64_t count,
+          std::uint64_t degree, support::Xoshiro256 &rng)
+{
+    std::vector<ObjRef> nodes(count);
+    ObjRef head = kNull;
+    for (std::uint64_t i = count; i-- > 0;) {
+        ObjRef node = ctx.alloc(type);
+        ctx.storeWord(node, kValue, rng.nextBelow(1u << 16));
+        ctx.storePtr(node, kNext, head);
+        ctx.storePtr(node, kToNodes,
+                     ctx.allocArray(FieldKind::kPtr, degree));
+        ctx.storePtr(node, kCoeffs,
+                     ctx.allocArray(FieldKind::kWord, degree));
+        head = node;
+        nodes[i] = node;
+    }
+    return nodes;
+}
+
+/** Wire each node's dependencies to random nodes of the other side. */
+void
+wire(Context &ctx, const std::vector<ObjRef> &from,
+     const std::vector<ObjRef> &to, std::uint64_t degree,
+     support::Xoshiro256 &rng)
+{
+    for (ObjRef node : from) {
+        ObjRef to_nodes = ctx.loadPtr(node, kToNodes);
+        ObjRef coeffs = ctx.loadPtr(node, kCoeffs);
+        for (std::uint64_t d = 0; d < degree; ++d) {
+            ctx.storePtrAt(to_nodes, d,
+                           to[rng.nextBelow(to.size())]);
+            ctx.storeWordAt(coeffs, d, rng.nextBelow(1u << kFixedShift));
+        }
+    }
+}
+
+/** One relaxation sweep over a node list. */
+void
+relax(Context &ctx, ObjRef head, std::uint64_t degree)
+{
+    for (ObjRef node = head; node != kNull;
+         node = ctx.loadPtr(node, kNext)) {
+        ObjRef to_nodes = ctx.loadPtr(node, kToNodes);
+        ObjRef coeffs = ctx.loadPtr(node, kCoeffs);
+        std::uint64_t value = ctx.loadWord(node, kValue);
+        for (std::uint64_t d = 0; d < degree; ++d) {
+            ObjRef other = ctx.loadPtrAt(to_nodes, d);
+            std::uint64_t coeff = ctx.loadWordAt(coeffs, d);
+            std::uint64_t contribution =
+                (ctx.loadWord(other, kValue) * coeff) >> kFixedShift;
+            value -= contribution;
+            value &= 0xffffffffULL; // wrap like 32-bit fixed point
+            ctx.compute(4);
+        }
+        ctx.storeWord(node, kValue, value);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+Em3d::run(Context &ctx, const WorkloadParams &params) const
+{
+    std::uint64_t n = params.size_a == 0 ? 16 : params.size_a;
+    std::uint64_t degree = params.size_b == 0 ? 4 : params.size_b;
+    constexpr unsigned kIterations = 4;
+
+    unsigned type = ctx.defineType({FieldKind::kWord, FieldKind::kPtr,
+                                    FieldKind::kPtr, FieldKind::kPtr});
+    support::Xoshiro256 rng(params.seed);
+
+    ctx.setPhase(Phase::kAlloc);
+    std::vector<ObjRef> e_nodes = buildSide(ctx, type, n, degree, rng);
+    std::vector<ObjRef> h_nodes = buildSide(ctx, type, n, degree, rng);
+    wire(ctx, e_nodes, h_nodes, degree, rng);
+    wire(ctx, h_nodes, e_nodes, degree, rng);
+
+    ctx.setPhase(Phase::kCompute);
+    for (unsigned it = 0; it < kIterations; ++it) {
+        relax(ctx, e_nodes[0], degree);
+        relax(ctx, h_nodes[0], degree);
+    }
+
+    std::uint64_t checksum = 0;
+    for (ObjRef node = e_nodes[0]; node != kNull;
+         node = ctx.loadPtr(node, kNext))
+        checksum = checksum * 31 + ctx.loadWord(node, kValue);
+    return checksum;
+}
+
+WorkloadParams
+Em3d::paramsForHeapBytes(std::uint64_t heap_bytes) const
+{
+    // Per node under MIPS with degree 4: node 32 B + to array 32 B +
+    // coeff array 32 B; two sides.
+    std::uint64_t n = heap_bytes / (2 * 96);
+    if (n < 2)
+        n = 2;
+    return {n, 4, 11};
+}
+
+} // namespace cheri::workloads

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Experiment drivers tying workloads, traces, models, and the timing
+ * simulator into the paper's three quantitative studies:
+ *
+ *  - Figure 3: the trace-driven limit study of eight protection
+ *    models over the Olden suite;
+ *  - Figure 4: execution-time overhead of CCured and CHERI versus
+ *    unprotected MIPS for four benchmarks, split into allocation and
+ *    computation phases;
+ *  - Figure 5: CHERI slowdown as the working set sweeps across the
+ *    L1, L2 and TLB capacities.
+ *
+ * The bench binaries print these results; the test suite checks their
+ * invariants (checksum equality across models, expected orderings).
+ */
+
+#ifndef CHERI_WORKLOADS_EXPERIMENTS_H
+#define CHERI_WORKLOADS_EXPERIMENTS_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "models/protection_model.h"
+#include "workloads/timing_context.h"
+#include "workloads/workload.h"
+
+namespace cheri::workloads
+{
+
+/** Figure 3: one protection model's overheads per workload + mean. */
+struct LimitStudyModelResult
+{
+    std::string model;
+    std::vector<models::Overheads> per_workload;
+    models::Overheads mean;
+};
+
+/** Figure 3: the whole study. */
+struct LimitStudyResult
+{
+    std::vector<std::string> workloads;
+    std::vector<LimitStudyModelResult> models;
+};
+
+/**
+ * Run the limit study: trace every Olden workload under the MIPS
+ * baseline, then evaluate every Section 7 model on each trace.
+ * paper_scale selects the paper's benchmark parameters (slower).
+ */
+LimitStudyResult runLimitStudy(bool paper_scale = false);
+
+/** Figure 4: one benchmark's per-model costs. */
+struct FpgaComparisonEntry
+{
+    std::string benchmark;
+    struct PerModel
+    {
+        PhaseCosts alloc;
+        PhaseCosts compute;
+        std::uint64_t checksum = 0;
+    };
+    PerModel mips;
+    PerModel ccured;
+    PerModel cheri;
+};
+
+/**
+ * Run the Figure 4 comparison over bisort, mst, treeadd and
+ * perimeter. Checksums are verified identical across models.
+ */
+std::vector<FpgaComparisonEntry>
+runFpgaComparison(bool paper_scale = false);
+
+/** Figure 5: CHERI slowdown per heap size for one benchmark. */
+struct HeapScalingSeries
+{
+    std::string benchmark;
+    /** (heap KB, fractional slowdown) points. */
+    std::vector<std::pair<std::uint64_t, double>> points;
+};
+
+/** Run the Figure 5 sweep (default: 4 KB to 1024 KB, doubling). */
+std::vector<HeapScalingSeries> runHeapScaling(
+    const std::vector<std::uint64_t> &heap_kb = {4, 8, 16, 32, 64, 128,
+                                                 256, 512, 1024});
+
+/** Capability-size ablation: one benchmark row. */
+struct CapSizeAblationEntry
+{
+    std::string benchmark;
+    std::uint64_t mips_cycles = 0;
+    std::uint64_t cheri256_cycles = 0;
+    std::uint64_t cheri128_cycles = 0;
+};
+
+/**
+ * Ablation of Section 8's closing observation ("CHERI will benefit
+ * from capability compression"): run the four FPGA benchmarks under
+ * MIPS, 256-bit CHERI, and the proposed 128-bit format.
+ */
+std::vector<CapSizeAblationEntry>
+runCapSizeAblation(bool paper_scale = false);
+
+} // namespace cheri::workloads
+
+#endif // CHERI_WORKLOADS_EXPERIMENTS_H

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * health — the Columbian health-care simulation: a 4-ary tree of
+ * villages, each with a waiting list of patients; each time step
+ * generates patients at the leaves, treats them for a few steps, and
+ * refers a fraction up toward the root. Linked-list heavy, with
+ * allocation interleaved into the compute phase like the original.
+ */
+
+#include "workloads/olden.h"
+
+#include "support/rng.h"
+
+namespace cheri::workloads
+{
+
+namespace
+{
+
+/** Village fields: {seed, treated} words; {parent, c0..c3, list}. */
+enum : unsigned
+{
+    kSeed = 0,
+    kTreated = 1,
+    kParent = 2,
+    kChild0 = 3, // children are kChild0 + i, i in 0..3
+    kList = 7,
+};
+
+/** Patient fields: {remaining, hops} words; {next} pointer. */
+enum : unsigned
+{
+    kRemaining = 0,
+    kHops = 1,
+    kNext = 2,
+};
+
+ObjRef
+buildVillages(Context &ctx, unsigned type, unsigned levels,
+              ObjRef parent, std::uint64_t &seed_counter)
+{
+    if (levels == 0)
+        return kNull;
+    ObjRef village = ctx.alloc(type);
+    ctx.storeWord(village, kSeed, seed_counter++);
+    ctx.storeWord(village, kTreated, 0);
+    ctx.storePtr(village, kParent, parent);
+    ctx.storePtr(village, kList, kNull);
+    for (unsigned c = 0; c < 4; ++c)
+        ctx.storePtr(village, kChild0 + c,
+                     buildVillages(ctx, type, levels - 1, village,
+                                   seed_counter));
+    return village;
+}
+
+/** One simulation step over the subtree. */
+void
+simulate(Context &ctx, unsigned patient_type, ObjRef village,
+         std::uint64_t step, std::uint64_t seed)
+{
+    if (village == kNull)
+        return;
+
+    ctx.compute(kCallOverheadInstr);
+    bool is_leaf = ctx.loadPtr(village, kChild0) == kNull;
+    for (unsigned c = 0; c < 4 && !is_leaf; ++c)
+        simulate(ctx, patient_type, ctx.loadPtr(village, kChild0 + c),
+                 step, seed);
+
+    // Leaves admit a new patient on a deterministic schedule.
+    std::uint64_t vseed = ctx.loadWord(village, kSeed);
+    ctx.compute(4);
+    if (is_leaf && (vseed + step + seed) % 3 == 0) {
+        ObjRef patient = ctx.alloc(patient_type);
+        ctx.storeWord(patient, kRemaining, 1 + (vseed + step) % 4);
+        ctx.storeWord(patient, kHops, 0);
+        ctx.storePtr(patient, kNext, ctx.loadPtr(village, kList));
+        ctx.storePtr(village, kList, patient);
+    }
+
+    // Treat the waiting list: finished patients leave (or refer up).
+    ObjRef prev = kNull;
+    ObjRef patient = ctx.loadPtr(village, kList);
+    while (patient != kNull) {
+        ObjRef next = ctx.loadPtr(patient, kNext);
+        std::uint64_t remaining = ctx.loadWord(patient, kRemaining);
+        ctx.compute(3);
+        if (remaining > 0) {
+            ctx.storeWord(patient, kRemaining, remaining - 1);
+            prev = patient;
+        } else {
+            // Unlink.
+            if (prev == kNull)
+                ctx.storePtr(village, kList, next);
+            else
+                ctx.storePtr(prev, kNext, next);
+
+            std::uint64_t hops = ctx.loadWord(patient, kHops);
+            ObjRef parent = ctx.loadPtr(village, kParent);
+            ctx.compute(2);
+            if (parent != kNull && (vseed + hops) % 4 == 0) {
+                // Refer one in four to the parent village.
+                ctx.storeWord(patient, kRemaining, 2);
+                ctx.storeWord(patient, kHops, hops + 1);
+                ctx.storePtr(patient, kNext,
+                             ctx.loadPtr(parent, kList));
+                ctx.storePtr(parent, kList, patient);
+            } else {
+                ctx.storeWord(village, kTreated,
+                              ctx.loadWord(village, kTreated) + 1);
+                ctx.free(patient);
+            }
+        }
+        patient = next;
+    }
+}
+
+std::uint64_t
+sumTreated(Context &ctx, ObjRef village)
+{
+    if (village == kNull)
+        return 0;
+    std::uint64_t total = ctx.loadWord(village, kTreated);
+    for (unsigned c = 0; c < 4; ++c)
+        total += sumTreated(ctx, ctx.loadPtr(village, kChild0 + c));
+    return total;
+}
+
+} // namespace
+
+std::uint64_t
+Health::run(Context &ctx, const WorkloadParams &params) const
+{
+    unsigned levels = static_cast<unsigned>(params.size_a);
+    if (levels == 0)
+        levels = 2;
+    if (levels > 7)
+        levels = 7;
+    std::uint64_t steps = params.size_b == 0 ? 20 : params.size_b;
+
+    unsigned village_type = ctx.defineType(
+        {FieldKind::kWord, FieldKind::kWord, FieldKind::kPtr,
+         FieldKind::kPtr, FieldKind::kPtr, FieldKind::kPtr,
+         FieldKind::kPtr, FieldKind::kPtr});
+    unsigned patient_type = ctx.defineType(
+        {FieldKind::kWord, FieldKind::kWord, FieldKind::kPtr});
+
+    ctx.setPhase(Phase::kAlloc);
+    std::uint64_t seed_counter = params.seed;
+    ObjRef root =
+        buildVillages(ctx, village_type, levels, kNull, seed_counter);
+
+    // Like the original, allocation (patients) continues during the
+    // simulation itself, so the compute phase includes malloc traffic.
+    ctx.setPhase(Phase::kCompute);
+    for (std::uint64_t step = 0; step < steps; ++step)
+        simulate(ctx, patient_type, root, step, params.seed);
+
+    return sumTreated(ctx, root);
+}
+
+WorkloadParams
+Health::paramsForHeapBytes(std::uint64_t heap_bytes) const
+{
+    // Villages dominate: 80 B each under MIPS, (4^L - 1) / 3 of them.
+    unsigned levels = 1;
+    while (levels < 7) {
+        std::uint64_t villages = ((1ULL << (2 * (levels + 1))) - 1) / 3;
+        if (villages * 80 > heap_bytes)
+            break;
+        ++levels;
+    }
+    return {levels, 40, 13};
+}
+
+} // namespace cheri::workloads

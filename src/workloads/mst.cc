@@ -1,0 +1,182 @@
+/**
+ * @file
+ * mst — minimum spanning tree over a graph whose adjacency weights
+ * live in per-vertex hash tables, computed with a Prim/BlueRule scan
+ * as in the Olden benchmark. The build phase is dominated by hash
+ * insertion (Section 8: "the hash calculations that are the same in
+ * both cases"); the compute phase is a linear scan of the vertex
+ * list with hash lookups.
+ *
+ * Deviation from the original: edges connect each vertex to its
+ * size_b nearest ring neighbours instead of the full O(n^2) clique,
+ * so the heap size is parameterizable for the Figure 5 sweep.
+ */
+
+#include "workloads/olden.h"
+
+#include "support/rng.h"
+
+namespace cheri::workloads
+{
+
+namespace
+{
+
+constexpr std::uint64_t kInfinity = ~0ULL;
+constexpr std::uint64_t kHashBuckets = 16;
+
+/** Vertex: {mindist, inserted flag} words, {next, hash} pointers. */
+enum : unsigned
+{
+    kVMindist = 0,
+    kVInserted = 1,
+    kVId = 2,
+    kVNext = 3,
+    kVHash = 4,
+};
+
+/** Hash entry: {key, weight} words, {next} pointer. */
+enum : unsigned
+{
+    kEKey = 0,
+    kEWeight = 1,
+    kENext = 2,
+};
+
+std::uint64_t
+bucketOf(std::uint64_t key)
+{
+    return (key * 2654435761ULL >> 16) % kHashBuckets;
+}
+
+/** Symmetric deterministic edge weight. */
+std::uint64_t
+edgeWeight(std::uint64_t a, std::uint64_t b, std::uint64_t seed)
+{
+    std::uint64_t lo = std::min(a, b), hi = std::max(a, b);
+    std::uint64_t x = (lo * 0x9e3779b97f4a7c15ULL) ^
+                      (hi * 0xbf58476d1ce4e5b9ULL) ^ seed;
+    x ^= x >> 31;
+    return x % 2048 + 1;
+}
+
+void
+hashInsert(Context &ctx, unsigned entry_type, ObjRef buckets,
+           std::uint64_t key, std::uint64_t weight)
+{
+    std::uint64_t bucket = bucketOf(key);
+    ctx.compute(5); // hash computation
+    ObjRef entry = ctx.alloc(entry_type);
+    ctx.storeWord(entry, kEKey, key);
+    ctx.storeWord(entry, kEWeight, weight);
+    ctx.storePtr(entry, kENext, ctx.loadPtrAt(buckets, bucket));
+    ctx.storePtrAt(buckets, bucket, entry);
+}
+
+/** Lookup; returns kInfinity when the key is absent. */
+std::uint64_t
+hashLookup(Context &ctx, ObjRef buckets, std::uint64_t key)
+{
+    std::uint64_t bucket = bucketOf(key);
+    ctx.compute(5);
+    for (ObjRef entry = ctx.loadPtrAt(buckets, bucket); entry != kNull;
+         entry = ctx.loadPtr(entry, kENext)) {
+        ctx.compute(2);
+        if (ctx.loadWord(entry, kEKey) == key)
+            return ctx.loadWord(entry, kEWeight);
+    }
+    return kInfinity;
+}
+
+} // namespace
+
+std::uint64_t
+Mst::run(Context &ctx, const WorkloadParams &params) const
+{
+    std::uint64_t n = params.size_a < 2 ? 2 : params.size_a;
+    std::uint64_t degree = params.size_b == 0 ? 8 : params.size_b;
+
+    unsigned vertex_type = ctx.defineType(
+        {FieldKind::kWord, FieldKind::kWord, FieldKind::kWord,
+         FieldKind::kPtr, FieldKind::kPtr});
+    unsigned entry_type = ctx.defineType(
+        {FieldKind::kWord, FieldKind::kWord, FieldKind::kPtr});
+
+    // --- build phase: vertex list + hash tables of edge weights ---
+    ctx.setPhase(Phase::kAlloc);
+    std::vector<ObjRef> vertices(n);
+    ObjRef head = kNull;
+    for (std::uint64_t i = n; i-- > 0;) {
+        ObjRef v = ctx.alloc(vertex_type);
+        ctx.storeWord(v, kVMindist, kInfinity);
+        ctx.storeWord(v, kVInserted, 0);
+        ctx.storeWord(v, kVId, i);
+        ctx.storePtr(v, kVNext, head);
+        ctx.storePtr(v, kVHash,
+                     ctx.allocArray(FieldKind::kPtr, kHashBuckets));
+        head = v;
+        vertices[i] = v;
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+        ObjRef buckets = ctx.loadPtr(vertices[i], kVHash);
+        for (std::uint64_t d = 1; d <= degree / 2; ++d) {
+            std::uint64_t j = (i + d) % n;
+            std::uint64_t k = (i + n - d) % n;
+            hashInsert(ctx, entry_type, buckets, j,
+                       edgeWeight(i, j, params.seed));
+            hashInsert(ctx, entry_type, buckets, k,
+                       edgeWeight(i, k, params.seed));
+        }
+    }
+
+    // --- compute phase: Prim with the BlueRule scan ---
+    ctx.setPhase(Phase::kCompute);
+    std::uint64_t total = 0;
+    std::uint64_t last_id = 0;
+    ctx.storeWord(vertices[0], kVInserted, 1);
+
+    for (std::uint64_t step = 1; step < n; ++step) {
+        // Scan the whole vertex list, refreshing mindist against the
+        // last inserted vertex, and remember the global minimum.
+        ObjRef best = kNull;
+        std::uint64_t best_dist = kInfinity;
+        for (ObjRef v = head; v != kNull; v = ctx.loadPtr(v, kVNext)) {
+            ctx.compute(3);
+            if (ctx.loadWord(v, kVInserted) != 0)
+                continue;
+            std::uint64_t dist = hashLookup(
+                ctx, ctx.loadPtr(v, kVHash), last_id);
+            std::uint64_t mindist = ctx.loadWord(v, kVMindist);
+            if (dist < mindist) {
+                mindist = dist;
+                ctx.storeWord(v, kVMindist, dist);
+            }
+            ctx.compute(2);
+            if (mindist < best_dist) {
+                best_dist = mindist;
+                best = v;
+            }
+        }
+        if (best == kNull)
+            break; // disconnected (cannot happen on the ring)
+        ctx.storeWord(best, kVInserted, 1);
+        // Fresh vertex invalidates everyone's cached distance to it.
+        last_id = ctx.loadWord(best, kVId);
+        total += best_dist;
+        ctx.compute(2);
+    }
+    return total;
+}
+
+WorkloadParams
+Mst::paramsForHeapBytes(std::uint64_t heap_bytes) const
+{
+    // Per vertex under MIPS: vertex (40 B) + bucket array (128 B) +
+    // degree entries (24 B each). With degree 8: ~360 B.
+    std::uint64_t n = heap_bytes / 360;
+    if (n < 2)
+        n = 2;
+    return {n, 8, 3};
+}
+
+} // namespace cheri::workloads

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The individual Olden benchmarks. Each class reimplements the
+ * published benchmark's data structures and traversal pattern against
+ * the workload Context; deviations from the original C sources are
+ * documented per class and in EXPERIMENTS.md.
+ */
+
+#ifndef CHERI_WORKLOADS_OLDEN_H
+#define CHERI_WORKLOADS_OLDEN_H
+
+#include "workloads/workload.h"
+
+namespace cheri::workloads
+{
+
+/**
+ * bisort: adaptive bitonic sort over a perfect binary tree with a
+ * spare value (Bilardi & Nicolau), the algorithm the Olden benchmark
+ * implements. size_a = node count (rounded down to 2^k - 1).
+ * Paper invocation: "bisort 250000 0".
+ */
+class Bisort : public Workload
+{
+  public:
+    std::string name() const override { return "bisort"; }
+    std::uint64_t run(Context &context,
+                      const WorkloadParams &params) const override;
+    WorkloadParams defaultParams() const override { return {4095, 0, 7}; }
+    WorkloadParams paperParams() const override
+    {
+        return {250000, 0, 7};
+    }
+    WorkloadParams
+    paramsForHeapBytes(std::uint64_t heap_bytes) const override;
+};
+
+/**
+ * mst: minimum spanning tree with per-vertex hash tables of edge
+ * weights (Prim with the Olden BlueRule scan). size_a = vertices,
+ * size_b = neighbourhood degree. Paper invocation: "mst 1024 0".
+ */
+class Mst : public Workload
+{
+  public:
+    std::string name() const override { return "mst"; }
+    std::uint64_t run(Context &context,
+                      const WorkloadParams &params) const override;
+    WorkloadParams defaultParams() const override { return {128, 16, 3}; }
+    WorkloadParams paperParams() const override { return {1024, 32, 3}; }
+    WorkloadParams
+    paramsForHeapBytes(std::uint64_t heap_bytes) const override;
+};
+
+/**
+ * treeadd: recursive sum over a balanced binary tree.
+ * size_a = levels. Paper invocation: "treeadd 21 1 0".
+ */
+class Treeadd : public Workload
+{
+  public:
+    std::string name() const override { return "treeadd"; }
+    std::uint64_t run(Context &context,
+                      const WorkloadParams &params) const override;
+    WorkloadParams defaultParams() const override { return {12, 0, 1}; }
+    WorkloadParams paperParams() const override { return {21, 0, 1}; }
+    WorkloadParams
+    paramsForHeapBytes(std::uint64_t heap_bytes) const override;
+};
+
+/**
+ * perimeter: perimeter of a raster region held in a quadtree, using
+ * Samet's adjacent-neighbour algorithm over parent pointers.
+ * size_a = maximum subdivision depth. Paper invocation:
+ * "perimeter 12 0".
+ */
+class Perimeter : public Workload
+{
+  public:
+    std::string name() const override { return "perimeter"; }
+    std::uint64_t run(Context &context,
+                      const WorkloadParams &params) const override;
+    WorkloadParams defaultParams() const override { return {6, 0, 5}; }
+    WorkloadParams paperParams() const override { return {12, 0, 5}; }
+    WorkloadParams
+    paramsForHeapBytes(std::uint64_t heap_bytes) const override;
+};
+
+/**
+ * em3d: electromagnetic wave propagation over a bipartite E/H node
+ * graph; fixed-point arithmetic. size_a = nodes per side,
+ * size_b = out-degree.
+ */
+class Em3d : public Workload
+{
+  public:
+    std::string name() const override { return "em3d"; }
+    std::uint64_t run(Context &context,
+                      const WorkloadParams &params) const override;
+    WorkloadParams defaultParams() const override { return {256, 4, 11}; }
+    WorkloadParams paperParams() const override { return {2000, 8, 11}; }
+    WorkloadParams
+    paramsForHeapBytes(std::uint64_t heap_bytes) const override;
+};
+
+/**
+ * health: hierarchical health-care simulation over a 4-ary village
+ * tree with per-village patient lists. size_a = tree levels,
+ * size_b = simulated time steps.
+ */
+class Health : public Workload
+{
+  public:
+    std::string name() const override { return "health"; }
+    std::uint64_t run(Context &context,
+                      const WorkloadParams &params) const override;
+    WorkloadParams defaultParams() const override { return {4, 40, 13}; }
+    WorkloadParams paperParams() const override { return {5, 500, 13}; }
+    WorkloadParams
+    paramsForHeapBytes(std::uint64_t heap_bytes) const override;
+};
+
+/**
+ * power: hierarchical power-system optimization over a fixed
+ * feeder/lateral/branch/leaf tree of linked lists; repeated
+ * price-down/demand-up passes in fixed point. size_a = laterals per
+ * feeder, size_b = iterations.
+ */
+class Power : public Workload
+{
+  public:
+    std::string name() const override { return "power"; }
+    std::uint64_t run(Context &context,
+                      const WorkloadParams &params) const override;
+    WorkloadParams defaultParams() const override { return {8, 4, 17}; }
+    WorkloadParams paperParams() const override { return {64, 8, 17}; }
+    WorkloadParams
+    paramsForHeapBytes(std::uint64_t heap_bytes) const override;
+};
+
+/**
+ * tsp: traveling-salesman tour construction — cities in a BSP tree,
+ * tours as circular doubly-linked lists merged bottom-up by
+ * cheapest-edge insertion. size_a = cities.
+ */
+class Tsp : public Workload
+{
+  public:
+    std::string name() const override { return "tsp"; }
+    std::uint64_t run(Context &context,
+                      const WorkloadParams &params) const override;
+    WorkloadParams defaultParams() const override { return {256, 0, 19}; }
+    WorkloadParams paperParams() const override { return {1024, 0, 19}; }
+    WorkloadParams
+    paramsForHeapBytes(std::uint64_t heap_bytes) const override;
+};
+
+} // namespace cheri::workloads
+
+#endif // CHERI_WORKLOADS_OLDEN_H

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * perimeter — computes the perimeter of a raster region stored as a
+ * quadtree, using Samet's equal-or-greater adjacent-neighbour
+ * algorithm: neighbours are located by walking up parent pointers and
+ * mirroring back down, so the benchmark is dominated by short
+ * pointer chases in every direction through the tree.
+ *
+ * The image is a deterministic disk: a pixel is black when it lies
+ * inside the inscribed circle, mirroring the original benchmark's
+ * synthetic image.
+ */
+
+#include "workloads/olden.h"
+
+#include <algorithm>
+
+namespace cheri::workloads
+{
+
+namespace
+{
+
+/** Node colors. */
+enum : std::uint64_t
+{
+    kWhite = 0,
+    kBlack = 1,
+    kGrey = 2,
+};
+
+/** Quadrants (child slots). */
+constexpr std::uint64_t kNw = 0;
+constexpr std::uint64_t kNe = 1;
+constexpr std::uint64_t kSw = 2;
+constexpr std::uint64_t kSe = 3;
+constexpr std::uint64_t kNone = 4; // the root has no quadrant
+
+/** Sides for neighbour queries. */
+enum class Side
+{
+    kNorth,
+    kEast,
+    kSouth,
+    kWest,
+};
+
+/** Fields: {color, quadrant} words; {parent, nw, ne, sw, se} ptrs. */
+enum : unsigned
+{
+    kColor = 0,
+    kQuad = 1,
+    kParent = 2,
+    kChild0 = 3, // nw; children are kChild0 + quadrant
+};
+
+struct Image
+{
+    std::uint64_t size; ///< image is size x size pixels
+
+    /** Color of the square at (x, y) with side 'side': white, black
+     *  or grey (mixed), by exact square-vs-disk intersection. */
+    std::uint64_t
+    classify(std::uint64_t x, std::uint64_t y, std::uint64_t side) const
+    {
+        std::int64_t cx = static_cast<std::int64_t>(size) / 2;
+        std::int64_t cy = cx;
+        std::int64_t r = static_cast<std::int64_t>(size) * 3 / 8;
+        std::int64_t x0 = static_cast<std::int64_t>(x);
+        std::int64_t y0 = static_cast<std::int64_t>(y);
+        std::int64_t x1 = x0 + static_cast<std::int64_t>(side);
+        std::int64_t y1 = y0 + static_cast<std::int64_t>(side);
+
+        // Nearest point of the square to the disk center.
+        std::int64_t nx = std::clamp(cx, x0, x1);
+        std::int64_t ny = std::clamp(cy, y0, y1);
+        std::int64_t min2 = (nx - cx) * (nx - cx) + (ny - cy) * (ny - cy);
+
+        // Farthest corner from the center.
+        std::int64_t fx = (cx - x0 > x1 - cx) ? x0 : x1;
+        std::int64_t fy = (cy - y0 > y1 - cy) ? y0 : y1;
+        std::int64_t max2 = (fx - cx) * (fx - cx) + (fy - cy) * (fy - cy);
+
+        if (max2 <= r * r)
+            return kBlack; // fully inside the disk
+        if (min2 >= r * r)
+            return kWhite; // fully outside
+        return kGrey;
+    }
+};
+
+ObjRef
+buildQuadtree(Context &ctx, unsigned type, const Image &image,
+              std::uint64_t x, std::uint64_t y, std::uint64_t side,
+              ObjRef parent, std::uint64_t quadrant)
+{
+    ctx.compute(kCallOverheadInstr);
+    ObjRef node = ctx.alloc(type);
+    ctx.storeWord(node, kQuad, quadrant);
+    ctx.storePtr(node, kParent, parent);
+
+    std::uint64_t color = image.classify(x, y, side);
+    ctx.compute(12); // corner classification arithmetic
+    if (color == kGrey && side == 1)
+        color = kBlack; // pixel granularity reached
+    ctx.storeWord(node, kColor, color);
+
+    if (color == kGrey) {
+        std::uint64_t half = side / 2;
+        ctx.storePtr(node, kChild0 + kNw,
+                     buildQuadtree(ctx, type, image, x, y, half, node,
+                                   kNw));
+        ctx.storePtr(node, kChild0 + kNe,
+                     buildQuadtree(ctx, type, image, x + half, y, half,
+                                   node, kNe));
+        ctx.storePtr(node, kChild0 + kSw,
+                     buildQuadtree(ctx, type, image, x, y + half, half,
+                                   node, kSw));
+        ctx.storePtr(node, kChild0 + kSe,
+                     buildQuadtree(ctx, type, image, x + half, y + half,
+                                   half, node, kSe));
+    } else {
+        for (unsigned c = 0; c < 4; ++c)
+            ctx.storePtr(node, kChild0 + c, kNull);
+    }
+    return node;
+}
+
+/** Is 'quadrant' adjacent to 'side' of its parent? */
+bool
+adjacent(Side side, std::uint64_t quadrant)
+{
+    switch (side) {
+      case Side::kNorth: return quadrant == kNw || quadrant == kNe;
+      case Side::kSouth: return quadrant == kSw || quadrant == kSe;
+      case Side::kWest: return quadrant == kNw || quadrant == kSw;
+      case Side::kEast: return quadrant == kNe || quadrant == kSe;
+    }
+    return false;
+}
+
+/** Mirror a quadrant across the axis perpendicular to 'side'. */
+std::uint64_t
+reflect(Side side, std::uint64_t quadrant)
+{
+    switch (side) {
+      case Side::kNorth:
+      case Side::kSouth:
+        // swap north/south
+        switch (quadrant) {
+          case kNw: return kSw;
+          case kNe: return kSe;
+          case kSw: return kNw;
+          case kSe: return kNe;
+        }
+        break;
+      case Side::kEast:
+      case Side::kWest:
+        // swap east/west
+        switch (quadrant) {
+          case kNw: return kNe;
+          case kNe: return kNw;
+          case kSw: return kSe;
+          case kSe: return kSw;
+        }
+        break;
+    }
+    return quadrant;
+}
+
+/**
+ * Samet: the equal-or-greater-size neighbour of 'node' on 'side'
+ * (kNull when outside the image).
+ */
+ObjRef
+gtEqualAdjNeighbor(Context &ctx, ObjRef node, Side side)
+{
+    ObjRef parent = ctx.loadPtr(node, kParent);
+    std::uint64_t quadrant = ctx.loadWord(node, kQuad);
+    ctx.compute(kCallOverheadInstr + 3);
+
+    ObjRef q;
+    if (parent != kNull && adjacent(side, quadrant))
+        q = gtEqualAdjNeighbor(ctx, parent, side);
+    else
+        q = parent;
+
+    if (q != kNull && ctx.loadWord(q, kColor) == kGrey) {
+        ctx.compute(2);
+        return ctx.loadPtr(q, kChild0 + reflect(side, quadrant));
+    }
+    return q;
+}
+
+/** Children of a grey node on a given side (the two facing us). */
+void
+sideChildren(Side side, std::uint64_t &a, std::uint64_t &b)
+{
+    switch (side) {
+      case Side::kNorth: a = kNw; b = kNe; break;
+      case Side::kSouth: a = kSw; b = kSe; break;
+      case Side::kWest: a = kNw; b = kSw; break;
+      case Side::kEast: a = kNe; b = kSe; break;
+    }
+}
+
+/**
+ * Length of the border that white descendants of 'node' contribute
+ * along 'side', where 'node' has edge length 'size'.
+ */
+std::uint64_t
+sumAdjacent(Context &ctx, ObjRef node, Side side, std::uint64_t size)
+{
+    std::uint64_t color = ctx.loadWord(node, kColor);
+    ctx.compute(kCallOverheadInstr + 2);
+    if (color == kGrey) {
+        std::uint64_t qa = kNw, qb = kNe;
+        sideChildren(side, qa, qb);
+        return sumAdjacent(ctx, ctx.loadPtr(node, kChild0 + qa), side,
+                           size / 2) +
+               sumAdjacent(ctx, ctx.loadPtr(node, kChild0 + qb), side,
+                           size / 2);
+    }
+    return color == kWhite ? size : 0;
+}
+
+/** Total perimeter of the black region in the subtree. */
+std::uint64_t
+perimeter(Context &ctx, ObjRef node, std::uint64_t size)
+{
+    std::uint64_t color = ctx.loadWord(node, kColor);
+    ctx.compute(kCallOverheadInstr + 2);
+    if (color == kGrey) {
+        std::uint64_t half = size / 2;
+        std::uint64_t sum = 0;
+        for (unsigned c = 0; c < 4; ++c)
+            sum += perimeter(ctx, ctx.loadPtr(node, kChild0 + c), half);
+        return sum;
+    }
+    if (color != kBlack)
+        return 0;
+
+    std::uint64_t perim = 0;
+    const Side sides[4] = {Side::kNorth, Side::kEast, Side::kSouth,
+                           Side::kWest};
+    const Side opposite[4] = {Side::kSouth, Side::kWest, Side::kNorth,
+                              Side::kEast};
+    for (unsigned s = 0; s < 4; ++s) {
+        ObjRef neighbor = gtEqualAdjNeighbor(ctx, node, sides[s]);
+        ctx.compute(2);
+        if (neighbor == kNull) {
+            perim += size; // image boundary
+        } else {
+            std::uint64_t ncolor = ctx.loadWord(neighbor, kColor);
+            if (ncolor == kWhite)
+                perim += size;
+            else if (ncolor == kGrey)
+                perim += sumAdjacent(ctx, neighbor, opposite[s], size);
+        }
+    }
+    return perim;
+}
+
+} // namespace
+
+std::uint64_t
+Perimeter::run(Context &ctx, const WorkloadParams &params) const
+{
+    unsigned levels = static_cast<unsigned>(params.size_a);
+    if (levels == 0)
+        levels = 1;
+    if (levels > 16)
+        levels = 16;
+
+    unsigned type = ctx.defineType(
+        {FieldKind::kWord, FieldKind::kWord, FieldKind::kPtr,
+         FieldKind::kPtr, FieldKind::kPtr, FieldKind::kPtr,
+         FieldKind::kPtr});
+
+    Image image{1ULL << levels};
+
+    ctx.setPhase(Phase::kAlloc);
+    ObjRef root = buildQuadtree(ctx, type, image, 0, 0, image.size,
+                                kNull, kNone);
+
+    ctx.setPhase(Phase::kCompute);
+    return perimeter(ctx, root, image.size);
+}
+
+WorkloadParams
+Perimeter::paramsForHeapBytes(std::uint64_t heap_bytes) const
+{
+    // Under MIPS a node is 2 words + 5 pointers = 56 bytes; the disk
+    // quadtree at depth L has roughly 6 * 2^L nodes (perimeter-
+    // proportional growth).
+    std::uint64_t levels = 1;
+    while (levels < 16 &&
+           6 * (1ULL << (levels + 1)) * 56 <= heap_bytes)
+        ++levels;
+    return {levels, 0, 5};
+}
+
+} // namespace cheri::workloads

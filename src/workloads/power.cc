@@ -1,0 +1,139 @@
+/**
+ * @file
+ * power — the Olden power-system optimization benchmark: a fixed
+ * hierarchy (root -> feeders -> laterals -> branches -> leaves) is
+ * traversed repeatedly, passing prices down and summing demands up.
+ * All values are 16.16 fixed point so results are exact across
+ * compilation models. size_a scales the laterals per feeder,
+ * size_b the optimization iterations.
+ */
+
+#include "workloads/olden.h"
+
+namespace cheri::workloads
+{
+
+namespace
+{
+
+/** Node: {demand, price} words; {next, child} pointers. */
+enum : unsigned
+{
+    kDemand = 0,
+    kPrice = 1,
+    kNext = 2,
+    kChild = 3,
+};
+
+constexpr unsigned kFeeders = 4;
+constexpr unsigned kBranchesPerLateral = 5;
+constexpr unsigned kLeavesPerBranch = 10;
+constexpr std::uint64_t kOne = 1 << 16; // 16.16 fixed point
+
+/** Build a linked list of 'count' nodes, each with a child list
+ *  created by 'make_child'. */
+template <typename MakeChild>
+ObjRef
+buildList(Context &ctx, unsigned type, unsigned count,
+          MakeChild &&make_child)
+{
+    ObjRef head = kNull;
+    for (unsigned i = 0; i < count; ++i) {
+        ctx.compute(kCallOverheadInstr);
+        ObjRef node = ctx.alloc(type);
+        ctx.storeWord(node, kDemand, 0);
+        ctx.storeWord(node, kPrice, kOne);
+        ctx.storePtr(node, kChild, make_child(i));
+        ctx.storePtr(node, kNext, head);
+        head = node;
+    }
+    return head;
+}
+
+/**
+ * One optimization pass over a node list: push the price down,
+ * collect demand up. Leaves compute demand = K / price.
+ */
+std::uint64_t
+computeDemand(Context &ctx, ObjRef node, std::uint64_t price,
+              std::uint64_t leaf_constant)
+{
+    std::uint64_t total = 0;
+    for (; node != kNull; node = ctx.loadPtr(node, kNext)) {
+        ctx.compute(kCallOverheadInstr);
+        ctx.storeWord(node, kPrice, price);
+        ObjRef child = ctx.loadPtr(node, kChild);
+        std::uint64_t demand;
+        if (child == kNull) {
+            // Leaf: demand inversely proportional to price.
+            demand = (leaf_constant << 16) / (price == 0 ? 1 : price);
+            ctx.compute(6); // the division
+        } else {
+            // Interior: children see a slightly marked-up price.
+            std::uint64_t child_price = price + price / 16;
+            ctx.compute(3);
+            demand = computeDemand(ctx, child, child_price,
+                                   leaf_constant);
+        }
+        ctx.storeWord(node, kDemand, demand);
+        total += demand;
+        ctx.compute(2);
+    }
+    return total;
+}
+
+} // namespace
+
+std::uint64_t
+Power::run(Context &ctx, const WorkloadParams &params) const
+{
+    unsigned laterals =
+        params.size_a == 0 ? 8 : static_cast<unsigned>(params.size_a);
+    std::uint64_t iterations = params.size_b == 0 ? 4 : params.size_b;
+
+    unsigned type = ctx.defineType({FieldKind::kWord, FieldKind::kWord,
+                                    FieldKind::kPtr, FieldKind::kPtr});
+
+    ctx.setPhase(Phase::kAlloc);
+    ObjRef root = buildList(ctx, type, kFeeders, [&](unsigned) {
+        return buildList(ctx, type, laterals, [&](unsigned) {
+            return buildList(ctx, type, kBranchesPerLateral,
+                             [&](unsigned) {
+                                 return buildList(
+                                     ctx, type, kLeavesPerBranch,
+                                     [&](unsigned) { return kNull; });
+                             });
+        });
+    });
+
+    // Optimization loop: adjust the root price toward a demand target
+    // (a deterministic stand-in for Olden's Newton iteration).
+    ctx.setPhase(Phase::kCompute);
+    std::uint64_t price = kOne;
+    std::uint64_t demand = 0;
+    const std::uint64_t target = 600 * kOne;
+    for (std::uint64_t it = 0; it < iterations; ++it) {
+        demand = computeDemand(ctx, root, price,
+                               10 + params.seed % 7);
+        ctx.compute(8);
+        if (demand > target)
+            price += price / 8;
+        else
+            price -= price / 8;
+    }
+    return demand + price;
+}
+
+WorkloadParams
+Power::paramsForHeapBytes(std::uint64_t heap_bytes) const
+{
+    // Nodes are 32 B under MIPS; per lateral:
+    // 1 + 5 branches + 50 leaves = 56 nodes; 4 feeders.
+    std::uint64_t per_lateral = 56 * 32 * kFeeders;
+    std::uint64_t laterals = heap_bytes / per_lateral;
+    if (laterals == 0)
+        laterals = 1;
+    return {laterals, 4, 17};
+}
+
+} // namespace cheri::workloads

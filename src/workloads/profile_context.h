@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Streaming workload profiler: computes the limit-study TraceProfile
+ * incrementally, without materializing the event stream. Equivalent
+ * to TraceContext + profileTrace (asserted by tests), but with O(1)
+ * memory per event — what makes the paper-scale parameters (treeadd
+ * 21: two million allocations) tractable.
+ */
+
+#ifndef CHERI_WORKLOADS_PROFILE_CONTEXT_H
+#define CHERI_WORKLOADS_PROFILE_CONTEXT_H
+
+#include <unordered_set>
+
+#include "support/bits.h"
+#include "trace/profile.h"
+#include "workloads/context.h"
+
+namespace cheri::workloads
+{
+
+/** Accumulates a TraceProfile directly from the access stream. */
+class ProfileContext : public Context
+{
+  public:
+    ProfileContext() : Context(CompileModel::kMips) {}
+
+    /** The finished profile (valid once the workload returned). */
+    trace::TraceProfile
+    profile() const
+    {
+        trace::TraceProfile result = profile_;
+        result.ptr_locations = ptr_locations_.size();
+        result.ptr_pages = ptr_pages_.size();
+        result.base.pages_touched = pages_.size();
+        result.footprint_bytes = pages_.size() * 4096;
+        return result;
+    }
+
+  protected:
+    void
+    onAlloc(std::uint64_t vaddr, std::uint64_t size) override
+    {
+        ++profile_.base.mallocs;
+        profile_.base.heap_bytes += size;
+        pages_.insert(vaddr / 4096);
+        std::uint64_t segment = support::nextPowerOfTwo(size);
+        profile_.pow2_padding_bytes += (segment - size) + segment / 4;
+    }
+
+    void
+    onFree(std::uint64_t) override
+    {
+        ++profile_.base.frees;
+    }
+
+    void
+    onLoad(std::uint64_t vaddr, std::uint64_t size, bool is_ptr,
+           std::uint64_t target_size) override
+    {
+        access(vaddr, size, is_ptr, target_size);
+        if (is_ptr)
+            ++profile_.base.pointer_loads;
+    }
+
+    void
+    onStore(std::uint64_t vaddr, std::uint64_t size, bool is_ptr,
+            std::uint64_t target_size) override
+    {
+        access(vaddr, size, is_ptr, target_size);
+        if (is_ptr)
+            ++profile_.base.pointer_stores;
+    }
+
+    void
+    onInstructions(std::uint64_t count) override
+    {
+        profile_.base.instructions += count;
+    }
+
+  private:
+    void
+    access(std::uint64_t vaddr, std::uint64_t size, bool is_ptr,
+           std::uint64_t target_size)
+    {
+        ++profile_.base.instructions;
+        ++profile_.base.memory_refs;
+        profile_.base.memory_bytes += size;
+        ++profile_.derefs;
+        pages_.insert(vaddr / 4096);
+        if (!is_ptr)
+            return;
+        ++profile_.ptr_refs;
+        ptr_locations_.insert(vaddr);
+        ptr_pages_.insert(vaddr / 4096);
+        bool compressible = target_size == 0 ||
+                            (target_size <= 1024 &&
+                             target_size % 4 == 0);
+        if (compressible)
+            ++profile_.compressible_ptr_refs;
+    }
+
+    trace::TraceProfile profile_;
+    std::unordered_set<std::uint64_t> pages_;
+    std::unordered_set<std::uint64_t> ptr_locations_;
+    std::unordered_set<std::uint64_t> ptr_pages_;
+};
+
+} // namespace cheri::workloads
+
+#endif // CHERI_WORKLOADS_PROFILE_CONTEXT_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Workload context that records the Section 7 limit-study trace: the
+ * benchmark runs under the unprotected MIPS model and every malloc,
+ * free, load and store is captured with its pointer classification,
+ * exactly the events the paper extracted from its hardware traces.
+ */
+
+#ifndef CHERI_WORKLOADS_TRACE_CONTEXT_H
+#define CHERI_WORKLOADS_TRACE_CONTEXT_H
+
+#include "trace/trace.h"
+#include "workloads/context.h"
+
+namespace cheri::workloads
+{
+
+/** Records a baseline (MIPS) trace of a workload run. */
+class TraceContext : public Context
+{
+  public:
+    TraceContext() : Context(CompileModel::kMips) {}
+
+    const trace::Trace &trace() const { return trace_; }
+
+  protected:
+    void
+    onAlloc(std::uint64_t vaddr, std::uint64_t size) override
+    {
+        trace_.malloc(vaddr, size);
+    }
+
+    void
+    onFree(std::uint64_t vaddr) override
+    {
+        trace_.free(vaddr);
+    }
+
+    void
+    onLoad(std::uint64_t vaddr, std::uint64_t size, bool is_ptr,
+           std::uint64_t target_size) override
+    {
+        if (is_ptr)
+            trace_.loadPtr(vaddr, size, target_size);
+        else
+            trace_.load(vaddr, size);
+    }
+
+    void
+    onStore(std::uint64_t vaddr, std::uint64_t size, bool is_ptr,
+            std::uint64_t target_size) override
+    {
+        if (is_ptr)
+            trace_.storePtr(vaddr, size, target_size);
+        else
+            trace_.store(vaddr, size);
+    }
+
+    void
+    onInstructions(std::uint64_t count) override
+    {
+        trace_.instructions(count);
+    }
+
+  private:
+    trace::Trace trace_;
+};
+
+} // namespace cheri::workloads
+
+#endif // CHERI_WORKLOADS_TRACE_CONTEXT_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * treeadd — build a balanced binary tree, then sum it by recursive
+ * traversal. The simplest Olden benchmark; its profile is almost
+ * identical to bisort's (Section 8).
+ */
+
+#include "workloads/olden.h"
+
+namespace cheri::workloads
+{
+
+namespace
+{
+
+enum : unsigned
+{
+    kValue = 0,
+    kLeft = 1,
+    kRight = 2,
+};
+
+ObjRef
+buildTree(Context &ctx, unsigned type, unsigned levels)
+{
+    if (levels == 0)
+        return kNull;
+    ctx.compute(kCallOverheadInstr);
+    ObjRef node = ctx.alloc(type);
+    ctx.storeWord(node, kValue, 1);
+    ctx.storePtr(node, kLeft, buildTree(ctx, type, levels - 1));
+    ctx.storePtr(node, kRight, buildTree(ctx, type, levels - 1));
+    return node;
+}
+
+std::uint64_t
+sumTree(Context &ctx, ObjRef node)
+{
+    if (node == kNull)
+        return 0;
+    std::uint64_t value = ctx.loadWord(node, kValue);
+    ctx.compute(kCallOverheadInstr + 2); // call frame + add + branch
+    return value + sumTree(ctx, ctx.loadPtr(node, kLeft)) +
+           sumTree(ctx, ctx.loadPtr(node, kRight));
+}
+
+} // namespace
+
+std::uint64_t
+Treeadd::run(Context &ctx, const WorkloadParams &params) const
+{
+    unsigned type = ctx.defineType(
+        {FieldKind::kWord, FieldKind::kPtr, FieldKind::kPtr});
+    unsigned levels = static_cast<unsigned>(params.size_a);
+    if (levels == 0)
+        levels = 1;
+
+    ctx.setPhase(Phase::kAlloc);
+    ObjRef root = buildTree(ctx, type, levels);
+
+    ctx.setPhase(Phase::kCompute);
+    return sumTree(ctx, root); // == 2^levels - 1
+}
+
+WorkloadParams
+Treeadd::paramsForHeapBytes(std::uint64_t heap_bytes) const
+{
+    std::uint64_t nodes = heap_bytes / 24; // 24-byte MIPS nodes
+    unsigned levels = 1;
+    while ((2ULL << levels) - 1 <= nodes)
+        ++levels;
+    return {levels, 0, 1};
+}
+
+} // namespace cheri::workloads

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * tsp — the Olden traveling-salesman benchmark: cities are stored in
+ * a binary space-partition tree, and a tour is built bottom-up by
+ * divide and conquer, splicing circular doubly-linked sub-tours
+ * together. Coordinates are 16.16 fixed point; distances use an
+ * integer approximation so the result is exact and model-independent.
+ */
+
+#include "workloads/olden.h"
+
+#include "support/rng.h"
+
+namespace cheri::workloads
+{
+
+namespace
+{
+
+/** City: {x, y} words; {left, right, prev, next} pointers. */
+enum : unsigned
+{
+    kX = 0,
+    kY = 1,
+    kLeft = 2,
+    kRight = 3,
+    kPrev = 4,
+    kNext = 5,
+};
+
+/** Integer distance approximation: |dx| + |dy| (exact, stable). */
+std::uint64_t
+distance(Context &ctx, ObjRef a, ObjRef b)
+{
+    std::int64_t dx = static_cast<std::int64_t>(ctx.loadWord(a, kX)) -
+                      static_cast<std::int64_t>(ctx.loadWord(b, kX));
+    std::int64_t dy = static_cast<std::int64_t>(ctx.loadWord(a, kY)) -
+                      static_cast<std::int64_t>(ctx.loadWord(b, kY));
+    ctx.compute(6);
+    return static_cast<std::uint64_t>(dx < 0 ? -dx : dx) +
+           static_cast<std::uint64_t>(dy < 0 ? -dy : dy);
+}
+
+/**
+ * Build a BSP tree of 'count' cities inside the box [x0,x1) x [y0,y1),
+ * alternating the split axis by depth (the Olden build_tree shape).
+ */
+ObjRef
+buildTree(Context &ctx, unsigned type, std::uint64_t count,
+          bool split_x, std::uint64_t x0, std::uint64_t x1,
+          std::uint64_t y0, std::uint64_t y1,
+          support::Xoshiro256 &rng)
+{
+    if (count == 0)
+        return kNull;
+    ctx.compute(kCallOverheadInstr);
+    std::uint64_t xm = (x0 + x1) / 2;
+    std::uint64_t ym = (y0 + y1) / 2;
+
+    ObjRef node = ctx.alloc(type);
+    // City placed pseudo-randomly inside its cell.
+    ctx.storeWord(node, kX, x0 + rng.nextBelow(x1 - x0 == 0 ? 1
+                                                            : x1 - x0));
+    ctx.storeWord(node, kY, y0 + rng.nextBelow(y1 - y0 == 0 ? 1
+                                                            : y1 - y0));
+    ctx.storePtr(node, kPrev, kNull);
+    ctx.storePtr(node, kNext, kNull);
+    std::uint64_t left_count = (count - 1) / 2;
+    std::uint64_t right_count = count - 1 - left_count;
+    if (split_x) {
+        ctx.storePtr(node, kLeft,
+                     buildTree(ctx, type, left_count, false, x0, xm,
+                               y0, y1, rng));
+        ctx.storePtr(node, kRight,
+                     buildTree(ctx, type, right_count, false, xm, x1,
+                               y0, y1, rng));
+    } else {
+        ctx.storePtr(node, kLeft,
+                     buildTree(ctx, type, left_count, true, x0, x1,
+                               y0, ym, rng));
+        ctx.storePtr(node, kRight,
+                     buildTree(ctx, type, right_count, true, x0, x1,
+                               ym, y1, rng));
+    }
+    return node;
+}
+
+/** Splice city 'c' into the circular tour after 'a' (a -> c -> ...). */
+void
+spliceAfter(Context &ctx, ObjRef a, ObjRef c)
+{
+    ObjRef b = ctx.loadPtr(a, kNext);
+    ctx.storePtr(a, kNext, c);
+    ctx.storePtr(c, kPrev, a);
+    ctx.storePtr(c, kNext, b);
+    ctx.storePtr(b, kPrev, c);
+}
+
+/** Find the tour position after which inserting 'c' is cheapest. */
+ObjRef
+cheapestEdge(Context &ctx, ObjRef tour, ObjRef c)
+{
+    ObjRef best = tour;
+    std::uint64_t best_cost = ~0ULL;
+    ObjRef a = tour;
+    do {
+        ObjRef b = ctx.loadPtr(a, kNext);
+        std::uint64_t cost = distance(ctx, a, c) +
+                             distance(ctx, c, b) -
+                             distance(ctx, a, b);
+        ctx.compute(4);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = a;
+        }
+        a = b;
+    } while (a != tour);
+    return best;
+}
+
+/**
+ * Conquer: turn the subtree into a circular tour. Small subtrees are
+ * merged by cheapest-edge insertion of one side's cities into the
+ * other's tour — the Olden merge structure without its geometric
+ * special cases.
+ */
+ObjRef
+conquer(Context &ctx, ObjRef node)
+{
+    if (node == kNull)
+        return kNull;
+    ctx.compute(kCallOverheadInstr);
+    ObjRef left = conquer(ctx, ctx.loadPtr(node, kLeft));
+    ObjRef right = conquer(ctx, ctx.loadPtr(node, kRight));
+
+    // Self-loop for the root city.
+    ctx.storePtr(node, kNext, node);
+    ctx.storePtr(node, kPrev, node);
+
+    // Merge both sub-tours into the root's tour, city by city.
+    for (ObjRef sub : {left, right}) {
+        while (sub != kNull) {
+            // Detach one city from the sub-tour.
+            ObjRef next = ctx.loadPtr(sub, kNext);
+            ObjRef prev = ctx.loadPtr(sub, kPrev);
+            ObjRef rest = kNull;
+            if (next != sub) {
+                ctx.storePtr(prev, kNext, next);
+                ctx.storePtr(next, kPrev, prev);
+                rest = next;
+            }
+            spliceAfter(ctx, cheapestEdge(ctx, node, sub), sub);
+            sub = rest;
+            ctx.compute(3);
+        }
+    }
+    return node;
+}
+
+} // namespace
+
+std::uint64_t
+Tsp::run(Context &ctx, const WorkloadParams &params) const
+{
+    std::uint64_t cities = params.size_a == 0 ? 64 : params.size_a;
+
+    unsigned type = ctx.defineType(
+        {FieldKind::kWord, FieldKind::kWord, FieldKind::kPtr,
+         FieldKind::kPtr, FieldKind::kPtr, FieldKind::kPtr});
+    support::Xoshiro256 rng(params.seed);
+
+    ctx.setPhase(Phase::kAlloc);
+    ObjRef root = buildTree(ctx, type, cities, true, 0, 1 << 16, 0,
+                            1 << 16, rng);
+
+    ctx.setPhase(Phase::kCompute);
+    ObjRef tour = conquer(ctx, root);
+
+    // Tour length (exact integer) is the checksum.
+    std::uint64_t length = 0;
+    ObjRef city = tour;
+    do {
+        ObjRef next = ctx.loadPtr(city, kNext);
+        length += distance(ctx, city, next);
+        city = next;
+    } while (city != tour);
+    return length;
+}
+
+WorkloadParams
+Tsp::paramsForHeapBytes(std::uint64_t heap_bytes) const
+{
+    std::uint64_t cities = heap_bytes / 48; // 2 words + 4 ptrs (MIPS)
+    if (cities < 4)
+        cities = 4;
+    // Cheapest-edge insertion is quadratic; cap the Figure 5 sweep.
+    if (cities > 4096)
+        cities = 4096;
+    return {cities, 0, 19};
+}
+
+} // namespace cheri::workloads

@@ -1,0 +1,39 @@
+#include "workloads/workload.h"
+
+#include "workloads/olden.h"
+
+namespace cheri::workloads
+{
+
+std::vector<std::unique_ptr<Workload>>
+fpgaBenchmarks()
+{
+    std::vector<std::unique_ptr<Workload>> suite;
+    suite.push_back(std::make_unique<Bisort>());
+    suite.push_back(std::make_unique<Mst>());
+    suite.push_back(std::make_unique<Treeadd>());
+    suite.push_back(std::make_unique<Perimeter>());
+    return suite;
+}
+
+std::vector<std::unique_ptr<Workload>>
+oldenSuite()
+{
+    std::vector<std::unique_ptr<Workload>> suite = fpgaBenchmarks();
+    suite.push_back(std::make_unique<Em3d>());
+    suite.push_back(std::make_unique<Health>());
+    suite.push_back(std::make_unique<Power>());
+    suite.push_back(std::make_unique<Tsp>());
+    return suite;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    for (auto &workload : oldenSuite())
+        if (workload->name() == name)
+            return std::move(workload);
+    return nullptr;
+}
+
+} // namespace cheri::workloads

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The Olden benchmark suite (Section 7/8): pointer-intensive
+ * workloads reimplemented against the workload Context so one
+ * implementation runs under every compilation model and both the
+ * trace recorder and the timing simulator.
+ *
+ * The four benchmarks of Figure 4 (bisort, mst, treeadd, perimeter)
+ * plus em3d and health for broader limit-study coverage.
+ */
+
+#ifndef CHERI_WORKLOADS_WORKLOAD_H
+#define CHERI_WORKLOADS_WORKLOAD_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/context.h"
+
+namespace cheri::workloads
+{
+
+/** Benchmark parameters; meaning is per-workload (like argv). */
+struct WorkloadParams
+{
+    std::uint64_t size_a = 0; ///< primary size (nodes/levels/vertices)
+    std::uint64_t size_b = 0; ///< secondary size (degree/iterations)
+    std::uint64_t seed = 42;  ///< deterministic RNG seed
+};
+
+/** One Olden benchmark. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name as the paper prints it. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Execute against a context. Returns a checksum that must be
+     * identical across compilation models (the algorithms compute
+     * real results; protection must not change them).
+     */
+    virtual std::uint64_t run(Context &context,
+                              const WorkloadParams &params) const = 0;
+
+    /** Scaled-down parameters suitable for CI-speed runs. */
+    virtual WorkloadParams defaultParams() const = 0;
+
+    /** The parameters used in the paper's evaluation (Section 8). */
+    virtual WorkloadParams paperParams() const = 0;
+
+    /**
+     * Parameters sized so the MIPS-model heap is approximately
+     * heap_bytes (the Figure 5 sweep).
+     */
+    virtual WorkloadParams
+    paramsForHeapBytes(std::uint64_t heap_bytes) const = 0;
+};
+
+/** The four FPGA benchmarks of Figure 4, in the paper's order. */
+std::vector<std::unique_ptr<Workload>> fpgaBenchmarks();
+
+/** The full suite used for the Figure 3 limit study. */
+std::vector<std::unique_ptr<Workload>> oldenSuite();
+
+/** Look up one workload by name (nullptr when unknown). */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+} // namespace cheri::workloads
+
+#endif // CHERI_WORKLOADS_WORKLOAD_H

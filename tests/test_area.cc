@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the FPGA area/speed model against Section 9's reported
+ * figures and Figure 6's component breakdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include "area/area_model.h"
+
+namespace cheri::area
+{
+namespace
+{
+
+TEST(AreaModel, ComponentSharesSumToOne)
+{
+    AreaModel model;
+    double total = 0;
+    for (const Component &component : model.components())
+        total += component.cheri_fraction;
+    EXPECT_NEAR(total, 1.0, 0.005);
+}
+
+TEST(AreaModel, Figure6SharesMatchPaper)
+{
+    AreaModel model;
+    auto share = [&](const std::string &name) {
+        for (const Component &component : model.components())
+            if (component.name == name)
+                return component.cheri_fraction;
+        return -1.0;
+    };
+    EXPECT_NEAR(share("BERI Pipeline"), 0.186, 1e-9);
+    EXPECT_NEAR(share("Floating Point"), 0.318, 1e-9);
+    EXPECT_NEAR(share("Capability Unit"), 0.147, 1e-9);
+    EXPECT_NEAR(share("Tag Cache"), 0.040, 1e-9);
+    EXPECT_NEAR(share("CPro0 & TLB"), 0.078, 1e-9);
+    EXPECT_NEAR(share("Level 2 Cache"), 0.066, 1e-9);
+    EXPECT_NEAR(share("L1 Data Cache"), 0.046, 1e-9);
+    EXPECT_NEAR(share("L1 Instr. Cache"), 0.024, 1e-9);
+    EXPECT_NEAR(share("Debug"), 0.047, 1e-9);
+    EXPECT_NEAR(share("Multiply & Divide"), 0.026, 1e-9);
+    EXPECT_NEAR(share("Branch Predictor"), 0.023, 1e-9);
+}
+
+TEST(AreaModel, LogicOverheadIs32Percent)
+{
+    AreaModel model;
+    EXPECT_NEAR(model.logicOverhead(), 0.32, 0.01);
+}
+
+TEST(AreaModel, ClockReductionIs8Percent)
+{
+    AreaModel model;
+    EXPECT_NEAR(model.clockReduction(), 0.081, 0.001);
+}
+
+TEST(AreaModel, FmaxValuesMatchPaper)
+{
+    AreaModel model;
+    EXPECT_NEAR(model.synthesizeBeri().fmax_mhz, 110.84, 1e-6);
+    EXPECT_NEAR(model.synthesizeCheri().fmax_mhz, 102.54, 1e-6);
+}
+
+TEST(AreaModel, BeriOmitsCheriOnlyComponents)
+{
+    AreaModel model;
+    Synthesis beri = model.synthesizeBeri();
+    for (const auto &[name, alms] : beri.component_alms) {
+        EXPECT_NE(name, "Capability Unit");
+        EXPECT_NE(name, "Tag Cache");
+        EXPECT_GT(alms, 0.0);
+    }
+    EXPECT_LT(beri.total_alms, model.synthesizeCheri().total_alms);
+}
+
+TEST(AreaModel, WidthScalingIsMonotone)
+{
+    AreaModel model;
+    Synthesis full = model.synthesizeCheriWidth(256);
+    Synthesis half = model.synthesizeCheriWidth(128);
+    Synthesis beri = model.synthesizeBeri();
+
+    EXPECT_NEAR(full.total_alms, model.synthesizeCheri().total_alms,
+                1.0);
+    EXPECT_LT(half.total_alms, full.total_alms);
+    EXPECT_GT(half.total_alms, beri.total_alms);
+    // Narrower capabilities run faster.
+    EXPECT_GT(half.fmax_mhz, full.fmax_mhz);
+    EXPECT_LT(half.fmax_mhz, beri.fmax_mhz);
+}
+
+TEST(AreaModel, Width128OverheadIsRoughlyHalf)
+{
+    AreaModel model;
+    double beri = model.synthesizeBeri().total_alms;
+    double overhead128 =
+        model.synthesizeCheriWidth(128).total_alms / beri - 1.0;
+    EXPECT_GT(overhead128, 0.10);
+    EXPECT_LT(overhead128, 0.20);
+}
+
+} // namespace
+} // namespace cheri::area

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Unit tests for the capability model: representation, monotonic
+ * operations, pointer interop, access checks, the 128-bit compressed
+ * format, and the register file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cap/cap128.h"
+#include "cap/cap_ops.h"
+#include "cap/capability.h"
+#include "cap/reg_file.h"
+#include "support/rng.h"
+
+namespace cheri::cap
+{
+namespace
+{
+
+TEST(Capability, DefaultIsUntaggedNull)
+{
+    Capability c;
+    EXPECT_FALSE(c.tag());
+    EXPECT_EQ(c.base(), 0u);
+    EXPECT_EQ(c.length(), 0u);
+    EXPECT_EQ(c.perms(), 0u);
+}
+
+TEST(Capability, MakeSetsFields)
+{
+    Capability c = Capability::make(0x1000, 0x200, kPermLoad | kPermStore);
+    EXPECT_TRUE(c.tag());
+    EXPECT_EQ(c.base(), 0x1000u);
+    EXPECT_EQ(c.length(), 0x200u);
+    EXPECT_EQ(c.perms(), kPermLoad | kPermStore);
+    EXPECT_EQ(c.top(), 0x1200u);
+}
+
+TEST(Capability, AlmightyCoversEverything)
+{
+    Capability c = Capability::almighty();
+    EXPECT_TRUE(c.tag());
+    EXPECT_TRUE(c.covers(0, 8));
+    EXPECT_TRUE(c.covers(1ULL << 62, 4096));
+    EXPECT_TRUE(c.hasPerms(kPermAll));
+}
+
+TEST(Capability, TopSaturatesOnOverflow)
+{
+    Capability c = Capability::make(0x100, ~0ULL, kPermAll);
+    EXPECT_EQ(c.top(), ~0ULL);
+}
+
+TEST(Capability, CoversRejectsOutside)
+{
+    Capability c = Capability::make(0x1000, 0x100, kPermAll);
+    EXPECT_TRUE(c.covers(0x1000, 1));
+    EXPECT_TRUE(c.covers(0x10ff, 1));
+    EXPECT_TRUE(c.covers(0x1000, 0x100));
+    EXPECT_FALSE(c.covers(0xfff, 1));
+    EXPECT_FALSE(c.covers(0x1100, 1));
+    EXPECT_FALSE(c.covers(0x10ff, 2));
+    EXPECT_FALSE(c.covers(~0ULL, 8)); // wrapping access
+}
+
+TEST(Capability, RawImageRoundTripsThroughMemoryForm)
+{
+    // A capability register can hold arbitrary data; the raw image
+    // must round-trip exactly (memcpy obliviousness, Section 4.2).
+    support::Xoshiro256 rng(3);
+    for (int i = 0; i < 100; ++i) {
+        std::array<std::uint8_t, kCapBytes> raw;
+        for (auto &byte : raw)
+            byte = static_cast<std::uint8_t>(rng.next());
+        Capability c = Capability::fromRaw(raw, false);
+        EXPECT_EQ(c.raw(), raw);
+        EXPECT_FALSE(c.tag());
+    }
+}
+
+TEST(Capability, FieldsLiveAtDocumentedWordPositions)
+{
+    Capability c = Capability::make(0x1122334455667788ULL,
+                                    0x99aabbccddeeff00ULL, kPermLoad);
+    const auto &raw = c.raw();
+    // word 2 = base (little endian).
+    EXPECT_EQ(raw[16], 0x88);
+    EXPECT_EQ(raw[23], 0x11);
+    // word 3 = length.
+    EXPECT_EQ(raw[24], 0x00);
+    EXPECT_EQ(raw[31], 0x99);
+    // word 0 low bits = perms.
+    EXPECT_EQ(raw[0], kPermLoad);
+}
+
+TEST(CapOps, IncBaseShrinksFromFront)
+{
+    Capability c = Capability::make(0x1000, 0x100, kPermAll);
+    CapOpResult r = incBase(c, 0x40);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value.base(), 0x1040u);
+    EXPECT_EQ(r.value.length(), 0xc0u);
+    EXPECT_TRUE(r.value.tag());
+}
+
+TEST(CapOps, IncBaseByLengthYieldsEmpty)
+{
+    Capability c = Capability::make(0x1000, 0x100, kPermAll);
+    CapOpResult r = incBase(c, 0x100);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value.length(), 0u);
+}
+
+TEST(CapOps, IncBaseBeyondLengthFaults)
+{
+    Capability c = Capability::make(0x1000, 0x100, kPermAll);
+    EXPECT_EQ(incBase(c, 0x101).cause, CapCause::kLengthViolation);
+}
+
+TEST(CapOps, IncBaseUntaggedFaults)
+{
+    EXPECT_EQ(incBase(Capability(), 1).cause, CapCause::kTagViolation);
+}
+
+TEST(CapOps, SetLenOnlyShrinks)
+{
+    Capability c = Capability::make(0x1000, 0x100, kPermAll);
+    CapOpResult r = setLen(c, 0x80);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value.length(), 0x80u);
+    EXPECT_EQ(setLen(r.value, 0x81).cause,
+              CapCause::kMonotonicityViolation);
+    EXPECT_EQ(setLen(c, 0x101).cause, CapCause::kMonotonicityViolation);
+}
+
+TEST(CapOps, AndPermOnlyClears)
+{
+    Capability c = Capability::make(0, 100, kPermAll);
+    CapOpResult r = andPerm(c, kPermLoad);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value.perms(), kPermLoad);
+    // Re-anding with everything cannot restore cleared bits.
+    CapOpResult r2 = andPerm(r.value, kPermAll);
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r2.value.perms(), kPermLoad);
+}
+
+TEST(CapOps, ToPtrAndFromPtrRoundTrip)
+{
+    Capability c0 = Capability::make(0x10000, 0x10000, kPermAll);
+    CapOpResult derived = incBase(c0, 0x400);
+    ASSERT_TRUE(derived.ok());
+
+    std::uint64_t ptr = toPtr(derived.value, c0);
+    EXPECT_EQ(ptr, 0x400u);
+
+    CapOpResult back = fromPtr(c0, ptr);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value.base(), derived.value.base());
+}
+
+TEST(CapOps, NullCasts)
+{
+    Capability c0 = Capability::almighty();
+    // Untagged capability -> NULL pointer.
+    EXPECT_EQ(toPtr(Capability(), c0), 0u);
+    // NULL pointer -> untagged capability.
+    CapOpResult r = fromPtr(c0, 0);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.value.tag());
+}
+
+TEST(CapOps, CheckDataAccessPermissions)
+{
+    Capability c = Capability::make(0x1000, 0x100, kPermLoad);
+    EXPECT_EQ(checkDataAccess(c, 0, 8, kPermLoad), CapCause::kNone);
+    EXPECT_EQ(checkDataAccess(c, 0, 8, kPermStore),
+              CapCause::kPermitStoreViolation);
+    EXPECT_EQ(checkDataAccess(c, 0, 8, kPermLoadCap),
+              CapCause::kPermitLoadCapViolation);
+    EXPECT_EQ(checkDataAccess(c, 0, 8, kPermStoreCap),
+              CapCause::kPermitStoreCapViolation);
+}
+
+TEST(CapOps, CheckDataAccessBounds)
+{
+    Capability c = Capability::make(0x1000, 0x100, kPermAll);
+    EXPECT_EQ(checkDataAccess(c, 0xf8, 8, kPermLoad), CapCause::kNone);
+    EXPECT_EQ(checkDataAccess(c, 0xf9, 8, kPermLoad),
+              CapCause::kLengthViolation);
+    EXPECT_EQ(checkDataAccess(c, 0x100, 1, kPermLoad),
+              CapCause::kLengthViolation);
+    // A negative signed offset arrives as a huge unsigned one.
+    EXPECT_EQ(checkDataAccess(c, static_cast<std::uint64_t>(-8), 8,
+                              kPermLoad),
+              CapCause::kLengthViolation);
+}
+
+TEST(CapOps, CheckDataAccessAlignment)
+{
+    Capability c = Capability::make(0x1000, 0x100, kPermAll);
+    EXPECT_EQ(checkDataAccess(c, 0x20, 32, kPermLoadCap, true),
+              CapCause::kNone);
+    EXPECT_EQ(checkDataAccess(c, 0x28, 32, kPermLoadCap, true),
+              CapCause::kAlignmentViolation);
+}
+
+TEST(CapOps, CheckFetch)
+{
+    Capability pcc = Capability::make(0x1000, 0x100, kPermExecute);
+    EXPECT_EQ(checkFetch(pcc, 0x1000), CapCause::kNone);
+    EXPECT_EQ(checkFetch(pcc, 0x10fc), CapCause::kNone);
+    EXPECT_EQ(checkFetch(pcc, 0x10fe), CapCause::kLengthViolation);
+    EXPECT_EQ(checkFetch(pcc, 0xfff), CapCause::kLengthViolation);
+
+    Capability no_exec = Capability::make(0x1000, 0x100, kPermLoad);
+    EXPECT_EQ(checkFetch(no_exec, 0x1000),
+              CapCause::kPermitExecuteViolation);
+    EXPECT_EQ(checkFetch(Capability(), 0x1000),
+              CapCause::kTagViolation);
+}
+
+TEST(Cap128, RepresentableRoundTrip)
+{
+    Capability c = Capability::make(0x12345678, 0x9abcd, kPermAll);
+    ASSERT_TRUE(Cap128::isRepresentable(c));
+    auto compressed = Cap128::compress(c);
+    ASSERT_TRUE(compressed.has_value());
+    EXPECT_EQ(compressed->base(), c.base());
+    EXPECT_EQ(compressed->length(), c.length());
+    EXPECT_EQ(compressed->perms(), c.perms());
+    EXPECT_EQ(compressed->expand(), c);
+}
+
+TEST(Cap128, RandomRoundTrip)
+{
+    support::Xoshiro256 rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t base = rng.nextBelow(1ULL << 39);
+        std::uint64_t length =
+            rng.nextBelow((1ULL << 40) - base);
+        Capability c = Capability::make(
+            base, length,
+            static_cast<std::uint32_t>(rng.next()) & kPermMask);
+        auto compressed = Cap128::compress(c);
+        ASSERT_TRUE(compressed.has_value());
+        EXPECT_EQ(compressed->expand(), c);
+    }
+}
+
+TEST(Cap128, UnrepresentableCases)
+{
+    EXPECT_FALSE(Cap128::compress(Capability()).has_value());
+    EXPECT_FALSE(
+        Cap128::compress(Capability::make(1ULL << 40, 8, kPermAll))
+            .has_value());
+    EXPECT_FALSE(
+        Cap128::compress(Capability::make(0, 1ULL << 41, kPermAll))
+            .has_value());
+    // Base + length straddling the 40-bit top.
+    EXPECT_FALSE(Cap128::compress(Capability::make(
+                     (1ULL << 40) - 16, 32, kPermAll))
+                     .has_value());
+    EXPECT_FALSE(Cap128::compress(Capability::almighty()).has_value());
+}
+
+TEST(CapRegFile, ResetStateIsAlmighty)
+{
+    CapRegFile regs;
+    for (unsigned i = 0; i < kNumCapRegs; ++i)
+        EXPECT_EQ(regs.read(i), Capability::almighty());
+    EXPECT_EQ(regs.pcc(), Capability::almighty());
+}
+
+TEST(CapRegFile, SaveRestoreRoundTrip)
+{
+    CapRegFile regs;
+    regs.write(3, Capability::make(0x1000, 0x10, kPermLoad));
+    regs.setPcc(Capability::make(0x2000, 0x20, kPermExecute));
+
+    CapRegFile::Snapshot snapshot = regs.save();
+    regs.write(3, Capability());
+    regs.setPcc(Capability::almighty());
+    regs.restore(snapshot);
+
+    EXPECT_EQ(regs.read(3).base(), 0x1000u);
+    EXPECT_EQ(regs.pcc().base(), 0x2000u);
+}
+
+TEST(CapRegFile, C0IsRegisterZero)
+{
+    CapRegFile regs;
+    Capability restricted = Capability::make(0x100, 0x10, kPermLoad);
+    regs.write(0, restricted);
+    EXPECT_EQ(regs.c0(), restricted);
+}
+
+TEST(Capability, ToStringMentionsFields)
+{
+    Capability c = Capability::make(0x1000, 0x100, kPermLoad | kPermStore);
+    std::string s = c.toString();
+    EXPECT_NE(s.find("0x1000"), std::string::npos);
+    EXPECT_NE(s.find("rw-"), std::string::npos);
+}
+
+} // namespace
+} // namespace cheri::cap

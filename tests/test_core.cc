@@ -1,0 +1,481 @@
+/**
+ * @file
+ * CPU tests: guest programs assembled with the structured assembler
+ * run on the full machine, exercising the MIPS subset, delay slots,
+ * legacy-via-C0 addressing, every CHERI instruction, and the
+ * exception paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+#include "isa/assembler.h"
+
+namespace cheri::core
+{
+namespace
+{
+
+using namespace isa::reg;
+using isa::Assembler;
+
+constexpr std::uint64_t kCodeBase = 0x10000;
+constexpr std::uint64_t kDataBase = 0x20000;
+
+/** Machine with code+data mapped and the program loaded. */
+struct GuestFixture
+{
+    Machine machine;
+
+    explicit GuestFixture(Assembler &assembler)
+    {
+        machine.mapRange(kDataBase, 64 * 1024);
+        machine.loadProgram(kCodeBase, assembler.finish());
+        machine.reset(kCodeBase);
+    }
+
+    RunResult
+    run(std::uint64_t max_insts = 100000)
+    {
+        return machine.cpu().run(max_insts);
+    }
+
+    Cpu &cpu() { return machine.cpu(); }
+};
+
+TEST(Cpu, AluArithmetic)
+{
+    Assembler a(kCodeBase);
+    a.li(t0, 40);
+    a.li(t1, 2);
+    a.daddu(t2, t0, t1);
+    a.dsubu(t3, t0, t1);
+    a.and_(t4, t0, t1);
+    a.or_(t5, t0, t1);
+    a.xor_(t6, t0, t1);
+    a.nor(t7, t0, t1);
+    a.break_();
+
+    GuestFixture guest(a);
+    RunResult result = guest.run();
+    EXPECT_EQ(result.reason, StopReason::kBreak);
+    EXPECT_EQ(guest.cpu().gpr(t2), 42u);
+    EXPECT_EQ(guest.cpu().gpr(t3), 38u);
+    EXPECT_EQ(guest.cpu().gpr(t4), 0u);
+    EXPECT_EQ(guest.cpu().gpr(t5), 42u);
+    EXPECT_EQ(guest.cpu().gpr(t6), 42u);
+    EXPECT_EQ(guest.cpu().gpr(t7), ~42ULL);
+}
+
+TEST(Cpu, Word32SignExtension)
+{
+    Assembler a(kCodeBase);
+    a.li(t0, 0x7fffffff);
+    a.li(t1, 1);
+    a.addu(t2, t0, t1);  // 32-bit overflow -> sign-extended negative
+    a.daddu(t3, t0, t1); // full 64-bit
+    a.break_();
+
+    GuestFixture guest(a);
+    guest.run();
+    EXPECT_EQ(guest.cpu().gpr(t2), 0xffffffff80000000ULL);
+    EXPECT_EQ(guest.cpu().gpr(t3), 0x80000000ULL);
+}
+
+TEST(Cpu, ShiftsAndCompares)
+{
+    Assembler a(kCodeBase);
+    a.li(t0, -8);
+    a.dsra(t1, t0, 1);     // -4
+    a.dsrl32(t2, t0, 28);  // logical shift by 60
+    a.slt(t3, t0, zero); // -8 < 0 signed
+    a.sltu(t4, t0, zero);// huge unsigned, not < 0
+    a.li(t5, 1);
+    a.dsll32(t6, t5, 0); // 1 << 32
+    a.break_();
+
+    GuestFixture guest(a);
+    guest.run();
+    EXPECT_EQ(guest.cpu().gpr(t1), static_cast<std::uint64_t>(-4));
+    EXPECT_EQ(guest.cpu().gpr(t2), 0xfULL);
+    EXPECT_EQ(guest.cpu().gpr(t3), 1u);
+    EXPECT_EQ(guest.cpu().gpr(t4), 0u);
+    EXPECT_EQ(guest.cpu().gpr(t6), 1ULL << 32);
+}
+
+TEST(Cpu, MultiplyDivide)
+{
+    Assembler a(kCodeBase);
+    a.li(t0, 7);
+    a.li(t1, 6);
+    a.dmultu(t0, t1);
+    a.mflo(t2);
+    a.li(t3, 100);
+    a.li(t4, 9);
+    a.ddivu(t3, t4);
+    a.mflo(t5); // quotient
+    a.mfhi(t6); // remainder
+    a.break_();
+
+    GuestFixture guest(a);
+    guest.run();
+    EXPECT_EQ(guest.cpu().gpr(t2), 42u);
+    EXPECT_EQ(guest.cpu().gpr(t5), 11u);
+    EXPECT_EQ(guest.cpu().gpr(t6), 1u);
+}
+
+TEST(Cpu, LoopWithBranchDelaySlot)
+{
+    // Sum 1..10 with a bne loop; the delay slot does real work.
+    Assembler a(kCodeBase);
+    a.li(t0, 10);   // counter
+    a.li(t1, 0);    // sum
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.daddu(t1, t1, t0);
+    a.daddiu(t0, t0, -1);
+    a.bne(t0, zero, loop);
+    a.nop(); // delay slot
+    a.break_();
+
+    GuestFixture guest(a);
+    RunResult result = guest.run();
+    EXPECT_EQ(result.reason, StopReason::kBreak);
+    EXPECT_EQ(guest.cpu().gpr(t1), 55u);
+}
+
+TEST(Cpu, DelaySlotExecutesExactlyOnce)
+{
+    Assembler a(kCodeBase);
+    auto target = a.newLabel();
+    a.li(t0, 0);
+    a.beq(zero, zero, target);
+    a.daddiu(t0, t0, 1); // delay slot: must execute once
+    a.daddiu(t0, t0, 100); // skipped
+    a.bind(target);
+    a.break_();
+
+    GuestFixture guest(a);
+    guest.run();
+    EXPECT_EQ(guest.cpu().gpr(t0), 1u);
+}
+
+TEST(Cpu, JalAndJrFunctionCall)
+{
+    Assembler a(kCodeBase);
+    auto func = a.newLabel();
+    auto done = a.newLabel();
+    a.li(a0, 5);
+    a.jal(func);
+    a.nop();
+    a.b(done);
+    a.nop();
+    a.bind(func);
+    a.daddiu(v0, a0, 37);
+    a.jr(ra);
+    a.nop();
+    a.bind(done);
+    a.break_();
+
+    GuestFixture guest(a);
+    RunResult result = guest.run();
+    EXPECT_EQ(result.reason, StopReason::kBreak);
+    EXPECT_EQ(guest.cpu().gpr(v0), 42u);
+}
+
+TEST(Cpu, LegacyLoadsAndStores)
+{
+    Assembler a(kCodeBase);
+    a.li(t0, static_cast<std::int32_t>(kDataBase));
+    a.li64(t1, 0x1122334455667788ULL);
+    a.sd(t1, t0, 0);
+    a.ld(t2, t0, 0);
+    a.lw(t3, t0, 0);  // sign-extended 0x55667788
+    a.lwu(t4, t0, 4); // 0x11223344
+    a.lh(t5, t0, 0);
+    a.lhu(t6, t0, 0);
+    a.lb(t7, t0, 3);
+    a.lbu(t8, t0, 3);
+    a.break_();
+
+    GuestFixture guest(a);
+    guest.run();
+    EXPECT_EQ(guest.cpu().gpr(t2), 0x1122334455667788ULL);
+    EXPECT_EQ(guest.cpu().gpr(t3), 0x55667788ULL);
+    EXPECT_EQ(guest.cpu().gpr(t4), 0x11223344ULL);
+    EXPECT_EQ(guest.cpu().gpr(t5), 0x7788ULL);
+    EXPECT_EQ(guest.cpu().gpr(t6), 0x7788ULL);
+    EXPECT_EQ(guest.cpu().gpr(t7), 0x55ULL);
+    EXPECT_EQ(guest.cpu().gpr(t8), 0x55ULL);
+}
+
+TEST(Cpu, SubWordStores)
+{
+    Assembler a(kCodeBase);
+    a.li(t0, static_cast<std::int32_t>(kDataBase));
+    a.li(t1, -1);
+    a.sd(t1, t0, 0);
+    a.li(t2, 0);
+    a.sb(t2, t0, 0);
+    a.sh(t2, t0, 2);
+    a.sw(t2, t0, 4);
+    a.ld(t3, t0, 0);
+    a.break_();
+
+    GuestFixture guest(a);
+    guest.run();
+    // Bytes after the stores: [00 ff 00 00 00 00 00 00].
+    EXPECT_EQ(guest.cpu().gpr(t3), 0xff00ULL);
+}
+
+TEST(Cpu, UnalignedLoadFaults)
+{
+    Assembler a(kCodeBase);
+    a.li(t0, static_cast<std::int32_t>(kDataBase + 1));
+    a.ld(t1, t0, 0);
+    a.break_();
+
+    GuestFixture guest(a);
+    RunResult result = guest.run();
+    EXPECT_EQ(result.reason, StopReason::kTrap);
+    EXPECT_EQ(result.trap.code, ExcCode::kAddressErrorLoad);
+    EXPECT_EQ(result.trap.bad_vaddr, kDataBase + 1);
+}
+
+TEST(Cpu, UnmappedAccessFaults)
+{
+    Assembler a(kCodeBase);
+    a.li64(t0, 0x700000);
+    a.ld(t1, t0, 0);
+    a.break_();
+
+    GuestFixture guest(a);
+    RunResult result = guest.run();
+    EXPECT_EQ(result.reason, StopReason::kTrap);
+    EXPECT_EQ(result.trap.code, ExcCode::kTlbLoad);
+}
+
+TEST(Cpu, ReservedInstructionFaults)
+{
+    Assembler a(kCodeBase);
+    a.emit(0x1fu << 26); // unused major opcode
+
+    GuestFixture guest(a);
+    RunResult result = guest.run();
+    EXPECT_EQ(result.reason, StopReason::kTrap);
+    EXPECT_EQ(result.trap.code, ExcCode::kReservedInstruction);
+}
+
+TEST(Cpu, SyscallHandlerInvoked)
+{
+    Assembler a(kCodeBase);
+    a.li(v0, 99);
+    a.syscall();
+    a.li(t0, 1); // runs after a non-exit syscall
+    a.break_();
+
+    GuestFixture guest(a);
+    std::uint64_t seen = 0;
+    guest.cpu().setSyscallHandler([&](Cpu &cpu) {
+        seen = cpu.gpr(v0);
+        return SyscallAction{};
+    });
+    RunResult result = guest.run();
+    EXPECT_EQ(result.reason, StopReason::kBreak);
+    EXPECT_EQ(seen, 99u);
+    EXPECT_EQ(guest.cpu().gpr(t0), 1u);
+}
+
+TEST(Cpu, SyscallExitStopsRun)
+{
+    Assembler a(kCodeBase);
+    a.li(v0, 1);
+    a.li(a0, 42);
+    a.syscall();
+    a.li(t0, 1); // unreachable
+
+    GuestFixture guest(a);
+    guest.cpu().setSyscallHandler([](Cpu &cpu) {
+        return SyscallAction{true,
+                             static_cast<std::int64_t>(cpu.gpr(a0))};
+    });
+    RunResult result = guest.run();
+    EXPECT_EQ(result.reason, StopReason::kExited);
+    EXPECT_EQ(result.exit_code, 42);
+    EXPECT_EQ(guest.cpu().gpr(t0), 0u);
+}
+
+TEST(Cpu, LlScSuccess)
+{
+    Assembler a(kCodeBase);
+    a.li(t0, static_cast<std::int32_t>(kDataBase));
+    a.li(t1, 7);
+    a.sd(t1, t0, 0);
+    a.lld(t2, t0, 0);
+    a.daddiu(t2, t2, 1);
+    a.scd(t2, t0, 0);
+    a.ld(t3, t0, 0);
+    a.break_();
+
+    GuestFixture guest(a);
+    guest.run();
+    EXPECT_EQ(guest.cpu().gpr(t2), 1u); // SC success flag
+    EXPECT_EQ(guest.cpu().gpr(t3), 8u);
+}
+
+TEST(Cpu, ScFailsAfterInterveningStore)
+{
+    Assembler a(kCodeBase);
+    a.li(t0, static_cast<std::int32_t>(kDataBase));
+    a.lld(t2, t0, 0);
+    a.li(t4, 5);
+    a.sd(t4, t0, 0); // breaks the reservation
+    a.li(t2, 9);
+    a.scd(t2, t0, 0);
+    a.break_();
+
+    GuestFixture guest(a);
+    guest.run();
+    EXPECT_EQ(guest.cpu().gpr(t2), 0u); // SC failed
+}
+
+TEST(Cpu, InstLimitStopsRun)
+{
+    Assembler a(kCodeBase);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.b(loop);
+    a.nop();
+
+    GuestFixture guest(a);
+    RunResult result = guest.run(1000);
+    EXPECT_EQ(result.reason, StopReason::kInstLimit);
+    EXPECT_EQ(result.instructions, 1000u);
+}
+
+TEST(Cpu, CyclesExceedInstructions)
+{
+    // Memory misses and TLB refills make cycles > instructions.
+    Assembler a(kCodeBase);
+    a.li(t0, static_cast<std::int32_t>(kDataBase));
+    a.ld(t1, t0, 0);
+    a.break_();
+
+    GuestFixture guest(a);
+    RunResult result = guest.run();
+    EXPECT_GT(result.cycles, result.instructions);
+}
+
+TEST(Cpu, R0IsHardwiredZero)
+{
+    Assembler a(kCodeBase);
+    a.li(t0, 5);
+    a.daddu(zero, t0, t0);
+    a.move(t1, zero);
+    a.break_();
+
+    GuestFixture guest(a);
+    guest.run();
+    EXPECT_EQ(guest.cpu().gpr(t1), 0u);
+}
+
+TEST(Cpu, MovzMovn)
+{
+    Assembler a(kCodeBase);
+    a.li(t0, 11);
+    a.li(t1, 22);
+    a.li(t2, 0);
+    a.li(t3, 33);
+    a.movz(t4, t0, t2); // t2==0 -> t4 = 11
+    a.movn(t5, t1, t2); // t2==0 -> no move, t5 stays 0
+    a.movn(t6, t1, t3); // t3!=0 -> t6 = 22
+    a.break_();
+
+    GuestFixture guest(a);
+    guest.run();
+    EXPECT_EQ(guest.cpu().gpr(t4), 11u);
+    EXPECT_EQ(guest.cpu().gpr(t5), 0u);
+    EXPECT_EQ(guest.cpu().gpr(t6), 22u);
+}
+
+TEST(Cpu, BranchPredictorConvergesOnLoops)
+{
+    // A long monotone loop mispredicts only while the 2-bit counter
+    // trains (plus the final exit): far fewer mispredicts than
+    // branches.
+    Assembler a(kCodeBase);
+    a.li(t0, 200);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.daddiu(t0, t0, -1);
+    a.bne(t0, zero, loop);
+    a.nop();
+    a.break_();
+
+    GuestFixture guest(a);
+    guest.run();
+    std::uint64_t mispredicts =
+        guest.cpu().stats().get("branch.mispredicts");
+    EXPECT_LE(mispredicts, 3u);
+}
+
+TEST(Cpu, BranchPredictorPaysForAlternation)
+{
+    // A branch alternating taken/not-taken defeats a bimodal
+    // predictor; mispredict count approaches the iteration count and
+    // cycles exceed the well-predicted equivalent.
+    Assembler a(kCodeBase);
+    a.li(t0, 100);
+    a.li(t1, 0);
+    auto loop = a.newLabel();
+    auto skip = a.newLabel();
+    a.bind(loop);
+    a.andi(t2, t0, 1);
+    a.beq(t2, zero, skip); // alternates every iteration
+    a.nop();
+    a.bind(skip);
+    a.daddiu(t0, t0, -1);
+    a.bne(t0, zero, loop);
+    a.nop();
+    a.break_();
+
+    GuestFixture guest(a);
+    guest.run();
+    EXPECT_GE(guest.cpu().stats().get("branch.mispredicts"), 40u);
+}
+
+TEST(Cpu, PreemptionNeverSplitsBranchAndDelaySlot)
+{
+    // A tight taken-branch loop preempted at every possible point:
+    // resuming via setPc (as a context switch does) must never lose a
+    // pending branch target.
+    Assembler a(kCodeBase);
+    a.li(t0, 0);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.daddiu(t0, t0, 1);
+    a.b(loop);
+    a.nop();
+    GuestFixture guest(a);
+
+    for (int limit = 1; limit <= 7; ++limit) {
+        core::RunResult result = guest.cpu().run(
+            static_cast<std::uint64_t>(limit));
+        ASSERT_EQ(result.reason, StopReason::kInstLimit);
+        // Simulate a context switch: save pc, reset flow, restore.
+        std::uint64_t pc = guest.cpu().pc();
+        guest.cpu().setPc(pc);
+        // The loop body spans exactly 3 words; a stop must always be
+        // at one of them (never in the invisible "about to jump"
+        // state that setPc would destroy).
+        EXPECT_GE(pc, kCodeBase + 4);
+        EXPECT_LE(pc, kCodeBase + 12);
+    }
+    // The counter keeps increasing; the loop never escaped.
+    std::uint64_t counter = guest.cpu().gpr(t0);
+    guest.cpu().run(100);
+    EXPECT_GT(guest.cpu().gpr(t0), counter);
+}
+
+} // namespace
+} // namespace cheri::core

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the host-side debugger: breakpoints fire before the
+ * target instruction, runs resume past them, capability-register
+ * watches catch derivations, and the recent-PC ring records history.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/debugger.h"
+#include "core/machine.h"
+#include "isa/assembler.h"
+
+namespace cheri::core
+{
+namespace
+{
+
+using namespace isa::reg;
+using isa::Assembler;
+
+constexpr std::uint64_t kCodeBase = 0x10000;
+
+struct Fixture
+{
+    Machine machine;
+
+    explicit Fixture(Assembler &assembler)
+    {
+        machine.loadProgram(kCodeBase, assembler.finish());
+        machine.reset(kCodeBase);
+    }
+};
+
+TEST(Debugger, BreakpointStopsBeforeInstruction)
+{
+    Assembler a(kCodeBase);
+    a.li(t0, 1);  // word 0
+    a.li(t1, 2);  // word 1
+    a.li(t2, 3);  // word 2 <- breakpoint
+    a.break_();
+
+    Fixture fixture(a);
+    Debugger debugger(fixture.machine.cpu());
+    debugger.setBreakpoint(kCodeBase + 8);
+
+    DebugRunResult result = debugger.run();
+    EXPECT_EQ(result.stop, DebugStop::kBreakpoint);
+    EXPECT_EQ(result.stop_pc, kCodeBase + 8);
+    EXPECT_EQ(fixture.machine.cpu().gpr(t1), 2u);
+    EXPECT_EQ(fixture.machine.cpu().gpr(t2), 0u); // not yet executed
+}
+
+TEST(Debugger, ResumeRunsPastBreakpoint)
+{
+    Assembler a(kCodeBase);
+    a.li(t0, 1);
+    a.li(t1, 2);
+    a.break_();
+
+    Fixture fixture(a);
+    Debugger debugger(fixture.machine.cpu());
+    debugger.setBreakpoint(kCodeBase + 4);
+
+    DebugRunResult first = debugger.run();
+    ASSERT_EQ(first.stop, DebugStop::kBreakpoint);
+
+    DebugRunResult second = debugger.run();
+    EXPECT_EQ(second.stop, DebugStop::kCpuStopped);
+    EXPECT_EQ(second.cpu.reason, StopReason::kBreak);
+    EXPECT_EQ(fixture.machine.cpu().gpr(t1), 2u);
+}
+
+TEST(Debugger, SingleStep)
+{
+    Assembler a(kCodeBase);
+    a.li(t0, 1);
+    a.li(t1, 2);
+    a.break_();
+
+    Fixture fixture(a);
+    Debugger debugger(fixture.machine.cpu());
+    debugger.step();
+    EXPECT_EQ(fixture.machine.cpu().gpr(t0), 1u);
+    EXPECT_EQ(fixture.machine.cpu().gpr(t1), 0u);
+    debugger.step();
+    EXPECT_EQ(fixture.machine.cpu().gpr(t1), 2u);
+}
+
+TEST(Debugger, CapWatchFiresOnDerivation)
+{
+    Assembler a(kCodeBase);
+    a.li(t0, 0x100);
+    a.li(t1, 0x200);
+    a.cincbase(5, 0, t0); // <- changes c5
+    a.li(t2, 3);
+    a.break_();
+
+    Fixture fixture(a);
+    Debugger debugger(fixture.machine.cpu());
+    debugger.watchCapReg(5);
+
+    DebugRunResult result = debugger.run();
+    EXPECT_EQ(result.stop, DebugStop::kCapWrite);
+    EXPECT_EQ(result.cap_reg, 5u);
+    EXPECT_EQ(result.stop_pc, kCodeBase + 8);
+    EXPECT_EQ(fixture.machine.cpu().gpr(t2), 0u); // stopped promptly
+}
+
+TEST(Debugger, RecentPcsRecordHistory)
+{
+    Assembler a(kCodeBase);
+    for (int i = 0; i < 5; ++i)
+        a.nop();
+    a.break_();
+
+    Fixture fixture(a);
+    Debugger debugger(fixture.machine.cpu());
+    debugger.run();
+    ASSERT_GE(debugger.recentPcs().size(), 6u);
+    EXPECT_EQ(debugger.recentPcs().front(), kCodeBase);
+    EXPECT_EQ(debugger.recentPcs().back(), kCodeBase + 20);
+}
+
+TEST(Debugger, StopsWhenCpuTraps)
+{
+    Assembler a(kCodeBase);
+    a.li64(t0, 0x7000000);
+    a.ld(t1, t0, 0); // unmapped
+    a.break_();
+
+    Fixture fixture(a);
+    Debugger debugger(fixture.machine.cpu());
+    DebugRunResult result = debugger.run();
+    EXPECT_EQ(result.stop, DebugStop::kCpuStopped);
+    EXPECT_EQ(result.cpu.reason, StopReason::kTrap);
+}
+
+} // namespace
+} // namespace cheri::core

@@ -1,0 +1,488 @@
+/**
+ * @file
+ * Tests for the Section 11 extensions: sealed capabilities, the
+ * trap-to-OS protected procedure call (CCall/CReturn with a trusted
+ * stack), and tag-accurate capability revocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+#include "isa/assembler.h"
+#include "os/cap_allocator.h"
+#include "os/domain.h"
+#include "os/revoker.h"
+#include "os/simple_os.h"
+
+namespace cheri
+{
+namespace
+{
+
+using namespace isa::reg;
+using cap::CapCause;
+using cap::Capability;
+using isa::Assembler;
+
+// ------------------------------------------------------ sealing ops
+
+Capability
+sealingAuthority(std::uint64_t otype)
+{
+    return Capability::make(otype, 1, cap::kPermSeal);
+}
+
+TEST(Sealing, SealUnsealRoundTrip)
+{
+    Capability data = Capability::make(0x1000, 0x100, cap::kPermAll);
+    Capability authority = sealingAuthority(42);
+
+    cap::CapOpResult sealed = cap::seal(data, authority);
+    ASSERT_TRUE(sealed.ok());
+    EXPECT_TRUE(sealed.value.sealed());
+    EXPECT_EQ(sealed.value.otype(), 42u);
+    EXPECT_EQ(sealed.value.base(), 0x1000u); // fields intact
+
+    cap::CapOpResult unsealed = cap::unseal(sealed.value, authority);
+    ASSERT_TRUE(unsealed.ok());
+    EXPECT_FALSE(unsealed.value.sealed());
+    EXPECT_EQ(unsealed.value, data);
+}
+
+TEST(Sealing, SealRequiresAuthority)
+{
+    Capability data = Capability::make(0x1000, 0x100, cap::kPermAll);
+    // No kPermSeal.
+    Capability no_perm = Capability::make(42, 1, cap::kPermLoad);
+    EXPECT_EQ(cap::seal(data, no_perm).cause, CapCause::kSealViolation);
+    // Authority does not cover the otype.
+    Capability wrong_range = Capability::make(100, 1, cap::kPermSeal);
+    cap::CapOpResult sealed = cap::seal(data, wrong_range);
+    ASSERT_TRUE(sealed.ok());
+    EXPECT_EQ(sealed.value.otype(), 100u);
+    // Untagged authority.
+    EXPECT_EQ(cap::seal(data, Capability()).cause,
+              CapCause::kTagViolation);
+}
+
+TEST(Sealing, UnsealRequiresMatchingOtype)
+{
+    Capability data = Capability::make(0x1000, 0x100, cap::kPermAll);
+    cap::CapOpResult sealed = cap::seal(data, sealingAuthority(7));
+    ASSERT_TRUE(sealed.ok());
+
+    EXPECT_EQ(cap::unseal(sealed.value, sealingAuthority(8)).cause,
+              CapCause::kSealViolation);
+    EXPECT_TRUE(cap::unseal(sealed.value, sealingAuthority(7)).ok());
+    // Unsealing an unsealed capability is a violation.
+    EXPECT_EQ(cap::unseal(data, sealingAuthority(7)).cause,
+              CapCause::kSealViolation);
+}
+
+TEST(Sealing, SealedCapabilityIsImmutable)
+{
+    Capability data = Capability::make(0x1000, 0x100, cap::kPermAll);
+    Capability sealed = cap::seal(data, sealingAuthority(5)).value;
+
+    EXPECT_EQ(cap::incBase(sealed, 8).cause, CapCause::kSealViolation);
+    EXPECT_EQ(cap::setLen(sealed, 8).cause, CapCause::kSealViolation);
+    EXPECT_EQ(cap::andPerm(sealed, 0).cause, CapCause::kSealViolation);
+}
+
+TEST(Sealing, SealedCapabilityIsNotDereferenceable)
+{
+    Capability data = Capability::make(0x1000, 0x100, cap::kPermAll);
+    Capability sealed = cap::seal(data, sealingAuthority(5)).value;
+
+    EXPECT_EQ(cap::checkDataAccess(sealed, 0, 8, cap::kPermLoad),
+              CapCause::kSealViolation);
+    EXPECT_EQ(cap::checkFetch(sealed, 0x1000),
+              CapCause::kSealViolation);
+}
+
+TEST(Sealing, GuestSealInstructions)
+{
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+
+    Assembler a(os::kTextBase);
+    // c2 = data capability over the heap; c3 = sealing authority.
+    a.li(t0, static_cast<std::int32_t>(os::kHeapBase));
+    a.cincbase(2, 0, t0);
+    a.li(t1, 0x100);
+    a.csetlen(2, 2, t1);
+    // Build a sealing authority in c3: base 9, len 1, kPermSeal.
+    a.li(t2, 9);
+    a.cincbase(3, 0, t2);
+    a.li(t3, 1);
+    a.csetlen(3, 3, t3);
+    a.li(t4, static_cast<std::int32_t>(cap::kPermSeal));
+    a.candperm(3, 3, t4);
+    // Seal, inspect, unseal.
+    a.cseal(4, 2, 3);
+    a.cgettype(s0, 4);
+    a.cld(s1, 2, zero, 0); // original still usable
+    a.cunseal(5, 4, 3);
+    a.cld(s2, 5, zero, 0); // unsealed copy usable
+    a.csd(s2, 4, zero, 0); // dereference of SEALED c4 -> trap
+    a.break_();
+
+    kernel.exec(a.finish());
+    core::RunResult result = kernel.run();
+    EXPECT_EQ(result.reason, core::StopReason::kTrap);
+    EXPECT_EQ(result.trap.cap_cause, CapCause::kSealViolation);
+    EXPECT_EQ(machine.cpu().gpr(s0), 9u);
+}
+
+// ------------------------------------------------- domain crossing
+
+/**
+ * Build a two-domain guest: the caller CCalls a sealed "counter"
+ * object that increments its private datum and returns it, and the
+ * caller then tries to touch the object's data directly.
+ */
+struct DomainFixture
+{
+    core::Machine machine;
+    os::SimpleOs kernel{machine};
+    std::uint64_t callee_entry = 0;
+    std::uint64_t callee_data = 0;
+
+    core::RunResult
+    runProgram()
+    {
+        // Callee domain data page lives in the current process.
+        return kernel.run();
+    }
+};
+
+TEST(Domains, ProtectedCallAndReturn)
+{
+    DomainFixture fixture;
+    constexpr std::uint64_t kCalleeData = os::kHeapBase;
+
+    Assembler a(os::kTextBase);
+    auto callee = a.newLabel();
+    // --- caller ---
+    a.ccall(1, 2);        // sealed pair pre-loaded by the host below
+    a.move(s0, v0);       // return value
+    a.cgettag(s1, 0);     // C0 restored and tagged
+    a.cgetlen(s2, 0);
+    a.li(v0, os::kSysExit);
+    a.move(a0, s0);
+    a.syscall();
+    // --- callee: increments its private word, returns it in v0 ---
+    std::uint64_t callee_offset = 7 * 4; // verified below
+    ASSERT_EQ(a.here(), os::kTextBase + callee_offset);
+    a.bind(callee);
+    a.cld(t0, 0, zero, 0);     // C0 is the callee's private data
+    a.daddiu(t0, t0, 1);
+    a.csd(t0, 0, zero, 0);
+    a.move(v0, t0);
+    a.creturn();
+
+    int pid = fixture.kernel.exec(a.finish());
+    os::Process &proc = fixture.kernel.process(pid);
+
+    // Initialize the callee's private word to 41.
+    std::uint64_t init = 41;
+    fixture.kernel.writeMemory(proc, kCalleeData, &init, 8);
+
+    // Package the callee as a protected object.
+    Capability code = Capability::make(
+        os::kTextBase + callee_offset, 6 * 4,
+        cap::kPermExecute | cap::kPermLoad);
+    Capability data =
+        Capability::make(kCalleeData, 64,
+                         cap::kPermLoad | cap::kPermStore);
+    os::ProtectedObject object =
+        fixture.kernel.domains().createObject(code, data);
+    EXPECT_TRUE(object.sealed_code.sealed());
+    EXPECT_TRUE(object.sealed_data.sealed());
+    EXPECT_EQ(object.sealed_code.otype(), object.sealed_data.otype());
+
+    fixture.machine.cpu().caps().write(1, object.sealed_code);
+    fixture.machine.cpu().caps().write(2, object.sealed_data);
+
+    core::RunResult result = fixture.kernel.run();
+    ASSERT_EQ(result.reason, core::StopReason::kExited)
+        << result.trap.toString();
+    EXPECT_EQ(result.exit_code, 42);
+    EXPECT_EQ(fixture.machine.cpu().gpr(s1), 1u); // caller C0 restored
+    EXPECT_EQ(fixture.machine.cpu().gpr(s2), os::kUserTop);
+    EXPECT_EQ(fixture.kernel.domains().stats().get("domain.calls"), 1u);
+    EXPECT_EQ(fixture.kernel.domains().stats().get("domain.returns"),
+              1u);
+    EXPECT_EQ(fixture.kernel.domains().depth(), 0u);
+}
+
+TEST(Domains, CallerCannotTouchCalleeDataDirectly)
+{
+    // The caller holds only the SEALED data capability; any attempt
+    // to dereference it traps before CCall ever happens.
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+
+    Assembler a(os::kTextBase);
+    a.cld(t0, 2, zero, 0);
+    a.break_();
+    kernel.exec(a.finish());
+
+    Capability data = Capability::make(os::kHeapBase, 64, cap::kPermAll);
+    Capability code = Capability::make(os::kTextBase, 64,
+                                       cap::kPermExecute);
+    os::ProtectedObject object =
+        kernel.domains().createObject(code, data);
+    machine.cpu().caps().write(2, object.sealed_data);
+
+    core::RunResult result = kernel.run();
+    EXPECT_EQ(result.reason, core::StopReason::kTrap);
+    EXPECT_EQ(result.trap.cap_cause, CapCause::kSealViolation);
+}
+
+TEST(Domains, MismatchedPairIsRejected)
+{
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+
+    Assembler a(os::kTextBase);
+    a.ccall(1, 2);
+    a.break_();
+    kernel.exec(a.finish());
+
+    Capability code = Capability::make(os::kTextBase, 64,
+                                       cap::kPermExecute);
+    Capability data = Capability::make(os::kHeapBase, 64, cap::kPermAll);
+    // Two different objects: otypes differ.
+    os::ProtectedObject first = kernel.domains().createObject(code, data);
+    os::ProtectedObject second =
+        kernel.domains().createObject(code, data);
+    machine.cpu().caps().write(1, first.sealed_code);
+    machine.cpu().caps().write(2, second.sealed_data);
+
+    core::RunResult result = kernel.run();
+    EXPECT_EQ(result.reason, core::StopReason::kTrap);
+    EXPECT_EQ(result.trap.code, core::ExcCode::kCp2);
+    EXPECT_EQ(result.trap.cap_cause, CapCause::kSealViolation);
+    EXPECT_EQ(kernel.domains().stats().get("domain.faults"), 1u);
+}
+
+TEST(Domains, UnsealedArgumentsRejected)
+{
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+
+    Assembler a(os::kTextBase);
+    a.ccall(1, 2); // c1/c2 are plain unsealed capabilities
+    a.break_();
+    kernel.exec(a.finish());
+
+    core::RunResult result = kernel.run();
+    EXPECT_EQ(result.reason, core::StopReason::kTrap);
+    EXPECT_EQ(result.trap.cap_cause, CapCause::kSealViolation);
+}
+
+TEST(Domains, ReturnWithoutCallIsRejected)
+{
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+
+    Assembler a(os::kTextBase);
+    a.creturn();
+    a.break_();
+    kernel.exec(a.finish());
+
+    core::RunResult result = kernel.run();
+    EXPECT_EQ(result.reason, core::StopReason::kTrap);
+    EXPECT_EQ(result.trap.cap_cause, CapCause::kSealViolation);
+}
+
+TEST(Domains, CalleeRegistersAreCleared)
+{
+    // A secret capability in a non-argument register (c12) must not
+    // be visible to the callee.
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+
+    Assembler a(os::kTextBase);
+    auto callee = a.newLabel();
+    a.ccall(1, 2);
+    a.li(v0, os::kSysExit);
+    a.move(a0, s0);
+    a.syscall();
+    std::uint64_t callee_offset = a.here() - os::kTextBase;
+    a.bind(callee);
+    a.cgettag(s0, 12); // spy on c12
+    a.move(v0, s0);
+    a.creturn();
+
+    kernel.exec(a.finish());
+
+    Capability code = Capability::make(
+        os::kTextBase + callee_offset, 4 * 4,
+        cap::kPermExecute | cap::kPermLoad);
+    Capability data = Capability::make(os::kHeapBase, 64, cap::kPermAll);
+    os::ProtectedObject object =
+        kernel.domains().createObject(code, data);
+    machine.cpu().caps().write(1, object.sealed_code);
+    machine.cpu().caps().write(2, object.sealed_data);
+    // The caller's secret.
+    machine.cpu().caps().write(
+        12, Capability::make(0x123000, 8, cap::kPermAll));
+
+    core::RunResult result = kernel.run();
+    ASSERT_EQ(result.reason, core::StopReason::kExited)
+        << result.trap.toString();
+    // s0 came back through v0... the callee saw c12 untagged.
+    EXPECT_EQ(result.exit_code, 0);
+}
+
+TEST(Domains, NestedCallsUnwindInOrder)
+{
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+    os::DomainManager &domains = kernel.domains();
+
+    // Pure host-level exercise of the trusted stack.
+    Capability code = Capability::make(os::kTextBase, 64,
+                                       cap::kPermExecute);
+    Capability data = Capability::make(os::kHeapBase, 64, cap::kPermAll);
+    os::ProtectedObject inner = domains.createObject(code, data);
+
+    core::Cpu &cpu = machine.cpu();
+    kernel.exec({0}); // establish a process context
+
+    cpu.caps().write(1, inner.sealed_code);
+    cpu.caps().write(2, inner.sealed_data);
+    core::Trap trap;
+    trap.code = core::ExcCode::kCCall;
+    trap.cap_reg = 1;
+    trap.cap_reg2 = 2;
+    trap.epc = 0x5000;
+
+    EXPECT_EQ(domains.handleCCall(cpu, trap),
+              os::DomainOutcome::kTransitioned);
+    EXPECT_EQ(domains.depth(), 1u);
+    EXPECT_EQ(cpu.pc(), os::kTextBase);
+    EXPECT_EQ(cpu.caps().c0().base(), os::kHeapBase);
+
+    EXPECT_EQ(domains.handleCReturn(cpu),
+              os::DomainOutcome::kTransitioned);
+    EXPECT_EQ(domains.depth(), 0u);
+    EXPECT_EQ(cpu.pc(), 0x5004u);
+    EXPECT_EQ(domains.handleCReturn(cpu),
+              os::DomainOutcome::kStackEmpty);
+}
+
+// ---------------------------------------------------------- revoker
+
+/** Point every capability register somewhere harmless. */
+void
+parkRegisters(core::Cpu &cpu)
+{
+    Capability parked =
+        Capability::make(0x7f00000, 16, cap::kPermLoad);
+    for (unsigned i = 0; i < cap::kNumCapRegs; ++i)
+        cpu.caps().write(i, parked);
+}
+
+TEST(Revoker, ClearsMemoryAndRegisterCapabilities)
+{
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+    kernel.exec({0});
+    os::Process &proc = kernel.process(kernel.currentPid());
+    kernel.mapRange(proc, os::kHeapBase, 64 * 1024);
+    parkRegisters(machine.cpu());
+
+    // Plant capabilities: one to the doomed range, one elsewhere,
+    // both in memory and in registers.
+    Capability doomed = Capability::make(os::kHeapBase + 0x100, 64,
+                                         cap::kPermAll);
+    Capability safe = Capability::make(os::kHeapBase + 0x4000, 64,
+                                       cap::kPermAll);
+    core::Cpu &cpu = machine.cpu();
+    cpu.caps().write(5, doomed);
+    cpu.caps().write(6, safe);
+    ASSERT_TRUE(cpu.debugWriteCap(os::kHeapBase + 0x800, doomed));
+    ASSERT_TRUE(cpu.debugWriteCap(os::kHeapBase + 0x820, safe));
+
+    os::CapabilityRevoker revoker(machine);
+    EXPECT_EQ(revoker.countReferences(os::kHeapBase, 0x1000), 2u);
+
+    os::SweepStats stats = revoker.revoke(os::kHeapBase, 0x1000);
+    EXPECT_EQ(stats.regs_revoked, 1u);
+    EXPECT_EQ(stats.caps_revoked, 1u);
+    EXPECT_GE(stats.caps_found, 2u);
+    EXPECT_GT(stats.cycles, 0u);
+
+    // The doomed capability is gone everywhere; the safe one lives.
+    EXPECT_FALSE(cpu.caps().read(5).tag());
+    EXPECT_TRUE(cpu.caps().read(6).tag());
+    Capability reloaded;
+    ASSERT_TRUE(cpu.debugReadCap(os::kHeapBase + 0x800, reloaded));
+    EXPECT_FALSE(reloaded.tag());
+    ASSERT_TRUE(cpu.debugReadCap(os::kHeapBase + 0x820, reloaded));
+    EXPECT_TRUE(reloaded.tag());
+
+    EXPECT_EQ(revoker.countReferences(os::kHeapBase, 0x1000), 0u);
+}
+
+TEST(Revoker, EnablesSafeReuseAfterFree)
+{
+    // The Section 11 allocator story: free -> quarantine -> sweep ->
+    // reuse, with no dangling capability surviving.
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+    kernel.exec({0});
+    os::Process &proc = kernel.process(kernel.currentPid());
+    kernel.mapRange(proc, os::kHeapBase, 64 * 1024);
+    parkRegisters(machine.cpu());
+
+    Capability heap = Capability::make(os::kHeapBase, 64 * 1024,
+                                       cap::kPermAll);
+    os::CapAllocator allocator(heap, os::ReusePolicy::kNoReuse);
+    auto object = allocator.allocate(128);
+    ASSERT_TRUE(object.has_value());
+
+    // A dangling copy survives the free in a register.
+    machine.cpu().caps().write(9, *object);
+    allocator.free(*object);
+
+    os::CapabilityRevoker revoker(machine);
+    os::SweepStats stats = revoker.revoke(object->base(),
+                                          object->length());
+    EXPECT_EQ(stats.regs_revoked, 1u);
+    EXPECT_FALSE(machine.cpu().caps().read(9).tag());
+
+    // Now address space can be recycled safely: no references remain.
+    EXPECT_EQ(revoker.countReferences(object->base(),
+                                      object->length()),
+              0u);
+}
+
+TEST(Revoker, SweepCostScalesWithTaggedLinesNotHeap)
+{
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+    kernel.exec({0});
+    os::Process &proc = kernel.process(kernel.currentPid());
+    kernel.mapRange(proc, os::kHeapBase, 1024 * 1024);
+    parkRegisters(machine.cpu());
+
+    // Sweep a range nothing points at: only tagged lines are read.
+    os::CapabilityRevoker revoker(machine);
+    os::SweepStats empty_sweep = revoker.revoke(0x6000000, 16);
+
+    // Plant 100 capabilities and sweep again.
+    Capability spare = Capability::make(0x7000000, 8, cap::kPermAll);
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(machine.cpu().debugWriteCap(
+            os::kHeapBase + 0x1000 + i * 32, spare));
+    }
+    os::SweepStats full_sweep = revoker.revoke(0x6000000, 16);
+    EXPECT_EQ(full_sweep.lines_scanned, empty_sweep.lines_scanned + 100);
+}
+
+} // namespace
+} // namespace cheri

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Integration tests spanning the whole stack: guest programs under
+ * the OS using the capability allocator, sandbox confinement with an
+ * escape attempt, inter-process isolation, the tag-oblivious memcpy
+ * scenario, and the end-to-end experiment pipelines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+#include "isa/assembler.h"
+#include "models/limit_models.h"
+#include "os/cap_allocator.h"
+#include "os/sandbox.h"
+#include "os/simple_os.h"
+#include "trace/profile.h"
+#include "workloads/experiments.h"
+#include "workloads/olden.h"
+#include "workloads/trace_context.h"
+
+namespace cheri
+{
+namespace
+{
+
+using namespace isa::reg;
+using isa::Assembler;
+
+TEST(Integration, AllocatorBackedGuestBoundsChecking)
+{
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+
+    // Guest sums a 5-word array through c1, then reads one past.
+    Assembler a(os::kTextBase);
+    a.li(t0, 0);
+    a.li(s0, 0);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.cld(t1, 1, t0, 0);
+    a.daddu(s0, s0, t1);
+    a.daddiu(t0, t0, 8);
+    a.sltiu(t2, t0, 40);
+    a.bne(t2, zero, loop);
+    a.nop();
+    a.cld(t1, 1, t0, 0); // offset 40: out of bounds
+    a.break_();
+
+    int pid = kernel.exec(a.finish());
+    os::Process &proc = kernel.process(pid);
+
+    cap::Capability heap =
+        cap::Capability::make(os::kHeapBase, 4096, cap::kPermAll);
+    os::CapAllocator allocator(heap);
+    auto array = allocator.allocate(40);
+    ASSERT_TRUE(array.has_value());
+
+    std::uint64_t values[5] = {10, 20, 30, 40, 50};
+    kernel.writeMemory(proc, array->base(), values, sizeof(values));
+    machine.cpu().caps().write(1, *array);
+
+    core::RunResult result = kernel.run();
+    EXPECT_EQ(result.reason, core::StopReason::kTrap);
+    EXPECT_EQ(result.trap.cap_cause, cap::CapCause::kLengthViolation);
+    EXPECT_EQ(machine.cpu().gpr(s0), 150u); // legal sum completed
+}
+
+TEST(Integration, SandboxedLegacyCodeCannotEscape)
+{
+    core::Machine machine;
+    constexpr std::uint64_t kBoxCode = 0x40000;
+    constexpr std::uint64_t kBoxData = 0x50000;
+    constexpr std::uint64_t kSecret = 0x80000;
+    machine.mapRange(kSecret, 4096);
+    machine.mapRange(kBoxData, 4096);
+
+    Assembler a(kBoxCode);
+    a.li(t0, 1);
+    a.sd(t0, zero, 0);       // legal: offset 0 within the window
+    a.li64(t1, kSecret);
+    a.ld(t2, t1, 0);         // escape attempt
+    a.break_();
+    std::vector<std::uint32_t> code = a.finish();
+    machine.loadProgram(kBoxCode, code);
+
+    os::SandboxResult sandbox = os::makeSandbox(
+        cap::Capability::almighty(), kBoxCode, code.size() * 4,
+        kBoxData, 4096);
+    ASSERT_TRUE(sandbox.ok());
+    os::enterSandbox(machine.cpu(), sandbox.caps, kBoxCode);
+
+    core::RunResult result = machine.cpu().run(1000);
+    EXPECT_EQ(result.reason, core::StopReason::kTrap);
+    EXPECT_EQ(result.trap.code, core::ExcCode::kCp2);
+    EXPECT_EQ(result.trap.cap_cause, cap::CapCause::kLengthViolation);
+    EXPECT_EQ(result.trap.cap_reg, 0); // C0 bounded the access
+
+    // The legal store landed in the sandbox window.
+    std::uint64_t stored = 0;
+    machine.cpu().debugRead(kBoxData, 8, stored);
+    EXPECT_EQ(stored, 1u);
+}
+
+TEST(Integration, SandboxCannotLeakCapabilitiesOut)
+{
+    // The sandbox data capability deliberately lacks StoreCap: a CSC
+    // inside the sandbox traps, so authority cannot be smuggled into
+    // shared memory.
+    core::Machine machine;
+    constexpr std::uint64_t kBoxCode = 0x40000;
+    constexpr std::uint64_t kBoxData = 0x50000;
+    machine.mapRange(kBoxData, 4096);
+
+    Assembler a(kBoxCode);
+    a.csc(0, 0, zero, 0); // try to store C0 itself through C0
+    a.break_();
+    std::vector<std::uint32_t> code = a.finish();
+    machine.loadProgram(kBoxCode, code);
+
+    os::SandboxResult sandbox = os::makeSandbox(
+        cap::Capability::almighty(), kBoxCode, code.size() * 4,
+        kBoxData, 4096);
+    ASSERT_TRUE(sandbox.ok());
+    os::enterSandbox(machine.cpu(), sandbox.caps, kBoxCode);
+
+    core::RunResult result = machine.cpu().run(100);
+    EXPECT_EQ(result.reason, core::StopReason::kTrap);
+    EXPECT_EQ(result.trap.cap_cause,
+              cap::CapCause::kPermitStoreCapViolation);
+}
+
+TEST(Integration, TagObliviousMemcpyPreservesCapabilities)
+{
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+
+    const std::int32_t kLen = 64; // two lines: one cap + one data
+    Assembler a(os::kTextBase);
+    // c1 = src = heap, c2 = dst = heap + 0x200.
+    a.li(t0, static_cast<std::int32_t>(os::kHeapBase));
+    a.cincbase(1, 0, t0);
+    a.li(t0, static_cast<std::int32_t>(os::kHeapBase + 0x200));
+    a.cincbase(2, 0, t0);
+    // src line 0: capability; line 1: data.
+    a.csc(1, 1, zero, 0);
+    a.li64(t1, 0xabcdef);
+    a.csd(t1, 1, zero, 32);
+    // memcpy via CLC/CSC.
+    auto loop = a.newLabel();
+    a.li(t2, 0);
+    a.bind(loop);
+    a.clc(4, 1, t2, 0);
+    a.csc(4, 2, t2, 0);
+    a.daddiu(t2, t2, 32);
+    a.slti(t3, t2, kLen);
+    a.bne(t3, zero, loop);
+    a.nop();
+    a.li(v0, os::kSysExit);
+    a.syscall();
+
+    kernel.exec(a.finish());
+    core::RunResult result = kernel.run();
+    ASSERT_EQ(result.reason, core::StopReason::kExited);
+
+    // Destination line 0 is a live capability, line 1 is plain data.
+    cap::Capability copied;
+    ASSERT_TRUE(machine.cpu().debugReadCap(os::kHeapBase + 0x200,
+                                           copied));
+    EXPECT_TRUE(copied.tag());
+    EXPECT_EQ(copied.base(), os::kHeapBase);
+
+    cap::Capability data_line;
+    ASSERT_TRUE(machine.cpu().debugReadCap(os::kHeapBase + 0x220,
+                                           data_line));
+    EXPECT_FALSE(data_line.tag());
+    std::uint64_t word = 0;
+    ASSERT_TRUE(machine.cpu().debugRead(os::kHeapBase + 0x220, 8,
+                                        word));
+    EXPECT_EQ(word, 0xabcdefu);
+}
+
+TEST(Integration, ContextSwitchedProcessesKeepCapabilityIsolation)
+{
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+
+    // Process A derives a restricted capability and parks it in c7.
+    Assembler a(os::kTextBase);
+    a.li(t0, static_cast<std::int32_t>(os::kHeapBase));
+    a.cincbase(7, 0, t0);
+    a.li(t1, 64);
+    a.csetlen(7, 7, t1);
+    a.li(v0, os::kSysExit);
+    a.syscall();
+    int pid_a = kernel.exec(a.finish());
+    kernel.run();
+
+    // Process B runs with fresh registers.
+    Assembler b(os::kTextBase);
+    b.cgetlen(s0, 7);
+    b.li(v0, os::kSysExit);
+    b.syscall();
+    kernel.exec(b.finish());
+    kernel.run();
+    EXPECT_EQ(machine.cpu().gpr(s0), os::kUserTop); // not A's 64
+
+    // Switching back to A restores its restricted capability.
+    kernel.switchTo(pid_a);
+    EXPECT_EQ(machine.cpu().caps().read(7).length(), 64u);
+}
+
+TEST(Integration, TraceToModelsPipeline)
+{
+    // The limit-study pipeline end to end on one workload.
+    workloads::Treeadd treeadd;
+    workloads::TraceContext ctx;
+    treeadd.run(ctx, {8, 0, 1});
+    trace::TraceProfile profile = trace::profileTrace(ctx.trace());
+    EXPECT_EQ(profile.base.mallocs, 255u);
+
+    for (const auto &model : models::limitStudyModels()) {
+        models::Overheads o = model->evaluate(profile);
+        EXPECT_GE(o.pages, 0.0) << model->name();
+        EXPECT_GE(o.instr_pessimistic, o.instr_optimistic * 0.999)
+            << model->name();
+    }
+}
+
+TEST(Integration, FpgaComparisonChecksumsAndOrdering)
+{
+    auto results = workloads::runFpgaComparison(false);
+    ASSERT_EQ(results.size(), 4u);
+    for (const auto &entry : results) {
+        std::uint64_t mips =
+            entry.mips.alloc.cycles + entry.mips.compute.cycles;
+        std::uint64_t ccured =
+            entry.ccured.alloc.cycles + entry.ccured.compute.cycles;
+        std::uint64_t cheri =
+            entry.cheri.alloc.cycles + entry.cheri.compute.cycles;
+        // Paper shape: MIPS < CHERI < CCured.
+        EXPECT_LT(mips, cheri) << entry.benchmark;
+        EXPECT_LT(cheri, ccured) << entry.benchmark;
+    }
+}
+
+TEST(Integration, GuestRecursiveFibonacci)
+{
+    // A stack-using recursive guest program: fib(10) via jal/jr with
+    // stack frames in the stack region the OS mapped.
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+
+    Assembler a(os::kTextBase);
+    auto fib = a.newLabel();
+    auto base_case = a.newLabel();
+    auto done = a.newLabel();
+
+    a.li(a0, 10);
+    a.jal(fib);
+    a.nop();
+    a.move(s0, v0);
+    a.li(v0, os::kSysExit);
+    a.move(a0, s0);
+    a.syscall();
+
+    a.bind(fib);
+    a.slti(t0, a0, 2);
+    a.bne(t0, zero, base_case);
+    a.nop();
+    // Frame: save ra, a0, s1.
+    a.daddiu(sp, sp, -24);
+    a.sd(ra, sp, 0);
+    a.sd(a0, sp, 8);
+    a.daddiu(a0, a0, -1);
+    a.jal(fib);
+    a.nop();
+    a.move(t1, v0);
+    a.sd(t1, sp, 16);
+    a.ld(a0, sp, 8);
+    a.daddiu(a0, a0, -2);
+    a.jal(fib);
+    a.nop();
+    a.ld(t1, sp, 16);
+    a.daddu(v0, v0, t1);
+    a.ld(ra, sp, 0);
+    a.daddiu(sp, sp, 24);
+    a.jr(ra);
+    a.nop();
+    a.bind(base_case);
+    a.move(v0, a0);
+    a.jr(ra);
+    a.nop();
+    a.bind(done);
+
+    kernel.exec(a.finish());
+    core::RunResult result = kernel.run();
+    ASSERT_EQ(result.reason, core::StopReason::kExited)
+        << result.trap.toString();
+    EXPECT_EQ(result.exit_code, 55);
+}
+
+TEST(Integration, CapabilityProtectedStackFrames)
+{
+    // Section 5.1's stack protection: a frame capability bounds the
+    // callee's view of the stack; writing below the frame traps.
+    core::Machine machine;
+    os::SimpleOs kernel(machine);
+
+    Assembler a(os::kTextBase);
+    // c11 = 64-byte frame at sp-64.
+    a.daddiu(t0, sp, -64);
+    a.cincbase(11, 0, t0);
+    a.li(t1, 64);
+    a.csetlen(11, 11, t1);
+    a.li(t2, 42);
+    a.csd(t2, 11, zero, 0);   // in-frame: fine
+    a.li(t3, -8);
+    a.csd(t2, 11, t3, 0);     // below the frame: overflow into caller
+    a.break_();
+
+    kernel.exec(a.finish());
+    core::RunResult result = kernel.run();
+    EXPECT_EQ(result.reason, core::StopReason::kTrap);
+    EXPECT_EQ(result.trap.cap_cause, cap::CapCause::kLengthViolation);
+}
+
+} // namespace
+} // namespace cheri

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the limit-study protection models: Table 2 feature rows,
+ * and the qualitative orderings the paper's Figure 3 discussion
+ * asserts between the schemes, evaluated on a synthetic profile.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/limit_models.h"
+#include "trace/profile.h"
+
+namespace cheri::models
+{
+namespace
+{
+
+/** A pointer-heavy synthetic workload profile (Olden-like). */
+trace::TraceProfile
+syntheticProfile()
+{
+    trace::Trace trace;
+    std::uint64_t addr = 0x100000;
+    // Alternate small (Hardbound-compressible) and large objects, as
+    // real Olden heaps mix both.
+    auto obj_size = [](int obj) -> std::uint64_t {
+        return obj % 8 == 7 ? 2048 : 24; // mostly small, some large
+    };
+    for (int obj = 0; obj < 1000; ++obj) {
+        trace.instructions(120);
+        trace.malloc(addr, obj_size(obj));
+        trace.storePtr(addr + 8, 8, obj_size(obj));
+        trace.storePtr(addr + 16, 8, obj_size(obj));
+        trace.store(addr, 8);
+        addr += obj_size(obj);
+    }
+    for (int pass = 0; pass < 3; ++pass) {
+        addr = 0x100000;
+        for (int obj = 0; obj < 1000; ++obj) {
+            trace.instructions(15);
+            trace.load(addr, 8);
+            trace.loadPtr(addr + 8, 8, obj_size(obj));
+            trace.loadPtr(addr + 16, 8, obj_size(obj));
+            addr += obj_size(obj);
+        }
+    }
+    return trace::profileTrace(trace);
+}
+
+double
+meanOf(const ProtectionModel &model, const trace::TraceProfile &p,
+       double Overheads::*field)
+{
+    return model.evaluate(p).*field;
+}
+
+TEST(Models, RegistryOrderMatchesFigure3)
+{
+    auto models = limitStudyModels();
+    ASSERT_EQ(models.size(), 8u);
+    EXPECT_EQ(models[0]->name(), "Mondrian");
+    EXPECT_EQ(models[1]->name(), "MPX");
+    EXPECT_EQ(models[2]->name(), "MPX(FP)");
+    EXPECT_EQ(models[3]->name(), "SoftwareFP");
+    EXPECT_EQ(models[4]->name(), "Hardbound");
+    EXPECT_EQ(models[5]->name(), "M-Machine");
+    EXPECT_EQ(models[6]->name(), "CHERI");
+    EXPECT_EQ(models[7]->name(), "128b CHERI");
+}
+
+TEST(Models, Table2CheriRowAllYes)
+{
+    Cheri256Model cheri;
+    FeatureRow row = cheri.features();
+    EXPECT_EQ(row.unprivileged_use, Feature::kYes);
+    EXPECT_EQ(row.fine_grained, Feature::kYes);
+    EXPECT_EQ(row.unforgeable, Feature::kYes);
+    EXPECT_EQ(row.access_control, Feature::kYes);
+    EXPECT_EQ(row.pointer_safety, Feature::kYes);
+    EXPECT_EQ(row.segment_scalability, Feature::kYes);
+    EXPECT_EQ(row.domain_scalability, Feature::kYes);
+    EXPECT_EQ(row.incremental_deployment, Feature::kYes);
+}
+
+TEST(Models, Table2MmuRowMatchesPaper)
+{
+    MmuModel mmu;
+    FeatureRow row = mmu.features();
+    EXPECT_EQ(row.unprivileged_use, Feature::kNo);
+    EXPECT_EQ(row.access_control, Feature::kYes);
+    EXPECT_EQ(row.incremental_deployment, Feature::kYes);
+    EXPECT_EQ(row.pointer_safety, Feature::kNo);
+}
+
+TEST(Models, Table2MondrianPartialFineGrain)
+{
+    MondrianModel mondrian;
+    EXPECT_EQ(mondrian.features().fine_grained, Feature::kPartial);
+    EXPECT_STREQ(featureMark(Feature::kPartial), "yes**");
+}
+
+TEST(Models, Table2HardboundForgeableTables)
+{
+    // Hardbound pointers are unforgeable-marked in Table 2, but lack
+    // access control (no permission bits).
+    HardboundModel hardbound;
+    EXPECT_EQ(hardbound.features().unforgeable, Feature::kYes);
+    EXPECT_EQ(hardbound.features().access_control, Feature::kNo);
+    // iMPX fat pointers ARE forgeable.
+    MpxFatPtrModel mpx_fp;
+    EXPECT_EQ(mpx_fp.features().unforgeable, Feature::kNo);
+}
+
+TEST(Models, MmuHasNoMeasurableOverheads)
+{
+    trace::TraceProfile profile = syntheticProfile();
+    Overheads o = MmuModel().evaluate(profile);
+    EXPECT_EQ(o.pages, 0.0);
+    EXPECT_EQ(o.instr_pessimistic, 0.0);
+}
+
+TEST(Models, MpxHasHighestPageOverhead)
+{
+    trace::TraceProfile profile = syntheticProfile();
+    double mpx = meanOf(MpxTableModel(), profile, &Overheads::pages);
+    for (const auto &model : limitStudyModels()) {
+        EXPECT_LE(meanOf(*model, profile, &Overheads::pages), mpx)
+            << model->name();
+    }
+}
+
+TEST(Models, MondrianBeatsPerPointerBoundsSchemesOnTraffic)
+{
+    // "Mondrian uses the smallest amount of memory traffic, as it
+    // does not provide per-pointer bounds" — the comparison is
+    // against the schemes that move bounds through memory for every
+    // pointer. The M-Machine and Hardbound's compressed pointers
+    // avoid per-pointer traffic for the same reason Mondrian does.
+    trace::TraceProfile profile = syntheticProfile();
+    double mondrian =
+        meanOf(MondrianModel(), profile, &Overheads::traffic_bytes);
+    for (const char *name :
+         {"MPX", "MPX(FP)", "SoftwareFP", "CHERI", "128b CHERI"}) {
+        for (const auto &model : limitStudyModels()) {
+            if (model->name() == name) {
+                EXPECT_GE(meanOf(*model, profile,
+                                 &Overheads::traffic_bytes),
+                          mondrian)
+                    << name;
+            }
+        }
+    }
+}
+
+TEST(Models, InlineFatPointersAddNoReferences)
+{
+    trace::TraceProfile profile = syntheticProfile();
+    EXPECT_EQ(meanOf(Cheri256Model(), profile, &Overheads::refs), 0.0);
+    EXPECT_EQ(meanOf(Cheri128Model(), profile, &Overheads::refs), 0.0);
+    EXPECT_EQ(meanOf(MMachineModel(), profile, &Overheads::refs), 0.0);
+}
+
+TEST(Models, HardwareSchemesHaveIdenticalOptimisticPessimistic)
+{
+    trace::TraceProfile profile = syntheticProfile();
+    for (const auto &model : limitStudyModels()) {
+        Overheads o = model->evaluate(profile);
+        EXPECT_LE(o.instr_optimistic, o.instr_pessimistic)
+            << model->name();
+    }
+    Overheads cheri = Cheri256Model().evaluate(profile);
+    EXPECT_EQ(cheri.instr_optimistic, cheri.instr_pessimistic);
+    Overheads hb = HardboundModel().evaluate(profile);
+    EXPECT_EQ(hb.instr_optimistic, hb.instr_pessimistic);
+}
+
+TEST(Models, Cheri128StrictlyCheaperThan256)
+{
+    trace::TraceProfile profile = syntheticProfile();
+    Overheads c256 = Cheri256Model().evaluate(profile);
+    Overheads c128 = Cheri128Model().evaluate(profile);
+    EXPECT_LT(c128.traffic_bytes, c256.traffic_bytes);
+    EXPECT_LT(c128.pages, c256.pages);
+    EXPECT_EQ(c128.instr_pessimistic, c256.instr_pessimistic);
+}
+
+TEST(Models, OnlyMondrianMakesSyscalls)
+{
+    trace::TraceProfile profile = syntheticProfile();
+    for (const auto &model : limitStudyModels()) {
+        Overheads o = model->evaluate(profile);
+        if (model->name() == "Mondrian")
+            EXPECT_GT(o.syscalls, 0u);
+        else
+            EXPECT_EQ(o.syscalls, 0u) << model->name();
+    }
+}
+
+TEST(Models, HardboundCompressionReducesTraffic)
+{
+    // All-compressible profile vs none-compressible profile.
+    trace::Trace small_objs, large_objs;
+    for (int i = 0; i < 100; ++i) {
+        small_objs.instructions(50);
+        small_objs.malloc(0x1000 + i * 64, 64);
+        small_objs.loadPtr(0x1000 + i * 64, 8, 64);
+        large_objs.instructions(50);
+        large_objs.malloc(0x100000 + i * 4096, 4096);
+        large_objs.loadPtr(0x100000 + i * 4096, 8, 4096);
+    }
+    HardboundModel hardbound;
+    Overheads compressed =
+        hardbound.evaluate(trace::profileTrace(small_objs));
+    Overheads uncompressed =
+        hardbound.evaluate(trace::profileTrace(large_objs));
+    EXPECT_LT(compressed.refs, uncompressed.refs);
+}
+
+TEST(Models, MMachinePaysForPadding)
+{
+    // Odd-sized allocations inflate M-Machine pages far more than
+    // power-of-two-sized ones.
+    trace::Trace odd, pow2;
+    for (int i = 0; i < 100; ++i) {
+        odd.instructions(50);
+        odd.malloc(0x1000 + i * 4096, 4097); // pads to 8192
+        pow2.instructions(50);
+        pow2.malloc(0x1000 + i * 4096, 4096);
+    }
+    MMachineModel machine;
+    EXPECT_GT(machine.evaluate(trace::profileTrace(odd)).pages,
+              machine.evaluate(trace::profileTrace(pow2)).pages);
+}
+
+TEST(Models, EmptyProfileYieldsZeroOverheads)
+{
+    trace::Trace empty;
+    trace::TraceProfile profile = trace::profileTrace(empty);
+    for (const auto &model : limitStudyModels()) {
+        Overheads o = model->evaluate(profile);
+        EXPECT_EQ(o.refs, 0.0) << model->name();
+        EXPECT_EQ(o.instr_pessimistic, 0.0) << model->name();
+    }
+}
+
+} // namespace
+} // namespace cheri::models

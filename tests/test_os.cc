@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Tests for the OS layer: process creation with whole-address-space
+ * capability delegation, syscalls, context switching of capability
+ * state, the capability-aware allocator, revocation, and sandboxing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+#include "isa/assembler.h"
+#include "os/cap_allocator.h"
+#include "os/sandbox.h"
+#include "os/simple_os.h"
+
+namespace cheri::os
+{
+namespace
+{
+
+using namespace isa::reg;
+using isa::Assembler;
+
+/** Guest that writes "hi" to the console and exits with 7. */
+std::vector<std::uint32_t>
+helloProgram()
+{
+    Assembler a(kTextBase);
+    a.li(t0, static_cast<std::int32_t>(kHeapBase));
+    a.li(t1, 'h');
+    a.sb(t1, t0, 0);
+    a.li(t1, 'i');
+    a.sb(t1, t0, 1);
+    a.li(v0, kSysWrite);
+    a.li(a0, static_cast<std::int32_t>(kHeapBase));
+    a.li(a1, 2);
+    a.syscall();
+    a.li(v0, kSysExit);
+    a.li(a0, 7);
+    a.syscall();
+    return a.finish();
+}
+
+TEST(SimpleOs, ExecRunsToExit)
+{
+    core::Machine machine;
+    SimpleOs kernel(machine);
+    int pid = kernel.exec(helloProgram());
+
+    core::RunResult result = kernel.run();
+    EXPECT_EQ(result.reason, core::StopReason::kExited);
+    EXPECT_EQ(result.exit_code, 7);
+    EXPECT_EQ(kernel.process(pid).console, "hi");
+    EXPECT_TRUE(kernel.process(pid).exited);
+}
+
+TEST(SimpleOs, ExecDelegatesWholeAddressSpace)
+{
+    core::Machine machine;
+    SimpleOs kernel(machine);
+    kernel.exec(helloProgram());
+
+    const cap::Capability &c0 = machine.cpu().caps().c0();
+    EXPECT_TRUE(c0.tag());
+    EXPECT_EQ(c0.base(), 0u);
+    EXPECT_EQ(c0.length(), kUserTop);
+    EXPECT_TRUE(c0.hasPerms(cap::kPermAll));
+    EXPECT_EQ(machine.cpu().caps().pcc().length(), kUserTop);
+}
+
+TEST(SimpleOs, SbrkGrowsHeap)
+{
+    core::Machine machine;
+    SimpleOs kernel(machine);
+
+    Assembler a(kTextBase);
+    a.li(v0, kSysSbrk);
+    a.li(a0, 8192);
+    a.syscall();
+    a.move(s0, v0); // old break
+    // Touch the new memory.
+    a.sd(s0, s0, 0);
+    a.li(v0, kSysExit);
+    a.li(a0, 0);
+    a.syscall();
+
+    kernel.exec(a.finish());
+    core::RunResult result = kernel.run();
+    EXPECT_EQ(result.reason, core::StopReason::kExited);
+}
+
+TEST(SimpleOs, MmapReturnsFreshMappings)
+{
+    core::Machine machine;
+    SimpleOs kernel(machine);
+
+    Assembler a(kTextBase);
+    a.li(v0, kSysMmap);
+    a.li(a0, 4096);
+    a.syscall();
+    a.move(s0, v0);
+    a.li(v0, kSysMmap);
+    a.li(a0, 4096);
+    a.syscall();
+    a.move(s1, v0);
+    a.sd(s1, s0, 0); // store second mapping's address into the first
+    a.li(v0, kSysExit);
+    a.syscall();
+
+    kernel.exec(a.finish());
+    core::RunResult result = kernel.run();
+    EXPECT_EQ(result.reason, core::StopReason::kExited);
+    EXPECT_NE(machine.cpu().gpr(s0), machine.cpu().gpr(s1));
+}
+
+TEST(SimpleOs, ContextSwitchPreservesCapabilityState)
+{
+    core::Machine machine;
+    SimpleOs kernel(machine);
+
+    int pid_a = kernel.exec(helloProgram());
+    // Derive a distinctive capability in process A's register 5.
+    machine.cpu().caps().write(
+        5, cap::Capability::make(0x1234, 0x40, cap::kPermLoad));
+
+    int pid_b = kernel.exec(helloProgram()); // switches to B
+    EXPECT_EQ(kernel.currentPid(), pid_b);
+    // B's register 5 is the fresh user-space capability, not A's.
+    EXPECT_EQ(machine.cpu().caps().read(5).base(), 0u);
+
+    kernel.switchTo(pid_a);
+    EXPECT_EQ(machine.cpu().caps().read(5).base(), 0x1234u);
+    EXPECT_EQ(machine.cpu().caps().read(5).length(), 0x40u);
+}
+
+TEST(SimpleOs, ProcessesHaveDisjointAddressSpaces)
+{
+    core::Machine machine;
+    SimpleOs kernel(machine);
+
+    // A stores a marker into its heap; B reads the same vaddr.
+    Assembler writer(kTextBase);
+    writer.li(t0, static_cast<std::int32_t>(kHeapBase));
+    writer.li(t1, 0x77);
+    writer.sd(t1, t0, 0);
+    writer.li(v0, kSysExit);
+    writer.syscall();
+
+    Assembler reader(kTextBase);
+    reader.li(t0, static_cast<std::int32_t>(kHeapBase));
+    reader.ld(s0, t0, 0);
+    reader.li(v0, kSysExit);
+    reader.syscall();
+
+    int pid_a = kernel.exec(writer.finish());
+    kernel.run();
+    (void)pid_a;
+
+    kernel.exec(reader.finish());
+    core::RunResult result = kernel.run();
+    EXPECT_EQ(result.reason, core::StopReason::kExited);
+    EXPECT_EQ(machine.cpu().gpr(s0), 0u); // B sees its own zero page
+}
+
+TEST(SimpleOs, RevokeRangeMakesDereferenceFault)
+{
+    core::Machine machine;
+    SimpleOs kernel(machine);
+
+    Assembler a(kTextBase);
+    a.li(t0, static_cast<std::int32_t>(kHeapBase));
+    a.ld(s0, t0, 0);
+    a.li(v0, kSysExit);
+    a.syscall();
+
+    int pid = kernel.exec(a.finish());
+    kernel.revokeRange(kernel.process(pid), kHeapBase, 4096);
+    core::RunResult result = kernel.run();
+    EXPECT_EQ(result.reason, core::StopReason::kTrap);
+    EXPECT_EQ(result.trap.code, core::ExcCode::kTlbLoad);
+}
+
+TEST(SimpleOs, ReadWriteMemoryRoundTrip)
+{
+    core::Machine machine;
+    SimpleOs kernel(machine);
+    int pid = kernel.exec(helloProgram());
+    Process &proc = kernel.process(pid);
+
+    const char data[] = "capability";
+    kernel.writeMemory(proc, kHeapBase + 100, data, sizeof(data));
+    char readback[sizeof(data)] = {};
+    kernel.readMemory(proc, kHeapBase + 100, readback,
+                      sizeof(readback));
+    EXPECT_STREQ(readback, "capability");
+}
+
+TEST(SimpleOs, PutCharAppendsToConsole)
+{
+    core::Machine machine;
+    SimpleOs kernel(machine);
+    Assembler a(kTextBase);
+    a.li(v0, kSysPutChar);
+    a.li(a0, 'x');
+    a.syscall();
+    a.li(v0, kSysPutChar);
+    a.li(a0, '!');
+    a.syscall();
+    a.li(v0, kSysExit);
+    a.syscall();
+    int pid = kernel.exec(a.finish());
+    kernel.run();
+    EXPECT_EQ(kernel.process(pid).console, "x!");
+}
+
+TEST(SimpleOs, NegativeSbrkShrinksBreak)
+{
+    core::Machine machine;
+    SimpleOs kernel(machine);
+    Assembler a(kTextBase);
+    a.li(v0, kSysSbrk);
+    a.li(a0, 8192);
+    a.syscall();
+    a.li(v0, kSysSbrk);
+    a.li(a0, -4096);
+    a.syscall();
+    a.li(v0, kSysSbrk);
+    a.li(a0, 0);
+    a.syscall();
+    a.move(s0, v0); // current break
+    a.li(v0, kSysExit);
+    a.syscall();
+    kernel.exec(a.finish());
+    kernel.run();
+    // Initial break is kHeapBase + one page; +8192 -4096 => +4096.
+    EXPECT_EQ(machine.cpu().gpr(s0),
+              kHeapBase + tlb::kPageBytes + 8192 - 4096);
+}
+
+TEST(SimpleOs, UnknownSyscallReturnsMinusOne)
+{
+    core::Machine machine;
+    SimpleOs kernel(machine);
+    Assembler a(kTextBase);
+    a.li(v0, 999);
+    a.syscall();
+    a.move(s0, v0);
+    a.li(v0, kSysExit);
+    a.syscall();
+    kernel.exec(a.finish());
+    core::RunResult result = kernel.run();
+    EXPECT_EQ(result.reason, core::StopReason::kExited);
+    EXPECT_EQ(machine.cpu().gpr(s0), ~0ULL);
+}
+
+TEST(CapAllocator, ExactBounds)
+{
+    cap::Capability heap =
+        cap::Capability::make(0x10000, 4096, cap::kPermAll);
+    CapAllocator allocator(heap);
+
+    auto obj = allocator.allocate(100);
+    ASSERT_TRUE(obj.has_value());
+    EXPECT_TRUE(obj->tag());
+    EXPECT_EQ(obj->length(), 100u);
+    EXPECT_GE(obj->base(), heap.base());
+    EXPECT_LE(obj->top(), heap.top());
+}
+
+TEST(CapAllocator, PermsIntersectHeapPerms)
+{
+    cap::Capability heap = cap::Capability::make(
+        0x10000, 4096, cap::kPermLoad | cap::kPermStore);
+    CapAllocator allocator(heap);
+    auto obj = allocator.allocate(8, cap::kPermAll);
+    ASSERT_TRUE(obj.has_value());
+    // Cannot exceed the heap's own authority.
+    EXPECT_EQ(obj->perms(), cap::kPermLoad | cap::kPermStore);
+}
+
+TEST(CapAllocator, DistinctNonOverlapping)
+{
+    cap::Capability heap =
+        cap::Capability::make(0x10000, 4096, cap::kPermAll);
+    CapAllocator allocator(heap);
+    auto a = allocator.allocate(40);
+    auto b = allocator.allocate(40);
+    ASSERT_TRUE(a && b);
+    // Blocks never overlap.
+    EXPECT_TRUE(a->top() <= b->base() || b->top() <= a->base());
+}
+
+TEST(CapAllocator, ExhaustionReturnsNullopt)
+{
+    cap::Capability heap =
+        cap::Capability::make(0x10000, 128, cap::kPermAll);
+    CapAllocator allocator(heap);
+    EXPECT_TRUE(allocator.allocate(64).has_value());
+    EXPECT_TRUE(allocator.allocate(64).has_value());
+    EXPECT_FALSE(allocator.allocate(1).has_value());
+}
+
+TEST(CapAllocator, FreeAndCoalesce)
+{
+    cap::Capability heap =
+        cap::Capability::make(0x10000, 256, cap::kPermAll);
+    CapAllocator allocator(heap);
+    auto a = allocator.allocate(64);
+    auto b = allocator.allocate(64);
+    auto c = allocator.allocate(64);
+    ASSERT_TRUE(a && b && c);
+    EXPECT_FALSE(allocator.allocate(128).has_value());
+
+    // Free middle then neighbours: coalescing must allow 192 bytes.
+    allocator.free(*b);
+    allocator.free(*a);
+    allocator.free(*c);
+    EXPECT_TRUE(allocator.allocate(192).has_value());
+    EXPECT_EQ(allocator.bytesInUse(), 192u);
+}
+
+TEST(CapAllocator, NoReusePolicyNeverRecycles)
+{
+    cap::Capability heap =
+        cap::Capability::make(0x10000, 256, cap::kPermAll);
+    CapAllocator allocator(heap, ReusePolicy::kNoReuse);
+    auto a = allocator.allocate(128);
+    allocator.free(*a);
+    auto b = allocator.allocate(128);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_NE(b->base(), a->base()); // address space not reused
+    EXPECT_FALSE(allocator.allocate(64).has_value()); // exhausted
+}
+
+TEST(Sandbox, DerivationRespectsParentBounds)
+{
+    cap::Capability parent =
+        cap::Capability::make(0x1000, 0x1000, cap::kPermAll);
+    // Inside the parent: fine.
+    SandboxResult ok = makeSandbox(parent, 0x1000, 0x100, 0x1800,
+                                   0x100);
+    EXPECT_TRUE(ok.ok());
+    EXPECT_TRUE(ok.caps.pcc.hasPerms(cap::kPermExecute));
+    EXPECT_FALSE(ok.caps.c0.hasPerms(cap::kPermExecute));
+    EXPECT_FALSE(ok.caps.c0.hasPerms(cap::kPermLoadCap));
+    EXPECT_FALSE(ok.caps.c0.hasPerms(cap::kPermStoreCap));
+
+    // Outside the parent: refused.
+    SandboxResult bad = makeSandbox(parent, 0x3000, 0x100, 0x1800,
+                                    0x100);
+    EXPECT_FALSE(bad.ok());
+}
+
+TEST(Sandbox, EnterClearsOtherRegisters)
+{
+    core::Machine machine;
+    machine.mapRange(0x1000, 0x2000);
+    SandboxResult sandbox = makeSandbox(cap::Capability::almighty(),
+                                        0x1000, 0x100, 0x2000, 0x100);
+    ASSERT_TRUE(sandbox.ok());
+    enterSandbox(machine.cpu(), sandbox.caps, 0x1000);
+
+    for (unsigned i = 1; i < cap::kNumCapRegs; ++i)
+        EXPECT_FALSE(machine.cpu().caps().read(i).tag());
+    EXPECT_EQ(machine.cpu().caps().c0().base(), 0x2000u);
+    EXPECT_EQ(machine.cpu().caps().pcc().base(), 0x1000u);
+    EXPECT_EQ(machine.cpu().pc(), 0x1000u);
+}
+
+} // namespace
+} // namespace cheri::os

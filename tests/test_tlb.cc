@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the page table and TLB, including the CHERI PTE
+ * extension bits that gate capability loads and stores.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/page_table.h"
+#include "tlb/tlb.h"
+
+namespace cheri::tlb
+{
+namespace
+{
+
+PteFlags
+flagsAll()
+{
+    return PteFlags{};
+}
+
+TEST(PageTable, MapLookupUnmap)
+{
+    PageTable table;
+    EXPECT_FALSE(table.lookup(5).has_value());
+    table.map(5, 100);
+    auto pte = table.lookup(5);
+    ASSERT_TRUE(pte.has_value());
+    EXPECT_EQ(pte->pfn, 100u);
+    table.unmap(5);
+    EXPECT_FALSE(table.lookup(5).has_value());
+}
+
+TEST(PageTable, ProtectUpdatesFlags)
+{
+    PageTable table;
+    table.map(1, 2);
+    PteFlags flags;
+    flags.writable = false;
+    EXPECT_TRUE(table.protect(1, flags));
+    EXPECT_FALSE(table.lookup(1)->flags.writable);
+    EXPECT_FALSE(table.protect(9, flags));
+}
+
+TEST(Tlb, TranslatesThroughPageTable)
+{
+    PageTable table;
+    table.map(0x10, 0x20, flagsAll());
+    Tlb tlb(table);
+    TlbResult result =
+        tlb.translate(0x10 * kPageBytes + 0x123, Access::kLoad);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.paddr, 0x20 * kPageBytes + 0x123);
+}
+
+TEST(Tlb, MissThenHit)
+{
+    PageTable table;
+    table.map(1, 1, flagsAll());
+    Tlb tlb(table);
+
+    TlbResult first = tlb.translate(kPageBytes, Access::kLoad);
+    EXPECT_TRUE(first.ok());
+    EXPECT_GT(first.penalty_cycles, 0u);
+    EXPECT_EQ(tlb.stats().get("tlb.misses"), 1u);
+
+    TlbResult second = tlb.translate(kPageBytes + 8, Access::kLoad);
+    EXPECT_TRUE(second.ok());
+    EXPECT_EQ(second.penalty_cycles, 0u);
+    EXPECT_EQ(tlb.stats().get("tlb.hits"), 1u);
+}
+
+TEST(Tlb, UnmappedFaults)
+{
+    PageTable table;
+    Tlb tlb(table);
+    TlbResult result = tlb.translate(0x5000, Access::kLoad);
+    EXPECT_EQ(result.fault, TlbFault::kNoMapping);
+}
+
+TEST(Tlb, PermissionFaults)
+{
+    PageTable table;
+    PteFlags read_only;
+    read_only.writable = false;
+    read_only.executable = false;
+    table.map(0, 0, read_only);
+    Tlb tlb(table);
+
+    EXPECT_TRUE(tlb.translate(0, Access::kLoad).ok());
+    EXPECT_EQ(tlb.translate(4, Access::kStore).fault,
+              TlbFault::kNotWritable);
+    EXPECT_EQ(tlb.translate(8, Access::kFetch).fault,
+              TlbFault::kNotExecutable);
+}
+
+TEST(Tlb, CapabilityPteBitsGateCapAccess)
+{
+    PageTable table;
+    PteFlags no_caps;
+    no_caps.cap_load = false;
+    no_caps.cap_store = false;
+    table.map(0, 0, no_caps);
+    Tlb tlb(table);
+
+    // Ordinary data access is unaffected (Section 6.1: shared memory
+    // that cannot act as a capability channel).
+    EXPECT_TRUE(tlb.translate(0, Access::kLoad).ok());
+    EXPECT_TRUE(tlb.translate(0, Access::kStore).ok());
+    EXPECT_EQ(tlb.translate(0, Access::kCapLoad).fault,
+              TlbFault::kCapLoadDenied);
+    EXPECT_EQ(tlb.translate(0, Access::kCapStore).fault,
+              TlbFault::kCapStoreDenied);
+}
+
+TEST(Tlb, CapacityEviction)
+{
+    PageTable table;
+    for (std::uint64_t vpn = 0; vpn < 10; ++vpn)
+        table.map(vpn, vpn, flagsAll());
+    Tlb tlb(table, TlbConfig{4, 30});
+
+    // Touch 5 pages; with 4 entries the first one is evicted.
+    for (std::uint64_t vpn = 0; vpn < 5; ++vpn)
+        tlb.translate(vpn * kPageBytes, Access::kLoad);
+    EXPECT_EQ(tlb.stats().get("tlb.misses"), 5u);
+
+    TlbResult result = tlb.translate(0, Access::kLoad);
+    EXPECT_TRUE(result.ok());
+    EXPECT_GT(result.penalty_cycles, 0u); // refilled again
+    EXPECT_EQ(tlb.stats().get("tlb.misses"), 6u);
+}
+
+TEST(Tlb, DefaultCoversOneMegabyte)
+{
+    // 256 entries x 4 KB pages = 1 MB, the Figure 5 knee.
+    TlbConfig config;
+    EXPECT_EQ(config.entries * kPageBytes, 1024u * 1024u);
+}
+
+TEST(Tlb, FlushDropsEntries)
+{
+    PageTable table;
+    table.map(0, 0, flagsAll());
+    Tlb tlb(table);
+    tlb.translate(0, Access::kLoad);
+    tlb.flush();
+    TlbResult result = tlb.translate(0, Access::kLoad);
+    EXPECT_GT(result.penalty_cycles, 0u);
+}
+
+TEST(Tlb, FlushPageIsSelective)
+{
+    PageTable table;
+    table.map(0, 0, flagsAll());
+    table.map(1, 1, flagsAll());
+    Tlb tlb(table);
+    tlb.translate(0, Access::kLoad);
+    tlb.translate(kPageBytes, Access::kLoad);
+
+    tlb.flushPage(0);
+    EXPECT_EQ(tlb.translate(kPageBytes, Access::kLoad).penalty_cycles,
+              0u);
+    EXPECT_GT(tlb.translate(0, Access::kLoad).penalty_cycles, 0u);
+}
+
+TEST(Tlb, RevocationViaUnmapTakesEffectAfterFlush)
+{
+    // The OS revocation path (Section 6.1): unmap the page, flush the
+    // TLB; stale capabilities then fault on use.
+    PageTable table;
+    table.map(0, 0, flagsAll());
+    Tlb tlb(table);
+    EXPECT_TRUE(tlb.translate(0, Access::kLoad).ok());
+
+    table.unmap(0);
+    tlb.flush();
+    EXPECT_EQ(tlb.translate(0, Access::kLoad).fault,
+              TlbFault::kNoMapping);
+}
+
+TEST(Tlb, SetTableSwitchesAddressSpace)
+{
+    PageTable a, b;
+    a.map(0, 1, flagsAll());
+    b.map(0, 2, flagsAll());
+    Tlb tlb(a);
+    EXPECT_EQ(tlb.translate(0, Access::kLoad).paddr, kPageBytes);
+    tlb.setTable(b);
+    EXPECT_EQ(tlb.translate(0, Access::kLoad).paddr, 2 * kPageBytes);
+}
+
+} // namespace
+} // namespace cheri::tlb

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for trace recording and profiling: event accounting, baseline
+ * statistics, and the derived quantities the limit-study models use.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/profile.h"
+#include "trace/trace.h"
+
+namespace cheri::trace
+{
+namespace
+{
+
+TEST(Trace, EventsRecordedInOrder)
+{
+    Trace trace;
+    trace.malloc(0x1000, 64);
+    trace.storePtr(0x1000, 8, 64);
+    trace.load(0x1008, 8);
+    trace.free(0x1000);
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace.events()[0].kind, EventKind::kMalloc);
+    EXPECT_EQ(trace.events()[1].kind, EventKind::kStorePtr);
+    EXPECT_EQ(trace.events()[1].target_size, 64u);
+    EXPECT_EQ(trace.events()[2].kind, EventKind::kLoad);
+    EXPECT_EQ(trace.events()[3].kind, EventKind::kFree);
+}
+
+TEST(Trace, InstrBlocksCoalesce)
+{
+    Trace trace;
+    trace.instructions(10);
+    trace.instructions(5);
+    EXPECT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace.events()[0].size, 15u);
+
+    trace.load(0, 8);
+    trace.instructions(3);
+    EXPECT_EQ(trace.size(), 3u);
+}
+
+TEST(Trace, BaselineStats)
+{
+    Trace trace;
+    trace.instructions(100);
+    trace.malloc(0x1000, 48);
+    trace.storePtr(0x1000, 8, 48);
+    trace.store(0x1008, 8);
+    trace.loadPtr(0x1000, 8, 48);
+    trace.load(0x2000, 4);
+    trace.free(0x1000);
+
+    BaselineStats stats = baselineStats(trace);
+    // 100 block + 4 memory instructions.
+    EXPECT_EQ(stats.instructions, 104u);
+    EXPECT_EQ(stats.memory_refs, 4u);
+    EXPECT_EQ(stats.memory_bytes, 28u);
+    EXPECT_EQ(stats.pointer_loads, 1u);
+    EXPECT_EQ(stats.pointer_stores, 1u);
+    EXPECT_EQ(stats.mallocs, 1u);
+    EXPECT_EQ(stats.frees, 1u);
+    EXPECT_EQ(stats.heap_bytes, 48u);
+    EXPECT_EQ(stats.pages_touched, 2u); // 0x1000-page and 0x2000-page
+}
+
+TEST(Profile, DerefAndPtrCounts)
+{
+    Trace trace;
+    trace.instructions(10);
+    trace.load(0x100, 8);
+    trace.loadPtr(0x108, 8, 512);
+    trace.storePtr(0x110, 8, 2048);
+    trace.store(0x118, 8);
+
+    TraceProfile profile = profileTrace(trace);
+    EXPECT_EQ(profile.derefs, 4u);
+    EXPECT_EQ(profile.ptr_refs, 2u);
+    EXPECT_EQ(profile.ptr_locations, 2u);
+    EXPECT_EQ(profile.ptr_pages, 1u);
+}
+
+TEST(Profile, HardboundCompressibility)
+{
+    Trace trace;
+    // Compressible: <= 1024 bytes and word-aligned size.
+    trace.loadPtr(0x100, 8, 512);
+    // Incompressible: too long.
+    trace.loadPtr(0x108, 8, 2048);
+    // Incompressible: odd size.
+    trace.loadPtr(0x110, 8, 37);
+    // Null/unknown target: carries no bounds, so no table cost.
+    trace.loadPtr(0x118, 8, 0);
+
+    TraceProfile profile = profileTrace(trace);
+    EXPECT_EQ(profile.compressible_ptr_refs, 2u);
+}
+
+TEST(Profile, MMachinePaddingIncludesAlignmentHoles)
+{
+    Trace trace;
+    trace.malloc(0x1000, 24); // segment 32: pad 8 + hole 8
+    trace.malloc(0x2000, 64); // segment 64: pad 0 + hole 16
+
+    TraceProfile profile = profileTrace(trace);
+    EXPECT_EQ(profile.pow2_padding_bytes, 8u + 8u + 0u + 16u);
+}
+
+TEST(Profile, FootprintFollowsPages)
+{
+    Trace trace;
+    for (int i = 0; i < 10; ++i)
+        trace.load(static_cast<std::uint64_t>(i) * 4096, 8);
+    TraceProfile profile = profileTrace(trace);
+    EXPECT_EQ(profile.base.pages_touched, 10u);
+    EXPECT_EQ(profile.footprint_bytes, 10u * 4096u);
+}
+
+TEST(Trace, ClearResets)
+{
+    Trace trace;
+    trace.load(0, 8);
+    trace.clear();
+    EXPECT_EQ(trace.size(), 0u);
+}
+
+} // namespace
+} // namespace cheri::trace

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * cheri-dis — disassemble instruction words. Reads hex words (one per
+ * line, with or without 0x) from a file or stdin and prints the
+ * decoded instructions; also accepts a .s file with --asm to show the
+ * round trip (assemble, then disassemble the produced words).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "isa/decoder.h"
+#include "isa/disasm.h"
+#include "isa/text_assembler.h"
+
+using namespace cheri;
+
+int
+main(int argc, char **argv)
+{
+    bool from_asm = false;
+    const char *path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--asm") == 0)
+            from_asm = true;
+        else
+            path = argv[i];
+    }
+
+    std::string input;
+    if (path != nullptr) {
+        std::ifstream file(path);
+        if (!file) {
+            std::fprintf(stderr, "cheri-dis: cannot open %s\n", path);
+            return 2;
+        }
+        std::stringstream buffer;
+        buffer << file.rdbuf();
+        input = buffer.str();
+    } else {
+        std::stringstream buffer;
+        buffer << std::cin.rdbuf();
+        input = buffer.str();
+    }
+
+    std::vector<std::uint32_t> words;
+    if (from_asm) {
+        isa::AsmResult assembled = isa::assembleText(input, 0x10000);
+        if (!assembled.ok()) {
+            for (const isa::AsmError &error : assembled.errors)
+                std::fprintf(stderr, "%u: %s\n", error.line,
+                             error.message.c_str());
+            return 2;
+        }
+        words = assembled.words;
+    } else {
+        std::istringstream stream(input);
+        std::string token;
+        while (stream >> token) {
+            words.push_back(static_cast<std::uint32_t>(
+                std::strtoul(token.c_str(), nullptr, 16)));
+        }
+    }
+
+    std::uint64_t addr = 0x10000;
+    for (std::uint32_t word : words) {
+        std::printf("%08llx:  %08x  %s\n",
+                    static_cast<unsigned long long>(addr), word,
+                    isa::disassemble(isa::decode(word)).c_str());
+        addr += 4;
+    }
+    return 0;
+}
