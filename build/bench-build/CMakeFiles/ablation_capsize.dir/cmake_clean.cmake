@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_capsize"
+  "../bench/ablation_capsize.pdb"
+  "CMakeFiles/ablation_capsize.dir/ablation_capsize.cc.o"
+  "CMakeFiles/ablation_capsize.dir/ablation_capsize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_capsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_domains"
+  "../bench/ablation_domains.pdb"
+  "CMakeFiles/ablation_domains.dir/ablation_domains.cc.o"
+  "CMakeFiles/ablation_domains.dir/ablation_domains.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tagcache"
+  "../bench/ablation_tagcache.pdb"
+  "CMakeFiles/ablation_tagcache.dir/ablation_tagcache.cc.o"
+  "CMakeFiles/ablation_tagcache.dir/ablation_tagcache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tagcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_limit_study"
+  "../bench/fig3_limit_study.pdb"
+  "CMakeFiles/fig3_limit_study.dir/fig3_limit_study.cc.o"
+  "CMakeFiles/fig3_limit_study.dir/fig3_limit_study.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_limit_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_olden"
+  "../bench/fig4_olden.pdb"
+  "CMakeFiles/fig4_olden.dir/fig4_olden.cc.o"
+  "CMakeFiles/fig4_olden.dir/fig4_olden.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_olden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_area"
+  "../bench/fig6_area.pdb"
+  "CMakeFiles/fig6_area.dir/fig6_area.cc.o"
+  "CMakeFiles/fig6_area.dir/fig6_area.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_caps"
+  "../bench/micro_caps.pdb"
+  "CMakeFiles/micro_caps.dir/micro_caps.cc.o"
+  "CMakeFiles/micro_caps.dir/micro_caps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_isa"
+  "../bench/table1_isa.pdb"
+  "CMakeFiles/table1_isa.dir/table1_isa.cc.o"
+  "CMakeFiles/table1_isa.dir/table1_isa.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

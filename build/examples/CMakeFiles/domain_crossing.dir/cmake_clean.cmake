@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_crossing.dir/domain_crossing.cpp.o"
+  "CMakeFiles/domain_crossing.dir/domain_crossing.cpp.o.d"
+  "domain_crossing"
+  "domain_crossing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_crossing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitasking.dir/multitasking.cpp.o"
+  "CMakeFiles/multitasking.dir/multitasking.cpp.o.d"
+  "multitasking"
+  "multitasking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitasking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

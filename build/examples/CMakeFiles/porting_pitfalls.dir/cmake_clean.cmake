@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porting_pitfalls.dir/porting_pitfalls.cpp.o"
+  "CMakeFiles/porting_pitfalls.dir/porting_pitfalls.cpp.o.d"
+  "porting_pitfalls"
+  "porting_pitfalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porting_pitfalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_objects.dir/runtime_objects.cpp.o"
+  "CMakeFiles/runtime_objects.dir/runtime_objects.cpp.o.d"
+  "runtime_objects"
+  "runtime_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagged_memcpy.dir/tagged_memcpy.cpp.o"
+  "CMakeFiles/tagged_memcpy.dir/tagged_memcpy.cpp.o.d"
+  "tagged_memcpy"
+  "tagged_memcpy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagged_memcpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_safety.dir/temporal_safety.cpp.o"
+  "CMakeFiles/temporal_safety.dir/temporal_safety.cpp.o.d"
+  "temporal_safety"
+  "temporal_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_memory_safety "/root/repo/build/examples/memory_safety")
+set_tests_properties(example_memory_safety PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sandbox "/root/repo/build/examples/sandbox")
+set_tests_properties(example_sandbox PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tagged_memcpy "/root/repo/build/examples/tagged_memcpy")
+set_tests_properties(example_tagged_memcpy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_runtime_objects "/root/repo/build/examples/runtime_objects")
+set_tests_properties(example_runtime_objects PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_domain_crossing "/root/repo/build/examples/domain_crossing")
+set_tests_properties(example_domain_crossing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_temporal_safety "/root/repo/build/examples/temporal_safety")
+set_tests_properties(example_temporal_safety PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_porting_pitfalls "/root/repo/build/examples/porting_pitfalls")
+set_tests_properties(example_porting_pitfalls PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multitasking "/root/repo/build/examples/multitasking")
+set_tests_properties(example_multitasking PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(asm_hello "/root/repo/build/tools/cheri-run" "/root/repo/examples/asm/hello.s")
+set_tests_properties(asm_hello PROPERTIES  PASS_REGULAR_EXPRESSION "Hi" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(asm_bounds_trap "/root/repo/build/tools/cheri-run" "/root/repo/examples/asm/bounds_trap.s")
+set_tests_properties(asm_bounds_trap PROPERTIES  PASS_REGULAR_EXPRESSION "length violation" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(asm_sealed_object "/root/repo/build/tools/cheri-run" "/root/repo/examples/asm/sealed_object.s")
+set_tests_properties(asm_sealed_object PROPERTIES  PASS_REGULAR_EXPRESSION "seal violation" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;36;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(asm_dis_roundtrip "/root/repo/build/tools/cheri-dis" "--asm" "/root/repo/examples/asm/hello.s")
+set_tests_properties(asm_dis_roundtrip PROPERTIES  PASS_REGULAR_EXPRESSION "syscall" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;40;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(asm_domain_call "/root/repo/build/tools/cheri-run" "--max-insts" "100000" "/root/repo/examples/asm/domain_call.s")
+set_tests_properties(asm_domain_call PROPERTIES  FAIL_REGULAR_EXPRESSION "trap|limit" PASS_REGULAR_EXPRESSION "^\$" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;44;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("mem")
+subdirs("cap")
+subdirs("isa")
+subdirs("tlb")
+subdirs("cache")
+subdirs("core")
+subdirs("os")
+subdirs("trace")
+subdirs("models")
+subdirs("workloads")
+subdirs("area")

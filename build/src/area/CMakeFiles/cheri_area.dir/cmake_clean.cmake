@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_area.dir/area_model.cc.o"
+  "CMakeFiles/cheri_area.dir/area_model.cc.o.d"
+  "libcheri_area.a"
+  "libcheri_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

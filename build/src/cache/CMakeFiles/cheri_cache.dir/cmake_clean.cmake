@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_cache.dir/cache.cc.o"
+  "CMakeFiles/cheri_cache.dir/cache.cc.o.d"
+  "CMakeFiles/cheri_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/cheri_cache.dir/hierarchy.cc.o.d"
+  "libcheri_cache.a"
+  "libcheri_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

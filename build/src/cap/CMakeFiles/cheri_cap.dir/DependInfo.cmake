@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cap/cap128.cc" "src/cap/CMakeFiles/cheri_cap.dir/cap128.cc.o" "gcc" "src/cap/CMakeFiles/cheri_cap.dir/cap128.cc.o.d"
+  "/root/repo/src/cap/cap_ops.cc" "src/cap/CMakeFiles/cheri_cap.dir/cap_ops.cc.o" "gcc" "src/cap/CMakeFiles/cheri_cap.dir/cap_ops.cc.o.d"
+  "/root/repo/src/cap/capability.cc" "src/cap/CMakeFiles/cheri_cap.dir/capability.cc.o" "gcc" "src/cap/CMakeFiles/cheri_cap.dir/capability.cc.o.d"
+  "/root/repo/src/cap/reg_file.cc" "src/cap/CMakeFiles/cheri_cap.dir/reg_file.cc.o" "gcc" "src/cap/CMakeFiles/cheri_cap.dir/reg_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cheri_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_cap.dir/cap128.cc.o"
+  "CMakeFiles/cheri_cap.dir/cap128.cc.o.d"
+  "CMakeFiles/cheri_cap.dir/cap_ops.cc.o"
+  "CMakeFiles/cheri_cap.dir/cap_ops.cc.o.d"
+  "CMakeFiles/cheri_cap.dir/capability.cc.o"
+  "CMakeFiles/cheri_cap.dir/capability.cc.o.d"
+  "CMakeFiles/cheri_cap.dir/reg_file.cc.o"
+  "CMakeFiles/cheri_cap.dir/reg_file.cc.o.d"
+  "libcheri_cap.a"
+  "libcheri_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

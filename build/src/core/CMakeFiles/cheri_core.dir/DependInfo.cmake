@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cpu.cc" "src/core/CMakeFiles/cheri_core.dir/cpu.cc.o" "gcc" "src/core/CMakeFiles/cheri_core.dir/cpu.cc.o.d"
+  "/root/repo/src/core/debugger.cc" "src/core/CMakeFiles/cheri_core.dir/debugger.cc.o" "gcc" "src/core/CMakeFiles/cheri_core.dir/debugger.cc.o.d"
+  "/root/repo/src/core/exceptions.cc" "src/core/CMakeFiles/cheri_core.dir/exceptions.cc.o" "gcc" "src/core/CMakeFiles/cheri_core.dir/exceptions.cc.o.d"
+  "/root/repo/src/core/machine.cc" "src/core/CMakeFiles/cheri_core.dir/machine.cc.o" "gcc" "src/core/CMakeFiles/cheri_core.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/cheri_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/cheri_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cheri_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/cheri_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cheri_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cheri_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

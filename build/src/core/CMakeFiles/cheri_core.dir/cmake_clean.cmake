@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_core.dir/cpu.cc.o"
+  "CMakeFiles/cheri_core.dir/cpu.cc.o.d"
+  "CMakeFiles/cheri_core.dir/debugger.cc.o"
+  "CMakeFiles/cheri_core.dir/debugger.cc.o.d"
+  "CMakeFiles/cheri_core.dir/exceptions.cc.o"
+  "CMakeFiles/cheri_core.dir/exceptions.cc.o.d"
+  "CMakeFiles/cheri_core.dir/machine.cc.o"
+  "CMakeFiles/cheri_core.dir/machine.cc.o.d"
+  "libcheri_core.a"
+  "libcheri_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

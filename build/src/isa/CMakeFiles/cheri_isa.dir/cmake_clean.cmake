@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_isa.dir/assembler.cc.o"
+  "CMakeFiles/cheri_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/cheri_isa.dir/decoder.cc.o"
+  "CMakeFiles/cheri_isa.dir/decoder.cc.o.d"
+  "CMakeFiles/cheri_isa.dir/disasm.cc.o"
+  "CMakeFiles/cheri_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/cheri_isa.dir/encoder.cc.o"
+  "CMakeFiles/cheri_isa.dir/encoder.cc.o.d"
+  "CMakeFiles/cheri_isa.dir/isa.cc.o"
+  "CMakeFiles/cheri_isa.dir/isa.cc.o.d"
+  "CMakeFiles/cheri_isa.dir/text_assembler.cc.o"
+  "CMakeFiles/cheri_isa.dir/text_assembler.cc.o.d"
+  "libcheri_isa.a"
+  "libcheri_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_mem.dir/physical_memory.cc.o"
+  "CMakeFiles/cheri_mem.dir/physical_memory.cc.o.d"
+  "CMakeFiles/cheri_mem.dir/tag_manager.cc.o"
+  "CMakeFiles/cheri_mem.dir/tag_manager.cc.o.d"
+  "CMakeFiles/cheri_mem.dir/tag_table.cc.o"
+  "CMakeFiles/cheri_mem.dir/tag_table.cc.o.d"
+  "libcheri_mem.a"
+  "libcheri_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

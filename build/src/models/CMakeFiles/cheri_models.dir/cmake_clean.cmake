@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_models.dir/limit_models.cc.o"
+  "CMakeFiles/cheri_models.dir/limit_models.cc.o.d"
+  "libcheri_models.a"
+  "libcheri_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/cap_allocator.cc" "src/os/CMakeFiles/cheri_os.dir/cap_allocator.cc.o" "gcc" "src/os/CMakeFiles/cheri_os.dir/cap_allocator.cc.o.d"
+  "/root/repo/src/os/domain.cc" "src/os/CMakeFiles/cheri_os.dir/domain.cc.o" "gcc" "src/os/CMakeFiles/cheri_os.dir/domain.cc.o.d"
+  "/root/repo/src/os/revoker.cc" "src/os/CMakeFiles/cheri_os.dir/revoker.cc.o" "gcc" "src/os/CMakeFiles/cheri_os.dir/revoker.cc.o.d"
+  "/root/repo/src/os/sandbox.cc" "src/os/CMakeFiles/cheri_os.dir/sandbox.cc.o" "gcc" "src/os/CMakeFiles/cheri_os.dir/sandbox.cc.o.d"
+  "/root/repo/src/os/simple_os.cc" "src/os/CMakeFiles/cheri_os.dir/simple_os.cc.o" "gcc" "src/os/CMakeFiles/cheri_os.dir/simple_os.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cheri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cheri_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cheri_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cheri_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/cheri_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/cheri_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cheri_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_os.dir/cap_allocator.cc.o"
+  "CMakeFiles/cheri_os.dir/cap_allocator.cc.o.d"
+  "CMakeFiles/cheri_os.dir/domain.cc.o"
+  "CMakeFiles/cheri_os.dir/domain.cc.o.d"
+  "CMakeFiles/cheri_os.dir/revoker.cc.o"
+  "CMakeFiles/cheri_os.dir/revoker.cc.o.d"
+  "CMakeFiles/cheri_os.dir/sandbox.cc.o"
+  "CMakeFiles/cheri_os.dir/sandbox.cc.o.d"
+  "CMakeFiles/cheri_os.dir/simple_os.cc.o"
+  "CMakeFiles/cheri_os.dir/simple_os.cc.o.d"
+  "libcheri_os.a"
+  "libcheri_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcheri_os.a"
+)

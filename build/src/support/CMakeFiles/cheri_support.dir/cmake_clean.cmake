@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_support.dir/logging.cc.o"
+  "CMakeFiles/cheri_support.dir/logging.cc.o.d"
+  "CMakeFiles/cheri_support.dir/stats.cc.o"
+  "CMakeFiles/cheri_support.dir/stats.cc.o.d"
+  "libcheri_support.a"
+  "libcheri_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cheri_support.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_tlb.dir/page_table.cc.o"
+  "CMakeFiles/cheri_tlb.dir/page_table.cc.o.d"
+  "CMakeFiles/cheri_tlb.dir/tlb.cc.o"
+  "CMakeFiles/cheri_tlb.dir/tlb.cc.o.d"
+  "libcheri_tlb.a"
+  "libcheri_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

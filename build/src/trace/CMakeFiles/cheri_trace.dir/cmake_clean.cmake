@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_trace.dir/profile.cc.o"
+  "CMakeFiles/cheri_trace.dir/profile.cc.o.d"
+  "CMakeFiles/cheri_trace.dir/trace.cc.o"
+  "CMakeFiles/cheri_trace.dir/trace.cc.o.d"
+  "libcheri_trace.a"
+  "libcheri_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

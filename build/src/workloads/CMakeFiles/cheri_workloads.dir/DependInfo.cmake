@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bisort.cc" "src/workloads/CMakeFiles/cheri_workloads.dir/bisort.cc.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/bisort.cc.o.d"
+  "/root/repo/src/workloads/context.cc" "src/workloads/CMakeFiles/cheri_workloads.dir/context.cc.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/context.cc.o.d"
+  "/root/repo/src/workloads/em3d.cc" "src/workloads/CMakeFiles/cheri_workloads.dir/em3d.cc.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/em3d.cc.o.d"
+  "/root/repo/src/workloads/experiments.cc" "src/workloads/CMakeFiles/cheri_workloads.dir/experiments.cc.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/experiments.cc.o.d"
+  "/root/repo/src/workloads/health.cc" "src/workloads/CMakeFiles/cheri_workloads.dir/health.cc.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/health.cc.o.d"
+  "/root/repo/src/workloads/mst.cc" "src/workloads/CMakeFiles/cheri_workloads.dir/mst.cc.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/mst.cc.o.d"
+  "/root/repo/src/workloads/perimeter.cc" "src/workloads/CMakeFiles/cheri_workloads.dir/perimeter.cc.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/perimeter.cc.o.d"
+  "/root/repo/src/workloads/power.cc" "src/workloads/CMakeFiles/cheri_workloads.dir/power.cc.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/power.cc.o.d"
+  "/root/repo/src/workloads/timing_context.cc" "src/workloads/CMakeFiles/cheri_workloads.dir/timing_context.cc.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/timing_context.cc.o.d"
+  "/root/repo/src/workloads/treeadd.cc" "src/workloads/CMakeFiles/cheri_workloads.dir/treeadd.cc.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/treeadd.cc.o.d"
+  "/root/repo/src/workloads/tsp.cc" "src/workloads/CMakeFiles/cheri_workloads.dir/tsp.cc.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/tsp.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/cheri_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/cheri_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cheri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/cheri_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cheri_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cheri_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cheri_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/cheri_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cheri_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/cheri_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cheri_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

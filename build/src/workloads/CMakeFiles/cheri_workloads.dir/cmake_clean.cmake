@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_workloads.dir/bisort.cc.o"
+  "CMakeFiles/cheri_workloads.dir/bisort.cc.o.d"
+  "CMakeFiles/cheri_workloads.dir/context.cc.o"
+  "CMakeFiles/cheri_workloads.dir/context.cc.o.d"
+  "CMakeFiles/cheri_workloads.dir/em3d.cc.o"
+  "CMakeFiles/cheri_workloads.dir/em3d.cc.o.d"
+  "CMakeFiles/cheri_workloads.dir/experiments.cc.o"
+  "CMakeFiles/cheri_workloads.dir/experiments.cc.o.d"
+  "CMakeFiles/cheri_workloads.dir/health.cc.o"
+  "CMakeFiles/cheri_workloads.dir/health.cc.o.d"
+  "CMakeFiles/cheri_workloads.dir/mst.cc.o"
+  "CMakeFiles/cheri_workloads.dir/mst.cc.o.d"
+  "CMakeFiles/cheri_workloads.dir/perimeter.cc.o"
+  "CMakeFiles/cheri_workloads.dir/perimeter.cc.o.d"
+  "CMakeFiles/cheri_workloads.dir/power.cc.o"
+  "CMakeFiles/cheri_workloads.dir/power.cc.o.d"
+  "CMakeFiles/cheri_workloads.dir/timing_context.cc.o"
+  "CMakeFiles/cheri_workloads.dir/timing_context.cc.o.d"
+  "CMakeFiles/cheri_workloads.dir/treeadd.cc.o"
+  "CMakeFiles/cheri_workloads.dir/treeadd.cc.o.d"
+  "CMakeFiles/cheri_workloads.dir/tsp.cc.o"
+  "CMakeFiles/cheri_workloads.dir/tsp.cc.o.d"
+  "CMakeFiles/cheri_workloads.dir/workload.cc.o"
+  "CMakeFiles/cheri_workloads.dir/workload.cc.o.d"
+  "libcheri_workloads.a"
+  "libcheri_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

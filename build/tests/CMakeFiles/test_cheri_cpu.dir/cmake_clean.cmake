@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cheri_cpu.dir/test_cheri_cpu.cc.o"
+  "CMakeFiles/test_cheri_cpu.dir/test_cheri_cpu.cc.o.d"
+  "test_cheri_cpu"
+  "test_cheri_cpu.pdb"
+  "test_cheri_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cheri_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/test_integration.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/cheri_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cheri_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/area/CMakeFiles/cheri_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/cheri_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cheri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cheri_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cheri_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/cheri_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cheri_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/cheri_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cheri_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cheri_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_text_assembler.dir/test_text_assembler.cc.o"
+  "CMakeFiles/test_text_assembler.dir/test_text_assembler.cc.o.d"
+  "test_text_assembler"
+  "test_text_assembler.pdb"
+  "test_text_assembler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_text_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri-dis.dir/cheri_dis.cc.o"
+  "CMakeFiles/cheri-dis.dir/cheri_dis.cc.o.d"
+  "cheri-dis"
+  "cheri-dis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri-dis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

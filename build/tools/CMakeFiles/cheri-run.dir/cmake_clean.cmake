@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri-run.dir/cheri_run.cc.o"
+  "CMakeFiles/cheri-run.dir/cheri_run.cc.o.d"
+  "cheri-run"
+  "cheri-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
