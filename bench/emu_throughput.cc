@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Emulator host-throughput benchmark: measures how many guest
+ * instructions per host second the interpreter retires on the guest
+ * Olden kernels (treeadd, bisort), with the fetch fast path (TLB
+ * fetch hint + predecoded-instruction cache) enabled and disabled.
+ * Simulated cycles and stats are bit-identical between the two modes
+ * (asserted here and in test_fetch_fastpath); only host wall-clock
+ * changes.
+ *
+ * Results are written to BENCH_emu_throughput.json (override with
+ * CHERI_BENCH_JSON) so the performance trajectory is tracked across
+ * PRs. CHERI_BENCH_QUICK=1 shrinks the run for CI, where the only
+ * contract is that the JSON is emitted and parses.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/machine.h"
+#include "workloads/guest_olden.h"
+
+using namespace cheri;
+
+namespace
+{
+
+struct WorkloadResult
+{
+    std::string name;
+    std::uint64_t guest_instructions = 0; ///< per timed repetition
+    std::uint64_t guest_cycles = 0;
+    double mips_fastpath = 0.0;
+    double mips_baseline = 0.0;
+    double speedup = 0.0;
+};
+
+bool
+quickMode()
+{
+    const char *env = std::getenv("CHERI_BENCH_QUICK");
+    return env != nullptr && env[0] == '1';
+}
+
+/**
+ * Time repeated runs of one kernel. Each repetition resets the CPU to
+ * the entry point and re-executes the whole program (rebuilding its
+ * heap structures), so the instruction stream is identical each time.
+ * The timed block is repeated and the best repetition reported:
+ * wall-clock MIPS on a shared host is only ever slowed by interference,
+ * so the maximum is the least-noisy estimate of the interpreter's
+ * actual throughput.
+ */
+double
+measureMips(const workloads::GuestProgram &prog, bool fast_path,
+            std::uint64_t target_insts, unsigned reps,
+            core::RunResult &last)
+{
+    core::Machine machine;
+    machine.cpu().setDecodeCacheEnabled(fast_path);
+    workloads::loadGuestProgram(machine, prog);
+
+    // Warm-up repetition: page in host memory, fill the simulated
+    // caches, and verify the checksum before the clock starts.
+    last = workloads::runGuestProgram(machine, prog);
+
+    double best = 0.0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        std::uint64_t executed = 0;
+        auto start = std::chrono::steady_clock::now();
+        while (executed < target_insts) {
+            core::RunResult r = workloads::runGuestProgram(machine, prog);
+            executed += r.instructions;
+        }
+        auto end = std::chrono::steady_clock::now();
+        double seconds =
+            std::chrono::duration<double>(end - start).count();
+        best = std::max(best,
+                        static_cast<double>(executed) / seconds / 1e6);
+    }
+    return best;
+}
+
+std::string
+jsonEscapeless(const std::string &s)
+{
+    return s; // workload names are plain identifiers
+}
+
+} // namespace
+
+int
+main()
+{
+    bool quick = quickMode();
+    std::uint64_t target = quick ? 300'000 : 20'000'000;
+    unsigned reps = quick ? 1 : 3;
+
+    std::vector<workloads::GuestProgram> programs;
+    programs.push_back(quick ? workloads::guestTreeadd(8, 2)
+                             : workloads::guestTreeadd(12, 8));
+    programs.push_back(quick ? workloads::guestBisort(48)
+                             : workloads::guestBisort(256));
+
+    std::printf("Emulator throughput on guest Olden kernels "
+                "(%s mode)\n\n",
+                quick ? "quick" : "full");
+
+    std::vector<WorkloadResult> results;
+    double speedup_product = 1.0;
+    for (const auto &prog : programs) {
+        WorkloadResult res;
+        res.name = prog.name;
+
+        core::RunResult fast_run, base_run;
+        res.mips_fastpath =
+            measureMips(prog, true, target, reps, fast_run);
+        res.mips_baseline =
+            measureMips(prog, false, target, reps, base_run);
+        res.guest_instructions = fast_run.instructions;
+        res.guest_cycles = fast_run.cycles;
+        res.speedup = res.mips_fastpath / res.mips_baseline;
+        speedup_product *= res.speedup;
+
+        // The fast path must not change simulated behaviour.
+        if (fast_run.instructions != base_run.instructions ||
+            fast_run.cycles != base_run.cycles) {
+            std::fprintf(stderr,
+                         "FATAL: %s timing diverges with the fast path "
+                         "(insts %llu vs %llu, cycles %llu vs %llu)\n",
+                         prog.name.c_str(),
+                         static_cast<unsigned long long>(
+                             fast_run.instructions),
+                         static_cast<unsigned long long>(
+                             base_run.instructions),
+                         static_cast<unsigned long long>(fast_run.cycles),
+                         static_cast<unsigned long long>(
+                             base_run.cycles));
+            return 1;
+        }
+        results.push_back(res);
+    }
+
+    support::TextTable table({"Kernel", "Guest insts/run", "MIPS (fast)",
+                              "MIPS (baseline)", "Speedup"});
+    for (const auto &res : results) {
+        table.addRow({res.name,
+                      support::format("%llu",
+                                      static_cast<unsigned long long>(
+                                          res.guest_instructions)),
+                      support::format("%.2f", res.mips_fastpath),
+                      support::format("%.2f", res.mips_baseline),
+                      support::format("%.2fx", res.speedup)});
+    }
+    table.print(std::cout);
+
+    double geomean = 1.0;
+    if (!results.empty())
+        geomean = std::pow(speedup_product,
+                           1.0 / static_cast<double>(results.size()));
+    std::printf("\nGeomean fast-path speedup: %.2fx\n", geomean);
+
+    // --- emit the tracking JSON ---
+    const char *path_env = std::getenv("CHERI_BENCH_JSON");
+    std::string path =
+        path_env != nullptr ? path_env : "BENCH_emu_throughput.json";
+    {
+        std::ostringstream os;
+        os << "{\n";
+        os << "  \"bench\": \"emu_throughput\",\n";
+        os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+        os << "  \"workloads\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto &res = results[i];
+            os << "    {\"name\": \"" << jsonEscapeless(res.name)
+               << "\", \"guest_instructions\": "
+               << res.guest_instructions
+               << ", \"guest_cycles\": " << res.guest_cycles
+               << ", \"mips_fastpath\": "
+               << support::format("%.3f", res.mips_fastpath)
+               << ", \"mips_baseline\": "
+               << support::format("%.3f", res.mips_baseline)
+               << ", \"speedup\": "
+               << support::format("%.3f", res.speedup) << "}"
+               << (i + 1 < results.size() ? "," : "") << "\n";
+        }
+        os << "  ],\n";
+        os << "  \"geomean_speedup\": "
+           << support::format("%.3f", geomean) << "\n";
+        os << "}\n";
+
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "FATAL: cannot write %s\n",
+                         path.c_str());
+            return 1;
+        }
+        out << os.str();
+    }
+
+    // Self-check: the file must exist and contain the summary key, so
+    // CI fails loudly if emission regresses.
+    {
+        std::ifstream in(path);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        if (buffer.str().find("\"geomean_speedup\"") ==
+            std::string::npos) {
+            std::fprintf(stderr, "FATAL: %s missing geomean_speedup\n",
+                         path.c_str());
+            return 1;
+        }
+    }
+    std::printf("Wrote %s\n", path.c_str());
+    return 0;
+}

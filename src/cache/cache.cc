@@ -20,7 +20,8 @@ LineAccess
 DramSource::readLine(std::uint64_t paddr)
 {
     ++transactions_;
-    return LineAccess{manager_.readLine(paddr), accessLatency(paddr)};
+    read_buffer_ = manager_.readLine(paddr);
+    return LineAccess{&read_buffer_, accessLatency(paddr)};
 }
 
 std::uint64_t
@@ -44,40 +45,51 @@ Cache::Cache(CacheConfig config, LineSource &below)
         support::fatal("cache %s: set count %llu not a power of two",
                        config_.name.c_str(),
                        static_cast<unsigned long long>(num_sets_));
-    sets_.assign(num_sets_, std::vector<Way>(config_.ways));
-}
-
-std::uint64_t
-Cache::setIndex(std::uint64_t paddr) const
-{
-    return (paddr / mem::kLineBytes) % num_sets_;
-}
-
-std::uint64_t
-Cache::addrTag(std::uint64_t paddr) const
-{
-    return (paddr / mem::kLineBytes) / num_sets_;
+    ways_.assign(num_sets_ * config_.ways, Way{});
+    set_mask_ = num_sets_ - 1;
+    while ((1ULL << set_shift_) < num_sets_)
+        ++set_shift_;
+    hits_ = &stats_.counter(config_.name + ".hits");
+    misses_ = &stats_.counter(config_.name + ".misses");
+    writebacks_ = &stats_.counter(config_.name + ".writebacks");
 }
 
 Cache::Way &
 Cache::findOrFill(std::uint64_t paddr, std::uint64_t &cycles)
 {
-    std::vector<Way> &set = sets_[setIndex(paddr)];
-    std::uint64_t tag = addrTag(paddr);
+    std::uint64_t line_key = paddr >> kLineShift;
+    std::uint64_t tag = line_key >> set_shift_;
 
-    for (Way &way : set) {
+    // Repeat access to the line touched last time: replay the hit
+    // effects without the set scan. The valid + addr_tag re-check
+    // makes this safe against any intervening eviction/invalidation.
+    if (line_key == last_line_key_ && last_way_->valid &&
+        last_way_->addr_tag == tag) {
+        ++*hits_;
+        last_way_->lru = ++lru_clock_;
+        cycles += config_.hit_latency;
+        return *last_way_;
+    }
+
+    Way *set = &ways_[(line_key & set_mask_) * config_.ways];
+
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Way &way = set[w];
         if (way.valid && way.addr_tag == tag) {
-            stats_.add(config_.name + ".hits");
+            ++*hits_;
             way.lru = ++lru_clock_;
             cycles += config_.hit_latency;
+            last_line_key_ = line_key;
+            last_way_ = &way;
             return way;
         }
     }
 
-    stats_.add(config_.name + ".misses");
+    ++*misses_;
     // Victim: invalid way if any, else LRU.
     Way *victim = &set[0];
-    for (Way &way : set) {
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Way &way = set[w];
         if (!way.valid) {
             victim = &way;
             break;
@@ -87,7 +99,7 @@ Cache::findOrFill(std::uint64_t paddr, std::uint64_t &cycles)
     }
     std::uint64_t line_addr = support::roundDown(paddr, mem::kLineBytes);
     if (victim->valid && victim->dirty) {
-        stats_.add(config_.name + ".writebacks");
+        ++*writebacks_;
         std::uint64_t victim_addr =
             (victim->addr_tag * num_sets_ + setIndex(paddr)) *
             mem::kLineBytes;
@@ -99,7 +111,9 @@ Cache::findOrFill(std::uint64_t paddr, std::uint64_t &cycles)
     victim->dirty = false;
     victim->addr_tag = tag;
     victim->lru = ++lru_clock_;
-    victim->line = fill.line;
+    victim->line = *fill.line;
+    last_line_key_ = line_key;
+    last_way_ = victim;
     return *victim;
 }
 
@@ -108,7 +122,7 @@ Cache::readLine(std::uint64_t paddr)
 {
     std::uint64_t cycles = 0;
     Way &way = findOrFill(paddr, cycles);
-    return LineAccess{way.line, cycles};
+    return LineAccess{&way.line, cycles};
 }
 
 std::uint64_t
@@ -121,11 +135,67 @@ Cache::writeLine(std::uint64_t paddr, const mem::TaggedLine &line)
     return cycles;
 }
 
+mem::TaggedLine &
+Cache::storeAccess(std::uint64_t paddr, std::uint64_t &cycles)
+{
+    Way &way = findOrFill(paddr, cycles); // the read half
+    // The write half re-hits the line findOrFill just touched; replay
+    // its effects (hit stat, LRU bump, hit latency) without rescanning.
+    ++*hits_;
+    way.lru = ++lru_clock_;
+    cycles += config_.hit_latency;
+    way.dirty = true;
+    return way.line;
+}
+
+bool
+Cache::contains(std::uint64_t paddr) const
+{
+    const Way *set = &ways_[setIndex(paddr) * config_.ways];
+    std::uint64_t tag = addrTag(paddr);
+    for (unsigned w = 0; w < config_.ways; ++w)
+        if (set[w].valid && set[w].addr_tag == tag)
+            return true;
+    return false;
+}
+
+const mem::TaggedLine *
+Cache::peekDirtyLine(std::uint64_t paddr) const
+{
+    const Way *set = &ways_[setIndex(paddr) * config_.ways];
+    std::uint64_t tag = addrTag(paddr);
+    for (unsigned w = 0; w < config_.ways; ++w)
+        if (set[w].valid && set[w].dirty && set[w].addr_tag == tag)
+            return &set[w].line;
+    return nullptr;
+}
+
+void
+Cache::invalidateLine(std::uint64_t paddr)
+{
+    Way *set = &ways_[setIndex(paddr) * config_.ways];
+    std::uint64_t tag = addrTag(paddr);
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Way &way = set[w];
+        if (way.valid && way.addr_tag == tag) {
+            if (way.dirty) {
+                std::uint64_t addr =
+                    support::roundDown(paddr, mem::kLineBytes);
+                below_.writeLine(addr, way.line);
+            }
+            way.valid = false;
+            way.dirty = false;
+            return;
+        }
+    }
+}
+
 void
 Cache::flush()
 {
     for (std::uint64_t set = 0; set < num_sets_; ++set) {
-        for (Way &way : sets_[set]) {
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            Way &way = ways_[set * config_.ways + w];
             if (way.valid && way.dirty) {
                 std::uint64_t addr =
                     (way.addr_tag * num_sets_ + set) * mem::kLineBytes;

@@ -19,10 +19,17 @@
 namespace cheri::cache
 {
 
-/** Result of a line read from some level: the line plus its cost. */
+/**
+ * Result of a line read from some level: a view of the line plus its
+ * cost. The pointer refers into the source's storage and stays valid
+ * only until the next operation on that source (or anything below
+ * it); callers needing the data past that point must copy. Returning
+ * a reference instead of a 32-byte struct keeps the interpreter's
+ * fetch/load hot path free of per-access line copies.
+ */
 struct LineAccess
 {
-    mem::TaggedLine line;
+    const mem::TaggedLine *line = nullptr;
     std::uint64_t cycles = 0;
 };
 
@@ -42,6 +49,10 @@ class LineSource
     virtual std::uint64_t writeLine(std::uint64_t paddr,
                                     const mem::TaggedLine &line) = 0;
 };
+
+/** log2(kLineBytes), for shift-based line indexing. */
+inline constexpr unsigned kLineShift = 5;
+static_assert((1ULL << kLineShift) == mem::kLineBytes);
 
 /**
  * DRAM timing parameters: a simple open-row model, calibrated to the
@@ -86,6 +97,8 @@ class DramSource : public LineSource
     DramTiming timing_;
     std::uint64_t transactions_ = 0;
     std::uint64_t open_row_ = ~0ULL;
+    /** Staging buffer backing the LineAccess view of the last read. */
+    mem::TaggedLine read_buffer_;
 };
 
 /** Geometry and timing of one cache level. */
@@ -113,8 +126,73 @@ class Cache : public LineSource
     std::uint64_t writeLine(std::uint64_t paddr,
                             const mem::TaggedLine &line) override;
 
+    /**
+     * Header-inline entry to readLine for the interpreter hot path:
+     * a repeat access to the line touched last time replays the hit
+     * effects (hit stat, LRU bump, hit latency) right here, without
+     * the cross-TU call into findOrFill; anything else falls through
+     * to readLine. Simulated behaviour is identical by construction —
+     * this is the same memo findOrFill itself checks first.
+     */
+    LineAccess
+    readLineFast(std::uint64_t paddr)
+    {
+        std::uint64_t line_key = paddr >> kLineShift;
+        if (line_key == last_line_key_ && last_way_->valid &&
+            last_way_->addr_tag == (line_key >> set_shift_)) {
+            ++*hits_;
+            last_way_->lru = ++lru_clock_;
+            return {&last_way_->line, config_.hit_latency};
+        }
+        return readLine(paddr);
+    }
+
+    /** Header-inline entry to storeAccess, same contract as
+     *  readLineFast: the memo-hit case replays both halves of the
+     *  read-modify-write here, everything else falls through. */
+    mem::TaggedLine &
+    storeAccessFast(std::uint64_t paddr, std::uint64_t &cycles)
+    {
+        std::uint64_t line_key = paddr >> kLineShift;
+        if (line_key == last_line_key_ && last_way_->valid &&
+            last_way_->addr_tag == (line_key >> set_shift_)) {
+            *hits_ += 2; // read half + guaranteed-hit write half
+            lru_clock_ += 2;
+            last_way_->lru = lru_clock_;
+            cycles += 2 * config_.hit_latency;
+            last_way_->dirty = true;
+            return last_way_->line;
+        }
+        return storeAccess(paddr, cycles);
+    }
+
+    /**
+     * Combined sub-line store access: equivalent to readLine(paddr)
+     * followed by writeLine(paddr, modified) — the second access is a
+     * guaranteed hit on the just-touched line, so its stat bump, LRU
+     * update, and hit latency are applied directly. Returns the line
+     * for in-place modification (caller must not grow the access past
+     * the line); the line is marked dirty. Saves the second set scan
+     * and two 32-byte copies on every store.
+     */
+    mem::TaggedLine &storeAccess(std::uint64_t paddr,
+                                 std::uint64_t &cycles);
+
     /** Write back every dirty line and invalidate (context purge). */
     void flush();
+
+    // --- coherence probes (no stats, no LRU effect, no cycles) ---
+    // Used by the hierarchy to keep instruction fetch coherent with
+    // stores; they model snoop machinery, not timed accesses.
+
+    /** True when the line containing paddr is resident. */
+    bool contains(std::uint64_t paddr) const;
+
+    /** The resident line iff it is dirty, else nullptr. */
+    const mem::TaggedLine *peekDirtyLine(std::uint64_t paddr) const;
+
+    /** Drop the line containing paddr, writing it back first if dirty. */
+    void invalidateLine(std::uint64_t paddr);
 
     const support::StatSet &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
@@ -134,15 +212,42 @@ class Cache : public LineSource
     /** Locate (and on miss, fill) the way holding paddr's line. */
     Way &findOrFill(std::uint64_t paddr, std::uint64_t &cycles);
 
-    std::uint64_t setIndex(std::uint64_t paddr) const;
-    std::uint64_t addrTag(std::uint64_t paddr) const;
+    // Set count is a power of two, so indexing is shift/mask — no
+    // per-access division on the hot path.
+    std::uint64_t setIndex(std::uint64_t paddr) const
+    {
+        return (paddr >> kLineShift) & set_mask_;
+    }
+    std::uint64_t addrTag(std::uint64_t paddr) const
+    {
+        return (paddr >> kLineShift) >> set_shift_;
+    }
 
     CacheConfig config_;
     LineSource &below_;
     std::uint64_t num_sets_;
-    std::vector<std::vector<Way>> sets_;
+    std::uint64_t set_mask_ = 0;
+    unsigned set_shift_ = 0;
+    /** All ways, flattened: set s occupies [s*ways, (s+1)*ways). */
+    std::vector<Way> ways_;
     std::uint64_t lru_clock_ = 0;
+    /**
+     * One-entry memo of the most recently touched line: repeat
+     * accesses replay the hit effects (hit stat, LRU bump, hit
+     * latency) without rescanning the set. Sound because the memo is
+     * only trusted after re-checking valid + addr_tag on the
+     * remembered way, which any eviction, invalidation, or flush
+     * falsifies.
+     */
+    std::uint64_t last_line_key_ = ~0ULL; ///< paddr >> kLineShift
+    Way *last_way_ = nullptr;
     support::StatSet stats_;
+    // Pre-resolved counter slots; bumping these avoids a string
+    // concatenation plus map lookup on every access (see
+    // StatSet::counter for the lifetime guarantee).
+    std::uint64_t *hits_ = nullptr;
+    std::uint64_t *misses_ = nullptr;
+    std::uint64_t *writebacks_ = nullptr;
 };
 
 } // namespace cheri::cache

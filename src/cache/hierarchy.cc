@@ -11,63 +11,43 @@ CacheHierarchy::CacheHierarchy(mem::TagManager &manager,
     : dram_(manager, config.dram), l2_(config.l2, dram_),
       l1i_(config.l1i, l2_), l1d_(config.l1d, l2_)
 {
+    // ~0 is never a line address; 0 is (physical line 0).
+    fetched_lines_.fill(~0ULL);
+    written_lines_.fill(~0ULL);
+    static_assert(std::tuple_size_v<decltype(fetched_lines_)> ==
+                  std::tuple_size_v<decltype(written_lines_)>);
 }
 
 void
-CacheHierarchy::checkContained(std::uint64_t paddr, unsigned size) const
+CacheHierarchy::straddlePanic(std::uint64_t paddr, unsigned size) const
 {
-    if (paddr / mem::kLineBytes !=
-        (paddr + size - 1) / mem::kLineBytes) {
-        support::panic("access [0x%llx, +%u) straddles a cache line",
-                       static_cast<unsigned long long>(paddr), size);
-    }
+    support::panic("access [0x%llx, +%u) straddles a cache line",
+                   static_cast<unsigned long long>(paddr), size);
 }
 
 std::uint32_t
 CacheHierarchy::fetch32(std::uint64_t paddr, std::uint64_t &cycles)
 {
     checkContained(paddr, 4);
-    LineAccess access = l1i_.readLine(paddr);
-    cycles += access.cycles;
+    const mem::TaggedLine *line = fetchLine(paddr, cycles);
     std::uint64_t offset = paddr % mem::kLineBytes;
     std::uint32_t word = 0;
     for (unsigned i = 0; i < 4; ++i) {
-        word |= static_cast<std::uint32_t>(access.line.data[offset + i])
+        word |= static_cast<std::uint32_t>(line->data[offset + i])
                 << (8 * i);
     }
     return word;
 }
 
-std::uint64_t
-CacheHierarchy::read(std::uint64_t paddr, unsigned size,
-                     std::uint64_t &cycles)
-{
-    checkContained(paddr, size);
-    LineAccess access = l1d_.readLine(paddr);
-    cycles += access.cycles;
-    std::uint64_t offset = paddr % mem::kLineBytes;
-    std::uint64_t value = 0;
-    for (unsigned i = 0; i < size; ++i) {
-        value |= static_cast<std::uint64_t>(access.line.data[offset + i])
-                 << (8 * i);
-    }
-    return value;
-}
-
 void
-CacheHierarchy::write(std::uint64_t paddr, unsigned size,
-                      std::uint64_t value, std::uint64_t &cycles)
+CacheHierarchy::fetchCoherencePush(std::uint64_t paddr,
+                                   std::uint64_t line_addr)
 {
-    checkContained(paddr, size);
-    LineAccess access = l1d_.readLine(paddr);
-    cycles += access.cycles;
-    mem::TaggedLine line = access.line;
-    std::uint64_t offset = paddr % mem::kLineBytes;
-    for (unsigned i = 0; i < size; ++i)
-        line.data[offset + i] =
-            static_cast<std::uint8_t>(value >> (8 * i));
-    line.tag = false; // general-purpose store clears the tag
-    cycles += l1d_.writeLine(paddr, line);
+    if (!l1i_.contains(paddr)) {
+        if (const mem::TaggedLine *dirty = l1d_.peekDirtyLine(paddr)) {
+            l2_.writeLine(line_addr, *dirty); // cost intentionally dropped
+        }
+    }
 }
 
 mem::TaggedLine
@@ -78,7 +58,7 @@ CacheHierarchy::readCapLine(std::uint64_t paddr, std::uint64_t &cycles)
                        static_cast<unsigned long long>(paddr));
     LineAccess access = l1d_.readLine(paddr);
     cycles += access.cycles;
-    return access.line;
+    return *access.line;
 }
 
 void
@@ -90,12 +70,31 @@ CacheHierarchy::writeCapLine(std::uint64_t paddr,
         support::panic("capability store at unaligned 0x%llx",
                        static_cast<unsigned long long>(paddr));
     cycles += l1d_.writeLine(paddr, line);
+    noteCodeWriteFiltered(paddr);
+}
+
+void
+CacheHierarchy::noteCodeWrite(std::uint64_t paddr)
+{
+    // The L1I never holds dirty lines, so dropping its copy is silent:
+    // no writeback, no stats, no cycles. The next fetch re-misses and
+    // picks the new bytes up from the L2 (or via the dirty-push in
+    // fetchLine), in both decode-cache modes alike.
+    l1i_.invalidateLine(paddr);
+    fetched_lines_[(paddr >> kLineShift) & (fetched_lines_.size() - 1)] =
+        ~0ULL;
+    if (fetch_listener_ != nullptr) {
+        fetch_listener_->onCodeLineModified(
+            support::roundDown(paddr, mem::kLineBytes));
+    }
 }
 
 void
 CacheHierarchy::flushAll()
 {
     // L1s first so their dirty lines land in L2 before L2 drains.
+    fetched_lines_.fill(~0ULL);
+    written_lines_.fill(~0ULL);
     l1i_.flush();
     l1d_.flush();
     l2_.flush();
@@ -106,8 +105,7 @@ CacheHierarchy::collectStats() const
 {
     support::StatSet merged;
     for (const Cache *cache : {&l1i_, &l1d_, &l2_})
-        for (const auto &[name, value] : cache->stats().all())
-            merged.add(name, value);
+        merged.merge(cache->stats());
     merged.add("dram.transactions", dram_.transactions());
     return merged;
 }

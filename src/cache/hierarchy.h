@@ -11,6 +11,7 @@
 #ifndef CHERI_CACHE_HIERARCHY_H
 #define CHERI_CACHE_HIERARCHY_H
 
+#include <array>
 #include <cstdint>
 #include <memory>
 
@@ -20,6 +21,21 @@
 
 namespace cheri::cache
 {
+
+/**
+ * Notified when a store touches a physical line that may hold code,
+ * so fetch-side structures above the hierarchy (the CPU's predecoded
+ * instruction cache) can drop stale decodes. Purely a host-side
+ * coherence hook: it carries no simulated cost.
+ */
+class FetchInvalidationListener
+{
+  public:
+    virtual ~FetchInvalidationListener() = default;
+
+    /** line_paddr is the 32-byte-aligned address of the stored-to line. */
+    virtual void onCodeLineModified(std::uint64_t line_paddr) = 0;
+};
 
 /** Geometry of the full hierarchy (paper defaults, Sections 8/9). */
 struct HierarchyConfig
@@ -44,17 +60,70 @@ class CacheHierarchy
     /** Instruction fetch of one 32-bit word through the L1I. */
     std::uint32_t fetch32(std::uint64_t paddr, std::uint64_t &cycles);
 
+    /**
+     * Instruction fetch of the whole 32-byte line containing paddr
+     * through the L1I (used by the CPU's predecode fill, which wants
+     * every slot of the line at once). Timing and stats are identical
+     * to fetch32 at the same address: one L1I line access. The
+     * returned pointer is valid until the next hierarchy operation.
+     * Inline: this runs once per simulated instruction.
+     */
+    const mem::TaggedLine *
+    fetchLine(std::uint64_t paddr, std::uint64_t &cycles)
+    {
+        std::uint64_t line_addr = paddr & ~(mem::kLineBytes - 1ULL);
+        std::uint64_t index =
+            (line_addr >> kLineShift) & (fetched_lines_.size() - 1);
+        std::uint64_t &slot = fetched_lines_[index];
+        if (slot != line_addr) {
+            fetchCoherencePush(paddr, line_addr);
+            slot = line_addr;
+            // This line is (about to be) L1I-resident again: the next
+            // store to it must run the full noteCodeWrite.
+            written_lines_[index] = ~0ULL;
+        }
+        LineAccess access = l1i_.readLineFast(paddr);
+        cycles += access.cycles;
+        return access.line;
+    }
+
     /** General-purpose load of 1/2/4/8 bytes (tag-oblivious). */
-    std::uint64_t read(std::uint64_t paddr, unsigned size,
-                       std::uint64_t &cycles);
+    std::uint64_t
+    read(std::uint64_t paddr, unsigned size, std::uint64_t &cycles)
+    {
+        checkContained(paddr, size);
+        LineAccess access = l1d_.readLineFast(paddr);
+        cycles += access.cycles;
+        std::uint64_t offset = paddr % mem::kLineBytes;
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < size; ++i) {
+            value |= static_cast<std::uint64_t>(
+                         access.line->data[offset + i])
+                     << (8 * i);
+        }
+        return value;
+    }
 
     /**
      * General-purpose store of 1/2/4/8 bytes. Clears the capability
      * tag of the containing line — the architectural guarantee that
      * data writes cannot forge capabilities.
      */
-    void write(std::uint64_t paddr, unsigned size, std::uint64_t value,
-               std::uint64_t &cycles);
+    void
+    write(std::uint64_t paddr, unsigned size, std::uint64_t value,
+          std::uint64_t &cycles)
+    {
+        checkContained(paddr, size);
+        // Combined read-modify-write: same simulated effects as a
+        // readLine followed by a writeLine of the modified copy.
+        mem::TaggedLine &line = l1d_.storeAccessFast(paddr, cycles);
+        std::uint64_t offset = paddr % mem::kLineBytes;
+        for (unsigned i = 0; i < size; ++i)
+            line.data[offset + i] =
+                static_cast<std::uint8_t>(value >> (8 * i));
+        line.tag = false; // general-purpose store clears the tag
+        noteCodeWriteFiltered(paddr);
+    }
 
     /** Capability load: the full 257-bit line (CLC). */
     mem::TaggedLine readCapLine(std::uint64_t paddr,
@@ -75,17 +144,101 @@ class CacheHierarchy
 
     void resetStats();
 
+    /**
+     * Register the (single) listener told about stores into lines
+     * that may hold code; nullptr detaches. See
+     * FetchInvalidationListener.
+     */
+    void setFetchListener(FetchInvalidationListener *listener)
+    {
+        fetch_listener_ = listener;
+    }
+
     Cache &l1i() { return l1i_; }
     Cache &l1d() { return l1d_; }
     Cache &l2() { return l2_; }
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
 
   private:
-    void checkContained(std::uint64_t paddr, unsigned size) const;
+    void
+    checkContained(std::uint64_t paddr, unsigned size) const
+    {
+        if (paddr / mem::kLineBytes !=
+            (paddr + size - 1) / mem::kLineBytes)
+            straddlePanic(paddr, size);
+    }
+
+    [[noreturn]] void straddlePanic(std::uint64_t paddr,
+                                    unsigned size) const;
+
+    /**
+     * Fetch-side half of fetch coherence (cold path of fetchLine): if
+     * the L1I is about to refill this line, make sure a dirty L1D copy
+     * (self-modifying code whose stores have not left the L1D) reaches
+     * the shared L2 first, so the refill observes the new bytes. The
+     * push models snoop hardware and costs no simulated cycles; it
+     * happens on the same occasions in both decode-cache modes.
+     */
+    void fetchCoherencePush(std::uint64_t paddr,
+                            std::uint64_t line_addr);
+
+    /**
+     * Store-side half of fetch coherence: invalidate any L1I copy of
+     * the stored-to line (the L1I never holds dirty lines, so this is
+     * a silent drop) and notify the fetch listener. Modelled as part
+     * of the store pipeline — no extra simulated cycles — and runs
+     * identically whether or not the CPU's decode cache is enabled,
+     * so timing cannot diverge between the two modes.
+     */
+    void noteCodeWrite(std::uint64_t paddr);
+
+    /**
+     * Per-store entry to noteCodeWrite. A hit in written_lines_ means
+     * this line was already noted since the last fetch of it, so the
+     * L1I copy is gone, the decode-cache entry is cleared, and neither
+     * can have been refilled (only a fetch refills them, and a fetch
+     * clears the slot) — the whole notification is a no-op and is
+     * skipped. noteCodeWrite has no simulated effects (the L1I never
+     * holds dirty lines, so the invalidation is silent), and the skip
+     * criterion depends only on the store/fetch stream, so timing
+     * invariance between decode-cache modes is preserved.
+     */
+    void
+    noteCodeWriteFiltered(std::uint64_t paddr)
+    {
+        std::uint64_t line_addr = paddr & ~(mem::kLineBytes - 1ULL);
+        std::uint64_t &slot =
+            written_lines_[(line_addr >> kLineShift) &
+                           (written_lines_.size() - 1)];
+        if (slot != line_addr) {
+            noteCodeWrite(paddr);
+            slot = line_addr;
+        }
+    }
 
     DramSource dram_;
     Cache l2_;
     Cache l1i_;
     Cache l1d_;
+    FetchInvalidationListener *fetch_listener_ = nullptr;
+
+    // Direct-mapped memo of recently fetched line addresses (64
+    // entries, indexed by line number). A hit means the line was
+    // fetched since the last store to it (noteCodeWrite clears the
+    // matching slot) and since the last flush, so the dirty-push
+    // probe in fetchLine can be skipped: any dirty L1D copy of the
+    // line predates that earlier fetch, whose probe already pushed
+    // the bytes to the L2, and no store has dirtied it since. The
+    // probe itself has no simulated effects and the skip criterion
+    // depends only on the fetch/store stream — identical in both
+    // decode-cache modes — so timing invariance is preserved.
+    std::array<std::uint64_t, 64> fetched_lines_{};
+
+    // Companion memo for the store side (see noteCodeWriteFiltered):
+    // lines whose modification has been noted since their last fetch.
+    std::array<std::uint64_t, 64> written_lines_{};
 };
 
 } // namespace cheri::cache

@@ -113,46 +113,4 @@ unseal(const Capability &cap, const Capability &authority)
     return {CapCause::kNone, out};
 }
 
-CapCause
-checkDataAccess(const Capability &cap, std::uint64_t offset,
-                std::uint64_t size, std::uint32_t perm,
-                bool require_alignment)
-{
-    if (!cap.tag())
-        return CapCause::kTagViolation;
-    if (cap.sealed())
-        return CapCause::kSealViolation;
-    if (!cap.hasPerms(perm)) {
-        if (perm & kPermStoreCap)
-            return CapCause::kPermitStoreCapViolation;
-        if (perm & kPermLoadCap)
-            return CapCause::kPermitLoadCapViolation;
-        if (perm & kPermStore)
-            return CapCause::kPermitStoreViolation;
-        if (perm & kPermLoad)
-            return CapCause::kPermitLoadViolation;
-        return CapCause::kPermitLoadViolation;
-    }
-    std::uint64_t addr = effectiveAddress(cap, offset);
-    if (!cap.covers(addr, size))
-        return CapCause::kLengthViolation;
-    if (require_alignment && size != 0 && addr % size != 0)
-        return CapCause::kAlignmentViolation;
-    return CapCause::kNone;
-}
-
-CapCause
-checkFetch(const Capability &pcc, std::uint64_t pc)
-{
-    if (!pcc.tag())
-        return CapCause::kTagViolation;
-    if (pcc.sealed())
-        return CapCause::kSealViolation;
-    if (!pcc.hasPerms(kPermExecute))
-        return CapCause::kPermitExecuteViolation;
-    if (!pcc.covers(pc, 4))
-        return CapCause::kLengthViolation;
-    return CapCause::kNone;
-}
-
 } // namespace cheri::cap

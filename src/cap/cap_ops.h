@@ -88,16 +88,53 @@ CapOpResult unseal(const Capability &cap, const Capability &authority);
  * is set (capability loads/stores), the effective address must be
  * size-aligned.
  */
-CapCause checkDataAccess(const Capability &cap, std::uint64_t offset,
-                         std::uint64_t size, std::uint32_t perm,
-                         bool require_alignment = false);
+inline CapCause
+checkDataAccess(const Capability &cap, std::uint64_t offset,
+                std::uint64_t size, std::uint32_t perm,
+                bool require_alignment = false)
+{
+    if (!cap.tag())
+        return CapCause::kTagViolation;
+    if (cap.sealed())
+        return CapCause::kSealViolation;
+    if (!cap.hasPerms(perm)) {
+        if (perm & kPermStoreCap)
+            return CapCause::kPermitStoreCapViolation;
+        if (perm & kPermLoadCap)
+            return CapCause::kPermitLoadCapViolation;
+        if (perm & kPermStore)
+            return CapCause::kPermitStoreViolation;
+        if (perm & kPermLoad)
+            return CapCause::kPermitLoadViolation;
+        return CapCause::kPermitLoadViolation;
+    }
+    std::uint64_t addr = cap.base() + offset;
+    if (!cap.covers(addr, size))
+        return CapCause::kLengthViolation;
+    if (require_alignment && size != 0 && addr % size != 0)
+        return CapCause::kAlignmentViolation;
+    return CapCause::kNone;
+}
 
 /**
  * Check an instruction fetch of 4 bytes at absolute address pc against
  * the program-counter capability (Section 4.4: the implementation
- * validates an absolute PC against PCC).
+ * validates an absolute PC against PCC). Inline: this runs once per
+ * simulated instruction.
  */
-CapCause checkFetch(const Capability &pcc, std::uint64_t pc);
+inline CapCause
+checkFetch(const Capability &pcc, std::uint64_t pc)
+{
+    if (!pcc.tag())
+        return CapCause::kTagViolation;
+    if (pcc.sealed())
+        return CapCause::kSealViolation;
+    if (!pcc.hasPerms(kPermExecute))
+        return CapCause::kPermitExecuteViolation;
+    if (!pcc.covers(pc, 4))
+        return CapCause::kLengthViolation;
+    return CapCause::kNone;
+}
 
 /** Effective address of a capability-relative access (wrapping). */
 inline std::uint64_t

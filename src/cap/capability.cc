@@ -7,24 +7,6 @@
 namespace cheri::cap
 {
 
-std::uint64_t
-Capability::word(unsigned index) const
-{
-    std::uint64_t value = 0;
-    for (unsigned i = 0; i < 8; ++i) {
-        value |= static_cast<std::uint64_t>(raw_[index * 8 + i])
-                 << (8 * i);
-    }
-    return value;
-}
-
-void
-Capability::setWord(unsigned index, std::uint64_t value)
-{
-    for (unsigned i = 0; i < 8; ++i)
-        raw_[index * 8 + i] = static_cast<std::uint8_t>(value >> (8 * i));
-}
-
 Capability
 Capability::make(std::uint64_t base, std::uint64_t length,
                  std::uint32_t perms)
@@ -70,28 +52,6 @@ Capability::setSealedRaw(bool sealed, std::uint64_t otype)
     if (sealed)
         w |= (1ULL << 31) | ((otype & 0xffffff) << 32);
     setWord(0, w);
-}
-
-std::uint64_t
-Capability::top() const
-{
-    std::uint64_t b = base();
-    std::uint64_t l = length();
-    std::uint64_t t = b + l;
-    if (t < b) // overflow: saturate at the top of the address space
-        return std::numeric_limits<std::uint64_t>::max();
-    return t;
-}
-
-bool
-Capability::covers(std::uint64_t addr, std::uint64_t size) const
-{
-    if (addr < base())
-        return false;
-    std::uint64_t end = addr + size;
-    if (end < addr) // wrapped
-        return false;
-    return end <= top();
 }
 
 std::string

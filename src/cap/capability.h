@@ -79,10 +79,27 @@ class Capability
     std::uint64_t otype() const { return (word(0) >> 32) & 0xffffff; }
 
     /** One-past-the-end address; saturates at 2^64-1. */
-    std::uint64_t top() const;
+    std::uint64_t
+    top() const
+    {
+        std::uint64_t b = base();
+        std::uint64_t t = b + length();
+        if (t < b) // overflow: saturate at the top of the address space
+            return ~0ULL;
+        return t;
+    }
 
     /** True when [addr, addr+size) falls inside [base, top). */
-    bool covers(std::uint64_t addr, std::uint64_t size) const;
+    bool
+    covers(std::uint64_t addr, std::uint64_t size) const
+    {
+        if (addr < base())
+            return false;
+        std::uint64_t end = addr + size;
+        if (end < addr) // wrapped
+            return false;
+        return end <= top();
+    }
 
     /** True when every permission in mask is granted. */
     bool
@@ -110,8 +127,28 @@ class Capability
     std::string toString() const;
 
   private:
-    std::uint64_t word(unsigned index) const;
-    void setWord(unsigned index, std::uint64_t value);
+    // Inline so field reads on the check-per-instruction hot path
+    // (checkFetch, covers) compile down to single loads — the
+    // byte-assembly loop keeps the image's serialization endianness
+    // explicit and optimizers collapse it.
+    std::uint64_t
+    word(unsigned index) const
+    {
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < 8; ++i) {
+            value |= static_cast<std::uint64_t>(raw_[index * 8 + i])
+                     << (8 * i);
+        }
+        return value;
+    }
+
+    void
+    setWord(unsigned index, std::uint64_t value)
+    {
+        for (unsigned i = 0; i < 8; ++i)
+            raw_[index * 8 + i] =
+                static_cast<std::uint8_t>(value >> (8 * i));
+    }
 
     std::array<std::uint8_t, kCapBytes> raw_{};
     bool tag_ = false;

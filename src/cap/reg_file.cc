@@ -37,7 +37,7 @@ void
 CapRegFile::restore(const Snapshot &snapshot)
 {
     regs_ = snapshot.regs;
-    pcc_ = snapshot.pcc;
+    setPcc(snapshot.pcc);
 }
 
 } // namespace cheri::cap

@@ -44,7 +44,20 @@ class CapRegFile
     const Capability &pcc() const { return pcc_; }
 
     /** Replace PCC (jumps, domain transitions, reset). */
-    void setPcc(const Capability &value) { pcc_ = value; }
+    void
+    setPcc(const Capability &value)
+    {
+        pcc_ = value;
+        ++pcc_version_;
+    }
+
+    /**
+     * Counts every PCC replacement (setPcc, restore). Lets the CPU
+     * cache values derived from PCC — the fetch bounds check — and
+     * refresh them only when PCC has actually changed, which is once
+     * per jump/domain crossing rather than once per instruction.
+     */
+    std::uint64_t pccVersion() const { return pcc_version_; }
 
     /**
      * Snapshot/restore of the full CP2 state: what the kernel saves on
@@ -62,6 +75,7 @@ class CapRegFile
   private:
     std::array<Capability, kNumCapRegs> regs_;
     Capability pcc_;
+    std::uint64_t pcc_version_ = 0;
 };
 
 } // namespace cheri::cap

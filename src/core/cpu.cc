@@ -27,8 +27,54 @@ sext32(std::uint64_t value)
 
 Cpu::Cpu(cache::CacheHierarchy &memory, tlb::Tlb &tlb, CpuTiming timing)
     : memory_(memory), tlb_(tlb), timing_(timing),
-      predictor_(timing.predictor_entries, 1) // weakly not-taken
+      predictor_(timing.predictor_entries, 1), // weakly not-taken
+      decode_cache_(kDecodeCacheLines)
 {
+    memory_.setFetchListener(this);
+    stat_alu_ = &stats_.counter("inst.alu");
+    stat_muldiv_ = &stats_.counter("inst.muldiv");
+    stat_branch_ = &stats_.counter("inst.branch");
+    stat_syscall_ = &stats_.counter("inst.syscall");
+    stat_break_ = &stats_.counter("inst.break");
+    stat_mem_ = &stats_.counter("inst.mem");
+    stat_capmem_ = &stats_.counter("inst.capmem");
+    stat_cp2_ = &stats_.counter("inst.cp2");
+    stat_mispredicts_ = &stats_.counter("branch.mispredicts");
+}
+
+Cpu::~Cpu()
+{
+    memory_.setFetchListener(nullptr);
+}
+
+const isa::Instruction &
+Cpu::fetchDecoded(std::uint64_t paddr, std::uint64_t &cycles)
+{
+    std::uint64_t line_addr = paddr & ~(mem::kLineBytes - 1);
+    std::size_t slot = (paddr % mem::kLineBytes) / 4;
+    DecodedLine &entry = decode_cache_[decodeIndex(line_addr)];
+    if (entry.line_paddr == line_addr &&
+        entry.generation == decode_generation_) {
+        // Hit: still perform the L1I line access the simple path
+        // makes (stats, LRU, fill, cycles); only the byte reassembly
+        // and decode are skipped.
+        memory_.fetchLine(paddr, cycles);
+        return entry.slots[slot];
+    }
+    const mem::TaggedLine *line = memory_.fetchLine(paddr, cycles);
+    isa::decodeLine(line->data.data(), entry.slots.data(),
+                    kSlotsPerLine);
+    entry.line_paddr = line_addr;
+    entry.generation = decode_generation_;
+    return entry.slots[slot];
+}
+
+void
+Cpu::onCodeLineModified(std::uint64_t line_paddr)
+{
+    DecodedLine &entry = decode_cache_[decodeIndex(line_paddr)];
+    if (entry.line_paddr == line_paddr)
+        entry.line_paddr = ~0ULL;
 }
 
 void
@@ -39,7 +85,7 @@ Cpu::predictBranch(bool taken)
     bool predicted_taken = counter >= 2;
     if (predicted_taken != taken) {
         cycles_ += timing_.branch_mispredict_cycles;
-        stats_.add("branch.mispredicts");
+        ++*stat_mispredicts_;
     }
     if (taken && counter < 3)
         ++counter;
@@ -168,9 +214,19 @@ Cpu::step()
         caps_.setPcc(pending_pcc_);
 
     // --- fetch ---
-    CapCause fetch_cause = cap::checkFetch(caps_.pcc(), pc_);
-    if (fetch_cause != CapCause::kNone) {
-        raiseCap(fetch_cause, kCapRegPcc, pc_);
+    if (pcc_version_seen_ != caps_.pccVersion()) {
+        pcc_version_seen_ = caps_.pccVersion();
+        const cap::Capability &pcc = caps_.pcc();
+        pcc_fetch_ok_ = pcc.tag() && !pcc.sealed() &&
+                        pcc.hasPerms(cap::kPermExecute);
+        pcc_fetch_base_ = pcc.base();
+        pcc_fetch_top_ = pcc.top();
+    }
+    // Exactly cap::checkFetch(pcc, pc_) against the cached window; the
+    // full check reruns on failure to name the architectural cause.
+    if (!pcc_fetch_ok_ || pc_ < pcc_fetch_base_ || pc_ + 4 < pc_ ||
+        pc_ + 4 > pcc_fetch_top_) {
+        raiseCap(cap::checkFetch(caps_.pcc(), pc_), kCapRegPcc, pc_);
         outcome.trapped = true;
         return outcome;
     }
@@ -179,7 +235,10 @@ Cpu::step()
         outcome.trapped = true;
         return outcome;
     }
-    tlb::TlbResult fetch_tr = tlb_.translate(pc_, tlb::Access::kFetch);
+    tlb::TlbResult fetch_tr =
+        decode_cache_enabled_
+            ? tlb_.translateFetch(pc_, fetch_hint_)
+            : tlb_.translate(pc_, tlb::Access::kFetch);
     cycles_ += fetch_tr.penalty_cycles;
     if (!fetch_tr.ok()) {
         raise(ExcCode::kTlbLoad, pc_);
@@ -187,11 +246,21 @@ Cpu::step()
         return outcome;
     }
     // L1I hits overlap with the fetch stage; only the stall beyond
-    // the hit latency costs cycles.
+    // the hit latency costs cycles. Both arms perform exactly one L1I
+    // line access, so fetch_cycles is mode-independent.
     std::uint64_t fetch_cycles = 0;
-    std::uint32_t word = memory_.fetch32(fetch_tr.paddr, fetch_cycles);
+    Instruction decoded_word;
+    const Instruction *inst_ptr;
+    if (decode_cache_enabled_) {
+        inst_ptr = &fetchDecoded(fetch_tr.paddr, fetch_cycles);
+    } else {
+        std::uint32_t word =
+            memory_.fetch32(fetch_tr.paddr, fetch_cycles);
+        decoded_word = isa::decode(word);
+        inst_ptr = &decoded_word;
+    }
     cycles_ += fetch_cycles > 0 ? fetch_cycles - 1 : 0;
-    Instruction inst = isa::decode(word);
+    const Instruction &inst = *inst_ptr;
     if (trace_hook_)
         trace_hook_(current_pc_, inst);
 
@@ -265,73 +334,73 @@ Cpu::execute(const Instruction &inst)
     switch (inst.op) {
       // --- shifts ---
       case Opcode::kSll:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, sext32(static_cast<std::uint32_t>(rt) << inst.sa));
         break;
       case Opcode::kSrl:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, sext32(static_cast<std::uint32_t>(rt) >> inst.sa));
         break;
       case Opcode::kSra:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd,
                sext32(static_cast<std::uint32_t>(
                    static_cast<std::int32_t>(rt) >> inst.sa)));
         break;
       case Opcode::kSllv:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd,
                sext32(static_cast<std::uint32_t>(rt) << (rs & 31)));
         break;
       case Opcode::kSrlv:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd,
                sext32(static_cast<std::uint32_t>(rt) >> (rs & 31)));
         break;
       case Opcode::kSrav:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd,
                sext32(static_cast<std::uint32_t>(
                    static_cast<std::int32_t>(rt) >>
                    static_cast<int>(rs & 31))));
         break;
       case Opcode::kDsll:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, rt << inst.sa);
         break;
       case Opcode::kDsrl:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, rt >> inst.sa);
         break;
       case Opcode::kDsra:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, static_cast<std::uint64_t>(
                             static_cast<std::int64_t>(rt) >> inst.sa));
         break;
       case Opcode::kDsll32:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, rt << (inst.sa + 32));
         break;
       case Opcode::kDsrl32:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, rt >> (inst.sa + 32));
         break;
       case Opcode::kDsra32:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd,
                static_cast<std::uint64_t>(static_cast<std::int64_t>(rt) >>
                                           (inst.sa + 32)));
         break;
       case Opcode::kDsllv:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, rt << (rs & 63));
         break;
       case Opcode::kDsrlv:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, rt >> (rs & 63));
         break;
       case Opcode::kDsrav:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd,
                static_cast<std::uint64_t>(static_cast<std::int64_t>(rt) >>
                                           static_cast<int>(rs & 63)));
@@ -339,60 +408,60 @@ Cpu::execute(const Instruction &inst)
 
       // --- ALU register ---
       case Opcode::kAddu:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, sext32(rs + rt));
         break;
       case Opcode::kDaddu:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, rs + rt);
         break;
       case Opcode::kSubu:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, sext32(rs - rt));
         break;
       case Opcode::kDsubu:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, rs - rt);
         break;
       case Opcode::kAnd:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, rs & rt);
         break;
       case Opcode::kOr:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, rs | rt);
         break;
       case Opcode::kXor:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, rs ^ rt);
         break;
       case Opcode::kNor:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, ~(rs | rt));
         break;
       case Opcode::kSlt:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, static_cast<std::int64_t>(rs) <
                                 static_cast<std::int64_t>(rt)
                             ? 1
                             : 0);
         break;
       case Opcode::kSltu:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, rs < rt ? 1 : 0);
         break;
       case Opcode::kMovz:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         if (rt == 0)
             setGpr(inst.rd, rs);
         break;
       case Opcode::kMovn:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         if (rt != 0)
             setGpr(inst.rd, rs);
         break;
       case Opcode::kDmult: {
-        stats_.add("inst.muldiv");
+        ++*stat_muldiv_;
         cycles_ += timing_.mult_cycles;
         __int128 product = static_cast<__int128>(
                                static_cast<std::int64_t>(rs)) *
@@ -402,7 +471,7 @@ Cpu::execute(const Instruction &inst)
         break;
       }
       case Opcode::kDmultu: {
-        stats_.add("inst.muldiv");
+        ++*stat_muldiv_;
         cycles_ += timing_.mult_cycles;
         unsigned __int128 product =
             static_cast<unsigned __int128>(rs) * rt;
@@ -411,7 +480,7 @@ Cpu::execute(const Instruction &inst)
         break;
       }
       case Opcode::kDdiv:
-        stats_.add("inst.muldiv");
+        ++*stat_muldiv_;
         cycles_ += timing_.div_cycles;
         if (rt != 0) {
             lo_ = static_cast<std::uint64_t>(
@@ -423,7 +492,7 @@ Cpu::execute(const Instruction &inst)
         }
         break;
       case Opcode::kDdivu:
-        stats_.add("inst.muldiv");
+        ++*stat_muldiv_;
         cycles_ += timing_.div_cycles;
         if (rt != 0) {
             lo_ = rs / rt;
@@ -431,33 +500,33 @@ Cpu::execute(const Instruction &inst)
         }
         break;
       case Opcode::kMfhi:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, hi_);
         break;
       case Opcode::kMflo:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rd, lo_);
         break;
 
       // --- ALU immediate ---
       case Opcode::kAddiu:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rt, sext32(rs + static_cast<std::uint64_t>(
                                         static_cast<std::int64_t>(
                                             inst.imm))));
         break;
       case Opcode::kDaddiu:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rt,
                rs + static_cast<std::uint64_t>(
                         static_cast<std::int64_t>(inst.imm)));
         break;
       case Opcode::kSlti:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rt, static_cast<std::int64_t>(rs) < inst.imm ? 1 : 0);
         break;
       case Opcode::kSltiu:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rt,
                rs < static_cast<std::uint64_t>(
                         static_cast<std::int64_t>(inst.imm))
@@ -465,22 +534,22 @@ Cpu::execute(const Instruction &inst)
                    : 0);
         break;
       case Opcode::kAndi:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rt, rs & (static_cast<std::uint32_t>(inst.imm) &
                               0xffff));
         break;
       case Opcode::kOri:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rt, rs | (static_cast<std::uint32_t>(inst.imm) &
                               0xffff));
         break;
       case Opcode::kXori:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rt, rs ^ (static_cast<std::uint32_t>(inst.imm) &
                               0xffff));
         break;
       case Opcode::kLui:
-        stats_.add("inst.alu");
+        ++*stat_alu_;
         setGpr(inst.rt, signExtend(
                             static_cast<std::uint64_t>(inst.imm & 0xffff)
                                 << 16,
@@ -489,27 +558,27 @@ Cpu::execute(const Instruction &inst)
 
       // --- control flow ---
       case Opcode::kJ:
-        stats_.add("inst.branch");
+        ++*stat_branch_;
         branchTo(((current_pc_ + 4) & ~0x0fffffffULL) |
                  (static_cast<std::uint64_t>(inst.target) << 2));
         break;
       case Opcode::kJal:
-        stats_.add("inst.branch");
+        ++*stat_branch_;
         setGpr(31, current_pc_ + 8);
         branchTo(((current_pc_ + 4) & ~0x0fffffffULL) |
                  (static_cast<std::uint64_t>(inst.target) << 2));
         break;
       case Opcode::kJr:
-        stats_.add("inst.branch");
+        ++*stat_branch_;
         branchTo(rs);
         break;
       case Opcode::kJalr:
-        stats_.add("inst.branch");
+        ++*stat_branch_;
         setGpr(inst.rd, current_pc_ + 8);
         branchTo(rs);
         break;
       case Opcode::kBeq: {
-        stats_.add("inst.branch");
+        ++*stat_branch_;
         bool taken = rs == rt;
         predictBranch(taken);
         if (taken)
@@ -518,7 +587,7 @@ Cpu::execute(const Instruction &inst)
         break;
       }
       case Opcode::kBne: {
-        stats_.add("inst.branch");
+        ++*stat_branch_;
         bool taken = rs != rt;
         predictBranch(taken);
         if (taken)
@@ -527,7 +596,7 @@ Cpu::execute(const Instruction &inst)
         break;
       }
       case Opcode::kBlez: {
-        stats_.add("inst.branch");
+        ++*stat_branch_;
         bool taken = static_cast<std::int64_t>(rs) <= 0;
         predictBranch(taken);
         if (taken)
@@ -536,7 +605,7 @@ Cpu::execute(const Instruction &inst)
         break;
       }
       case Opcode::kBgtz: {
-        stats_.add("inst.branch");
+        ++*stat_branch_;
         bool taken = static_cast<std::int64_t>(rs) > 0;
         predictBranch(taken);
         if (taken)
@@ -545,7 +614,7 @@ Cpu::execute(const Instruction &inst)
         break;
       }
       case Opcode::kBltz: {
-        stats_.add("inst.branch");
+        ++*stat_branch_;
         bool taken = static_cast<std::int64_t>(rs) < 0;
         predictBranch(taken);
         if (taken)
@@ -554,7 +623,7 @@ Cpu::execute(const Instruction &inst)
         break;
       }
       case Opcode::kBgez: {
-        stats_.add("inst.branch");
+        ++*stat_branch_;
         bool taken = static_cast<std::int64_t>(rs) >= 0;
         predictBranch(taken);
         if (taken)
@@ -563,7 +632,7 @@ Cpu::execute(const Instruction &inst)
         break;
       }
       case Opcode::kSyscall:
-        stats_.add("inst.syscall");
+        ++*stat_syscall_;
         if (syscall_handler_) {
             syscall_action_ = syscall_handler_(*this);
             syscall_taken_ = true;
@@ -572,7 +641,7 @@ Cpu::execute(const Instruction &inst)
         }
         break;
       case Opcode::kBreak:
-        stats_.add("inst.break");
+        ++*stat_break_;
         break;
 
       // --- memory ---
@@ -610,7 +679,7 @@ Cpu::execute(const Instruction &inst)
 void
 Cpu::executeMemory(const Instruction &inst)
 {
-    stats_.add("inst.mem");
+    ++*stat_mem_;
     unsigned size = 1u << isa::accessSizeLog2(inst.op);
     // Legacy accesses are implicitly offset via C0 (Section 4.1): the
     // integer address is an offset into the C0 segment.
@@ -667,7 +736,7 @@ Cpu::executeMemory(const Instruction &inst)
 void
 Cpu::executeCapMemory(const Instruction &inst)
 {
-    stats_.add("inst.capmem");
+    ++*stat_capmem_;
     std::uint64_t offset =
         gpr_[inst.rt] +
         static_cast<std::uint64_t>(static_cast<std::int64_t>(inst.imm));
@@ -748,7 +817,7 @@ Cpu::executeCp2(const Instruction &inst)
         executeCapMemory(inst);
         return;
     }
-    stats_.add("inst.cp2");
+    ++*stat_cp2_;
 
     switch (inst.op) {
       case Opcode::kCGetBase:
@@ -819,7 +888,7 @@ Cpu::executeCp2(const Instruction &inst)
         break;
       }
       case Opcode::kCBtu: {
-        stats_.add("inst.branch");
+        ++*stat_branch_;
         bool taken = !caps_.read(inst.cb).tag();
         predictBranch(taken);
         if (taken)
@@ -828,7 +897,7 @@ Cpu::executeCp2(const Instruction &inst)
         break;
       }
       case Opcode::kCBts: {
-        stats_.add("inst.branch");
+        ++*stat_branch_;
         bool taken = caps_.read(inst.cb).tag();
         predictBranch(taken);
         if (taken)
@@ -875,7 +944,7 @@ Cpu::executeCp2(const Instruction &inst)
         break;
       case Opcode::kCJr:
       case Opcode::kCJalr: {
-        stats_.add("inst.branch");
+        ++*stat_branch_;
         const cap::Capability &target_cap = caps_.read(inst.cb);
         if (!target_cap.tag()) {
             raiseCap(CapCause::kTagViolation, inst.cb);

@@ -77,8 +77,19 @@ struct SyscallAction
  * The processor. Owns architectural state (integer registers, HI/LO,
  * PC, the CP2 capability register file); references the shared TLB
  * and cache hierarchy.
+ *
+ * The fetch fast path: the CPU keeps a direct-mapped cache of
+ * predecoded instruction lines keyed by physical line address, plus a
+ * TLB fetch hint, so the hot loop skips the per-instruction hash
+ * lookups, byte reassembly, and decode. Every simulated effect of the
+ * simple path (TLB stats and LRU, one L1I line access per fetch,
+ * penalty cycles) is replayed exactly, so cycle counts and stats are
+ * bit-identical with the fast path on or off — only host throughput
+ * changes. Stores into cached lines invalidate the stale decodes via
+ * the hierarchy's FetchInvalidationListener hook, so self-modifying
+ * code decodes fresh bytes in both modes.
  */
-class Cpu
+class Cpu : private cache::FetchInvalidationListener
 {
   public:
     /**
@@ -89,6 +100,10 @@ class Cpu
 
     Cpu(cache::CacheHierarchy &memory, tlb::Tlb &tlb,
         CpuTiming timing = {});
+    ~Cpu() override;
+
+    Cpu(const Cpu &) = delete;
+    Cpu &operator=(const Cpu &) = delete;
 
     // --- architectural state ---
     std::uint64_t gpr(unsigned index) const { return gpr_[index]; }
@@ -122,6 +137,25 @@ class Cpu
     /** Run up to max_instructions; stops early on exit/trap/break. */
     RunResult run(std::uint64_t max_instructions);
 
+    /**
+     * Toggle the fetch fast path (predecoded-instruction cache + TLB
+     * fetch hint). Simulated timing and stats are identical either
+     * way; disabling exists for the throughput benchmark's baseline
+     * and for the timing-invariance tests.
+     */
+    void setDecodeCacheEnabled(bool enabled)
+    {
+        decode_cache_enabled_ = enabled;
+    }
+    bool decodeCacheEnabled() const { return decode_cache_enabled_; }
+
+    /**
+     * Drop every predecoded line. Needed after code is written below
+     * the hierarchy's view (Machine::loadProgram pokes DRAM
+     * directly); per-store invalidation is automatic.
+     */
+    void invalidateDecodeCache() { ++decode_generation_; }
+
     /** Cycles accumulated over the CPU's lifetime. */
     std::uint64_t totalCycles() const { return cycles_; }
     /** Charge extra cycles (OS emulation of trapped instructions). */
@@ -154,6 +188,37 @@ class Cpu
     };
 
     StepOutcome step();
+
+    // --- fetch fast path ---
+
+    /** Direct-mapped predecode cache geometry (covers 32 KB of code,
+     *  twice the modeled L1I, so it is never the bottleneck). */
+    static constexpr std::size_t kDecodeCacheLines = 1024;
+    static constexpr std::size_t kSlotsPerLine = mem::kLineBytes / 4;
+
+    struct DecodedLine
+    {
+        std::uint64_t line_paddr = ~0ULL; ///< aligned; ~0 = invalid
+        std::uint64_t generation = 0;
+        std::array<isa::Instruction, kSlotsPerLine> slots{};
+    };
+
+    static std::size_t decodeIndex(std::uint64_t line_paddr)
+    {
+        return (line_paddr / mem::kLineBytes) & (kDecodeCacheLines - 1);
+    }
+
+    /**
+     * Return the decoded instruction at physical address paddr,
+     * refilling the predecode line on miss. Always performs exactly
+     * one L1I line access (the same one fetch32 would make), so the
+     * simulated cycles and stats match the simple path.
+     */
+    const isa::Instruction &fetchDecoded(std::uint64_t paddr,
+                                         std::uint64_t &cycles);
+
+    /** FetchInvalidationListener: a store hit a (potential) code line. */
+    void onCodeLineModified(std::uint64_t line_paddr) override;
 
     /** Raise a guest exception for the instruction at epc. */
     void raise(ExcCode code, std::uint64_t bad_vaddr = 0);
@@ -223,7 +288,34 @@ class Cpu
     bool syscall_taken_ = false;
     TraceHook trace_hook_;
 
+    // Fetch fast path state.
+    bool decode_cache_enabled_ = true;
+    std::uint64_t decode_generation_ = 0;
+    std::vector<DecodedLine> decode_cache_;
+    tlb::Tlb::FetchHint fetch_hint_;
+
+    // Cached PCC fetch window, refreshed when CapRegFile::pccVersion
+    // moves (once per jump/domain crossing, not once per step). The
+    // per-step bounds check then collapses to two compares; the slow
+    // cap::checkFetch runs only to name the precise cause on failure.
+    std::uint64_t pcc_version_seen_ = ~0ULL;
+    bool pcc_fetch_ok_ = false;
+    std::uint64_t pcc_fetch_base_ = 0;
+    std::uint64_t pcc_fetch_top_ = 0;
+
     support::StatSet stats_;
+    // Pre-resolved per-class instruction counters (see
+    // StatSet::counter); the hot loop bumps one of these per retired
+    // instruction instead of doing a map lookup.
+    std::uint64_t *stat_alu_ = nullptr;
+    std::uint64_t *stat_muldiv_ = nullptr;
+    std::uint64_t *stat_branch_ = nullptr;
+    std::uint64_t *stat_syscall_ = nullptr;
+    std::uint64_t *stat_break_ = nullptr;
+    std::uint64_t *stat_mem_ = nullptr;
+    std::uint64_t *stat_capmem_ = nullptr;
+    std::uint64_t *stat_cp2_ = nullptr;
+    std::uint64_t *stat_mispredicts_ = nullptr;
 };
 
 } // namespace cheri::core

@@ -50,6 +50,10 @@ Machine::loadProgram(std::uint64_t vaddr,
             pte->pfn * tlb::kPageBytes + va % tlb::kPageBytes;
         dram_.write(paddr, 4, words[i]);
     }
+    // The words went into DRAM below the hierarchy's (and the decode
+    // cache's) view; any predecoded lines for recycled frames are now
+    // stale.
+    cpu_.invalidateDecodeCache();
 }
 
 void

@@ -273,4 +273,18 @@ decode(std::uint32_t word)
     return inst;
 }
 
+void
+decodeLine(const std::uint8_t *bytes, Instruction *out,
+           std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        std::uint32_t word = 0;
+        for (unsigned b = 0; b < 4; ++b) {
+            word |= static_cast<std::uint32_t>(bytes[4 * i + b])
+                    << (8 * b);
+        }
+        out[i] = decode(word);
+    }
+}
+
 } // namespace cheri::isa

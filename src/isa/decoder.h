@@ -9,6 +9,7 @@
 #ifndef CHERI_ISA_DECODER_H
 #define CHERI_ISA_DECODER_H
 
+#include <cstddef>
 #include <cstdint>
 
 #include "isa/isa.h"
@@ -18,6 +19,14 @@ namespace cheri::isa
 
 /** Decode one 32-bit instruction word. */
 Instruction decode(std::uint32_t word);
+
+/**
+ * Decode count consecutive little-endian 32-bit words from bytes into
+ * out. Used by the CPU's predecoded-instruction cache to decode a
+ * whole fetched line in one pass.
+ */
+void decodeLine(const std::uint8_t *bytes, Instruction *out,
+                std::size_t count);
 
 } // namespace cheri::isa
 

@@ -61,47 +61,11 @@ Instruction::isCapMemory() const
     }
 }
 
-unsigned
-accessSizeLog2(Opcode op)
+void
+accessSizePanic(Opcode op)
 {
-    switch (op) {
-      case Opcode::kLb:
-      case Opcode::kLbu:
-      case Opcode::kSb:
-      case Opcode::kClb:
-      case Opcode::kClbu:
-      case Opcode::kCsb:
-        return 0;
-      case Opcode::kLh:
-      case Opcode::kLhu:
-      case Opcode::kSh:
-      case Opcode::kClh:
-      case Opcode::kClhu:
-      case Opcode::kCsh:
-        return 1;
-      case Opcode::kLw:
-      case Opcode::kLwu:
-      case Opcode::kSw:
-      case Opcode::kClw:
-      case Opcode::kClwu:
-      case Opcode::kCsw:
-        return 2;
-      case Opcode::kLd:
-      case Opcode::kSd:
-      case Opcode::kLld:
-      case Opcode::kScd:
-      case Opcode::kCld:
-      case Opcode::kCsd:
-      case Opcode::kClld:
-      case Opcode::kCscd:
-        return 3;
-      case Opcode::kCLc:
-      case Opcode::kCSc:
-        return 5;
-      default:
-        support::panic("accessSizeLog2 on non-memory opcode %s",
-                       opcodeName(op));
-    }
+    support::panic("accessSizeLog2 on non-memory opcode %s",
+                   opcodeName(op));
 }
 
 bool

@@ -175,8 +175,52 @@ struct Instruction
     bool isCapMemory() const;
 };
 
-/** Log2 access size in bytes for a memory opcode (0,1,2,3 → 1..8B). */
-unsigned accessSizeLog2(Opcode op);
+/** Dies on a non-memory opcode handed to accessSizeLog2. */
+[[noreturn]] void accessSizePanic(Opcode op);
+
+/** Log2 access size in bytes for a memory opcode (0,1,2,3 → 1..8B).
+ *  Inline: runs once per simulated load/store. */
+inline unsigned
+accessSizeLog2(Opcode op)
+{
+    switch (op) {
+      case Opcode::kLb:
+      case Opcode::kLbu:
+      case Opcode::kSb:
+      case Opcode::kClb:
+      case Opcode::kClbu:
+      case Opcode::kCsb:
+        return 0;
+      case Opcode::kLh:
+      case Opcode::kLhu:
+      case Opcode::kSh:
+      case Opcode::kClh:
+      case Opcode::kClhu:
+      case Opcode::kCsh:
+        return 1;
+      case Opcode::kLw:
+      case Opcode::kLwu:
+      case Opcode::kSw:
+      case Opcode::kClw:
+      case Opcode::kClwu:
+      case Opcode::kCsw:
+        return 2;
+      case Opcode::kLd:
+      case Opcode::kSd:
+      case Opcode::kLld:
+      case Opcode::kScd:
+      case Opcode::kCld:
+      case Opcode::kCsd:
+      case Opcode::kClld:
+      case Opcode::kCscd:
+        return 3;
+      case Opcode::kCLc:
+      case Opcode::kCSc:
+        return 5;
+      default:
+        accessSizePanic(op);
+    }
+}
 
 /** True when the memory opcode zero-extends (unsigned load). */
 bool loadIsUnsigned(Opcode op);

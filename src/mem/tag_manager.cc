@@ -8,28 +8,35 @@ TagManager::TagManager(PhysicalMemory &dram, TagTable &tags,
     : dram_(dram), tags_(tags), config_(config),
       max_entries_(config.capacity_bytes / config.entry_bytes)
 {
+    dram_reads_ = &stats_.counter("dram.reads");
+    dram_writes_ = &stats_.counter("dram.writes");
+    tag_lookups_ = &stats_.counter("tag.lookups");
+    tag_cache_hits_ = &stats_.counter("tag.cache_hits");
+    tag_cache_misses_ = &stats_.counter("tag.cache_misses");
+    tag_table_reads_ = &stats_.counter("tag.table_reads");
+    tag_table_writes_ = &stats_.counter("tag.table_writes");
 }
 
 void
 TagManager::touchTagCache(std::uint64_t paddr, bool dirtying)
 {
-    stats_.add("tag.lookups");
+    ++*tag_lookups_;
     std::uint64_t table_line =
         tags_.tableByteFor(paddr) / config_.entry_bytes;
 
     auto it = cached_.find(table_line);
     if (it != cached_.end()) {
-        stats_.add("tag.cache_hits");
+        ++*tag_cache_hits_;
         lru_.splice(lru_.begin(), lru_, it->second);
         if (dirtying)
-            stats_.add("tag.table_writes");
+            ++*tag_table_writes_;
         return;
     }
 
-    stats_.add("tag.cache_misses");
-    stats_.add("tag.table_reads");
+    ++*tag_cache_misses_;
+    ++*tag_table_reads_;
     if (dirtying)
-        stats_.add("tag.table_writes");
+        ++*tag_table_writes_;
 
     if (cached_.size() >= max_entries_ && !lru_.empty()) {
         std::uint64_t victim = lru_.back();
@@ -43,7 +50,7 @@ TagManager::touchTagCache(std::uint64_t paddr, bool dirtying)
 TaggedLine
 TagManager::readLine(std::uint64_t paddr)
 {
-    stats_.add("dram.reads");
+    ++*dram_reads_;
     touchTagCache(paddr, /*dirtying=*/false);
     TaggedLine line;
     line.data = dram_.readLine(paddr);
@@ -54,7 +61,7 @@ TagManager::readLine(std::uint64_t paddr)
 void
 TagManager::writeLine(std::uint64_t paddr, const TaggedLine &line)
 {
-    stats_.add("dram.writes");
+    ++*dram_writes_;
     touchTagCache(paddr, /*dirtying=*/true);
     dram_.writeLine(paddr, line.data);
     tags_.set(paddr, line.tag);

@@ -89,6 +89,16 @@ class TagManager
     std::uint64_t max_entries_;
 
     support::StatSet stats_;
+    // Pre-resolved counter slots (see StatSet::counter): a DRAM
+    // transaction bumps several of these, and string-map lookups per
+    // transaction dominate the miss path otherwise.
+    std::uint64_t *dram_reads_ = nullptr;
+    std::uint64_t *dram_writes_ = nullptr;
+    std::uint64_t *tag_lookups_ = nullptr;
+    std::uint64_t *tag_cache_hits_ = nullptr;
+    std::uint64_t *tag_cache_misses_ = nullptr;
+    std::uint64_t *tag_table_reads_ = nullptr;
+    std::uint64_t *tag_table_writes_ = nullptr;
 };
 
 } // namespace cheri::mem

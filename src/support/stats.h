@@ -36,8 +36,36 @@ class StatSet
         return it == counters_.end() ? 0 : it->second;
     }
 
-    /** Reset every counter to zero. */
-    void reset() { counters_.clear(); }
+    /**
+     * Stable reference to a counter slot (created at zero). Hot paths
+     * resolve their counters once and bump through the reference,
+     * avoiding a string map lookup per event. References stay valid
+     * for the StatSet's lifetime: reset() zeroes counters in place
+     * instead of erasing them.
+     */
+    std::uint64_t &counter(const std::string &name)
+    {
+        return counters_[name];
+    }
+
+    /** Reset every counter to zero (slots persist; see counter()). */
+    void
+    reset()
+    {
+        for (auto &entry : counters_)
+            entry.second = 0;
+    }
+
+    /** Add every counter of other into this set in one ordered pass. */
+    void
+    merge(const StatSet &other)
+    {
+        for (const auto &entry : other.counters_) {
+            auto it = counters_.emplace_hint(counters_.end(),
+                                             entry.first, 0);
+            it->second += entry.second;
+        }
+    }
 
     /** All counters in name order. */
     const std::map<std::string, std::uint64_t> &

@@ -6,6 +6,9 @@ namespace cheri::tlb
 Tlb::Tlb(const PageTable &table, TlbConfig config)
     : table_(&table), config_(config)
 {
+    hits_ = &stats_.counter("tlb.hits");
+    misses_ = &stats_.counter("tlb.misses");
+    faults_ = &stats_.counter("tlb.faults");
 }
 
 void
@@ -20,6 +23,7 @@ Tlb::flush()
 {
     lru_.clear();
     cached_.clear();
+    ++generation_; // every outstanding FetchHint is now stale
 }
 
 void
@@ -30,65 +34,28 @@ Tlb::flushPage(std::uint64_t vaddr)
     if (it != cached_.end()) {
         lru_.erase(it->second.lru_it);
         cached_.erase(it);
+        ++generation_;
     }
 }
 
 TlbResult
-Tlb::checkPte(const Pte &pte, std::uint64_t vaddr, Access access,
-              std::uint64_t penalty)
-{
-    TlbResult result;
-    result.penalty_cycles = penalty;
-    result.paddr = pte.pfn * kPageBytes + vaddr % kPageBytes;
-
-    const PteFlags &f = pte.flags;
-    switch (access) {
-      case Access::kFetch:
-        if (!f.executable)
-            result.fault = TlbFault::kNotExecutable;
-        break;
-      case Access::kLoad:
-        if (!f.readable)
-            result.fault = TlbFault::kNotReadable;
-        break;
-      case Access::kStore:
-        if (!f.writable)
-            result.fault = TlbFault::kNotWritable;
-        break;
-      case Access::kCapLoad:
-        if (!f.readable)
-            result.fault = TlbFault::kNotReadable;
-        else if (!f.cap_load)
-            result.fault = TlbFault::kCapLoadDenied;
-        break;
-      case Access::kCapStore:
-        if (!f.writable)
-            result.fault = TlbFault::kNotWritable;
-        else if (!f.cap_store)
-            result.fault = TlbFault::kCapStoreDenied;
-        break;
-    }
-    if (result.fault != TlbFault::kNone)
-        stats_.add("tlb.faults");
-    return result;
-}
-
-TlbResult
-Tlb::translate(std::uint64_t vaddr, Access access)
+Tlb::translateSlow(std::uint64_t vaddr, Access access)
 {
     std::uint64_t vpn = vaddr / kPageBytes;
 
     auto it = cached_.find(vpn);
     if (it != cached_.end()) {
-        stats_.add("tlb.hits");
+        ++*hits_;
         lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        memo_[vpn & (memo_.size() - 1)] =
+            TranslateMemo{vpn, generation_, &it->second};
         return checkPte(it->second.pte, vaddr, access, 0);
     }
 
-    stats_.add("tlb.misses");
+    ++*misses_;
     std::optional<Pte> pte = table_->lookup(vpn);
     if (!pte) {
-        stats_.add("tlb.faults");
+        ++*faults_;
         TlbResult result;
         result.fault = TlbFault::kNoMapping;
         result.penalty_cycles = config_.refill_cycles;
@@ -99,10 +66,29 @@ Tlb::translate(std::uint64_t vaddr, Access access)
         std::uint64_t victim = lru_.back();
         lru_.pop_back();
         cached_.erase(victim);
+        ++generation_;
     }
     lru_.push_front(vpn);
-    cached_[vpn] = CachedEntry{*pte, lru_.begin()};
+    auto ins =
+        cached_.insert_or_assign(vpn, CachedEntry{*pte, lru_.begin()});
+    memo_[vpn & (memo_.size() - 1)] =
+        TranslateMemo{vpn, generation_, &ins.first->second};
     return checkPte(*pte, vaddr, access, config_.refill_cycles);
+}
+
+TlbResult
+Tlb::translateFetchMiss(std::uint64_t vaddr, FetchHint &hint)
+{
+    std::uint64_t vpn = vaddr / kPageBytes;
+    TlbResult result = translate(vaddr, Access::kFetch);
+    if (result.ok()) {
+        auto it = cached_.find(vpn); // translate just (re)cached it
+        hint.vpn = vpn;
+        hint.paddr_base = it->second.pte.pfn * kPageBytes;
+        hint.generation = generation_;
+        hint.entry = &it->second;
+    }
+    return result;
 }
 
 } // namespace cheri::tlb

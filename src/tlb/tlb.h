@@ -15,6 +15,7 @@
 #ifndef CHERI_TLB_TLB_H
 #define CHERI_TLB_TLB_H
 
+#include <array>
 #include <cstdint>
 #include <list>
 #include <unordered_map>
@@ -74,11 +75,83 @@ struct TlbConfig
  */
 class Tlb
 {
+  private:
+    struct CachedEntry;
+
   public:
     explicit Tlb(const PageTable &table, TlbConfig config = {});
 
-    /** Translate vaddr for the given access kind. */
-    TlbResult translate(std::uint64_t vaddr, Access access);
+    /**
+     * Translate vaddr for the given access kind. Inline: the memo-hit
+     * path (the common case on the interpreter's per-access hot path)
+     * replays the full hit — stat bump, LRU move, permission check —
+     * without a cross-TU call; everything else falls through to
+     * translateSlow.
+     */
+    TlbResult
+    translate(std::uint64_t vaddr, Access access)
+    {
+        std::uint64_t vpn = vaddr / kPageBytes;
+        TranslateMemo &memo = memo_[vpn & (memo_.size() - 1)];
+        if (memo.generation == generation_ && memo.vpn == vpn) {
+            // Replay of the hit path in translateSlow without the
+            // hash find; the splice guard is a no-op difference
+            // (front-to-front splices do nothing).
+            ++*hits_;
+            auto &lru_it = memo.entry->lru_it;
+            if (lru_.begin() != lru_it)
+                lru_.splice(lru_.begin(), lru_, lru_it);
+            return checkPte(memo.entry->pte, vaddr, access, 0);
+        }
+        return translateSlow(vaddr, access);
+    }
+
+    /**
+     * Caller-held accelerator for instruction-fetch translations.
+     * Sequential fetches hit the same page almost every cycle, so the
+     * CPU keeps one of these per fetch stream and translateFetch can
+     * skip the hash lookup while the hint is fresh. Hints are
+     * invalidated wholesale by a generation bump whenever any cached
+     * entry is dropped (flush, flushPage, setTable, or capacity
+     * eviction), so a stale hint can never alias a different page.
+     * Default-constructed hints never match and are always safe.
+     */
+    struct FetchHint
+    {
+        std::uint64_t vpn = ~0ULL;
+        std::uint64_t paddr_base = 0;
+        std::uint64_t generation = ~0ULL;
+        CachedEntry *entry = nullptr;
+    };
+
+    /**
+     * Translate vaddr for instruction fetch, consulting and refreshing
+     * the hint. Exactly equivalent to translate(vaddr, kFetch) in
+     * stats, LRU state, penalty cycles, and result — the hint only
+     * short-circuits the host-side hash find on the hit path. Inline:
+     * this runs once per simulated instruction.
+     */
+    TlbResult
+    translateFetch(std::uint64_t vaddr, FetchHint &hint)
+    {
+        std::uint64_t vpn = vaddr / kPageBytes;
+        if (hint.generation == generation_ && hint.vpn == vpn) {
+            // Replay of the translate() hit path: same stat bump, same
+            // LRU outcome (splicing the front element to the front is
+            // a no-op, so the guard below changes nothing observable),
+            // zero penalty. checkPte is skipped because the hint is
+            // only minted for entries that passed the executable
+            // check, and cached PTEs never mutate in place.
+            ++*hits_;
+            auto &lru_it = hint.entry->lru_it;
+            if (lru_.begin() != lru_it)
+                lru_.splice(lru_.begin(), lru_, lru_it);
+            TlbResult result;
+            result.paddr = hint.paddr_base + vaddr % kPageBytes;
+            return result;
+        }
+        return translateFetchMiss(vaddr, hint);
+    }
 
     /**
      * Switch to another address space's page table (context switch);
@@ -96,8 +169,51 @@ class Tlb
     void resetStats() { stats_.reset(); }
 
   private:
-    TlbResult checkPte(const Pte &pte, std::uint64_t vaddr,
-                       Access access, std::uint64_t penalty);
+    /** Out-of-line halves of translate/translateFetch. */
+    TlbResult translateSlow(std::uint64_t vaddr, Access access);
+    TlbResult translateFetchMiss(std::uint64_t vaddr, FetchHint &hint);
+
+    /** Permission check + physical-address assembly for a cached or
+     *  freshly refilled PTE. Inline: runs on every translation. */
+    TlbResult
+    checkPte(const Pte &pte, std::uint64_t vaddr, Access access,
+             std::uint64_t penalty)
+    {
+        TlbResult result;
+        result.penalty_cycles = penalty;
+        result.paddr = pte.pfn * kPageBytes + vaddr % kPageBytes;
+
+        const PteFlags &f = pte.flags;
+        switch (access) {
+          case Access::kFetch:
+            if (!f.executable)
+                result.fault = TlbFault::kNotExecutable;
+            break;
+          case Access::kLoad:
+            if (!f.readable)
+                result.fault = TlbFault::kNotReadable;
+            break;
+          case Access::kStore:
+            if (!f.writable)
+                result.fault = TlbFault::kNotWritable;
+            break;
+          case Access::kCapLoad:
+            if (!f.readable)
+                result.fault = TlbFault::kNotReadable;
+            else if (!f.cap_load)
+                result.fault = TlbFault::kCapLoadDenied;
+            break;
+          case Access::kCapStore:
+            if (!f.writable)
+                result.fault = TlbFault::kNotWritable;
+            else if (!f.cap_store)
+                result.fault = TlbFault::kCapStoreDenied;
+            break;
+        }
+        if (result.fault != TlbFault::kNone)
+            ++*faults_;
+        return result;
+    }
 
     const PageTable *table_;
     TlbConfig config_;
@@ -110,7 +226,35 @@ class Tlb
     };
     std::unordered_map<std::uint64_t, CachedEntry> cached_;
 
+    /**
+     * Small direct-mapped memo in front of cached_ for data-side
+     * translations (the fetch side has its own caller-held hint).
+     * Guarded by the same generation as FetchHints; purely a host
+     * shortcut — the hit path replays the full translate() hit
+     * (stat, LRU, checkPte) so simulated behaviour is unchanged.
+     */
+    struct TranslateMemo
+    {
+        std::uint64_t vpn = ~0ULL;
+        std::uint64_t generation = ~0ULL;
+        CachedEntry *entry = nullptr;
+    };
+    // 64 slots: the Olden working sets touch dozens of data pages and
+    // a 4-entry memo thrashed (over half of data translations fell
+    // through to the hash find).
+    std::array<TranslateMemo, 64> memo_{};
+
+    /** Bumped whenever any cached entry is erased; guards FetchHints.
+     *  CachedEntry pointers are stable under rehash and under
+     *  insert/erase of *other* keys, so a hint whose generation still
+     *  matches is guaranteed to point at its live entry. */
+    std::uint64_t generation_ = 0;
+
     support::StatSet stats_;
+    // Pre-resolved counter slots for the per-access hot path.
+    std::uint64_t *hits_ = nullptr;
+    std::uint64_t *misses_ = nullptr;
+    std::uint64_t *faults_ = nullptr;
 };
 
 } // namespace cheri::tlb

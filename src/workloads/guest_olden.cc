@@ -1,0 +1,244 @@
+#include "workloads/guest_olden.h"
+
+#include "isa/assembler.h"
+#include "support/logging.h"
+
+namespace cheri::workloads
+{
+
+using namespace isa::reg;
+using isa::Assembler;
+
+namespace
+{
+
+/** Emit t_addr = heap + t_index * 24 (node stride) using shifts. */
+void
+emitNodeAddress(Assembler &a, unsigned t_addr, unsigned t_index,
+                unsigned heap, unsigned scratch)
+{
+    a.dsll(scratch, t_index, 4); // index * 16
+    a.dsll(t_addr, t_index, 3);  // index * 8
+    a.daddu(t_addr, t_addr, scratch);
+    a.daddu(t_addr, t_addr, heap);
+}
+
+} // namespace
+
+GuestProgram
+guestTreeadd(unsigned levels, unsigned repeats)
+{
+    if (levels == 0 || levels > 20)
+        support::fatal("guestTreeadd: levels %u out of range", levels);
+    if (repeats == 0)
+        support::fatal("guestTreeadd: repeats must be positive");
+
+    GuestProgram prog;
+    prog.layout = GuestLayout{};
+    prog.name = "treeadd";
+
+    const std::uint64_t node_count = (1ULL << levels) - 1;
+    if (node_count * 24 > prog.layout.heap_bytes)
+        support::fatal("guestTreeadd: %llu nodes exceed the heap",
+                       static_cast<unsigned long long>(node_count));
+    // Node i holds value i: the tree sum is sum(0..N-1) per traversal.
+    prog.expected_checksum =
+        static_cast<std::uint64_t>(repeats) * (node_count * (node_count - 1) / 2);
+
+    Assembler a(prog.layout.code_base);
+    auto build_loop = a.newLabel();
+    auto repeat_loop = a.newLabel();
+    auto treeadd_fn = a.newLabel();
+    auto nonnull = a.newLabel();
+
+    // --- entry: registers and tree build ---
+    a.li64(sp, prog.layout.stack_top);
+    a.li64(s7, prog.layout.heap_base);
+    a.li(t7, static_cast<std::int32_t>(node_count));
+    a.li(s6, static_cast<std::int32_t>(repeats));
+    a.move(s5, zero); // running total over repeats
+    a.move(t0, zero); // node index i
+    a.bind(build_loop);
+    emitNodeAddress(a, t1, t0, s7, t2);
+    a.sd(t0, t1, 0); // value = i
+    a.dsll(t2, t0, 1);
+    a.daddiu(t4, t2, 1); // left index 2i+1
+    emitNodeAddress(a, t5, t4, s7, t6);
+    a.sltu(t6, t4, t7);
+    a.movz(t5, zero, t6); // null when out of range
+    a.sd(t5, t1, 8);
+    a.daddiu(t4, t2, 2); // right index 2i+2
+    emitNodeAddress(a, t5, t4, s7, t6);
+    a.sltu(t6, t4, t7);
+    a.movz(t5, zero, t6);
+    a.sd(t5, t1, 16);
+    a.daddiu(t0, t0, 1);
+    a.sltu(t2, t0, t7);
+    a.bne(t2, zero, build_loop);
+    a.nop();
+
+    // --- repeated traversals ---
+    a.bind(repeat_loop);
+    a.move(a0, s7); // root is node 0
+    a.jal(treeadd_fn);
+    a.nop();
+    a.daddu(s5, s5, v0);
+    a.daddiu(s6, s6, -1);
+    a.bgtz(s6, repeat_loop);
+    a.nop();
+    a.move(s0, s5);
+    a.move(v0, s5);
+    a.break_();
+
+    // --- uint64 treeadd(node *a0): real recursion over sp ---
+    a.bind(treeadd_fn);
+    a.bne(a0, zero, nonnull);
+    a.nop();
+    a.jr(ra);
+    a.move(v0, zero); // delay slot: return 0 for null
+    a.bind(nonnull);
+    a.daddiu(sp, sp, -32);
+    a.sd(ra, sp, 24);
+    a.sd(s0, sp, 16);
+    a.sd(s1, sp, 8);
+    a.ld(s0, a0, 0);  // value
+    a.ld(s1, a0, 16); // right
+    a.ld(a0, a0, 8);  // left
+    a.jal(treeadd_fn);
+    a.nop();
+    a.daddu(s0, s0, v0);
+    a.jal(treeadd_fn);
+    a.move(a0, s1); // delay slot: argument for the right subtree
+    a.daddu(s0, s0, v0);
+    a.move(v0, s0);
+    a.ld(ra, sp, 24);
+    a.ld(s1, sp, 8);
+    a.ld(s0, sp, 16);
+    a.jr(ra);
+    a.daddiu(sp, sp, 32); // delay slot: pop the frame
+
+    prog.text = a.finish();
+    return prog;
+}
+
+GuestProgram
+guestBisort(unsigned elements)
+{
+    if (elements < 2 || elements > 4096)
+        support::fatal("guestBisort: elements %u out of range", elements);
+
+    GuestProgram prog;
+    prog.layout = GuestLayout{};
+    prog.name = "bisort";
+
+    // The array starts descending (N..1); after the sort it is 1..N
+    // and the checksum folds it order-sensitively: x = 3x + a[i].
+    std::uint64_t checksum = 0;
+    for (unsigned i = 1; i <= elements; ++i)
+        checksum = 3 * checksum + i;
+    prog.expected_checksum = checksum;
+
+    Assembler a(prog.layout.code_base);
+    auto init_loop = a.newLabel();
+    auto sort_round = a.newLabel();
+    auto pass_loop = a.newLabel();
+    auto no_swap = a.newLabel();
+    auto pass_done = a.newLabel();
+    auto sum_loop = a.newLabel();
+
+    // Derive c1 = [heap_base, elements * 8) from almighty c0; every
+    // array access below is capability-checked.
+    a.li64(t0, prog.layout.heap_base);
+    a.cincbase(1, 0, t0);
+    a.li(t1, static_cast<std::int32_t>(elements) * 8);
+    a.csetlen(1, 1, t1);
+    a.li(t3, static_cast<std::int32_t>(elements));
+
+    // --- init: a[i] = N - i (descending) ---
+    a.move(t2, zero);
+    a.bind(init_loop);
+    a.dsubu(t4, t3, t2);
+    a.dsll(t5, t2, 3);
+    a.csd(t4, 1, t5, 0);
+    a.daddiu(t2, t2, 1);
+    a.sltu(t6, t2, t3);
+    a.bne(t6, zero, init_loop);
+    a.nop();
+
+    // --- odd-even transposition sort: N rounds ---
+    a.move(s1, zero); // round
+    a.bind(sort_round);
+    a.andi(t2, s1, 1); // i starts at round & 1
+    a.bind(pass_loop);
+    a.daddiu(t4, t2, 1);
+    a.sltu(t5, t4, t3);
+    a.beq(t5, zero, pass_done);
+    a.nop();
+    a.dsll(t5, t2, 3);
+    a.cld(t6, 1, t5, 0); // a[i]
+    a.cld(t7, 1, t5, 8); // a[i+1]
+    a.sltu(t8, t7, t6);
+    a.beq(t8, zero, no_swap);
+    a.nop();
+    a.csd(t7, 1, t5, 0);
+    a.csd(t6, 1, t5, 8);
+    a.bind(no_swap);
+    a.b(pass_loop);
+    a.daddiu(t2, t2, 2); // delay slot: i += 2
+    a.bind(pass_done);
+    a.daddiu(s1, s1, 1);
+    a.sltu(t5, s1, t3);
+    a.bne(t5, zero, sort_round);
+    a.nop();
+
+    // --- order-sensitive checksum: s0 = 3 * s0 + a[i] ---
+    a.move(s0, zero);
+    a.move(t2, zero);
+    a.bind(sum_loop);
+    a.dsll(t5, t2, 3);
+    a.cld(t6, 1, t5, 0);
+    a.dsll(t4, s0, 1);
+    a.daddu(s0, s0, t4); // s0 *= 3
+    a.daddu(s0, s0, t6);
+    a.daddiu(t2, t2, 1);
+    a.sltu(t5, t2, t3);
+    a.bne(t5, zero, sum_loop);
+    a.nop();
+    a.move(v0, s0);
+    a.break_();
+
+    prog.text = a.finish();
+    return prog;
+}
+
+void
+loadGuestProgram(core::Machine &machine, const GuestProgram &prog)
+{
+    const GuestLayout &l = prog.layout;
+    machine.mapRange(l.heap_base, l.heap_bytes);
+    machine.mapRange(l.stack_top - l.stack_bytes, l.stack_bytes);
+    machine.loadProgram(l.code_base, prog.text);
+    machine.reset(l.code_base);
+}
+
+core::RunResult
+runGuestProgram(core::Machine &machine, const GuestProgram &prog,
+                std::uint64_t max_insts)
+{
+    machine.reset(prog.layout.code_base);
+    core::RunResult result = machine.cpu().run(max_insts);
+    if (result.reason != core::StopReason::kBreak)
+        support::fatal("guest %s stopped without BREAK (reason %d)",
+                       prog.name.c_str(),
+                       static_cast<int>(result.reason));
+    if (machine.cpu().gpr(v0) != prog.expected_checksum)
+        support::fatal("guest %s checksum %llx != expected %llx",
+                       prog.name.c_str(),
+                       static_cast<unsigned long long>(
+                           machine.cpu().gpr(v0)),
+                       static_cast<unsigned long long>(
+                           prog.expected_checksum));
+    return result;
+}
+
+} // namespace cheri::workloads

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Guest-assembly Olden kernels: pointer-chasing miniatures of treeadd
+ * and bisort emitted through the structured assembler and executed by
+ * the real CPU interpreter (Cpu::run), unlike the Context-based Olden
+ * implementations which model timing from the host. These drive the
+ * interpreter hot loop end to end — PCC check, TLB, L1I, decode,
+ * execute — so they are the workloads for the emulator-throughput
+ * benchmark and for the fetch fast-path invariance tests.
+ */
+
+#ifndef CHERI_WORKLOADS_GUEST_OLDEN_H
+#define CHERI_WORKLOADS_GUEST_OLDEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+
+namespace cheri::workloads
+{
+
+/** Virtual-memory layout shared by the guest kernels. */
+struct GuestLayout
+{
+    std::uint64_t code_base = 0x10000;
+    std::uint64_t heap_base = 0x100000;
+    std::uint64_t heap_bytes = 2 * 1024 * 1024;
+    std::uint64_t stack_top = 0x400000;
+    std::uint64_t stack_bytes = 64 * 1024;
+};
+
+/** One assembled guest kernel plus its self-check. */
+struct GuestProgram
+{
+    std::string name;
+    std::vector<std::uint32_t> text;
+    GuestLayout layout;
+    /** Value the program must leave in v0 (and s0) at BREAK. */
+    std::uint64_t expected_checksum = 0;
+};
+
+/**
+ * treeadd: builds a complete binary tree of 2^levels - 1 heap nodes
+ * (value, left, right — 24 bytes), then recursively sums it `repeats`
+ * times through legacy loads/stores and a real call stack.
+ */
+GuestProgram guestTreeadd(unsigned levels, unsigned repeats);
+
+/**
+ * bisort (miniature): odd-even transposition sort of `elements`
+ * descending dwords accessed exclusively through a bounded capability
+ * (CLD/CSD via c1), followed by an order-sensitive checksum pass.
+ */
+GuestProgram guestBisort(unsigned elements);
+
+/** Map the kernel's layout and load its text on a machine. */
+void loadGuestProgram(core::Machine &machine, const GuestProgram &prog);
+
+/**
+ * Run a loaded kernel from its entry to BREAK and verify the
+ * checksum; fatals on a trap or checksum mismatch so benchmarks
+ * cannot silently time a broken run. Returns the RunResult.
+ */
+core::RunResult runGuestProgram(core::Machine &machine,
+                                const GuestProgram &prog,
+                                std::uint64_t max_insts = 1'000'000'000);
+
+} // namespace cheri::workloads
+
+#endif // CHERI_WORKLOADS_GUEST_OLDEN_H

@@ -111,8 +111,8 @@ TEST(Cache, TagPreservedThroughLevels)
     EXPECT_TRUE(memory.tags.get(256));
 
     LineAccess readback = l1.readLine(256);
-    EXPECT_TRUE(readback.line.tag);
-    EXPECT_EQ(readback.line.data[0], 7);
+    EXPECT_TRUE(readback.line->tag);
+    EXPECT_EQ(readback.line->data[0], 7);
 }
 
 TEST(Hierarchy, SubLineReadWrite)

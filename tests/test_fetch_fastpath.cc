@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the fetch fast path: the predecoded-instruction cache and
+ * its invalidation machinery must be invisible to guest semantics and
+ * to simulated timing.
+ *
+ *  - Self-modifying code: a program that overwrites its own upcoming
+ *    instruction must execute the new bytes, whether the decode cache
+ *    is enabled or not (generation/listener invalidation plus the
+ *    L1I/L1D coherence push).
+ *  - Timing invariance: running the guest Olden kernels with the
+ *    decode cache on and off must produce bit-identical instruction
+ *    counts, cycle counts, and memory/TLB/CPU statistics — the fast
+ *    path may only change host wall-clock.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.h"
+#include "isa/assembler.h"
+#include "support/stats.h"
+#include "workloads/guest_olden.h"
+
+namespace cheri
+{
+namespace
+{
+
+using isa::Assembler;
+namespace reg = isa::reg;
+
+constexpr std::uint64_t kCodeBase = 0x10000;
+
+/** A guest program that patches its own loop body. */
+struct SmcProgram
+{
+    std::vector<std::uint32_t> text;
+    std::uint64_t patch_addr = 0;
+    /** v0 at BREAK when the patch takes effect (7 + 99). */
+    static constexpr std::uint64_t kExpected = 106;
+    /** v0 at BREAK if stale bytes were executed (7 + 7). */
+    static constexpr std::uint64_t kStale = 14;
+};
+
+/**
+ * Build: loop twice over a body whose first instruction starts as
+ * `daddiu v0, zero, 7` and is overwritten during the first iteration
+ * with `daddiu v0, zero, 99`. The accumulated sum distinguishes fresh
+ * decode (7 + 99) from stale decode (7 + 7). The patch address feeds
+ * back into an li64, whose length depends on the value, so assemble to
+ * a fixpoint.
+ */
+SmcProgram
+makeSmcProgram()
+{
+    std::uint32_t new_word;
+    {
+        Assembler enc(0);
+        enc.daddiu(reg::v0, reg::zero, 99);
+        new_word = enc.finish()[0];
+    }
+
+    std::uint64_t patch_addr = kCodeBase;
+    for (int iter = 0; iter < 8; ++iter) {
+        Assembler a(kCodeBase);
+        auto loop = a.newLabel();
+        a.li64(reg::t1, patch_addr);
+        a.li(reg::t0, static_cast<std::int32_t>(new_word));
+        a.li(reg::s1, 2);
+        a.move(reg::s0, reg::zero);
+        a.bind(loop);
+        std::uint64_t actual = a.here();
+        a.daddiu(reg::v0, reg::zero, 7); // the patch site
+        a.daddu(reg::s0, reg::s0, reg::v0);
+        a.sw(reg::t0, reg::t1, 0); // overwrite the patch site
+        a.daddiu(reg::s1, reg::s1, -1);
+        a.bgtz(reg::s1, loop);
+        a.nop();
+        a.move(reg::v0, reg::s0);
+        a.break_();
+
+        SmcProgram prog;
+        prog.text = a.finish();
+        prog.patch_addr = actual;
+        if (actual == patch_addr)
+            return prog;
+        patch_addr = actual;
+    }
+    ADD_FAILURE() << "SMC program layout did not converge";
+    return {};
+}
+
+std::uint64_t
+runSmc(bool decode_cache)
+{
+    SmcProgram prog = makeSmcProgram();
+    core::Machine machine;
+    machine.cpu().setDecodeCacheEnabled(decode_cache);
+    machine.loadProgram(kCodeBase, prog.text);
+    machine.reset(kCodeBase);
+    core::RunResult result = machine.cpu().run(10'000);
+    EXPECT_EQ(result.reason, core::StopReason::kBreak);
+    return machine.cpu().gpr(reg::v0);
+}
+
+TEST(SelfModifyingCode, NewBytesExecuteWithDecodeCache)
+{
+    EXPECT_EQ(runSmc(true), SmcProgram::kExpected);
+}
+
+TEST(SelfModifyingCode, NewBytesExecuteWithoutDecodeCache)
+{
+    EXPECT_EQ(runSmc(false), SmcProgram::kExpected);
+}
+
+/** One full run of a guest kernel with every stat snapshot taken. */
+struct ModeRun
+{
+    core::RunResult result;
+    std::uint64_t checksum = 0;
+    support::StatSet memory;
+    support::StatSet tlb;
+    support::StatSet cpu;
+};
+
+ModeRun
+runKernel(const workloads::GuestProgram &prog, bool decode_cache)
+{
+    core::Machine machine;
+    machine.cpu().setDecodeCacheEnabled(decode_cache);
+    workloads::loadGuestProgram(machine, prog);
+    ModeRun run;
+    run.result = workloads::runGuestProgram(machine, prog);
+    run.checksum = machine.cpu().gpr(reg::v0);
+    run.memory = machine.memory().collectStats();
+    run.tlb = machine.tlb().stats();
+    run.cpu = machine.cpu().stats();
+    return run;
+}
+
+void
+expectIdentical(const workloads::GuestProgram &prog)
+{
+    ModeRun fast = runKernel(prog, true);
+    ModeRun base = runKernel(prog, false);
+
+    EXPECT_EQ(fast.checksum, base.checksum);
+    EXPECT_EQ(fast.result.instructions, base.result.instructions);
+    EXPECT_EQ(fast.result.cycles, base.result.cycles);
+    // Full counter-by-counter equality, not just totals: one extra or
+    // missing cache/TLB event anywhere would show up here.
+    EXPECT_EQ(fast.memory.all(), base.memory.all());
+    EXPECT_EQ(fast.tlb.all(), base.tlb.all());
+    EXPECT_EQ(fast.cpu.all(), base.cpu.all());
+}
+
+TEST(TimingInvariance, TreeaddIdenticalAcrossModes)
+{
+    expectIdentical(workloads::guestTreeadd(8, 2));
+}
+
+TEST(TimingInvariance, BisortIdenticalAcrossModes)
+{
+    expectIdentical(workloads::guestBisort(64));
+}
+
+/**
+ * The SMC kernel also exercises the coherence push and decode-line
+ * invalidation; its timing must likewise match across modes.
+ */
+TEST(TimingInvariance, SelfModifyingCodeIdenticalAcrossModes)
+{
+    SmcProgram prog = makeSmcProgram();
+    ModeRun runs[2];
+    for (bool enabled : {true, false}) {
+        core::Machine machine;
+        machine.cpu().setDecodeCacheEnabled(enabled);
+        machine.loadProgram(kCodeBase, prog.text);
+        machine.reset(kCodeBase);
+        ModeRun &run = runs[enabled ? 0 : 1];
+        run.result = machine.cpu().run(10'000);
+        EXPECT_EQ(run.result.reason, core::StopReason::kBreak);
+        run.checksum = machine.cpu().gpr(reg::v0);
+        run.memory = machine.memory().collectStats();
+        run.tlb = machine.tlb().stats();
+        run.cpu = machine.cpu().stats();
+    }
+    EXPECT_EQ(runs[0].checksum, SmcProgram::kExpected);
+    EXPECT_EQ(runs[0].checksum, runs[1].checksum);
+    EXPECT_EQ(runs[0].result.instructions, runs[1].result.instructions);
+    EXPECT_EQ(runs[0].result.cycles, runs[1].result.cycles);
+    EXPECT_EQ(runs[0].memory.all(), runs[1].memory.all());
+    EXPECT_EQ(runs[0].tlb.all(), runs[1].tlb.all());
+    EXPECT_EQ(runs[0].cpu.all(), runs[1].cpu.all());
+}
+
+} // namespace
+} // namespace cheri
