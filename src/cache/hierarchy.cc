@@ -71,6 +71,8 @@ CacheHierarchy::writeCapLine(std::uint64_t paddr,
                        static_cast<unsigned long long>(paddr));
     cycles += l1d_.writeLine(paddr, line);
     noteCodeWriteFiltered(paddr);
+    if (store_observer_ != nullptr)
+        store_observer_->onLineWritten(paddr);
 }
 
 void

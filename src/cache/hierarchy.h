@@ -37,6 +37,34 @@ class FetchInvalidationListener
     virtual void onCodeLineModified(std::uint64_t line_paddr) = 0;
 };
 
+/**
+ * Notified after every architectural store (data or capability) with
+ * the 32-byte-aligned address of the written line. Host-side only — no
+ * simulated cost — used by the co-simulation lockstep driver
+ * (check/lockstep.h) to know which lines to diff against the reference
+ * memory after each retire.
+ */
+class StoreObserver
+{
+  public:
+    virtual ~StoreObserver() = default;
+
+    virtual void onLineWritten(std::uint64_t line_paddr) = 0;
+};
+
+/**
+ * Deliberate architectural faults the hierarchy can inject, used by
+ * the oracle/fuzzer tests to prove the lockstep machinery actually
+ * detects divergence. Never enabled outside tests.
+ */
+enum class FaultInjection
+{
+    kNone,
+    /** Data stores no longer clear the containing line's tag —
+     *  breaks the paper's capability-unforgeability guarantee. */
+    kSkipTagClearOnWrite,
+};
+
 /** Geometry of the full hierarchy (paper defaults, Sections 8/9). */
 struct HierarchyConfig
 {
@@ -121,8 +149,12 @@ class CacheHierarchy
         for (unsigned i = 0; i < size; ++i)
             line.data[offset + i] =
                 static_cast<std::uint8_t>(value >> (8 * i));
-        line.tag = false; // general-purpose store clears the tag
+        if (fault_injection_ != FaultInjection::kSkipTagClearOnWrite)
+            line.tag = false; // general-purpose store clears the tag
         noteCodeWriteFiltered(paddr);
+        if (store_observer_ != nullptr)
+            store_observer_->onLineWritten(paddr &
+                                           ~(mem::kLineBytes - 1ULL));
     }
 
     /** Capability load: the full 257-bit line (CLC). */
@@ -152,6 +184,21 @@ class CacheHierarchy
     void setFetchListener(FetchInvalidationListener *listener)
     {
         fetch_listener_ = listener;
+    }
+
+    /**
+     * Register the (single) observer of architectural stores; nullptr
+     * detaches. See StoreObserver.
+     */
+    void setStoreObserver(StoreObserver *observer)
+    {
+        store_observer_ = observer;
+    }
+
+    /** Arm (or disarm, with kNone) a deliberate fault — tests only. */
+    void setFaultInjection(FaultInjection injection)
+    {
+        fault_injection_ = injection;
     }
 
     Cache &l1i() { return l1i_; }
@@ -223,6 +270,8 @@ class CacheHierarchy
     Cache l1i_;
     Cache l1d_;
     FetchInvalidationListener *fetch_listener_ = nullptr;
+    StoreObserver *store_observer_ = nullptr;
+    FaultInjection fault_injection_ = FaultInjection::kNone;
 
     // Direct-mapped memo of recently fetched line addresses (64
     // entries, indexed by line number). A hit means the line was

@@ -211,6 +211,365 @@ guestBisort(unsigned elements)
     return prog;
 }
 
+GuestProgram
+guestMst(unsigned nodes)
+{
+    if (nodes < 2 || nodes > 64)
+        support::fatal("guestMst: nodes %u out of range", nodes);
+
+    GuestProgram prog;
+    prog.layout = GuestLayout{};
+    prog.name = "mst";
+
+    auto weight = [](unsigned i, unsigned j) -> std::uint64_t {
+        return ((i * 7 + j * 13) & 63) + 1;
+    };
+
+    // Host mirror of the guest's Prim run below.
+    {
+        constexpr std::uint64_t kInf = 0x7fffffff;
+        std::vector<std::uint64_t> dist(nodes);
+        std::vector<bool> in(nodes, false);
+        in[0] = true;
+        for (unsigned j = 0; j < nodes; ++j)
+            dist[j] = weight(0, j);
+        std::uint64_t total = 0;
+        for (unsigned round = 1; round < nodes; ++round) {
+            std::uint64_t best = kInf;
+            unsigned u = 0;
+            for (unsigned j = 0; j < nodes; ++j) {
+                if (!in[j] && dist[j] < best) {
+                    best = dist[j];
+                    u = j;
+                }
+            }
+            total += best;
+            in[u] = true;
+            for (unsigned j = 0; j < nodes; ++j) {
+                if (!in[j] && weight(u, j) < dist[j])
+                    dist[j] = weight(u, j);
+            }
+        }
+        prog.expected_checksum = total;
+    }
+
+    const std::uint64_t matrix_bytes =
+        static_cast<std::uint64_t>(nodes) * nodes * 8;
+    if (matrix_bytes + 2 * nodes * 8 > prog.layout.heap_bytes)
+        support::fatal("guestMst: %u nodes exceed the heap", nodes);
+
+    Assembler a(prog.layout.code_base);
+    auto fill_i = a.newLabel();
+    auto fill_j = a.newLabel();
+    auto init_loop = a.newLabel();
+    auto outer = a.newLabel();
+    auto scan = a.newLabel();
+    auto scan_skip = a.newLabel();
+    auto relax = a.newLabel();
+    auto relax_skip = a.newLabel();
+
+    // c1 = matrix capability; s6 = dist base, s2 = in-flag base.
+    a.li64(t0, prog.layout.heap_base);
+    a.cincbase(1, 0, t0);
+    a.li(t1, static_cast<std::int32_t>(matrix_bytes));
+    a.csetlen(1, 1, t1);
+    a.li(t3, static_cast<std::int32_t>(nodes));
+    a.li64(s6, prog.layout.heap_base + matrix_bytes);
+    a.li64(s2, prog.layout.heap_base + matrix_bytes + nodes * 8);
+    a.move(s5, zero); // total tree weight
+
+    // --- fill the adjacency matrix through c1 ---
+    a.move(t0, zero); // i
+    a.move(s4, zero); // row byte offset (i * nodes * 8)
+    a.bind(fill_i);
+    a.move(t1, zero); // j
+    a.bind(fill_j);
+    a.dsll(t4, t0, 3);
+    a.dsubu(t4, t4, t0); // 7i
+    a.dsll(t5, t1, 3);
+    a.dsll(t6, t1, 2);
+    a.daddu(t5, t5, t6);
+    a.daddu(t5, t5, t1); // 13j
+    a.daddu(t4, t4, t5);
+    a.andi(t4, t4, 63);
+    a.daddiu(t4, t4, 1); // w(i,j)
+    a.dsll(t6, t1, 3);
+    a.daddu(t6, t6, s4);
+    a.csd(t4, 1, t6, 0);
+    a.daddiu(t1, t1, 1);
+    a.sltu(t6, t1, t3);
+    a.bne(t6, zero, fill_j);
+    a.nop();
+    a.daddiu(t0, t0, 1);
+    a.daddiu(s4, s4, static_cast<std::int32_t>(nodes) * 8);
+    a.sltu(t6, t0, t3);
+    a.bne(t6, zero, fill_i);
+    a.nop();
+
+    // --- init: in[0]=1, in[j>0]=0, dist[j] = w(0,j) (matrix row 0) ---
+    a.move(t0, zero);
+    a.bind(init_loop);
+    a.dsll(t5, t0, 3);
+    a.cld(t4, 1, t5, 0); // matrix[0*n + j]
+    a.daddu(t6, s6, t5);
+    a.sd(t4, t6, 0);
+    a.daddu(t6, s2, t5);
+    a.sd(zero, t6, 0);
+    a.daddiu(t0, t0, 1);
+    a.sltu(t5, t0, t3);
+    a.bne(t5, zero, init_loop);
+    a.nop();
+    a.li(t4, 1);
+    a.sd(t4, s2, 0); // in[0] = 1
+
+    // --- Prim: nodes-1 rounds of pick-min + relax ---
+    a.li(s1, static_cast<std::int32_t>(nodes) - 1);
+    a.bind(outer);
+    a.li64(t7, 0x7fffffff); // running min
+    a.move(t9, zero);       // argmin
+    a.move(t0, zero);
+    a.bind(scan);
+    a.dsll(t5, t0, 3);
+    a.daddu(t6, s2, t5);
+    a.ld(t4, t6, 0); // in-tree?
+    a.bne(t4, zero, scan_skip);
+    a.nop();
+    a.daddu(t6, s6, t5);
+    a.ld(t4, t6, 0); // dist[j]
+    a.sltu(t6, t4, t7);
+    a.beq(t6, zero, scan_skip);
+    a.nop();
+    a.move(t7, t4);
+    a.move(t9, t0);
+    a.bind(scan_skip);
+    a.daddiu(t0, t0, 1);
+    a.sltu(t5, t0, t3);
+    a.bne(t5, zero, scan);
+    a.nop();
+    a.daddu(s5, s5, t7); // total += dist[u]
+    a.dsll(t5, t9, 3);
+    a.daddu(t6, s2, t5);
+    a.li(t4, 1);
+    a.sd(t4, t6, 0); // in[u] = 1
+    a.li(t4, static_cast<std::int32_t>(nodes) * 8);
+    a.dmultu(t9, t4);
+    a.mflo(s4); // row byte offset of u
+    a.move(t0, zero);
+    a.bind(relax);
+    a.dsll(t5, t0, 3);
+    a.daddu(t6, s2, t5);
+    a.ld(t4, t6, 0);
+    a.bne(t4, zero, relax_skip);
+    a.nop();
+    a.daddu(t6, s4, t5);
+    a.cld(t4, 1, t6, 0); // w(u,j)
+    a.daddu(t2, s6, t5);
+    a.ld(t1, t2, 0); // dist[j]
+    a.sltu(t6, t4, t1);
+    a.beq(t6, zero, relax_skip);
+    a.nop();
+    a.sd(t4, t2, 0);
+    a.bind(relax_skip);
+    a.daddiu(t0, t0, 1);
+    a.sltu(t5, t0, t3);
+    a.bne(t5, zero, relax);
+    a.nop();
+    a.daddiu(s1, s1, -1);
+    a.bgtz(s1, outer);
+    a.nop();
+
+    a.move(s0, s5);
+    a.move(v0, s5);
+    a.break_();
+
+    prog.text = a.finish();
+    return prog;
+}
+
+GuestProgram
+guestEm3d(unsigned n, unsigned degree, unsigned iters)
+{
+    if (n < 2 || n > 512)
+        support::fatal("guestEm3d: n %u out of range", n);
+    if (degree == 0 || degree > 8)
+        support::fatal("guestEm3d: degree %u out of range", degree);
+    if (iters == 0 || iters > 64)
+        support::fatal("guestEm3d: iters %u out of range", iters);
+
+    GuestProgram prog;
+    prog.layout = GuestLayout{};
+    prog.name = "em3d";
+
+    // Host mirror (all arithmetic wraps mod 2^64, as in the guest).
+    {
+        std::vector<std::uint64_t> e(n), h(n);
+        for (unsigned i = 0; i < n; ++i) {
+            e[i] = static_cast<std::uint64_t>(i) * 7 + 1;
+            h[i] = static_cast<std::uint64_t>(i) * 13 + 2;
+        }
+        for (unsigned it = 0; it < iters; ++it) {
+            for (unsigned i = 0; i < n; ++i) {
+                std::uint64_t sum = 0;
+                for (unsigned d = 0; d < degree; ++d)
+                    sum += h[(i * 3 + d * 5 + 1) % n];
+                e[i] -= sum;
+            }
+            for (unsigned i = 0; i < n; ++i) {
+                std::uint64_t sum = 0;
+                for (unsigned d = 0; d < degree; ++d)
+                    sum += e[(i * 5 + d * 3 + 2) % n];
+                h[i] -= sum;
+            }
+        }
+        std::uint64_t checksum = 0;
+        for (unsigned i = 0; i < n; ++i)
+            checksum = 3 * checksum + e[i];
+        for (unsigned i = 0; i < n; ++i)
+            checksum = 3 * checksum + h[i];
+        prog.expected_checksum = checksum;
+    }
+
+    Assembler a(prog.layout.code_base);
+    auto init_loop = a.newLabel();
+    auto iter_loop = a.newLabel();
+    auto e_loop = a.newLabel();
+    auto e_dep = a.newLabel();
+    auto h_loop = a.newLabel();
+    auto h_dep = a.newLabel();
+    auto sum_e = a.newLabel();
+    auto sum_h = a.newLabel();
+
+    // c1 = E-array capability; s6 = H-array base (legacy access).
+    a.li64(t0, prog.layout.heap_base);
+    a.cincbase(1, 0, t0);
+    a.li(t1, static_cast<std::int32_t>(n) * 8);
+    a.csetlen(1, 1, t1);
+    a.li64(s6, prog.layout.heap_base + n * 8ULL);
+    a.li(t3, static_cast<std::int32_t>(n));
+    a.li(s3, static_cast<std::int32_t>(degree));
+
+    // --- init: E[i] = 7i + 1 (cap store), H[i] = 13i + 2 (legacy) ---
+    a.move(t0, zero);
+    a.bind(init_loop);
+    a.dsll(t4, t0, 3);
+    a.dsubu(t4, t4, t0); // 7i
+    a.daddiu(t4, t4, 1);
+    a.dsll(t5, t0, 3);
+    a.csd(t4, 1, t5, 0);
+    a.dsll(t4, t0, 3);
+    a.dsll(t6, t0, 2);
+    a.daddu(t4, t4, t6);
+    a.daddu(t4, t4, t0); // 13i
+    a.daddiu(t4, t4, 2);
+    a.daddu(t6, s6, t5);
+    a.sd(t4, t6, 0);
+    a.daddiu(t0, t0, 1);
+    a.sltu(t5, t0, t3);
+    a.bne(t5, zero, init_loop);
+    a.nop();
+
+    // --- iters rounds: E -= sum(H[dep]), then H -= sum(E[dep]) ---
+    a.li(s1, static_cast<std::int32_t>(iters));
+    a.bind(iter_loop);
+
+    // E pass: dep(i,d) = (3i + 5d + 1) % n, H read legacy.
+    a.move(t0, zero); // i
+    a.bind(e_loop);
+    a.move(t2, zero); // sum
+    a.move(t1, zero); // d
+    a.bind(e_dep);
+    a.dsll(t4, t0, 1);
+    a.daddu(t4, t4, t0); // 3i
+    a.dsll(t5, t1, 2);
+    a.daddu(t5, t5, t1); // 5d
+    a.daddu(t4, t4, t5);
+    a.daddiu(t4, t4, 1);
+    a.ddivu(t4, t3);
+    a.mfhi(t4); // dep index
+    a.dsll(t4, t4, 3);
+    a.daddu(t4, t4, s6);
+    a.ld(t5, t4, 0); // H[dep]
+    a.daddu(t2, t2, t5);
+    a.daddiu(t1, t1, 1);
+    a.sltu(t5, t1, s3);
+    a.bne(t5, zero, e_dep);
+    a.nop();
+    a.dsll(t5, t0, 3);
+    a.cld(t4, 1, t5, 0); // E[i]
+    a.dsubu(t4, t4, t2);
+    a.csd(t4, 1, t5, 0);
+    a.daddiu(t0, t0, 1);
+    a.sltu(t5, t0, t3);
+    a.bne(t5, zero, e_loop);
+    a.nop();
+
+    // H pass: dep(i,d) = (5i + 3d + 2) % n, E read through c1.
+    a.move(t0, zero);
+    a.bind(h_loop);
+    a.move(t2, zero);
+    a.move(t1, zero);
+    a.bind(h_dep);
+    a.dsll(t4, t0, 2);
+    a.daddu(t4, t4, t0); // 5i
+    a.dsll(t5, t1, 1);
+    a.daddu(t5, t5, t1); // 3d
+    a.daddu(t4, t4, t5);
+    a.daddiu(t4, t4, 2);
+    a.ddivu(t4, t3);
+    a.mfhi(t4);
+    a.dsll(t4, t4, 3);
+    a.cld(t5, 1, t4, 0); // E[dep]
+    a.daddu(t2, t2, t5);
+    a.daddiu(t1, t1, 1);
+    a.sltu(t5, t1, s3);
+    a.bne(t5, zero, h_dep);
+    a.nop();
+    a.dsll(t5, t0, 3);
+    a.daddu(t6, s6, t5);
+    a.ld(t4, t6, 0); // H[i]
+    a.dsubu(t4, t4, t2);
+    a.sd(t4, t6, 0);
+    a.daddiu(t0, t0, 1);
+    a.sltu(t5, t0, t3);
+    a.bne(t5, zero, h_loop);
+    a.nop();
+
+    a.daddiu(s1, s1, -1);
+    a.bgtz(s1, iter_loop);
+    a.nop();
+
+    // --- checksum: fold E then H, x = 3x + v ---
+    a.move(s0, zero);
+    a.move(t0, zero);
+    a.bind(sum_e);
+    a.dsll(t5, t0, 3);
+    a.cld(t6, 1, t5, 0);
+    a.dsll(t4, s0, 1);
+    a.daddu(s0, s0, t4);
+    a.daddu(s0, s0, t6);
+    a.daddiu(t0, t0, 1);
+    a.sltu(t5, t0, t3);
+    a.bne(t5, zero, sum_e);
+    a.nop();
+    a.move(t0, zero);
+    a.bind(sum_h);
+    a.dsll(t5, t0, 3);
+    a.daddu(t6, s6, t5);
+    a.ld(t6, t6, 0);
+    a.dsll(t4, s0, 1);
+    a.daddu(s0, s0, t4);
+    a.daddu(s0, s0, t6);
+    a.daddiu(t0, t0, 1);
+    a.sltu(t5, t0, t3);
+    a.bne(t5, zero, sum_h);
+    a.nop();
+    a.move(v0, s0);
+    a.break_();
+
+    prog.text = a.finish();
+    return prog;
+}
+
 void
 loadGuestProgram(core::Machine &machine, const GuestProgram &prog)
 {

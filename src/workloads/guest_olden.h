@@ -55,6 +55,25 @@ GuestProgram guestTreeadd(unsigned levels, unsigned repeats);
  */
 GuestProgram guestBisort(unsigned elements);
 
+/**
+ * mst (miniature): Prim's minimum spanning tree over a dense `nodes` x
+ * `nodes` graph. The adjacency matrix (weights w(i,j) =
+ * ((i*7 + j*13) & 63) + 1) lives behind a bounded capability (CLD/CSD
+ * via c1); the dist and in-tree arrays use legacy loads/stores. The
+ * checksum is the total tree weight, mirrored on the host.
+ */
+GuestProgram guestMst(unsigned nodes);
+
+/**
+ * em3d (miniature): `iters` rounds of the electromagnetic propagation
+ * kernel over `n` E nodes and `n` H nodes with `degree` dependencies
+ * each, dep(i,d) = (i*3 + d*5 + 1) % n computed in the guest with
+ * DDIVU/MFHI. E values are accessed only through a bounded capability
+ * (via c1); H values through legacy loads/stores. The checksum folds
+ * both arrays order-sensitively (x = 3x + v), mirrored on the host.
+ */
+GuestProgram guestEm3d(unsigned n, unsigned degree, unsigned iters);
+
 /** Map the kernel's layout and load its text on a machine. */
 void loadGuestProgram(core::Machine &machine, const GuestProgram &prog);
 

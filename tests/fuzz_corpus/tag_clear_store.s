@@ -1,0 +1,19 @@
+# Regression guard for tag-clear-on-data-store: plant a capability at
+# arena line 0, overwrite one byte range of the line with a data
+# store, and read the line back as a capability. Both CPUs must agree
+# the tag is gone. (This is the shape the injected-fault self-test
+# catches when the hierarchy "forgets" the tag clear.)
+        lui      $t8, 0x10
+        cincbase $c1, $c0, $t8
+        daddiu   $t8, $zero, 256
+        csetlen  $c1, $c1, $t8
+        daddiu   $t8, $zero, 0
+        csc      $c1, $t8, 0($c1)
+        clc      $c2, $t8, 0($c1)
+        cgettag  $v0, $c2
+        lui      $t8, 0x10
+        sd       $zero, 8($t8)
+        daddiu   $t8, $zero, 0
+        clc      $c3, $t8, 0($c1)
+        cgettag  $v1, $c3
+        break

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Differential co-simulation tests: the optimized Cpu (fetch fast path
+ * on and off) runs the guest Olden kernels in lockstep against the
+ * optimization-free RefCpu, with every architectural state element
+ * diffed at every retire. Also self-tests the oracle: a deliberately
+ * injected tag-clear fault in the cache hierarchy must be detected and
+ * shrink to a minimal reproducer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/fuzz.h"
+#include "check/lockstep.h"
+#include "isa/assembler.h"
+#include "isa/text_assembler.h"
+#include "workloads/guest_olden.h"
+
+namespace
+{
+
+using namespace cheri;
+
+workloads::GuestProgram
+kernelByName(const std::string &name)
+{
+    if (name == "treeadd")
+        return workloads::guestTreeadd(5, 2);
+    if (name == "bisort")
+        return workloads::guestBisort(48);
+    if (name == "mst")
+        return workloads::guestMst(12);
+    return workloads::guestEm3d(10, 3, 2);
+}
+
+class LockstepOlden
+    : public ::testing::TestWithParam<std::tuple<std::string, bool>>
+{
+};
+
+TEST_P(LockstepOlden, ZeroDivergence)
+{
+    const auto &[name, fast_path] = GetParam();
+    workloads::GuestProgram prog = kernelByName(name);
+
+    core::MachineConfig config;
+    config.dram_bytes = 8 * 1024 * 1024;
+    core::Machine machine(config);
+    workloads::loadGuestProgram(machine, prog);
+    machine.cpu().setDecodeCacheEnabled(fast_path);
+
+    check::Lockstep lockstep(machine);
+    check::LockstepResult result = lockstep.run();
+
+    EXPECT_FALSE(result.diverged) << result.divergence;
+    EXPECT_TRUE(result.hit_break);
+    EXPECT_FALSE(result.trapped);
+    EXPECT_GT(result.instructions, 100u);
+    // The kernel's own self-check still holds under the oracle.
+    EXPECT_EQ(machine.cpu().gpr(isa::reg::v0), prog.expected_checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, LockstepOlden,
+    ::testing::Combine(::testing::Values("treeadd", "bisort", "mst",
+                                         "em3d"),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        return std::get<0>(info.param) +
+               (std::get<1>(info.param) ? "_fast" : "_slow");
+    });
+
+TEST(LockstepOracle, TrapsMatchOnFaultingProgram)
+{
+    // A program that runs a few instructions and then takes a
+    // capability length fault: both machines must raise the identical
+    // trap (code, CapCause, register, EPC) with no divergence.
+    isa::Assembler a(0x10000);
+    a.li64(isa::reg::t0, 0x100000);
+    a.cincbase(1, 0, isa::reg::t0);
+    a.li(isa::reg::t1, 64);
+    a.csetlen(1, 1, isa::reg::t1);
+    a.li(isa::reg::t2, 64); // one past the end
+    a.cld(isa::reg::t3, 1, isa::reg::t2, 0);
+    a.break_();
+
+    core::Machine machine;
+    machine.mapRange(0x100000, 0x1000);
+    machine.loadProgram(0x10000, a.finish());
+    machine.reset(0x10000);
+
+    check::Lockstep lockstep(machine);
+    check::LockstepResult result = lockstep.run();
+    EXPECT_FALSE(result.diverged) << result.divergence;
+    EXPECT_TRUE(result.trapped);
+    EXPECT_EQ(result.trap.cap_cause, cap::CapCause::kLengthViolation);
+    EXPECT_EQ(result.trap.cap_reg, 1);
+}
+
+TEST(LockstepOracle, InjectedTagClearFaultIsCaught)
+{
+    // Self-test: arm the hierarchy fault that skips the tag clear on
+    // data stores. The oracle must diverge on a fuzz program that
+    // stores over a tagged line, and the divergence must survive
+    // shrinking down to a small reproducer.
+    const std::uint64_t seed = 1;
+    check::FuzzSpec spec = check::generateSpec(seed);
+    check::FuzzRunResult result = check::runFuzzWords(
+        check::assembleFuzzProgram(spec),
+        cache::FaultInjection::kSkipTagClearOnWrite);
+    ASSERT_TRUE(result.diverged);
+    EXPECT_NE(result.divergence.find("tag="), std::string::npos)
+        << result.divergence;
+
+    std::vector<check::FuzzOp> shrunk = check::shrinkOps(
+        spec, cache::FaultInjection::kSkipTagClearOnWrite);
+    ASSERT_FALSE(shrunk.empty());
+    EXPECT_LT(shrunk.size(), spec.ops.size());
+
+    check::FuzzSpec small = spec;
+    small.ops = shrunk;
+    std::vector<std::uint32_t> words =
+        check::assembleFuzzProgram(small);
+    check::FuzzRunResult small_result = check::runFuzzWords(
+        words, cache::FaultInjection::kSkipTagClearOnWrite);
+    EXPECT_TRUE(small_result.diverged);
+
+    // The dumped reproducer round-trips through the text assembler.
+    std::string repro =
+        check::dumpReproducer(words, seed, small_result.divergence);
+    isa::AsmResult assembled =
+        isa::assembleText(repro, check::kFuzzCodeBase);
+    ASSERT_TRUE(assembled.ok());
+    EXPECT_EQ(assembled.words, words);
+}
+
+TEST(LockstepOracle, CleanWithoutInjection)
+{
+    // The same seed runs divergence-free when no fault is armed.
+    check::FuzzSpec spec = check::generateSpec(1);
+    check::FuzzRunResult result =
+        check::runFuzzWords(check::assembleFuzzProgram(spec));
+    EXPECT_FALSE(result.diverged) << result.divergence;
+}
+
+} // namespace

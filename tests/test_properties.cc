@@ -19,6 +19,7 @@
 #include "cache/hierarchy.h"
 #include "cap/cap128.h"
 #include "cap/cap_ops.h"
+#include "check/ref_cpu.h"
 #include "core/machine.h"
 #include "isa/assembler.h"
 #include "isa/decoder.h"
@@ -406,6 +407,170 @@ TEST_P(AllocatorFuzz, InvariantsHoldUnderRandomTraffic)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorFuzz,
                          ::testing::Values(11, 22, 33, 44));
+
+/**
+ * Harness for driving the co-simulation reference interpreter
+ * (check/ref_cpu.h) directly: flat tagged memory, identity-mapped
+ * pages, a program loaded at 0x10000.
+ */
+struct RefHarness
+{
+    check::RefMemory memory{1 << 20};
+    tlb::PageTable table;
+    check::RefCpu cpu{memory, table};
+
+    explicit RefHarness(const std::vector<std::uint32_t> &words)
+    {
+        for (std::uint64_t vpn = 0;
+             vpn < memory.size() / tlb::kPageBytes; ++vpn)
+            table.map(vpn, vpn);
+        std::vector<std::uint8_t> bytes;
+        bytes.reserve(words.size() * 4);
+        for (std::uint32_t word : words) {
+            for (unsigned i = 0; i < 4; ++i)
+                bytes.push_back(
+                    static_cast<std::uint8_t>(word >> (8 * i)));
+        }
+        memory.writeBlock(0x10000, bytes.data(), bytes.size());
+        cpu.setPc(0x10000);
+    }
+
+    /** Step to BREAK/trap; fails the test on a trap or a timeout. */
+    void runToBreak(std::uint64_t max_steps = 100000)
+    {
+        for (std::uint64_t i = 0; i < max_steps; ++i) {
+            check::RefStep step = cpu.step();
+            if (step.hit_break)
+                return;
+            ASSERT_FALSE(step.trapped) << step.trap.toString();
+        }
+        FAIL() << "reference CPU did not reach BREAK";
+    }
+};
+
+/**
+ * Invariant 1, end to end through the reference interpreter: a guest
+ * program deriving a chain c1 = op(c0), c2 = op(c1), ... with random
+ * valid CIncBase/CSetLen/CAndPerm parameters leaves every register
+ * subsumed by its predecessor — executed derivation never widens
+ * bounds or permissions.
+ */
+class RefMonotonicitySweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RefMonotonicitySweep, ExecutedDerivesNeverWiden)
+{
+    using namespace isa::reg;
+    support::Xoshiro256 rng(GetParam());
+    constexpr unsigned kChain = 20;
+
+    isa::Assembler a(0x10000);
+    // Host mirror of the current capability's length so every emitted
+    // op is valid (faults would end the chain early).
+    std::uint64_t cur_len = Capability::almighty().length();
+    for (unsigned k = 0; k < kChain; ++k) {
+        switch (rng.nextBelow(3)) {
+          case 0: { // shrink from below
+            std::uint64_t delta = rng.nextBelow(cur_len / 2 + 1);
+            a.li64(t0, delta);
+            a.cincbase(k + 1, k, t0);
+            cur_len -= delta;
+            break;
+          }
+          case 1: { // shrink from above (cur_len + 1 may wrap to 0
+                    // when the chain still has almighty length)
+            std::uint64_t len = cur_len == ~0ULL
+                                    ? rng.next()
+                                    : rng.nextBelow(cur_len + 1);
+            a.li64(t0, len);
+            a.csetlen(k + 1, k, t0);
+            cur_len = len;
+            break;
+          }
+          default: // drop permissions
+            a.li64(t0, rng.next());
+            a.candperm(k + 1, k, t0);
+            break;
+        }
+    }
+    a.break_();
+
+    RefHarness ref(a.finish());
+    ref.runToBreak();
+
+    for (unsigned k = 0; k < kChain; ++k) {
+        ASSERT_TRUE(subsumes(ref.cpu.caps().read(k),
+                             ref.cpu.caps().read(k + 1)))
+            << "c" << k << " = " << ref.cpu.caps().read(k).toString()
+            << " -> c" << k + 1 << " = "
+            << ref.cpu.caps().read(k + 1).toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefMonotonicitySweep,
+                         ::testing::Values(3, 14, 15, 92, 65, 35));
+
+/**
+ * Invariant 2 through the reference interpreter: a data store of every
+ * size at every aligned offset within a capability-sized line clears
+ * the tag a CSC put there, as observed both by a CLC readback in the
+ * guest and by the reference memory's tag bit.
+ */
+TEST(RefTagClear, EveryStoreSizeAndAlignmentClearsTheTag)
+{
+    using namespace isa::reg;
+    constexpr std::uint64_t kLineAddr = 0x20000;
+
+    // Control: without the data store the readback stays tagged.
+    {
+        isa::Assembler a(0x10000);
+        a.li64(t8, kLineAddr);
+        a.csc(0, 0, t8, 0);
+        a.clc(2, 0, t8, 0);
+        a.cgettag(v0, 2);
+        a.break_();
+        RefHarness ref(a.finish());
+        ref.runToBreak();
+        ASSERT_EQ(ref.cpu.gpr(v0), 1u);
+        ASSERT_TRUE(ref.memory.lineTag(kLineAddr));
+    }
+
+    for (unsigned size : {1u, 2u, 4u, 8u}) {
+        for (unsigned offset = 0; offset < mem::kLineBytes;
+             offset += size) {
+            SCOPED_TRACE("size " + std::to_string(size) + " offset " +
+                         std::to_string(offset));
+            isa::Assembler a(0x10000);
+            a.li64(t8, kLineAddr);
+            a.csc(0, 0, t8, 0); // plant a tagged capability
+            switch (size) {
+              case 1:
+                a.sb(zero, t8, static_cast<std::int32_t>(offset));
+                break;
+              case 2:
+                a.sh(zero, t8, static_cast<std::int32_t>(offset));
+                break;
+              case 4:
+                a.sw(zero, t8, static_cast<std::int32_t>(offset));
+                break;
+              default:
+                a.sd(zero, t8, static_cast<std::int32_t>(offset));
+                break;
+            }
+            a.clc(2, 0, t8, 0); // read the line back as a capability
+            a.cgettag(v0, 2);
+            a.break_();
+
+            RefHarness ref(a.finish());
+            ref.runToBreak();
+            EXPECT_EQ(ref.cpu.gpr(v0), 0u);
+            EXPECT_FALSE(ref.memory.lineTag(kLineAddr));
+            EXPECT_FALSE(ref.cpu.caps().read(2).tag());
+        }
+    }
+}
 
 /** Cap128 never expands to more authority than the original. */
 TEST(Cap128Property, CompressionNeverAmplifies)

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * cheri-fuzz — capability-aware differential fuzzer. Generates seeded
+ * guest programs biased toward CHERI edge cases (check/fuzz.h) and
+ * runs each under the lockstep oracle (check/lockstep.h) against both
+ * fetch fast-path modes. Any divergence is optionally shrunk to a
+ * minimal op list and dumped as a .s reproducer.
+ *
+ * Usage:
+ *   cheri-fuzz [options]
+ *     --seeds N            number of seeds to run (default 25, or the
+ *                          CHERI_FUZZ_SEEDS environment variable)
+ *     --start-seed N       first seed (default 1)
+ *     --shrink             ddmin-shrink a failing program before
+ *                          dumping the reproducer
+ *     --inject-fault tag-clear
+ *                          arm the hierarchy's skip-tag-clear fault:
+ *                          the oracle must catch it (self-test)
+ *     --expect-divergence  exit 0 iff a divergence WAS found
+ *     --quiet              only print the summary line
+ *
+ * Exit codes: 0 success, 1 unexpected (non-)divergence, 2 usage.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "check/fuzz.h"
+
+using namespace cheri;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seeds = 25;
+    std::uint64_t start_seed = 1;
+    bool shrink = false;
+    bool expect_divergence = false;
+    bool quiet = false;
+    cache::FaultInjection injection = cache::FaultInjection::kNone;
+
+    if (const char *env = std::getenv("CHERI_FUZZ_SEEDS"))
+        seeds = std::strtoull(env, nullptr, 0);
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+            seeds = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--start-seed") == 0 &&
+                   i + 1 < argc) {
+            start_seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--shrink") == 0) {
+            shrink = true;
+        } else if (std::strcmp(argv[i], "--inject-fault") == 0 &&
+                   i + 1 < argc) {
+            const char *kind = argv[++i];
+            if (std::strcmp(kind, "tag-clear") == 0) {
+                injection = cache::FaultInjection::kSkipTagClearOnWrite;
+            } else {
+                std::fprintf(stderr, "unknown fault kind %s\n", kind);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--expect-divergence") == 0) {
+            expect_divergence = true;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: cheri-fuzz [--seeds N] [--start-seed N] "
+                "[--shrink] [--inject-fault tag-clear] "
+                "[--expect-divergence] [--quiet]\n");
+            return 2;
+        }
+    }
+
+    std::uint64_t diverged_count = 0;
+    for (std::uint64_t seed = start_seed; seed < start_seed + seeds;
+         ++seed) {
+        check::FuzzSpec spec = check::generateSpec(seed);
+        std::vector<std::uint32_t> words =
+            check::assembleFuzzProgram(spec);
+        check::FuzzRunResult result =
+            check::runFuzzWords(words, injection);
+        if (!result.diverged) {
+            if (!quiet)
+                std::printf("seed %llu: ok (%zu ops, %zu words)\n",
+                            static_cast<unsigned long long>(seed),
+                            spec.ops.size(), words.size());
+            continue;
+        }
+
+        ++diverged_count;
+        std::printf("seed %llu: DIVERGENCE (fast path %s)\n%s\n",
+                    static_cast<unsigned long long>(seed),
+                    result.fast_path ? "on" : "off",
+                    result.divergence.c_str());
+        if (shrink) {
+            check::FuzzSpec small = spec;
+            small.ops = check::shrinkOps(spec, injection);
+            std::vector<std::uint32_t> small_words =
+                check::assembleFuzzProgram(small);
+            check::FuzzRunResult small_result =
+                check::runFuzzWords(small_words, injection);
+            std::printf("shrunk %zu ops -> %zu ops\n",
+                        spec.ops.size(), small.ops.size());
+            std::fputs(
+                check::dumpReproducer(
+                    small_words, seed,
+                    small_result.diverged ? small_result.divergence
+                                          : result.divergence)
+                    .c_str(),
+                stdout);
+        } else {
+            std::fputs(
+                check::dumpReproducer(words, seed, result.divergence)
+                    .c_str(),
+                stdout);
+        }
+    }
+
+    std::printf("cheri-fuzz: %llu/%llu seed(s) diverged\n",
+                static_cast<unsigned long long>(diverged_count),
+                static_cast<unsigned long long>(seeds));
+    if (expect_divergence)
+        return diverged_count > 0 ? 0 : 1;
+    return diverged_count == 0 ? 0 : 1;
+}
