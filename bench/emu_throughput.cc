@@ -2,16 +2,21 @@
  * @file
  * Emulator host-throughput benchmark: measures how many guest
  * instructions per host second the interpreter retires on the guest
- * Olden kernels (treeadd, bisort), with the fetch fast path (TLB
- * fetch hint + predecoded-instruction cache) enabled and disabled.
- * Simulated cycles and stats are bit-identical between the two modes
- * (asserted here and in test_fetch_fastpath); only host wall-clock
+ * Olden kernels (treeadd, bisort, mst, em3d), with the interpreter
+ * fast paths — fetch side (TLB fetch hint + predecoded-instruction
+ * cache) and data side (translation memo + L1D-hit short-circuit) —
+ * enabled and disabled together. Simulated cycles and stats are
+ * bit-identical between the two modes (asserted here and in
+ * test_fetch_fastpath / test_data_fastpath); only host wall-clock
  * changes.
  *
  * Results are written to BENCH_emu_throughput.json (override with
  * CHERI_BENCH_JSON) so the performance trajectory is tracked across
  * PRs. CHERI_BENCH_QUICK=1 shrinks the run for CI, where the only
- * contract is that the JSON is emitted and parses.
+ * contract is that the JSON is emitted and parses. If
+ * CHERI_BENCH_MIN_GEOMEAN is set, the run fails unless the geomean
+ * fast-path speedup reaches that value — the bench-quick ctest uses
+ * it as a cheap perf-regression gate.
  */
 
 #include <algorithm>
@@ -67,6 +72,7 @@ measureMips(const workloads::GuestProgram &prog, bool fast_path,
 {
     core::Machine machine;
     machine.cpu().setDecodeCacheEnabled(fast_path);
+    machine.cpu().setDataFastPathEnabled(fast_path);
     workloads::loadGuestProgram(machine, prog);
 
     // Warm-up repetition: page in host memory, fill the simulated
@@ -110,6 +116,10 @@ main()
                              : workloads::guestTreeadd(12, 8));
     programs.push_back(quick ? workloads::guestBisort(48)
                              : workloads::guestBisort(256));
+    programs.push_back(quick ? workloads::guestMst(8)
+                             : workloads::guestMst(20));
+    programs.push_back(quick ? workloads::guestEm3d(10, 3, 2)
+                             : workloads::guestEm3d(48, 4, 8));
 
     std::printf("Emulator throughput on guest Olden kernels "
                 "(%s mode)\n\n",
@@ -221,5 +231,19 @@ main()
         }
     }
     std::printf("Wrote %s\n", path.c_str());
+
+    // Optional perf-regression gate (used by the bench-quick ctest).
+    if (const char *min_env = std::getenv("CHERI_BENCH_MIN_GEOMEAN")) {
+        double min_geomean = std::atof(min_env);
+        if (!(geomean >= min_geomean)) {
+            std::fprintf(stderr,
+                         "FATAL: geomean speedup %.3f below required "
+                         "minimum %.3f\n",
+                         geomean, min_geomean);
+            return 1;
+        }
+        std::printf("Geomean gate passed: %.3f >= %.3f\n", geomean,
+                    min_geomean);
+    }
     return 0;
 }

@@ -60,15 +60,16 @@ Cache::findOrFill(std::uint64_t paddr, std::uint64_t &cycles)
     std::uint64_t line_key = paddr >> kLineShift;
     std::uint64_t tag = line_key >> set_shift_;
 
-    // Repeat access to the line touched last time: replay the hit
+    // Repeat access to a recently memoized line: replay the hit
     // effects without the set scan. The valid + addr_tag re-check
     // makes this safe against any intervening eviction/invalidation.
-    if (line_key == last_line_key_ && last_way_->valid &&
-        last_way_->addr_tag == tag) {
+    Memo &memo = memo_[line_key & (memo_.size() - 1)];
+    if (memo.line_key == line_key && memo.way->valid &&
+        memo.way->addr_tag == tag) {
         ++*hits_;
-        last_way_->lru = ++lru_clock_;
+        memo.way->lru = ++lru_clock_;
         cycles += config_.hit_latency;
-        return *last_way_;
+        return *memo.way;
     }
 
     Way *set = &ways_[(line_key & set_mask_) * config_.ways];
@@ -79,8 +80,8 @@ Cache::findOrFill(std::uint64_t paddr, std::uint64_t &cycles)
             ++*hits_;
             way.lru = ++lru_clock_;
             cycles += config_.hit_latency;
-            last_line_key_ = line_key;
-            last_way_ = &way;
+            memo.line_key = line_key;
+            memo.way = &way;
             return way;
         }
     }
@@ -112,9 +113,20 @@ Cache::findOrFill(std::uint64_t paddr, std::uint64_t &cycles)
     victim->addr_tag = tag;
     victim->lru = ++lru_clock_;
     victim->line = *fill.line;
-    last_line_key_ = line_key;
-    last_way_ = victim;
+    memo.line_key = line_key;
+    memo.way = victim;
     return *victim;
+}
+
+Cache::Way *
+Cache::probeWay(std::uint64_t paddr)
+{
+    Way *set = &ways_[setIndex(paddr) * config_.ways];
+    std::uint64_t tag = addrTag(paddr);
+    for (unsigned w = 0; w < config_.ways; ++w)
+        if (set[w].valid && set[w].addr_tag == tag)
+            return &set[w];
+    return nullptr;
 }
 
 LineAccess

@@ -9,6 +9,7 @@
 #ifndef CHERI_CACHE_CACHE_H
 #define CHERI_CACHE_CACHE_H
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -119,6 +120,9 @@ struct CacheConfig
  */
 class Cache : public LineSource
 {
+  private:
+    struct Way;
+
   public:
     Cache(CacheConfig config, LineSource &below);
 
@@ -127,8 +131,105 @@ class Cache : public LineSource
                             const mem::TaggedLine &line) override;
 
     /**
-     * Header-inline entry to readLine for the interpreter hot path:
-     * a repeat access to the line touched last time replays the hit
+     * Caller-held, revalidated-on-use pointer to a resident line — the
+     * host line-pointer cache handed to the CPU's data fast path. A
+     * handle names "the way that held line_key when probeHandle minted
+     * it"; every use re-checks valid + addr_tag on that way, which any
+     * eviction, invalidation, or flush falsifies, and (way, addr_tag)
+     * uniquely identifies one physical line (the way pins the set).
+     * Ways live in a vector sized once at construction, so the pointer
+     * itself never dangles. Default-constructed handles never
+     * validate.
+     */
+    struct LineHandle
+    {
+        Way *way = nullptr;
+        std::uint64_t addr_tag = ~0ULL;
+    };
+
+    /**
+     * Mint a handle for the line containing paddr if it is resident.
+     * Pure host-side probe (no stats, LRU, or cycles) — call it after
+     * an access that already counted its simulated effects.
+     */
+    bool probeHandle(std::uint64_t paddr, LineHandle &out)
+    {
+        Way *way = probeWay(paddr);
+        if (way == nullptr)
+            return false;
+        out.way = way;
+        out.addr_tag = addrTag(paddr);
+        return true;
+    }
+
+    /** True while the handle still names its resident line. */
+    bool
+    handleValid(const LineHandle &handle) const
+    {
+        return handle.way != nullptr && handle.way->valid &&
+               handle.way->addr_tag == handle.addr_tag;
+    }
+
+    /**
+     * Handle-validated read hit: if the handle still names its line,
+     * replay exactly the hit effects readLine would produce for it
+     * (hit stat, LRU bump, hit latency) and return the line; else
+     * nullptr and no effects. The line is resident, so the slow path
+     * would have hit — the replay is identical by construction.
+     */
+    const mem::TaggedLine *
+    readHitFast(const LineHandle &handle, std::uint64_t &cycles)
+    {
+        if (!handleValid(handle))
+            return nullptr;
+        ++*hits_;
+        handle.way->lru = ++lru_clock_;
+        cycles += config_.hit_latency;
+        return &handle.way->line;
+    }
+
+    /**
+     * Handle-validated store hit: replays both halves of
+     * storeAccess's read-modify-write (two hit stats, two LRU bumps,
+     * twice the hit latency, dirty) and returns the line for in-place
+     * modification; nullptr and no effects when the handle is stale.
+     */
+    mem::TaggedLine *
+    storeHitFast(const LineHandle &handle, std::uint64_t &cycles)
+    {
+        if (!handleValid(handle))
+            return nullptr;
+        *hits_ += 2; // read half + guaranteed-hit write half
+        lru_clock_ += 2;
+        handle.way->lru = lru_clock_;
+        cycles += 2 * config_.hit_latency;
+        handle.way->dirty = true;
+        return &handle.way->line;
+    }
+
+    /**
+     * Handle-validated full-line write hit: replays exactly what
+     * writeLine does when it hits (one hit stat, one LRU bump, one
+     * hit latency, dirty) and installs the line; false and no effects
+     * when the handle is stale.
+     */
+    bool
+    writeLineHitFast(const LineHandle &handle, const mem::TaggedLine &line,
+                     std::uint64_t &cycles)
+    {
+        if (!handleValid(handle))
+            return false;
+        ++*hits_;
+        handle.way->lru = ++lru_clock_;
+        cycles += config_.hit_latency;
+        handle.way->line = line;
+        handle.way->dirty = true;
+        return true;
+    }
+
+    /**
+     * Header-inline entry to readLine for the interpreter hot path: a
+     * repeat access to a recently memoized line replays the hit
      * effects (hit stat, LRU bump, hit latency) right here, without
      * the cross-TU call into findOrFill; anything else falls through
      * to readLine. Simulated behaviour is identical by construction —
@@ -138,11 +239,12 @@ class Cache : public LineSource
     readLineFast(std::uint64_t paddr)
     {
         std::uint64_t line_key = paddr >> kLineShift;
-        if (line_key == last_line_key_ && last_way_->valid &&
-            last_way_->addr_tag == (line_key >> set_shift_)) {
+        const Memo &memo = memo_[line_key & (memo_.size() - 1)];
+        if (memo.line_key == line_key && memo.way->valid &&
+            memo.way->addr_tag == (line_key >> set_shift_)) {
             ++*hits_;
-            last_way_->lru = ++lru_clock_;
-            return {&last_way_->line, config_.hit_latency};
+            memo.way->lru = ++lru_clock_;
+            return {&memo.way->line, config_.hit_latency};
         }
         return readLine(paddr);
     }
@@ -154,14 +256,15 @@ class Cache : public LineSource
     storeAccessFast(std::uint64_t paddr, std::uint64_t &cycles)
     {
         std::uint64_t line_key = paddr >> kLineShift;
-        if (line_key == last_line_key_ && last_way_->valid &&
-            last_way_->addr_tag == (line_key >> set_shift_)) {
+        const Memo &memo = memo_[line_key & (memo_.size() - 1)];
+        if (memo.line_key == line_key && memo.way->valid &&
+            memo.way->addr_tag == (line_key >> set_shift_)) {
             *hits_ += 2; // read half + guaranteed-hit write half
             lru_clock_ += 2;
-            last_way_->lru = lru_clock_;
+            memo.way->lru = lru_clock_;
             cycles += 2 * config_.hit_latency;
-            last_way_->dirty = true;
-            return last_way_->line;
+            memo.way->dirty = true;
+            return memo.way->line;
         }
         return storeAccess(paddr, cycles);
     }
@@ -212,6 +315,9 @@ class Cache : public LineSource
     /** Locate (and on miss, fill) the way holding paddr's line. */
     Way &findOrFill(std::uint64_t paddr, std::uint64_t &cycles);
 
+    /** Host-side probe for the resident way of paddr's line, if any. */
+    Way *probeWay(std::uint64_t paddr);
+
     // Set count is a power of two, so indexing is shift/mask — no
     // per-access division on the hot path.
     std::uint64_t setIndex(std::uint64_t paddr) const
@@ -232,15 +338,22 @@ class Cache : public LineSource
     std::vector<Way> ways_;
     std::uint64_t lru_clock_ = 0;
     /**
-     * One-entry memo of the most recently touched line: repeat
-     * accesses replay the hit effects (hit stat, LRU bump, hit
-     * latency) without rescanning the set. Sound because the memo is
+     * Direct-mapped memo of recently touched lines (indexed by line
+     * number): repeat accesses replay the hit effects (hit stat, LRU
+     * bump, hit latency) without rescanning the set. Multi-entry so
+     * workloads alternating between a handful of lines (tree node +
+     * stack, two arrays) keep hitting it. Sound because an entry is
      * only trusted after re-checking valid + addr_tag on the
      * remembered way, which any eviction, invalidation, or flush
-     * falsifies.
+     * falsifies; way pointers themselves never dangle (ways_ is sized
+     * once at construction).
      */
-    std::uint64_t last_line_key_ = ~0ULL; ///< paddr >> kLineShift
-    Way *last_way_ = nullptr;
+    struct Memo
+    {
+        std::uint64_t line_key = ~0ULL; ///< paddr >> kLineShift
+        Way *way = nullptr;
+    };
+    std::array<Memo, 64> memo_{};
     support::StatSet stats_;
     // Pre-resolved counter slots; bumping these avoids a string
     // concatenation plus map lookup on every access (see

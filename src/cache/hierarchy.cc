@@ -71,7 +71,7 @@ CacheHierarchy::writeCapLine(std::uint64_t paddr,
                        static_cast<unsigned long long>(paddr));
     cycles += l1d_.writeLine(paddr, line);
     noteCodeWriteFiltered(paddr);
-    if (store_observer_ != nullptr)
+    if (store_hooks_armed_ && store_observer_ != nullptr)
         store_observer_->onLineWritten(paddr);
 }
 

@@ -149,12 +149,71 @@ class CacheHierarchy
         for (unsigned i = 0; i < size; ++i)
             line.data[offset + i] =
                 static_cast<std::uint8_t>(value >> (8 * i));
-        if (fault_injection_ != FaultInjection::kSkipTagClearOnWrite)
-            line.tag = false; // general-purpose store clears the tag
+        finishDataStore(line, paddr);
+    }
+
+    // --- data fast path (see DESIGN.md §9) ---
+    //
+    // Handle-validated L1D short-circuits for the CPU's data memo.
+    // Each replays *exactly* what the corresponding slow entry does
+    // on an L1D hit — stats, LRU, latency, tag semantics, fetch
+    // coherence, fault injection, store observer — or touches nothing
+    // and returns failure when the handle went stale, so the caller
+    // can take the full path with no effects double-counted.
+
+    /** Fast read(): load 1/2/4/8 naturally aligned bytes. */
+    bool
+    readFast(const cache::Cache::LineHandle &handle, std::uint64_t paddr,
+             unsigned size, std::uint64_t &value, std::uint64_t &cycles)
+    {
+        const mem::TaggedLine *line = l1d_.readHitFast(handle, cycles);
+        if (line == nullptr)
+            return false;
+        std::uint64_t offset = paddr % mem::kLineBytes;
+        value = 0;
+        for (unsigned i = 0; i < size; ++i) {
+            value |= static_cast<std::uint64_t>(line->data[offset + i])
+                     << (8 * i);
+        }
+        return true;
+    }
+
+    /** Fast write(): store 1/2/4/8 naturally aligned bytes. */
+    bool
+    writeFast(const cache::Cache::LineHandle &handle, std::uint64_t paddr,
+              unsigned size, std::uint64_t value, std::uint64_t &cycles)
+    {
+        mem::TaggedLine *line = l1d_.storeHitFast(handle, cycles);
+        if (line == nullptr)
+            return false;
+        std::uint64_t offset = paddr % mem::kLineBytes;
+        for (unsigned i = 0; i < size; ++i)
+            line->data[offset + i] =
+                static_cast<std::uint8_t>(value >> (8 * i));
+        finishDataStore(*line, paddr);
+        return true;
+    }
+
+    /** Fast readCapLine(): the full 257-bit line (CLC). */
+    const mem::TaggedLine *
+    readCapLineFast(const cache::Cache::LineHandle &handle,
+                    std::uint64_t &cycles)
+    {
+        return l1d_.readHitFast(handle, cycles);
+    }
+
+    /** Fast writeCapLine(): full line plus tag (CSC). */
+    bool
+    writeCapLineFast(const cache::Cache::LineHandle &handle,
+                     std::uint64_t paddr, const mem::TaggedLine &line,
+                     std::uint64_t &cycles)
+    {
+        if (!l1d_.writeLineHitFast(handle, line, cycles))
+            return false;
         noteCodeWriteFiltered(paddr);
-        if (store_observer_ != nullptr)
-            store_observer_->onLineWritten(paddr &
-                                           ~(mem::kLineBytes - 1ULL));
+        if (store_hooks_armed_ && store_observer_ != nullptr)
+            store_observer_->onLineWritten(paddr);
+        return true;
     }
 
     /** Capability load: the full 257-bit line (CLC). */
@@ -193,12 +252,14 @@ class CacheHierarchy
     void setStoreObserver(StoreObserver *observer)
     {
         store_observer_ = observer;
+        updateStoreHooks();
     }
 
     /** Arm (or disarm, with kNone) a deliberate fault — tests only. */
     void setFaultInjection(FaultInjection injection)
     {
         fault_injection_ = injection;
+        updateStoreHooks();
     }
 
     Cache &l1i() { return l1i_; }
@@ -209,6 +270,37 @@ class CacheHierarchy
     const Cache &l2() const { return l2_; }
 
   private:
+    /**
+     * Tail of every general-purpose store: the architectural tag
+     * clear, fetch coherence, and the host-side hooks. The hooks
+     * (StoreObserver, FaultInjection) are rare — only the lockstep
+     * oracle and fault-injection self-tests arm them — so the
+     * non-observed hot path pays a single predictable branch on
+     * store_hooks_armed_ and never touches the pointer or the
+     * injection enum.
+     */
+    void
+    finishDataStore(mem::TaggedLine &line, std::uint64_t paddr)
+    {
+        if (!store_hooks_armed_) {
+            line.tag = false; // general-purpose store clears the tag
+        } else {
+            if (fault_injection_ != FaultInjection::kSkipTagClearOnWrite)
+                line.tag = false;
+            if (store_observer_ != nullptr)
+                store_observer_->onLineWritten(
+                    paddr & ~(mem::kLineBytes - 1ULL));
+        }
+        noteCodeWriteFiltered(paddr);
+    }
+
+    /** Recompute the merged cheap guard for the store-path hooks. */
+    void updateStoreHooks()
+    {
+        store_hooks_armed_ = store_observer_ != nullptr ||
+                             fault_injection_ != FaultInjection::kNone;
+    }
+
     void
     checkContained(std::uint64_t paddr, unsigned size) const
     {
@@ -272,6 +364,9 @@ class CacheHierarchy
     FetchInvalidationListener *fetch_listener_ = nullptr;
     StoreObserver *store_observer_ = nullptr;
     FaultInjection fault_injection_ = FaultInjection::kNone;
+    /** True iff an observer or a fault injection is armed (merged
+     *  guard so the store hot path checks one flag, not two). */
+    bool store_hooks_armed_ = false;
 
     // Direct-mapped memo of recently fetched line addresses (64
     // entries, indexed by line number). A hit means the line was

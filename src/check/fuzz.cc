@@ -704,7 +704,8 @@ assembleFuzzProgram(const FuzzSpec &spec)
 FuzzRunResult
 runFuzzWords(const std::vector<std::uint32_t> &words,
              cache::FaultInjection injection,
-             std::uint64_t max_instructions)
+             std::uint64_t max_instructions,
+             DataFastPathMode data_mode)
 {
     FuzzRunResult result;
     for (bool fast : {true, false}) {
@@ -724,6 +725,9 @@ runFuzzWords(const std::vector<std::uint32_t> &words,
         machine.mapRange(kFuzzStrideBase, kFuzzStrideLen);
         machine.reset(kFuzzCodeBase);
         machine.cpu().setDecodeCacheEnabled(fast);
+        bool data_fast = data_mode == DataFastPathMode::kForceOn ||
+                         (data_mode == DataFastPathMode::kFollow && fast);
+        machine.cpu().setDataFastPathEnabled(data_fast);
         machine.memory().setFaultInjection(injection);
 
         LockstepConfig lockstep_config;
@@ -742,13 +746,13 @@ runFuzzWords(const std::vector<std::uint32_t> &words,
 
 std::vector<FuzzOp>
 shrinkOps(const FuzzSpec &spec, cache::FaultInjection injection,
-          std::uint64_t max_instructions)
+          std::uint64_t max_instructions, DataFastPathMode data_mode)
 {
     auto diverges = [&](const std::vector<FuzzOp> &ops) {
         FuzzSpec candidate = spec;
         candidate.ops = ops;
         return runFuzzWords(assembleFuzzProgram(candidate), injection,
-                            max_instructions)
+                            max_instructions, data_mode)
             .diverged;
     };
 

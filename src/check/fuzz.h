@@ -13,9 +13,11 @@
  * including pages with the CHERI cap-load/cap-store PTE bits clear.
  *
  * Every generated program runs under the lockstep oracle
- * (check/lockstep.h) against both fast-CPU modes (fetch fast path on
- * and off); a divergence is shrunk to a minimal op list and dumped as
- * a .s reproducer that round-trips through the text assembler.
+ * (check/lockstep.h) against both fast-CPU modes (fetch and data fast
+ * paths on and off together by default; the data path can be forced
+ * on or off independently to target one side); a divergence is shrunk
+ * to a minimal op list and dumped as a .s reproducer that round-trips
+ * through the text assembler.
  */
 
 #ifndef CHERI_CHECK_FUZZ_H
@@ -112,14 +114,32 @@ struct FuzzRunResult
 };
 
 /**
+ * How the CPU's data-side fast path is set during a fuzz run.
+ * kFollow toggles it together with the fetch fast path (so the two
+ * oracle passes compare all-fast against all-slow); kForceOn/kForceOff
+ * pin it in both passes so the fetch toggle is isolated (kForceOn is
+ * what the data-fastpath fuzz sweep uses: every pass exercises the
+ * data memo while the oracle still diffs against the reference CPU).
+ */
+enum class DataFastPathMode
+{
+    kFollow,
+    kForceOn,
+    kForceOff,
+};
+
+/**
  * Run an assembled program in lockstep against RefCpu with the fetch
  * fast path on and off; returns the first divergence (if any).
  * 'injection' arms a deliberate hierarchy fault for oracle self-tests.
+ * 'data_mode' selects the data fast path per pass (see above).
  */
 FuzzRunResult runFuzzWords(const std::vector<std::uint32_t> &words,
                            cache::FaultInjection injection =
                                cache::FaultInjection::kNone,
-                           std::uint64_t max_instructions = 20000);
+                           std::uint64_t max_instructions = 20000,
+                           DataFastPathMode data_mode =
+                               DataFastPathMode::kFollow);
 
 /**
  * ddmin-style shrink: repeatedly delete chunks of ops while the
@@ -128,7 +148,9 @@ FuzzRunResult runFuzzWords(const std::vector<std::uint32_t> &words,
  */
 std::vector<FuzzOp> shrinkOps(const FuzzSpec &spec,
                               cache::FaultInjection injection,
-                              std::uint64_t max_instructions = 20000);
+                              std::uint64_t max_instructions = 20000,
+                              DataFastPathMode data_mode =
+                                  DataFastPathMode::kFollow);
 
 /**
  * Render a .s reproducer: header comments (seed, divergence) plus one

@@ -28,7 +28,7 @@ sext32(std::uint64_t value)
 Cpu::Cpu(cache::CacheHierarchy &memory, tlb::Tlb &tlb, CpuTiming timing)
     : memory_(memory), tlb_(tlb), timing_(timing),
       predictor_(timing.predictor_entries, 1), // weakly not-taken
-      decode_cache_(kDecodeCacheLines)
+      decode_cache_(kDecodeCacheLines), data_memo_(kDataMemoLines)
 {
     memory_.setFetchListener(this);
     stat_alu_ = &stats_.counter("inst.alu");
@@ -75,6 +75,109 @@ Cpu::onCodeLineModified(std::uint64_t line_paddr)
     DecodedLine &entry = decode_cache_[decodeIndex(line_paddr)];
     if (entry.line_paddr == line_paddr)
         entry.line_paddr = ~0ULL;
+}
+
+// --- data fast path ---
+//
+// Each tryFast helper validates host-side state with no simulated
+// effects, and only once everything is proven fresh replays the exact
+// effect sequence the slow path would produce for the same (known
+// hitting) access: one TLB hit (stat bump + LRU move via replayHit)
+// and one L1D access through the hierarchy's handle-validated entry
+// points. The cycle formula is the slow path's verbatim: TLB hit
+// penalty is zero, and of the mem_cycles only the stall beyond the
+// one-cycle base CPI is charged.
+
+bool
+Cpu::tryFastRead(std::uint64_t vaddr, unsigned size, std::uint64_t &value)
+{
+    std::uint64_t vline = vaddr >> cache::kLineShift;
+    DataMemoEntry &entry = data_memo_[dataMemoIndex(vline)];
+    if (entry.vline != vline ||
+        entry.hint.generation != tlb_.generation() ||
+        !entry.hint.flags.readable)
+        return false;
+    std::uint64_t paddr =
+        entry.paddr_line | (vaddr & (mem::kLineBytes - 1));
+    std::uint64_t mem_cycles = 0;
+    if (!memory_.readFast(entry.l1d, paddr, size, value, mem_cycles))
+        return false;
+    tlb_.replayHit(entry.hint);
+    cycles_ += mem_cycles > 0 ? mem_cycles - 1 : 0;
+    return true;
+}
+
+bool
+Cpu::tryFastWrite(std::uint64_t vaddr, unsigned size, std::uint64_t value)
+{
+    std::uint64_t vline = vaddr >> cache::kLineShift;
+    DataMemoEntry &entry = data_memo_[dataMemoIndex(vline)];
+    if (entry.vline != vline ||
+        entry.hint.generation != tlb_.generation() ||
+        !entry.hint.flags.writable)
+        return false;
+    std::uint64_t paddr =
+        entry.paddr_line | (vaddr & (mem::kLineBytes - 1));
+    std::uint64_t mem_cycles = 0;
+    if (!memory_.writeFast(entry.l1d, paddr, size, value, mem_cycles))
+        return false;
+    tlb_.replayHit(entry.hint);
+    cycles_ += mem_cycles > 0 ? mem_cycles - 1 : 0;
+    // Any store to the monitored line breaks the reservation.
+    if (ll_valid_ && ll_addr_ == paddr)
+        ll_valid_ = false;
+    return true;
+}
+
+const mem::TaggedLine *
+Cpu::tryFastCapRead(std::uint64_t vaddr)
+{
+    std::uint64_t vline = vaddr >> cache::kLineShift;
+    DataMemoEntry &entry = data_memo_[dataMemoIndex(vline)];
+    if (entry.vline != vline ||
+        entry.hint.generation != tlb_.generation() ||
+        !entry.hint.flags.readable || !entry.hint.flags.cap_load)
+        return nullptr;
+    std::uint64_t mem_cycles = 0;
+    const mem::TaggedLine *line =
+        memory_.readCapLineFast(entry.l1d, mem_cycles);
+    if (line == nullptr)
+        return nullptr;
+    tlb_.replayHit(entry.hint);
+    cycles_ += mem_cycles > 0 ? mem_cycles - 1 : 0;
+    return line;
+}
+
+bool
+Cpu::tryFastCapWrite(std::uint64_t vaddr, const mem::TaggedLine &line)
+{
+    std::uint64_t vline = vaddr >> cache::kLineShift;
+    DataMemoEntry &entry = data_memo_[dataMemoIndex(vline)];
+    if (entry.vline != vline ||
+        entry.hint.generation != tlb_.generation() ||
+        !entry.hint.flags.writable || !entry.hint.flags.cap_store)
+        return false;
+    std::uint64_t mem_cycles = 0;
+    if (!memory_.writeCapLineFast(entry.l1d, entry.paddr_line, line,
+                                  mem_cycles))
+        return false;
+    tlb_.replayHit(entry.hint);
+    cycles_ += mem_cycles > 0 ? mem_cycles - 1 : 0;
+    return true;
+}
+
+void
+Cpu::mintDataMemo(std::uint64_t vaddr, std::uint64_t paddr)
+{
+    std::uint64_t vline = vaddr >> cache::kLineShift;
+    DataMemoEntry &entry = data_memo_[dataMemoIndex(vline)];
+    entry.vline = ~0ULL;
+    if (!tlb_.probeDataHint(vaddr, entry.hint))
+        return;
+    if (!memory_.l1d().probeHandle(paddr, entry.l1d))
+        return;
+    entry.paddr_line = paddr & ~(mem::kLineBytes - 1ULL);
+    entry.vline = vline;
 }
 
 void
@@ -706,6 +809,32 @@ Cpu::executeMemory(const Instruction &inst)
         return;
     }
 
+    // Data fast path (LL excluded: it must record the reservation
+    // paddr, which the slow path already produces). The capability and
+    // alignment checks here are pure, so a fast-path miss falls to the
+    // slow path with zero simulated effects applied.
+    std::uint64_t vaddr = cap::effectiveAddress(caps_.read(0), offset);
+    if (data_fastpath_enabled_ && inst.op != Opcode::kLld &&
+        vaddr % size == 0 &&
+        cap::checkDataAccess(caps_.read(0), offset, size,
+                             is_store ? cap::kPermStore
+                                      : cap::kPermLoad) ==
+            CapCause::kNone) {
+        if (is_store) {
+            if (tryFastWrite(vaddr, size, gpr_[inst.rt]))
+                return;
+        } else {
+            std::uint64_t value = 0;
+            if (tryFastRead(vaddr, size, value)) {
+                if (!isa::loadIsUnsigned(inst.op) && size < 8)
+                    value = static_cast<std::uint64_t>(
+                        signExtend(value, size * 8));
+                setGpr(inst.rt, value);
+                return;
+            }
+        }
+    }
+
     std::uint64_t paddr = 0;
     if (!checkedDataAccess(0, offset, size, is_store, false, paddr))
         return;
@@ -717,6 +846,8 @@ Cpu::executeMemory(const Instruction &inst)
         // Any store to the monitored line breaks the reservation.
         if (ll_valid_ && ll_addr_ == paddr)
             ll_valid_ = false;
+        if (data_fastpath_enabled_)
+            mintDataMemo(vaddr, paddr);
         return;
     }
 
@@ -730,6 +861,8 @@ Cpu::executeMemory(const Instruction &inst)
     if (inst.op == Opcode::kLld) {
         ll_valid_ = true;
         ll_addr_ = paddr;
+    } else if (data_fastpath_enabled_) {
+        mintDataMemo(vaddr, paddr);
     }
 }
 
@@ -743,6 +876,30 @@ Cpu::executeCapMemory(const Instruction &inst)
 
     if (inst.op == Opcode::kCLc || inst.op == Opcode::kCSc) {
         bool is_store = inst.op == Opcode::kCSc;
+
+        // Data fast path for full-line capability transfers. The
+        // checks are pure; a miss falls through effect-free.
+        if (data_fastpath_enabled_ &&
+            cap::checkDataAccess(caps_.read(inst.cb), offset,
+                                 mem::kLineBytes,
+                                 is_store ? cap::kPermStoreCap
+                                          : cap::kPermLoadCap,
+                                 true) == CapCause::kNone) {
+            std::uint64_t vaddr =
+                cap::effectiveAddress(caps_.read(inst.cb), offset);
+            if (is_store) {
+                const cap::Capability &src = caps_.read(inst.cd);
+                mem::TaggedLine line{src.raw(), src.tag()};
+                if (tryFastCapWrite(vaddr, line))
+                    return;
+            } else if (const mem::TaggedLine *line =
+                           tryFastCapRead(vaddr)) {
+                caps_.write(inst.cd, cap::Capability::fromRaw(
+                                         line->data, line->tag));
+                return;
+            }
+        }
+
         std::uint64_t paddr = 0;
         if (!checkedDataAccess(inst.cb, offset, mem::kLineBytes,
                                is_store, true, paddr))
@@ -759,6 +916,11 @@ Cpu::executeCapMemory(const Instruction &inst)
                         cap::Capability::fromRaw(line.data, line.tag));
         }
         cycles_ += mem_cycles > 0 ? mem_cycles - 1 : 0;
+        if (data_fastpath_enabled_) {
+            mintDataMemo(cap::effectiveAddress(caps_.read(inst.cb),
+                                               offset),
+                         paddr);
+        }
         return;
     }
 
@@ -785,6 +947,31 @@ Cpu::executeCapMemory(const Instruction &inst)
         return;
     }
 
+    // Data fast path for capability-relative scalar accesses (CLLD
+    // excluded for the same reservation reason as LL above).
+    std::uint64_t vaddr =
+        cap::effectiveAddress(caps_.read(inst.cb), offset);
+    if (data_fastpath_enabled_ && inst.op != Opcode::kClld &&
+        vaddr % size == 0 &&
+        cap::checkDataAccess(caps_.read(inst.cb), offset, size,
+                             is_store ? cap::kPermStore
+                                      : cap::kPermLoad) ==
+            CapCause::kNone) {
+        if (is_store) {
+            if (tryFastWrite(vaddr, size, gpr_[inst.rd]))
+                return;
+        } else {
+            std::uint64_t value = 0;
+            if (tryFastRead(vaddr, size, value)) {
+                if (!isa::loadIsUnsigned(inst.op) && size < 8)
+                    value = static_cast<std::uint64_t>(
+                        signExtend(value, size * 8));
+                setGpr(inst.rd, value);
+                return;
+            }
+        }
+    }
+
     std::uint64_t paddr = 0;
     if (!checkedDataAccess(inst.cb, offset, size, is_store, false, paddr))
         return;
@@ -795,6 +982,8 @@ Cpu::executeCapMemory(const Instruction &inst)
         cycles_ += mem_cycles > 0 ? mem_cycles - 1 : 0;
         if (ll_valid_ && ll_addr_ == paddr)
             ll_valid_ = false;
+        if (data_fastpath_enabled_)
+            mintDataMemo(vaddr, paddr);
         return;
     }
 
@@ -807,6 +996,8 @@ Cpu::executeCapMemory(const Instruction &inst)
     if (inst.op == Opcode::kClld) {
         ll_valid_ = true;
         ll_addr_ = paddr;
+    } else if (data_fastpath_enabled_) {
+        mintDataMemo(vaddr, paddr);
     }
 }
 

@@ -88,6 +88,16 @@ struct SyscallAction
  * changes. Stores into cached lines invalidate the stale decodes via
  * the hierarchy's FetchInvalidationListener hook, so self-modifying
  * code decodes fresh bytes in both modes.
+ *
+ * The data fast path mirrors that design for loads and stores: a
+ * direct-mapped memo keyed by virtual line fuses the TLB translation
+ * (with a PTE permission snapshot) and a host pointer to the line's
+ * resident L1D way, so an unsealed in-bounds access that hits the
+ * memo skips checkedDataAccess and the full CacheHierarchy walk while
+ * replaying every simulated effect — TLB hit stat and LRU, L1D
+ * hit/LRU/latency, tag-clearing store semantics, fault injection,
+ * fetch coherence, and the store observer — bit-identically. See
+ * DESIGN.md §9.
  */
 class Cpu : private cache::FetchInvalidationListener
 {
@@ -156,6 +166,32 @@ class Cpu : private cache::FetchInvalidationListener
      */
     void invalidateDecodeCache() { ++decode_generation_; }
 
+    /**
+     * Toggle the data fast path (translation memo + L1D-hit
+     * short-circuit through host line pointers). Simulated timing,
+     * counters, and architectural behaviour are identical either way;
+     * disabling exists for the throughput benchmark's baseline and
+     * the invariance tests.
+     */
+    void setDataFastPathEnabled(bool enabled)
+    {
+        data_fastpath_enabled_ = enabled;
+    }
+    bool dataFastPathEnabled() const { return data_fastpath_enabled_; }
+
+    /**
+     * Drop every data-memo entry. Never required for correctness —
+     * entries revalidate their TLB generation and L1D residency on
+     * every use, and the memoized line pointer reads the same L1D
+     * storage the slow path does — but exposed for tests and for
+     * symmetry with invalidateDecodeCache.
+     */
+    void invalidateDataMemo()
+    {
+        for (DataMemoEntry &entry : data_memo_)
+            entry.vline = ~0ULL;
+    }
+
     /** Cycles accumulated over the CPU's lifetime. */
     std::uint64_t totalCycles() const { return cycles_; }
     /** Charge extra cycles (OS emulation of trapped instructions). */
@@ -219,6 +255,56 @@ class Cpu : private cache::FetchInvalidationListener
 
     /** FetchInvalidationListener: a store hit a (potential) code line. */
     void onCodeLineModified(std::uint64_t line_paddr) override;
+
+    // --- data fast path ---
+
+    /** Direct-mapped data-memo geometry (covers 32 KB of data, twice
+     *  the modeled L1D, so the memo is never the bottleneck). */
+    static constexpr std::size_t kDataMemoLines = 1024;
+
+    /**
+     * One memoized data line: the virtual→physical translation memo
+     * (a TLB hint with the PTE permission snapshot) fused with the
+     * host line-pointer cache (a revalidated-on-use handle to the
+     * line's resident L1D way). An entry is trusted only when its
+     * virtual line matches, the TLB generation is unchanged (any TLB
+     * write/flush or address-space switch bumps it), the PTE grants
+     * the access kind, and the L1D way still holds the line — so
+     * stale entries cost one failed compare chain and fall back to
+     * the full path with no effects applied.
+     */
+    struct DataMemoEntry
+    {
+        std::uint64_t vline = ~0ULL; ///< vaddr >> cache::kLineShift
+        std::uint64_t paddr_line = 0;
+        tlb::Tlb::DataHint hint;
+        cache::Cache::LineHandle l1d;
+    };
+
+    static std::size_t dataMemoIndex(std::uint64_t vline)
+    {
+        return vline & (kDataMemoLines - 1);
+    }
+
+    /**
+     * Fast-path attempts for a capability-checked, naturally aligned
+     * access at vaddr. On a memo hit they replay exactly the
+     * simulated effects of the slow path (TLB hit stat + LRU, one
+     * L1D hit with stat/LRU/latency, tag semantics, store observer,
+     * fetch coherence) and return success; on any staleness they
+     * apply no effects and return failure so the caller runs the
+     * full path.
+     */
+    bool tryFastRead(std::uint64_t vaddr, unsigned size,
+                     std::uint64_t &value);
+    bool tryFastWrite(std::uint64_t vaddr, unsigned size,
+                      std::uint64_t value);
+    const mem::TaggedLine *tryFastCapRead(std::uint64_t vaddr);
+    bool tryFastCapWrite(std::uint64_t vaddr,
+                         const mem::TaggedLine &line);
+
+    /** Refill the memo after a successful slow-path access. */
+    void mintDataMemo(std::uint64_t vaddr, std::uint64_t paddr);
 
     /** Raise a guest exception for the instruction at epc. */
     void raise(ExcCode code, std::uint64_t bad_vaddr = 0);
@@ -293,6 +379,10 @@ class Cpu : private cache::FetchInvalidationListener
     std::uint64_t decode_generation_ = 0;
     std::vector<DecodedLine> decode_cache_;
     tlb::Tlb::FetchHint fetch_hint_;
+
+    // Data fast path state.
+    bool data_fastpath_enabled_ = true;
+    std::vector<DataMemoEntry> data_memo_;
 
     // Cached PCC fetch window, refreshed when CapRegFile::pccVersion
     // moves (once per jump/domain crossing, not once per step). The

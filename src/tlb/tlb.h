@@ -154,6 +154,64 @@ class Tlb
     }
 
     /**
+     * Caller-held memo for data-side translations — the CPU's data
+     * fast path keeps one per memoized line. Like FetchHint it is
+     * guarded by the generation counter, so any flush, flushPage,
+     * setTable (address-space / ASID change) or capacity eviction
+     * invalidates every outstanding hint wholesale. Unlike FetchHint
+     * it additionally snapshots the PTE permission flags at mint time
+     * (cached PTEs never mutate in place), so the holder can pick the
+     * bit its access kind needs and fall back to the slow path — which
+     * replays the hit *and* the fault — when it is clear.
+     */
+    struct DataHint
+    {
+        std::uint64_t paddr_base = 0;
+        std::uint64_t generation = ~0ULL;
+        CachedEntry *entry = nullptr;
+        PteFlags flags{};
+    };
+
+    /** Host-side generation guarding caller-held hints: a hint whose
+     *  generation still equals this points at its live entry. */
+    std::uint64_t generation() const { return generation_; }
+
+    /**
+     * Mint a data hint for the page containing vaddr if it is
+     * currently cached. Pure host-side probe: no stats, no LRU
+     * movement, no penalty — call it after a successful translate()
+     * so the simulated effects have already been counted.
+     */
+    bool probeDataHint(std::uint64_t vaddr, DataHint &hint)
+    {
+        auto it = cached_.find(vaddr / kPageBytes);
+        if (it == cached_.end())
+            return false;
+        hint.paddr_base = it->second.pte.pfn * kPageBytes;
+        hint.generation = generation_;
+        hint.entry = &it->second;
+        hint.flags = it->second.pte.flags;
+        return true;
+    }
+
+    /**
+     * Replay the translate() hit path for an entry named by a
+     * still-valid hint (caller checked generation and the permission
+     * bit): same stat bump, same LRU outcome, zero penalty. checkPte
+     * is skipped for exactly the reason translateFetch may skip it —
+     * the flags snapshot was taken from the live entry and cached
+     * PTEs never mutate in place. Inline: this runs once per
+     * memoized data access.
+     */
+    void replayHit(const DataHint &hint)
+    {
+        ++*hits_;
+        auto &lru_it = hint.entry->lru_it;
+        if (lru_.begin() != lru_it)
+            lru_.splice(lru_.begin(), lru_, lru_it);
+    }
+
+    /**
      * Switch to another address space's page table (context switch);
      * flushes all cached entries.
      */

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Tests for the data-side memory fast path (translation memo + L1D-hit
+ * short-circuit, DESIGN.md §9). The fast path must be invisible to
+ * guest semantics and to simulated timing:
+ *
+ *  - Timing invariance: the four guest Olden kernels run with the data
+ *    fast path on and off (decode cache fixed on) must produce
+ *    bit-identical instruction counts, cycle counts, and every
+ *    memory/TLB/CPU counter.
+ *  - Lockstep: the same kernels under the co-simulation oracle with
+ *    the data fast path in both modes — zero divergence, and the two
+ *    modes agree on every counter.
+ *  - Targeted hazards: tag semantics through the fast store path, TLB
+ *    remap + flushPage invalidating the translation memo, and L1D
+ *    eviction invalidating the line handle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "check/lockstep.h"
+#include "core/machine.h"
+#include "isa/assembler.h"
+#include "support/stats.h"
+#include "tlb/page_table.h"
+#include "workloads/guest_olden.h"
+
+namespace cheri
+{
+namespace
+{
+
+using isa::Assembler;
+namespace reg = isa::reg;
+
+constexpr std::uint64_t kCodeBase = 0x10000;
+constexpr std::uint64_t kArena = 0x100000;
+
+/** One full run of a guest kernel with every stat snapshot taken. */
+struct ModeRun
+{
+    core::RunResult result;
+    std::uint64_t checksum = 0;
+    support::StatSet memory;
+    support::StatSet tlb;
+    support::StatSet cpu;
+};
+
+ModeRun
+runKernel(const workloads::GuestProgram &prog, bool data_fast)
+{
+    core::Machine machine;
+    machine.cpu().setDecodeCacheEnabled(true);
+    machine.cpu().setDataFastPathEnabled(data_fast);
+    workloads::loadGuestProgram(machine, prog);
+    ModeRun run;
+    run.result = workloads::runGuestProgram(machine, prog);
+    run.checksum = machine.cpu().gpr(reg::v0);
+    run.memory = machine.memory().collectStats();
+    run.tlb = machine.tlb().stats();
+    run.cpu = machine.cpu().stats();
+    return run;
+}
+
+void
+expectModesIdentical(const ModeRun &fast, const ModeRun &base)
+{
+    EXPECT_EQ(fast.checksum, base.checksum);
+    EXPECT_EQ(fast.result.instructions, base.result.instructions);
+    EXPECT_EQ(fast.result.cycles, base.result.cycles);
+    // Full counter-by-counter equality, not just totals: one extra or
+    // missing cache/TLB event anywhere would show up here.
+    EXPECT_EQ(fast.memory.all(), base.memory.all());
+    EXPECT_EQ(fast.tlb.all(), base.tlb.all());
+    EXPECT_EQ(fast.cpu.all(), base.cpu.all());
+}
+
+void
+expectIdentical(const workloads::GuestProgram &prog)
+{
+    expectModesIdentical(runKernel(prog, true), runKernel(prog, false));
+}
+
+TEST(DataTimingInvariance, TreeaddIdenticalAcrossModes)
+{
+    expectIdentical(workloads::guestTreeadd(8, 2));
+}
+
+TEST(DataTimingInvariance, BisortIdenticalAcrossModes)
+{
+    expectIdentical(workloads::guestBisort(64));
+}
+
+TEST(DataTimingInvariance, MstIdenticalAcrossModes)
+{
+    expectIdentical(workloads::guestMst(12));
+}
+
+TEST(DataTimingInvariance, Em3dIdenticalAcrossModes)
+{
+    expectIdentical(workloads::guestEm3d(10, 3, 2));
+}
+
+/** Lockstep oracle runs of one kernel in one data-fast-path mode. */
+ModeRun
+runLockstep(const workloads::GuestProgram &prog, bool data_fast)
+{
+    core::MachineConfig config;
+    config.dram_bytes = 8 * 1024 * 1024;
+    core::Machine machine(config);
+    workloads::loadGuestProgram(machine, prog);
+    machine.cpu().setDecodeCacheEnabled(true);
+    machine.cpu().setDataFastPathEnabled(data_fast);
+
+    check::Lockstep lockstep(machine);
+    check::LockstepResult result = lockstep.run();
+    EXPECT_FALSE(result.diverged) << result.divergence;
+    EXPECT_TRUE(result.hit_break);
+    EXPECT_EQ(machine.cpu().gpr(reg::v0), prog.expected_checksum);
+
+    ModeRun run;
+    run.result.instructions = result.instructions;
+    run.checksum = machine.cpu().gpr(reg::v0);
+    run.memory = machine.memory().collectStats();
+    run.tlb = machine.tlb().stats();
+    run.cpu = machine.cpu().stats();
+    return run;
+}
+
+class DataLockstepOlden : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(DataLockstepOlden, ZeroDivergenceAndCounterEquality)
+{
+    workloads::GuestProgram prog = [&] {
+        const std::string &name = GetParam();
+        if (name == "treeadd")
+            return workloads::guestTreeadd(5, 2);
+        if (name == "bisort")
+            return workloads::guestBisort(48);
+        if (name == "mst")
+            return workloads::guestMst(12);
+        return workloads::guestEm3d(10, 3, 2);
+    }();
+    ModeRun fast = runLockstep(prog, true);
+    ModeRun base = runLockstep(prog, false);
+    EXPECT_EQ(fast.result.instructions, base.result.instructions);
+    EXPECT_EQ(fast.checksum, base.checksum);
+    EXPECT_EQ(fast.memory.all(), base.memory.all());
+    EXPECT_EQ(fast.tlb.all(), base.tlb.all());
+    EXPECT_EQ(fast.cpu.all(), base.cpu.all());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, DataLockstepOlden,
+                         ::testing::Values("treeadd", "bisort", "mst",
+                                           "em3d"),
+                         [](const auto &info) { return info.param; });
+
+/**
+ * Tag semantics through the fast store path: a data store taken by the
+ * memoized L1D short-circuit must clear the line's capability tag, and
+ * a fast CSC must set it — both observable by a subsequent CLC.
+ * Result register encodes both checks: v0 = tag_after_data_store +
+ * 2 * tag_after_csc, expected 0 + 2*1 = 2.
+ */
+TEST(DataFastPathHazards, TagSemanticsThroughFastStores)
+{
+    Assembler a(kCodeBase);
+    a.li64(reg::t0, kArena);
+    a.cincbase(1, 0, reg::t0);
+    a.li(reg::t1, 0x1000);
+    a.csetlen(1, 1, reg::t1);
+    a.move(reg::t2, reg::zero);
+    a.li(reg::t3, 0x5a5a);
+    a.csd(reg::t3, 1, reg::t2, 0); // slow store, mints the memo
+    a.csc(1, 1, reg::t2, 0);       // fast CSC: tag = 1
+    a.csd(reg::t3, 1, reg::t2, 0); // fast data store: tag must clear
+    a.clc(2, 1, reg::t2, 0);
+    a.cgettag(reg::t4, 2); // expect 0
+    a.csc(1, 1, reg::t2, 0); // fast CSC again: tag = 1
+    a.clc(3, 1, reg::t2, 0);
+    a.cgettag(reg::t5, 3); // expect 1
+    a.daddu(reg::v0, reg::t4, reg::t5);
+    a.daddu(reg::v0, reg::v0, reg::t5);
+    a.break_();
+    std::vector<std::uint32_t> text = a.finish();
+
+    for (bool data_fast : {true, false}) {
+        core::Machine machine;
+        machine.cpu().setDataFastPathEnabled(data_fast);
+        machine.mapRange(kArena, 0x1000);
+        machine.loadProgram(kCodeBase, text);
+        machine.reset(kCodeBase);
+        core::RunResult result = machine.cpu().run(10'000);
+        EXPECT_EQ(result.reason, core::StopReason::kBreak);
+        EXPECT_EQ(machine.cpu().gpr(reg::v0), 2u)
+            << "data_fast=" << data_fast;
+    }
+}
+
+/**
+ * Remapping a page and flushing its TLB entry must invalidate the
+ * translation memo: the next access through the memoized virtual line
+ * must see the new physical page, not the old one.
+ */
+TEST(DataFastPathHazards, TlbRemapInvalidatesMemo)
+{
+    constexpr std::uint64_t kPageA = kArena;
+    constexpr std::uint64_t kPageB = kArena + 2 * tlb::kPageBytes;
+    constexpr std::uint64_t kPhase2 = kCodeBase + 0x2000;
+
+    Assembler phase1(kCodeBase);
+    phase1.li64(reg::t0, kPageA);
+    phase1.li(reg::t1, 0x1111);
+    phase1.sd(reg::t1, reg::t0, 0);
+    phase1.li64(reg::t2, kPageB);
+    phase1.li(reg::t3, 0x2222);
+    phase1.sd(reg::t3, reg::t2, 0);
+    phase1.ld(reg::s0, reg::t0, 0); // mints the memo for page A
+    phase1.ld(reg::s0, reg::t0, 0); // fast read
+    phase1.break_();
+
+    Assembler phase2(kPhase2);
+    phase2.li64(reg::t0, kPageA);
+    phase2.ld(reg::v0, reg::t0, 0);
+    phase2.break_();
+
+    for (bool data_fast : {true, false}) {
+        core::Machine machine;
+        machine.cpu().setDataFastPathEnabled(data_fast);
+        machine.mapRange(kArena, 4 * tlb::kPageBytes);
+        machine.loadProgram(kCodeBase, phase1.finish());
+        machine.loadProgram(kPhase2, phase2.finish());
+        machine.reset(kCodeBase);
+        core::RunResult result = machine.cpu().run(10'000);
+        ASSERT_EQ(result.reason, core::StopReason::kBreak);
+        EXPECT_EQ(machine.cpu().gpr(reg::s0), 0x1111u);
+
+        // Host remaps page A onto page B's frame and flushes the stale
+        // TLB entry; the generation bump must kill the data memo.
+        auto pte_b = machine.pageTable().lookup(kPageB / tlb::kPageBytes);
+        ASSERT_TRUE(pte_b.has_value());
+        machine.pageTable().map(kPageA / tlb::kPageBytes, pte_b->pfn);
+        machine.tlb().flushPage(kPageA);
+
+        machine.cpu().setPc(kPhase2);
+        result = machine.cpu().run(10'000);
+        ASSERT_EQ(result.reason, core::StopReason::kBreak);
+        EXPECT_EQ(machine.cpu().gpr(reg::v0), 0x2222u)
+            << "data_fast=" << data_fast;
+    }
+}
+
+/**
+ * Evicting the memoized line from the L1D must invalidate the line
+ * handle: the next access falls back to the slow path (refill) and
+ * still reads the line's last value. Counter equality between modes
+ * proves the fast path neither skipped the refill nor miscounted it.
+ */
+TEST(DataFastPathHazards, L1dEvictionInvalidatesHandle)
+{
+    // L1D: 16 KB, 4 ways, 32 B lines -> 128 sets; lines 4096 bytes
+    // apart share a set, so 7 extra lines overflow the 4 ways.
+    Assembler a(kCodeBase);
+    a.li64(reg::t0, kArena);
+    a.li(reg::t1, 0x7777);
+    a.sd(reg::t1, reg::t0, 0);  // mints the memo
+    a.ld(reg::s0, reg::t0, 0);  // fast read
+    for (int k = 1; k <= 7; ++k)
+        a.ld(reg::t2, reg::t0, k * 4096); // conflict: evicts the line
+    a.ld(reg::v0, reg::t0, 0); // stale handle -> slow refill
+    a.break_();
+    std::vector<std::uint32_t> text = a.finish();
+
+    ModeRun runs[2];
+    for (bool data_fast : {true, false}) {
+        core::Machine machine;
+        machine.cpu().setDataFastPathEnabled(data_fast);
+        machine.mapRange(kArena, 8 * tlb::kPageBytes);
+        machine.loadProgram(kCodeBase, text);
+        machine.reset(kCodeBase);
+        ModeRun &run = runs[data_fast ? 0 : 1];
+        run.result = machine.cpu().run(10'000);
+        EXPECT_EQ(run.result.reason, core::StopReason::kBreak);
+        EXPECT_EQ(machine.cpu().gpr(reg::v0), 0x7777u)
+            << "data_fast=" << data_fast;
+        run.checksum = machine.cpu().gpr(reg::v0);
+        run.memory = machine.memory().collectStats();
+        run.tlb = machine.tlb().stats();
+        run.cpu = machine.cpu().stats();
+    }
+    expectModesIdentical(runs[0], runs[1]);
+}
+
+} // namespace
+} // namespace cheri

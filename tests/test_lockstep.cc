@@ -48,6 +48,7 @@ TEST_P(LockstepOlden, ZeroDivergence)
     core::Machine machine(config);
     workloads::loadGuestProgram(machine, prog);
     machine.cpu().setDecodeCacheEnabled(fast_path);
+    machine.cpu().setDataFastPathEnabled(fast_path);
 
     check::Lockstep lockstep(machine);
     check::LockstepResult result = lockstep.run();

@@ -16,6 +16,10 @@
  *     --inject-fault tag-clear
  *                          arm the hierarchy's skip-tag-clear fault:
  *                          the oracle must catch it (self-test)
+ *     --data-fastpath follow|on|off
+ *                          data-side fast path per oracle pass:
+ *                          follow the fetch toggle (default), force on
+ *                          in both passes, or force off
  *     --expect-divergence  exit 0 iff a divergence WAS found
  *     --quiet              only print the summary line
  *
@@ -40,6 +44,7 @@ main(int argc, char **argv)
     bool expect_divergence = false;
     bool quiet = false;
     cache::FaultInjection injection = cache::FaultInjection::kNone;
+    check::DataFastPathMode data_mode = check::DataFastPathMode::kFollow;
 
     if (const char *env = std::getenv("CHERI_FUZZ_SEEDS"))
         seeds = std::strtoull(env, nullptr, 0);
@@ -61,6 +66,20 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "unknown fault kind %s\n", kind);
                 return 2;
             }
+        } else if (std::strcmp(argv[i], "--data-fastpath") == 0 &&
+                   i + 1 < argc) {
+            const char *mode = argv[++i];
+            if (std::strcmp(mode, "follow") == 0) {
+                data_mode = check::DataFastPathMode::kFollow;
+            } else if (std::strcmp(mode, "on") == 0) {
+                data_mode = check::DataFastPathMode::kForceOn;
+            } else if (std::strcmp(mode, "off") == 0) {
+                data_mode = check::DataFastPathMode::kForceOff;
+            } else {
+                std::fprintf(stderr, "unknown data-fastpath mode %s\n",
+                             mode);
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--expect-divergence") == 0) {
             expect_divergence = true;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -70,6 +89,7 @@ main(int argc, char **argv)
                 stderr,
                 "usage: cheri-fuzz [--seeds N] [--start-seed N] "
                 "[--shrink] [--inject-fault tag-clear] "
+                "[--data-fastpath follow|on|off] "
                 "[--expect-divergence] [--quiet]\n");
             return 2;
         }
@@ -82,7 +102,7 @@ main(int argc, char **argv)
         std::vector<std::uint32_t> words =
             check::assembleFuzzProgram(spec);
         check::FuzzRunResult result =
-            check::runFuzzWords(words, injection);
+            check::runFuzzWords(words, injection, 20000, data_mode);
         if (!result.diverged) {
             if (!quiet)
                 std::printf("seed %llu: ok (%zu ops, %zu words)\n",
@@ -98,11 +118,12 @@ main(int argc, char **argv)
                     result.divergence.c_str());
         if (shrink) {
             check::FuzzSpec small = spec;
-            small.ops = check::shrinkOps(spec, injection);
+            small.ops = check::shrinkOps(spec, injection, 20000, data_mode);
             std::vector<std::uint32_t> small_words =
                 check::assembleFuzzProgram(small);
             check::FuzzRunResult small_result =
-                check::runFuzzWords(small_words, injection);
+                check::runFuzzWords(small_words, injection, 20000,
+                                    data_mode);
             std::printf("shrunk %zu ops -> %zu ops\n",
                         spec.ops.size(), small.ops.size());
             std::fputs(
