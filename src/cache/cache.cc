@@ -202,6 +202,63 @@ Cache::invalidateLine(std::uint64_t paddr)
     }
 }
 
+std::vector<std::uint64_t>
+Cache::residentLines() const
+{
+    std::vector<std::uint64_t> lines;
+    for (std::uint64_t set = 0; set < num_sets_; ++set) {
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            const Way &way = ways_[set * config_.ways + w];
+            if (way.valid)
+                lines.push_back((way.addr_tag * num_sets_ + set) *
+                                mem::kLineBytes);
+        }
+    }
+    return lines;
+}
+
+std::vector<std::uint64_t>
+Cache::residentTaggedLines() const
+{
+    std::vector<std::uint64_t> lines;
+    for (std::uint64_t set = 0; set < num_sets_; ++set) {
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            const Way &way = ways_[set * config_.ways + w];
+            if (way.valid && way.line.tag)
+                lines.push_back((way.addr_tag * num_sets_ + set) *
+                                mem::kLineBytes);
+        }
+    }
+    return lines;
+}
+
+bool
+Cache::clearTagIfResident(std::uint64_t paddr)
+{
+    Way *way = probeWay(paddr);
+    if (way == nullptr)
+        return false;
+    way->line.tag = false;
+    return true;
+}
+
+void
+Cache::restore(const Snapshot &snapshot)
+{
+    if (snapshot.ways.size() != ways_.size()) {
+        support::panic("cache %s: snapshot has %llu ways, cache has "
+                       "%llu",
+                       config_.name.c_str(),
+                       static_cast<unsigned long long>(
+                           snapshot.ways.size()),
+                       static_cast<unsigned long long>(ways_.size()));
+    }
+    ways_ = snapshot.ways;
+    lru_clock_ = snapshot.lru_clock;
+    stats_.assignFrom(snapshot.stats);
+    memo_.fill(Memo{});
+}
+
 void
 Cache::flush()
 {

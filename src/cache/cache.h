@@ -91,6 +91,24 @@ class DramSource : public LineSource
     /** Total line transactions (reads + writes), for traffic stats. */
     std::uint64_t transactions() const { return transactions_; }
 
+    /** Transaction count + open-row state, for machine checkpointing. */
+    struct Snapshot
+    {
+        std::uint64_t transactions = 0;
+        std::uint64_t open_row = ~0ULL;
+    };
+
+    /** Capture transaction count and open-row state. */
+    Snapshot save() const { return Snapshot{transactions_, open_row_}; }
+
+    /** Restore transaction count and open-row state. */
+    void
+    restore(const Snapshot &snapshot)
+    {
+        transactions_ = snapshot.transactions;
+        open_row_ = snapshot.open_row;
+    }
+
   private:
     std::uint64_t accessLatency(std::uint64_t paddr);
 
@@ -301,6 +319,46 @@ class Cache : public LineSource
     void resetStats() { stats_.reset(); }
 
     const CacheConfig &config() const { return config_; }
+
+    // --- fault-injection introspection (host-side; no stats, no LRU
+    // effect, no cycles) ---
+
+    /**
+     * Physical line addresses of every resident line, in way-index
+     * order — a deterministic enumeration for fault-candidate
+     * selection.
+     */
+    std::vector<std::uint64_t> residentLines() const;
+
+    /** Resident lines whose capability tag is currently set. */
+    std::vector<std::uint64_t> residentTaggedLines() const;
+
+    /**
+     * Clear the capability tag on the resident copy of paddr's line
+     * (fault injection). Returns false when the line is not resident.
+     */
+    bool clearTagIfResident(std::uint64_t paddr);
+
+    /**
+     * Full cache state (every way, the LRU clock, statistics),
+     * captured for machine checkpointing.
+     */
+    struct Snapshot
+    {
+        std::vector<Way> ways;
+        std::uint64_t lru_clock = 0;
+        support::StatSet stats;
+    };
+
+    /** Capture full cache state. */
+    Snapshot save() const { return Snapshot{ways_, lru_clock_, stats_}; }
+
+    /**
+     * Restore full cache state; the geometry must match. The findOrFill
+     * memo is cleared — memo hits replay identical simulated effects,
+     * so this cannot perturb counters, it only drops stale way links.
+     */
+    void restore(const Snapshot &snapshot);
 
   private:
     struct Way

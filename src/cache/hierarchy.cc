@@ -102,6 +102,30 @@ CacheHierarchy::flushAll()
     l2_.flush();
 }
 
+CacheHierarchy::Snapshot
+CacheHierarchy::save() const
+{
+    Snapshot snapshot;
+    snapshot.l2 = l2_.save();
+    snapshot.l1i = l1i_.save();
+    snapshot.l1d = l1d_.save();
+    snapshot.dram = dram_.save();
+    snapshot.fetched_lines = fetched_lines_;
+    snapshot.written_lines = written_lines_;
+    return snapshot;
+}
+
+void
+CacheHierarchy::restore(const Snapshot &snapshot)
+{
+    l2_.restore(snapshot.l2);
+    l1i_.restore(snapshot.l1i);
+    l1d_.restore(snapshot.l1d);
+    dram_.restore(snapshot.dram);
+    fetched_lines_ = snapshot.fetched_lines;
+    written_lines_ = snapshot.written_lines;
+}
+
 support::StatSet
 CacheHierarchy::collectStats() const
 {

@@ -52,19 +52,6 @@ class StoreObserver
     virtual void onLineWritten(std::uint64_t line_paddr) = 0;
 };
 
-/**
- * Deliberate architectural faults the hierarchy can inject, used by
- * the oracle/fuzzer tests to prove the lockstep machinery actually
- * detects divergence. Never enabled outside tests.
- */
-enum class FaultInjection
-{
-    kNone,
-    /** Data stores no longer clear the containing line's tag —
-     *  breaks the paper's capability-unforgeability guarantee. */
-    kSkipTagClearOnWrite,
-};
-
 /** Geometry of the full hierarchy (paper defaults, Sections 8/9). */
 struct HierarchyConfig
 {
@@ -255,12 +242,43 @@ class CacheHierarchy
         updateStoreHooks();
     }
 
-    /** Arm (or disarm, with kNone) a deliberate fault — tests only. */
-    void setFaultInjection(FaultInjection injection)
+    /**
+     * Arm (or disarm) the behavioural fault where data stores no
+     * longer clear the containing line's capability tag — breaking the
+     * paper's unforgeability guarantee. Used by the oracle/fuzzer
+     * self-tests and the fault-injection campaign (check/fault_plan.h
+     * holds the full fault-class taxonomy; this is the only fault that
+     * lives in the store path itself rather than being a one-shot
+     * state corruption). Never enabled outside tests and campaigns.
+     */
+    void setStoreTagClearSuppressed(bool suppressed)
     {
-        fault_injection_ = injection;
+        suppress_store_tag_clear_ = suppressed;
         updateStoreHooks();
     }
+
+    /**
+     * Full hierarchy state (all three caches, DRAM open-row/transaction
+     * state, the fetch-coherence memos), captured for machine
+     * checkpointing. An exact deep copy — nothing is flushed, so a
+     * restored machine replays the same hit/miss/writeback sequence as
+     * the original.
+     */
+    struct Snapshot
+    {
+        Cache::Snapshot l2;
+        Cache::Snapshot l1i;
+        Cache::Snapshot l1d;
+        DramSource::Snapshot dram;
+        std::array<std::uint64_t, 64> fetched_lines{};
+        std::array<std::uint64_t, 64> written_lines{};
+    };
+
+    /** Capture full hierarchy state. */
+    Snapshot save() const;
+
+    /** Restore full hierarchy state (geometry must match). */
+    void restore(const Snapshot &snapshot);
 
     Cache &l1i() { return l1i_; }
     Cache &l1d() { return l1d_; }
@@ -273,7 +291,7 @@ class CacheHierarchy
     /**
      * Tail of every general-purpose store: the architectural tag
      * clear, fetch coherence, and the host-side hooks. The hooks
-     * (StoreObserver, FaultInjection) are rare — only the lockstep
+     * (StoreObserver, tag-clear suppression) are rare — only the lockstep
      * oracle and fault-injection self-tests arm them — so the
      * non-observed hot path pays a single predictable branch on
      * store_hooks_armed_ and never touches the pointer or the
@@ -285,7 +303,7 @@ class CacheHierarchy
         if (!store_hooks_armed_) {
             line.tag = false; // general-purpose store clears the tag
         } else {
-            if (fault_injection_ != FaultInjection::kSkipTagClearOnWrite)
+            if (!suppress_store_tag_clear_)
                 line.tag = false;
             if (store_observer_ != nullptr)
                 store_observer_->onLineWritten(
@@ -297,8 +315,8 @@ class CacheHierarchy
     /** Recompute the merged cheap guard for the store-path hooks. */
     void updateStoreHooks()
     {
-        store_hooks_armed_ = store_observer_ != nullptr ||
-                             fault_injection_ != FaultInjection::kNone;
+        store_hooks_armed_ =
+            store_observer_ != nullptr || suppress_store_tag_clear_;
     }
 
     void
@@ -363,7 +381,7 @@ class CacheHierarchy
     Cache l1d_;
     FetchInvalidationListener *fetch_listener_ = nullptr;
     StoreObserver *store_observer_ = nullptr;
-    FaultInjection fault_injection_ = FaultInjection::kNone;
+    bool suppress_store_tag_clear_ = false;
     /** True iff an observer or a fault injection is armed (merged
      *  guard so the store hot path checks one flag, not two). */
     bool store_hooks_armed_ = false;

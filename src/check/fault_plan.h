@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Generalized fault injection for the robustness campaign: one-shot
+ * state corruptions applied to a running Machine at a chosen
+ * retired-instruction count. Each fault class models a distinct
+ * physical failure the CHERI protection model (or the co-simulation
+ * oracle) should catch:
+ *
+ *  - kTagTableFlip:  a soft error in the in-DRAM tag table — a line's
+ *    capability tag flips, either forging a tag over data or dropping
+ *    a legitimate one.
+ *  - kDramBitFlip:   a single-bit soft error in a DRAM data line.
+ *  - kTlbCorruption: a cached TLB entry's translation is rewritten to
+ *    point at the wrong physical frame (the page table stays clean,
+ *    so a refill self-heals).
+ *  - kCacheTagDrop:  the capability tag of a resident tagged line is
+ *    dropped coherently (every cache level plus the tag table), the
+ *    failure the paper's unforgeability argument is about.
+ *  - kMemoStaleness: a live entry of the CPU's data-memo fast path is
+ *    repointed at a different resident L1D line — a host-optimization
+ *    bug rather than a hardware fault, observable only with the data
+ *    fast path enabled.
+ *
+ * Target selection inside a class is a pure function of the plan's
+ * 'pick' value and the machine state, so a campaign with a fixed seed
+ * reproduces byte-for-byte. A class that has no valid target in the
+ * current machine state (no tagged resident line, no live memo, no
+ * cached TLB entry) rotates to the next class in a fixed cyclic
+ * order; the DRAM and tag-table classes always apply, so rotation
+ * terminates.
+ */
+
+#ifndef CHERI_CHECK_FAULT_PLAN_H
+#define CHERI_CHECK_FAULT_PLAN_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/machine.h"
+
+namespace cheri::check
+{
+
+/** The injectable fault classes (see file comment). */
+enum class FaultClass
+{
+    kTagTableFlip,
+    kDramBitFlip,
+    kTlbCorruption,
+    kCacheTagDrop,
+    kMemoStaleness,
+};
+
+constexpr unsigned kNumFaultClasses = 5;
+
+/** Stable lower-case name used in reports and JSON keys. */
+const char *faultClassName(FaultClass fault);
+
+/** One planned injection. */
+struct FaultPlan
+{
+    FaultClass fault = FaultClass::kDramBitFlip;
+    /** Retired-instruction count at which the caller injects. */
+    std::uint64_t inject_at = 0;
+    /** Deterministic target selector within the class. */
+    std::uint64_t pick = 0;
+};
+
+/** What applyFault actually did. */
+struct FaultOutcome
+{
+    bool applied = false;
+    /** Class that applied after rotation (== plan.fault when no
+     *  rotation was needed). */
+    FaultClass applied_class = FaultClass::kDramBitFlip;
+    /** Human-readable description of the corrupted target. */
+    std::string target;
+};
+
+/**
+ * Apply the planned fault to the machine's current state. The caller
+ * is responsible for having advanced the machine to plan.inject_at
+ * retired instructions. Returns the class that actually applied (the
+ * requested one, or the first applicable class in rotation order) and
+ * a description of the target. 'applied' is false only for a machine
+ * with no allocated physical frames.
+ */
+FaultOutcome applyFault(core::Machine &machine, const FaultPlan &plan);
+
+} // namespace cheri::check
+
+#endif // CHERI_CHECK_FAULT_PLAN_H

@@ -703,7 +703,7 @@ assembleFuzzProgram(const FuzzSpec &spec)
 
 FuzzRunResult
 runFuzzWords(const std::vector<std::uint32_t> &words,
-             cache::FaultInjection injection,
+             bool suppress_tag_clear,
              std::uint64_t max_instructions,
              DataFastPathMode data_mode)
 {
@@ -728,7 +728,7 @@ runFuzzWords(const std::vector<std::uint32_t> &words,
         bool data_fast = data_mode == DataFastPathMode::kForceOn ||
                          (data_mode == DataFastPathMode::kFollow && fast);
         machine.cpu().setDataFastPathEnabled(data_fast);
-        machine.memory().setFaultInjection(injection);
+        machine.memory().setStoreTagClearSuppressed(suppress_tag_clear);
 
         LockstepConfig lockstep_config;
         lockstep_config.max_instructions = max_instructions;
@@ -745,14 +745,15 @@ runFuzzWords(const std::vector<std::uint32_t> &words,
 }
 
 std::vector<FuzzOp>
-shrinkOps(const FuzzSpec &spec, cache::FaultInjection injection,
+shrinkOps(const FuzzSpec &spec, bool suppress_tag_clear,
           std::uint64_t max_instructions, DataFastPathMode data_mode)
 {
     auto diverges = [&](const std::vector<FuzzOp> &ops) {
         FuzzSpec candidate = spec;
         candidate.ops = ops;
-        return runFuzzWords(assembleFuzzProgram(candidate), injection,
-                            max_instructions, data_mode)
+        return runFuzzWords(assembleFuzzProgram(candidate),
+                            suppress_tag_clear, max_instructions,
+                            data_mode)
             .diverged;
     };
 

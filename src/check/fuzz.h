@@ -131,23 +131,24 @@ enum class DataFastPathMode
 /**
  * Run an assembled program in lockstep against RefCpu with the fetch
  * fast path on and off; returns the first divergence (if any).
- * 'injection' arms a deliberate hierarchy fault for oracle self-tests.
+ * 'suppress_tag_clear' arms the hierarchy's behavioural fault (data
+ * stores stop clearing tags) for oracle self-tests.
  * 'data_mode' selects the data fast path per pass (see above).
  */
 FuzzRunResult runFuzzWords(const std::vector<std::uint32_t> &words,
-                           cache::FaultInjection injection =
-                               cache::FaultInjection::kNone,
+                           bool suppress_tag_clear = false,
                            std::uint64_t max_instructions = 20000,
                            DataFastPathMode data_mode =
                                DataFastPathMode::kFollow);
 
 /**
  * ddmin-style shrink: repeatedly delete chunks of ops while the
- * program still diverges under 'injection'. Returns the minimal op
- * list found (the input spec's ops if nothing can be removed).
+ * program still diverges with the tag-clear fault armed as given.
+ * Returns the minimal op list found (the input spec's ops if nothing
+ * can be removed).
  */
 std::vector<FuzzOp> shrinkOps(const FuzzSpec &spec,
-                              cache::FaultInjection injection,
+                              bool suppress_tag_clear,
                               std::uint64_t max_instructions = 20000,
                               DataFastPathMode data_mode =
                                   DataFastPathMode::kFollow);

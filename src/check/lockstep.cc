@@ -203,16 +203,34 @@ Lockstep::finalSweep(std::string &out)
 LockstepResult
 Lockstep::run()
 {
+    LockstepResult result = runFor(config_.max_instructions);
+    if (!result.diverged && config_.final_memory_sweep) {
+        std::string detail;
+        if (!finalSweep(detail)) {
+            result.diverged = true;
+            result.divergence = report(detail);
+        }
+    }
+    return result;
+}
+
+LockstepResult
+Lockstep::runFor(std::uint64_t max_instructions)
+{
     LockstepResult result;
     core::Cpu &cpu = machine_.cpu();
 
-    while (result.instructions < config_.max_instructions) {
+    while (result.instructions < max_instructions) {
         cpu_lines_.clear();
         std::uint64_t before = cpu.totalInstructions();
         core::RunResult rr = cpu.run(1);
         std::uint64_t retired = cpu.totalInstructions() - before;
         bool cpu_trapped = rr.reason == core::StopReason::kTrap;
         bool cpu_break = rr.reason == core::StopReason::kBreak;
+        if (cpu_trapped) {
+            result.fast_trapped = true;
+            result.fast_trap = rr.trap;
+        }
 
         // Match the reference to the fast CPU's stopping point: the
         // same number of retirements, plus — when the fast CPU faulted
@@ -259,6 +277,7 @@ Lockstep::run()
             }
         }
         result.instructions += done;
+        total_instructions_ += done;
 
         if (done != retired) {
             result.diverged = true;
@@ -337,13 +356,8 @@ Lockstep::run()
         }
     }
 
-    if (!result.diverged && config_.final_memory_sweep) {
-        std::string detail;
-        if (!finalSweep(detail)) {
-            result.diverged = true;
-            result.divergence = report(detail);
-        }
-    }
+    if (!result.diverged && !result.trapped && !result.hit_break)
+        result.hit_limit = true;
     return result;
 }
 

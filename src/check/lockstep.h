@@ -51,7 +51,18 @@ struct LockstepResult
     /** Both machines raised the same trap (valid in 'trap'). */
     bool trapped = false;
     core::Trap trap;
-    /** Instructions retired by the pair before stopping. */
+    /** Stopped because the instruction budget ran out. */
+    bool hit_limit = false;
+    /**
+     * The fast CPU raised a trap (valid in 'fast_trap'). When
+     * 'trapped' is also set the reference raised the identical trap;
+     * when 'diverged' is set instead, the trap itself is the
+     * divergence (the usual signature of an injected fault caught by
+     * a capability or TLB check).
+     */
+    bool fast_trapped = false;
+    core::Trap fast_trap;
+    /** Instructions retired by the pair during this call. */
     std::uint64_t instructions = 0;
     /** Human-readable first-divergence report; empty when clean. */
     std::string divergence;
@@ -76,6 +87,27 @@ class Lockstep : private cache::StoreObserver
 
     /** Run to break/trap/limit or first divergence. */
     LockstepResult run();
+
+    /**
+     * Resumable variant: run up to 'max_instructions' more retired
+     * instructions and return (without the final memory sweep).
+     * Position persists across calls, so a caller can pair a clean
+     * prefix, mutate the fast machine (inject a fault), and continue
+     * comparing — the reference stays pristine. Once a call reports
+     * diverged/trapped/hit_break the pair should not be stepped
+     * further.
+     */
+    LockstepResult runFor(std::uint64_t max_instructions);
+
+    /**
+     * Flush the fast machine and diff every DRAM line + tag against
+     * the reference. Usable at any stopping point; 'out' receives the
+     * first mismatch.
+     */
+    bool finalStateMatches(std::string &out) { return finalSweep(out); }
+
+    /** Instructions retired by the pair since construction. */
+    std::uint64_t totalInstructions() const { return total_instructions_; }
 
   private:
     void onLineWritten(std::uint64_t line_paddr) override;
@@ -111,6 +143,8 @@ class Lockstep : private cache::StoreObserver
     };
     std::vector<TraceEntry> trace_; ///< ring buffer, size config.window
     std::uint64_t trace_next_ = 0;
+    /** Retired by the pair across all runFor/run calls. */
+    std::uint64_t total_instructions_ = 0;
 };
 
 } // namespace cheri::check

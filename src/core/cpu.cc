@@ -395,6 +395,12 @@ Cpu::step()
 RunResult
 Cpu::run(std::uint64_t max_instructions)
 {
+    return run(RunLimits{max_instructions, ~0ULL});
+}
+
+RunResult
+Cpu::run(const RunLimits &limits)
+{
     RunResult result;
     std::uint64_t start_insts = instructions_;
     std::uint64_t start_cycles = cycles_;
@@ -402,10 +408,15 @@ Cpu::run(std::uint64_t max_instructions)
     // Never stop between a taken branch and its delay slot: the
     // pending-branch state is microarchitectural, and a context
     // switch restored via setPc() would lose the target. Run the
-    // delay slot before honouring the instruction limit, so every
-    // stop is at a clean commit boundary.
-    while (instructions_ - start_insts < max_instructions ||
+    // delay slot before honouring either budget, so every stop is at
+    // a clean commit boundary.
+    while (instructions_ - start_insts < limits.max_instructions ||
            branch_pending_) {
+        if (cycles_ - start_cycles >= limits.max_cycles &&
+            !branch_pending_) {
+            result.reason = StopReason::kCycleLimit;
+            break;
+        }
         trap_pending_ = false;
         StepOutcome outcome = step();
         if (outcome.trapped) {
@@ -426,6 +437,100 @@ Cpu::run(std::uint64_t max_instructions)
     result.instructions = instructions_ - start_insts;
     result.cycles = cycles_ - start_cycles;
     return result;
+}
+
+Cpu::Snapshot
+Cpu::save() const
+{
+    Snapshot snapshot;
+    snapshot.gpr = gpr_;
+    snapshot.hi = hi_;
+    snapshot.lo = lo_;
+    snapshot.pc = pc_;
+    snapshot.next_pc = next_pc_;
+    snapshot.caps = caps_.save();
+    snapshot.cp2_enabled = cp2_enabled_;
+    snapshot.ll_valid = ll_valid_;
+    snapshot.ll_addr = ll_addr_;
+    snapshot.predictor = predictor_;
+    snapshot.cycles = cycles_;
+    snapshot.instructions = instructions_;
+    snapshot.current_pc = current_pc_;
+    snapshot.in_delay_slot = in_delay_slot_;
+    snapshot.branch_pending = branch_pending_;
+    snapshot.pcc_swap_countdown = pcc_swap_countdown_;
+    snapshot.pending_pcc = pending_pcc_;
+    snapshot.pending_trap = pending_trap_;
+    snapshot.trap_pending = trap_pending_;
+    snapshot.stats = stats_;
+    return snapshot;
+}
+
+void
+Cpu::restore(const Snapshot &snapshot)
+{
+    gpr_ = snapshot.gpr;
+    hi_ = snapshot.hi;
+    lo_ = snapshot.lo;
+    pc_ = snapshot.pc;
+    next_pc_ = snapshot.next_pc;
+    caps_.restore(snapshot.caps);
+    cp2_enabled_ = snapshot.cp2_enabled;
+    ll_valid_ = snapshot.ll_valid;
+    ll_addr_ = snapshot.ll_addr;
+    predictor_ = snapshot.predictor;
+    cycles_ = snapshot.cycles;
+    instructions_ = snapshot.instructions;
+    current_pc_ = snapshot.current_pc;
+    in_delay_slot_ = snapshot.in_delay_slot;
+    branch_pending_ = snapshot.branch_pending;
+    pcc_swap_countdown_ = snapshot.pcc_swap_countdown;
+    pending_pcc_ = snapshot.pending_pcc;
+    pending_trap_ = snapshot.pending_trap;
+    trap_pending_ = snapshot.trap_pending;
+    stats_.assignFrom(snapshot.stats);
+    // Host-side accelerators are not snapshotted: drop them all and
+    // let the slow paths re-mint. Each replays identical simulated
+    // effects, so this cannot perturb counters.
+    ++decode_generation_;
+    fetch_hint_ = tlb::Tlb::FetchHint{};
+    invalidateDataMemo();
+    pcc_version_seen_ = ~0ULL;
+}
+
+bool
+Cpu::injectMemoSkew(std::uint64_t pick)
+{
+    // Live memo entries in index order: deterministic for a given
+    // machine state and pick.
+    std::vector<std::size_t> live;
+    for (std::size_t i = 0; i < data_memo_.size(); ++i) {
+        const DataMemoEntry &entry = data_memo_[i];
+        if (entry.vline != ~0ULL &&
+            entry.hint.generation == tlb_.generation() &&
+            memory_.l1d().handleValid(entry.l1d)) {
+            live.push_back(i);
+        }
+    }
+    if (live.empty())
+        return false;
+    DataMemoEntry &victim = data_memo_[live[pick % live.size()]];
+
+    std::vector<std::uint64_t> resident = memory_.l1d().residentLines();
+    if (resident.size() < 2)
+        return false;
+    std::size_t start = (pick / live.size()) % resident.size();
+    for (std::size_t i = 0; i < resident.size(); ++i) {
+        std::uint64_t line = resident[(start + i) % resident.size()];
+        if (line == victim.paddr_line)
+            continue;
+        cache::Cache::LineHandle handle;
+        if (memory_.l1d().probeHandle(line, handle)) {
+            victim.l1d = handle;
+            return true;
+        }
+    }
+    return false;
 }
 
 void

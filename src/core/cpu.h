@@ -50,10 +50,22 @@ struct CpuTiming
 /** Why Cpu::run returned. */
 enum class StopReason
 {
-    kInstLimit, ///< executed the requested number of instructions
-    kExited,    ///< syscall handler requested exit
-    kTrap,      ///< unhandled guest exception (see Trap)
-    kBreak,     ///< BREAK instruction
+    kInstLimit,  ///< executed the requested number of instructions
+    kCycleLimit, ///< exhausted the cycle budget (watchdog)
+    kExited,     ///< syscall handler requested exit
+    kTrap,       ///< unhandled guest exception (see Trap)
+    kBreak,      ///< BREAK instruction
+};
+
+/**
+ * Execution budget for Cpu::run. The cycle budget is the watchdog
+ * half: a corrupted guest that spins or wanders returns a structured
+ * kCycleLimit/kInstLimit result instead of hanging the host.
+ */
+struct RunLimits
+{
+    std::uint64_t max_instructions = ~0ULL;
+    std::uint64_t max_cycles = ~0ULL;
 };
 
 /** Outcome of a run. */
@@ -148,6 +160,15 @@ class Cpu : private cache::FetchInvalidationListener
     RunResult run(std::uint64_t max_instructions);
 
     /**
+     * Run under an instruction and cycle budget; stops early on
+     * exit/trap/break. Both budgets are checked between whole
+     * instructions (never between a branch and its delay slot), so a
+     * budgeted run retires a prefix of exactly the instructions an
+     * unbudgeted run would.
+     */
+    RunResult run(const RunLimits &limits);
+
+    /**
      * Toggle the fetch fast path (predecoded-instruction cache + TLB
      * fetch hint). Simulated timing and stats are identical either
      * way; disabling exists for the throughput benchmark's baseline
@@ -213,6 +234,51 @@ class Cpu : private cache::FetchInvalidationListener
                     std::uint64_t value);
     bool debugReadCap(std::uint64_t vaddr, cap::Capability &out);
     bool debugWriteCap(std::uint64_t vaddr, const cap::Capability &value);
+
+    /**
+     * Full architectural core state plus timing-visible
+     * microarchitectural state (branch predictor, LL/SC monitor,
+     * in-flight delay-slot/PCC-swap/trap bookkeeping) and counters,
+     * captured for machine checkpointing. Host-only accelerators
+     * (decode cache, fetch hint, data memo, PCC window) are *not*
+     * saved — restore() invalidates them and they re-mint through
+     * slow paths that replay identical simulated effects.
+     */
+    struct Snapshot
+    {
+        std::array<std::uint64_t, 32> gpr{};
+        std::uint64_t hi = 0, lo = 0;
+        std::uint64_t pc = 0, next_pc = 4;
+        cap::CapRegFile::Snapshot caps;
+        bool cp2_enabled = true;
+        bool ll_valid = false;
+        std::uint64_t ll_addr = 0;
+        std::vector<std::uint8_t> predictor;
+        std::uint64_t cycles = 0, instructions = 0;
+        std::uint64_t current_pc = 0;
+        bool in_delay_slot = false, branch_pending = false;
+        unsigned pcc_swap_countdown = 0;
+        cap::Capability pending_pcc;
+        Trap pending_trap;
+        bool trap_pending = false;
+        support::StatSet stats;
+    };
+
+    /** Capture core state. */
+    Snapshot save() const;
+
+    /** Restore core state and invalidate every host-side memo. */
+    void restore(const Snapshot &snapshot);
+
+    /**
+     * Fault injection: repoint one live data-memo entry's L1D line
+     * handle at a different resident L1D line, modelling a stale host
+     * memo that revalidation fails to catch. pick seeds the (wholly
+     * deterministic) choice of entry and target line. Returns false
+     * when no live entry or no distinct resident line exists (fault
+     * inapplicable). Only observable when the data fast path is on.
+     */
+    bool injectMemoSkew(std::uint64_t pick);
 
   private:
     struct StepOutcome

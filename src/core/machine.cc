@@ -13,25 +13,55 @@ Machine::Machine(MachineConfig config)
 {
 }
 
-std::uint64_t
-Machine::allocFrame()
+std::optional<std::uint64_t>
+Machine::tryAllocFrame()
 {
     std::uint64_t frames = config_.dram_bytes / tlb::kPageBytes;
     if (next_frame_ >= frames)
-        support::fatal("out of physical frames (%llu allocated)",
-                       static_cast<unsigned long long>(next_frame_));
+        return std::nullopt;
     return next_frame_++;
+}
+
+std::uint64_t
+Machine::allocFrame()
+{
+    std::optional<std::uint64_t> pfn = tryAllocFrame();
+    if (!pfn) {
+        support::fatal("out of physical frames (%llu allocated, DRAM "
+                       "is %llu MB)",
+                       static_cast<unsigned long long>(next_frame_),
+                       static_cast<unsigned long long>(
+                           config_.dram_bytes / (1024 * 1024)));
+    }
+    return *pfn;
+}
+
+bool
+Machine::tryMapRange(std::uint64_t vaddr, std::uint64_t bytes,
+                     tlb::PteFlags flags)
+{
+    std::uint64_t first_vpn = vaddr / tlb::kPageBytes;
+    std::uint64_t last_vpn = (vaddr + bytes - 1) / tlb::kPageBytes;
+    for (std::uint64_t vpn = first_vpn; vpn <= last_vpn; ++vpn) {
+        if (page_table_.lookup(vpn))
+            continue;
+        std::optional<std::uint64_t> pfn = tryAllocFrame();
+        if (!pfn)
+            return false;
+        page_table_.map(vpn, *pfn, flags);
+    }
+    return true;
 }
 
 void
 Machine::mapRange(std::uint64_t vaddr, std::uint64_t bytes,
                   tlb::PteFlags flags)
 {
-    std::uint64_t first_vpn = vaddr / tlb::kPageBytes;
-    std::uint64_t last_vpn = (vaddr + bytes - 1) / tlb::kPageBytes;
-    for (std::uint64_t vpn = first_vpn; vpn <= last_vpn; ++vpn) {
-        if (!page_table_.lookup(vpn))
-            page_table_.map(vpn, allocFrame(), flags);
+    if (!tryMapRange(vaddr, bytes, flags)) {
+        support::fatal("cannot map [0x%llx, +0x%llx): out of physical "
+                       "frames",
+                       static_cast<unsigned long long>(vaddr),
+                       static_cast<unsigned long long>(bytes));
     }
 }
 
@@ -54,6 +84,34 @@ Machine::loadProgram(std::uint64_t vaddr,
     // cache's) view; any predecoded lines for recycled frames are now
     // stale.
     cpu_.invalidateDecodeCache();
+}
+
+Machine::Snapshot
+Machine::saveSnapshot() const
+{
+    Snapshot snapshot;
+    snapshot.dram = dram_.save();
+    snapshot.tags = tags_.save();
+    snapshot.tag_manager = tag_manager_.save();
+    snapshot.caches = hierarchy_.save();
+    snapshot.page_table = page_table_.save();
+    snapshot.tlb = tlb_.save();
+    snapshot.cpu = cpu_.save();
+    snapshot.next_frame = next_frame_;
+    return snapshot;
+}
+
+void
+Machine::restoreSnapshot(const Snapshot &snapshot)
+{
+    dram_.restore(snapshot.dram);
+    tags_.restore(snapshot.tags);
+    tag_manager_.restore(snapshot.tag_manager);
+    hierarchy_.restore(snapshot.caches);
+    page_table_.restore(snapshot.page_table);
+    tlb_.restore(snapshot.tlb);
+    cpu_.restore(snapshot.cpu);
+    next_frame_ = snapshot.next_frame;
 }
 
 void

@@ -10,6 +10,7 @@
 #define CHERI_CORE_MACHINE_H
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "cache/hierarchy.h"
@@ -50,15 +51,41 @@ class Machine
     tlb::Tlb &tlb() { return tlb_; }
     Cpu &cpu() { return cpu_; }
 
-    /** Allocate one physical frame (bump allocator); returns pfn. */
+    /**
+     * Allocate one physical frame (bump allocator); nullopt when DRAM
+     * is exhausted. The structured form — callers that can surface the
+     * error to a user (loaders, CLIs) should prefer it over
+     * allocFrame().
+     */
+    std::optional<std::uint64_t> tryAllocFrame();
+
+    /**
+     * Allocate one physical frame; exits via fatal() when DRAM is
+     * exhausted (a configuration error: the guest asked for more
+     * memory than the machine was given).
+     */
     std::uint64_t allocFrame();
 
     /**
      * Map [vaddr, vaddr+bytes) with fresh frames and the given flags;
-     * pages already mapped are left untouched.
+     * pages already mapped are left untouched. Returns false (with no
+     * partial bookkeeping beyond the pages already mapped) when DRAM
+     * runs out of frames.
+     */
+    [[nodiscard]] bool tryMapRange(std::uint64_t vaddr,
+                                   std::uint64_t bytes,
+                                   tlb::PteFlags flags = {});
+
+    /**
+     * Map [vaddr, vaddr+bytes); exits via fatal() when DRAM is
+     * exhausted.
      */
     void mapRange(std::uint64_t vaddr, std::uint64_t bytes,
                   tlb::PteFlags flags = {});
+
+    /** Frames handed out so far (fault injection bounds its DRAM
+     *  corruption targets to allocated memory). */
+    std::uint64_t allocatedFrames() const { return next_frame_; }
 
     /**
      * Load a program image at vaddr: maps executable pages and writes
@@ -70,6 +97,38 @@ class Machine
 
     /** Point the CPU at an entry point with a fresh register state. */
     void reset(std::uint64_t entry_pc);
+
+    const MachineConfig &config() const { return config_; }
+
+    /**
+     * A full-machine checkpoint: every layer's simulated state (DRAM
+     * bytes, tag table, tag cache, all three caches with dirty lines
+     * and LRU, DRAM open-row state, TLB, page table, CPU core state)
+     * plus every statistics counter — an exact deep copy. Nothing is
+     * flushed or invalidated on save, so a restored machine replays
+     * the identical transaction, hit/miss, and cycle sequence the
+     * original would have from the checkpoint; host-only accelerators
+     * (decode cache, fetch/data memos) are dropped on restore and
+     * re-mint through effect-identical slow paths. Snapshots are only
+     * valid for machines of the identical MachineConfig.
+     */
+    struct Snapshot
+    {
+        mem::PhysicalMemory::Snapshot dram;
+        mem::TagTable::Snapshot tags;
+        mem::TagManager::Snapshot tag_manager;
+        cache::CacheHierarchy::Snapshot caches;
+        tlb::PageTable::Snapshot page_table;
+        tlb::Tlb::Snapshot tlb;
+        Cpu::Snapshot cpu;
+        std::uint64_t next_frame = 0;
+    };
+
+    /** Capture a full-machine checkpoint. */
+    Snapshot saveSnapshot() const;
+
+    /** Restore a full-machine checkpoint (same-config machine). */
+    void restoreSnapshot(const Snapshot &snapshot);
 
   private:
     MachineConfig config_;

@@ -93,4 +93,17 @@ PhysicalMemory::writeBlock(std::uint64_t paddr, const std::uint8_t *src,
     std::memcpy(data_.data() + paddr, src, len);
 }
 
+void
+PhysicalMemory::restore(const Snapshot &snapshot)
+{
+    if (snapshot.data.size() != data_.size()) {
+        support::panic("DRAM snapshot size 0x%llx does not match "
+                       "configured size 0x%llx",
+                       static_cast<unsigned long long>(
+                           snapshot.data.size()),
+                       static_cast<unsigned long long>(data_.size()));
+    }
+    data_ = snapshot.data;
+}
+
 } // namespace cheri::mem

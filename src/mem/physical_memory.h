@@ -62,6 +62,18 @@ class PhysicalMemory
     void writeBlock(std::uint64_t paddr, const std::uint8_t *src,
                     std::uint64_t len);
 
+    /** Full DRAM image, captured for machine checkpointing. */
+    struct Snapshot
+    {
+        std::vector<std::uint8_t> data;
+    };
+
+    /** Capture the full DRAM image. */
+    Snapshot save() const { return Snapshot{data_}; }
+
+    /** Restore a captured image; the size must match this DRAM. */
+    void restore(const Snapshot &snapshot);
+
   private:
     void checkRange(std::uint64_t paddr, std::uint64_t len) const;
 

@@ -74,6 +74,23 @@ class TagManager
     /** Reset statistics (not state). */
     void resetStats() { stats_.reset(); }
 
+    /**
+     * Tag-cache occupancy (most-recent-first) plus statistics,
+     * captured for machine checkpointing. Data and tags themselves
+     * live in PhysicalMemory/TagTable and are snapshotted there.
+     */
+    struct Snapshot
+    {
+        std::vector<std::uint64_t> lru;
+        support::StatSet stats;
+    };
+
+    /** Capture tag-cache contents and statistics. */
+    Snapshot save() const;
+
+    /** Restore tag-cache contents and statistics. */
+    void restore(const Snapshot &snapshot);
+
   private:
     /** Touch the tag cache for the table line covering paddr. */
     void touchTagCache(std::uint64_t paddr, bool dirtying);

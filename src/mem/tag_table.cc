@@ -42,6 +42,19 @@ TagTable::set(std::uint64_t paddr, bool tag)
         bits_[idx / 64] &= ~mask;
 }
 
+void
+TagTable::restore(const Snapshot &snapshot)
+{
+    if (snapshot.bits.size() != bits_.size()) {
+        support::panic("tag-table snapshot covers %llu words, table "
+                       "has %llu",
+                       static_cast<unsigned long long>(
+                           snapshot.bits.size()),
+                       static_cast<unsigned long long>(bits_.size()));
+    }
+    bits_ = snapshot.bits;
+}
+
 std::uint64_t
 TagTable::popCount() const
 {

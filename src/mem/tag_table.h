@@ -50,6 +50,18 @@ class TagTable
         return (paddr / kLineBytes) / 8;
     }
 
+    /** Full tag bitmap, captured for machine checkpointing. */
+    struct Snapshot
+    {
+        std::vector<std::uint64_t> bits;
+    };
+
+    /** Capture the full tag bitmap. */
+    Snapshot save() const { return Snapshot{bits_}; }
+
+    /** Restore a captured bitmap; the size must match this table. */
+    void restore(const Snapshot &snapshot);
+
   private:
     std::uint64_t lineIndex(std::uint64_t paddr) const;
 

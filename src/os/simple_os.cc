@@ -52,9 +52,12 @@ std::uint64_t
 SimpleOs::translate(Process &proc, std::uint64_t vaddr)
 {
     auto pte = proc.table.lookup(vaddr / tlb::kPageBytes);
-    if (!pte)
-        support::panic("OS access to unmapped vaddr 0x%llx (pid %d)",
+    if (!pte) {
+        // Guest-triggerable (e.g. a syscall passing an unmapped buffer
+        // address), so this is a user error, not an emulator bug.
+        support::fatal("OS access to unmapped vaddr 0x%llx (pid %d)",
                        static_cast<unsigned long long>(vaddr), proc.pid);
+    }
     return pte->pfn * tlb::kPageBytes + vaddr % tlb::kPageBytes;
 }
 
@@ -151,11 +154,19 @@ SimpleOs::switchTo(int pid)
 core::RunResult
 SimpleOs::run(std::uint64_t max_instructions)
 {
+    core::RunLimits limits;
+    limits.max_instructions = max_instructions;
+    return run(limits);
+}
+
+core::RunResult
+SimpleOs::run(const core::RunLimits &limits)
+{
     if (current_ < 0)
         support::fatal("SimpleOs::run with no current process");
 
     core::Cpu &cpu = machine_.cpu();
-    std::uint64_t remaining = max_instructions;
+    core::RunLimits remaining = limits;
     core::RunResult result;
     std::uint64_t total_instructions = 0;
     std::uint64_t total_cycles = 0;
@@ -164,12 +175,15 @@ SimpleOs::run(std::uint64_t max_instructions)
         result = cpu.run(remaining);
         total_instructions += result.instructions;
         total_cycles += result.cycles;
-        remaining -= std::min(remaining, result.instructions);
+        remaining.max_instructions -=
+            std::min(remaining.max_instructions, result.instructions);
+        remaining.max_cycles -=
+            std::min(remaining.max_cycles, result.cycles);
 
         // Transparent domain transitions (Section 11). Handled even
-        // when the instruction budget is exhausted: the transition is
-        // OS work, not guest instructions, and leaving a half-made
-        // CCall visible would expose microarchitectural state.
+        // when the budgets are exhausted: the transition is OS work,
+        // not guest instructions, and leaving a half-made CCall
+        // visible would expose microarchitectural state.
         if (result.reason == core::StopReason::kTrap) {
             DomainOutcome outcome = DomainOutcome::kBadCall;
             bool is_domain_trap = false;
@@ -182,7 +196,11 @@ SimpleOs::run(std::uint64_t max_instructions)
             }
             if (is_domain_trap) {
                 if (outcome == DomainOutcome::kTransitioned) {
-                    if (remaining == 0) {
+                    if (remaining.max_cycles == 0) {
+                        result.reason = core::StopReason::kCycleLimit;
+                        break;
+                    }
+                    if (remaining.max_instructions == 0) {
                         result.reason = core::StopReason::kInstLimit;
                         break;
                     }

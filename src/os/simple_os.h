@@ -92,6 +92,13 @@ class SimpleOs
      */
     core::RunResult run(std::uint64_t max_instructions = 1'000'000'000);
 
+    /**
+     * Watchdog variant: run until the instruction or cycle budget is
+     * exhausted (kInstLimit / kCycleLimit), so a runaway guest
+     * returns a structured result instead of hanging the host.
+     */
+    core::RunResult run(const core::RunLimits &limits);
+
     /** The protected-domain-crossing service. */
     DomainManager &domains() { return domains_; }
 

@@ -56,6 +56,21 @@ class StatSet
             entry.second = 0;
     }
 
+    /**
+     * Overwrite this set's counters with other's values. Slots that
+     * exist here but not in other are zeroed in place rather than
+     * erased, so counter() references survive (mirrors reset()).
+     * Used by snapshot restore to roll statistics back exactly.
+     */
+    void
+    assignFrom(const StatSet &other)
+    {
+        for (auto &entry : counters_)
+            entry.second = 0;
+        for (const auto &entry : other.counters_)
+            counters_[entry.first] = entry.second;
+    }
+
     /** Add every counter of other into this set in one ordered pass. */
     void
     merge(const StatSet &other)

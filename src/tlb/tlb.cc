@@ -76,6 +76,54 @@ Tlb::translateSlow(std::uint64_t vaddr, Access access)
     return checkPte(*pte, vaddr, access, config_.refill_cycles);
 }
 
+std::vector<std::uint64_t>
+Tlb::cachedVpns() const
+{
+    return std::vector<std::uint64_t>(lru_.begin(), lru_.end());
+}
+
+bool
+Tlb::corruptEntry(std::uint64_t vpn, const Pte &pte)
+{
+    auto it = cached_.find(vpn);
+    if (it == cached_.end())
+        return false;
+    it->second.pte = pte;
+    // Drop every outstanding host hint/memo: they snapshot PTE fields
+    // at mint time, and the corruption must be observed consistently.
+    ++generation_;
+    memo_.fill(TranslateMemo{});
+    return true;
+}
+
+Tlb::Snapshot
+Tlb::save() const
+{
+    Snapshot snapshot;
+    snapshot.entries.reserve(cached_.size());
+    for (std::uint64_t vpn : lru_)
+        snapshot.entries.emplace_back(vpn, cached_.at(vpn).pte);
+    snapshot.stats = stats_;
+    return snapshot;
+}
+
+void
+Tlb::restore(const Snapshot &snapshot)
+{
+    lru_.clear();
+    cached_.clear();
+    for (const auto &[vpn, pte] : snapshot.entries) {
+        lru_.push_back(vpn);
+        cached_.emplace(vpn, CachedEntry{pte, std::prev(lru_.end())});
+    }
+    // The generation stays monotonic (never restored): outstanding
+    // hints hold CachedEntry pointers into the container we just
+    // rebuilt, and only a fresh generation value keeps them all stale.
+    ++generation_;
+    memo_.fill(TranslateMemo{});
+    stats_.assignFrom(snapshot.stats);
+}
+
 TlbResult
 Tlb::translateFetchMiss(std::uint64_t vaddr, FetchHint &hint)
 {

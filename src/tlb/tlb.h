@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "support/stats.h"
 #include "tlb/page_table.h"
@@ -225,6 +227,42 @@ class Tlb
 
     const support::StatSet &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
+
+    // --- fault-injection introspection (host-side; no stats) ---
+
+    /** Cached vpns, most-recently-used first — a deterministic
+     *  enumeration for fault-candidate selection. */
+    std::vector<std::uint64_t> cachedVpns() const;
+
+    /**
+     * Overwrite the cached PTE for vpn (fault injection). Bumps the
+     * generation and clears the memo so every outstanding host hint is
+     * dropped and all subsequent translations consistently observe the
+     * corrupted entry. Returns false when vpn is not cached.
+     */
+    bool corruptEntry(std::uint64_t vpn, const Pte &pte);
+
+    /**
+     * Cached entries in LRU order plus statistics, captured for
+     * machine checkpointing. The backing PageTable is snapshotted
+     * separately by its owner.
+     */
+    struct Snapshot
+    {
+        /** (vpn, pte), most-recently-used first. */
+        std::vector<std::pair<std::uint64_t, Pte>> entries;
+        support::StatSet stats;
+    };
+
+    /** Capture cached entries and statistics. */
+    Snapshot save() const;
+
+    /**
+     * Restore cached entries and statistics. Bumps the generation and
+     * clears the memo, so host-side hints re-mint through the slow
+     * path — which replays hits exactly, leaving counters unperturbed.
+     */
+    void restore(const Snapshot &snapshot);
 
   private:
     /** Out-of-line halves of translate/translateFetch. */

@@ -147,11 +147,18 @@ guestBisort(unsigned elements)
     auto sum_loop = a.newLabel();
 
     // Derive c1 = [heap_base, elements * 8) from almighty c0; every
-    // array access below is capability-checked.
+    // array access below is capability-checked. c1 is spilled to a
+    // capability home in memory (the line below the stack) and
+    // reloaded at the top of every sort round, so the program's
+    // correctness rests on the stored tag staying intact — the
+    // pattern real CHERI code exhibits and the fault-injection
+    // campaign perturbs.
     a.li64(t0, prog.layout.heap_base);
     a.cincbase(1, 0, t0);
     a.li(t1, static_cast<std::int32_t>(elements) * 8);
     a.csetlen(1, 1, t1);
+    a.li64(s7, prog.layout.stack_top - prog.layout.stack_bytes);
+    a.csc(1, 0, s7, 0);
     a.li(t3, static_cast<std::int32_t>(elements));
 
     // --- init: a[i] = N - i (descending) ---
@@ -168,7 +175,8 @@ guestBisort(unsigned elements)
     // --- odd-even transposition sort: N rounds ---
     a.move(s1, zero); // round
     a.bind(sort_round);
-    a.andi(t2, s1, 1); // i starts at round & 1
+    a.clc(1, 0, s7, 0); // reload the array capability from its home
+    a.andi(t2, s1, 1);  // i starts at round & 1
     a.bind(pass_loop);
     a.daddiu(t4, t2, 1);
     a.sltu(t5, t4, t3);
@@ -204,6 +212,11 @@ guestBisort(unsigned elements)
     a.sltu(t5, t2, t3);
     a.bne(t5, zero, sum_loop);
     a.nop();
+    // Final tag consumption: reload c1 from its home and load through
+    // it (dead load — the checksum is already in s0). A dropped home
+    // tag surfaces here at the latest, as a tag-violation trap.
+    a.clc(1, 0, s7, 0);
+    a.cld(at, 1, zero, 0);
     a.move(v0, s0);
     a.break_();
 
@@ -269,10 +282,14 @@ guestMst(unsigned nodes)
     auto relax_skip = a.newLabel();
 
     // c1 = matrix capability; s6 = dist base, s2 = in-flag base.
+    // c1 is spilled to its capability home (s7) and reloaded every
+    // Prim round — see guestBisort for the rationale.
     a.li64(t0, prog.layout.heap_base);
     a.cincbase(1, 0, t0);
     a.li(t1, static_cast<std::int32_t>(matrix_bytes));
     a.csetlen(1, 1, t1);
+    a.li64(s7, prog.layout.stack_top - prog.layout.stack_bytes);
+    a.csc(1, 0, s7, 0);
     a.li(t3, static_cast<std::int32_t>(nodes));
     a.li64(s6, prog.layout.heap_base + matrix_bytes);
     a.li64(s2, prog.layout.heap_base + matrix_bytes + nodes * 8);
@@ -325,6 +342,7 @@ guestMst(unsigned nodes)
     // --- Prim: nodes-1 rounds of pick-min + relax ---
     a.li(s1, static_cast<std::int32_t>(nodes) - 1);
     a.bind(outer);
+    a.clc(1, 0, s7, 0);     // reload the matrix capability
     a.li64(t7, 0x7fffffff); // running min
     a.move(t9, zero);       // argmin
     a.move(t0, zero);
@@ -378,6 +396,9 @@ guestMst(unsigned nodes)
     a.bgtz(s1, outer);
     a.nop();
 
+    // Final tag consumption (see guestBisort).
+    a.clc(1, 0, s7, 0);
+    a.cld(at, 1, zero, 0);
     a.move(s0, s5);
     a.move(v0, s5);
     a.break_();
@@ -440,10 +461,14 @@ guestEm3d(unsigned n, unsigned degree, unsigned iters)
     auto sum_h = a.newLabel();
 
     // c1 = E-array capability; s6 = H-array base (legacy access).
+    // c1 is spilled to its capability home (s7) and reloaded every
+    // iteration — see guestBisort for the rationale.
     a.li64(t0, prog.layout.heap_base);
     a.cincbase(1, 0, t0);
     a.li(t1, static_cast<std::int32_t>(n) * 8);
     a.csetlen(1, 1, t1);
+    a.li64(s7, prog.layout.stack_top - prog.layout.stack_bytes);
+    a.csc(1, 0, s7, 0);
     a.li64(s6, prog.layout.heap_base + n * 8ULL);
     a.li(t3, static_cast<std::int32_t>(n));
     a.li(s3, static_cast<std::int32_t>(degree));
@@ -471,6 +496,7 @@ guestEm3d(unsigned n, unsigned degree, unsigned iters)
     // --- iters rounds: E -= sum(H[dep]), then H -= sum(E[dep]) ---
     a.li(s1, static_cast<std::int32_t>(iters));
     a.bind(iter_loop);
+    a.clc(1, 0, s7, 0); // reload the E-array capability
 
     // E pass: dep(i,d) = (3i + 5d + 1) % n, H read legacy.
     a.move(t0, zero); // i
@@ -563,6 +589,9 @@ guestEm3d(unsigned n, unsigned degree, unsigned iters)
     a.sltu(t5, t0, t3);
     a.bne(t5, zero, sum_h);
     a.nop();
+    // Final tag consumption (see guestBisort).
+    a.clc(1, 0, s7, 0);
+    a.cld(at, 1, zero, 0);
     a.move(v0, s0);
     a.break_();
 

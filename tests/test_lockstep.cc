@@ -108,13 +108,13 @@ TEST(LockstepOracle, InjectedTagClearFaultIsCaught)
     check::FuzzSpec spec = check::generateSpec(seed);
     check::FuzzRunResult result = check::runFuzzWords(
         check::assembleFuzzProgram(spec),
-        cache::FaultInjection::kSkipTagClearOnWrite);
+        /*suppress_tag_clear=*/true);
     ASSERT_TRUE(result.diverged);
     EXPECT_NE(result.divergence.find("tag="), std::string::npos)
         << result.divergence;
 
     std::vector<check::FuzzOp> shrunk = check::shrinkOps(
-        spec, cache::FaultInjection::kSkipTagClearOnWrite);
+        spec, /*suppress_tag_clear=*/true);
     ASSERT_FALSE(shrunk.empty());
     EXPECT_LT(shrunk.size(), spec.ops.size());
 
@@ -123,7 +123,7 @@ TEST(LockstepOracle, InjectedTagClearFaultIsCaught)
     std::vector<std::uint32_t> words =
         check::assembleFuzzProgram(small);
     check::FuzzRunResult small_result = check::runFuzzWords(
-        words, cache::FaultInjection::kSkipTagClearOnWrite);
+        words, /*suppress_tag_clear=*/true);
     EXPECT_TRUE(small_result.diverged);
 
     // The dumped reproducer round-trips through the text assembler.

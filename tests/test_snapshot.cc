@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Machine snapshot/restore determinism. The core guarantee the
+ * fault-injection campaign rests on: saving a full-machine snapshot
+ * mid-kernel and restoring it later must be invisible to the
+ * simulation — the restored run retires the same instructions, burns
+ * the same cycles, and takes the same cache/TLB/tag hits as an
+ * uninterrupted run, bit for bit, with the host-side fast paths on or
+ * off. Also covers the watchdog budgets (structured kInstLimit /
+ * kCycleLimit results), the structured allocation errors on
+ * core::Machine, and the fault-campaign engine's reproducibility.
+ */
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/fault_campaign.h"
+#include "check/fault_plan.h"
+#include "isa/assembler.h"
+#include "workloads/guest_olden.h"
+
+namespace
+{
+
+using namespace cheri;
+
+workloads::GuestProgram
+kernelByName(const std::string &name)
+{
+    if (name == "treeadd")
+        return workloads::guestTreeadd(5, 2);
+    if (name == "bisort")
+        return workloads::guestBisort(48);
+    if (name == "mst")
+        return workloads::guestMst(12);
+    return workloads::guestEm3d(10, 3, 2);
+}
+
+core::Machine
+makeMachine()
+{
+    core::MachineConfig config;
+    config.dram_bytes = 8 * 1024 * 1024;
+    return core::Machine(config);
+}
+
+/**
+ * Every observable counter in the machine: retired instructions,
+ * cycles, and all CPU / cache / TLB / tag-manager stats. Two runs are
+ * "the same" iff these vectors are equal.
+ */
+std::vector<std::pair<std::string, std::uint64_t>>
+allCounters(core::Machine &machine)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.emplace_back("instructions",
+                     machine.cpu().totalInstructions());
+    out.emplace_back("cycles", machine.cpu().totalCycles());
+    for (const auto &entry : machine.cpu().stats().all())
+        out.push_back(entry);
+    support::StatSet memory_stats = machine.memory().collectStats();
+    for (const auto &entry : memory_stats.all())
+        out.push_back(entry);
+    for (const auto &entry : machine.tlb().stats().all())
+        out.push_back(entry);
+    for (const auto &entry : machine.tagManager().stats().all())
+        out.push_back(entry);
+    return out;
+}
+
+class SnapshotOlden
+    : public ::testing::TestWithParam<std::tuple<std::string, bool>>
+{
+};
+
+TEST_P(SnapshotOlden, SaveAndRestoreAreInvisible)
+{
+    const auto &[name, fast_path] = GetParam();
+    workloads::GuestProgram prog = kernelByName(name);
+
+    // Uninterrupted baseline.
+    core::Machine baseline = makeMachine();
+    workloads::loadGuestProgram(baseline, prog);
+    baseline.cpu().setDecodeCacheEnabled(fast_path);
+    baseline.cpu().setDataFastPathEnabled(fast_path);
+    core::RunResult clean = baseline.cpu().run(core::RunLimits{});
+    ASSERT_EQ(clean.reason, core::StopReason::kBreak);
+    ASSERT_EQ(baseline.cpu().gpr(isa::reg::v0), prog.expected_checksum);
+    auto expected = allCounters(baseline);
+    std::uint64_t clean_instructions =
+        baseline.cpu().totalInstructions();
+    ASSERT_GT(clean_instructions, 100u);
+
+    // Same run, but snapshot mid-kernel. Taking the snapshot must not
+    // perturb the continuation...
+    core::Machine machine = makeMachine();
+    workloads::loadGuestProgram(machine, prog);
+    machine.cpu().setDecodeCacheEnabled(fast_path);
+    machine.cpu().setDataFastPathEnabled(fast_path);
+    core::RunLimits half;
+    half.max_instructions = clean_instructions / 2;
+    core::RunResult mid = machine.cpu().run(half);
+    ASSERT_EQ(mid.reason, core::StopReason::kInstLimit);
+    core::Machine::Snapshot snapshot = machine.saveSnapshot();
+    core::RunResult rest = machine.cpu().run(core::RunLimits{});
+    ASSERT_EQ(rest.reason, core::StopReason::kBreak);
+    EXPECT_EQ(allCounters(machine), expected);
+    EXPECT_EQ(machine.cpu().gpr(isa::reg::v0), prog.expected_checksum);
+
+    // ...and restoring it must replay the identical tail, twice.
+    for (int round = 0; round < 2; ++round) {
+        machine.restoreSnapshot(snapshot);
+        EXPECT_EQ(machine.cpu().totalInstructions(),
+                  half.max_instructions);
+        core::RunResult replay = machine.cpu().run(core::RunLimits{});
+        ASSERT_EQ(replay.reason, core::StopReason::kBreak);
+        EXPECT_EQ(allCounters(machine), expected) << "round " << round;
+        EXPECT_EQ(machine.cpu().gpr(isa::reg::v0),
+                  prog.expected_checksum);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, SnapshotOlden,
+    ::testing::Combine(::testing::Values("treeadd", "bisort", "mst",
+                                         "em3d"),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        return std::get<0>(info.param) +
+               (std::get<1>(info.param) ? "_fast" : "_slow");
+    });
+
+TEST(Snapshot, RollbackAndRetryAfterFault)
+{
+    // Rollback-and-retry: corrupt the machine, observe the damage,
+    // restore, and the clean run must complete as if nothing happened.
+    workloads::GuestProgram prog = kernelByName("bisort");
+    core::Machine machine = makeMachine();
+    workloads::loadGuestProgram(machine, prog);
+    core::Machine::Snapshot snapshot = machine.saveSnapshot();
+
+    core::RunLimits prefix;
+    prefix.max_instructions = 500;
+    ASSERT_EQ(machine.cpu().run(prefix).reason,
+              core::StopReason::kInstLimit);
+    check::FaultPlan plan;
+    plan.fault = check::FaultClass::kDramBitFlip;
+    plan.pick = 12345;
+    check::FaultOutcome outcome = check::applyFault(machine, plan);
+    ASSERT_TRUE(outcome.applied);
+
+    machine.restoreSnapshot(snapshot);
+    core::RunResult replay = machine.cpu().run(core::RunLimits{});
+    ASSERT_EQ(replay.reason, core::StopReason::kBreak);
+    EXPECT_EQ(machine.cpu().gpr(isa::reg::v0), prog.expected_checksum);
+}
+
+TEST(Watchdog, CycleBudgetReturnsStructuredResult)
+{
+    // An infinite loop must come back as kCycleLimit, not hang.
+    isa::Assembler a(0x10000);
+    isa::Assembler::Label spin = a.newLabel();
+    a.bind(spin);
+    a.b(spin);
+    a.nop();
+
+    core::Machine machine;
+    machine.loadProgram(0x10000, a.finish());
+    machine.reset(0x10000);
+
+    core::RunLimits limits;
+    limits.max_cycles = 10'000;
+    core::RunResult result = machine.cpu().run(limits);
+    EXPECT_EQ(result.reason, core::StopReason::kCycleLimit);
+    EXPECT_GE(machine.cpu().totalCycles(), limits.max_cycles);
+
+    // The instruction budget fires the same way.
+    core::RunLimits insts;
+    insts.max_instructions = 100;
+    result = machine.cpu().run(insts);
+    EXPECT_EQ(result.reason, core::StopReason::kInstLimit);
+}
+
+TEST(MachineAlloc, StructuredErrorsInsteadOfAbort)
+{
+    core::MachineConfig config;
+    config.dram_bytes = 4 * tlb::kPageBytes; // four frames only
+    core::Machine machine(config);
+
+    // Mapping more than DRAM can back fails cleanly...
+    EXPECT_FALSE(machine.tryMapRange(0x100000, 8 * tlb::kPageBytes));
+
+    // ...and frame allocation reports exhaustion via nullopt.
+    while (machine.tryAllocFrame())
+        ;
+    EXPECT_EQ(machine.tryAllocFrame(), std::nullopt);
+    EXPECT_EQ(machine.allocatedFrames(), 4u);
+}
+
+TEST(FaultCampaign, ReportIsReproducible)
+{
+    workloads::GuestProgram prog = kernelByName("treeadd");
+    check::CampaignGuest guest{
+        "treeadd", [prog](core::Machine &machine) {
+            workloads::loadGuestProgram(machine, prog);
+        }};
+    check::CampaignConfig config;
+    config.trials = 5;
+    config.seed = 42;
+
+    check::CampaignReport first =
+        check::runCampaign(config, {guest});
+    check::CampaignReport second =
+        check::runCampaign(config, {guest});
+    EXPECT_EQ(first.toJson(), second.toJson());
+    ASSERT_EQ(first.guests.size(), 1u);
+    EXPECT_FALSE(first.guests[0].restore_perturbed);
+    EXPECT_EQ(first.guests[0].trials.size(), config.trials);
+}
+
+} // namespace

@@ -43,7 +43,7 @@ main(int argc, char **argv)
     bool shrink = false;
     bool expect_divergence = false;
     bool quiet = false;
-    cache::FaultInjection injection = cache::FaultInjection::kNone;
+    bool suppress_tag_clear = false;
     check::DataFastPathMode data_mode = check::DataFastPathMode::kFollow;
 
     if (const char *env = std::getenv("CHERI_FUZZ_SEEDS"))
@@ -61,7 +61,7 @@ main(int argc, char **argv)
                    i + 1 < argc) {
             const char *kind = argv[++i];
             if (std::strcmp(kind, "tag-clear") == 0) {
-                injection = cache::FaultInjection::kSkipTagClearOnWrite;
+                suppress_tag_clear = true;
             } else {
                 std::fprintf(stderr, "unknown fault kind %s\n", kind);
                 return 2;
@@ -102,7 +102,8 @@ main(int argc, char **argv)
         std::vector<std::uint32_t> words =
             check::assembleFuzzProgram(spec);
         check::FuzzRunResult result =
-            check::runFuzzWords(words, injection, 20000, data_mode);
+            check::runFuzzWords(words, suppress_tag_clear, 20000,
+                                data_mode);
         if (!result.diverged) {
             if (!quiet)
                 std::printf("seed %llu: ok (%zu ops, %zu words)\n",
@@ -118,12 +119,13 @@ main(int argc, char **argv)
                     result.divergence.c_str());
         if (shrink) {
             check::FuzzSpec small = spec;
-            small.ops = check::shrinkOps(spec, injection, 20000, data_mode);
+            small.ops = check::shrinkOps(spec, suppress_tag_clear,
+                                         20000, data_mode);
             std::vector<std::uint32_t> small_words =
                 check::assembleFuzzProgram(small);
             check::FuzzRunResult small_result =
-                check::runFuzzWords(small_words, injection, 20000,
-                                    data_mode);
+                check::runFuzzWords(small_words, suppress_tag_clear,
+                                    20000, data_mode);
             std::printf("shrunk %zu ops -> %zu ops\n",
                         spec.ops.size(), small.ops.size());
             std::fputs(

@@ -8,12 +8,21 @@
  * Usage:
  *   cheri-run [options] program.s
  *     --max-insts N    instruction budget (default 100M)
+ *     --max-cycles N   cycle budget (watchdog; default unlimited)
  *     --stats          print cycle/instruction and memory-system stats
  *     --dump-regs      print integer and capability registers at stop
  *     --trace N        disassemble the first N executed instructions
  *     --dram BYTES     DRAM size (default 64 MiB)
  *     --l1 BYTES       L1 data/instruction cache size (default 16 KiB)
  *     --l2 BYTES       L2 cache size (default 64 KiB)
+ *
+ * Exit codes (each failure prints a one-line diagnostic on stderr):
+ *   0  guest exited 0 or reached BREAK
+ *   1  guest trap (unhandled exception)
+ *   2  usage error (bad option, no program)
+ *   3  load failure (unreadable file, assembly errors)
+ *   4  watchdog fired (instruction or cycle budget exhausted)
+ *   N  guest called exit(N)
  */
 
 #include <cstdio>
@@ -90,6 +99,7 @@ int
 main(int argc, char **argv)
 {
     std::uint64_t max_insts = 100'000'000;
+    std::uint64_t max_cycles = ~0ULL;
     std::uint64_t trace_count = 0;
     bool want_stats = false;
     bool want_regs = false;
@@ -99,6 +109,9 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--max-insts") == 0 && i + 1 < argc) {
             max_insts = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--max-cycles") == 0 &&
+                   i + 1 < argc) {
+            max_cycles = std::strtoull(argv[++i], nullptr, 0);
         } else if (std::strcmp(argv[i], "--trace") == 0 &&
                    i + 1 < argc) {
             trace_count = std::strtoull(argv[++i], nullptr, 0);
@@ -132,8 +145,9 @@ main(int argc, char **argv)
 
     std::ifstream file(path);
     if (!file) {
-        std::fprintf(stderr, "cheri-run: cannot open %s\n", path);
-        return 2;
+        std::fprintf(stderr, "cheri-run: load failure: cannot open %s\n",
+                     path);
+        return 3;
     }
     std::stringstream buffer;
     buffer << file.rdbuf();
@@ -144,7 +158,11 @@ main(int argc, char **argv)
         for (const isa::AsmError &error : assembled.errors)
             std::fprintf(stderr, "%s:%u: %s\n", path, error.line,
                          error.message.c_str());
-        return 2;
+        std::fprintf(stderr,
+                     "cheri-run: load failure: %zu assembly error(s) "
+                     "in %s\n",
+                     assembled.errors.size(), path);
+        return 3;
     }
 
     core::Machine machine(config);
@@ -163,7 +181,10 @@ main(int argc, char **argv)
             });
     }
 
-    core::RunResult result = kernel.run(max_insts);
+    core::RunLimits limits;
+    limits.max_instructions = max_insts;
+    limits.max_cycles = max_cycles;
+    core::RunResult result = kernel.run(limits);
 
     // Console output.
     std::fputs(kernel.process(pid).console.c_str(), stdout);
@@ -179,12 +200,27 @@ main(int argc, char **argv)
                         machine.cpu().pc()));
         break;
       case core::StopReason::kTrap:
-        std::printf("[trap] %s\n", result.trap.toString().c_str());
+        std::fprintf(stderr, "cheri-run: guest trap: %s\n",
+                     result.trap.toString().c_str());
         exit_code = 1;
         break;
       case core::StopReason::kInstLimit:
-        std::printf("[instruction limit reached]\n");
-        exit_code = 1;
+        std::fprintf(stderr,
+                     "cheri-run: watchdog: instruction budget (%llu) "
+                     "exhausted at pc 0x%llx\n",
+                     static_cast<unsigned long long>(max_insts),
+                     static_cast<unsigned long long>(
+                         machine.cpu().pc()));
+        exit_code = 4;
+        break;
+      case core::StopReason::kCycleLimit:
+        std::fprintf(stderr,
+                     "cheri-run: watchdog: cycle budget (%llu) "
+                     "exhausted at pc 0x%llx\n",
+                     static_cast<unsigned long long>(max_cycles),
+                     static_cast<unsigned long long>(
+                         machine.cpu().pc()));
+        exit_code = 4;
         break;
     }
 
