@@ -17,6 +17,14 @@
  * CHERI_BENCH_MIN_GEOMEAN is set, the run fails unless the geomean
  * fast-path speedup reaches that value — the bench-quick ctest uses
  * it as a cheap perf-regression gate.
+ *
+ * --jobs N (or CHERI_BENCH_JOBS) runs the kernel x mode grid of cells
+ * concurrently with timing isolation: machine construction and the
+ * warm-up repetition overlap freely, but the timed repetitions of all
+ * cells serialize behind one global mutex so no two clocks ever run
+ * at once — wall-clock numbers stay comparable to a serial run while
+ * the untimed setup work uses the spare cores. Cells merge back in
+ * grid order, so the table and JSON layout never depend on N.
  */
 
 #include <algorithm>
@@ -24,14 +32,18 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/machine.h"
+#include "support/parallel.h"
+#include "support/parse.h"
 #include "workloads/guest_olden.h"
 
 using namespace cheri;
@@ -57,6 +69,12 @@ quickMode()
 }
 
 /**
+ * Serializes the timed repetitions of concurrently running grid cells
+ * so no two wall clocks tick at once (see the file comment).
+ */
+std::mutex timing_mutex;
+
+/**
  * Time repeated runs of one kernel. Each repetition resets the CPU to
  * the entry point and re-executes the whole program (rebuilding its
  * heap structures), so the instruction stream is identical each time.
@@ -76,9 +94,11 @@ measureMips(const workloads::GuestProgram &prog, bool fast_path,
     workloads::loadGuestProgram(machine, prog);
 
     // Warm-up repetition: page in host memory, fill the simulated
-    // caches, and verify the checksum before the clock starts.
+    // caches, and verify the checksum before the clock starts. Runs
+    // outside the timing lock so cells can warm up concurrently.
     last = workloads::runGuestProgram(machine, prog);
 
+    std::lock_guard<std::mutex> timing_isolation(timing_mutex);
     double best = 0.0;
     for (unsigned rep = 0; rep < reps; ++rep) {
         std::uint64_t executed = 0;
@@ -96,6 +116,13 @@ measureMips(const workloads::GuestProgram &prog, bool fast_path,
     return best;
 }
 
+/** One grid cell's output: timing plus the warm-up run's counters. */
+struct CellResult
+{
+    double mips = 0.0;
+    core::RunResult run;
+};
+
 std::string
 jsonEscapeless(const std::string &s)
 {
@@ -105,11 +132,26 @@ jsonEscapeless(const std::string &s)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bool quick = quickMode();
     std::uint64_t target = quick ? 300'000 : 20'000'000;
     unsigned reps = quick ? 1 : 3;
+
+    unsigned jobs = 1;
+    if (const char *env = std::getenv("CHERI_BENCH_JOBS"))
+        jobs = support::normalizeJobs(
+            support::parseU64OrFatal(env, "CHERI_BENCH_JOBS"));
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs = support::normalizeJobs(
+                support::parseU64OrFatal(argv[++i], "--jobs"));
+        } else {
+            std::fprintf(stderr,
+                         "usage: emu_throughput [--jobs N]\n");
+            return 2;
+        }
+    }
 
     std::vector<workloads::GuestProgram> programs;
     programs.push_back(quick ? workloads::guestTreeadd(8, 2)
@@ -122,39 +164,55 @@ main()
                              : workloads::guestEm3d(48, 4, 8));
 
     std::printf("Emulator throughput on guest Olden kernels "
-                "(%s mode)\n\n",
-                quick ? "quick" : "full");
+                "(%s mode, %u job%s)\n\n",
+                quick ? "quick" : "full", jobs, jobs == 1 ? "" : "s");
+
+    // The kernel x mode grid: cell 2k is kernel k with the fast paths
+    // on, cell 2k+1 with them off. Cells run concurrently (timed
+    // sections serialized by timing_mutex) and merge by grid index.
+    std::vector<CellResult> cells =
+        support::parallelMapOrdered<CellResult>(
+            programs.size() * 2, jobs,
+            [&](std::size_t index, unsigned) {
+                const auto &prog = programs[index / 2];
+                bool fast_path = index % 2 == 0;
+                CellResult cell;
+                cell.mips = measureMips(prog, fast_path, target, reps,
+                                        cell.run);
+                return cell;
+            });
 
     std::vector<WorkloadResult> results;
     double speedup_product = 1.0;
-    for (const auto &prog : programs) {
+    for (std::size_t k = 0; k < programs.size(); ++k) {
+        const auto &prog = programs[k];
+        const CellResult &fast_cell = cells[2 * k];
+        const CellResult &base_cell = cells[2 * k + 1];
+
         WorkloadResult res;
         res.name = prog.name;
-
-        core::RunResult fast_run, base_run;
-        res.mips_fastpath =
-            measureMips(prog, true, target, reps, fast_run);
-        res.mips_baseline =
-            measureMips(prog, false, target, reps, base_run);
-        res.guest_instructions = fast_run.instructions;
-        res.guest_cycles = fast_run.cycles;
+        res.mips_fastpath = fast_cell.mips;
+        res.mips_baseline = base_cell.mips;
+        res.guest_instructions = fast_cell.run.instructions;
+        res.guest_cycles = fast_cell.run.cycles;
         res.speedup = res.mips_fastpath / res.mips_baseline;
         speedup_product *= res.speedup;
 
         // The fast path must not change simulated behaviour.
-        if (fast_run.instructions != base_run.instructions ||
-            fast_run.cycles != base_run.cycles) {
+        if (fast_cell.run.instructions != base_cell.run.instructions ||
+            fast_cell.run.cycles != base_cell.run.cycles) {
             std::fprintf(stderr,
                          "FATAL: %s timing diverges with the fast path "
                          "(insts %llu vs %llu, cycles %llu vs %llu)\n",
                          prog.name.c_str(),
                          static_cast<unsigned long long>(
-                             fast_run.instructions),
+                             fast_cell.run.instructions),
                          static_cast<unsigned long long>(
-                             base_run.instructions),
-                         static_cast<unsigned long long>(fast_run.cycles),
+                             base_cell.run.instructions),
                          static_cast<unsigned long long>(
-                             base_run.cycles));
+                             fast_cell.run.cycles),
+                         static_cast<unsigned long long>(
+                             base_cell.run.cycles));
             return 1;
         }
         results.push_back(res);

@@ -2,9 +2,12 @@
 
 #include <cstdio>
 
+#include <memory>
+
 #include "check/lockstep.h"
 #include "isa/assembler.h"
 #include "support/logging.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 
 namespace cheri::check
@@ -60,6 +63,100 @@ num(std::uint64_t value)
     return std::to_string(value);
 }
 
+/**
+ * One worker's private replay context: a machine loaded with the
+ * guest and its own S0 checkpoint. Loading is deterministic, so every
+ * worker's S0 is bit-identical to the calibration machine's — a trial
+ * produces the same record on any worker.
+ */
+struct WorkerMachine
+{
+    WorkerMachine(const CampaignConfig &config,
+                  const CampaignGuest &guest)
+        : machine([&] {
+              core::MachineConfig machine_config;
+              machine_config.dram_bytes = config.dram_bytes;
+              return machine_config;
+          }())
+    {
+        guest.load(machine);
+        machine.cpu().setDecodeCacheEnabled(config.fast_paths);
+        machine.cpu().setDataFastPathEnabled(config.fast_paths);
+        s0 = machine.saveSnapshot();
+    }
+
+    core::Machine machine;
+    core::Machine::Snapshot s0;
+};
+
+/**
+ * Replay one planned trial from the worker's checkpoint and classify
+ * it (see the header's outcome taxonomy).
+ */
+TrialRecord
+runTrial(const CampaignGuest &guest, WorkerMachine &worker,
+         const FaultPlan &plan, std::uint64_t trial_index,
+         std::uint64_t clean_instructions)
+{
+    core::Machine &machine = worker.machine;
+    machine.restoreSnapshot(worker.s0);
+
+    LockstepConfig oracle_config;
+    oracle_config.final_memory_sweep = false;
+    Lockstep oracle(machine, oracle_config);
+
+    LockstepResult prefix = oracle.runFor(plan.inject_at);
+    if (prefix.diverged || !prefix.hit_limit) {
+        support::panic("campaign guest '%s' trial %llu: clean "
+                       "prefix did not stay clean: %s",
+                       guest.name.c_str(),
+                       static_cast<unsigned long long>(trial_index),
+                       prefix.divergence.c_str());
+    }
+
+    FaultOutcome fault = applyFault(machine, plan);
+    if (!fault.applied) {
+        support::panic("campaign guest '%s' trial %llu: no fault "
+                       "class applicable",
+                       guest.name.c_str(),
+                       static_cast<unsigned long long>(trial_index));
+    }
+
+    // Generous budget: a corrupted guest gets twice the remaining
+    // clean instructions plus slack before the watchdog calls it
+    // a timeout.
+    std::uint64_t remaining = clean_instructions - plan.inject_at;
+    LockstepResult post = oracle.runFor(2 * remaining + 10'000);
+
+    TrialRecord record;
+    record.index = trial_index;
+    record.requested = plan.fault;
+    record.applied = fault.applied_class;
+    record.inject_at = plan.inject_at;
+    record.target = fault.target;
+    record.instructions_after = post.instructions;
+    if (post.diverged) {
+        record.outcome = post.fast_trapped
+                             ? TrialOutcome::kDetectedTrap
+                             : TrialOutcome::kDetectedDivergence;
+        record.detail = firstLine(post.divergence);
+    } else if (post.hit_limit) {
+        record.outcome = TrialOutcome::kTimeout;
+    } else {
+        // The pair reached BREAK (or an identical trap) with all
+        // architectural state matching; only lingering memory
+        // corruption separates masked from silent.
+        std::string sweep;
+        if (oracle.finalStateMatches(sweep)) {
+            record.outcome = TrialOutcome::kMasked;
+        } else {
+            record.outcome = TrialOutcome::kSilentCorruption;
+            record.detail = firstLine(sweep);
+        }
+    }
+    return record;
+}
+
 /** Run one guest's campaign; see the header's file comment. */
 GuestReport
 runGuest(const CampaignConfig &config, const CampaignGuest &guest,
@@ -68,15 +165,10 @@ runGuest(const CampaignConfig &config, const CampaignGuest &guest,
     GuestReport report;
     report.name = guest.name;
 
-    core::MachineConfig machine_config;
-    machine_config.dram_bytes = config.dram_bytes;
-    core::Machine machine(machine_config);
-    guest.load(machine);
-    machine.cpu().setDecodeCacheEnabled(config.fast_paths);
-    machine.cpu().setDataFastPathEnabled(config.fast_paths);
-
-    // Checkpoint once at S0; every trial replays from here.
-    core::Machine::Snapshot s0 = machine.saveSnapshot();
+    // The calibration machine doubles as worker 0's replay context.
+    WorkerMachine calibration(config, guest);
+    core::Machine &machine = calibration.machine;
+    const core::Machine::Snapshot &s0 = calibration.s0;
 
     // Clean watchdog-bounded run to calibrate the injection window.
     core::RunLimits limits;
@@ -112,11 +204,14 @@ runGuest(const CampaignConfig &config, const CampaignGuest &guest,
                            report.clean_instructions));
     }
 
+    // Draw every trial's plan up front from the single per-guest RNG,
+    // in trial order — the draws are what tie the campaign to its
+    // seed, so they must not depend on worker scheduling.
     support::Xoshiro256 rng(config.seed +
                             guest_index * 0x9e3779b97f4a7c15ULL);
+    std::vector<FaultPlan> plans;
+    plans.reserve(config.trials);
     for (std::uint64_t t = 0; t < config.trials; ++t) {
-        machine.restoreSnapshot(s0);
-
         FaultPlan plan;
         plan.fault =
             static_cast<FaultClass>(rng.nextBelow(kNumFaultClasses));
@@ -126,65 +221,32 @@ runGuest(const CampaignConfig &config, const CampaignGuest &guest,
         plan.inject_at =
             rng.nextInRange(1, report.clean_instructions - 8);
         plan.pick = rng.next();
+        plans.push_back(plan);
+    }
 
-        LockstepConfig oracle_config;
-        oracle_config.final_memory_sweep = false;
-        Lockstep oracle(machine, oracle_config);
-
-        LockstepResult prefix = oracle.runFor(plan.inject_at);
-        if (prefix.diverged || !prefix.hit_limit) {
-            support::panic("campaign guest '%s' trial %llu: clean "
-                           "prefix did not stay clean: %s",
-                           guest.name.c_str(),
-                           static_cast<unsigned long long>(t),
-                           prefix.divergence.c_str());
-        }
-
-        FaultOutcome fault = applyFault(machine, plan);
-        if (!fault.applied) {
-            support::panic("campaign guest '%s' trial %llu: no fault "
-                           "class applicable",
-                           guest.name.c_str(),
-                           static_cast<unsigned long long>(t));
-        }
-
-        // Generous budget: a corrupted guest gets twice the remaining
-        // clean instructions plus slack before the watchdog calls it
-        // a timeout.
-        std::uint64_t remaining =
-            report.clean_instructions - plan.inject_at;
-        LockstepResult post = oracle.runFor(2 * remaining + 10'000);
-
-        TrialRecord record;
-        record.index = t;
-        record.requested = plan.fault;
-        record.applied = fault.applied_class;
-        record.inject_at = plan.inject_at;
-        record.target = fault.target;
-        record.instructions_after = post.instructions;
-        if (post.diverged) {
-            record.outcome = post.fast_trapped
-                                 ? TrialOutcome::kDetectedTrap
-                                 : TrialOutcome::kDetectedDivergence;
-            record.detail = firstLine(post.divergence);
-        } else if (post.hit_limit) {
-            record.outcome = TrialOutcome::kTimeout;
-        } else {
-            // The pair reached BREAK (or an identical trap) with all
-            // architectural state matching; only lingering memory
-            // corruption separates masked from silent.
-            std::string sweep;
-            if (oracle.finalStateMatches(sweep)) {
-                record.outcome = TrialOutcome::kMasked;
+    // Replay trials across the pool. Worker 0 reuses the calibration
+    // machine; the others lazily clone their own checkpointed machine
+    // the first time they claim a trial. Records land in trial order.
+    unsigned jobs = support::normalizeJobs(config.jobs);
+    std::vector<std::unique_ptr<WorkerMachine>> workers(jobs);
+    report.trials = support::parallelMapOrdered<TrialRecord>(
+        plans.size(), jobs, [&](std::size_t index, unsigned worker) {
+            WorkerMachine *context;
+            if (worker == 0) {
+                context = &calibration;
             } else {
-                record.outcome = TrialOutcome::kSilentCorruption;
-                record.detail = firstLine(sweep);
+                if (!workers[worker])
+                    workers[worker] = std::make_unique<WorkerMachine>(
+                        config, guest);
+                context = workers[worker].get();
             }
-        }
+            return runTrial(guest, *context, plans[index], index,
+                            report.clean_instructions);
+        });
+
+    for (const TrialRecord &record : report.trials)
         report.counts[static_cast<unsigned>(record.applied)]
                      [static_cast<unsigned>(record.outcome)]++;
-        report.trials.push_back(std::move(record));
-    }
     return report;
 }
 

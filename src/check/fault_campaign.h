@@ -62,6 +62,14 @@ struct CampaignConfig
     bool fast_paths = true;
     /** Watchdog budget for the clean run (retired instructions). */
     std::uint64_t clean_budget = 100'000'000;
+    /**
+     * Worker threads replaying trials (0 = hardware concurrency,
+     * 1 = serial). Each worker owns a private machine cloned from the
+     * guest's checkpoint and trial plans are drawn serially up front,
+     * so the report — including toJson(), which deliberately omits
+     * this knob — is byte-identical for any value.
+     */
+    unsigned jobs = 1;
 };
 
 /** How one trial ended (see file comment). */

@@ -8,6 +8,8 @@
 #include "isa/assembler.h"
 #include "isa/decoder.h"
 #include "isa/disasm.h"
+#include "support/logging.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 #include "tlb/page_table.h"
 
@@ -822,6 +824,98 @@ dumpReproducer(const std::vector<std::uint32_t> &words,
         out += "\n";
     }
     return out;
+}
+
+namespace
+{
+
+/** Generate, run, and (on divergence) shrink one seed; returns the
+ *  exact text the CLI prints for it. Pure function of (config, seed) —
+ *  the whole Machine/RefCpu pair lives on this call's stack, so seeds
+ *  can run on any worker thread in any order. */
+FuzzSeedOutcome
+runOneSeed(const FuzzCampaignConfig &config, std::uint64_t seed)
+{
+    FuzzSeedOutcome outcome;
+    outcome.seed = seed;
+
+    FuzzSpec spec = generateSpec(seed);
+    std::vector<std::uint32_t> words = assembleFuzzProgram(spec);
+    FuzzRunResult result =
+        runFuzzWords(words, config.suppress_tag_clear,
+                     config.max_instructions, config.data_mode);
+    if (!result.diverged) {
+        if (!config.quiet)
+            outcome.text = support::format(
+                "seed %llu: ok (%zu ops, %zu words)\n",
+                static_cast<unsigned long long>(seed), spec.ops.size(),
+                words.size());
+        return outcome;
+    }
+
+    outcome.diverged = true;
+    outcome.text = support::format(
+        "seed %llu: DIVERGENCE (fast path %s)\n%s\n",
+        static_cast<unsigned long long>(seed),
+        result.fast_path ? "on" : "off", result.divergence.c_str());
+    if (config.shrink) {
+        FuzzSpec small = spec;
+        small.ops = shrinkOps(spec, config.suppress_tag_clear,
+                              config.max_instructions,
+                              config.data_mode);
+        std::vector<std::uint32_t> small_words =
+            assembleFuzzProgram(small);
+        FuzzRunResult small_result =
+            runFuzzWords(small_words, config.suppress_tag_clear,
+                         config.max_instructions, config.data_mode);
+        outcome.text +=
+            support::format("shrunk %zu ops -> %zu ops\n",
+                            spec.ops.size(), small.ops.size());
+        outcome.text += dumpReproducer(
+            small_words, seed,
+            small_result.diverged ? small_result.divergence
+                                  : result.divergence);
+    } else {
+        outcome.text += dumpReproducer(words, seed, result.divergence);
+    }
+    return outcome;
+}
+
+} // namespace
+
+std::string
+FuzzCampaignResult::summaryLine() const
+{
+    return support::format(
+        "cheri-fuzz: %llu/%llu seed(s) diverged\n",
+        static_cast<unsigned long long>(diverged_count),
+        static_cast<unsigned long long>(outcomes.size()));
+}
+
+std::string
+FuzzCampaignResult::text() const
+{
+    std::string out;
+    for (const FuzzSeedOutcome &outcome : outcomes)
+        out += outcome.text;
+    out += summaryLine();
+    return out;
+}
+
+FuzzCampaignResult
+runFuzzSeeds(const FuzzCampaignConfig &config)
+{
+    FuzzCampaignResult result;
+    result.outcomes = support::parallelMapOrdered<FuzzSeedOutcome>(
+        static_cast<std::size_t>(config.seeds),
+        support::normalizeJobs(config.jobs),
+        [&config](std::size_t index, unsigned) {
+            return runOneSeed(config, config.start_seed + index);
+        });
+    for (const FuzzSeedOutcome &outcome : result.outcomes)
+        if (outcome.diverged)
+            ++result.diverged_count;
+    return result;
 }
 
 } // namespace cheri::check

@@ -162,6 +162,60 @@ std::string dumpReproducer(const std::vector<std::uint32_t> &words,
                            std::uint64_t seed,
                            const std::string &divergence);
 
+/**
+ * One whole fuzz sweep: the seed loop the cheri-fuzz CLI runs, hoisted
+ * into the library so it can (a) fan seeds out across a worker pool
+ * and (b) be byte-compared between serial and parallel runs in tests.
+ */
+struct FuzzCampaignConfig
+{
+    std::uint64_t seeds = 25;
+    std::uint64_t start_seed = 1;
+    bool shrink = false;
+    /** Arm the hierarchy's skip-tag-clear fault (oracle self-test). */
+    bool suppress_tag_clear = false;
+    std::uint64_t max_instructions = 20000;
+    DataFastPathMode data_mode = DataFastPathMode::kFollow;
+    /** Omit per-seed "ok" lines (the CLI's --quiet). */
+    bool quiet = false;
+    /** Worker threads; 0 = hardware concurrency, 1 = serial. */
+    unsigned jobs = 1;
+};
+
+/** What one seed contributed to the sweep. */
+struct FuzzSeedOutcome
+{
+    std::uint64_t seed = 0;
+    bool diverged = false;
+    /**
+     * Exactly the text the CLI prints for this seed (ok line,
+     * divergence report, shrink trace, reproducer) — empty for a
+     * clean seed under quiet. Captured per seed so the parallel
+     * scheduler can emit seeds in order, byte-identical to a serial
+     * run.
+     */
+    std::string text;
+};
+
+/** Sweep results, ordered by seed. */
+struct FuzzCampaignResult
+{
+    std::uint64_t diverged_count = 0;
+    std::vector<FuzzSeedOutcome> outcomes;
+
+    /** The trailing "cheri-fuzz: N/M seed(s) diverged" line. */
+    std::string summaryLine() const;
+    /** Full report: every seed's text in seed order + the summary. */
+    std::string text() const;
+};
+
+/**
+ * Run the sweep. Each seed is an independent job owning a private
+ * Machine/RefCpu pair; config.jobs only changes wall-clock, never the
+ * returned bytes (results are merged by seed index).
+ */
+FuzzCampaignResult runFuzzSeeds(const FuzzCampaignConfig &config);
+
 } // namespace cheri::check
 
 #endif // CHERI_CHECK_FUZZ_H

@@ -48,7 +48,12 @@ void warn(const char *fmt, ...)
 void inform(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Number of warnings emitted so far (for tests). */
+/**
+ * Number of warnings emitted so far (for tests). The counter is
+ * atomic: warn() may be called from parallel-runner workers
+ * (support/parallel.h), so the count must stay exact under
+ * CHERI_SANITIZE=thread.
+ */
 unsigned long warnCount();
 
 } // namespace cheri::support

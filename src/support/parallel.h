@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic work scheduler for the embarrassingly-parallel
+ * harnesses (differential fuzzing, fault-injection campaigns, the
+ * throughput bench grid). A fixed pool of worker threads drains a
+ * sharded job queue of independent, index-addressed jobs; results are
+ * written into per-index slots, so merging in index order reproduces
+ * the serial run byte-for-byte no matter how the OS schedules the
+ * workers.
+ *
+ * Determinism contract: a job may touch only (a) state it creates
+ * itself (its own Machine/RefCpu pair, its own RNG seeded from the job
+ * index) and (b) its private result slot. Nothing in this file
+ * serializes jobs against each other, so any shared mutable state is a
+ * race — build with -DCHERI_SANITIZE=thread to check. With jobs == 1
+ * everything runs inline on the calling thread, which is exactly the
+ * pre-pool serial behaviour.
+ */
+
+#ifndef CHERI_SUPPORT_PARALLEL_H
+#define CHERI_SUPPORT_PARALLEL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace cheri::support
+{
+
+/** Hardware concurrency, clamped to at least 1. */
+unsigned defaultJobs();
+
+/**
+ * Normalize a --jobs request: 0 means "pick for me" (defaultJobs());
+ * anything else is used as given, capped at kMaxJobs to keep a typo
+ * like --jobs 1000000 from exhausting host threads.
+ */
+unsigned normalizeJobs(std::uint64_t requested);
+
+/** Upper bound normalizeJobs() imposes on explicit requests. */
+constexpr unsigned kMaxJobs = 256;
+
+/**
+ * Run fn(index, worker) for every index in [0, count) across 'jobs'
+ * fixed worker threads. worker is in [0, jobs) and identifies the
+ * thread running the job, so callers can keep per-worker state (e.g.
+ * one emulated Machine per worker) without locking. Indices are
+ * claimed from a shared atomic cursor — execution order across
+ * workers is unspecified, which is why jobs must be independent.
+ *
+ * jobs == 1 (or count <= 1) runs every job inline on the calling
+ * thread in index order with worker == 0: bit-for-bit the serial
+ * behaviour, no threads created.
+ *
+ * If a job throws, the first exception (by completion order) is
+ * rethrown on the calling thread after all workers join; remaining
+ * queued jobs are abandoned.
+ */
+void parallelFor(std::size_t count, unsigned jobs,
+                 const std::function<void(std::size_t index,
+                                          unsigned worker)> &fn);
+
+/**
+ * Ordered map: run fn(index, worker) -> Result for every index and
+ * return the results indexed by job — result[i] is always job i's
+ * value regardless of scheduling, so downstream consumers (report
+ * writers, reproducer dumps) see the serial order.
+ */
+template <typename Result, typename Fn>
+std::vector<Result>
+parallelMapOrdered(std::size_t count, unsigned jobs, Fn &&fn)
+{
+    std::vector<Result> results(count);
+    parallelFor(count, jobs,
+                [&](std::size_t index, unsigned worker) {
+                    results[index] = fn(index, worker);
+                });
+    return results;
+}
+
+} // namespace cheri::support
+
+#endif // CHERI_SUPPORT_PARALLEL_H

@@ -1,0 +1,43 @@
+#include "support/parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cheri::support
+{
+
+bool
+parseU64(const char *text, std::uint64_t &out, int base)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    // strtoull happily accepts leading whitespace and '-' (wrapping
+    // negatives to huge values); a flag value starting with either is
+    // never what the caller meant.
+    if (std::isspace(static_cast<unsigned char>(*text)) ||
+        *text == '-' || *text == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(text, &end, base);
+    if (errno == ERANGE || end == text || *end != '\0')
+        return false;
+    out = value;
+    return true;
+}
+
+std::uint64_t
+parseU64OrFatal(const char *text, const char *what, int base)
+{
+    std::uint64_t value = 0;
+    if (!parseU64(text, value, base)) {
+        std::fprintf(stderr, "invalid numeric value '%s' for %s\n",
+                     text == nullptr ? "" : text, what);
+        std::exit(2);
+    }
+    return value;
+}
+
+} // namespace cheri::support

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Strict numeric parsing for CLI flags and environment variables. The
+ * tools used to call std::strtoull(text, nullptr, 0) directly, which
+ * silently returns 0 on garbage — so `cheri-fuzz --seeds banana` ran
+ * zero seeds and exited success. These helpers reject empty strings,
+ * trailing junk, negative signs, and out-of-range values instead of
+ * folding them all into 0.
+ */
+
+#ifndef CHERI_SUPPORT_PARSE_H
+#define CHERI_SUPPORT_PARSE_H
+
+#include <cstdint>
+
+namespace cheri::support
+{
+
+/**
+ * Parse an unsigned 64-bit value with errno + end-pointer checking.
+ * base follows strtoull (0 = auto-detect 0x/0 prefixes). Returns
+ * false — leaving 'out' untouched — on empty input, leading '-',
+ * trailing junk, or overflow.
+ */
+bool parseU64(const char *text, std::uint64_t &out, int base = 0);
+
+/**
+ * Parse an unsigned 64-bit CLI value or exit(2) (the tools' usage
+ * exit code) with a one-line diagnostic naming 'what' (e.g. the flag
+ * or environment variable the value came from).
+ */
+std::uint64_t parseU64OrFatal(const char *text, const char *what,
+                              int base = 0);
+
+} // namespace cheri::support
+
+#endif // CHERI_SUPPORT_PARSE_H

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 
+#include "support/logging.h"
+
 namespace cheri::support
 {
 
@@ -48,16 +50,25 @@ class Xoshiro256
     std::uint64_t
     nextBelow(std::uint64_t bound)
     {
+        if (bound == 0)
+            panic("Xoshiro256::nextBelow: zero bound");
         // Rejection-free Lemire-style reduction is overkill here; a
         // plain modulo bias of < 2^-40 is irrelevant for workloads.
         return next() % bound;
     }
 
-    /** Uniform value in [lo, hi] inclusive. */
+    /** Uniform value in [lo, hi] inclusive; requires lo <= hi. */
     std::uint64_t
     nextInRange(std::uint64_t lo, std::uint64_t hi)
     {
-        return lo + nextBelow(hi - lo + 1);
+        if (lo > hi)
+            panic("Xoshiro256::nextInRange: lo > hi");
+        std::uint64_t span = hi - lo + 1;
+        // span wraps to 0 when the range covers all 2^64 values; the
+        // raw draw is already uniform over exactly that range.
+        if (span == 0)
+            return next();
+        return lo + nextBelow(span);
     }
 
     /** Uniform double in [0, 1). */

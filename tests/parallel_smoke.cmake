@@ -1,0 +1,57 @@
+# parallel-smoke: prove the worker pool is observationally invisible.
+# Runs the fault campaign (50 trials x 4 guests = 200 injections) and
+# the differential fuzzer (200 seeds) once serially and once at
+# --jobs 4, then requires byte-identical JSON/stdout. Invoked by ctest
+# as:
+#   cmake -DFAULTSIM=<path> -DFUZZ=<path> -DWORK_DIR=<dir> -P parallel_smoke.cmake
+
+foreach(var FAULTSIM FUZZ WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "parallel_smoke.cmake: ${var} not set")
+    endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# --- fault campaign ---------------------------------------------------
+foreach(jobs 1 4)
+    execute_process(
+        COMMAND ${FAULTSIM} --trials 50 --seed 1 --jobs ${jobs}
+                --quiet --json ${WORK_DIR}/faultsim_jobs${jobs}.json
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "cheri-faultsim --jobs ${jobs} exited ${rc}")
+    endif()
+endforeach()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/faultsim_jobs1.json
+            ${WORK_DIR}/faultsim_jobs4.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "faultsim JSON differs between --jobs 1 and --jobs 4")
+endif()
+
+# --- fuzz sweep -------------------------------------------------------
+foreach(jobs 1 4)
+    execute_process(
+        COMMAND ${FUZZ} --seeds 200 --start-seed 1 --jobs ${jobs}
+        OUTPUT_FILE ${WORK_DIR}/fuzz_jobs${jobs}.txt
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "cheri-fuzz --jobs ${jobs} exited ${rc}")
+    endif()
+endforeach()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/fuzz_jobs1.txt
+            ${WORK_DIR}/fuzz_jobs4.txt
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "fuzz output differs between --jobs 1 and --jobs 4")
+endif()
+
+message(STATUS "parallel-smoke: 200 injections + 200 seeds "
+               "byte-identical at --jobs 4")

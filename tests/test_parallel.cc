@@ -1,0 +1,257 @@
+/**
+ * @file
+ * The determinism contract of the parallel runner (support/parallel.h)
+ * and the harnesses built on it: a fuzz sweep or fault campaign run at
+ * --jobs N must be byte-identical to the serial run — the worker pool
+ * may only change wall-clock, never output. Also covers the CLI/RNG
+ * hardening that rode along: strict numeric parsing (support/parse.h)
+ * and the Xoshiro256 full-range overflow fix.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/fault_campaign.h"
+#include "check/fuzz.h"
+#include "support/parallel.h"
+#include "support/parse.h"
+#include "support/rng.h"
+#include "workloads/guest_olden.h"
+
+namespace
+{
+
+using namespace cheri;
+
+// --- the scheduler itself -------------------------------------------
+
+TEST(ParallelFor, OrderedResultsAcrossWorkers)
+{
+    constexpr std::size_t kCount = 300;
+    std::vector<int> results =
+        support::parallelMapOrdered<int>(
+            kCount, 4, [](std::size_t index, unsigned) {
+                return static_cast<int>(index * 3);
+            });
+    ASSERT_EQ(results.size(), kCount);
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(results[i], static_cast<int>(i * 3));
+}
+
+TEST(ParallelFor, EveryIndexRunsExactlyOnce)
+{
+    constexpr std::size_t kCount = 500;
+    std::vector<std::atomic<int>> hits(kCount);
+    support::parallelFor(kCount, 8,
+                         [&](std::size_t index, unsigned worker) {
+                             EXPECT_LT(worker, 8u);
+                             hits[index].fetch_add(1);
+                         });
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, SerialPathRunsInlineInOrder)
+{
+    std::vector<std::size_t> order;
+    support::parallelFor(10, 1,
+                         [&](std::size_t index, unsigned worker) {
+                             EXPECT_EQ(worker, 0u);
+                             order.push_back(index);
+                         });
+    std::vector<std::size_t> expected(10);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelFor, HandlesEmptyAndOversubscribed)
+{
+    int runs = 0;
+    support::parallelFor(0, 4,
+                         [&](std::size_t, unsigned) { ++runs; });
+    EXPECT_EQ(runs, 0);
+
+    // More workers than jobs: the pool clamps, every job still runs.
+    std::vector<std::atomic<int>> hits(3);
+    support::parallelFor(3, 16,
+                         [&](std::size_t index, unsigned) {
+                             hits[index].fetch_add(1);
+                         });
+    for (auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelFor, FirstExceptionPropagates)
+{
+    EXPECT_THROW(
+        support::parallelFor(100, 4,
+                             [](std::size_t index, unsigned) {
+                                 if (index == 37)
+                                     throw std::runtime_error("job 37");
+                             }),
+        std::runtime_error);
+}
+
+TEST(ParallelJobs, NormalizeClampsAndDefaults)
+{
+    EXPECT_GE(support::defaultJobs(), 1u);
+    EXPECT_EQ(support::normalizeJobs(0), support::defaultJobs());
+    EXPECT_EQ(support::normalizeJobs(3), 3u);
+    EXPECT_EQ(support::normalizeJobs(1u << 30), support::kMaxJobs);
+}
+
+// --- strict CLI numeric parsing -------------------------------------
+
+TEST(ParseU64, AcceptsWellFormedValues)
+{
+    std::uint64_t value = 0;
+    EXPECT_TRUE(support::parseU64("123", value));
+    EXPECT_EQ(value, 123u);
+    EXPECT_TRUE(support::parseU64("0x40", value));
+    EXPECT_EQ(value, 0x40u);
+    EXPECT_TRUE(support::parseU64("0", value));
+    EXPECT_EQ(value, 0u);
+    EXPECT_TRUE(support::parseU64("ff", value, 16));
+    EXPECT_EQ(value, 0xffu);
+    EXPECT_TRUE(support::parseU64("18446744073709551615", value));
+    EXPECT_EQ(value, ~0ULL);
+}
+
+TEST(ParseU64, RejectsGarbageInsteadOfReturningZero)
+{
+    std::uint64_t value = 42;
+    EXPECT_FALSE(support::parseU64("banana", value));
+    EXPECT_FALSE(support::parseU64("", value));
+    EXPECT_FALSE(support::parseU64(nullptr, value));
+    EXPECT_FALSE(support::parseU64("123abc", value));
+    EXPECT_FALSE(support::parseU64("-5", value));
+    EXPECT_FALSE(support::parseU64("+5", value));
+    EXPECT_FALSE(support::parseU64(" 5", value));
+    EXPECT_FALSE(support::parseU64("18446744073709551616", value));
+    // A failed parse must leave the caller's value untouched.
+    EXPECT_EQ(value, 42u);
+}
+
+// --- Xoshiro256 range-overflow regression ---------------------------
+
+TEST(Rng, FullRangeDoesNotWrapToZeroBound)
+{
+    // hi - lo + 1 wraps to 0 here; the old code handed 0 to
+    // nextBelow, whose modulo was undefined behaviour.
+    support::Xoshiro256 rng(7);
+    support::Xoshiro256 raw(7);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(rng.nextInRange(0, ~0ULL), raw.next());
+}
+
+TEST(Rng, DegenerateAndOffsetRanges)
+{
+    support::Xoshiro256 rng(11);
+    EXPECT_EQ(rng.nextInRange(5, 5), 5u);
+    EXPECT_EQ(rng.nextInRange(~0ULL, ~0ULL), ~0ULL);
+    for (int i = 0; i < 256; ++i) {
+        std::uint64_t v = rng.nextInRange(100, 107);
+        EXPECT_GE(v, 100u);
+        EXPECT_LE(v, 107u);
+    }
+    // Near-full range ending at 2^64 - 1 must stay in bounds too.
+    for (int i = 0; i < 64; ++i)
+        EXPECT_GE(rng.nextInRange(1, ~0ULL), 1u);
+}
+
+TEST(Rng, UnchangedSequenceForNormalRanges)
+{
+    // The wrap guard must not perturb existing seeded streams: every
+    // corpus seed and campaign plan depends on them.
+    support::Xoshiro256 rng(123);
+    support::Xoshiro256 manual(123);
+    for (int i = 0; i < 128; ++i)
+        EXPECT_EQ(rng.nextInRange(10, 20),
+                  10 + manual.next() % 11);
+}
+
+TEST(RngDeathTest, PreconditionViolationsPanic)
+{
+    support::Xoshiro256 rng(1);
+    EXPECT_DEATH(rng.nextBelow(0), "zero bound");
+    EXPECT_DEATH(rng.nextInRange(3, 2), "lo > hi");
+}
+
+// --- fuzz sweep: parallel == serial, byte for byte ------------------
+
+TEST(ParallelFuzz, SweepIsByteIdenticalAcrossJobCounts)
+{
+    check::FuzzCampaignConfig config;
+    config.seeds = 12;
+    config.start_seed = 1;
+    config.jobs = 1;
+    check::FuzzCampaignResult serial = check::runFuzzSeeds(config);
+
+    config.jobs = 4;
+    check::FuzzCampaignResult parallel = check::runFuzzSeeds(config);
+
+    EXPECT_EQ(serial.diverged_count, parallel.diverged_count);
+    EXPECT_EQ(serial.text(), parallel.text());
+}
+
+TEST(ParallelFuzz, ShrunkReproducersMatchSerialShrinking)
+{
+    // The armed tag-clear fault makes seeds diverge, so the parallel
+    // sweep exercises shrinking + reproducer dumping on the workers.
+    check::FuzzCampaignConfig config;
+    config.seeds = 4;
+    config.start_seed = 1;
+    config.suppress_tag_clear = true;
+    config.shrink = true;
+    config.jobs = 1;
+    check::FuzzCampaignResult serial = check::runFuzzSeeds(config);
+    ASSERT_GT(serial.diverged_count, 0u)
+        << "tag-clear fault no longer causes any divergence";
+
+    config.jobs = 4;
+    check::FuzzCampaignResult parallel = check::runFuzzSeeds(config);
+    EXPECT_EQ(serial.text(), parallel.text());
+}
+
+// --- fault campaign: parallel == serial, byte for byte --------------
+
+TEST(ParallelCampaign, ReportIsByteIdenticalAcrossJobCounts)
+{
+    workloads::GuestProgram treeadd = workloads::guestTreeadd(5, 2);
+    workloads::GuestProgram bisort = workloads::guestBisort(48);
+    std::vector<check::CampaignGuest> guests = {
+        {"treeadd",
+         [treeadd](core::Machine &machine) {
+             workloads::loadGuestProgram(machine, treeadd);
+         }},
+        {"bisort",
+         [bisort](core::Machine &machine) {
+             workloads::loadGuestProgram(machine, bisort);
+         }},
+    };
+
+    check::CampaignConfig config;
+    config.trials = 8;
+    config.seed = 42;
+    config.jobs = 1;
+    check::CampaignReport serial = check::runCampaign(config, guests);
+
+    config.jobs = 4;
+    check::CampaignReport parallel =
+        check::runCampaign(config, guests);
+
+    EXPECT_EQ(serial.toJson(), parallel.toJson());
+    ASSERT_EQ(parallel.guests.size(), 2u);
+    for (const check::GuestReport &guest : parallel.guests) {
+        EXPECT_FALSE(guest.restore_perturbed);
+        EXPECT_EQ(guest.trials.size(), config.trials);
+    }
+}
+
+} // namespace

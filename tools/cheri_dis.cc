@@ -16,6 +16,7 @@
 #include "isa/decoder.h"
 #include "isa/disasm.h"
 #include "isa/text_assembler.h"
+#include "support/parse.h"
 
 using namespace cheri;
 
@@ -61,8 +62,23 @@ main(int argc, char **argv)
         std::istringstream stream(input);
         std::string token;
         while (stream >> token) {
-            words.push_back(static_cast<std::uint32_t>(
-                std::strtoul(token.c_str(), nullptr, 16)));
+            // Accept "0x1234abcd" or bare hex; reject garbage tokens
+            // instead of silently decoding them as word 0.
+            const char *digits = token.c_str();
+            if (token.size() > 2 &&
+                (token[0] == '0' &&
+                 (token[1] == 'x' || token[1] == 'X')))
+                digits += 2;
+            std::uint64_t word = support::parseU64OrFatal(
+                digits, "instruction word", 16);
+            if (word > 0xffffffffULL) {
+                std::fprintf(stderr,
+                             "cheri-dis: word '%s' wider than 32 "
+                             "bits\n",
+                             token.c_str());
+                return 2;
+            }
+            words.push_back(static_cast<std::uint32_t>(word));
         }
     }
 

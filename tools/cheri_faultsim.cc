@@ -11,6 +11,12 @@
  *   cheri-faultsim [options]
  *     --trials N     injections per guest (default 25)
  *     --seed N       campaign seed (default 1)
+ *     --jobs N       worker threads replaying trials (default:
+ *                    hardware concurrency; 1 = serial). The report is
+ *                    byte-identical for any N: plans are drawn up
+ *                    front, each worker replays from a private
+ *                    checkpoint clone, and records merge by trial
+ *                    index.
  *     --guests LIST  comma-separated subset of
  *                    treeadd,bisort,mst,em3d (default all)
  *     --slow         run the fast machine with fast paths disabled
@@ -29,6 +35,8 @@
 #include <vector>
 
 #include "check/fault_campaign.h"
+#include "support/parallel.h"
+#include "support/parse.h"
 #include "workloads/guest_olden.h"
 
 using namespace cheri;
@@ -150,11 +158,18 @@ main(int argc, char **argv)
     bool quiet = false;
     bool selftest = false;
 
+    config.jobs = 0; // hardware concurrency unless --jobs given
+
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
-            config.trials = std::strtoull(argv[++i], nullptr, 0);
+            config.trials =
+                support::parseU64OrFatal(argv[++i], "--trials");
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-            config.seed = std::strtoull(argv[++i], nullptr, 0);
+            config.seed = support::parseU64OrFatal(argv[++i], "--seed");
+        } else if (std::strcmp(argv[i], "--jobs") == 0 &&
+                   i + 1 < argc) {
+            config.jobs = support::normalizeJobs(
+                support::parseU64OrFatal(argv[++i], "--jobs"));
         } else if (std::strcmp(argv[i], "--guests") == 0 &&
                    i + 1 < argc) {
             names = splitCommas(argv[++i]);
@@ -169,8 +184,8 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: cheri-faultsim [--trials N] [--seed N] "
-                         "[--guests a,b] [--slow] [--json PATH] "
-                         "[--quiet] [--selftest]\n");
+                         "[--jobs N] [--guests a,b] [--slow] "
+                         "[--json PATH] [--quiet] [--selftest]\n");
             return 2;
         }
     }

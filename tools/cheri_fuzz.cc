@@ -11,6 +11,10 @@
  *     --seeds N            number of seeds to run (default 25, or the
  *                          CHERI_FUZZ_SEEDS environment variable)
  *     --start-seed N       first seed (default 1)
+ *     --jobs N             worker threads (default: hardware
+ *                          concurrency; 1 = serial). Output is
+ *                          byte-identical for any N: seeds run on
+ *                          private machines and are merged in order.
  *     --shrink             ddmin-shrink a failing program before
  *                          dumping the reproducer
  *     --inject-fault tag-clear
@@ -32,36 +36,41 @@
 #include <string>
 
 #include "check/fuzz.h"
+#include "support/parallel.h"
+#include "support/parse.h"
 
 using namespace cheri;
 
 int
 main(int argc, char **argv)
 {
-    std::uint64_t seeds = 25;
-    std::uint64_t start_seed = 1;
-    bool shrink = false;
+    check::FuzzCampaignConfig config;
+    config.jobs = 0; // hardware concurrency unless --jobs given
     bool expect_divergence = false;
-    bool quiet = false;
-    bool suppress_tag_clear = false;
-    check::DataFastPathMode data_mode = check::DataFastPathMode::kFollow;
 
     if (const char *env = std::getenv("CHERI_FUZZ_SEEDS"))
-        seeds = std::strtoull(env, nullptr, 0);
+        config.seeds =
+            support::parseU64OrFatal(env, "CHERI_FUZZ_SEEDS");
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
-            seeds = std::strtoull(argv[++i], nullptr, 0);
+            config.seeds =
+                support::parseU64OrFatal(argv[++i], "--seeds");
         } else if (std::strcmp(argv[i], "--start-seed") == 0 &&
                    i + 1 < argc) {
-            start_seed = std::strtoull(argv[++i], nullptr, 0);
+            config.start_seed =
+                support::parseU64OrFatal(argv[++i], "--start-seed");
+        } else if (std::strcmp(argv[i], "--jobs") == 0 &&
+                   i + 1 < argc) {
+            config.jobs = support::normalizeJobs(
+                support::parseU64OrFatal(argv[++i], "--jobs"));
         } else if (std::strcmp(argv[i], "--shrink") == 0) {
-            shrink = true;
+            config.shrink = true;
         } else if (std::strcmp(argv[i], "--inject-fault") == 0 &&
                    i + 1 < argc) {
             const char *kind = argv[++i];
             if (std::strcmp(kind, "tag-clear") == 0) {
-                suppress_tag_clear = true;
+                config.suppress_tag_clear = true;
             } else {
                 std::fprintf(stderr, "unknown fault kind %s\n", kind);
                 return 2;
@@ -70,11 +79,11 @@ main(int argc, char **argv)
                    i + 1 < argc) {
             const char *mode = argv[++i];
             if (std::strcmp(mode, "follow") == 0) {
-                data_mode = check::DataFastPathMode::kFollow;
+                config.data_mode = check::DataFastPathMode::kFollow;
             } else if (std::strcmp(mode, "on") == 0) {
-                data_mode = check::DataFastPathMode::kForceOn;
+                config.data_mode = check::DataFastPathMode::kForceOn;
             } else if (std::strcmp(mode, "off") == 0) {
-                data_mode = check::DataFastPathMode::kForceOff;
+                config.data_mode = check::DataFastPathMode::kForceOff;
             } else {
                 std::fprintf(stderr, "unknown data-fastpath mode %s\n",
                              mode);
@@ -83,70 +92,22 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--expect-divergence") == 0) {
             expect_divergence = true;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
-            quiet = true;
+            config.quiet = true;
         } else {
             std::fprintf(
                 stderr,
                 "usage: cheri-fuzz [--seeds N] [--start-seed N] "
-                "[--shrink] [--inject-fault tag-clear] "
+                "[--jobs N] [--shrink] [--inject-fault tag-clear] "
                 "[--data-fastpath follow|on|off] "
                 "[--expect-divergence] [--quiet]\n");
             return 2;
         }
     }
 
-    std::uint64_t diverged_count = 0;
-    for (std::uint64_t seed = start_seed; seed < start_seed + seeds;
-         ++seed) {
-        check::FuzzSpec spec = check::generateSpec(seed);
-        std::vector<std::uint32_t> words =
-            check::assembleFuzzProgram(spec);
-        check::FuzzRunResult result =
-            check::runFuzzWords(words, suppress_tag_clear, 20000,
-                                data_mode);
-        if (!result.diverged) {
-            if (!quiet)
-                std::printf("seed %llu: ok (%zu ops, %zu words)\n",
-                            static_cast<unsigned long long>(seed),
-                            spec.ops.size(), words.size());
-            continue;
-        }
+    check::FuzzCampaignResult result = check::runFuzzSeeds(config);
+    std::fputs(result.text().c_str(), stdout);
 
-        ++diverged_count;
-        std::printf("seed %llu: DIVERGENCE (fast path %s)\n%s\n",
-                    static_cast<unsigned long long>(seed),
-                    result.fast_path ? "on" : "off",
-                    result.divergence.c_str());
-        if (shrink) {
-            check::FuzzSpec small = spec;
-            small.ops = check::shrinkOps(spec, suppress_tag_clear,
-                                         20000, data_mode);
-            std::vector<std::uint32_t> small_words =
-                check::assembleFuzzProgram(small);
-            check::FuzzRunResult small_result =
-                check::runFuzzWords(small_words, suppress_tag_clear,
-                                    20000, data_mode);
-            std::printf("shrunk %zu ops -> %zu ops\n",
-                        spec.ops.size(), small.ops.size());
-            std::fputs(
-                check::dumpReproducer(
-                    small_words, seed,
-                    small_result.diverged ? small_result.divergence
-                                          : result.divergence)
-                    .c_str(),
-                stdout);
-        } else {
-            std::fputs(
-                check::dumpReproducer(words, seed, result.divergence)
-                    .c_str(),
-                stdout);
-        }
-    }
-
-    std::printf("cheri-fuzz: %llu/%llu seed(s) diverged\n",
-                static_cast<unsigned long long>(diverged_count),
-                static_cast<unsigned long long>(seeds));
     if (expect_divergence)
-        return diverged_count > 0 ? 0 : 1;
-    return diverged_count == 0 ? 0 : 1;
+        return result.diverged_count > 0 ? 0 : 1;
+    return result.diverged_count == 0 ? 0 : 1;
 }

@@ -35,6 +35,7 @@
 #include "isa/disasm.h"
 #include "isa/text_assembler.h"
 #include "os/simple_os.h"
+#include "support/parse.h"
 
 using namespace cheri;
 
@@ -108,23 +109,28 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--max-insts") == 0 && i + 1 < argc) {
-            max_insts = std::strtoull(argv[++i], nullptr, 0);
+            max_insts =
+                support::parseU64OrFatal(argv[++i], "--max-insts");
         } else if (std::strcmp(argv[i], "--max-cycles") == 0 &&
                    i + 1 < argc) {
-            max_cycles = std::strtoull(argv[++i], nullptr, 0);
+            max_cycles =
+                support::parseU64OrFatal(argv[++i], "--max-cycles");
         } else if (std::strcmp(argv[i], "--trace") == 0 &&
                    i + 1 < argc) {
-            trace_count = std::strtoull(argv[++i], nullptr, 0);
+            trace_count =
+                support::parseU64OrFatal(argv[++i], "--trace");
         } else if (std::strcmp(argv[i], "--dram") == 0 &&
                    i + 1 < argc) {
-            config.dram_bytes = std::strtoull(argv[++i], nullptr, 0);
+            config.dram_bytes =
+                support::parseU64OrFatal(argv[++i], "--dram");
         } else if (std::strcmp(argv[i], "--l1") == 0 && i + 1 < argc) {
-            std::uint64_t bytes = std::strtoull(argv[++i], nullptr, 0);
+            std::uint64_t bytes =
+                support::parseU64OrFatal(argv[++i], "--l1");
             config.caches.l1i.size_bytes = bytes;
             config.caches.l1d.size_bytes = bytes;
         } else if (std::strcmp(argv[i], "--l2") == 0 && i + 1 < argc) {
             config.caches.l2.size_bytes =
-                std::strtoull(argv[++i], nullptr, 0);
+                support::parseU64OrFatal(argv[++i], "--l2");
         } else if (std::strcmp(argv[i], "--stats") == 0) {
             want_stats = true;
         } else if (std::strcmp(argv[i], "--dump-regs") == 0) {
