@@ -2,13 +2,14 @@
  * @file
  * Emulator host-throughput benchmark: measures how many guest
  * instructions per host second the interpreter retires on the guest
- * Olden kernels (treeadd, bisort, mst, em3d), with the interpreter
- * fast paths — fetch side (TLB fetch hint + predecoded-instruction
- * cache) and data side (translation memo + L1D-hit short-circuit) —
- * enabled and disabled together. Simulated cycles and stats are
- * bit-identical between the two modes (asserted here and in
- * test_fetch_fastpath / test_data_fastpath); only host wall-clock
- * changes.
+ * Olden kernels (treeadd, bisort, mst, em3d), across three tiers:
+ * baseline (every fast path off), fast path (TLB fetch hint +
+ * predecoded-instruction cache on the fetch side, translation memo +
+ * L1D-hit short-circuit on the data side), and superblock (fast paths
+ * plus threaded-dispatch straight-line blocks, DESIGN.md §12).
+ * Simulated cycles and stats are bit-identical across all modes
+ * (asserted here and in test_fetch_fastpath / test_data_fastpath /
+ * test_superblock); only host wall-clock changes.
  *
  * Results are written to BENCH_emu_throughput.json (override with
  * CHERI_BENCH_JSON) so the performance trajectory is tracked across
@@ -16,7 +17,8 @@
  * contract is that the JSON is emitted and parses. If
  * CHERI_BENCH_MIN_GEOMEAN is set, the run fails unless the geomean
  * fast-path speedup reaches that value — the bench-quick ctest uses
- * it as a cheap perf-regression gate.
+ * it as a cheap perf-regression gate; CHERI_BENCH_MIN_SB_GEOMEAN does
+ * the same for the superblock-over-fast-path geomean.
  *
  * --jobs N (or CHERI_BENCH_JOBS) runs the kernel x mode grid of cells
  * concurrently with timing isolation: machine construction and the
@@ -56,10 +58,22 @@ struct WorkloadResult
     std::string name;
     std::uint64_t guest_instructions = 0; ///< per timed repetition
     std::uint64_t guest_cycles = 0;
+    double mips_superblock = 0.0;
     double mips_fastpath = 0.0;
     double mips_baseline = 0.0;
-    double speedup = 0.0;
+    double speedup = 0.0;            ///< fast path over baseline
+    double speedup_superblock = 0.0; ///< superblock over fast path
+    core::SuperblockStats sb;        ///< from the superblock cell
 };
+
+/** The interpreter tiers the grid sweeps, slowest first. */
+enum class Mode
+{
+    kBaseline,   ///< every fast path off
+    kFastPath,   ///< fetch + data fast paths on, superblocks off
+    kSuperblock, ///< fast paths plus the superblock tier
+};
+constexpr std::size_t kModes = 3;
 
 bool
 quickMode()
@@ -84,13 +98,15 @@ std::mutex timing_mutex;
  * actual throughput.
  */
 double
-measureMips(const workloads::GuestProgram &prog, bool fast_path,
+measureMips(const workloads::GuestProgram &prog, Mode mode,
             std::uint64_t target_insts, unsigned reps,
-            core::RunResult &last)
+            core::RunResult &last, core::SuperblockStats &sb)
 {
     core::Machine machine;
+    bool fast_path = mode != Mode::kBaseline;
     machine.cpu().setDecodeCacheEnabled(fast_path);
     machine.cpu().setDataFastPathEnabled(fast_path);
+    machine.cpu().setSuperblocksEnabled(mode == Mode::kSuperblock);
     workloads::loadGuestProgram(machine, prog);
 
     // Warm-up repetition: page in host memory, fill the simulated
@@ -113,6 +129,7 @@ measureMips(const workloads::GuestProgram &prog, bool fast_path,
         best = std::max(best,
                         static_cast<double>(executed) / seconds / 1e6);
     }
+    sb = machine.cpu().superblockStats();
     return best;
 }
 
@@ -121,6 +138,7 @@ struct CellResult
 {
     double mips = 0.0;
     core::RunResult run;
+    core::SuperblockStats sb;
 };
 
 std::string
@@ -159,83 +177,105 @@ main(int argc, char **argv)
     programs.push_back(quick ? workloads::guestBisort(48)
                              : workloads::guestBisort(256));
     programs.push_back(quick ? workloads::guestMst(8)
-                             : workloads::guestMst(20));
+                             : workloads::guestMst(64));
     programs.push_back(quick ? workloads::guestEm3d(10, 3, 2)
-                             : workloads::guestEm3d(48, 4, 8));
+                             : workloads::guestEm3d(96, 6, 16));
 
     std::printf("Emulator throughput on guest Olden kernels "
                 "(%s mode, %u job%s)\n\n",
                 quick ? "quick" : "full", jobs, jobs == 1 ? "" : "s");
 
-    // The kernel x mode grid: cell 2k is kernel k with the fast paths
-    // on, cell 2k+1 with them off. Cells run concurrently (timed
-    // sections serialized by timing_mutex) and merge by grid index.
+    // The kernel x mode grid: cell 3k is kernel k with the superblock
+    // tier on, 3k+1 with only the per-instruction fast paths, 3k+2
+    // fully baseline. Cells run concurrently (timed sections
+    // serialized by timing_mutex) and merge by grid index.
     std::vector<CellResult> cells =
         support::parallelMapOrdered<CellResult>(
-            programs.size() * 2, jobs,
+            programs.size() * kModes, jobs,
             [&](std::size_t index, unsigned) {
-                const auto &prog = programs[index / 2];
-                bool fast_path = index % 2 == 0;
+                const auto &prog = programs[index / kModes];
+                Mode mode = index % kModes == 0 ? Mode::kSuperblock
+                            : index % kModes == 1 ? Mode::kFastPath
+                                                  : Mode::kBaseline;
                 CellResult cell;
-                cell.mips = measureMips(prog, fast_path, target, reps,
-                                        cell.run);
+                cell.mips = measureMips(prog, mode, target, reps,
+                                        cell.run, cell.sb);
                 return cell;
             });
 
     std::vector<WorkloadResult> results;
     double speedup_product = 1.0;
+    double sb_speedup_product = 1.0;
     for (std::size_t k = 0; k < programs.size(); ++k) {
         const auto &prog = programs[k];
-        const CellResult &fast_cell = cells[2 * k];
-        const CellResult &base_cell = cells[2 * k + 1];
+        const CellResult &sb_cell = cells[kModes * k];
+        const CellResult &fast_cell = cells[kModes * k + 1];
+        const CellResult &base_cell = cells[kModes * k + 2];
 
         WorkloadResult res;
         res.name = prog.name;
+        res.mips_superblock = sb_cell.mips;
         res.mips_fastpath = fast_cell.mips;
         res.mips_baseline = base_cell.mips;
         res.guest_instructions = fast_cell.run.instructions;
         res.guest_cycles = fast_cell.run.cycles;
         res.speedup = res.mips_fastpath / res.mips_baseline;
+        res.speedup_superblock = res.mips_superblock / res.mips_fastpath;
+        res.sb = sb_cell.sb;
         speedup_product *= res.speedup;
+        sb_speedup_product *= res.speedup_superblock;
 
-        // The fast path must not change simulated behaviour.
-        if (fast_cell.run.instructions != base_cell.run.instructions ||
-            fast_cell.run.cycles != base_cell.run.cycles) {
-            std::fprintf(stderr,
-                         "FATAL: %s timing diverges with the fast path "
-                         "(insts %llu vs %llu, cycles %llu vs %llu)\n",
-                         prog.name.c_str(),
-                         static_cast<unsigned long long>(
-                             fast_cell.run.instructions),
-                         static_cast<unsigned long long>(
-                             base_cell.run.instructions),
-                         static_cast<unsigned long long>(
-                             fast_cell.run.cycles),
-                         static_cast<unsigned long long>(
-                             base_cell.run.cycles));
-            return 1;
+        // No tier may change simulated behaviour.
+        for (const CellResult *cell : {&sb_cell, &fast_cell}) {
+            if (cell->run.instructions != base_cell.run.instructions ||
+                cell->run.cycles != base_cell.run.cycles) {
+                std::fprintf(
+                    stderr,
+                    "FATAL: %s timing diverges with a fast path "
+                    "(insts %llu vs %llu, cycles %llu vs %llu)\n",
+                    prog.name.c_str(),
+                    static_cast<unsigned long long>(
+                        cell->run.instructions),
+                    static_cast<unsigned long long>(
+                        base_cell.run.instructions),
+                    static_cast<unsigned long long>(cell->run.cycles),
+                    static_cast<unsigned long long>(
+                        base_cell.run.cycles));
+                return 1;
+            }
         }
         results.push_back(res);
     }
 
-    support::TextTable table({"Kernel", "Guest insts/run", "MIPS (fast)",
-                              "MIPS (baseline)", "Speedup"});
+    support::TextTable table({"Kernel", "Guest insts/run",
+                              "MIPS (superblock)", "MIPS (fast)",
+                              "MIPS (baseline)", "Fast/base",
+                              "SB/fast"});
     for (const auto &res : results) {
         table.addRow({res.name,
                       support::format("%llu",
                                       static_cast<unsigned long long>(
                                           res.guest_instructions)),
+                      support::format("%.2f", res.mips_superblock),
                       support::format("%.2f", res.mips_fastpath),
                       support::format("%.2f", res.mips_baseline),
-                      support::format("%.2fx", res.speedup)});
+                      support::format("%.2fx", res.speedup),
+                      support::format("%.2fx", res.speedup_superblock)});
     }
     table.print(std::cout);
 
     double geomean = 1.0;
-    if (!results.empty())
+    double sb_geomean = 1.0;
+    if (!results.empty()) {
         geomean = std::pow(speedup_product,
                            1.0 / static_cast<double>(results.size()));
-    std::printf("\nGeomean fast-path speedup: %.2fx\n", geomean);
+        sb_geomean =
+            std::pow(sb_speedup_product,
+                     1.0 / static_cast<double>(results.size()));
+    }
+    std::printf("\nGeomean fast-path speedup:  %.2fx\n", geomean);
+    std::printf("Geomean superblock speedup: %.2fx (over fast path)\n",
+                sb_geomean);
 
     // --- emit the tracking JSON ---
     const char *path_env = std::getenv("CHERI_BENCH_JSON");
@@ -253,17 +293,28 @@ main(int argc, char **argv)
                << "\", \"guest_instructions\": "
                << res.guest_instructions
                << ", \"guest_cycles\": " << res.guest_cycles
+               << ", \"mips_superblock\": "
+               << support::format("%.3f", res.mips_superblock)
                << ", \"mips_fastpath\": "
                << support::format("%.3f", res.mips_fastpath)
                << ", \"mips_baseline\": "
                << support::format("%.3f", res.mips_baseline)
                << ", \"speedup\": "
-               << support::format("%.3f", res.speedup) << "}"
+               << support::format("%.3f", res.speedup)
+               << ", \"speedup_superblock\": "
+               << support::format("%.3f", res.speedup_superblock)
+               << ",\n     \"superblocks\": {\"minted\": "
+               << res.sb.minted << ", \"entered\": " << res.sb.entered
+               << ", \"guard_fails\": " << res.sb.guard_fails
+               << ", \"invalidated\": " << res.sb.invalidated
+               << ", \"instructions\": " << res.sb.instructions << "}}"
                << (i + 1 < results.size() ? "," : "") << "\n";
         }
         os << "  ],\n";
         os << "  \"geomean_speedup\": "
-           << support::format("%.3f", geomean) << "\n";
+           << support::format("%.3f", geomean) << ",\n";
+        os << "  \"geomean_superblock_speedup\": "
+           << support::format("%.3f", sb_geomean) << "\n";
         os << "}\n";
 
         std::ofstream out(path);
@@ -302,6 +353,19 @@ main(int argc, char **argv)
         }
         std::printf("Geomean gate passed: %.3f >= %.3f\n", geomean,
                     min_geomean);
+    }
+    if (const char *min_env =
+            std::getenv("CHERI_BENCH_MIN_SB_GEOMEAN")) {
+        double min_geomean = std::atof(min_env);
+        if (!(sb_geomean >= min_geomean)) {
+            std::fprintf(stderr,
+                         "FATAL: superblock geomean speedup %.3f below "
+                         "required minimum %.3f\n",
+                         sb_geomean, min_geomean);
+            return 1;
+        }
+        std::printf("Superblock geomean gate passed: %.3f >= %.3f\n",
+                    sb_geomean, min_geomean);
     }
     return 0;
 }

@@ -118,17 +118,6 @@ Cache::findOrFill(std::uint64_t paddr, std::uint64_t &cycles)
     return *victim;
 }
 
-Cache::Way *
-Cache::probeWay(std::uint64_t paddr)
-{
-    Way *set = &ways_[setIndex(paddr) * config_.ways];
-    std::uint64_t tag = addrTag(paddr);
-    for (unsigned w = 0; w < config_.ways; ++w)
-        if (set[w].valid && set[w].addr_tag == tag)
-            return &set[w];
-    return nullptr;
-}
-
 LineAccess
 Cache::readLine(std::uint64_t paddr)
 {

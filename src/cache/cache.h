@@ -207,6 +207,30 @@ class Cache : public LineSource
     }
 
     /**
+     * Settle n deferred repeat hits on the handle's line at once:
+     * equivalent to n consecutive readHitFast calls, provided no
+     * other access to this cache interleaved them (the superblock
+     * tier guarantees that for the L1I — only fetches touch it, and
+     * the deferral window covers one line's straight-line run). The
+     * way may since have been invalidated by a store to its line; the
+     * final LRU stamp still matches what the last replayed hit wrote
+     * before the invalidation, and nothing reads an invalid way's
+     * LRU before its next fill.
+     */
+    void
+    applyDeferredHits(const LineHandle &handle, std::uint64_t n)
+    {
+        if (n == 0)
+            return;
+        *hits_ += n;
+        lru_clock_ += n;
+        handle.way->lru = lru_clock_;
+    }
+
+    /** Hit latency in cycles (the deferred-replay per-slot stall). */
+    std::uint64_t hitLatency() const { return config_.hit_latency; }
+
+    /**
      * Handle-validated store hit: replays both halves of
      * storeAccess's read-modify-write (two hit stats, two LRU bumps,
      * twice the hit latency, dirty) and returns the line for in-place
@@ -265,6 +289,35 @@ class Cache : public LineSource
             return {&memo.way->line, config_.hit_latency};
         }
         return readLine(paddr);
+    }
+
+    /**
+     * readLineFast that also mints a LineHandle for the accessed
+     * line, without a second set scan: every findOrFill path (memo
+     * hit, set-scan hit, fill) leaves the memo naming the accessed
+     * line's way, so the handle comes straight from the memo. The
+     * handle always validates on return — the line is resident by
+     * construction.
+     */
+    LineAccess
+    readLineFastHandle(std::uint64_t paddr, LineHandle &out)
+    {
+        std::uint64_t line_key = paddr >> kLineShift;
+        std::uint64_t tag = line_key >> set_shift_;
+        const Memo &memo = memo_[line_key & (memo_.size() - 1)];
+        if (memo.line_key == line_key && memo.way->valid &&
+            memo.way->addr_tag == tag) {
+            ++*hits_;
+            memo.way->lru = ++lru_clock_;
+            out.way = memo.way;
+            out.addr_tag = tag;
+            return {&memo.way->line, config_.hit_latency};
+        }
+        LineAccess access = readLine(paddr);
+        const Memo &filled = memo_[line_key & (memo_.size() - 1)];
+        out.way = filled.way;
+        out.addr_tag = tag;
+        return access;
     }
 
     /** Header-inline entry to storeAccess, same contract as
@@ -374,7 +427,15 @@ class Cache : public LineSource
     Way &findOrFill(std::uint64_t paddr, std::uint64_t &cycles);
 
     /** Host-side probe for the resident way of paddr's line, if any. */
-    Way *probeWay(std::uint64_t paddr);
+    Way *probeWay(std::uint64_t paddr)
+    {
+        Way *set = &ways_[setIndex(paddr) * config_.ways];
+        std::uint64_t tag = addrTag(paddr);
+        for (unsigned w = 0; w < config_.ways; ++w)
+            if (set[w].valid && set[w].addr_tag == tag)
+                return &set[w];
+        return nullptr;
+    }
 
     // Set count is a power of two, so indexing is shift/mask — no
     // per-access division on the hot path.

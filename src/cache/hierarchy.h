@@ -102,6 +102,62 @@ class CacheHierarchy
         return access.line;
     }
 
+    /**
+     * Mint a pure host-side handle naming the L1I-resident line
+     * containing paddr (no stats, LRU, or cycles) — the superblock
+     * tier's repeat-fetch shortcut. See Cache::probeHandle.
+     */
+    bool probeFetchHandle(std::uint64_t paddr, Cache::LineHandle &out)
+    {
+        return l1i_.probeHandle(paddr, out);
+    }
+
+    /**
+     * fetchLine that also mints the L1I handle for the fetched line
+     * in the same probe (see Cache::readLineFastHandle) — the
+     * superblock tier's line-change step, replacing a fetchLine +
+     * probeFetchHandle pair. The handle always validates on return.
+     */
+    const mem::TaggedLine *
+    fetchLineHandle(std::uint64_t paddr, std::uint64_t &cycles,
+                    Cache::LineHandle &out)
+    {
+        std::uint64_t line_addr = paddr & ~(mem::kLineBytes - 1ULL);
+        std::uint64_t index =
+            (line_addr >> kLineShift) & (fetched_lines_.size() - 1);
+        std::uint64_t &slot = fetched_lines_[index];
+        if (slot != line_addr) {
+            fetchCoherencePush(paddr, line_addr);
+            slot = line_addr;
+            written_lines_[index] = ~0ULL;
+        }
+        LineAccess access = l1i_.readLineFastHandle(paddr, out);
+        cycles += access.cycles;
+        return access.line;
+    }
+
+    /**
+     * Settle n deferred repeat fetches of the handle's line: exactly
+     * the effects n fetchLine calls produce when the fetch memo and
+     * the L1I both hit — n L1I hits with LRU bumps, nothing on the
+     * memo side. Valid only while the caller knows the line was
+     * fetched since the last store to it (so fetchLine's dirty-push
+     * probe would find nothing and its memos carry no simulated
+     * effects); the superblock tier guarantees that by aborting the
+     * block on any store to a covered line. The per-fetch hit
+     * latency is NOT applied here — the caller charges it per slot
+     * via fetchHitLatency().
+     */
+    void
+    applyDeferredFetchHits(const Cache::LineHandle &handle,
+                           std::uint64_t n)
+    {
+        l1i_.applyDeferredHits(handle, n);
+    }
+
+    /** The L1I hit latency a deferred repeat fetch stalls for. */
+    std::uint64_t fetchHitLatency() const { return l1i_.hitLatency(); }
+
     /** General-purpose load of 1/2/4/8 bytes (tag-oblivious). */
     std::uint64_t
     read(std::uint64_t paddr, unsigned size, std::uint64_t &cycles)

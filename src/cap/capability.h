@@ -21,7 +21,9 @@
 #define CHERI_CAP_CAPABILITY_H
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <string>
 
 #include "cap/cap_cause.h"
@@ -128,26 +130,27 @@ class Capability
 
   private:
     // Inline so field reads on the check-per-instruction hot path
-    // (checkFetch, covers) compile down to single loads — the
-    // byte-assembly loop keeps the image's serialization endianness
-    // explicit and optimizers collapse it.
+    // (checkFetch, covers) compile down to single loads. The image's
+    // serialization is little-endian regardless of host: memcpy plus
+    // an explicit swap on big-endian hosts is one 8-byte load on the
+    // common case, where a byte-assembly loop was observed to survive
+    // optimization as an actual 8-iteration loop.
     std::uint64_t
     word(unsigned index) const
     {
-        std::uint64_t value = 0;
-        for (unsigned i = 0; i < 8; ++i) {
-            value |= static_cast<std::uint64_t>(raw_[index * 8 + i])
-                     << (8 * i);
-        }
+        std::uint64_t value;
+        std::memcpy(&value, raw_.data() + index * 8, 8);
+        if constexpr (std::endian::native == std::endian::big)
+            value = __builtin_bswap64(value);
         return value;
     }
 
     void
     setWord(unsigned index, std::uint64_t value)
     {
-        for (unsigned i = 0; i < 8; ++i)
-            raw_[index * 8 + i] =
-                static_cast<std::uint8_t>(value >> (8 * i));
+        if constexpr (std::endian::native == std::endian::big)
+            value = __builtin_bswap64(value);
+        std::memcpy(raw_.data() + index * 8, &value, 8);
     }
 
     std::array<std::uint8_t, kCapBytes> raw_{};

@@ -11,22 +11,6 @@ CapRegFile::CapRegFile()
     pcc_ = Capability::almighty();
 }
 
-const Capability &
-CapRegFile::read(unsigned index) const
-{
-    if (index >= kNumCapRegs)
-        support::panic("capability register index %u out of range", index);
-    return regs_[index];
-}
-
-void
-CapRegFile::write(unsigned index, const Capability &value)
-{
-    if (index >= kNumCapRegs)
-        support::panic("capability register index %u out of range", index);
-    regs_[index] = value;
-}
-
 CapRegFile::Snapshot
 CapRegFile::save() const
 {

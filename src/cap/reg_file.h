@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "cap/capability.h"
+#include "support/logging.h"
 
 namespace cheri::cap
 {
@@ -31,11 +32,26 @@ class CapRegFile
     /** Reset state: every register and PCC almighty (Section 4.3). */
     CapRegFile();
 
-    /** Read capability register 'index'. */
-    const Capability &read(unsigned index) const;
+    /** Read capability register 'index'. Inline: every legacy load
+     *  and store consults C0 several times on its hot path. */
+    const Capability &
+    read(unsigned index) const
+    {
+        if (index >= kNumCapRegs)
+            support::panic("capability register index %u out of range",
+                           index);
+        return regs_[index];
+    }
 
     /** Write capability register 'index'. */
-    void write(unsigned index, const Capability &value);
+    void
+    write(unsigned index, const Capability &value)
+    {
+        if (index >= kNumCapRegs)
+            support::panic("capability register index %u out of range",
+                           index);
+        regs_[index] = value;
+    }
 
     /** The default data capability C0. */
     const Capability &c0() const { return regs_[0]; }

@@ -707,7 +707,7 @@ FuzzRunResult
 runFuzzWords(const std::vector<std::uint32_t> &words,
              bool suppress_tag_clear,
              std::uint64_t max_instructions,
-             DataFastPathMode data_mode)
+             DataFastPathMode data_mode, SuperblockMode sb_mode)
 {
     FuzzRunResult result;
     for (bool fast : {true, false}) {
@@ -730,6 +730,9 @@ runFuzzWords(const std::vector<std::uint32_t> &words,
         bool data_fast = data_mode == DataFastPathMode::kForceOn ||
                          (data_mode == DataFastPathMode::kFollow && fast);
         machine.cpu().setDataFastPathEnabled(data_fast);
+        bool sb = sb_mode == SuperblockMode::kForceOn ||
+                  (sb_mode == SuperblockMode::kFollow && fast);
+        machine.cpu().setSuperblocksEnabled(sb);
         machine.memory().setStoreTagClearSuppressed(suppress_tag_clear);
 
         LockstepConfig lockstep_config;
@@ -748,14 +751,15 @@ runFuzzWords(const std::vector<std::uint32_t> &words,
 
 std::vector<FuzzOp>
 shrinkOps(const FuzzSpec &spec, bool suppress_tag_clear,
-          std::uint64_t max_instructions, DataFastPathMode data_mode)
+          std::uint64_t max_instructions, DataFastPathMode data_mode,
+          SuperblockMode sb_mode)
 {
     auto diverges = [&](const std::vector<FuzzOp> &ops) {
         FuzzSpec candidate = spec;
         candidate.ops = ops;
         return runFuzzWords(assembleFuzzProgram(candidate),
                             suppress_tag_clear, max_instructions,
-                            data_mode)
+                            data_mode, sb_mode)
             .diverged;
     };
 
@@ -843,7 +847,8 @@ runOneSeed(const FuzzCampaignConfig &config, std::uint64_t seed)
     std::vector<std::uint32_t> words = assembleFuzzProgram(spec);
     FuzzRunResult result =
         runFuzzWords(words, config.suppress_tag_clear,
-                     config.max_instructions, config.data_mode);
+                     config.max_instructions, config.data_mode,
+                     config.sb_mode);
     if (!result.diverged) {
         if (!config.quiet)
             outcome.text = support::format(
@@ -862,12 +867,13 @@ runOneSeed(const FuzzCampaignConfig &config, std::uint64_t seed)
         FuzzSpec small = spec;
         small.ops = shrinkOps(spec, config.suppress_tag_clear,
                               config.max_instructions,
-                              config.data_mode);
+                              config.data_mode, config.sb_mode);
         std::vector<std::uint32_t> small_words =
             assembleFuzzProgram(small);
         FuzzRunResult small_result =
             runFuzzWords(small_words, config.suppress_tag_clear,
-                         config.max_instructions, config.data_mode);
+                         config.max_instructions, config.data_mode,
+                         config.sb_mode);
         outcome.text +=
             support::format("shrunk %zu ops -> %zu ops\n",
                             spec.ops.size(), small.ops.size());

@@ -129,6 +129,22 @@ enum class DataFastPathMode
 };
 
 /**
+ * How the CPU's superblock tier is set during a fuzz run, same shape
+ * as DataFastPathMode. kFollow toggles it with the fetch fast path
+ * (the tier is inert without the decode cache anyway); kForceOn pins
+ * the enable in both passes so the superblock sweep exercises the
+ * tier on every fast pass while the oracle still diffs against the
+ * reference CPU; kForceOff fuzzes the fast paths with the tier out
+ * of the picture.
+ */
+enum class SuperblockMode
+{
+    kFollow,
+    kForceOn,
+    kForceOff,
+};
+
+/**
  * Run an assembled program in lockstep against RefCpu with the fetch
  * fast path on and off; returns the first divergence (if any).
  * 'suppress_tag_clear' arms the hierarchy's behavioural fault (data
@@ -139,7 +155,9 @@ FuzzRunResult runFuzzWords(const std::vector<std::uint32_t> &words,
                            bool suppress_tag_clear = false,
                            std::uint64_t max_instructions = 20000,
                            DataFastPathMode data_mode =
-                               DataFastPathMode::kFollow);
+                               DataFastPathMode::kFollow,
+                           SuperblockMode sb_mode =
+                               SuperblockMode::kFollow);
 
 /**
  * ddmin-style shrink: repeatedly delete chunks of ops while the
@@ -151,7 +169,9 @@ std::vector<FuzzOp> shrinkOps(const FuzzSpec &spec,
                               bool suppress_tag_clear,
                               std::uint64_t max_instructions = 20000,
                               DataFastPathMode data_mode =
-                                  DataFastPathMode::kFollow);
+                                  DataFastPathMode::kFollow,
+                              SuperblockMode sb_mode =
+                                  SuperblockMode::kFollow);
 
 /**
  * Render a .s reproducer: header comments (seed, divergence) plus one
@@ -176,6 +196,7 @@ struct FuzzCampaignConfig
     bool suppress_tag_clear = false;
     std::uint64_t max_instructions = 20000;
     DataFastPathMode data_mode = DataFastPathMode::kFollow;
+    SuperblockMode sb_mode = SuperblockMode::kFollow;
     /** Omit per-seed "ok" lines (the CLI's --quiet). */
     bool quiet = false;
     /** Worker threads; 0 = hardware concurrency, 1 = serial. */

@@ -1,5 +1,7 @@
 #include "core/cpu.h"
 
+#include <algorithm>
+
 #include "isa/disasm.h"
 #include "support/bits.h"
 #include "support/logging.h"
@@ -23,14 +25,36 @@ sext32(std::uint64_t value)
         static_cast<std::int64_t>(static_cast<std::int32_t>(value)));
 }
 
+void
+requirePow2(std::size_t value, const char *name)
+{
+    if (value == 0 || (value & (value - 1)) != 0)
+        support::panic("CpuAccelConfig.%s (%zu) must be a power of two",
+                       name, value);
+}
+
 } // namespace
 
-Cpu::Cpu(cache::CacheHierarchy &memory, tlb::Tlb &tlb, CpuTiming timing)
+Cpu::Cpu(cache::CacheHierarchy &memory, tlb::Tlb &tlb, CpuTiming timing,
+         CpuAccelConfig accel)
     : memory_(memory), tlb_(tlb), timing_(timing),
       predictor_(timing.predictor_entries, 1), // weakly not-taken
-      decode_cache_(kDecodeCacheLines), data_memo_(kDataMemoLines)
+      accel_(accel), decode_cache_(accel.decode_cache_lines),
+      data_memo_(kDataMemoLines),
+      superblock_cache_(accel.superblock_entries)
 {
+    requirePow2(accel.decode_cache_lines, "decode_cache_lines");
+    requirePow2(accel.superblock_entries, "superblock_entries");
+    if (accel.superblock_max_slots < 2)
+        support::panic("CpuAccelConfig.superblock_max_slots (%zu) must "
+                       "be at least 2 (a branch plus its delay slot)",
+                       accel.superblock_max_slots);
+    decode_index_mask_ = accel.decode_cache_lines - 1;
+    superblock_index_mask_ = accel.superblock_entries - 1;
     memory_.setFetchListener(this);
+    sb_hit_stall_ = memory_.fetchHitLatency() > 0
+                        ? memory_.fetchHitLatency() - 1
+                        : 0;
     stat_alu_ = &stats_.counter("inst.alu");
     stat_muldiv_ = &stats_.counter("inst.muldiv");
     stat_branch_ = &stats_.counter("inst.branch");
@@ -66,6 +90,7 @@ Cpu::fetchDecoded(std::uint64_t paddr, std::uint64_t &cycles)
                     kSlotsPerLine);
     entry.line_paddr = line_addr;
     entry.generation = decode_generation_;
+    entry.mint_id = ++decode_mint_counter_;
     return entry.slots[slot];
 }
 
@@ -73,8 +98,24 @@ void
 Cpu::onCodeLineModified(std::uint64_t line_paddr)
 {
     DecodedLine &entry = decode_cache_[decodeIndex(line_paddr)];
-    if (entry.line_paddr == line_paddr)
+    if (entry.line_paddr == line_paddr) {
         entry.line_paddr = ~0ULL;
+        // Every decode-entry mutation (refill or this clear) bumps the
+        // mint counter so stamped superblock guards over the line fail.
+        ++decode_mint_counter_;
+    }
+    // A store landing on a line the dispatching superblock was minted
+    // over makes its remaining predecoded slots stale: flag the abort
+    // so the block exits before the next slot and the per-instruction
+    // path (which decodes fresh bytes) takes over bit-identically.
+    if (sb_active_ != nullptr && !sb_smc_abort_) {
+        for (const SuperblockLineRef &ref : sb_active_->lines) {
+            if (ref.line_paddr == line_paddr) {
+                sb_smc_abort_ = true;
+                break;
+            }
+        }
+    }
 }
 
 // --- data fast path ---
@@ -88,7 +129,7 @@ Cpu::onCodeLineModified(std::uint64_t line_paddr)
 // penalty is zero, and of the mem_cycles only the stall beyond the
 // one-cycle base CPI is charged.
 
-bool
+CHERI_FORCE_INLINE bool
 Cpu::tryFastRead(std::uint64_t vaddr, unsigned size, std::uint64_t &value)
 {
     std::uint64_t vline = vaddr >> cache::kLineShift;
@@ -107,7 +148,7 @@ Cpu::tryFastRead(std::uint64_t vaddr, unsigned size, std::uint64_t &value)
     return true;
 }
 
-bool
+CHERI_FORCE_INLINE bool
 Cpu::tryFastWrite(std::uint64_t vaddr, unsigned size, std::uint64_t value)
 {
     std::uint64_t vline = vaddr >> cache::kLineShift;
@@ -180,7 +221,7 @@ Cpu::mintDataMemo(std::uint64_t vaddr, std::uint64_t paddr)
     entry.vline = vline;
 }
 
-void
+CHERI_FORCE_INLINE void
 Cpu::predictBranch(bool taken)
 {
     std::uint8_t &counter =
@@ -418,7 +459,10 @@ Cpu::run(const RunLimits &limits)
             break;
         }
         trap_pending_ = false;
-        StepOutcome outcome = step();
+        StepOutcome outcome;
+        if (!superblocks_enabled_ || !decode_cache_enabled_ ||
+            !trySuperblock(limits, start_insts, start_cycles, outcome))
+            outcome = step();
         if (outcome.trapped) {
             result.reason = StopReason::kTrap;
             result.trap = pending_trap_;
@@ -495,7 +539,20 @@ Cpu::restore(const Snapshot &snapshot)
     ++decode_generation_;
     fetch_hint_ = tlb::Tlb::FetchHint{};
     invalidateDataMemo();
+    invalidateSuperblocks();
+    sb_pending_leader_ = ~0ULL;
     pcc_version_seen_ = ~0ULL;
+}
+
+void
+Cpu::invalidateSuperblocks()
+{
+    for (Superblock &sb : superblock_cache_) {
+        if (sb.start_vaddr != ~0ULL) {
+            sb.start_vaddr = ~0ULL;
+            ++sb_stats_.invalidated;
+        }
+    }
 }
 
 bool
@@ -533,355 +590,1054 @@ Cpu::injectMemoSkew(std::uint64_t pick)
     return false;
 }
 
-void
-Cpu::execute(const Instruction &inst)
+/*
+ * Per-opcode handler bodies, extracted verbatim from the old inline
+ * execute() switch. The interpreter switch below still calls them
+ * case by case (the compiler inlines them back, so the per-
+ * instruction path keeps its baseline codegen), while the superblock
+ * tier dispatches the very same functions through a pre-resolved
+ * label table (computed goto) or function-pointer table — one source
+ * of truth for instruction semantics, two dispatch mechanisms.
+ */
+struct CpuExec
 {
-    std::uint64_t rs = gpr_[inst.rs];
-    std::uint64_t rt = gpr_[inst.rt];
+    using Fn = void (*)(Cpu &, const Instruction &);
 
-    switch (inst.op) {
-      // --- shifts ---
-      case Opcode::kSll:
-        ++*stat_alu_;
-        setGpr(inst.rd, sext32(static_cast<std::uint32_t>(rt) << inst.sa));
-        break;
-      case Opcode::kSrl:
-        ++*stat_alu_;
-        setGpr(inst.rd, sext32(static_cast<std::uint32_t>(rt) >> inst.sa));
-        break;
-      case Opcode::kSra:
-        ++*stat_alu_;
-        setGpr(inst.rd,
-               sext32(static_cast<std::uint32_t>(
-                   static_cast<std::int32_t>(rt) >> inst.sa)));
-        break;
-      case Opcode::kSllv:
-        ++*stat_alu_;
-        setGpr(inst.rd,
-               sext32(static_cast<std::uint32_t>(rt) << (rs & 31)));
-        break;
-      case Opcode::kSrlv:
-        ++*stat_alu_;
-        setGpr(inst.rd,
-               sext32(static_cast<std::uint32_t>(rt) >> (rs & 31)));
-        break;
-      case Opcode::kSrav:
-        ++*stat_alu_;
-        setGpr(inst.rd,
-               sext32(static_cast<std::uint32_t>(
-                   static_cast<std::int32_t>(rt) >>
-                   static_cast<int>(rs & 31))));
-        break;
-      case Opcode::kDsll:
-        ++*stat_alu_;
-        setGpr(inst.rd, rt << inst.sa);
-        break;
-      case Opcode::kDsrl:
-        ++*stat_alu_;
-        setGpr(inst.rd, rt >> inst.sa);
-        break;
-      case Opcode::kDsra:
-        ++*stat_alu_;
-        setGpr(inst.rd, static_cast<std::uint64_t>(
-                            static_cast<std::int64_t>(rt) >> inst.sa));
-        break;
-      case Opcode::kDsll32:
-        ++*stat_alu_;
-        setGpr(inst.rd, rt << (inst.sa + 32));
-        break;
-      case Opcode::kDsrl32:
-        ++*stat_alu_;
-        setGpr(inst.rd, rt >> (inst.sa + 32));
-        break;
-      case Opcode::kDsra32:
-        ++*stat_alu_;
-        setGpr(inst.rd,
-               static_cast<std::uint64_t>(static_cast<std::int64_t>(rt) >>
-                                          (inst.sa + 32)));
-        break;
-      case Opcode::kDsllv:
-        ++*stat_alu_;
-        setGpr(inst.rd, rt << (rs & 63));
-        break;
-      case Opcode::kDsrlv:
-        ++*stat_alu_;
-        setGpr(inst.rd, rt >> (rs & 63));
-        break;
-      case Opcode::kDsrav:
-        ++*stat_alu_;
-        setGpr(inst.rd,
-               static_cast<std::uint64_t>(static_cast<std::int64_t>(rt) >>
-                                          static_cast<int>(rs & 63)));
-        break;
+    static void invalid(Cpu &c, const Instruction &)
+    {
+        c.raise(ExcCode::kReservedInstruction);
+    }
 
-      // --- ALU register ---
-      case Opcode::kAddu:
-        ++*stat_alu_;
-        setGpr(inst.rd, sext32(rs + rt));
-        break;
-      case Opcode::kDaddu:
-        ++*stat_alu_;
-        setGpr(inst.rd, rs + rt);
-        break;
-      case Opcode::kSubu:
-        ++*stat_alu_;
-        setGpr(inst.rd, sext32(rs - rt));
-        break;
-      case Opcode::kDsubu:
-        ++*stat_alu_;
-        setGpr(inst.rd, rs - rt);
-        break;
-      case Opcode::kAnd:
-        ++*stat_alu_;
-        setGpr(inst.rd, rs & rt);
-        break;
-      case Opcode::kOr:
-        ++*stat_alu_;
-        setGpr(inst.rd, rs | rt);
-        break;
-      case Opcode::kXor:
-        ++*stat_alu_;
-        setGpr(inst.rd, rs ^ rt);
-        break;
-      case Opcode::kNor:
-        ++*stat_alu_;
-        setGpr(inst.rd, ~(rs | rt));
-        break;
-      case Opcode::kSlt:
-        ++*stat_alu_;
-        setGpr(inst.rd, static_cast<std::int64_t>(rs) <
-                                static_cast<std::int64_t>(rt)
-                            ? 1
-                            : 0);
-        break;
-      case Opcode::kSltu:
-        ++*stat_alu_;
-        setGpr(inst.rd, rs < rt ? 1 : 0);
-        break;
-      case Opcode::kMovz:
-        ++*stat_alu_;
-        if (rt == 0)
-            setGpr(inst.rd, rs);
-        break;
-      case Opcode::kMovn:
-        ++*stat_alu_;
-        if (rt != 0)
-            setGpr(inst.rd, rs);
-        break;
-      case Opcode::kDmult: {
-        ++*stat_muldiv_;
-        cycles_ += timing_.mult_cycles;
-        __int128 product = static_cast<__int128>(
-                               static_cast<std::int64_t>(rs)) *
-                           static_cast<std::int64_t>(rt);
-        lo_ = static_cast<std::uint64_t>(product);
-        hi_ = static_cast<std::uint64_t>(product >> 64);
-        break;
-      }
-      case Opcode::kDmultu: {
-        ++*stat_muldiv_;
-        cycles_ += timing_.mult_cycles;
+    // --- shifts ---
+    static void sll(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, sext32(static_cast<std::uint32_t>(c.gpr_[i.rt])
+                              << i.sa));
+    }
+    static void srl(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, sext32(static_cast<std::uint32_t>(c.gpr_[i.rt]) >>
+                              i.sa));
+    }
+    static void sra(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd,
+                 sext32(static_cast<std::uint32_t>(
+                     static_cast<std::int32_t>(c.gpr_[i.rt]) >> i.sa)));
+    }
+    static void sllv(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, sext32(static_cast<std::uint32_t>(c.gpr_[i.rt])
+                              << (c.gpr_[i.rs] & 31)));
+    }
+    static void srlv(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, sext32(static_cast<std::uint32_t>(c.gpr_[i.rt]) >>
+                              (c.gpr_[i.rs] & 31)));
+    }
+    static void srav(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd,
+                 sext32(static_cast<std::uint32_t>(
+                     static_cast<std::int32_t>(c.gpr_[i.rt]) >>
+                     static_cast<int>(c.gpr_[i.rs] & 31))));
+    }
+    static void dsll(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, c.gpr_[i.rt] << i.sa);
+    }
+    static void dsrl(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, c.gpr_[i.rt] >> i.sa);
+    }
+    static void dsra(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd,
+                 static_cast<std::uint64_t>(
+                     static_cast<std::int64_t>(c.gpr_[i.rt]) >> i.sa));
+    }
+    static void dsll32(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, c.gpr_[i.rt] << (i.sa + 32));
+    }
+    static void dsrl32(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, c.gpr_[i.rt] >> (i.sa + 32));
+    }
+    static void dsra32(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, static_cast<std::uint64_t>(
+                           static_cast<std::int64_t>(c.gpr_[i.rt]) >>
+                           (i.sa + 32)));
+    }
+    static void dsllv(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, c.gpr_[i.rt] << (c.gpr_[i.rs] & 63));
+    }
+    static void dsrlv(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, c.gpr_[i.rt] >> (c.gpr_[i.rs] & 63));
+    }
+    static void dsrav(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd,
+                 static_cast<std::uint64_t>(
+                     static_cast<std::int64_t>(c.gpr_[i.rt]) >>
+                     static_cast<int>(c.gpr_[i.rs] & 63)));
+    }
+
+    // --- ALU register ---
+    static void addu(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, sext32(c.gpr_[i.rs] + c.gpr_[i.rt]));
+    }
+    static void daddu(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, c.gpr_[i.rs] + c.gpr_[i.rt]);
+    }
+    static void subu(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, sext32(c.gpr_[i.rs] - c.gpr_[i.rt]));
+    }
+    static void dsubu(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, c.gpr_[i.rs] - c.gpr_[i.rt]);
+    }
+    static void and_(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, c.gpr_[i.rs] & c.gpr_[i.rt]);
+    }
+    static void or_(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, c.gpr_[i.rs] | c.gpr_[i.rt]);
+    }
+    static void xor_(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, c.gpr_[i.rs] ^ c.gpr_[i.rt]);
+    }
+    static void nor_(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, ~(c.gpr_[i.rs] | c.gpr_[i.rt]));
+    }
+    static void slt(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, static_cast<std::int64_t>(c.gpr_[i.rs]) <
+                               static_cast<std::int64_t>(c.gpr_[i.rt])
+                           ? 1
+                           : 0);
+    }
+    static void sltu(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, c.gpr_[i.rs] < c.gpr_[i.rt] ? 1 : 0);
+    }
+    static void movz(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        if (c.gpr_[i.rt] == 0)
+            c.setGpr(i.rd, c.gpr_[i.rs]);
+    }
+    static void movn(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        if (c.gpr_[i.rt] != 0)
+            c.setGpr(i.rd, c.gpr_[i.rs]);
+    }
+    static void dmult(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_muldiv_;
+        c.cycles_ += c.timing_.mult_cycles;
+        __int128 product = static_cast<__int128>(static_cast<std::int64_t>(
+                               c.gpr_[i.rs])) *
+                           static_cast<std::int64_t>(c.gpr_[i.rt]);
+        c.lo_ = static_cast<std::uint64_t>(product);
+        c.hi_ = static_cast<std::uint64_t>(product >> 64);
+    }
+    static void dmultu(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_muldiv_;
+        c.cycles_ += c.timing_.mult_cycles;
         unsigned __int128 product =
-            static_cast<unsigned __int128>(rs) * rt;
-        lo_ = static_cast<std::uint64_t>(product);
-        hi_ = static_cast<std::uint64_t>(product >> 64);
-        break;
-      }
-      case Opcode::kDdiv:
-        ++*stat_muldiv_;
-        cycles_ += timing_.div_cycles;
+            static_cast<unsigned __int128>(c.gpr_[i.rs]) * c.gpr_[i.rt];
+        c.lo_ = static_cast<std::uint64_t>(product);
+        c.hi_ = static_cast<std::uint64_t>(product >> 64);
+    }
+    static void ddiv(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_muldiv_;
+        c.cycles_ += c.timing_.div_cycles;
+        std::uint64_t rs = c.gpr_[i.rs];
+        std::uint64_t rt = c.gpr_[i.rt];
         if (rt != 0) {
-            lo_ = static_cast<std::uint64_t>(
+            c.lo_ = static_cast<std::uint64_t>(
                 static_cast<std::int64_t>(rs) /
                 static_cast<std::int64_t>(rt));
-            hi_ = static_cast<std::uint64_t>(
+            c.hi_ = static_cast<std::uint64_t>(
                 static_cast<std::int64_t>(rs) %
                 static_cast<std::int64_t>(rt));
         }
-        break;
-      case Opcode::kDdivu:
-        ++*stat_muldiv_;
-        cycles_ += timing_.div_cycles;
+    }
+    static void ddivu(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_muldiv_;
+        c.cycles_ += c.timing_.div_cycles;
+        std::uint64_t rs = c.gpr_[i.rs];
+        std::uint64_t rt = c.gpr_[i.rt];
         if (rt != 0) {
-            lo_ = rs / rt;
-            hi_ = rs % rt;
+            c.lo_ = rs / rt;
+            c.hi_ = rs % rt;
         }
-        break;
-      case Opcode::kMfhi:
-        ++*stat_alu_;
-        setGpr(inst.rd, hi_);
-        break;
-      case Opcode::kMflo:
-        ++*stat_alu_;
-        setGpr(inst.rd, lo_);
-        break;
+    }
+    static void mfhi(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, c.hi_);
+    }
+    static void mflo(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rd, c.lo_);
+    }
 
-      // --- ALU immediate ---
-      case Opcode::kAddiu:
-        ++*stat_alu_;
-        setGpr(inst.rt, sext32(rs + static_cast<std::uint64_t>(
-                                        static_cast<std::int64_t>(
-                                            inst.imm))));
-        break;
-      case Opcode::kDaddiu:
-        ++*stat_alu_;
-        setGpr(inst.rt,
-               rs + static_cast<std::uint64_t>(
-                        static_cast<std::int64_t>(inst.imm)));
-        break;
-      case Opcode::kSlti:
-        ++*stat_alu_;
-        setGpr(inst.rt, static_cast<std::int64_t>(rs) < inst.imm ? 1 : 0);
-        break;
-      case Opcode::kSltiu:
-        ++*stat_alu_;
-        setGpr(inst.rt,
-               rs < static_cast<std::uint64_t>(
-                        static_cast<std::int64_t>(inst.imm))
-                   ? 1
-                   : 0);
-        break;
-      case Opcode::kAndi:
-        ++*stat_alu_;
-        setGpr(inst.rt, rs & (static_cast<std::uint32_t>(inst.imm) &
-                              0xffff));
-        break;
-      case Opcode::kOri:
-        ++*stat_alu_;
-        setGpr(inst.rt, rs | (static_cast<std::uint32_t>(inst.imm) &
-                              0xffff));
-        break;
-      case Opcode::kXori:
-        ++*stat_alu_;
-        setGpr(inst.rt, rs ^ (static_cast<std::uint32_t>(inst.imm) &
-                              0xffff));
-        break;
-      case Opcode::kLui:
-        ++*stat_alu_;
-        setGpr(inst.rt, signExtend(
-                            static_cast<std::uint64_t>(inst.imm & 0xffff)
+    // --- ALU immediate ---
+    static void addiu(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rt,
+                 sext32(c.gpr_[i.rs] +
+                        static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(i.imm))));
+    }
+    static void daddiu(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rt, c.gpr_[i.rs] +
+                           static_cast<std::uint64_t>(
+                               static_cast<std::int64_t>(i.imm)));
+    }
+    static void slti(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rt,
+                 static_cast<std::int64_t>(c.gpr_[i.rs]) < i.imm ? 1 : 0);
+    }
+    static void sltiu(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rt, c.gpr_[i.rs] <
+                               static_cast<std::uint64_t>(
+                                   static_cast<std::int64_t>(i.imm))
+                           ? 1
+                           : 0);
+    }
+    static void andi(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rt, c.gpr_[i.rs] &
+                           (static_cast<std::uint32_t>(i.imm) & 0xffff));
+    }
+    static void ori(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rt, c.gpr_[i.rs] |
+                           (static_cast<std::uint32_t>(i.imm) & 0xffff));
+    }
+    static void xori(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rt, c.gpr_[i.rs] ^
+                           (static_cast<std::uint32_t>(i.imm) & 0xffff));
+    }
+    static void lui(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_alu_;
+        c.setGpr(i.rt,
+                 signExtend(static_cast<std::uint64_t>(i.imm & 0xffff)
                                 << 16,
                             32));
-        break;
+    }
 
-      // --- control flow ---
-      case Opcode::kJ:
-        ++*stat_branch_;
-        branchTo(((current_pc_ + 4) & ~0x0fffffffULL) |
-                 (static_cast<std::uint64_t>(inst.target) << 2));
-        break;
-      case Opcode::kJal:
-        ++*stat_branch_;
-        setGpr(31, current_pc_ + 8);
-        branchTo(((current_pc_ + 4) & ~0x0fffffffULL) |
-                 (static_cast<std::uint64_t>(inst.target) << 2));
-        break;
-      case Opcode::kJr:
-        ++*stat_branch_;
-        branchTo(rs);
-        break;
-      case Opcode::kJalr:
-        ++*stat_branch_;
-        setGpr(inst.rd, current_pc_ + 8);
-        branchTo(rs);
-        break;
-      case Opcode::kBeq: {
-        ++*stat_branch_;
-        bool taken = rs == rt;
-        predictBranch(taken);
+    // --- control flow ---
+    static void j(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_branch_;
+        c.branchTo(((c.current_pc_ + 4) & ~0x0fffffffULL) |
+                   (static_cast<std::uint64_t>(i.target) << 2));
+    }
+    static void jal(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_branch_;
+        c.setGpr(31, c.current_pc_ + 8);
+        c.branchTo(((c.current_pc_ + 4) & ~0x0fffffffULL) |
+                   (static_cast<std::uint64_t>(i.target) << 2));
+    }
+    static void jr(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_branch_;
+        c.branchTo(c.gpr_[i.rs]);
+    }
+    static void jalr(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_branch_;
+        c.setGpr(i.rd, c.current_pc_ + 8);
+        c.branchTo(c.gpr_[i.rs]);
+    }
+    static void beq(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_branch_;
+        bool taken = c.gpr_[i.rs] == c.gpr_[i.rt];
+        c.predictBranch(taken);
         if (taken)
-            branchTo(current_pc_ + 4 +
-                     (static_cast<std::int64_t>(inst.imm) << 2));
-        break;
-      }
-      case Opcode::kBne: {
-        ++*stat_branch_;
-        bool taken = rs != rt;
-        predictBranch(taken);
+            c.branchTo(c.current_pc_ + 4 +
+                       (static_cast<std::int64_t>(i.imm) << 2));
+    }
+    static void bne(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_branch_;
+        bool taken = c.gpr_[i.rs] != c.gpr_[i.rt];
+        c.predictBranch(taken);
         if (taken)
-            branchTo(current_pc_ + 4 +
-                     (static_cast<std::int64_t>(inst.imm) << 2));
-        break;
-      }
-      case Opcode::kBlez: {
-        ++*stat_branch_;
-        bool taken = static_cast<std::int64_t>(rs) <= 0;
-        predictBranch(taken);
+            c.branchTo(c.current_pc_ + 4 +
+                       (static_cast<std::int64_t>(i.imm) << 2));
+    }
+    static void blez(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_branch_;
+        bool taken = static_cast<std::int64_t>(c.gpr_[i.rs]) <= 0;
+        c.predictBranch(taken);
         if (taken)
-            branchTo(current_pc_ + 4 +
-                     (static_cast<std::int64_t>(inst.imm) << 2));
-        break;
-      }
-      case Opcode::kBgtz: {
-        ++*stat_branch_;
-        bool taken = static_cast<std::int64_t>(rs) > 0;
-        predictBranch(taken);
+            c.branchTo(c.current_pc_ + 4 +
+                       (static_cast<std::int64_t>(i.imm) << 2));
+    }
+    static void bgtz(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_branch_;
+        bool taken = static_cast<std::int64_t>(c.gpr_[i.rs]) > 0;
+        c.predictBranch(taken);
         if (taken)
-            branchTo(current_pc_ + 4 +
-                     (static_cast<std::int64_t>(inst.imm) << 2));
-        break;
-      }
-      case Opcode::kBltz: {
-        ++*stat_branch_;
-        bool taken = static_cast<std::int64_t>(rs) < 0;
-        predictBranch(taken);
+            c.branchTo(c.current_pc_ + 4 +
+                       (static_cast<std::int64_t>(i.imm) << 2));
+    }
+    static void bltz(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_branch_;
+        bool taken = static_cast<std::int64_t>(c.gpr_[i.rs]) < 0;
+        c.predictBranch(taken);
         if (taken)
-            branchTo(current_pc_ + 4 +
-                     (static_cast<std::int64_t>(inst.imm) << 2));
-        break;
-      }
-      case Opcode::kBgez: {
-        ++*stat_branch_;
-        bool taken = static_cast<std::int64_t>(rs) >= 0;
-        predictBranch(taken);
+            c.branchTo(c.current_pc_ + 4 +
+                       (static_cast<std::int64_t>(i.imm) << 2));
+    }
+    static void bgez(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_branch_;
+        bool taken = static_cast<std::int64_t>(c.gpr_[i.rs]) >= 0;
+        c.predictBranch(taken);
         if (taken)
-            branchTo(current_pc_ + 4 +
-                     (static_cast<std::int64_t>(inst.imm) << 2));
-        break;
-      }
-      case Opcode::kSyscall:
-        ++*stat_syscall_;
-        if (syscall_handler_) {
-            syscall_action_ = syscall_handler_(*this);
-            syscall_taken_ = true;
+            c.branchTo(c.current_pc_ + 4 +
+                       (static_cast<std::int64_t>(i.imm) << 2));
+    }
+    static void syscall_(Cpu &c, const Instruction &)
+    {
+        ++*c.stat_syscall_;
+        if (c.syscall_handler_) {
+            c.syscall_action_ = c.syscall_handler_(c);
+            c.syscall_taken_ = true;
         } else {
-            raise(ExcCode::kSyscall);
+            c.raise(ExcCode::kSyscall);
         }
-        break;
-      case Opcode::kBreak:
-        ++*stat_break_;
-        break;
+    }
+    static void break_(Cpu &c, const Instruction &)
+    {
+        ++*c.stat_break_;
+    }
 
-      // --- memory ---
-      case Opcode::kLb:
-      case Opcode::kLbu:
-      case Opcode::kLh:
-      case Opcode::kLhu:
-      case Opcode::kLw:
-      case Opcode::kLwu:
-      case Opcode::kLd:
-      case Opcode::kSb:
-      case Opcode::kSh:
-      case Opcode::kSw:
-      case Opcode::kSd:
-      case Opcode::kLld:
-      case Opcode::kScd:
-        executeMemory(inst);
-        break;
+    // --- memory ---
+    //
+    // Common legacy loads/stores get one handler per opcode so the
+    // access size, signedness, and direction are compile-time
+    // constants: the whole branch chain executeMemory walks to
+    // rediscover them folds away, and the memo probe inlines into the
+    // dispatch body. The simulated effect sequence is executeMemory's
+    // verbatim — both the interpreter switch and the superblock
+    // dispatch run these same handlers, so there is exactly one
+    // implementation to keep exact. LL/SC keep the generic path (they
+    // carry reservation state and are rare).
+    template <unsigned kSize, bool kUnsigned>
+    static CHERI_FORCE_INLINE void loadLegacy(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_mem_;
+        std::uint64_t offset =
+            c.gpr_[i.rs] +
+            static_cast<std::uint64_t>(static_cast<std::int64_t>(i.imm));
+        std::uint64_t vaddr =
+            cap::effectiveAddress(c.caps_.read(0), offset);
+        if (c.data_fastpath_enabled_ && vaddr % kSize == 0 &&
+            cap::checkDataAccess(c.caps_.read(0), offset, kSize,
+                                 cap::kPermLoad) == CapCause::kNone) {
+            std::uint64_t value = 0;
+            if (c.tryFastRead(vaddr, kSize, value)) {
+                if constexpr (!kUnsigned && kSize < 8)
+                    value = static_cast<std::uint64_t>(
+                        signExtend(value, kSize * 8));
+                c.setGpr(i.rt, value);
+                return;
+            }
+        }
+        std::uint64_t paddr = 0;
+        if (!c.checkedDataAccess(0, offset, kSize, false, false, paddr))
+            return;
+        std::uint64_t mem_cycles = 0;
+        std::uint64_t value = c.memory_.read(paddr, kSize, mem_cycles);
+        c.cycles_ += mem_cycles > 0 ? mem_cycles - 1 : 0;
+        if constexpr (!kUnsigned && kSize < 8)
+            value = static_cast<std::uint64_t>(
+                signExtend(value, kSize * 8));
+        c.setGpr(i.rt, value);
+        if (c.data_fastpath_enabled_)
+            c.mintDataMemo(vaddr, paddr);
+    }
+    template <unsigned kSize>
+    static CHERI_FORCE_INLINE void storeLegacy(Cpu &c, const Instruction &i)
+    {
+        ++*c.stat_mem_;
+        std::uint64_t offset =
+            c.gpr_[i.rs] +
+            static_cast<std::uint64_t>(static_cast<std::int64_t>(i.imm));
+        std::uint64_t vaddr =
+            cap::effectiveAddress(c.caps_.read(0), offset);
+        if (c.data_fastpath_enabled_ && vaddr % kSize == 0 &&
+            cap::checkDataAccess(c.caps_.read(0), offset, kSize,
+                                 cap::kPermStore) == CapCause::kNone) {
+            if (c.tryFastWrite(vaddr, kSize, c.gpr_[i.rt]))
+                return;
+        }
+        std::uint64_t paddr = 0;
+        if (!c.checkedDataAccess(0, offset, kSize, true, false, paddr))
+            return;
+        std::uint64_t mem_cycles = 0;
+        c.memory_.write(paddr, kSize, c.gpr_[i.rt], mem_cycles);
+        c.cycles_ += mem_cycles > 0 ? mem_cycles - 1 : 0;
+        if (c.ll_valid_ && c.ll_addr_ == paddr)
+            c.ll_valid_ = false;
+        if (c.data_fastpath_enabled_)
+            c.mintDataMemo(vaddr, paddr);
+    }
+    static void lb(Cpu &c, const Instruction &i) { loadLegacy<1, false>(c, i); }
+    static void lbu(Cpu &c, const Instruction &i) { loadLegacy<1, true>(c, i); }
+    static void lh(Cpu &c, const Instruction &i) { loadLegacy<2, false>(c, i); }
+    static void lhu(Cpu &c, const Instruction &i) { loadLegacy<2, true>(c, i); }
+    static void lw(Cpu &c, const Instruction &i) { loadLegacy<4, false>(c, i); }
+    static void lwu(Cpu &c, const Instruction &i) { loadLegacy<4, true>(c, i); }
+    static void ld(Cpu &c, const Instruction &i) { loadLegacy<8, true>(c, i); }
+    static void sb(Cpu &c, const Instruction &i) { storeLegacy<1>(c, i); }
+    static void sh(Cpu &c, const Instruction &i) { storeLegacy<2>(c, i); }
+    static void sw(Cpu &c, const Instruction &i) { storeLegacy<4>(c, i); }
+    static void sd(Cpu &c, const Instruction &i) { storeLegacy<8>(c, i); }
 
-      case Opcode::kInvalid:
-        raise(ExcCode::kReservedInstruction);
-        break;
+    // LL/SC and anything else that needs reservation bookkeeping.
+    static void memOp(Cpu &c, const Instruction &i)
+    {
+        c.executeMemory(i);
+    }
 
-      default:
-        // All remaining opcodes are CP2 (CHERI) instructions.
-        if (!cp2_enabled_) {
-            raise(ExcCode::kCoprocessorUnusable);
+    // --- CP2: every CHERI opcode funnels through executeCp2, which
+    // routes capability memory to executeCapMemory itself ---
+    static void cp2(Cpu &c, const Instruction &i)
+    {
+        if (!c.cp2_enabled_) {
+            c.raise(ExcCode::kCoprocessorUnusable);
+            return;
+        }
+        c.executeCp2(i);
+    }
+};
+
+/**
+ * (Opcode, handler) for every opcode, in exact Opcode declaration
+ * order. The static_asserts below pin that correspondence, so the
+ * dispatch tables built from this list may index by
+ * static_cast<size_t>(op).
+ */
+#define CHERI_FOR_EACH_OPCODE(X) \
+    X(kInvalid, invalid) \
+    X(kSll, sll) X(kSrl, srl) X(kSra, sra) X(kSllv, sllv) \
+    X(kSrlv, srlv) X(kSrav, srav) X(kDsll, dsll) X(kDsrl, dsrl) \
+    X(kDsra, dsra) X(kDsll32, dsll32) X(kDsrl32, dsrl32) \
+    X(kDsra32, dsra32) X(kDsllv, dsllv) X(kDsrlv, dsrlv) \
+    X(kDsrav, dsrav) \
+    X(kAddu, addu) X(kDaddu, daddu) X(kSubu, subu) X(kDsubu, dsubu) \
+    X(kAnd, and_) X(kOr, or_) X(kXor, xor_) X(kNor, nor_) \
+    X(kSlt, slt) X(kSltu, sltu) X(kMovz, movz) X(kMovn, movn) \
+    X(kDmult, dmult) X(kDmultu, dmultu) X(kDdiv, ddiv) \
+    X(kDdivu, ddivu) X(kMfhi, mfhi) X(kMflo, mflo) \
+    X(kAddiu, addiu) X(kDaddiu, daddiu) X(kSlti, slti) \
+    X(kSltiu, sltiu) X(kAndi, andi) X(kOri, ori) X(kXori, xori) \
+    X(kLui, lui) \
+    X(kJ, j) X(kJal, jal) X(kJr, jr) X(kJalr, jalr) X(kBeq, beq) \
+    X(kBne, bne) X(kBlez, blez) X(kBgtz, bgtz) X(kBltz, bltz) \
+    X(kBgez, bgez) X(kSyscall, syscall_) X(kBreak, break_) \
+    X(kLb, lb) X(kLbu, lbu) X(kLh, lh) X(kLhu, lhu) \
+    X(kLw, lw) X(kLwu, lwu) X(kLd, ld) X(kSb, sb) \
+    X(kSh, sh) X(kSw, sw) X(kSd, sd) X(kLld, memOp) \
+    X(kScd, memOp) \
+    X(kCGetBase, cp2) X(kCGetLen, cp2) X(kCGetTag, cp2) \
+    X(kCGetPerm, cp2) X(kCGetPcc, cp2) X(kCIncBase, cp2) \
+    X(kCSetLen, cp2) X(kCClearTag, cp2) X(kCAndPerm, cp2) \
+    X(kCToPtr, cp2) X(kCFromPtr, cp2) X(kCBtu, cp2) X(kCBts, cp2) \
+    X(kCLc, cp2) X(kCSc, cp2) X(kClb, cp2) X(kClbu, cp2) \
+    X(kClh, cp2) X(kClhu, cp2) X(kClw, cp2) X(kClwu, cp2) \
+    X(kCld, cp2) X(kCsb, cp2) X(kCsh, cp2) X(kCsw, cp2) \
+    X(kCsd, cp2) X(kClld, cp2) X(kCscd, cp2) X(kCJr, cp2) \
+    X(kCJalr, cp2) X(kCSeal, cp2) X(kCUnseal, cp2) \
+    X(kCGetType, cp2) X(kCCall, cp2) X(kCReturn, cp2)
+
+/** The unique handlers, for defining one dispatch label each. */
+#define CHERI_FOR_EACH_HANDLER(H) \
+    H(invalid) H(sll) H(srl) H(sra) H(sllv) H(srlv) H(srav) H(dsll) \
+    H(dsrl) H(dsra) H(dsll32) H(dsrl32) H(dsra32) H(dsllv) H(dsrlv) \
+    H(dsrav) H(addu) H(daddu) H(subu) H(dsubu) H(and_) H(or_) \
+    H(xor_) H(nor_) H(slt) H(sltu) H(movz) H(movn) H(dmult) \
+    H(dmultu) H(ddiv) H(ddivu) H(mfhi) H(mflo) H(addiu) H(daddiu) \
+    H(slti) H(sltiu) H(andi) H(ori) H(xori) H(lui) H(j) H(jal) \
+    H(jr) H(jalr) H(beq) H(bne) H(blez) H(bgtz) H(bltz) H(bgez) \
+    H(syscall_) H(break_) H(lb) H(lbu) H(lh) H(lhu) H(lw) H(lwu) \
+    H(ld) H(sb) H(sh) H(sw) H(sd) H(memOp) H(cp2)
+
+namespace
+{
+
+enum : std::size_t
+{
+#define X(op, fn) kOpIndex_##op,
+    CHERI_FOR_EACH_OPCODE(X)
+#undef X
+    kOpIndexCount,
+};
+#define X(op, fn) \
+    static_assert(kOpIndex_##op == static_cast<std::size_t>(Opcode::op), \
+                  "CHERI_FOR_EACH_OPCODE is out of declaration order");
+CHERI_FOR_EACH_OPCODE(X)
+#undef X
+static_assert(kOpIndexCount == isa::kNumOpcodes,
+              "CHERI_FOR_EACH_OPCODE must cover every opcode");
+
+#ifndef CHERI_HAVE_COMPUTED_GOTO
+/** Pre-resolved handler table for the portable dispatch fallback. */
+constexpr std::array<CpuExec::Fn, isa::kNumOpcodes> kExecTable = {
+#define X(op, fn) &CpuExec::fn,
+    CHERI_FOR_EACH_OPCODE(X)
+#undef X
+};
+#endif
+
+} // namespace
+
+void
+Cpu::execute(const Instruction &inst)
+{
+    switch (inst.op) {
+#define X(op, fn) \
+      case Opcode::op: \
+        CpuExec::fn(*this, inst); \
+        break;
+        CHERI_FOR_EACH_OPCODE(X)
+#undef X
+    }
+}
+
+// --- superblock tier (DESIGN.md §12) ---
+
+bool
+Cpu::trySuperblock(const RunLimits &limits, std::uint64_t start_insts,
+                   std::uint64_t start_cycles, StepOutcome &outcome)
+{
+    if (branch_pending_ || pcc_swap_countdown_ != 0)
+        return false;
+
+    // Hoisted PCC window refresh — the same pure refresh step()
+    // performs; on a bad window step() raises the precise cause.
+    if (pcc_version_seen_ != caps_.pccVersion()) {
+        pcc_version_seen_ = caps_.pccVersion();
+        const cap::Capability &pcc = caps_.pcc();
+        pcc_fetch_ok_ = pcc.tag() && !pcc.sealed() &&
+                        pcc.hasPerms(cap::kPermExecute);
+        pcc_fetch_base_ = pcc.base();
+        pcc_fetch_top_ = pcc.top();
+    }
+    if (!pcc_fetch_ok_)
+        return false;
+
+    Superblock &sb = superblock_cache_[superblockIndex(pc_)];
+    if (sb.start_vaddr != pc_) {
+        // Mint only at block leaders: branch targets (the last
+        // retired instruction sat in a delay slot) and straight-line
+        // continuations of a completed block. Everything else is
+        // mid-block code the per-instruction path is already walking.
+        if (!in_delay_slot_ && pc_ != sb_pending_leader_)
+            return false;
+        if (!mintSuperblock(sb))
+            return false;
+        ++sb_stats_.minted;
+    } else if (!superblockGuardsHold(sb)) {
+        ++sb_stats_.guard_fails;
+        // Minting is pure, so rebuild in place over the fresh decode
+        // lines; if they are cold the per-instruction path warms them
+        // and a later probe re-mints.
+        if (!mintSuperblock(sb))
+            return false;
+        ++sb_stats_.minted;
+    }
+
+    // Whole-block PCC bounds: every slot's per-step window check
+    // collapses into one compare over the trace's vaddr hull.
+    if (sb.va_lo < pcc_fetch_base_ || sb.va_hi > pcc_fetch_top_)
+        return false;
+
+    executeSuperblock(sb, limits, start_insts, start_cycles, outcome);
+    return true;
+}
+
+bool
+Cpu::superblockGuardsHold(Superblock &sb)
+{
+    // Translation guard: the block's page must still be cached with
+    // the same frame. The stream hint may legitimately point at a
+    // different page (the last fetch crossed away); re-probe purely
+    // before declaring the block stale.
+    if (fetch_hint_.generation != tlb_.generation() ||
+        fetch_hint_.vpn != sb.vpn) {
+        if (!tlb_.probeFetchHint(pc_, fetch_hint_))
+            return false;
+    }
+    if (fetch_hint_.paddr_base != sb.paddr_base)
+        return false; // page remapped since mint
+
+    // Stamp fast path: every decode-entry mutation (refill, SMC
+    // clear, wholesale invalidation) bumps decode_mint_counter_, so
+    // an unchanged counter proves the per-line walk below would pass.
+    if (sb.stamp_mint == decode_mint_counter_)
+        return true;
+
+    // Predecode guard: every line the block was minted over must
+    // still hold the very decode (mint id) its slots were copied
+    // from; any store, eviction, or wholesale invalidation since
+    // breaks the chain.
+    for (const SuperblockLineRef &ref : sb.lines) {
+        const DecodedLine &entry = decode_cache_[ref.index];
+        if (entry.line_paddr != ref.line_paddr ||
+            entry.generation != decode_generation_ ||
+            entry.mint_id != ref.mint_id)
+            return false;
+    }
+    sb.stamp_mint = decode_mint_counter_;
+    return true;
+}
+
+bool
+Cpu::mintSuperblock(Superblock &sb)
+{
+    sb.start_vaddr = ~0ULL;
+    sb.slots.clear();
+    sb.lines.clear();
+    if (pc_ % 4 != 0)
+        return false;
+
+    std::uint64_t vpn = pc_ / tlb::kPageBytes;
+    if (fetch_hint_.generation != tlb_.generation() ||
+        fetch_hint_.vpn != vpn) {
+        if (!tlb_.probeFetchHint(pc_, fetch_hint_))
+            return false;
+    }
+    std::uint64_t page_base = vpn * tlb::kPageBytes;
+    std::uint64_t page_end = page_base + tlb::kPageBytes;
+
+    // Pure host-side lookup of the predecoded instruction at va,
+    // recording the covering line's guard on first touch. nullptr
+    // when the line is cold or stale: the block simply ends there —
+    // minting never fetches, so it has zero simulated effects.
+    auto lookup = [&](std::uint64_t va) -> const Instruction * {
+        std::uint64_t paddr = fetch_hint_.paddr_base + (va - page_base);
+        std::uint64_t line = paddr & ~(mem::kLineBytes - 1ULL);
+        std::size_t index = decodeIndex(line);
+        const DecodedLine &entry = decode_cache_[index];
+        if (entry.line_paddr != line ||
+            entry.generation != decode_generation_)
+            return nullptr;
+        if (sb.lines.empty() || sb.lines.back().line_paddr != line) {
+            sb.lines.push_back({static_cast<std::uint32_t>(index), line,
+                                entry.mint_id});
+        }
+        return &entry.slots[(paddr % mem::kLineBytes) / 4];
+    };
+
+    std::uint64_t va = pc_;
+    std::uint64_t va_lo = pc_;
+    std::uint64_t va_hi = pc_;
+    while (sb.slots.size() < accel_.superblock_max_slots &&
+           va + 4 <= page_end) {
+        const Instruction *inst = lookup(va);
+        if (inst == nullptr)
             break;
+        if (isa::superblockBody(inst->op)) {
+            sb.slots.push_back(
+                {*inst, fetch_hint_.paddr_base + (va - page_base)});
+            sb.slots.back().full = !isa::superblockSimple(inst->op);
+            va_lo = std::min(va_lo, va);
+            va_hi = std::max(va_hi, va);
+            va += 4;
+            continue;
         }
-        executeCp2(inst);
+        if (isa::superblockTerminal(inst->op) &&
+            sb.slots.size() + 2 <= accel_.superblock_max_slots &&
+            va + 8 <= page_end) {
+            std::size_t lines_before = sb.lines.size();
+            const Instruction *delay = lookup(va + 4);
+            if (delay != nullptr && isa::superblockBody(delay->op)) {
+                sb.slots.push_back(
+                    {*inst, fetch_hint_.paddr_base + (va - page_base)});
+                sb.slots.push_back(
+                    {*delay,
+                     fetch_hint_.paddr_base + (va + 4 - page_base)});
+                sb.slots.back().is_delay = true;
+                va_lo = std::min(va_lo, va);
+                va_hi = std::max(va_hi, va + 4);
+                if (isa::superblockFallsThrough(inst->op)) {
+                    // A not-taken conditional branch falls through its
+                    // delay slot, so keep minting the straight-line
+                    // path; at run time the flagged delay slot exits
+                    // the block the moment the branch was taken.
+                    sb.slots.back().fallthrough_check = true;
+                    va += 8;
+                    continue;
+                }
+                if (inst->op == isa::Opcode::kJ ||
+                    inst->op == isa::Opcode::kJal) {
+                    // A direct jump's target is fixed by instruction
+                    // bytes the line guards pin, so execution provably
+                    // arrives there: keep minting at the target with
+                    // no run-time check. Off-page targets end the
+                    // trace (one translation covers the whole block).
+                    std::uint64_t target =
+                        ((va + 4) & ~0x0fffffffULL) |
+                        (static_cast<std::uint64_t>(inst->target) << 2);
+                    if (target / tlb::kPageBytes == vpn) {
+                        va = target;
+                        continue;
+                    }
+                }
+            } else {
+                // Drop the guard recorded for a delay-slot line the
+                // block will not actually cover.
+                sb.lines.resize(lines_before);
+            }
+        }
         break;
     }
+
+    if (sb.slots.size() < 2) {
+        // A 0/1-instruction block cannot amortize its entry guards.
+        sb.slots.clear();
+        sb.lines.clear();
+        return false;
+    }
+    for (std::size_t i = 1; i < sb.slots.size(); ++i) {
+        sb.slots[i].tlb_check =
+            isa::touchesDataMemory(sb.slots[i - 1].inst.op);
+    }
+    if (va_hi + 4 < va_hi) {
+        // Page at the very top of the address space: the hull's
+        // one-past-the-end would wrap. Not worth a special case.
+        sb.slots.clear();
+        sb.lines.clear();
+        return false;
+    }
+    sb.start_vaddr = pc_;
+    sb.vpn = vpn;
+    sb.paddr_base = fetch_hint_.paddr_base;
+    sb.va_delta = page_base - fetch_hint_.paddr_base;
+    sb.va_lo = va_lo;
+    sb.va_hi = va_hi + 4;
+    // The lookups above read the live decode entries, so the line
+    // guards hold by construction at the current mint counter.
+    sb.stamp_mint = decode_mint_counter_;
+    return true;
+}
+
+void
+Cpu::executeSuperblock(Superblock &sb, const RunLimits &limits,
+                       std::uint64_t start_insts,
+                       std::uint64_t start_cycles, StepOutcome &outcome)
+{
+    std::uint64_t entry_insts = instructions_;
+
+    // Per-slot simulated-effect bookkeeping is deferred into host
+    // registers and settled in batches, so the slot loop touches as
+    // little member state as possible:
+    //  - retired: instruction count, base CPI, and the TLB fetch-hit
+    //    stat (every retired slot passed the fetch replay exactly
+    //    once, so one counter serves all three).
+    //  - l1i_hits: repeat fetches of the current line; settled (stat
+    //    + one LRU touch + hit-stall cycles) at line changes and at
+    //    exit. Only the first fetch of each line walks fetchLine.
+    // Correct because everything mid-block only ADDS to instructions_
+    // and cycles_ (handler latencies commute with the deferred adds)
+    // and every read — bounded budget compares, chain seams, run()
+    // after return — reconstructs or settles first. The deferred
+    // state persists across chained blocks: between blocks there is
+    // no commit boundary an observer could sample at.
+    std::uint64_t cur_line = ~0ULL;
+    cache::Cache::LineHandle l1i_handle;
+    std::uint64_t l1i_hits = 0;
+    std::uint64_t retired = 0;
+
+    // A tracing observer samples current_pc_ before every dispatch,
+    // so lazy PC materialization is disabled for the whole call.
+    const bool force_full = trace_hook_ != nullptr;
+
+#ifdef CHERI_HAVE_COMPUTED_GOTO
+    // Label-per-opcode dispatch table in Opcode order (pinned by the
+    // static_asserts above); shared handlers appear multiple times.
+    static const void *const kLabels[isa::kNumOpcodes] = {
+#define X(op, fn) &&dispatch_##fn,
+        CHERI_FOR_EACH_OPCODE(X)
+#undef X
+    };
+#endif
+
+    Superblock *chain = &sb;
+    for (;;) { // one iteration per chained block
+    const Superblock &cur = *chain;
+    ++sb_stats_.entered;
+    sb_active_ = &cur;
+    sb_smc_abort_ = false;
+
+    const SuperblockSlot *slot = cur.slots.data();
+    const SuperblockSlot *const last = slot + cur.slots.size() - 1;
+    bool completed = false;
+    bool taken_exit = false;
+
+    // Most callers run with effectively-unlimited budgets; when the
+    // whole block provably fits in both (cycles_ can never reach the
+    // all-ones sentinel), the per-slot budget compares drop out of
+    // the loop. Any finite cycle budget keeps them: a cycle overshoot
+    // would retire work the per-instruction path would not.
+    bool unbounded =
+        limits.max_cycles == ~0ULL &&
+        limits.max_instructions - (instructions_ + retired - start_insts) >
+            cur.slots.size();
+
+    for (;;) {
+        // Fetch replay: the per-instruction path's exact simulated
+        // effects — one TLB hit with LRU movement, one L1I line
+        // access with stats/LRU/fill, the same stall formula — at the
+        // precomputed physical address. The translation re-checks run
+        // only where a preceding instruction could have perturbed the
+        // TLB (slot->tlb_check); a data-side refill can evict the
+        // hinted entry and bump the generation, in which case exit
+        // with no effects applied so step() re-translates exactly.
+        if (slot->tlb_check) {
+            if (fetch_hint_.generation != tlb_.generation()) {
+                // No effects applied for this slot, so the commit
+                // boundary is the previous slot: reconstruct the PC
+                // state if that slot's dispatch deferred it. The
+                // first slot's predecessor is the (already exact)
+                // seam or entry state.
+                if (slot != cur.slots.data() && !slot[-1].full &&
+                    !force_full) {
+                    std::uint64_t va = slot[-1].paddr + cur.va_delta;
+                    current_pc_ = va;
+                    in_delay_slot_ = false;
+                    pc_ = va + 4;
+                    next_pc_ = va + 8;
+                }
+                break;
+            }
+            tlb_.replayFetchHitLru(fetch_hint_);
+        }
+        std::uint64_t slot_line = slot->paddr & ~(mem::kLineBytes - 1ULL);
+        if (slot_line == cur_line) {
+            ++l1i_hits;
+        } else {
+            memory_.applyDeferredFetchHits(l1i_handle, l1i_hits);
+            cycles_ += l1i_hits * sb_hit_stall_;
+            l1i_hits = 0;
+            std::uint64_t fetch_cycles = 0;
+            memory_.fetchLineHandle(slot->paddr, fetch_cycles,
+                                    l1i_handle);
+            cycles_ += fetch_cycles > 0 ? fetch_cycles - 1 : 0;
+            cur_line = slot_line;
+        }
+
+        // Lazy PC materialization: pure-ALU slots (full == false)
+        // cannot trap, branch, or read the PC, so the five
+        // architectural PC-state writes are skipped across them and
+        // reconstructed at the next full slot or commit boundary
+        // from the slot's minted vaddr. Invariants that make the
+        // reconstruction exact: branch_pending_ is false whenever a
+        // lazy slot runs (delay slots are always full and clear it),
+        // and a lazy slot is never a delay slot, so its state is
+        // always {current_pc_ = va, in_delay_slot_ = false,
+        // pc_ = va + 4, next_pc_ = va + 8}.
+        const Instruction &inst = slot->inst;
+        const bool full = slot->full | force_full;
+        if (full) {
+            std::uint64_t va = slot->paddr + cur.va_delta;
+            current_pc_ = va;
+            if (slot->is_delay) {
+                // Consume the branch handler's live next_pc_ /
+                // branch_pending_, exactly as step() would.
+                in_delay_slot_ = branch_pending_;
+                pc_ = next_pc_;
+                next_pc_ = pc_ + 4;
+                branch_pending_ = false;
+            } else {
+                in_delay_slot_ = false;
+                pc_ = va + 4;
+                next_pc_ = va + 8;
+            }
+            if (trace_hook_)
+                trace_hook_(current_pc_, inst);
+        }
+
+#ifdef CHERI_HAVE_COMPUTED_GOTO
+        goto *kLabels[static_cast<std::size_t>(inst.op)];
+#define H(fn) \
+    dispatch_##fn: \
+        CpuExec::fn(*this, inst); \
+        goto retire;
+        CHERI_FOR_EACH_HANDLER(H)
+#undef H
+    retire:
+#else
+        kExecTable[static_cast<std::size_t>(inst.op)](*this, inst);
+#endif
+        ++retired; // instruction count + base CPI, settled at exit
+
+        if (full) {
+            if (trap_pending_) {
+                outcome.trapped = true;
+                break;
+            }
+            if (sb_smc_abort_) {
+                // The block's own code was just overwritten, so its
+                // remaining predecoded slots are stale. Leave; the
+                // per-instruction path decodes the fresh bytes, and
+                // the cleared decode line fails this block's entry
+                // guard until a re-mint picks the new bytes up.
+                sb_smc_abort_ = false;
+                ++sb_stats_.invalidated;
+                break;
+            }
+            // A taken mid-block branch: its delay slot just retired
+            // and pc_ left the straight-line path, so the remaining
+            // slots do not apply. in_delay_slot_ is still set,
+            // qualifying the branch target as a mint leader on the
+            // next probe.
+            if (slot->fallthrough_check && pc_ != current_pc_ + 4) {
+                taken_exit = true;
+                break;
+            }
+        }
+        if (slot == last) {
+            // The chain seam below reads pc_, so a lazily dispatched
+            // final slot settles its PC state here.
+            if (!full) {
+                std::uint64_t va = slot->paddr + cur.va_delta;
+                current_pc_ = va;
+                in_delay_slot_ = false;
+                pc_ = va + 4;
+                next_pc_ = va + 8;
+            }
+            completed = true;
+            break;
+        }
+        // run()'s budgets, enforced at the same commit boundaries
+        // (never stopping between a branch and its delay slot). The
+        // deferred adds are reconstructed into the compare: retired
+        // carries the instruction count and base CPI, l1i_hits the
+        // current line's outstanding hit stalls.
+        if (!unbounded && !branch_pending_ &&
+            (instructions_ + retired - start_insts >=
+                 limits.max_instructions ||
+             cycles_ + retired + l1i_hits * sb_hit_stall_ -
+                     start_cycles >=
+                 limits.max_cycles)) {
+            if (!full) {
+                std::uint64_t va = slot->paddr + cur.va_delta;
+                current_pc_ = va;
+                in_delay_slot_ = false;
+                pc_ = va + 4;
+                next_pc_ = va + 8;
+            }
+            break;
+        }
+        ++slot;
+    }
+
+    if (completed) {
+        // The pc after a fully executed block is a straight-line
+        // continuation leader: a later probe may mint there even if
+        // chaining below leaves through a different pc first.
+        sb_pending_leader_ = pc_;
+    }
+
+    // Block-to-block chaining: a natural exit (block ran out, or a
+    // taken branch left it) lands on a pc that may head an already
+    // minted block. Entering it here skips a full run()-loop pass and
+    // keeps the deferred fetch state warm across the seam. The budget
+    // compare is the same one run()'s loop top would perform; guards
+    // and PCC window are checked exactly as trySuperblock does.
+    if (!completed && !taken_exit)
+        break; // trap, SMC, budget stop, or stale translation
+    if (instructions_ + retired - start_insts >= limits.max_instructions ||
+        cycles_ + retired + l1i_hits * sb_hit_stall_ - start_cycles >=
+            limits.max_cycles)
+        break;
+    Superblock &nxt = superblock_cache_[superblockIndex(pc_)];
+    if (nxt.start_vaddr != pc_ || !superblockGuardsHold(nxt))
+        break;
+    if (nxt.va_lo < pcc_fetch_base_ || nxt.va_hi > pcc_fetch_top_)
+        break;
+    chain = &nxt;
+    } // chain loop
+
+    // Settle the deferred effects: every commit boundary (trap,
+    // budget stop, run() exit) sees exactly the counters the
+    // per-instruction path would have produced — instruction count,
+    // base-CPI and hit-stall cycles, the TLB fetch-hit stat (one per
+    // retired slot), and the final line's batched L1I hits.
+    instructions_ += retired;
+    cycles_ += retired + l1i_hits * sb_hit_stall_;
+    memory_.applyDeferredFetchHits(l1i_handle, l1i_hits);
+    tlb_.applyDeferredFetchHits(retired);
+
+    // Host-side observability only, so one batched add at exit.
+    sb_stats_.instructions += instructions_ - entry_insts;
+    sb_active_ = nullptr;
 }
 
 void

@@ -47,6 +47,41 @@ struct CpuTiming
     std::uint64_t predictor_entries = 512;
 };
 
+/**
+ * Geometry of the CPU's host-side accelerators. These knobs change
+ * host throughput only — never simulated timing or counters — so
+ * tests shrink them to force eviction/aliasing without perturbing
+ * the modeled machine. All sizes must be powers of two.
+ */
+struct CpuAccelConfig
+{
+    /** Direct-mapped predecode-cache lines. The default covers 32 KB
+     *  of code, twice the modeled L1I, so it is never the
+     *  bottleneck. */
+    std::size_t decode_cache_lines = 1024;
+    /** Direct-mapped superblock-cache entries (keyed by start pc). */
+    std::size_t superblock_entries = 1024;
+    /** Maximum instructions chained into one superblock. */
+    std::size_t superblock_max_slots = 64;
+};
+
+/**
+ * Host-side observability counters for the superblock tier. Kept
+ * outside the Cpu StatSet deliberately: simulated counters must be
+ * bit-identical across accelerator modes, and these by construction
+ * are not (they count host events, not architectural ones).
+ */
+struct SuperblockStats
+{
+    std::uint64_t minted = 0;      ///< blocks built (incl. re-mints)
+    std::uint64_t entered = 0;     ///< successful block entries
+    std::uint64_t guard_fails = 0; ///< entry probes that found a stale block
+    std::uint64_t invalidated = 0; ///< blocks dropped (restore, SMC abort)
+    /** Instructions retired via superblock dispatch; the remainder of
+     *  totalInstructions() went through the per-instruction path. */
+    std::uint64_t instructions = 0;
+};
+
 /** Why Cpu::run returned. */
 enum class StopReason
 {
@@ -121,7 +156,7 @@ class Cpu : private cache::FetchInvalidationListener
     using SyscallHandler = std::function<SyscallAction(Cpu &)>;
 
     Cpu(cache::CacheHierarchy &memory, tlb::Tlb &tlb,
-        CpuTiming timing = {});
+        CpuTiming timing = {}, CpuAccelConfig accel = {});
     ~Cpu() override;
 
     Cpu(const Cpu &) = delete;
@@ -185,7 +220,15 @@ class Cpu : private cache::FetchInvalidationListener
      * the hierarchy's view (Machine::loadProgram pokes DRAM
      * directly); per-store invalidation is automatic.
      */
-    void invalidateDecodeCache() { ++decode_generation_; }
+    void invalidateDecodeCache()
+    {
+        ++decode_generation_;
+        // Every stamped superblock guard is now meaningless: the
+        // bytes under any decode line may have changed. Bump the mint
+        // counter so stamps fail, and drop the blocks themselves.
+        ++decode_mint_counter_;
+        invalidateSuperblocks();
+    }
 
     /**
      * Toggle the data fast path (translation memo + L1D-hit
@@ -212,6 +255,37 @@ class Cpu : private cache::FetchInvalidationListener
         for (DataMemoEntry &entry : data_memo_)
             entry.vline = ~0ULL;
     }
+
+    /**
+     * Toggle the superblock tier (straight-line blocks of predecoded
+     * instructions executed via threaded dispatch, DESIGN.md §12).
+     * Requires the decode cache: with it disabled the tier never
+     * enters. Simulated timing, counters, and architectural behaviour
+     * are identical either way — every per-instruction effect (TLB
+     * hit + LRU, one L1I line access, cycle formulas) is replayed
+     * exactly, and any guard failure falls back to the
+     * per-instruction path before applying any effect.
+     */
+    void setSuperblocksEnabled(bool enabled)
+    {
+        superblocks_enabled_ = enabled;
+    }
+    bool superblocksEnabled() const { return superblocks_enabled_; }
+
+    /**
+     * Drop every superblock (counts them as invalidated). Like the
+     * other host accelerators this is never required for correctness
+     * — stale blocks fail their entry guards — but restore() uses it
+     * so snapshots leave zero superblock state behind, and tests use
+     * it to force re-mints.
+     */
+    void invalidateSuperblocks();
+
+    /** Host-side superblock counters (not part of stats()). */
+    const SuperblockStats &superblockStats() const { return sb_stats_; }
+
+    /** Accelerator geometry this core was built with. */
+    const CpuAccelConfig &accelConfig() const { return accel_; }
 
     /** Cycles accumulated over the CPU's lifetime. */
     std::uint64_t totalCycles() const { return cycles_; }
@@ -281,6 +355,10 @@ class Cpu : private cache::FetchInvalidationListener
     bool injectMemoSkew(std::uint64_t pick);
 
   private:
+    /** Per-opcode handler bodies (cpu.cc): shared verbatim between
+     *  the interpreter switch and the superblock dispatch tables. */
+    friend struct CpuExec;
+
     struct StepOutcome
     {
         bool trapped = false;
@@ -293,21 +371,25 @@ class Cpu : private cache::FetchInvalidationListener
 
     // --- fetch fast path ---
 
-    /** Direct-mapped predecode cache geometry (covers 32 KB of code,
-     *  twice the modeled L1I, so it is never the bottleneck). */
-    static constexpr std::size_t kDecodeCacheLines = 1024;
     static constexpr std::size_t kSlotsPerLine = mem::kLineBytes / 4;
 
     struct DecodedLine
     {
         std::uint64_t line_paddr = ~0ULL; ///< aligned; ~0 = invalid
         std::uint64_t generation = 0;
+        /** Monotonic refill stamp: every decodeLine refill gets a
+         *  fresh id, so a superblock can tell "same line, same
+         *  generation, but refilled with different bytes" (SMC)
+         *  apart from the line it was minted over. */
+        std::uint64_t mint_id = 0;
         std::array<isa::Instruction, kSlotsPerLine> slots{};
     };
 
-    static std::size_t decodeIndex(std::uint64_t line_paddr)
+    /** Geometry is a constructor knob (CpuAccelConfig); the mask is
+     *  cached so the per-fetch index stays one AND. */
+    std::size_t decodeIndex(std::uint64_t line_paddr) const
     {
-        return (line_paddr / mem::kLineBytes) & (kDecodeCacheLines - 1);
+        return (line_paddr / mem::kLineBytes) & decode_index_mask_;
     }
 
     /**
@@ -321,6 +403,109 @@ class Cpu : private cache::FetchInvalidationListener
 
     /** FetchInvalidationListener: a store hit a (potential) code line. */
     void onCodeLineModified(std::uint64_t line_paddr) override;
+
+    // --- superblock tier (DESIGN.md §12) ---
+
+    /** One chained instruction: the predecoded form plus its
+     *  precomputed physical address (valid while the block's guards
+     *  hold — same page translation, same decode-line mint ids). */
+    struct SuperblockSlot
+    {
+        isa::Instruction inst;
+        std::uint64_t paddr = 0;
+        /** Re-check the fetch translation before this slot: set on
+         *  block leaders and after any instruction that can touch the
+         *  data side (only those can move the TLB's LRU or bump its
+         *  generation). Pure-ALU runs skip the checks entirely. */
+        bool tlb_check = true;
+        /** This slot is the delay slot of a conditional branch with
+         *  more block behind it: after it retires, leave the block
+         *  unless pc_ is the sequential fall-through. */
+        bool fallthrough_check = false;
+        /** Dispatch must materialize the architectural PC state
+         *  (current_pc_, in_delay_slot_, pc_, next_pc_) before this
+         *  slot: anything that can trap, branch, or read the PC.
+         *  Pure-ALU slots skip the writes; exits reconstruct them. */
+        bool full = true;
+        /** This slot sits in a delay slot (its predecessor is a
+         *  branch or jump), so its PC advance must consume the live
+         *  next_pc_/branch_pending_ the branch handler produced. */
+        bool is_delay = false;
+    };
+
+    /** Guard record for one predecode line a block was minted over. */
+    struct SuperblockLineRef
+    {
+        std::uint32_t index = 0;       ///< decode_cache_ slot
+        std::uint64_t line_paddr = 0;
+        std::uint64_t mint_id = 0;
+    };
+
+    /**
+     * A superblock: a single-page trace of predecoded instructions —
+     * straight-line runs, continued through not-taken conditional
+     * branches (flagged delay slots exit at run time when the branch
+     * was taken) and through direct jumps (J/JAL), whose targets are
+     * fixed by the pinned instruction bytes and so need no run-time
+     * check at all. The guard set (start pc, fetch-hint page
+     * translation, per-line mint ids) pins down everything its
+     * precomputed slots assumed; entry re-checks all of it and falls
+     * back to the per-instruction path the moment anything moved.
+     */
+    struct Superblock
+    {
+        std::uint64_t start_vaddr = ~0ULL; ///< ~0 = invalid
+        std::uint64_t vpn = 0;
+        std::uint64_t paddr_base = 0; ///< page frame base at mint
+        /** page_base - paddr_base (wrapping): maps a slot's paddr
+         *  back to its vaddr, for the taken-branch exit compare. */
+        std::uint64_t va_delta = 0;
+        /** [va_lo, va_hi): vaddr hull of every slot; one PCC-window
+         *  compare at entry covers each slot's per-step check (a
+         *  conservative superset for traces with jumps — rejection
+         *  just falls back to the per-instruction path). */
+        std::uint64_t va_lo = 0;
+        std::uint64_t va_hi = 0;
+        std::vector<SuperblockSlot> slots;
+        std::vector<SuperblockLineRef> lines;
+        /** decode_mint_counter_ when the line guards last held. While
+         *  it is unchanged no decode line can have been refilled,
+         *  cleared, or invalidated, so re-entry skips the per-line
+         *  walk (stamps are re-taken after every full check). */
+        std::uint64_t stamp_mint = ~0ULL;
+    };
+
+    std::size_t superblockIndex(std::uint64_t vaddr) const
+    {
+        return (vaddr >> 2) & superblock_index_mask_;
+    }
+
+    /**
+     * Probe/mint/execute a superblock at pc_. Returns true when a
+     * block ran (outcome filled in, budgets honoured at the same
+     * commit boundaries run()'s per-instruction loop uses); false
+     * with zero simulated effects applied when the caller must take
+     * the per-instruction path.
+     */
+    bool trySuperblock(const RunLimits &limits,
+                       std::uint64_t start_insts,
+                       std::uint64_t start_cycles, StepOutcome &outcome);
+
+    /** Pure host-side block builder over the hot predecode lines;
+     *  false (block left invalid) when pc_ is unmintable. */
+    bool mintSuperblock(Superblock &sb);
+
+    /** Pure entry-guard check for a block whose start matches pc_
+     *  (may re-probe the fetch hint — host state only, no simulated
+     *  effects). */
+    bool superblockGuardsHold(Superblock &sb);
+
+    /** Threaded-dispatch executor (computed goto where the build
+     *  found support, function-pointer table otherwise). */
+    void executeSuperblock(Superblock &sb, const RunLimits &limits,
+                           std::uint64_t start_insts,
+                           std::uint64_t start_cycles,
+                           StepOutcome &outcome);
 
     // --- data fast path ---
 
@@ -441,14 +626,35 @@ class Cpu : private cache::FetchInvalidationListener
     TraceHook trace_hook_;
 
     // Fetch fast path state.
+    CpuAccelConfig accel_;
     bool decode_cache_enabled_ = true;
     std::uint64_t decode_generation_ = 0;
+    std::uint64_t decode_mint_counter_ = 0;
+    std::size_t decode_index_mask_ = 0;
     std::vector<DecodedLine> decode_cache_;
     tlb::Tlb::FetchHint fetch_hint_;
 
     // Data fast path state.
     bool data_fastpath_enabled_ = true;
     std::vector<DataMemoEntry> data_memo_;
+
+    // Superblock tier state.
+    bool superblocks_enabled_ = true;
+    std::size_t superblock_index_mask_ = 0;
+    std::vector<Superblock> superblock_cache_;
+    /** Next straight-line continuation leader: pc after a block
+     *  exit, so fallthrough chains mint without waiting for a
+     *  branch target. ~0 = none. */
+    std::uint64_t sb_pending_leader_ = ~0ULL;
+    /** Block currently dispatching (onCodeLineModified scans its
+     *  lines so an in-block store to its own code aborts it). */
+    const Superblock *sb_active_ = nullptr;
+    bool sb_smc_abort_ = false;
+    SuperblockStats sb_stats_;
+    /** L1I hit latency minus the base cycle, hoisted from the
+     *  hierarchy config at construction: the stall a deferred
+     *  repeat fetch charges per slot. */
+    std::uint64_t sb_hit_stall_ = 0;
 
     // Cached PCC fetch window, refreshed when CapRegFile::pccVersion
     // moves (once per jump/domain crossing, not once per step). The

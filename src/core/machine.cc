@@ -9,7 +9,7 @@ Machine::Machine(MachineConfig config)
     : config_(config), dram_(config.dram_bytes), tags_(config.dram_bytes),
       tag_manager_(dram_, tags_, config.tag_cache),
       hierarchy_(tag_manager_, config.caches), page_table_(),
-      tlb_(page_table_, config.tlb), cpu_(hierarchy_, tlb_, config.timing)
+      tlb_(page_table_, config.tlb), cpu_(hierarchy_, tlb_, config.timing, config.accel)
 {
 }
 

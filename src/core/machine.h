@@ -32,6 +32,7 @@ struct MachineConfig
     cache::HierarchyConfig caches;
     tlb::TlbConfig tlb;
     CpuTiming timing;
+    CpuAccelConfig accel;
 };
 
 /** A complete emulated CHERI system. */

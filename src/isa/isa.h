@@ -24,6 +24,7 @@
 #ifndef CHERI_ISA_ISA_H
 #define CHERI_ISA_ISA_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -83,6 +84,10 @@ enum class Opcode
     // --- CHERI: sealing and protected domain crossing (Section 11) ---
     kCSeal, kCUnseal, kCGetType, kCCall, kCReturn,
 };
+
+/** One past the last Opcode value: sizes handler/dispatch tables. */
+inline constexpr std::size_t kNumOpcodes =
+    static_cast<std::size_t>(Opcode::kCReturn) + 1;
 
 /** Major opcodes used by the encodings. */
 enum MajorOpcode : std::uint32_t
@@ -224,6 +229,136 @@ accessSizeLog2(Opcode op)
 
 /** True when the memory opcode zero-extends (unsigned load). */
 bool loadIsUnsigned(Opcode op);
+
+/**
+ * True when a superblock may continue *through* this instruction:
+ * anything whose execution never consults or perturbs the fetch
+ * stream mid-block. Control flow, SYSCALL/BREAK (run-loop exits),
+ * CCALL/CRETURN (always trap), CJR/CJALR (swap PCC over two slots)
+ * and kInvalid are excluded. Inline: runs only at block-mint time.
+ */
+inline bool
+superblockBody(Opcode op)
+{
+    switch (op) {
+      case Opcode::kInvalid:
+      case Opcode::kJ:
+      case Opcode::kJal:
+      case Opcode::kJr:
+      case Opcode::kJalr:
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlez:
+      case Opcode::kBgtz:
+      case Opcode::kBltz:
+      case Opcode::kBgez:
+      case Opcode::kCBtu:
+      case Opcode::kCBts:
+      case Opcode::kCJr:
+      case Opcode::kCJalr:
+      case Opcode::kSyscall:
+      case Opcode::kBreak:
+      case Opcode::kCCall:
+      case Opcode::kCReturn:
+        return false;
+      default:
+        return true;
+    }
+}
+
+/**
+ * True when this instruction may *terminate* a superblock together
+ * with its delay slot: branches and jumps that keep PCC unchanged.
+ * CJR/CJALR are excluded (the PCC swap countdown spans the block
+ * boundary); they always fall back to the per-instruction path.
+ */
+inline bool
+superblockTerminal(Opcode op)
+{
+    switch (op) {
+      case Opcode::kJ:
+      case Opcode::kJal:
+      case Opcode::kJr:
+      case Opcode::kJalr:
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlez:
+      case Opcode::kBgtz:
+      case Opcode::kBltz:
+      case Opcode::kBgez:
+      case Opcode::kCBtu:
+      case Opcode::kCBts:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * True for the conditional branches: when one is not taken,
+ * execution falls through its delay slot to the next sequential
+ * instruction, so a superblock may keep minting past the pair and
+ * simply exit early at run time when the branch is taken. The
+ * unconditional jumps (and JR/JALR) always leave, so a block never
+ * continues past them.
+ */
+inline bool
+superblockFallsThrough(Opcode op)
+{
+    switch (op) {
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlez:
+      case Opcode::kBgtz:
+      case Opcode::kBltz:
+      case Opcode::kBgez:
+      case Opcode::kCBtu:
+      case Opcode::kCBts:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * True for the straight-line ALU opcodes, whose handlers touch only
+ * the integer register file (plus HI/LO and a host-side stat): they
+ * cannot trap, branch, or consult the PC. Superblock dispatch skips
+ * all per-slot PC bookkeeping across them and reconstructs it at the
+ * next full slot or block exit. Inline: runs only at block-mint time.
+ */
+inline bool
+superblockSimple(Opcode op)
+{
+    static_assert(static_cast<int>(Opcode::kLui) -
+                          static_cast<int>(Opcode::kSll) ==
+                      40,
+                  "ALU opcodes must stay contiguous");
+    return op >= Opcode::kSll && op <= Opcode::kLui;
+}
+
+/**
+ * True when executing this instruction can touch the data side of
+ * the memory system — a legacy or capability load/store. Everything
+ * else can neither move the TLB's LRU, change its generation, nor
+ * store into code, so the superblock tier may skip its per-slot
+ * translation re-checks after such an instruction. Inline: runs only
+ * at block-mint time.
+ */
+inline bool
+touchesDataMemory(Opcode op)
+{
+    static_assert(static_cast<int>(Opcode::kScd) -
+                          static_cast<int>(Opcode::kLb) ==
+                      12,
+                  "legacy load/store opcodes must stay contiguous");
+    static_assert(static_cast<int>(Opcode::kCscd) -
+                          static_cast<int>(Opcode::kCLc) ==
+                      14,
+                  "capability load/store opcodes must stay contiguous");
+    return (op >= Opcode::kLb && op <= Opcode::kScd) ||
+           (op >= Opcode::kCLc && op <= Opcode::kCscd);
+}
 
 /** Conventional MIPS ABI register names, index 0..31. */
 extern const char *const kRegNames[32];

@@ -11,6 +11,14 @@
 #include <bit>
 #include <cstdint>
 
+/** Inlining the interpreter's per-access helpers is worth several
+ *  simulated MIPS; the attribute is advisory where unsupported. */
+#if defined(__GNUC__) || defined(__clang__)
+#define CHERI_FORCE_INLINE inline __attribute__((always_inline))
+#else
+#define CHERI_FORCE_INLINE inline
+#endif
+
 namespace cheri::support
 {
 

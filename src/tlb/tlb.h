@@ -156,6 +156,55 @@ class Tlb
     }
 
     /**
+     * Mint a fetch hint for the page containing vaddr if it is
+     * currently cached with execute permission. Pure host-side probe
+     * (no stats, no LRU movement, no penalty): the superblock tier
+     * uses it at block mint/entry so a block on a page the fetch
+     * stream has not touched recently can still validate its
+     * translation without simulated effects. The executable check
+     * matters — hints skip checkPte on replay, so one may only be
+     * minted for entries that would pass it.
+     */
+    bool probeFetchHint(std::uint64_t vaddr, FetchHint &hint)
+    {
+        auto it = cached_.find(vaddr / kPageBytes);
+        if (it == cached_.end() || !it->second.pte.flags.executable)
+            return false;
+        hint.vpn = vaddr / kPageBytes;
+        hint.paddr_base = it->second.pte.pfn * kPageBytes;
+        hint.generation = generation_;
+        hint.entry = &it->second;
+        return true;
+    }
+
+    /**
+     * Replay the LRU half of the translateFetch() hit path for a
+     * still-valid hint (caller checked the generation): same LRU
+     * outcome, zero penalty. checkPte is skipped for the same reason
+     * translateFetch skips it — hints are only minted for entries
+     * that passed the executable check and cached PTEs never mutate
+     * in place. The stat half is deferred: the superblock tier counts
+     * hits locally and settles them through applyDeferredFetchHits on
+     * block exit, so the TLB hit counter and LRU order stay
+     * bit-identical to the per-instruction path at every commit
+     * boundary.
+     */
+    void replayFetchHitLru(const FetchHint &hint)
+    {
+        auto &lru_it = hint.entry->lru_it;
+        if (lru_.begin() != lru_it)
+            lru_.splice(lru_.begin(), lru_, lru_it);
+    }
+
+    /**
+     * Settle n deferred fetch hits counted by the superblock tier.
+     * Pure counter arithmetic — increments commute with the data-side
+     * translations that may have interleaved, so the total equals n
+     * individual bumps at the original points.
+     */
+    void applyDeferredFetchHits(std::uint64_t n) { *hits_ += n; }
+
+    /**
      * Caller-held memo for data-side translations — the CPU's data
      * fast path keeps one per memoized line. Like FetchHint it is
      * guarded by the generation counter, so any flush, flushPage,

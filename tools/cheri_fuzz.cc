@@ -24,6 +24,10 @@
  *                          data-side fast path per oracle pass:
  *                          follow the fetch toggle (default), force on
  *                          in both passes, or force off
+ *     --superblock follow|on|off
+ *                          superblock tier per oracle pass, same
+ *                          shape as --data-fastpath (the tier is
+ *                          inert without the decode cache)
  *     --expect-divergence  exit 0 iff a divergence WAS found
  *     --quiet              only print the summary line
  *
@@ -89,6 +93,20 @@ main(int argc, char **argv)
                              mode);
                 return 2;
             }
+        } else if (std::strcmp(argv[i], "--superblock") == 0 &&
+                   i + 1 < argc) {
+            const char *mode = argv[++i];
+            if (std::strcmp(mode, "follow") == 0) {
+                config.sb_mode = check::SuperblockMode::kFollow;
+            } else if (std::strcmp(mode, "on") == 0) {
+                config.sb_mode = check::SuperblockMode::kForceOn;
+            } else if (std::strcmp(mode, "off") == 0) {
+                config.sb_mode = check::SuperblockMode::kForceOff;
+            } else {
+                std::fprintf(stderr, "unknown superblock mode %s\n",
+                             mode);
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--expect-divergence") == 0) {
             expect_divergence = true;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -99,6 +117,7 @@ main(int argc, char **argv)
                 "usage: cheri-fuzz [--seeds N] [--start-seed N] "
                 "[--jobs N] [--shrink] [--inject-fault tag-clear] "
                 "[--data-fastpath follow|on|off] "
+                "[--superblock follow|on|off] "
                 "[--expect-divergence] [--quiet]\n");
             return 2;
         }
