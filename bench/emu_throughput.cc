@@ -158,12 +158,10 @@ main(int argc, char **argv)
 
     unsigned jobs = 1;
     if (const char *env = std::getenv("CHERI_BENCH_JOBS"))
-        jobs = support::normalizeJobs(
-            support::parseU64OrFatal(env, "CHERI_BENCH_JOBS"));
+        jobs = support::parseJobsOrFatal(env, "CHERI_BENCH_JOBS");
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-            jobs = support::normalizeJobs(
-                support::parseU64OrFatal(argv[++i], "--jobs"));
+            jobs = support::parseJobsOrFatal(argv[++i], "--jobs");
         } else {
             std::fprintf(stderr,
                          "usage: emu_throughput [--jobs N]\n");

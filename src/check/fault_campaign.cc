@@ -90,17 +90,15 @@ struct WorkerMachine
 };
 
 /**
- * Replay one planned trial from the worker's checkpoint and classify
- * it (see the header's outcome taxonomy).
+ * Replay one planned trial on a machine already sitting at the
+ * guest's S0 checkpoint (deep-restored or COW-forked by the caller)
+ * and classify it (see the header's outcome taxonomy).
  */
 TrialRecord
-runTrial(const CampaignGuest &guest, WorkerMachine &worker,
+runTrial(const CampaignGuest &guest, core::Machine &machine,
          const FaultPlan &plan, std::uint64_t trial_index,
          std::uint64_t clean_instructions)
 {
-    core::Machine &machine = worker.machine;
-    machine.restoreSnapshot(worker.s0);
-
     LockstepConfig oracle_config;
     oracle_config.final_memory_sweep = false;
     Lockstep oracle(machine, oracle_config);
@@ -224,6 +222,13 @@ runGuest(const CampaignConfig &config, const CampaignGuest &guest,
         plans.push_back(plan);
     }
 
+    // In fork mode each trial runs on a throwaway COW fork, so the
+    // parent must sit at S0 — the calibration machine just ran the
+    // guest twice, so park it back on the checkpoint once up front.
+    // (Other workers' machines are born at S0 and never run.)
+    if (config.fork_machines)
+        machine.restoreSnapshot(s0);
+
     // Replay trials across the pool. Worker 0 reuses the calibration
     // machine; the others lazily clone their own checkpointed machine
     // the first time they claim a trial. Records land in trial order.
@@ -240,8 +245,20 @@ runGuest(const CampaignConfig &config, const CampaignGuest &guest,
                         config, guest);
                 context = workers[worker].get();
             }
-            return runTrial(guest, *context, plans[index], index,
-                            report.clean_instructions);
+            if (config.fork_machines) {
+                // The worker machine stays pristine at S0; the trial
+                // corrupts a lightweight fork that dies with the
+                // trial. Forking only ever happens on the worker's
+                // own thread, and shared pages are never written in
+                // place, so sibling forks across workers are safe.
+                std::unique_ptr<core::Machine> child =
+                    context->machine.fork();
+                return runTrial(guest, *child, plans[index], index,
+                                report.clean_instructions);
+            }
+            context->machine.restoreSnapshot(context->s0);
+            return runTrial(guest, context->machine, plans[index],
+                            index, report.clean_instructions);
         });
 
     for (const TrialRecord &record : report.trials)

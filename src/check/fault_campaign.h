@@ -70,6 +70,17 @@ struct CampaignConfig
      * this knob — is byte-identical for any value.
      */
     unsigned jobs = 1;
+    /**
+     * Draw each trial's machine as a copy-on-write fork of the
+     * worker's pristine checkpoint parent instead of deep-restoring
+     * the worker machine in place (Machine::fork() vs
+     * restoreSnapshot()). A fork is an exact simulated-state clone,
+     * so the report — which, like jobs, omits this knob from
+     * toJson() — is byte-identical either way; tests assert exactly
+     * that, which makes the campaign itself a fork correctness
+     * oracle.
+     */
+    bool fork_machines = false;
 };
 
 /** How one trial ended (see file comment). */

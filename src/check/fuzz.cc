@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "cap/perms.h"
 #include "core/machine.h"
@@ -703,17 +704,31 @@ assembleFuzzProgram(const FuzzSpec &spec)
     return a.finish();
 }
 
+core::MachineConfig
+fuzzMachineConfig()
+{
+    core::MachineConfig config;
+    config.dram_bytes = 4 * 1024 * 1024;
+    return config;
+}
+
 FuzzRunResult
 runFuzzWords(const std::vector<std::uint32_t> &words,
              bool suppress_tag_clear,
              std::uint64_t max_instructions,
-             DataFastPathMode data_mode, SuperblockMode sb_mode)
+             DataFastPathMode data_mode, SuperblockMode sb_mode,
+             core::Machine *fork_parent)
 {
     FuzzRunResult result;
     for (bool fast : {true, false}) {
-        core::MachineConfig config;
-        config.dram_bytes = 4 * 1024 * 1024;
-        core::Machine machine(config);
+        // A fork of a pristine parent is simulated-state-identical
+        // to a fresh machine, just without the 4 MB allocation; the
+        // pass then COW-faults only the pages it actually touches.
+        std::unique_ptr<core::Machine> owned =
+            fork_parent
+                ? fork_parent->fork()
+                : std::make_unique<core::Machine>(fuzzMachineConfig());
+        core::Machine &machine = *owned;
         machine.loadProgram(kFuzzCodeBase, words);
         machine.mapRange(kFuzzArenaBase, kFuzzArenaLen);
         tlb::PteFlags nocap;
@@ -752,14 +767,14 @@ runFuzzWords(const std::vector<std::uint32_t> &words,
 std::vector<FuzzOp>
 shrinkOps(const FuzzSpec &spec, bool suppress_tag_clear,
           std::uint64_t max_instructions, DataFastPathMode data_mode,
-          SuperblockMode sb_mode)
+          SuperblockMode sb_mode, core::Machine *fork_parent)
 {
     auto diverges = [&](const std::vector<FuzzOp> &ops) {
         FuzzSpec candidate = spec;
         candidate.ops = ops;
         return runFuzzWords(assembleFuzzProgram(candidate),
                             suppress_tag_clear, max_instructions,
-                            data_mode, sb_mode)
+                            data_mode, sb_mode, fork_parent)
             .diverged;
     };
 
@@ -835,10 +850,12 @@ namespace
 
 /** Generate, run, and (on divergence) shrink one seed; returns the
  *  exact text the CLI prints for it. Pure function of (config, seed) —
- *  the whole Machine/RefCpu pair lives on this call's stack, so seeds
- *  can run on any worker thread in any order. */
+ *  the whole Machine/RefCpu pair lives on this call's stack (or is a
+ *  COW fork of the worker's private pristine parent), so seeds can
+ *  run on any worker thread in any order. */
 FuzzSeedOutcome
-runOneSeed(const FuzzCampaignConfig &config, std::uint64_t seed)
+runOneSeed(const FuzzCampaignConfig &config, std::uint64_t seed,
+           core::Machine *fork_parent)
 {
     FuzzSeedOutcome outcome;
     outcome.seed = seed;
@@ -848,7 +865,7 @@ runOneSeed(const FuzzCampaignConfig &config, std::uint64_t seed)
     FuzzRunResult result =
         runFuzzWords(words, config.suppress_tag_clear,
                      config.max_instructions, config.data_mode,
-                     config.sb_mode);
+                     config.sb_mode, fork_parent);
     if (!result.diverged) {
         if (!config.quiet)
             outcome.text = support::format(
@@ -867,13 +884,14 @@ runOneSeed(const FuzzCampaignConfig &config, std::uint64_t seed)
         FuzzSpec small = spec;
         small.ops = shrinkOps(spec, config.suppress_tag_clear,
                               config.max_instructions,
-                              config.data_mode, config.sb_mode);
+                              config.data_mode, config.sb_mode,
+                              fork_parent);
         std::vector<std::uint32_t> small_words =
             assembleFuzzProgram(small);
         FuzzRunResult small_result =
             runFuzzWords(small_words, config.suppress_tag_clear,
                          config.max_instructions, config.data_mode,
-                         config.sb_mode);
+                         config.sb_mode, fork_parent);
         outcome.text +=
             support::format("shrunk %zu ops -> %zu ops\n",
                             spec.ops.size(), small.ops.size());
@@ -912,11 +930,23 @@ FuzzCampaignResult
 runFuzzSeeds(const FuzzCampaignConfig &config)
 {
     FuzzCampaignResult result;
+    unsigned jobs = support::normalizeJobs(config.jobs);
+    // Fork mode: each worker lazily builds one pristine parent and
+    // every pass forks it. Parents are private per worker, so fork
+    // construction races cannot occur.
+    std::vector<std::unique_ptr<core::Machine>> parents(jobs);
     result.outcomes = support::parallelMapOrdered<FuzzSeedOutcome>(
-        static_cast<std::size_t>(config.seeds),
-        support::normalizeJobs(config.jobs),
-        [&config](std::size_t index, unsigned) {
-            return runOneSeed(config, config.start_seed + index);
+        static_cast<std::size_t>(config.seeds), jobs,
+        [&config, &parents](std::size_t index, unsigned worker) {
+            core::Machine *parent = nullptr;
+            if (config.fork_machines) {
+                if (!parents[worker])
+                    parents[worker] = std::make_unique<core::Machine>(
+                        fuzzMachineConfig());
+                parent = parents[worker].get();
+            }
+            return runOneSeed(config, config.start_seed + index,
+                              parent);
         });
     for (const FuzzSeedOutcome &outcome : result.outcomes)
         if (outcome.diverged)

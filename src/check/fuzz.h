@@ -30,6 +30,7 @@
 
 #include "cache/hierarchy.h"
 #include "check/lockstep.h"
+#include "core/machine.h"
 
 namespace cheri::check
 {
@@ -144,12 +145,21 @@ enum class SuperblockMode
     kForceOff,
 };
 
+/** The MachineConfig every fuzz pass runs under (4 MB DRAM). A
+ *  fork parent handed to runFuzzWords must be a pristine machine of
+ *  exactly this config. */
+core::MachineConfig fuzzMachineConfig();
+
 /**
  * Run an assembled program in lockstep against RefCpu with the fetch
  * fast path on and off; returns the first divergence (if any).
  * 'suppress_tag_clear' arms the hierarchy's behavioural fault (data
  * stores stop clearing tags) for oracle self-tests.
  * 'data_mode' selects the data fast path per pass (see above).
+ * 'fork_parent', when non-null, must be a pristine (never-run)
+ * fuzzMachineConfig() machine: each pass then runs on a lightweight
+ * COW fork of it instead of a freshly constructed machine — exactly
+ * the same simulated state, so the output is byte-identical.
  */
 FuzzRunResult runFuzzWords(const std::vector<std::uint32_t> &words,
                            bool suppress_tag_clear = false,
@@ -157,7 +167,8 @@ FuzzRunResult runFuzzWords(const std::vector<std::uint32_t> &words,
                            DataFastPathMode data_mode =
                                DataFastPathMode::kFollow,
                            SuperblockMode sb_mode =
-                               SuperblockMode::kFollow);
+                               SuperblockMode::kFollow,
+                           core::Machine *fork_parent = nullptr);
 
 /**
  * ddmin-style shrink: repeatedly delete chunks of ops while the
@@ -171,7 +182,8 @@ std::vector<FuzzOp> shrinkOps(const FuzzSpec &spec,
                               DataFastPathMode data_mode =
                                   DataFastPathMode::kFollow,
                               SuperblockMode sb_mode =
-                                  SuperblockMode::kFollow);
+                                  SuperblockMode::kFollow,
+                              core::Machine *fork_parent = nullptr);
 
 /**
  * Render a .s reproducer: header comments (seed, divergence) plus one
@@ -201,6 +213,13 @@ struct FuzzCampaignConfig
     bool quiet = false;
     /** Worker threads; 0 = hardware concurrency, 1 = serial. */
     unsigned jobs = 1;
+    /**
+     * Draw each pass's machine as a COW fork of a per-worker
+     * pristine parent instead of constructing a fresh 4 MB machine
+     * per pass. Output is byte-identical either way (tests assert
+     * it), so the sweep doubles as a fork correctness oracle.
+     */
+    bool fork_machines = false;
 };
 
 /** What one seed contributed to the sweep. */

@@ -6,11 +6,44 @@ namespace cheri::core
 {
 
 Machine::Machine(MachineConfig config)
-    : config_(config), dram_(config.dram_bytes), tags_(config.dram_bytes),
-      tag_manager_(dram_, tags_, config.tag_cache),
-      hierarchy_(tag_manager_, config.caches), page_table_(),
-      tlb_(page_table_, config.tlb), cpu_(hierarchy_, tlb_, config.timing, config.accel)
+    : Machine(config,
+              std::make_shared<mem::CowStore>(config.dram_bytes))
 {
+}
+
+Machine::Machine(const MachineConfig &config,
+                 std::shared_ptr<mem::CowStore> store)
+    : config_(config), store_(std::move(store)), dram_(store_),
+      tags_(store_), tag_manager_(dram_, tags_, config.tag_cache),
+      hierarchy_(tag_manager_, config.caches), page_table_(),
+      tlb_(page_table_, config.tlb),
+      cpu_(hierarchy_, tlb_, config.timing, config.accel)
+{
+}
+
+std::unique_ptr<Machine>
+Machine::fork() const
+{
+    std::unique_ptr<Machine> child(
+        new Machine(config_, store_->fork()));
+    // DRAM and tags came with the forked store; everything else is
+    // small state carried over through the existing snapshot paths,
+    // which also drop host accelerators in the child (its cache Way
+    // storage is a fresh copy — parent LineHandle memos must not
+    // survive into it).
+    child->tag_manager_.restore(tag_manager_.save());
+    child->hierarchy_.restore(hierarchy_.save());
+    child->page_table_.restore(page_table_.save());
+    child->tlb_.restore(tlb_.save());
+    child->cpu_.restore(cpu_.save());
+    // Host fast-path enables are deliberately outside Cpu::Snapshot
+    // (restore never changes them); a fork must inherit them so the
+    // child replays the parent's timing mode.
+    child->cpu_.setDecodeCacheEnabled(cpu_.decodeCacheEnabled());
+    child->cpu_.setDataFastPathEnabled(cpu_.dataFastPathEnabled());
+    child->cpu_.setSuperblocksEnabled(cpu_.superblocksEnabled());
+    child->next_frame_ = next_frame_;
+    return child;
 }
 
 std::optional<std::uint64_t>

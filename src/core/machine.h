@@ -10,11 +10,13 @@
 #define CHERI_CORE_MACHINE_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "cache/hierarchy.h"
 #include "core/cpu.h"
+#include "mem/cow_store.h"
 #include "mem/physical_memory.h"
 #include "mem/tag_manager.h"
 #include "mem/tag_table.h"
@@ -131,8 +133,39 @@ class Machine
     /** Restore a full-machine checkpoint (same-config machine). */
     void restoreSnapshot(const Snapshot &snapshot);
 
+    /**
+     * Mint a lightweight child machine sharing this machine's DRAM
+     * and tag pages copy-on-write. Cost is O(page count) pointer
+     * copies plus the small-state snapshot (caches, TLB, CPU core) —
+     * no DRAM bytes move until one side writes, when the faulting
+     * store clones just that 4 KB page and its tag slice.
+     *
+     * The child is an exact simulated-state clone: it replays the
+     * identical transaction, hit/miss, and cycle sequence the parent
+     * would from this point. Host-only accelerator state (decode
+     * cache, fetch/data memos, superblocks) is dropped in the child
+     * exactly as restoreSnapshot() drops it — the child's cache Way
+     * storage is a fresh copy, so any LineHandle memos pointing into
+     * the parent's ways must not survive the fork. Host-side hooks
+     * (syscall handler, store observers, armed behavioural faults)
+     * are NOT copied; re-arm them on the child if needed.
+     *
+     * Forking a quiescent parent is thread-safe (shared pages are
+     * never written in place); the parent must outlive no one, but
+     * keeping it alive keeps every child's COW fault count — and so
+     * any report derived from it — deterministic.
+     */
+    std::unique_ptr<Machine> fork() const;
+
+    /** COW metrics for this machine's backing store. */
+    const mem::CowStore &cowStore() const { return *store_; }
+
   private:
+    Machine(const MachineConfig &config,
+            std::shared_ptr<mem::CowStore> store);
+
     MachineConfig config_;
+    std::shared_ptr<mem::CowStore> store_;
     mem::PhysicalMemory dram_;
     mem::TagTable tags_;
     mem::TagManager tag_manager_;

@@ -1,56 +1,42 @@
 #include "mem/physical_memory.h"
 
-#include <cstring>
-
 #include "support/logging.h"
 
 namespace cheri::mem
 {
 
 PhysicalMemory::PhysicalMemory(std::uint64_t size_bytes)
-    : data_(size_bytes, 0)
+    : store_(std::make_shared<CowStore>(size_bytes))
 {
-    if (size_bytes == 0 || size_bytes % kLineBytes != 0) {
-        support::fatal("DRAM size %llu must be a nonzero multiple of "
-                       "%llu bytes",
-                       static_cast<unsigned long long>(size_bytes),
-                       static_cast<unsigned long long>(kLineBytes));
-    }
 }
 
-void
-PhysicalMemory::checkRange(std::uint64_t paddr, std::uint64_t len) const
+PhysicalMemory::PhysicalMemory(std::shared_ptr<CowStore> store)
+    : store_(std::move(store))
 {
-    if (paddr > data_.size() || len > data_.size() - paddr) {
-        support::panic("physical access [0x%llx, +%llu) beyond DRAM "
-                       "size 0x%llx",
-                       static_cast<unsigned long long>(paddr),
-                       static_cast<unsigned long long>(len),
-                       static_cast<unsigned long long>(data_.size()));
-    }
+    if (!store_)
+        support::panic("PhysicalMemory built over a null store");
 }
 
 std::uint8_t
 PhysicalMemory::readByte(std::uint64_t paddr) const
 {
-    checkRange(paddr, 1);
-    return data_[paddr];
+    return store_->readByte(paddr);
 }
 
 void
 PhysicalMemory::writeByte(std::uint64_t paddr, std::uint8_t value)
 {
-    checkRange(paddr, 1);
-    data_[paddr] = value;
+    store_->writeByte(paddr, value);
 }
 
 std::uint64_t
 PhysicalMemory::read(std::uint64_t paddr, unsigned size_bytes) const
 {
-    checkRange(paddr, size_bytes);
+    std::uint8_t bytes[8];
+    store_->readBytes(paddr, bytes, size_bytes);
     std::uint64_t value = 0;
     for (unsigned i = 0; i < size_bytes; ++i)
-        value |= static_cast<std::uint64_t>(data_[paddr + i]) << (8 * i);
+        value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
     return value;
 }
 
@@ -58,9 +44,10 @@ void
 PhysicalMemory::write(std::uint64_t paddr, unsigned size_bytes,
                       std::uint64_t value)
 {
-    checkRange(paddr, size_bytes);
+    std::uint8_t bytes[8];
     for (unsigned i = 0; i < size_bytes; ++i)
-        data_[paddr + i] = static_cast<std::uint8_t>(value >> (8 * i));
+        bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    store_->writeBytes(paddr, bytes, size_bytes);
 }
 
 Line
@@ -69,9 +56,8 @@ PhysicalMemory::readLine(std::uint64_t paddr) const
     if (paddr % kLineBytes != 0)
         support::panic("unaligned line read at 0x%llx",
                        static_cast<unsigned long long>(paddr));
-    checkRange(paddr, kLineBytes);
     Line line;
-    std::memcpy(line.data(), data_.data() + paddr, kLineBytes);
+    store_->readBytes(paddr, line.data(), kLineBytes);
     return line;
 }
 
@@ -81,29 +67,20 @@ PhysicalMemory::writeLine(std::uint64_t paddr, const Line &line)
     if (paddr % kLineBytes != 0)
         support::panic("unaligned line write at 0x%llx",
                        static_cast<unsigned long long>(paddr));
-    checkRange(paddr, kLineBytes);
-    std::memcpy(data_.data() + paddr, line.data(), kLineBytes);
+    store_->writeBytes(paddr, line.data(), kLineBytes);
 }
 
 void
 PhysicalMemory::writeBlock(std::uint64_t paddr, const std::uint8_t *src,
                            std::uint64_t len)
 {
-    checkRange(paddr, len);
-    std::memcpy(data_.data() + paddr, src, len);
+    store_->writeBytes(paddr, src, len);
 }
 
 void
 PhysicalMemory::restore(const Snapshot &snapshot)
 {
-    if (snapshot.data.size() != data_.size()) {
-        support::panic("DRAM snapshot size 0x%llx does not match "
-                       "configured size 0x%llx",
-                       static_cast<unsigned long long>(
-                           snapshot.data.size()),
-                       static_cast<unsigned long long>(data_.size()));
-    }
-    data_ = snapshot.data;
+    store_->assignData(snapshot.data);
 }
 
 } // namespace cheri::mem

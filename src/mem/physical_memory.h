@@ -4,6 +4,13 @@
  * capability tags live in the separate TagTable, mirroring the paper's
  * design where the tag table is held in DRAM alongside ordinary data
  * (Section 4.2).
+ *
+ * Since the COW refactor this is a facade over a shared CowStore
+ * (cow_store.h): a PhysicalMemory built from a size owns a private
+ * store; one built from an existing store shares pages with whoever
+ * forked it. The byte-level API is unchanged — no caller ever holds a
+ * raw pointer into DRAM storage, which is precisely what makes the
+ * COW layer invisible above the physical-address abstraction.
  */
 
 #ifndef CHERI_MEM_PHYSICAL_MEMORY_H
@@ -11,13 +18,13 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
+
+#include "mem/cow_store.h"
 
 namespace cheri::mem
 {
-
-/** Bytes per tagged line: 256 bits, the capability size (Figure 1). */
-constexpr std::uint64_t kLineBytes = 32;
 
 /** One 256-bit line of raw data. */
 using Line = std::array<std::uint8_t, kLineBytes>;
@@ -33,8 +40,11 @@ class PhysicalMemory
     /** Create zero-filled DRAM of the given byte size. */
     explicit PhysicalMemory(std::uint64_t size_bytes);
 
+    /** Wrap an existing (typically forked) backing store. */
+    explicit PhysicalMemory(std::shared_ptr<CowStore> store);
+
     /** Total DRAM size in bytes. */
-    std::uint64_t size() const { return data_.size(); }
+    std::uint64_t size() const { return store_->sizeBytes(); }
 
     /** Read one byte. */
     std::uint8_t readByte(std::uint64_t paddr) const;
@@ -68,16 +78,17 @@ class PhysicalMemory
         std::vector<std::uint8_t> data;
     };
 
-    /** Capture the full DRAM image. */
-    Snapshot save() const { return Snapshot{data_}; }
+    /** Capture the full DRAM image (flattens the COW pages). */
+    Snapshot save() const { return Snapshot{store_->flattenData()}; }
 
     /** Restore a captured image; the size must match this DRAM. */
     void restore(const Snapshot &snapshot);
 
-  private:
-    void checkRange(std::uint64_t paddr, std::uint64_t len) const;
+    /** The backing store (Machine::fork shares it with children). */
+    const std::shared_ptr<CowStore> &store() const { return store_; }
 
-    std::vector<std::uint8_t> data_;
+  private:
+    std::shared_ptr<CowStore> store_;
 };
 
 } // namespace cheri::mem

@@ -1,23 +1,27 @@
 #include "mem/tag_table.h"
 
-#include <bit>
-
 #include "support/logging.h"
 
 namespace cheri::mem
 {
 
 TagTable::TagTable(std::uint64_t dram_bytes)
-    : line_count_(dram_bytes / kLineBytes),
-      bits_((line_count_ + 63) / 64, 0)
+    : store_(std::make_shared<CowStore>(dram_bytes))
 {
+}
+
+TagTable::TagTable(std::shared_ptr<CowStore> store)
+    : store_(std::move(store))
+{
+    if (!store_)
+        support::panic("TagTable built over a null store");
 }
 
 std::uint64_t
 TagTable::lineIndex(std::uint64_t paddr) const
 {
     std::uint64_t idx = paddr / kLineBytes;
-    if (idx >= line_count_) {
+    if (idx >= store_->lineCount()) {
         support::panic("tag access beyond DRAM: paddr 0x%llx",
                        static_cast<unsigned long long>(paddr));
     }
@@ -27,41 +31,19 @@ TagTable::lineIndex(std::uint64_t paddr) const
 bool
 TagTable::get(std::uint64_t paddr) const
 {
-    std::uint64_t idx = lineIndex(paddr);
-    return (bits_[idx / 64] >> (idx % 64)) & 1;
+    return store_->tagGet(lineIndex(paddr));
 }
 
 void
 TagTable::set(std::uint64_t paddr, bool tag)
 {
-    std::uint64_t idx = lineIndex(paddr);
-    std::uint64_t mask = 1ULL << (idx % 64);
-    if (tag)
-        bits_[idx / 64] |= mask;
-    else
-        bits_[idx / 64] &= ~mask;
+    store_->tagSet(lineIndex(paddr), tag);
 }
 
 void
 TagTable::restore(const Snapshot &snapshot)
 {
-    if (snapshot.bits.size() != bits_.size()) {
-        support::panic("tag-table snapshot covers %llu words, table "
-                       "has %llu",
-                       static_cast<unsigned long long>(
-                           snapshot.bits.size()),
-                       static_cast<unsigned long long>(bits_.size()));
-    }
-    bits_ = snapshot.bits;
-}
-
-std::uint64_t
-TagTable::popCount() const
-{
-    std::uint64_t n = 0;
-    for (std::uint64_t word : bits_)
-        n += static_cast<std::uint64_t>(std::popcount(word));
-    return n;
+    store_->assignTags(snapshot.bits);
 }
 
 } // namespace cheri::mem

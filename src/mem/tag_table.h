@@ -4,14 +4,21 @@
  * memory, i.e. 4 MB of tag space per GB of DRAM (Section 4.2). The
  * paper stores this table in DRAM; TagManager models the cost of
  * reaching it.
+ *
+ * Since the COW refactor the bits live in the same CowStore as the
+ * data bytes — a page's tag slice is cloned together with its data
+ * on a write fault, so a forked guest's tags can never skew against
+ * its bytes.
  */
 
 #ifndef CHERI_MEM_TAG_TABLE_H
 #define CHERI_MEM_TAG_TABLE_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "mem/cow_store.h"
 #include "mem/physical_memory.h"
 
 namespace cheri::mem
@@ -27,6 +34,9 @@ class TagTable
     /** Create an all-clear table covering dram_bytes of memory. */
     explicit TagTable(std::uint64_t dram_bytes);
 
+    /** Share a store (the same one the paired PhysicalMemory wraps). */
+    explicit TagTable(std::shared_ptr<CowStore> store);
+
     /** Tag bit for the line containing paddr. */
     bool get(std::uint64_t paddr) const;
 
@@ -34,10 +44,10 @@ class TagTable
     void set(std::uint64_t paddr, bool tag);
 
     /** Number of lines covered. */
-    std::uint64_t lineCount() const { return line_count_; }
+    std::uint64_t lineCount() const { return store_->lineCount(); }
 
     /** Count of currently set tags (diagnostics and tests). */
-    std::uint64_t popCount() const;
+    std::uint64_t popCount() const { return store_->tagPopCount(); }
 
     /**
      * Byte offset within the (conceptual, DRAM-resident) tag table of
@@ -56,8 +66,8 @@ class TagTable
         std::vector<std::uint64_t> bits;
     };
 
-    /** Capture the full tag bitmap. */
-    Snapshot save() const { return Snapshot{bits_}; }
+    /** Capture the full tag bitmap (flattens the COW pages). */
+    Snapshot save() const { return Snapshot{store_->flattenTags()}; }
 
     /** Restore a captured bitmap; the size must match this table. */
     void restore(const Snapshot &snapshot);
@@ -65,8 +75,7 @@ class TagTable
   private:
     std::uint64_t lineIndex(std::uint64_t paddr) const;
 
-    std::uint64_t line_count_;
-    std::vector<std::uint64_t> bits_;
+    std::shared_ptr<CowStore> store_;
 };
 
 } // namespace cheri::mem

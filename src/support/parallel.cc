@@ -1,9 +1,8 @@
 #include "support/parallel.h"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <thread>
+
+#include "support/scheduler.h"
 
 namespace cheri::support
 {
@@ -29,50 +28,15 @@ void
 parallelFor(std::size_t count, unsigned jobs,
             const std::function<void(std::size_t, unsigned)> &fn)
 {
-    if (jobs == 0)
-        jobs = defaultJobs();
-    if (jobs > count)
-        jobs = count == 0 ? 1 : static_cast<unsigned>(count);
-
-    if (jobs <= 1) {
-        for (std::size_t i = 0; i < count; ++i)
-            fn(i, 0);
-        return;
-    }
-
-    std::atomic<std::size_t> cursor{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-
-    auto drain = [&](unsigned worker) {
-        while (!failed.load(std::memory_order_relaxed)) {
-            std::size_t index =
-                cursor.fetch_add(1, std::memory_order_relaxed);
-            if (index >= count)
-                return;
-            try {
-                fn(index, worker);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-                failed.store(true, std::memory_order_relaxed);
-                return;
-            }
-        }
-    };
-
-    std::vector<std::thread> workers;
-    workers.reserve(jobs - 1);
-    for (unsigned w = 1; w < jobs; ++w)
-        workers.emplace_back(drain, w);
-    drain(0);
-    for (std::thread &worker : workers)
-        worker.join();
-
-    if (first_error)
-        std::rethrow_exception(first_error);
+    // A batch job is a guest whose first quantum always completes:
+    // parallelFor is the degenerate case of the guest scheduler, so
+    // the exactly-once / first-exception / jobs==1-inline contract is
+    // enforced by one engine for batches and quantum'd guests alike.
+    GuestScheduler scheduler(jobs);
+    scheduler.run(count, [&fn](std::size_t index, unsigned worker) {
+        fn(index, worker);
+        return QuantumResult::kDone;
+    });
 }
 
 } // namespace cheri::support

@@ -1,12 +1,12 @@
 /**
  * @file
- * Deterministic work scheduler for the embarrassingly-parallel
+ * Deterministic batch runner for the embarrassingly-parallel
  * harnesses (differential fuzzing, fault-injection campaigns, the
- * throughput bench grid). A fixed pool of worker threads drains a
- * sharded job queue of independent, index-addressed jobs; results are
- * written into per-index slots, so merging in index order reproduces
- * the serial run byte-for-byte no matter how the OS schedules the
- * workers.
+ * throughput bench grid), built on the work-stealing GuestScheduler
+ * (scheduler.h). Worker threads drain independent, index-addressed
+ * jobs; results are written into per-index slots, so merging in
+ * index order reproduces the serial run byte-for-byte no matter how
+ * the OS schedules the workers.
  *
  * Determinism contract: a job may touch only (a) state it creates
  * itself (its own Machine/RefCpu pair, its own RNG seeded from the job
@@ -47,8 +47,10 @@ constexpr unsigned kMaxJobs = 256;
  * fixed worker threads. worker is in [0, jobs) and identifies the
  * thread running the job, so callers can keep per-worker state (e.g.
  * one emulated Machine per worker) without locking. Indices are
- * claimed from a shared atomic cursor — execution order across
- * workers is unspecified, which is why jobs must be independent.
+ * dealt across per-worker deques and rebalanced by work stealing
+ * (this is the one-quantum case of scheduler.h's GuestScheduler) —
+ * execution order across workers is unspecified, which is why jobs
+ * must be independent.
  *
  * jobs == 1 (or count <= 1) runs every job inline on the calling
  * thread in index order with worker == 0: bit-for-bit the serial

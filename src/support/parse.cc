@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/parallel.h"
+
 namespace cheri::support
 {
 
@@ -38,6 +40,20 @@ parseU64OrFatal(const char *text, const char *what, int base)
         std::exit(2);
     }
     return value;
+}
+
+unsigned
+parseJobsOrFatal(const char *text, const char *what)
+{
+    std::uint64_t value = parseU64OrFatal(text, what);
+    if (value == 0) {
+        std::fprintf(stderr,
+                     "%s: 0 is not a worker count (omit the flag for "
+                     "the automatic default)\n",
+                     what);
+        std::exit(2);
+    }
+    return normalizeJobs(value);
 }
 
 } // namespace cheri::support

@@ -32,6 +32,15 @@ bool parseU64(const char *text, std::uint64_t &out, int base = 0);
 std::uint64_t parseU64OrFatal(const char *text, const char *what,
                               int base = 0);
 
+/**
+ * Parse an explicit --jobs value and return it normalized (capped at
+ * kMaxJobs). A literal 0 is rejected with exit(2): internally 0 means
+ * "auto", but a user typing --jobs 0 is asking for zero workers —
+ * honouring it as "all cores" silently inverts their intent. Omit the
+ * flag (or the environment variable) to get the automatic default.
+ */
+unsigned parseJobsOrFatal(const char *text, const char *what);
+
 } // namespace cheri::support
 
 #endif // CHERI_SUPPORT_PARSE_H

@@ -1,0 +1,124 @@
+#include "support/scheduler.h"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/parallel.h"
+
+namespace cheri::support
+{
+
+namespace
+{
+
+/** One worker's run queue. Own pops take the back (LIFO: finish the
+ *  newest guest before starting another); steals take the front
+ *  (FIFO: the guest its owner would have reached last). */
+struct WorkerDeque
+{
+    std::mutex mutex;
+    std::deque<std::size_t> guests;
+};
+
+} // namespace
+
+void
+GuestScheduler::run(std::size_t count, const Quantum &quantum) const
+{
+    unsigned jobs = jobs_ == 0 ? defaultJobs() : jobs_;
+    if (jobs > count)
+        jobs = count == 0 ? 1 : static_cast<unsigned>(count);
+
+    if (jobs <= 1) {
+        // Reference schedule: index order, run-to-completion, no
+        // threads. Parallel runs are byte-compared against this.
+        for (std::size_t i = 0; i < count; ++i)
+            while (quantum(i, 0) == QuantumResult::kRunnable) {
+            }
+        return;
+    }
+
+    std::vector<WorkerDeque> deques(jobs);
+    for (std::size_t i = 0; i < count; ++i)
+        deques[i % jobs].guests.push_back(i);
+
+    std::atomic<std::size_t> remaining{count};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto pop_own = [&](unsigned worker, std::size_t &guest) {
+        std::lock_guard<std::mutex> lock(deques[worker].mutex);
+        if (deques[worker].guests.empty())
+            return false;
+        guest = deques[worker].guests.back();
+        deques[worker].guests.pop_back();
+        return true;
+    };
+    auto steal = [&](unsigned thief, std::size_t &guest) {
+        for (unsigned k = 1; k < jobs; ++k) {
+            WorkerDeque &victim = deques[(thief + k) % jobs];
+            std::lock_guard<std::mutex> lock(victim.mutex);
+            if (!victim.guests.empty()) {
+                guest = victim.guests.front();
+                victim.guests.pop_front();
+                return true;
+            }
+        }
+        return false;
+    };
+
+    auto drain = [&](unsigned worker) {
+        unsigned idle_scans = 0;
+        while (!failed.load(std::memory_order_acquire) &&
+               remaining.load(std::memory_order_acquire) != 0) {
+            std::size_t guest;
+            if (!pop_own(worker, guest) && !steal(worker, guest)) {
+                // Every queued guest is in flight on another worker;
+                // nothing to steal until one is preempted or done.
+                if (++idle_scans < 64)
+                    std::this_thread::yield();
+                else
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(100));
+                continue;
+            }
+            idle_scans = 0;
+            try {
+                if (quantum(guest, worker) == QuantumResult::kDone) {
+                    remaining.fetch_sub(1, std::memory_order_acq_rel);
+                } else {
+                    std::lock_guard<std::mutex> lock(
+                        deques[worker].mutex);
+                    deques[worker].guests.push_back(guest);
+                }
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+                failed.store(true, std::memory_order_release);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(jobs - 1);
+    for (unsigned w = 1; w < jobs; ++w)
+        workers.emplace_back(drain, w);
+    drain(0);
+    for (std::thread &worker : workers)
+        worker.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace cheri::support

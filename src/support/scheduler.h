@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Work-stealing guest scheduler: the generalization of the PR 5
+ * batch pool from "each job runs once" to "each guest runs a
+ * sequence of quanta until it reports done". parallelFor() is now a
+ * thin wrapper whose quantum always finishes in one slice, so every
+ * determinism property the harnesses rely on flows from one engine.
+ *
+ * Scheduling model: guests are dealt round-robin onto per-worker
+ * deques. A worker pops its own newest guest first (LIFO), which
+ * keeps the number of part-way-through guests bounded by roughly the
+ * worker count — crucial when 10k lightweight forks would otherwise
+ * all be resident at once — and steals the oldest guest from a
+ * victim's deque (FIFO) when its own is empty. A preempted guest
+ * (quantum returns kRunnable) goes back on its worker's own deque.
+ *
+ * Determinism contract (inherited from parallel.h): a guest may
+ * touch only state it owns plus its private result slot, so the
+ * schedule — which worker runs which guest, and in what interleaving
+ * — can never change the bytes a guest produces; merging results by
+ * guest index reproduces the serial run exactly. jobs == 1 runs
+ * every guest to completion inline, in index order, with worker 0:
+ * the reference schedule the parallel runs are byte-compared
+ * against. If a quantum throws, the first exception is rethrown on
+ * the calling thread after workers drain; the failing guest is
+ * dropped and remaining guests are abandoned (not started).
+ */
+
+#ifndef CHERI_SUPPORT_SCHEDULER_H
+#define CHERI_SUPPORT_SCHEDULER_H
+
+#include <cstddef>
+#include <functional>
+
+namespace cheri::support
+{
+
+/** What a guest's quantum reports back to the scheduler. */
+enum class QuantumResult
+{
+    kRunnable, ///< preempted: reschedule on the same worker's deque
+    kDone,     ///< ran to completion: retire the guest
+};
+
+/**
+ * Multiplexes N guests over M worker threads in RunLimits-sized
+ * quanta. The scheduler itself is stateless between run() calls;
+ * per-guest state (the forked Machine, quantum counters, result
+ * slot) lives with the caller, indexed by guest index.
+ */
+class GuestScheduler
+{
+  public:
+    using Quantum =
+        std::function<QuantumResult(std::size_t guest, unsigned worker)>;
+
+    /** jobs == 0 picks defaultJobs(); 1 is the inline serial path. */
+    explicit GuestScheduler(unsigned jobs) : jobs_(jobs) {}
+
+    /**
+     * Run guests [0, count) to completion: each guest's quantum is
+     * invoked repeatedly — always on one thread at a time, with a
+     * happens-before edge between consecutive quanta even when a
+     * steal moves the guest across workers — until it returns kDone.
+     */
+    void run(std::size_t count, const Quantum &quantum) const;
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace cheri::support
+
+#endif // CHERI_SUPPORT_SCHEDULER_H

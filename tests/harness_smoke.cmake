@@ -1,0 +1,65 @@
+# Shared byte-identity helper for the determinism smokes
+# (parallel_smoke.cmake, serve_smoke.cmake). A smoke proves a worker
+# pool is observationally invisible by running the same tool once per
+# jobs value and requiring byte-identical output files.
+#
+# run_jobs_matrix(
+#     NAME <label>            # used in messages and output filenames
+#     OUTPUT <template>       # output path containing @JOBS@
+#     JOBS <j1> <j2> ...      # at least two values; first is reference
+#     COMMAND <argv...>       # tool invocation; @JOBS@ and @OUTPUT@
+#                             # are substituted per run
+#     [STDOUT]                # capture stdout instead of expecting
+#                             # the tool to write @OUTPUT@ itself
+# )
+# Fails fatally if any run exits nonzero or any output differs from
+# the first jobs value's output.
+
+function(run_jobs_matrix)
+    cmake_parse_arguments(SMOKE "STDOUT" "NAME;OUTPUT" "JOBS;COMMAND"
+                          ${ARGN})
+    foreach(arg NAME OUTPUT JOBS COMMAND)
+        if(NOT DEFINED SMOKE_${arg})
+            message(FATAL_ERROR
+                    "run_jobs_matrix(${SMOKE_NAME}): ${arg} not set")
+        endif()
+    endforeach()
+
+    set(reference "")
+    set(reference_jobs "")
+    foreach(jobs ${SMOKE_JOBS})
+        string(REPLACE "@JOBS@" "${jobs}" output "${SMOKE_OUTPUT}")
+        set(argv "")
+        foreach(word ${SMOKE_COMMAND})
+            string(REPLACE "@JOBS@" "${jobs}" word "${word}")
+            string(REPLACE "@OUTPUT@" "${output}" word "${word}")
+            list(APPEND argv "${word}")
+        endforeach()
+        if(SMOKE_STDOUT)
+            execute_process(COMMAND ${argv}
+                            OUTPUT_FILE "${output}"
+                            RESULT_VARIABLE rc)
+        else()
+            execute_process(COMMAND ${argv} RESULT_VARIABLE rc)
+        endif()
+        if(NOT rc EQUAL 0)
+            message(FATAL_ERROR
+                    "${SMOKE_NAME} --jobs ${jobs} exited ${rc}")
+        endif()
+        if(reference STREQUAL "")
+            set(reference "${output}")
+            set(reference_jobs "${jobs}")
+        else()
+            execute_process(
+                COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${reference}" "${output}"
+                RESULT_VARIABLE rc)
+            if(NOT rc EQUAL 0)
+                message(FATAL_ERROR
+                        "${SMOKE_NAME}: output differs between "
+                        "--jobs ${reference_jobs} and "
+                        "--jobs ${jobs}")
+            endif()
+        endif()
+    endforeach()
+endfunction()

@@ -11,47 +11,21 @@ foreach(var FAULTSIM FUZZ WORK_DIR)
     endif()
 endforeach()
 file(MAKE_DIRECTORY "${WORK_DIR}")
+include("${CMAKE_CURRENT_LIST_DIR}/harness_smoke.cmake")
 
-# --- fault campaign ---------------------------------------------------
-foreach(jobs 1 4)
-    execute_process(
-        COMMAND ${FAULTSIM} --trials 50 --seed 1 --jobs ${jobs}
-                --quiet --json ${WORK_DIR}/faultsim_jobs${jobs}.json
-        RESULT_VARIABLE rc)
-    if(NOT rc EQUAL 0)
-        message(FATAL_ERROR
-                "cheri-faultsim --jobs ${jobs} exited ${rc}")
-    endif()
-endforeach()
-execute_process(
-    COMMAND ${CMAKE_COMMAND} -E compare_files
-            ${WORK_DIR}/faultsim_jobs1.json
-            ${WORK_DIR}/faultsim_jobs4.json
-    RESULT_VARIABLE rc)
-if(NOT rc EQUAL 0)
-    message(FATAL_ERROR
-            "faultsim JSON differs between --jobs 1 and --jobs 4")
-endif()
+run_jobs_matrix(
+    NAME cheri-faultsim
+    OUTPUT "${WORK_DIR}/faultsim_jobs@JOBS@.json"
+    JOBS 1 4
+    COMMAND "${FAULTSIM}" --trials 50 --seed 1 --jobs @JOBS@
+            --quiet --json @OUTPUT@)
 
-# --- fuzz sweep -------------------------------------------------------
-foreach(jobs 1 4)
-    execute_process(
-        COMMAND ${FUZZ} --seeds 200 --start-seed 1 --jobs ${jobs}
-        OUTPUT_FILE ${WORK_DIR}/fuzz_jobs${jobs}.txt
-        RESULT_VARIABLE rc)
-    if(NOT rc EQUAL 0)
-        message(FATAL_ERROR "cheri-fuzz --jobs ${jobs} exited ${rc}")
-    endif()
-endforeach()
-execute_process(
-    COMMAND ${CMAKE_COMMAND} -E compare_files
-            ${WORK_DIR}/fuzz_jobs1.txt
-            ${WORK_DIR}/fuzz_jobs4.txt
-    RESULT_VARIABLE rc)
-if(NOT rc EQUAL 0)
-    message(FATAL_ERROR
-            "fuzz output differs between --jobs 1 and --jobs 4")
-endif()
+run_jobs_matrix(
+    NAME cheri-fuzz
+    OUTPUT "${WORK_DIR}/fuzz_jobs@JOBS@.txt"
+    JOBS 1 4
+    COMMAND "${FUZZ}" --seeds 200 --start-seed 1 --jobs @JOBS@
+    STDOUT)
 
 message(STATUS "parallel-smoke: 200 injections + 200 seeds "
                "byte-identical at --jobs 4")

@@ -1,0 +1,24 @@
+# serve-smoke: the many-guest scheduler must be observationally
+# invisible. Serves a 1000-guest COW-forked fleet serially (the
+# reference schedule), then at --jobs 4 and 8 (work stealing live),
+# and requires the three JSON reports byte-identical. Invoked by
+# ctest as:
+#   cmake -DSERVE=<path> -DWORK_DIR=<dir> -P serve_smoke.cmake
+
+foreach(var SERVE WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "serve_smoke.cmake: ${var} not set")
+    endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+include("${CMAKE_CURRENT_LIST_DIR}/harness_smoke.cmake")
+
+run_jobs_matrix(
+    NAME cheri-serve
+    OUTPUT "${WORK_DIR}/serve_jobs@JOBS@.json"
+    JOBS 1 4 8
+    COMMAND "${SERVE}" --guests 1000 --quantum 500 --jobs @JOBS@
+            --quiet --json @OUTPUT@)
+
+message(STATUS "serve-smoke: 1000 forked guests byte-identical "
+               "at --jobs 1, 4 and 8")

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Copy-on-write fork correctness. Machine::fork() must be an exact
+ * clone of the simulated state (differential against a deep
+ * snapshot-restore clone, across kernels and host fast-path modes),
+ * siblings must be fully isolated (randomized interleaved writes in
+ * K forks swept against per-fork models over every DRAM byte and tag
+ * bit), fork must chain (fork-of-fork sees ancestor writes made
+ * before its mint, never after), and the COW accounting
+ * (CowStore::cowFaults / sharedPages) must tick exactly on first
+ * writes. The harness fork modes ride on the same substrate, so the
+ * campaign and fuzz reports must be byte-identical with forks on.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/fault_campaign.h"
+#include "check/fuzz.h"
+#include "isa/assembler.h"
+#include "mem/cow_store.h"
+#include "support/rng.h"
+#include "workloads/guest_olden.h"
+
+namespace
+{
+
+using namespace cheri;
+
+workloads::GuestProgram
+kernelByName(const std::string &name)
+{
+    if (name == "treeadd")
+        return workloads::guestTreeadd(5, 2);
+    if (name == "bisort")
+        return workloads::guestBisort(48);
+    if (name == "mst")
+        return workloads::guestMst(12);
+    return workloads::guestEm3d(10, 3, 2);
+}
+
+core::MachineConfig
+smallConfig()
+{
+    core::MachineConfig config;
+    config.dram_bytes = 8 * 1024 * 1024;
+    return config;
+}
+
+void
+setFastPaths(core::Machine &machine, bool fast, bool superblocks)
+{
+    machine.cpu().setDecodeCacheEnabled(fast);
+    machine.cpu().setDataFastPathEnabled(fast);
+    machine.cpu().setSuperblocksEnabled(superblocks);
+}
+
+/** Every observable counter (same contract as test_snapshot). */
+std::vector<std::pair<std::string, std::uint64_t>>
+allCounters(core::Machine &machine)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.emplace_back("instructions",
+                     machine.cpu().totalInstructions());
+    out.emplace_back("cycles", machine.cpu().totalCycles());
+    for (const auto &entry : machine.cpu().stats().all())
+        out.push_back(entry);
+    support::StatSet memory_stats = machine.memory().collectStats();
+    for (const auto &entry : memory_stats.all())
+        out.push_back(entry);
+    for (const auto &entry : machine.tlb().stats().all())
+        out.push_back(entry);
+    for (const auto &entry : machine.tagManager().stats().all())
+        out.push_back(entry);
+    return out;
+}
+
+// --- CowStore unit behaviour -----------------------------------------
+
+TEST(CowStore, FreshStoreSharesOneZeroPage)
+{
+    mem::CowStore store(16 * mem::kCowPageBytes);
+    EXPECT_EQ(store.cowFaults(), 0u);
+    EXPECT_EQ(store.sharedPages(), 16u);
+    for (std::uint64_t paddr = 0; paddr < 16 * mem::kCowPageBytes;
+         paddr += 997)
+        EXPECT_EQ(store.readByte(paddr), 0u);
+}
+
+TEST(CowStore, FirstWriteFaultsOncePerPage)
+{
+    mem::CowStore store(16 * mem::kCowPageBytes);
+    store.writeByte(5, 0xaa);
+    EXPECT_EQ(store.cowFaults(), 1u);
+    // Second write to the same page: already private, no new fault.
+    store.writeByte(mem::kCowPageBytes - 1, 0xbb);
+    EXPECT_EQ(store.cowFaults(), 1u);
+    // A tag write for a line of the same page: still private.
+    store.tagSet(1, true);
+    EXPECT_EQ(store.cowFaults(), 1u);
+    EXPECT_TRUE(store.tagGet(1));
+    // A different page faults separately.
+    store.writeByte(3 * mem::kCowPageBytes + 7, 0xcc);
+    EXPECT_EQ(store.cowFaults(), 2u);
+    EXPECT_EQ(store.sharedPages(), 14u);
+    EXPECT_EQ(store.readByte(5), 0xaa);
+    EXPECT_EQ(store.readByte(mem::kCowPageBytes - 1), 0xbb);
+}
+
+TEST(CowStore, TagWordsNeverStraddlePages)
+{
+    // Global tag word w covers 64 lines = half a page, so page p owns
+    // exactly tag words 2p and 2p+1. Setting the last line of page 0
+    // and the first line of page 1 must fault the two pages
+    // independently.
+    mem::CowStore store(4 * mem::kCowPageBytes);
+    store.tagSet(mem::kCowPageLines - 1, true);
+    EXPECT_EQ(store.cowFaults(), 1u);
+    store.tagSet(mem::kCowPageLines, true);
+    EXPECT_EQ(store.cowFaults(), 2u);
+    EXPECT_EQ(store.tagPopCount(), 2u);
+}
+
+TEST(CowStore, ForkIsolatesWritesBothWays)
+{
+    mem::CowStore parent(8 * mem::kCowPageBytes);
+    parent.writeByte(100, 1);
+    parent.tagSet(0, true);
+    std::shared_ptr<mem::CowStore> child = parent.fork();
+    EXPECT_EQ(child->cowFaults(), 0u);
+    EXPECT_EQ(child->readByte(100), 1u);
+    EXPECT_TRUE(child->tagGet(0));
+
+    child->writeByte(100, 2);
+    EXPECT_EQ(child->cowFaults(), 1u);
+    EXPECT_EQ(parent.readByte(100), 1u);
+
+    // The parent's page went shared again at fork time, so its next
+    // write faults a private copy too — invisible to the child.
+    parent.writeByte(101, 3);
+    EXPECT_EQ(parent.readByte(100), 1u);
+    EXPECT_EQ(child->readByte(101), 0u);
+    child->tagSet(0, false);
+    EXPECT_TRUE(parent.tagGet(0));
+}
+
+// --- Machine::fork basics --------------------------------------------
+
+TEST(MachineFork, ChildStartsWithZeroCowFaults)
+{
+    core::Machine parent(smallConfig());
+    parent.dram().writeByte(0x1000, 0x42);
+    std::unique_ptr<core::Machine> child = parent.fork();
+    EXPECT_EQ(child->cowStore().cowFaults(), 0u);
+    EXPECT_EQ(child->dram().readByte(0x1000), 0x42u);
+    child->dram().writeByte(0x1000, 0x43);
+    EXPECT_EQ(child->cowStore().cowFaults(), 1u);
+    EXPECT_EQ(parent.dram().readByte(0x1000), 0x42u);
+}
+
+TEST(MachineFork, SnapshotRoundTripsOnAFork)
+{
+    core::Machine parent(smallConfig());
+    workloads::GuestProgram prog = kernelByName("treeadd");
+    workloads::loadGuestProgram(parent, prog);
+    std::unique_ptr<core::Machine> child = parent.fork();
+    core::Machine::Snapshot mid = child->saveSnapshot();
+    core::RunLimits limits;
+    limits.max_instructions = 500;
+    child->cpu().run(limits);
+    child->restoreSnapshot(mid);
+    core::RunResult done = child->cpu().run(core::RunLimits{});
+    EXPECT_EQ(done.reason, core::StopReason::kBreak);
+    EXPECT_EQ(child->cpu().gpr(isa::reg::v0), prog.expected_checksum);
+}
+
+TEST(MachineFork, ForkChainSeesAncestorWritesNotDescendants)
+{
+    core::Machine root(smallConfig());
+    std::vector<std::unique_ptr<core::Machine>> chain;
+    core::Machine *parent = &root;
+    for (std::uint64_t depth = 0; depth < 8; ++depth) {
+        parent->dram().writeByte(depth * mem::kCowPageBytes,
+                                 static_cast<std::uint8_t>(depth + 1));
+        chain.push_back(parent->fork());
+        parent = chain.back().get();
+    }
+    // The deepest fork sees every ancestor write...
+    for (std::uint64_t depth = 0; depth < 8; ++depth)
+        EXPECT_EQ(parent->dram().readByte(depth * mem::kCowPageBytes),
+                  depth + 1);
+    // ...and a write at the bottom never propagates up the chain.
+    parent->dram().writeByte(0, 0xff);
+    EXPECT_EQ(root.dram().readByte(0), 1u);
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i)
+        EXPECT_EQ(chain[i]->dram().readByte(0), 1u);
+}
+
+// --- fork vs deep clone differential ---------------------------------
+
+class ForkVsClone
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::tuple<bool, bool>>>
+{
+};
+
+TEST_P(ForkVsClone, ForkedRunMatchesDeepCloneBitForBit)
+{
+    const std::string &kernel = std::get<0>(GetParam());
+    auto [fast, superblocks] = std::get<1>(GetParam());
+    workloads::GuestProgram prog = kernelByName(kernel);
+
+    core::Machine parent(smallConfig());
+    workloads::loadGuestProgram(parent, prog);
+    setFastPaths(parent, fast, superblocks);
+    core::RunLimits warm;
+    warm.max_instructions = 300;
+    ASSERT_EQ(parent.cpu().run(warm).reason,
+              core::StopReason::kInstLimit);
+
+    // Deep clone: fresh machine + full snapshot restore (+ the host
+    // toggles, which are mode, not state, and thus not in snapshots).
+    core::Machine clone(parent.config());
+    clone.restoreSnapshot(parent.saveSnapshot());
+    setFastPaths(clone, fast, superblocks);
+
+    std::unique_ptr<core::Machine> fork = parent.fork();
+
+    core::RunResult clone_done = clone.cpu().run(core::RunLimits{});
+    core::RunResult fork_done = fork->cpu().run(core::RunLimits{});
+    ASSERT_EQ(clone_done.reason, core::StopReason::kBreak);
+    ASSERT_EQ(fork_done.reason, core::StopReason::kBreak);
+    EXPECT_EQ(fork->cpu().gpr(isa::reg::v0), prog.expected_checksum);
+    EXPECT_EQ(allCounters(*fork), allCounters(clone));
+
+    core::Machine::Snapshot a = fork->saveSnapshot();
+    core::Machine::Snapshot b = clone.saveSnapshot();
+    EXPECT_EQ(a.dram.data, b.dram.data);
+    EXPECT_EQ(a.tags.bits, b.tags.bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, ForkVsClone,
+    ::testing::Combine(
+        ::testing::Values("treeadd", "bisort", "mst", "em3d"),
+        ::testing::Values(std::make_tuple(false, false),
+                          std::make_tuple(true, false),
+                          std::make_tuple(true, true))));
+
+// --- randomized sibling isolation ------------------------------------
+
+TEST(MachineFork, SiblingWritesAreInvisibleToEachOther)
+{
+    constexpr std::uint64_t kDram = 2 * 1024 * 1024;
+    constexpr int kSiblings = 6;
+    core::MachineConfig config;
+    config.dram_bytes = kDram;
+    core::Machine parent(config);
+
+    // Seed the parent with a nonzero background pattern.
+    support::Xoshiro256 seed_rng(7);
+    for (int i = 0; i < 512; ++i) {
+        parent.dram().writeByte(seed_rng.next() % kDram,
+                                static_cast<std::uint8_t>(
+                                    seed_rng.next()));
+        parent.tagTable().set((seed_rng.next() % kDram) &
+                                  ~(mem::kLineBytes - 1),
+                              true);
+    }
+    mem::PhysicalMemory::Snapshot base_bytes = parent.dram().save();
+    mem::TagTable::Snapshot base_tags = parent.tagTable().save();
+
+    std::vector<std::unique_ptr<core::Machine>> siblings;
+    for (int s = 0; s < kSiblings; ++s)
+        siblings.push_back(parent.fork());
+
+    // Interleave randomized writes round-robin across the siblings,
+    // tracking what each one should see in a private model.
+    std::vector<std::map<std::uint64_t, std::uint8_t>> byte_model(
+        kSiblings);
+    std::vector<std::map<std::uint64_t, bool>> tag_model(kSiblings);
+    support::Xoshiro256 rng(11);
+    for (int round = 0; round < 400; ++round) {
+        int s = round % kSiblings;
+        std::uint64_t addr = rng.next() % kDram;
+        auto value = static_cast<std::uint8_t>(rng.next());
+        siblings[s]->dram().writeByte(addr, value);
+        byte_model[s][addr] = value;
+        std::uint64_t line = (rng.next() % kDram) &
+                             ~(mem::kLineBytes - 1);
+        bool tag = (rng.next() & 1) != 0;
+        siblings[s]->tagTable().set(line, tag);
+        tag_model[s][line] = tag;
+    }
+
+    // Exit sweep: every DRAM byte and every tag bit, all siblings
+    // and the parent, against base-pattern-plus-own-model.
+    EXPECT_EQ(parent.dram().save().data, base_bytes.data);
+    EXPECT_EQ(parent.tagTable().save().bits, base_tags.bits);
+    for (int s = 0; s < kSiblings; ++s) {
+        std::vector<std::uint8_t> expect_bytes = base_bytes.data;
+        for (const auto &[addr, value] : byte_model[s])
+            expect_bytes[addr] = value;
+        EXPECT_EQ(siblings[s]->dram().save().data, expect_bytes)
+            << "sibling " << s << " DRAM bytes";
+
+        std::vector<std::uint64_t> expect_tags = base_tags.bits;
+        for (const auto &[line, tag] : tag_model[s]) {
+            std::uint64_t word = line / mem::kLineBytes / 64;
+            std::uint64_t bit = line / mem::kLineBytes % 64;
+            if (tag)
+                expect_tags[word] |= 1ULL << bit;
+            else
+                expect_tags[word] &= ~(1ULL << bit);
+        }
+        EXPECT_EQ(siblings[s]->tagTable().save().bits, expect_tags)
+            << "sibling " << s << " tag bits";
+    }
+}
+
+// --- harness fork modes ----------------------------------------------
+
+TEST(HarnessForkMode, CampaignReportIdenticalWithForkTrials)
+{
+    workloads::GuestProgram prog = kernelByName("treeadd");
+    std::vector<check::CampaignGuest> guests = {
+        {"treeadd", [prog](core::Machine &machine) {
+             workloads::loadGuestProgram(machine, prog);
+         }}};
+    check::CampaignConfig config;
+    config.trials = 6;
+    config.seed = 3;
+    std::string reference;
+    for (bool fork : {false, true}) {
+        for (unsigned jobs : {1u, 3u}) {
+            config.fork_machines = fork;
+            config.jobs = jobs;
+            std::string json =
+                check::runCampaign(config, guests).toJson();
+            if (reference.empty())
+                reference = json;
+            EXPECT_EQ(json, reference)
+                << "fork=" << fork << " jobs=" << jobs;
+        }
+    }
+}
+
+TEST(HarnessForkMode, FuzzOutputIdenticalWithForkMachines)
+{
+    check::FuzzCampaignConfig config;
+    config.seeds = 8;
+    config.start_seed = 1;
+    config.quiet = true;
+    config.fork_machines = false;
+    std::string reference = check::runFuzzSeeds(config).text();
+    config.fork_machines = true;
+    for (unsigned jobs : {1u, 3u}) {
+        config.jobs = jobs;
+        EXPECT_EQ(check::runFuzzSeeds(config).text(), reference)
+            << "jobs=" << jobs;
+    }
+}
+
+} // namespace

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * GuestScheduler contract. The work-stealing scheduler must complete
+ * every guest (exactly as many quanta as each demands), produce
+ * results that are a pure function of the guest index at any worker
+ * count, run the --jobs 1 reference schedule strictly in index order
+ * to completion, propagate worker exceptions, and hand quanta valid
+ * worker ids. The second half pins the property the quantum model
+ * rests on: chopping a CPU run into RunLimits slices — at any
+ * quantum, down to single instructions, with superblocks on or off —
+ * retires the identical instruction/cycle/cache/TLB counter stream
+ * as one uninterrupted run.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+#include "isa/assembler.h"
+#include "support/scheduler.h"
+#include "workloads/guest_olden.h"
+
+namespace
+{
+
+using namespace cheri;
+
+// --- scheduler unit behaviour ----------------------------------------
+
+TEST(GuestScheduler, EveryGuestGetsExactlyItsQuanta)
+{
+    constexpr std::size_t kGuests = 64;
+    for (unsigned jobs : {1u, 4u, 8u}) {
+        std::vector<std::atomic<std::uint64_t>> quanta(kGuests);
+        support::GuestScheduler scheduler(jobs);
+        scheduler.run(kGuests, [&](std::size_t index, unsigned) {
+            std::uint64_t nth = ++quanta[index];
+            std::uint64_t need = index % 7 + 1;
+            return nth < need ? support::QuantumResult::kRunnable
+                              : support::QuantumResult::kDone;
+        });
+        for (std::size_t i = 0; i < kGuests; ++i)
+            EXPECT_EQ(quanta[i].load(), i % 7 + 1)
+                << "guest " << i << " at jobs " << jobs;
+    }
+}
+
+TEST(GuestScheduler, PerGuestResultsAreWorkerCountInvariant)
+{
+    constexpr std::size_t kGuests = 200;
+    auto run_fleet = [&](unsigned jobs) {
+        std::vector<std::uint64_t> result(kGuests, 0);
+        support::GuestScheduler scheduler(jobs);
+        scheduler.run(kGuests, [&](std::size_t index, unsigned) {
+            // Fold the quantum number into a per-guest hash; the
+            // final value depends only on the index and quantum
+            // count, never on scheduling order.
+            result[index] = result[index] * 6364136223846793005ULL +
+                            index + 1442695040888963407ULL;
+            return result[index] % 5 != 0
+                       ? support::QuantumResult::kRunnable
+                       : support::QuantumResult::kDone;
+        });
+        return result;
+    };
+    std::vector<std::uint64_t> serial = run_fleet(1);
+    EXPECT_EQ(run_fleet(4), serial);
+    EXPECT_EQ(run_fleet(8), serial);
+}
+
+TEST(GuestScheduler, SerialScheduleRunsEachGuestToCompletionInOrder)
+{
+    std::vector<std::pair<std::size_t, std::uint64_t>> events;
+    std::vector<std::uint64_t> seen(10, 0);
+    support::GuestScheduler scheduler(1);
+    scheduler.run(10, [&](std::size_t index, unsigned worker) {
+        EXPECT_EQ(worker, 0u);
+        events.emplace_back(index, ++seen[index]);
+        return seen[index] < 3 ? support::QuantumResult::kRunnable
+                               : support::QuantumResult::kDone;
+    });
+    ASSERT_EQ(events.size(), 30u);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].first, i / 3);
+        EXPECT_EQ(events[i].second, i % 3 + 1);
+    }
+}
+
+TEST(GuestScheduler, WorkerIdsStayBelowJobCount)
+{
+    for (unsigned jobs : {1u, 3u, 6u}) {
+        std::atomic<bool> bad{false};
+        support::GuestScheduler scheduler(jobs);
+        scheduler.run(100, [&](std::size_t, unsigned worker) {
+            if (worker >= jobs)
+                bad = true;
+            return support::QuantumResult::kDone;
+        });
+        EXPECT_FALSE(bad.load()) << "jobs " << jobs;
+    }
+}
+
+TEST(GuestScheduler, QuantumExceptionPropagates)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        support::GuestScheduler scheduler(jobs);
+        EXPECT_THROW(
+            scheduler.run(40,
+                          [&](std::size_t index, unsigned) {
+                              if (index == 17)
+                                  throw std::runtime_error("guest 17");
+                              return support::QuantumResult::kDone;
+                          }),
+            std::runtime_error)
+            << "jobs " << jobs;
+    }
+}
+
+TEST(GuestScheduler, ZeroGuestsIsANoOp)
+{
+    support::GuestScheduler scheduler(4);
+    scheduler.run(0, [&](std::size_t, unsigned) {
+        ADD_FAILURE() << "quantum called for an empty fleet";
+        return support::QuantumResult::kDone;
+    });
+}
+
+// --- quantum-boundary CPU behaviour ----------------------------------
+
+std::vector<std::pair<std::string, std::uint64_t>>
+allCounters(core::Machine &machine)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.emplace_back("instructions",
+                     machine.cpu().totalInstructions());
+    out.emplace_back("cycles", machine.cpu().totalCycles());
+    for (const auto &entry : machine.cpu().stats().all())
+        out.push_back(entry);
+    support::StatSet memory_stats = machine.memory().collectStats();
+    for (const auto &entry : memory_stats.all())
+        out.push_back(entry);
+    for (const auto &entry : machine.tlb().stats().all())
+        out.push_back(entry);
+    for (const auto &entry : machine.tagManager().stats().all())
+        out.push_back(entry);
+    return out;
+}
+
+std::unique_ptr<core::Machine>
+preparedMachine(bool superblocks)
+{
+    core::MachineConfig config;
+    config.dram_bytes = 8 * 1024 * 1024;
+    auto machine = std::make_unique<core::Machine>(config);
+    workloads::loadGuestProgram(*machine,
+                                workloads::guestTreeadd(5, 2));
+    machine->cpu().setDecodeCacheEnabled(true);
+    machine->cpu().setDataFastPathEnabled(true);
+    machine->cpu().setSuperblocksEnabled(superblocks);
+    return machine;
+}
+
+class QuantumBoundary
+    : public ::testing::TestWithParam<std::tuple<bool, std::uint64_t>>
+{
+};
+
+TEST_P(QuantumBoundary, ChoppedRunMatchesUninterruptedRun)
+{
+    auto [superblocks, quantum] = GetParam();
+
+    std::unique_ptr<core::Machine> full =
+        preparedMachine(superblocks);
+    core::RunResult full_done = full->cpu().run(core::RunLimits{});
+    ASSERT_EQ(full_done.reason, core::StopReason::kBreak);
+
+    std::unique_ptr<core::Machine> chopped =
+        preparedMachine(superblocks);
+    core::RunLimits slice;
+    slice.max_instructions = quantum;
+    std::uint64_t quanta = 0;
+    core::RunResult last;
+    do {
+        last = chopped->cpu().run(slice);
+        ++quanta;
+        ASSERT_LT(quanta, 100000u) << "kernel failed to terminate";
+    } while (last.reason == core::StopReason::kInstLimit);
+    ASSERT_EQ(last.reason, core::StopReason::kBreak);
+
+    // A quantum smaller than the kernel must actually preempt —
+    // with superblocks on, that includes preemption mid-superblock.
+    EXPECT_GT(quanta, 1u);
+    EXPECT_EQ(chopped->cpu().gpr(isa::reg::v0),
+              full->cpu().gpr(isa::reg::v0));
+    EXPECT_EQ(allCounters(*chopped), allCounters(*full));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Quanta, QuantumBoundary,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(1u, 7u, 100u, 500u)));
+
+// --- scheduler x fork integration ------------------------------------
+
+TEST(GuestScheduler, ForkedFleetCountersAreWorkerCountInvariant)
+{
+    workloads::GuestProgram prog = workloads::guestTreeadd(5, 2);
+    core::MachineConfig config;
+    config.dram_bytes = 8 * 1024 * 1024;
+    core::Machine parent(config);
+    workloads::loadGuestProgram(parent, prog);
+
+    constexpr std::size_t kGuests = 24;
+    auto serve = [&](unsigned jobs) {
+        std::vector<std::unique_ptr<core::Machine>> fleet(kGuests);
+        std::vector<std::uint64_t> insts(kGuests, 0);
+        support::GuestScheduler scheduler(jobs);
+        scheduler.run(kGuests, [&](std::size_t index, unsigned) {
+            if (!fleet[index])
+                fleet[index] = parent.fork();
+            core::RunLimits slice;
+            slice.max_instructions = 101 + index % 13;
+            core::RunResult r = fleet[index]->cpu().run(slice);
+            if (r.reason == core::StopReason::kInstLimit)
+                return support::QuantumResult::kRunnable;
+            EXPECT_EQ(r.reason, core::StopReason::kBreak);
+            EXPECT_EQ(fleet[index]->cpu().gpr(isa::reg::v0),
+                      prog.expected_checksum);
+            insts[index] = fleet[index]->cpu().totalInstructions();
+            fleet[index].reset();
+            return support::QuantumResult::kDone;
+        });
+        return insts;
+    };
+    std::vector<std::uint64_t> serial = serve(1);
+    for (std::uint64_t count : serial)
+        EXPECT_NE(count, 0u);
+    EXPECT_EQ(serve(4), serial);
+}
+
+} // namespace

@@ -17,6 +17,10 @@
  *                    front, each worker replays from a private
  *                    checkpoint clone, and records merge by trial
  *                    index.
+ *     --fork-trials  run each trial on a COW fork of the worker's
+ *                    pristine checkpoint parent instead of deep-
+ *                    restoring the worker machine; the report is
+ *                    byte-identical to restore mode
  *     --guests LIST  comma-separated subset of
  *                    treeadd,bisort,mst,em3d (default all)
  *     --slow         run the fast machine with fast paths disabled
@@ -168,8 +172,10 @@ main(int argc, char **argv)
             config.seed = support::parseU64OrFatal(argv[++i], "--seed");
         } else if (std::strcmp(argv[i], "--jobs") == 0 &&
                    i + 1 < argc) {
-            config.jobs = support::normalizeJobs(
-                support::parseU64OrFatal(argv[++i], "--jobs"));
+            config.jobs = support::parseJobsOrFatal(argv[++i],
+                                                    "--jobs");
+        } else if (std::strcmp(argv[i], "--fork-trials") == 0) {
+            config.fork_machines = true;
         } else if (std::strcmp(argv[i], "--guests") == 0 &&
                    i + 1 < argc) {
             names = splitCommas(argv[++i]);
@@ -184,8 +190,9 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: cheri-faultsim [--trials N] [--seed N] "
-                         "[--jobs N] [--guests a,b] [--slow] "
-                         "[--json PATH] [--quiet] [--selftest]\n");
+                         "[--jobs N] [--fork-trials] [--guests a,b] "
+                         "[--slow] [--json PATH] [--quiet] "
+                         "[--selftest]\n");
             return 2;
         }
     }

@@ -15,6 +15,10 @@
  *                          concurrency; 1 = serial). Output is
  *                          byte-identical for any N: seeds run on
  *                          private machines and are merged in order.
+ *     --fork-machines      draw each pass's machine as a COW fork of
+ *                          a per-worker pristine parent instead of a
+ *                          fresh 4 MB machine; output is
+ *                          byte-identical either way
  *     --shrink             ddmin-shrink a failing program before
  *                          dumping the reproducer
  *     --inject-fault tag-clear
@@ -66,8 +70,10 @@ main(int argc, char **argv)
                 support::parseU64OrFatal(argv[++i], "--start-seed");
         } else if (std::strcmp(argv[i], "--jobs") == 0 &&
                    i + 1 < argc) {
-            config.jobs = support::normalizeJobs(
-                support::parseU64OrFatal(argv[++i], "--jobs"));
+            config.jobs = support::parseJobsOrFatal(argv[++i],
+                                                    "--jobs");
+        } else if (std::strcmp(argv[i], "--fork-machines") == 0) {
+            config.fork_machines = true;
         } else if (std::strcmp(argv[i], "--shrink") == 0) {
             config.shrink = true;
         } else if (std::strcmp(argv[i], "--inject-fault") == 0 &&
@@ -115,7 +121,8 @@ main(int argc, char **argv)
             std::fprintf(
                 stderr,
                 "usage: cheri-fuzz [--seeds N] [--start-seed N] "
-                "[--jobs N] [--shrink] [--inject-fault tag-clear] "
+                "[--jobs N] [--fork-machines] [--shrink] "
+                "[--inject-fault tag-clear] "
                 "[--data-fastpath follow|on|off] "
                 "[--superblock follow|on|off] "
                 "[--expect-divergence] [--quiet]\n");

@@ -1,0 +1,516 @@
+/**
+ * @file
+ * cheri-serve: fleet-scale guest serving demo. One warm parent
+ * machine loads an Olden kernel and retires a warm-up prefix; every
+ * guest in the fleet is then a copy-on-write Machine::fork() of that
+ * checkpoint, personalised with a per-guest salt written into the
+ * heap tail, and multiplexed over the work-stealing GuestScheduler
+ * in RunLimits-sized quanta until it reaches BREAK.
+ *
+ * The report is byte-deterministic at any --jobs: guests run on
+ * private forks, every record is a function of the guest index
+ * alone, and records merge in index order. Per-guest checks prove
+ * the serving substrate out as it runs — the kernel checksum must
+ * survive preemption, the salt must read back (no cross-guest leak
+ * can go unnoticed: every guest salts the same virtual address), and
+ * the parent must end the run byte-clean and still forkable.
+ *
+ * Usage:
+ *   cheri-serve [options]
+ *     --guests N       fleet size (default 1000)
+ *     --guest NAME     kernel: treeadd|bisort|mst|em3d
+ *                      (default treeadd)
+ *     --jobs N         scheduler workers (default: hardware
+ *                      concurrency; 1 = serial reference schedule)
+ *     --quantum N      instructions per scheduling slice
+ *                      (default 500)
+ *     --warmup N       instructions the parent retires before the
+ *                      checkpoint freezes (default 256)
+ *     --slow           disable the host fast paths (forks inherit)
+ *     --measure-fork   time Machine::fork() against a deep
+ *                      Snapshot clone and append a "fork_measure"
+ *                      section (host timings — omitted by default so
+ *                      the JSON stays byte-deterministic)
+ *     --min-fork-speedup N
+ *                      with --measure-fork: exit 1 unless fork is at
+ *                      least N times cheaper than a deep clone
+ *     --json PATH      write the JSON report ('-' = stdout)
+ *     --selftest       serve the fleet twice and require the two
+ *                      deterministic reports to be byte-identical
+ *     --quiet          suppress the one-line summary
+ *
+ * Exit codes: 0 success, 1 fleet/selftest/speedup failure, 2 usage.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+#include "isa/assembler.h"
+#include "support/logging.h"
+#include "support/parallel.h"
+#include "support/parse.h"
+#include "support/rng.h"
+#include "support/scheduler.h"
+#include "workloads/guest_olden.h"
+
+using namespace cheri;
+
+namespace
+{
+
+struct ServeConfig
+{
+    std::uint64_t guests = 1000;
+    std::string guest_name = "treeadd";
+    unsigned jobs = 0;
+    std::uint64_t quantum = 500;
+    std::uint64_t warmup = 256;
+    bool fast_paths = true;
+};
+
+struct GuestRecord
+{
+    bool checksum_ok = false;
+    std::uint64_t cow_pages = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t quanta = 0;
+    std::uint64_t salt = 0;
+    bool salt_ok = false;
+    const char *stop = "";
+};
+
+struct ServeReport
+{
+    std::vector<GuestRecord> records;
+    std::uint64_t parent_instructions = 0;
+    bool parent_salt_clean = false;
+    bool parent_reusable = false;
+};
+
+std::string
+num(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+const char *
+stopName(core::StopReason reason)
+{
+    switch (reason) {
+    case core::StopReason::kInstLimit:
+        return "inst_limit";
+    case core::StopReason::kCycleLimit:
+        return "cycle_limit";
+    case core::StopReason::kExited:
+        return "exited";
+    case core::StopReason::kTrap:
+        return "trap";
+    case core::StopReason::kBreak:
+        return "break";
+    }
+    return "unknown";
+}
+
+workloads::GuestProgram
+programByName(const std::string &name)
+{
+    // Same shapes the fault campaign serves, so clean lengths are
+    // known-good against the snapshot/lockstep batteries.
+    if (name == "treeadd")
+        return workloads::guestTreeadd(5, 2);
+    if (name == "bisort")
+        return workloads::guestBisort(48);
+    if (name == "mst")
+        return workloads::guestMst(12);
+    if (name == "em3d")
+        return workloads::guestEm3d(10, 3, 2);
+    std::fprintf(stderr, "cheri-serve: unknown guest '%s'\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+/** Address of the 8-byte per-guest salt: the heap tail, above every
+ *  kernel's live data, inside the always-mapped heap range. */
+std::uint64_t
+saltAddr(const workloads::GuestProgram &prog)
+{
+    return prog.layout.heap_base + prog.layout.heap_bytes - 8;
+}
+
+/** The deterministic per-guest salt (pure function of the index). */
+std::uint64_t
+saltFor(std::uint64_t index)
+{
+    return support::Xoshiro256(0x5e12e5e12eULL + index).next();
+}
+
+/** Build the warm checkpoint: load the kernel, set the fast-path
+ *  mode, retire the warm-up prefix, and stop at a commit boundary. */
+std::unique_ptr<core::Machine>
+buildParent(const ServeConfig &config,
+            const workloads::GuestProgram &prog)
+{
+    auto machine = std::make_unique<core::Machine>();
+    workloads::loadGuestProgram(*machine, prog);
+    machine->cpu().setDecodeCacheEnabled(config.fast_paths);
+    machine->cpu().setDataFastPathEnabled(config.fast_paths);
+    machine->cpu().setSuperblocksEnabled(config.fast_paths);
+
+    core::RunLimits limits;
+    limits.max_instructions = config.warmup;
+    core::RunResult warm = machine->cpu().run(limits);
+    if (warm.reason != core::StopReason::kInstLimit) {
+        support::fatal("cheri-serve: warm-up of %llu instructions "
+                       "consumed the whole '%s' kernel (stopped: %s)",
+                       static_cast<unsigned long long>(config.warmup),
+                       prog.name.c_str(), stopName(warm.reason));
+    }
+    return machine;
+}
+
+/** Fork and serve the whole fleet; fills records in index order. */
+ServeReport
+serveFleet(const ServeConfig &config,
+           const workloads::GuestProgram &prog,
+           core::Machine &parent)
+{
+    ServeReport report;
+    report.records.resize(config.guests);
+    report.parent_instructions = parent.cpu().totalInstructions();
+
+    struct LiveGuest
+    {
+        std::unique_ptr<core::Machine> machine;
+        std::uint64_t quanta = 0;
+    };
+    std::vector<LiveGuest> live(config.guests);
+    std::uint64_t salt_vaddr = saltAddr(prog);
+    // A corrupted fork cannot hang the fleet: any guest that blows
+    // this budget is an emulator bug (the kernels are deterministic
+    // and finite), so fatal beats spinning.
+    std::uint64_t budget =
+        report.parent_instructions + 100'000'000;
+
+    support::GuestScheduler scheduler(config.jobs);
+    scheduler.run(
+        static_cast<std::size_t>(config.guests),
+        [&](std::size_t index, unsigned) {
+            LiveGuest &guest = live[index];
+            GuestRecord &record = report.records[index];
+            if (!guest.machine) {
+                // Lazy mint: with LIFO own-queue pops the number of
+                // live forks stays near the worker count even for a
+                // 10k fleet.
+                guest.machine = parent.fork();
+                record.salt = saltFor(index);
+                if (!guest.machine->cpu().debugWrite(salt_vaddr, 8,
+                                                     record.salt)) {
+                    support::fatal("cheri-serve: guest %llu salt "
+                                   "write failed",
+                                   static_cast<unsigned long long>(
+                                       index));
+                }
+            }
+            core::RunLimits limits;
+            limits.max_instructions = config.quantum;
+            core::RunResult slice = guest.machine->cpu().run(limits);
+            ++guest.quanta;
+            if (slice.reason == core::StopReason::kInstLimit) {
+                if (guest.machine->cpu().totalInstructions() > budget) {
+                    support::fatal(
+                        "cheri-serve: guest %llu ran away (over %llu "
+                        "instructions without BREAK)",
+                        static_cast<unsigned long long>(index),
+                        static_cast<unsigned long long>(budget));
+                }
+                return support::QuantumResult::kRunnable;
+            }
+            core::Cpu &cpu = guest.machine->cpu();
+            record.quanta = guest.quanta;
+            record.stop = stopName(slice.reason);
+            record.instructions = cpu.totalInstructions();
+            record.cycles = cpu.totalCycles();
+            record.checksum_ok =
+                slice.reason == core::StopReason::kBreak &&
+                cpu.gpr(isa::reg::v0) == prog.expected_checksum;
+            std::uint64_t got = 0;
+            record.salt_ok = cpu.debugRead(salt_vaddr, 8, got) &&
+                             got == record.salt;
+            record.cow_pages = guest.machine->cowStore().cowFaults();
+            // Retire the fork: only its record lives on.
+            guest.machine.reset();
+            return support::QuantumResult::kDone;
+        });
+
+    // The fleet is gone; the parent must be byte-clean (no guest
+    // write leaked down) and still a viable fork parent.
+    std::uint64_t parent_salt = 0;
+    report.parent_salt_clean =
+        parent.cpu().debugRead(salt_vaddr, 8, parent_salt) &&
+        parent_salt == 0 &&
+        parent.cpu().totalInstructions() == report.parent_instructions;
+
+    std::unique_ptr<core::Machine> extra = parent.fork();
+    core::RunLimits limits;
+    limits.max_instructions = budget;
+    core::RunResult last = extra->cpu().run(limits);
+    report.parent_reusable =
+        last.reason == core::StopReason::kBreak &&
+        extra->cpu().gpr(isa::reg::v0) == prog.expected_checksum;
+    return report;
+}
+
+/** Render the deterministic report (fixed alphabetical keys, no
+ *  host state); fork_measure, when present, is appended verbatim. */
+std::string
+renderReport(const ServeConfig &config,
+             const workloads::GuestProgram &prog,
+             const ServeReport &report,
+             const std::string *fork_measure)
+{
+    std::uint64_t checksum_failures = 0, salt_failures = 0;
+    std::uint64_t completed = 0, cow_pages = 0, cycles = 0;
+    std::uint64_t instructions = 0, max_quanta = 0, salt_xor = 0;
+    for (const GuestRecord &record : report.records) {
+        checksum_failures += record.checksum_ok ? 0 : 1;
+        salt_failures += record.salt_ok ? 0 : 1;
+        completed += std::strcmp(record.stop, "break") == 0 ? 1 : 0;
+        cow_pages += record.cow_pages;
+        cycles += record.cycles;
+        instructions += record.instructions;
+        max_quanta = std::max(max_quanta, record.quanta);
+        salt_xor ^= record.salt;
+    }
+
+    std::string out = "{\n";
+    out += "  \"config\": {\"fast_paths\": ";
+    out += config.fast_paths ? "true" : "false";
+    out += ", \"guest\": \"" + prog.name + "\"";
+    out += ", \"guests\": " + num(config.guests);
+    out += ", \"quantum\": " + num(config.quantum);
+    out += ", \"warmup\": " + num(config.warmup) + "},\n";
+
+    out += "  \"fleet\": {\"checksum_failures\": " +
+           num(checksum_failures);
+    out += ", \"completed\": " + num(completed);
+    out += ", \"cow_pages\": " + num(cow_pages);
+    out += ", \"cycles\": " + num(cycles);
+    out += ", \"instructions\": " + num(instructions);
+    out += ", \"max_quanta\": " + num(max_quanta);
+    out += ", \"salt_failures\": " + num(salt_failures);
+    out += ", \"salt_xor\": " + num(salt_xor) + "},\n";
+
+    out += "  \"guests\": [\n";
+    for (std::size_t i = 0; i < report.records.size(); ++i) {
+        const GuestRecord &record = report.records[i];
+        out += "    {\"checksum_ok\": ";
+        out += record.checksum_ok ? "true" : "false";
+        out += ", \"cow_pages\": " + num(record.cow_pages);
+        out += ", \"cycles\": " + num(record.cycles);
+        out += ", \"index\": " + num(i);
+        out += ", \"instructions\": " + num(record.instructions);
+        out += ", \"quanta\": " + num(record.quanta);
+        out += ", \"salt\": " + num(record.salt);
+        out += ", \"salt_ok\": ";
+        out += record.salt_ok ? "true" : "false";
+        out += ", \"stop\": \"" + std::string(record.stop) + "\"}";
+        out += i + 1 < report.records.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+
+    out += "  \"parent\": {\"instructions\": " +
+           num(report.parent_instructions);
+    out += ", \"reusable\": ";
+    out += report.parent_reusable ? "true" : "false";
+    out += ", \"salt_clean\": ";
+    out += report.parent_salt_clean ? "true" : "false";
+    out += "}";
+    if (fork_measure)
+        out += ",\n  \"fork_measure\": " + *fork_measure;
+    out += "\n}\n";
+    return out;
+}
+
+/** True when every record and the parent passed their checks. */
+bool
+fleetHealthy(const ServeReport &report)
+{
+    if (!report.parent_salt_clean || !report.parent_reusable)
+        return false;
+    for (const GuestRecord &record : report.records)
+        if (!record.checksum_ok || !record.salt_ok)
+            return false;
+    return true;
+}
+
+/** Median wall nanoseconds of calling fn() once, over reps calls. */
+template <typename Fn>
+std::uint64_t
+medianNs(unsigned reps, Fn &&fn)
+{
+    std::vector<std::uint64_t> samples;
+    samples.reserve(reps);
+    for (unsigned r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        samples.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 -
+                                                                 t0)
+                .count()));
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServeConfig config;
+    const char *json_path = nullptr;
+    bool quiet = false;
+    bool selftest = false;
+    bool measure_fork = false;
+    std::uint64_t min_speedup = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--guests") == 0 && i + 1 < argc) {
+            config.guests =
+                support::parseU64OrFatal(argv[++i], "--guests");
+        } else if (std::strcmp(argv[i], "--guest") == 0 &&
+                   i + 1 < argc) {
+            config.guest_name = argv[++i];
+        } else if (std::strcmp(argv[i], "--jobs") == 0 &&
+                   i + 1 < argc) {
+            config.jobs = support::parseJobsOrFatal(argv[++i],
+                                                    "--jobs");
+        } else if (std::strcmp(argv[i], "--quantum") == 0 &&
+                   i + 1 < argc) {
+            config.quantum =
+                support::parseU64OrFatal(argv[++i], "--quantum");
+        } else if (std::strcmp(argv[i], "--warmup") == 0 &&
+                   i + 1 < argc) {
+            config.warmup =
+                support::parseU64OrFatal(argv[++i], "--warmup");
+        } else if (std::strcmp(argv[i], "--slow") == 0) {
+            config.fast_paths = false;
+        } else if (std::strcmp(argv[i], "--measure-fork") == 0) {
+            measure_fork = true;
+        } else if (std::strcmp(argv[i], "--min-fork-speedup") == 0 &&
+                   i + 1 < argc) {
+            measure_fork = true;
+            min_speedup = support::parseU64OrFatal(
+                argv[++i], "--min-fork-speedup");
+        } else if (std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--selftest") == 0) {
+            selftest = true;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: cheri-serve [--guests N] [--guest NAME] "
+                "[--jobs N] [--quantum N] [--warmup N] [--slow] "
+                "[--measure-fork] [--min-fork-speedup N] "
+                "[--json PATH] [--selftest] [--quiet]\n");
+            return 2;
+        }
+    }
+    if (config.quantum == 0) {
+        std::fprintf(stderr,
+                     "--quantum: 0 would never retire a slice\n");
+        return 2;
+    }
+
+    workloads::GuestProgram prog = programByName(config.guest_name);
+
+    std::string fork_measure;
+    std::uint64_t speedup = 0;
+    if (measure_fork) {
+        // Time the primitives before the fleet touches the heap, so
+        // the numbers measure fork vs clone, not allocator state
+        // left behind by ten thousand machine constructions.
+        std::unique_ptr<core::Machine> subject =
+            buildParent(config, prog);
+        std::uint64_t fork_ns = medianNs(32, [&] {
+            std::unique_ptr<core::Machine> child = subject->fork();
+        });
+        core::Machine::Snapshot s0 = subject->saveSnapshot();
+        std::uint64_t clone_ns = medianNs(4, [&] {
+            core::Machine scratch(subject->config());
+            scratch.restoreSnapshot(s0);
+        });
+        speedup = fork_ns == 0 ? clone_ns : clone_ns / fork_ns;
+        fork_measure = "{\"clone_ns\": " + num(clone_ns) +
+                       ", \"fork_ns\": " + num(fork_ns) +
+                       ", \"speedup\": " + num(speedup) + "}";
+    }
+
+    std::unique_ptr<core::Machine> parent = buildParent(config, prog);
+    ServeReport report = serveFleet(config, prog, *parent);
+
+    if (selftest) {
+        std::unique_ptr<core::Machine> parent2 =
+            buildParent(config, prog);
+        ServeReport report2 = serveFleet(config, prog, *parent2);
+        if (renderReport(config, prog, report, nullptr) !=
+            renderReport(config, prog, report2, nullptr)) {
+            std::fprintf(stderr,
+                         "cheri-serve: selftest FAILED (two runs "
+                         "rendered different reports)\n");
+            return 1;
+        }
+    }
+
+    std::string json =
+        renderReport(config, prog, report,
+                     measure_fork ? &fork_measure : nullptr);
+    if (json_path) {
+        if (std::strcmp(json_path, "-") == 0) {
+            std::fwrite(json.data(), 1, json.size(), stdout);
+        } else {
+            std::FILE *f = std::fopen(json_path, "wb");
+            if (!f) {
+                std::fprintf(stderr, "cannot write %s\n", json_path);
+                return 2;
+            }
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fclose(f);
+        }
+    }
+
+    bool healthy = fleetHealthy(report);
+    if (!quiet) {
+        std::printf("cheri-serve: %llu %s guest(s) served, fleet %s",
+                    static_cast<unsigned long long>(config.guests),
+                    prog.name.c_str(),
+                    healthy ? "healthy" : "UNHEALTHY");
+        if (measure_fork)
+            std::printf(", fork %llux cheaper than deep clone",
+                        static_cast<unsigned long long>(speedup));
+        std::printf("\n");
+    }
+    if (!healthy)
+        return 1;
+    if (min_speedup != 0 && speedup < min_speedup) {
+        std::fprintf(stderr,
+                     "cheri-serve: fork speedup %llux is below the "
+                     "--min-fork-speedup %llux gate\n",
+                     static_cast<unsigned long long>(speedup),
+                     static_cast<unsigned long long>(min_speedup));
+        return 1;
+    }
+    return 0;
+}
