@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Ablation — hardware prefetching x tag-cache capacity. Sweeps the
+ * cache hierarchy's prefetcher (none, next-line, capability
+ * pointer-chase; DESIGN.md §14) against two tag-cache sizes over four
+ * Olden kernels under each protection model, and reports L1D/L2 miss
+ * rates, DRAM line transactions, and tag-cache traffic, with deltas
+ * against the prefetch-off cell of the same (kernel, model, tag-cache)
+ * point. The pointer-chase prefetcher decodes base/length from tagged
+ * lines as they fill, so it only ever fires under the 256-bit CHERI
+ * model — the sweep makes the "capability as prefetch hint" upside of
+ * fat pointers (Section 8's footprint cost) directly visible.
+ *
+ * Everything reported is simulated state, so the output (table and
+ * JSON) is bit-deterministic for a given mode; --jobs N only changes
+ * wall-clock. Results go to BENCH_ablation_prefetch.json (override
+ * with --json PATH or CHERI_BENCH_JSON). CHERI_BENCH_QUICK=1 shrinks
+ * the kernel parameters for CI.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "support/parallel.h"
+#include "support/parse.h"
+#include "workloads/olden.h"
+#include "workloads/timing_context.h"
+
+using namespace cheri;
+
+namespace
+{
+
+struct KernelSpec
+{
+    const workloads::Workload *workload;
+    workloads::WorkloadParams params;
+};
+
+struct PrefetchSpec
+{
+    const char *label;
+    cache::PrefetchPolicy policy;
+};
+
+/** Simulated counters extracted from one grid cell. */
+struct CellResult
+{
+    std::uint64_t l1d_hits = 0, l1d_misses = 0;
+    std::uint64_t l2_hits = 0, l2_misses = 0;
+    std::uint64_t dram_transactions = 0;
+    std::uint64_t tag_cache_hits = 0, tag_cache_misses = 0;
+    std::uint64_t prefetch_issued = 0, prefetch_useful = 0;
+    std::uint64_t prefetch_late = 0, prefetch_inaccurate = 0;
+
+    double
+    l1dMissRate() const
+    {
+        std::uint64_t total = l1d_hits + l1d_misses;
+        return total ? static_cast<double>(l1d_misses) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+    double
+    l2MissRate() const
+    {
+        std::uint64_t total = l2_hits + l2_misses;
+        return total ? static_cast<double>(l2_misses) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+bool
+quickMode()
+{
+    const char *env = std::getenv("CHERI_BENCH_QUICK");
+    return env != nullptr && env[0] == '1';
+}
+
+/** JSON-safe model key ("128b CHERI" -> "cheri128"). */
+std::string
+modelKey(workloads::CompileModel model)
+{
+    switch (model) {
+      case workloads::CompileModel::kMips: return "mips";
+      case workloads::CompileModel::kCcured: return "ccured";
+      case workloads::CompileModel::kCheri: return "cheri";
+      case workloads::CompileModel::kCheri128: return "cheri128";
+    }
+    return "?";
+}
+
+CellResult
+runCell(const KernelSpec &kernel, workloads::CompileModel model,
+        cache::PrefetchPolicy policy, unsigned degree,
+        std::uint64_t tag_cache_bytes)
+{
+    core::MachineConfig config;
+    config.tag_cache.capacity_bytes = tag_cache_bytes;
+    config.caches.prefetch.policy = policy;
+    config.caches.prefetch.degree = degree;
+    workloads::TimingContext ctx(model, config);
+    kernel.workload->run(ctx, kernel.params);
+
+    CellResult cell;
+    support::StatSet stats = ctx.machine().memory().collectStats();
+    cell.l1d_hits = stats.get("l1d.hits");
+    cell.l1d_misses = stats.get("l1d.misses");
+    cell.l2_hits = stats.get("l2.hits");
+    cell.l2_misses = stats.get("l2.misses");
+    cell.tag_cache_hits = stats.get("tag.cache_hits");
+    cell.tag_cache_misses = stats.get("tag.cache_misses");
+    cell.dram_transactions = ctx.machine().memory().dramTransactions();
+    for (const char *level : {"l1d", "l2"}) {
+        std::string prefix = level;
+        cell.prefetch_issued += stats.get(prefix + ".prefetch_issued");
+        cell.prefetch_useful += stats.get(prefix + ".prefetch_useful");
+        cell.prefetch_late += stats.get(prefix + ".prefetch_late");
+        cell.prefetch_inaccurate +=
+            stats.get(prefix + ".prefetch_inaccurate");
+    }
+    return cell;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = quickMode();
+    unsigned jobs = 1;
+    const char *path_env = std::getenv("CHERI_BENCH_JSON");
+    std::string json_path = path_env != nullptr
+                                ? path_env
+                                : "BENCH_ablation_prefetch.json";
+    if (const char *env = std::getenv("CHERI_BENCH_JOBS"))
+        jobs = support::parseJobsOrFatal(env, "CHERI_BENCH_JOBS");
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs = support::parseJobsOrFatal(argv[++i], "--jobs");
+        } else if (std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: ablation_prefetch [--jobs N] [--json PATH]\n");
+            return 2;
+        }
+    }
+
+    workloads::Treeadd treeadd;
+    workloads::Bisort bisort;
+    workloads::Mst mst;
+    workloads::Em3d em3d;
+    std::vector<KernelSpec> kernels;
+    if (quick) {
+        kernels.push_back({&treeadd, {8, 0, 1}});
+        kernels.push_back({&bisort, {511, 0, 7}});
+        kernels.push_back({&mst, {64, 8, 3}});
+        kernels.push_back({&em3d, {64, 3, 11}});
+    } else {
+        kernels.push_back({&treeadd, treeadd.defaultParams()});
+        kernels.push_back({&bisort, bisort.defaultParams()});
+        kernels.push_back({&mst, mst.defaultParams()});
+        kernels.push_back({&em3d, em3d.defaultParams()});
+    }
+
+    const workloads::CompileModel models[] = {
+        workloads::CompileModel::kMips,
+        workloads::CompileModel::kCheri,
+        workloads::CompileModel::kCheri128,
+    };
+    const PrefetchSpec prefetchers[] = {
+        {"none", cache::PrefetchPolicy::kNone},
+        {"nextline", cache::PrefetchPolicy::kNextLine},
+        {"capchase", cache::PrefetchPolicy::kCapChase},
+    };
+    const std::uint64_t tag_sizes[] = {512, 8192};
+    constexpr unsigned kDegree = 4;
+
+    std::printf("Ablation: prefetcher x tag-cache capacity "
+                "(Olden, %s mode, %u job%s, degree %u)\n\n",
+                quick ? "quick" : "full", jobs, jobs == 1 ? "" : "s",
+                kDegree);
+
+    // Grid order (innermost last): kernel, model, tag size, prefetcher.
+    constexpr std::size_t kNumPrefetchers = 3;
+    constexpr std::size_t kNumTagSizes = 2;
+    constexpr std::size_t kNumModels = 3;
+    std::size_t cell_count = kernels.size() * kNumModels *
+                             kNumTagSizes * kNumPrefetchers;
+    std::vector<CellResult> cells =
+        support::parallelMapOrdered<CellResult>(
+            cell_count, jobs, [&](std::size_t index, unsigned) {
+                std::size_t p = index % kNumPrefetchers;
+                std::size_t t = (index / kNumPrefetchers) % kNumTagSizes;
+                std::size_t m =
+                    (index / (kNumPrefetchers * kNumTagSizes)) %
+                    kNumModels;
+                std::size_t k =
+                    index / (kNumPrefetchers * kNumTagSizes * kNumModels);
+                return runCell(kernels[k], models[m],
+                               prefetchers[p].policy, kDegree,
+                               tag_sizes[t]);
+            });
+
+    support::TextTable table(
+        {"Kernel", "Model", "Tag$", "Prefetch", "L1D miss", "dL1D",
+         "L2 miss", "dL2", "DRAM tx", "dDRAM", "issued", "useful"});
+    std::ostringstream json_cells;
+    bool first_cell = true;
+    for (std::size_t index = 0; index < cell_count; ++index) {
+        std::size_t p = index % kNumPrefetchers;
+        std::size_t t = (index / kNumPrefetchers) % kNumTagSizes;
+        std::size_t m =
+            (index / (kNumPrefetchers * kNumTagSizes)) % kNumModels;
+        std::size_t k =
+            index / (kNumPrefetchers * kNumTagSizes * kNumModels);
+        const CellResult &cell = cells[index];
+        // The prefetch-off baseline of the same grid point.
+        const CellResult &base = cells[index - p];
+
+        double d_l1d = cell.l1dMissRate() - base.l1dMissRate();
+        double d_l2 = cell.l2MissRate() - base.l2MissRate();
+        double d_dram =
+            base.dram_transactions
+                ? (static_cast<double>(cell.dram_transactions) -
+                   static_cast<double>(base.dram_transactions)) /
+                      static_cast<double>(base.dram_transactions)
+                : 0.0;
+
+        table.addRow(
+            {kernels[k].workload->name(),
+             workloads::compileModelName(models[m]),
+             support::format("%lluB", static_cast<unsigned long long>(
+                                          tag_sizes[t])),
+             prefetchers[p].label,
+             support::format("%.2f%%", cell.l1dMissRate() * 100.0),
+             p == 0 ? "-" : support::format("%+.2fpp", d_l1d * 100.0),
+             support::format("%.2f%%", cell.l2MissRate() * 100.0),
+             p == 0 ? "-" : support::format("%+.2fpp", d_l2 * 100.0),
+             support::format("%llu", static_cast<unsigned long long>(
+                                         cell.dram_transactions)),
+             p == 0 ? "-" : support::format("%+.1f%%", d_dram * 100.0),
+             support::format("%llu", static_cast<unsigned long long>(
+                                         cell.prefetch_issued)),
+             support::format("%llu", static_cast<unsigned long long>(
+                                         cell.prefetch_useful))});
+
+        json_cells << (first_cell ? "" : ",\n");
+        first_cell = false;
+        json_cells << "    {\"kernel\": \""
+                   << kernels[k].workload->name() << "\", \"model\": \""
+                   << modelKey(models[m])
+                   << "\", \"tag_cache_bytes\": " << tag_sizes[t]
+                   << ", \"prefetch\": \"" << prefetchers[p].label
+                   << "\",\n     \"l1d_hits\": " << cell.l1d_hits
+                   << ", \"l1d_misses\": " << cell.l1d_misses
+                   << ", \"l2_hits\": " << cell.l2_hits
+                   << ", \"l2_misses\": " << cell.l2_misses
+                   << ",\n     \"l1d_miss_rate\": "
+                   << support::format("%.6f", cell.l1dMissRate())
+                   << ", \"l2_miss_rate\": "
+                   << support::format("%.6f", cell.l2MissRate())
+                   << ", \"d_l1d_miss_rate\": "
+                   << support::format("%.6f", d_l1d)
+                   << ", \"d_l2_miss_rate\": "
+                   << support::format("%.6f", d_l2)
+                   << ",\n     \"dram_transactions\": "
+                   << cell.dram_transactions
+                   << ", \"d_dram_transactions\": "
+                   << support::format("%.6f", d_dram)
+                   << ", \"tag_cache_hits\": " << cell.tag_cache_hits
+                   << ", \"tag_cache_misses\": "
+                   << cell.tag_cache_misses
+                   << ",\n     \"prefetch_issued\": "
+                   << cell.prefetch_issued << ", \"prefetch_useful\": "
+                   << cell.prefetch_useful << ", \"prefetch_late\": "
+                   << cell.prefetch_late
+                   << ", \"prefetch_inaccurate\": "
+                   << cell.prefetch_inaccurate << "}";
+    }
+    table.print(std::cout);
+
+    // Shape check: the pointer-chase prefetcher must only ever fire
+    // under the 256-bit CHERI model (tagged capability lines are what
+    // it decodes), and must reduce the L1D miss rate on at least two
+    // kernels there.
+    unsigned improved = 0;
+    bool fired_outside_cheri = false;
+    for (std::size_t index = 0; index < cell_count; ++index) {
+        std::size_t p = index % kNumPrefetchers;
+        std::size_t m =
+            (index / (kNumPrefetchers * kNumTagSizes)) % kNumModels;
+        if (prefetchers[p].policy != cache::PrefetchPolicy::kCapChase)
+            continue;
+        bool cheri256 = models[m] == workloads::CompileModel::kCheri;
+        if (!cheri256 && cells[index].prefetch_issued > 0)
+            fired_outside_cheri = true;
+        if (cheri256 &&
+            cells[index].l1dMissRate() <
+                cells[index - p].l1dMissRate())
+            ++improved;
+    }
+    std::printf("\nShape check: capchase fires only under 256-bit "
+                "CHERI: %s\n",
+                fired_outside_cheri ? "NO" : "yes");
+    std::printf("Shape check: capchase lowers the CHERI L1D miss rate "
+                "on >= 2 kernel cells: %s (%u cells)\n",
+                improved >= 2 ? "yes" : "NO", improved);
+
+    std::ostringstream os;
+    os << "{\n  \"bench\": \"ablation_prefetch\",\n";
+    os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    os << "  \"degree\": " << kDegree << ",\n";
+    os << "  \"cells\": [\n" << json_cells.str() << "\n  ]\n}\n";
+    std::ofstream out(json_path);
+    if (!out) {
+        std::fprintf(stderr, "FATAL: cannot write %s\n",
+                     json_path.c_str());
+        return 1;
+    }
+    out << os.str();
+    std::printf("Wrote %s\n", json_path.c_str());
+
+    if (fired_outside_cheri)
+        return 1;
+    return 0;
+}

@@ -55,7 +55,8 @@ Cache::Cache(CacheConfig config, LineSource &below)
 }
 
 Cache::Way &
-Cache::findOrFill(std::uint64_t paddr, std::uint64_t &cycles)
+Cache::findOrFill(std::uint64_t paddr, std::uint64_t &cycles,
+                  bool demand_fill)
 {
     std::uint64_t line_key = paddr >> kLineShift;
     std::uint64_t tag = line_key >> set_shift_;
@@ -69,6 +70,7 @@ Cache::findOrFill(std::uint64_t paddr, std::uint64_t &cycles)
         ++*hits_;
         memo.way->lru = ++lru_clock_;
         cycles += config_.hit_latency;
+        noteDemandTouch(*memo.way);
         return *memo.way;
     }
 
@@ -80,6 +82,7 @@ Cache::findOrFill(std::uint64_t paddr, std::uint64_t &cycles)
             ++*hits_;
             way.lru = ++lru_clock_;
             cycles += config_.hit_latency;
+            noteDemandTouch(way);
             memo.line_key = line_key;
             memo.way = &way;
             return way;
@@ -106,6 +109,12 @@ Cache::findOrFill(std::uint64_t paddr, std::uint64_t &cycles)
             mem::kLineBytes;
         cycles += below_.writeLine(victim_addr, victim->line);
     }
+    if (victim->prefetched) {
+        // Evicted before any demand touch: the prefetch was wasted.
+        victim->prefetched = false;
+        if (prefetch_inaccurate_ != nullptr)
+            ++*prefetch_inaccurate_;
+    }
     LineAccess fill = below_.readLine(line_addr);
     cycles += fill.cycles + config_.hit_latency;
     victim->valid = true;
@@ -115,6 +124,8 @@ Cache::findOrFill(std::uint64_t paddr, std::uint64_t &cycles)
     victim->line = *fill.line;
     memo.line_key = line_key;
     memo.way = victim;
+    if (demand_fill && fill_listener_ != nullptr)
+        fill_listener_->onDemandFill(*this, line_addr, victim->line);
     return *victim;
 }
 
@@ -122,7 +133,7 @@ LineAccess
 Cache::readLine(std::uint64_t paddr)
 {
     std::uint64_t cycles = 0;
-    Way &way = findOrFill(paddr, cycles);
+    Way &way = findOrFill(paddr, cycles, /*demand_fill=*/true);
     return LineAccess{&way.line, cycles};
 }
 
@@ -130,7 +141,7 @@ std::uint64_t
 Cache::writeLine(std::uint64_t paddr, const mem::TaggedLine &line)
 {
     std::uint64_t cycles = 0;
-    Way &way = findOrFill(paddr, cycles);
+    Way &way = findOrFill(paddr, cycles, /*demand_fill=*/false);
     way.line = line;
     way.dirty = true;
     return cycles;
@@ -139,7 +150,8 @@ Cache::writeLine(std::uint64_t paddr, const mem::TaggedLine &line)
 mem::TaggedLine &
 Cache::storeAccess(std::uint64_t paddr, std::uint64_t &cycles)
 {
-    Way &way = findOrFill(paddr, cycles); // the read half
+    // the read half
+    Way &way = findOrFill(paddr, cycles, /*demand_fill=*/true);
     // The write half re-hits the line findOrFill just touched; replay
     // its effects (hit stat, LRU bump, hit latency) without rescanning.
     ++*hits_;
@@ -147,6 +159,69 @@ Cache::storeAccess(std::uint64_t paddr, std::uint64_t &cycles)
     cycles += config_.hit_latency;
     way.dirty = true;
     return way.line;
+}
+
+void
+Cache::armPrefetch()
+{
+    if (prefetch_issued_ != nullptr)
+        return;
+    prefetch_issued_ =
+        &stats_.counter(config_.name + ".prefetch_issued");
+    prefetch_useful_ =
+        &stats_.counter(config_.name + ".prefetch_useful");
+    prefetch_late_ = &stats_.counter(config_.name + ".prefetch_late");
+    prefetch_inaccurate_ =
+        &stats_.counter(config_.name + ".prefetch_inaccurate");
+}
+
+const mem::TaggedLine *
+Cache::prefetchFill(std::uint64_t paddr)
+{
+    if (probeWay(paddr) != nullptr) {
+        // Already resident: the demand stream (or an earlier prefetch)
+        // beat this one to the line.
+        ++*prefetch_late_;
+        return nullptr;
+    }
+    std::uint64_t line_key = paddr >> kLineShift;
+    std::uint64_t tag = line_key >> set_shift_;
+    Way *set = &ways_[(line_key & set_mask_) * config_.ways];
+    // Same victim policy as a demand miss: invalid way if any, else
+    // LRU — prefetched lines ride the ordinary eviction machinery.
+    Way *victim = &set[0];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Way &way = set[w];
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (way.lru < victim->lru)
+            victim = &way;
+    }
+    std::uint64_t line_addr = support::roundDown(paddr, mem::kLineBytes);
+    if (victim->valid && victim->dirty) {
+        // The writeback transaction is real (it moves DRAM traffic);
+        // its cycles are dropped with the rest of the prefetch cost.
+        ++*writebacks_;
+        std::uint64_t victim_addr =
+            (victim->addr_tag * num_sets_ + setIndex(paddr)) *
+            mem::kLineBytes;
+        below_.writeLine(victim_addr, victim->line);
+    }
+    if (victim->prefetched)
+        ++*prefetch_inaccurate_;
+    LineAccess fill = below_.readLine(line_addr);
+    victim->valid = true;
+    victim->dirty = false;
+    victim->addr_tag = tag;
+    victim->lru = ++lru_clock_;
+    victim->line = *fill.line;
+    victim->prefetched = true;
+    ++*prefetch_issued_;
+    // No memo_ update: the memo must keep naming the last demand
+    // access (readLineFastHandle mints handles straight from it).
+    return &victim->line;
 }
 
 bool
@@ -183,6 +258,11 @@ Cache::invalidateLine(std::uint64_t paddr)
                 std::uint64_t addr =
                     support::roundDown(paddr, mem::kLineBytes);
                 below_.writeLine(addr, way.line);
+            }
+            if (way.prefetched) {
+                way.prefetched = false;
+                if (prefetch_inaccurate_ != nullptr)
+                    ++*prefetch_inaccurate_;
             }
             way.valid = false;
             way.dirty = false;
@@ -258,6 +338,11 @@ Cache::flush()
                 std::uint64_t addr =
                     (way.addr_tag * num_sets_ + set) * mem::kLineBytes;
                 below_.writeLine(addr, way.line);
+            }
+            if (way.prefetched) {
+                way.prefetched = false;
+                if (way.valid && prefetch_inaccurate_ != nullptr)
+                    ++*prefetch_inaccurate_;
             }
             way.valid = false;
             way.dirty = false;

@@ -55,6 +55,28 @@ class LineSource
 inline constexpr unsigned kLineShift = 5;
 static_assert((1ULL << kLineShift) == mem::kLineBytes);
 
+class Cache;
+
+/**
+ * Notified when a *demand* read/RMW miss fills a line into a cache —
+ * the prefetcher trigger point. Deliberately not fired for writeLine
+ * fills (writebacks from above, coherence pushes, and full-line
+ * capability stores allocate without wanting the old data) nor for
+ * prefetch fills themselves. The listener must not recurse into the
+ * cache synchronously; the hierarchy queues the trigger and issues
+ * prefetches after the demand access completes (off the critical
+ * path, which is also why prefetch fills charge no cycles).
+ */
+class FillListener
+{
+  public:
+    virtual ~FillListener() = default;
+
+    /** line_paddr is 32-byte aligned; line is the content as filled. */
+    virtual void onDemandFill(Cache &cache, std::uint64_t line_paddr,
+                              const mem::TaggedLine &line) = 0;
+};
+
 /**
  * DRAM timing parameters: a simple open-row model, calibrated to the
  * paper's 100 MHz FPGA core, where DDR2 is only on the order of ten
@@ -203,6 +225,7 @@ class Cache : public LineSource
         ++*hits_;
         handle.way->lru = ++lru_clock_;
         cycles += config_.hit_latency;
+        noteDemandTouch(*handle.way);
         return &handle.way->line;
     }
 
@@ -246,6 +269,7 @@ class Cache : public LineSource
         handle.way->lru = lru_clock_;
         cycles += 2 * config_.hit_latency;
         handle.way->dirty = true;
+        noteDemandTouch(*handle.way);
         return &handle.way->line;
     }
 
@@ -266,6 +290,7 @@ class Cache : public LineSource
         cycles += config_.hit_latency;
         handle.way->line = line;
         handle.way->dirty = true;
+        noteDemandTouch(*handle.way);
         return true;
     }
 
@@ -286,6 +311,7 @@ class Cache : public LineSource
             memo.way->addr_tag == (line_key >> set_shift_)) {
             ++*hits_;
             memo.way->lru = ++lru_clock_;
+            noteDemandTouch(*memo.way);
             return {&memo.way->line, config_.hit_latency};
         }
         return readLine(paddr);
@@ -309,6 +335,7 @@ class Cache : public LineSource
             memo.way->addr_tag == tag) {
             ++*hits_;
             memo.way->lru = ++lru_clock_;
+            noteDemandTouch(*memo.way);
             out.way = memo.way;
             out.addr_tag = tag;
             return {&memo.way->line, config_.hit_latency};
@@ -335,6 +362,7 @@ class Cache : public LineSource
             memo.way->lru = lru_clock_;
             cycles += 2 * config_.hit_latency;
             memo.way->dirty = true;
+            noteDemandTouch(*memo.way);
             return memo.way->line;
         }
         return storeAccess(paddr, cycles);
@@ -354,6 +382,39 @@ class Cache : public LineSource
 
     /** Write back every dirty line and invalidate (context purge). */
     void flush();
+
+    // --- prefetch support (see cache/prefetch.h and DESIGN.md §14) ---
+
+    /**
+     * Register the (single) listener told about demand fills; nullptr
+     * detaches. Fired only from the readLine/storeAccess miss paths —
+     * never for writeLine allocations or prefetch fills.
+     */
+    void setFillListener(FillListener *listener)
+    {
+        fill_listener_ = listener;
+    }
+
+    /**
+     * Mint the prefetch counters (".prefetch_issued" / "_useful" /
+     * "_late" / "_inaccurate"). Deliberately lazy: a hierarchy with
+     * prefetching off never mints them, so collectStats output — and
+     * every byte of downstream JSON — is unchanged from the seed.
+     */
+    void armPrefetch();
+
+    /**
+     * Fill paddr's line speculatively: same victim choice, dirty
+     * writeback, and below-level traffic as a demand miss, but no
+     * hit/miss accounting and no cycle cost (prefetches run off the
+     * critical path; their latency is modeled as hidden). If the line
+     * is already resident this counts ".prefetch_late" and does
+     * nothing else. Returns the filled line (for pointer chasing) or
+     * nullptr when resident. The findOrFill memo is deliberately not
+     * updated — it must keep naming the last *demand* access. Only
+     * call after armPrefetch().
+     */
+    const mem::TaggedLine *prefetchFill(std::uint64_t paddr);
 
     // --- coherence probes (no stats, no LRU effect, no cycles) ---
     // Used by the hierarchy to keep instruction fetch coherent with
@@ -418,13 +479,38 @@ class Cache : public LineSource
     {
         bool valid = false;
         bool dirty = false;
+        /** Filled by prefetchFill and not yet demand-touched. Cleared
+         *  (counting ".prefetch_useful") by the first demand hit —
+         *  every hit path, including the handle/memo replays, runs
+         *  noteDemandTouch so the counter is host-mode invariant. */
+        bool prefetched = false;
         std::uint64_t addr_tag = 0;
         std::uint64_t lru = 0; ///< larger = more recently used
         mem::TaggedLine line;
     };
 
-    /** Locate (and on miss, fill) the way holding paddr's line. */
-    Way &findOrFill(std::uint64_t paddr, std::uint64_t &cycles);
+    /**
+     * First demand touch of a prefetched line: the prefetch proved
+     * useful. Behind the way's own flag so the default-off hot path
+     * pays one never-taken branch; the counter null check guards the
+     * (unreachable by construction) unarmed case.
+     */
+    void noteDemandTouch(Way &way)
+    {
+        if (way.prefetched) {
+            way.prefetched = false;
+            if (prefetch_useful_ != nullptr)
+                ++*prefetch_useful_;
+        }
+    }
+
+    /**
+     * Locate (and on miss, fill) the way holding paddr's line. A fill
+     * notifies the FillListener only when demand_fill is set (the
+     * readLine/storeAccess entries; writeLine allocations pass false).
+     */
+    Way &findOrFill(std::uint64_t paddr, std::uint64_t &cycles,
+                    bool demand_fill);
 
     /** Host-side probe for the resident way of paddr's line, if any. */
     Way *probeWay(std::uint64_t paddr)
@@ -480,6 +566,15 @@ class Cache : public LineSource
     std::uint64_t *hits_ = nullptr;
     std::uint64_t *misses_ = nullptr;
     std::uint64_t *writebacks_ = nullptr;
+    // Prefetch counters; nullptr until armPrefetch() mints them (lazy
+    // so a prefetch-off hierarchy's stat set is byte-identical to the
+    // seed's). way.prefetched implies armed, so the hit paths only
+    // dereference them when they exist.
+    std::uint64_t *prefetch_issued_ = nullptr;
+    std::uint64_t *prefetch_useful_ = nullptr;
+    std::uint64_t *prefetch_late_ = nullptr;
+    std::uint64_t *prefetch_inaccurate_ = nullptr;
+    FillListener *fill_listener_ = nullptr;
 };
 
 } // namespace cheri::cache

@@ -9,13 +9,25 @@ namespace cheri::cache
 CacheHierarchy::CacheHierarchy(mem::TagManager &manager,
                                HierarchyConfig config)
     : dram_(manager, config.dram), l2_(config.l2, dram_),
-      l1i_(config.l1i, l2_), l1d_(config.l1d, l2_)
+      l1i_(config.l1i, l2_), l1d_(config.l1d, l2_),
+      tag_manager_(&manager), prefetch_(config.prefetch),
+      prefetcher_(makePrefetcher(config.prefetch))
 {
     // ~0 is never a line address; 0 is (physical line 0).
     fetched_lines_.fill(~0ULL);
     written_lines_.fill(~0ULL);
     static_assert(std::tuple_size_v<decltype(fetched_lines_)> ==
                   std::tuple_size_v<decltype(written_lines_)>);
+    if (prefetcher_ != nullptr) {
+        if (prefetch_.attach_l1d) {
+            l1d_.armPrefetch();
+            l1d_.setFillListener(this);
+        }
+        if (prefetch_.attach_l2) {
+            l2_.armPrefetch();
+            l2_.setFillListener(this);
+        }
+    }
 }
 
 void
@@ -58,7 +70,9 @@ CacheHierarchy::readCapLine(std::uint64_t paddr, std::uint64_t &cycles)
                        static_cast<unsigned long long>(paddr));
     LineAccess access = l1d_.readLine(paddr);
     cycles += access.cycles;
-    return *access.line;
+    mem::TaggedLine copy = *access.line;
+    maybeDrainPrefetch(); // after the copy: the drain may evict the way
+    return copy;
 }
 
 void
@@ -73,6 +87,51 @@ CacheHierarchy::writeCapLine(std::uint64_t paddr,
     noteCodeWriteFiltered(paddr);
     if (store_hooks_armed_ && store_observer_ != nullptr)
         store_observer_->onLineWritten(paddr);
+    // writeLine fills never trigger prefetch on their own cache, but
+    // an L1D write-allocate miss pulls the old line through the L2 —
+    // that L2 demand fill can queue.
+    maybeDrainPrefetch();
+}
+
+void
+CacheHierarchy::drainPrefetch()
+{
+    in_prefetch_ = true;
+    for (std::size_t t = 0; t < pending_.size(); ++t) {
+        // By-value copy: onDemandFill is suppressed while in_prefetch_,
+        // so pending_ cannot grow (or reallocate) under us, but the
+        // copy keeps this robust and the trigger is 48 bytes.
+        PendingTrigger trigger = pending_[t];
+        unsigned budget = prefetch_.degree;
+        prefetch_candidates_.clear();
+        prefetcher_->proposeAfterFill(trigger.line_paddr, trigger.line,
+                                      prefetch_translate_,
+                                      prefetch_candidates_);
+        // Candidates may grow mid-loop: a chasing prefetcher appends
+        // the targets it decodes from freshly prefetched lines.
+        // Bounded by the degree budget on fills (each fill appends at
+        // most degree candidates and fills are capped at degree).
+        for (std::size_t c = 0;
+             c < prefetch_candidates_.size() && budget > 0; ++c) {
+            std::uint64_t paddr = prefetch_candidates_[c];
+            if (prefetch_phys_limit_ == 0 ||
+                paddr + mem::kLineBytes > prefetch_phys_limit_)
+                continue;
+            if (paddr == trigger.line_paddr)
+                continue; // self-referential capability
+            const mem::TaggedLine *filled =
+                trigger.cache->prefetchFill(paddr);
+            if (filled == nullptr)
+                continue; // already resident: counted as late
+            --budget;
+            if (budget > 0 && prefetcher_->chasesPointers())
+                prefetcher_->proposeAfterFill(paddr, *filled,
+                                              prefetch_translate_,
+                                              prefetch_candidates_);
+        }
+    }
+    pending_.clear();
+    in_prefetch_ = false;
 }
 
 void
@@ -124,6 +183,10 @@ CacheHierarchy::restore(const Snapshot &snapshot)
     dram_.restore(snapshot.dram);
     fetched_lines_ = snapshot.fetched_lines;
     written_lines_ = snapshot.written_lines;
+    // The trigger queue is empty at every operation boundary —
+    // snapshots are only taken there — so there is nothing to
+    // capture; just drop anything a mid-operation caller left behind.
+    pending_.clear();
 }
 
 support::StatSet
@@ -133,6 +196,10 @@ CacheHierarchy::collectStats() const
     for (const Cache *cache : {&l1i_, &l1d_, &l2_})
         merged.merge(cache->stats());
     merged.add("dram.transactions", dram_.transactions());
+    // Tag-manager counters (tag.cache_hits/_misses, tag.table_*,
+    // dram.reads/writes) ride along so consumers — the prefetch sweep
+    // in particular — see tag-cache pressure without a side channel.
+    merged.merge(tag_manager_->stats());
     return merged;
 }
 

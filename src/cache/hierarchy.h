@@ -14,8 +14,10 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "cache/cache.h"
+#include "cache/prefetch.h"
 #include "mem/tag_manager.h"
 #include "support/stats.h"
 
@@ -59,6 +61,8 @@ struct HierarchyConfig
     CacheConfig l1d{"l1d", 16 * 1024, 4, 1};
     CacheConfig l2{"l2", 64 * 1024, 8, 4};
     DramTiming dram;
+    /** Prefetcher selection and attach points (default: off). */
+    PrefetchConfig prefetch;
 };
 
 /**
@@ -67,7 +71,7 @@ struct HierarchyConfig
  * aligned and line-contained — the CPU raises address-error faults
  * before calling in.
  */
-class CacheHierarchy
+class CacheHierarchy : private FillListener
 {
   public:
     CacheHierarchy(mem::TagManager &manager, HierarchyConfig config = {});
@@ -99,6 +103,11 @@ class CacheHierarchy
         }
         LineAccess access = l1i_.readLineFast(paddr);
         cycles += access.cycles;
+        // An L1I miss that also missed the L2 may have queued L2
+        // prefetch triggers; issue them now. The drain never touches
+        // L1I way storage (prefetchers attach L1D/L2 only), so the
+        // returned pointer stays valid.
+        maybeDrainPrefetch();
         return access.line;
     }
 
@@ -133,6 +142,7 @@ class CacheHierarchy
         }
         LineAccess access = l1i_.readLineFastHandle(paddr, out);
         cycles += access.cycles;
+        maybeDrainPrefetch(); // see fetchLine
         return access.line;
     }
 
@@ -172,6 +182,7 @@ class CacheHierarchy
                          access.line->data[offset + i])
                      << (8 * i);
         }
+        maybeDrainPrefetch(); // after the line bytes are consumed
         return value;
     }
 
@@ -193,6 +204,7 @@ class CacheHierarchy
             line.data[offset + i] =
                 static_cast<std::uint8_t>(value >> (8 * i));
         finishDataStore(line, paddr);
+        maybeDrainPrefetch();
     }
 
     // --- data fast path (see DESIGN.md §9) ---
@@ -269,6 +281,33 @@ class CacheHierarchy
 
     /** Write back and invalidate everything (used by tests). */
     void flushAll();
+
+    // --- prefetch wiring (see DESIGN.md §14) ---
+
+    /**
+     * Install the side-effect-free virtual-to-physical probe the
+     * pointer-chase prefetcher translates through (the Machine wires
+     * this to Tlb::probePrefetch; forks re-wire it in their own
+     * constructor). An empty translator disables pointer chasing.
+     */
+    void setPrefetchTranslator(PrefetchTranslator translate)
+    {
+        prefetch_translate_ = std::move(translate);
+    }
+
+    /**
+     * Physical memory size in bytes; prefetch candidates at or past
+     * it are dropped. 0 (the default for a bare hierarchy) drops
+     * every candidate — the Machine always sets the real size, so
+     * prefetching is only live behind a known DRAM bound.
+     */
+    void setPrefetchPhysLimit(std::uint64_t bytes)
+    {
+        prefetch_phys_limit_ = bytes;
+    }
+
+    /** The active prefetch configuration. */
+    const PrefetchConfig &prefetchConfig() const { return prefetch_; }
 
     /** DRAM line transactions so far (memory-traffic metric). */
     std::uint64_t dramTransactions() const { return dram_.transactions(); }
@@ -431,10 +470,62 @@ class CacheHierarchy
         }
     }
 
+    /**
+     * FillListener: a demand miss filled a line into the L1D or L2.
+     * Only queues the trigger — prefetches issue in drainPrefetch at
+     * the end of the current hierarchy operation, so the demand
+     * access's own fill sequence is never interleaved with
+     * speculative traffic. Fills caused by prefetching itself (an L1D
+     * prefetch pulling its line through the L2) are suppressed, or
+     * one trigger could chase forever.
+     */
+    void onDemandFill(Cache &cache, std::uint64_t line_paddr,
+                      const mem::TaggedLine &line) override
+    {
+        if (in_prefetch_)
+            return;
+        pending_.push_back(PendingTrigger{&cache, line_paddr, line});
+    }
+
+    /**
+     * Issue queued prefetch triggers. Called at the end of every
+     * public operation that can miss; the queue is empty at every
+     * operation boundary, so snapshots/forks need no prefetch state
+     * and the fast-path replays (hits only — they can never enqueue)
+     * need no drain hook.
+     */
+    void maybeDrainPrefetch()
+    {
+        if (!pending_.empty())
+            drainPrefetch();
+    }
+
+    void drainPrefetch();
+
     DramSource dram_;
     Cache l2_;
     Cache l1i_;
     Cache l1d_;
+    mem::TagManager *tag_manager_;
+    PrefetchConfig prefetch_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+    PrefetchTranslator prefetch_translate_;
+    std::uint64_t prefetch_phys_limit_ = 0;
+    /** True while drainPrefetch issues fills (suppresses re-triggering). */
+    bool in_prefetch_ = false;
+    /** One queued demand-fill trigger (line content copied at fill
+     *  time, before the demand store that may have caused it mutates
+     *  the line — deterministic in every host mode because fast-path
+     *  replays are hits and never reach here). */
+    struct PendingTrigger
+    {
+        Cache *cache;
+        std::uint64_t line_paddr;
+        mem::TaggedLine line;
+    };
+    std::vector<PendingTrigger> pending_;
+    /** Scratch candidate list reused across drains. */
+    std::vector<std::uint64_t> prefetch_candidates_;
     FetchInvalidationListener *fetch_listener_ = nullptr;
     StoreObserver *store_observer_ = nullptr;
     bool suppress_store_tag_clear_ = false;

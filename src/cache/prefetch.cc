@@ -1,0 +1,131 @@
+#include "cache/prefetch.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <string>
+
+#include "support/bits.h"
+
+namespace cheri::cache
+{
+
+namespace
+{
+
+/** log2(kLineBytes) without depending on cache.h's constant. */
+constexpr unsigned kShift = 5;
+static_assert((1ULL << kShift) == mem::kLineBytes);
+
+/**
+ * Little-endian 64-bit word of a capability image (mirrors the
+ * fixed-word layout in cap/capability.h: word 2 = base, word 3 =
+ * length). Decoded by hand so the cache library does not grow a
+ * dependency on the capability layer.
+ */
+std::uint64_t
+capWord(const mem::Line &data, unsigned index)
+{
+    std::uint64_t value;
+    std::memcpy(&value, data.data() + index * 8, 8);
+    if constexpr (std::endian::native == std::endian::big)
+        value = __builtin_bswap64(value);
+    return value;
+}
+
+} // namespace
+
+const char *
+prefetchPolicyName(PrefetchPolicy policy)
+{
+    switch (policy) {
+      case PrefetchPolicy::kNone:
+        return "none";
+      case PrefetchPolicy::kNextLine:
+        return "nextline";
+      case PrefetchPolicy::kCapChase:
+        return "capchase";
+    }
+    return "?";
+}
+
+bool
+parsePrefetchPolicy(const char *text, PrefetchPolicy &out)
+{
+    std::string name(text);
+    if (name == "none")
+        out = PrefetchPolicy::kNone;
+    else if (name == "nextline")
+        out = PrefetchPolicy::kNextLine;
+    else if (name == "capchase")
+        out = PrefetchPolicy::kCapChase;
+    else
+        return false;
+    return true;
+}
+
+void
+NextLinePrefetcher::proposeAfterFill(std::uint64_t line_paddr,
+                                     const mem::TaggedLine &,
+                                     const PrefetchTranslator &,
+                                     std::vector<std::uint64_t> &out) const
+{
+    std::uint64_t line = support::roundDown(line_paddr, mem::kLineBytes);
+    for (unsigned k = 1; k <= degree_; ++k) {
+        std::uint64_t next = line + k * mem::kLineBytes;
+        if (next < line) // physical address wrap
+            break;
+        out.push_back(next);
+    }
+}
+
+void
+CapChasePrefetcher::proposeAfterFill(std::uint64_t,
+                                     const mem::TaggedLine &line,
+                                     const PrefetchTranslator &translate,
+                                     std::vector<std::uint64_t> &out) const
+{
+    if (!line.tag || !translate)
+        return;
+    std::uint64_t base = capWord(line.data, 2);
+    std::uint64_t length = capWord(line.data, 3);
+    if (length == 0)
+        return;
+    // Cover the pointee's first lines, up to degree lines or its
+    // length, whichever runs out first. Each line translates on its
+    // own (the region may cross a page); any probe miss just skips
+    // that candidate.
+    std::uint64_t span =
+        std::min<std::uint64_t>(length,
+                                std::uint64_t{degree_} * mem::kLineBytes);
+    std::uint64_t first = support::roundDown(base, mem::kLineBytes);
+    std::uint64_t last_byte = base + span - 1;
+    if (last_byte < base) // virtual wrap: clamp to the first line
+        last_byte = base;
+    std::uint64_t last = support::roundDown(last_byte, mem::kLineBytes);
+    unsigned proposed = 0;
+    for (std::uint64_t va = first; va <= last && proposed < degree_;
+         va += mem::kLineBytes, ++proposed) {
+        std::uint64_t pa = 0;
+        if (translate(va, pa))
+            out.push_back(support::roundDown(pa, mem::kLineBytes));
+        if (va + mem::kLineBytes < va) // virtual wrap
+            break;
+    }
+}
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(const PrefetchConfig &config)
+{
+    switch (config.policy) {
+      case PrefetchPolicy::kNone:
+        return nullptr;
+      case PrefetchPolicy::kNextLine:
+        return std::make_unique<NextLinePrefetcher>(config.degree);
+      case PrefetchPolicy::kCapChase:
+        return std::make_unique<CapChasePrefetcher>(config.degree);
+    }
+    return nullptr;
+}
+
+} // namespace cheri::cache

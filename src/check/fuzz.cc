@@ -717,17 +717,22 @@ runFuzzWords(const std::vector<std::uint32_t> &words,
              bool suppress_tag_clear,
              std::uint64_t max_instructions,
              DataFastPathMode data_mode, SuperblockMode sb_mode,
-             core::Machine *fork_parent)
+             core::Machine *fork_parent,
+             cache::PrefetchConfig prefetch)
 {
     FuzzRunResult result;
     for (bool fast : {true, false}) {
         // A fork of a pristine parent is simulated-state-identical
         // to a fresh machine, just without the 4 MB allocation; the
         // pass then COW-faults only the pages it actually touches.
+        // A fork parent must already carry the requested prefetch
+        // config (runFuzzSeeds builds its parents that way).
+        core::MachineConfig fresh_config = fuzzMachineConfig();
+        fresh_config.caches.prefetch = prefetch;
         std::unique_ptr<core::Machine> owned =
             fork_parent
                 ? fork_parent->fork()
-                : std::make_unique<core::Machine>(fuzzMachineConfig());
+                : std::make_unique<core::Machine>(fresh_config);
         core::Machine &machine = *owned;
         machine.loadProgram(kFuzzCodeBase, words);
         machine.mapRange(kFuzzArenaBase, kFuzzArenaLen);
@@ -767,14 +772,15 @@ runFuzzWords(const std::vector<std::uint32_t> &words,
 std::vector<FuzzOp>
 shrinkOps(const FuzzSpec &spec, bool suppress_tag_clear,
           std::uint64_t max_instructions, DataFastPathMode data_mode,
-          SuperblockMode sb_mode, core::Machine *fork_parent)
+          SuperblockMode sb_mode, core::Machine *fork_parent,
+          cache::PrefetchConfig prefetch)
 {
     auto diverges = [&](const std::vector<FuzzOp> &ops) {
         FuzzSpec candidate = spec;
         candidate.ops = ops;
         return runFuzzWords(assembleFuzzProgram(candidate),
                             suppress_tag_clear, max_instructions,
-                            data_mode, sb_mode, fork_parent)
+                            data_mode, sb_mode, fork_parent, prefetch)
             .diverged;
     };
 
@@ -865,7 +871,7 @@ runOneSeed(const FuzzCampaignConfig &config, std::uint64_t seed,
     FuzzRunResult result =
         runFuzzWords(words, config.suppress_tag_clear,
                      config.max_instructions, config.data_mode,
-                     config.sb_mode, fork_parent);
+                     config.sb_mode, fork_parent, config.prefetch);
     if (!result.diverged) {
         if (!config.quiet)
             outcome.text = support::format(
@@ -885,13 +891,13 @@ runOneSeed(const FuzzCampaignConfig &config, std::uint64_t seed,
         small.ops = shrinkOps(spec, config.suppress_tag_clear,
                               config.max_instructions,
                               config.data_mode, config.sb_mode,
-                              fork_parent);
+                              fork_parent, config.prefetch);
         std::vector<std::uint32_t> small_words =
             assembleFuzzProgram(small);
         FuzzRunResult small_result =
             runFuzzWords(small_words, config.suppress_tag_clear,
                          config.max_instructions, config.data_mode,
-                         config.sb_mode, fork_parent);
+                         config.sb_mode, fork_parent, config.prefetch);
         outcome.text +=
             support::format("shrunk %zu ops -> %zu ops\n",
                             spec.ops.size(), small.ops.size());
@@ -940,9 +946,13 @@ runFuzzSeeds(const FuzzCampaignConfig &config)
         [&config, &parents](std::size_t index, unsigned worker) {
             core::Machine *parent = nullptr;
             if (config.fork_machines) {
-                if (!parents[worker])
-                    parents[worker] = std::make_unique<core::Machine>(
-                        fuzzMachineConfig());
+                if (!parents[worker]) {
+                    core::MachineConfig parent_config =
+                        fuzzMachineConfig();
+                    parent_config.caches.prefetch = config.prefetch;
+                    parents[worker] =
+                        std::make_unique<core::Machine>(parent_config);
+                }
                 parent = parents[worker].get();
             }
             return runOneSeed(config, config.start_seed + index,

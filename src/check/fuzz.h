@@ -168,7 +168,8 @@ FuzzRunResult runFuzzWords(const std::vector<std::uint32_t> &words,
                                DataFastPathMode::kFollow,
                            SuperblockMode sb_mode =
                                SuperblockMode::kFollow,
-                           core::Machine *fork_parent = nullptr);
+                           core::Machine *fork_parent = nullptr,
+                           cache::PrefetchConfig prefetch = {});
 
 /**
  * ddmin-style shrink: repeatedly delete chunks of ops while the
@@ -183,7 +184,8 @@ std::vector<FuzzOp> shrinkOps(const FuzzSpec &spec,
                                   DataFastPathMode::kFollow,
                               SuperblockMode sb_mode =
                                   SuperblockMode::kFollow,
-                              core::Machine *fork_parent = nullptr);
+                              core::Machine *fork_parent = nullptr,
+                              cache::PrefetchConfig prefetch = {});
 
 /**
  * Render a .s reproducer: header comments (seed, divergence) plus one
@@ -220,6 +222,11 @@ struct FuzzCampaignConfig
      * it), so the sweep doubles as a fork correctness oracle.
      */
     bool fork_machines = false;
+    /** Hardware prefetcher configuration for every fuzz machine
+     *  (both oracle passes; default off). The lockstep oracle then
+     *  doubles as a prefetch-transparency check: prefetched fills
+     *  must never change architectural state. */
+    cache::PrefetchConfig prefetch;
 };
 
 /** What one seed contributed to the sweep. */

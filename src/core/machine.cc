@@ -19,6 +19,14 @@ Machine::Machine(const MachineConfig &config,
       tlb_(page_table_, config.tlb),
       cpu_(hierarchy_, tlb_, config.timing, config.accel)
 {
+    // Prefetch wiring (body, not init list: the hierarchy is
+    // constructed before the TLB). Runs for forks too — the child's
+    // probe must consult the child's own TLB.
+    hierarchy_.setPrefetchTranslator(
+        [this](std::uint64_t vaddr, std::uint64_t &paddr) {
+            return tlb_.probePrefetch(vaddr, paddr);
+        });
+    hierarchy_.setPrefetchPhysLimit(config_.dram_bytes);
 }
 
 std::unique_ptr<Machine>

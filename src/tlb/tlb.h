@@ -263,6 +263,26 @@ class Tlb
     }
 
     /**
+     * Side-effect-free translation probe for the cache prefetcher: if
+     * the page containing vaddr is currently TLB-resident and
+     * readable, produce the physical address. No stats, no LRU
+     * movement, no page-table refill, and no fault — a prefetch is a
+     * hint, so a miss simply returns false. Residency at any demand
+     * miss point is host-mode invariant (the fast-path replays
+     * maintain hits, LRU, and evictions identically), so prefetch
+     * decisions gated on this probe cannot diverge across modes.
+     */
+    bool
+    probePrefetch(std::uint64_t vaddr, std::uint64_t &paddr) const
+    {
+        auto it = cached_.find(vaddr / kPageBytes);
+        if (it == cached_.end() || !it->second.pte.flags.readable)
+            return false;
+        paddr = it->second.pte.pfn * kPageBytes + vaddr % kPageBytes;
+        return true;
+    }
+
+    /**
      * Switch to another address space's page table (context switch);
      * flushes all cached entries.
      */

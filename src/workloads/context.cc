@@ -120,7 +120,7 @@ Context::allocateRaw(std::uint64_t size)
         // store per word plus loop overhead.
         onInstructions(size / 8 + 2);
         for (std::uint64_t offset = 0; offset < size; offset += 8)
-            onStore(vaddr + offset, 8, false, 0);
+            onStore(vaddr + offset, 8, false, 0, 0);
     }
     return vaddr;
 }
@@ -216,7 +216,7 @@ Context::storeWord(ObjRef obj, unsigned field, std::uint64_t value)
 {
     std::uint64_t addr = fieldAddress(obj, field, FieldKind::kWord);
     onInstructions(1 + kAccessOverheadInstr + costs_.check_instrs);
-    onStore(addr, 8, false, 0);
+    onStore(addr, 8, false, 0, 0);
     storeRaw(addr, value);
 }
 
@@ -235,7 +235,8 @@ Context::storePtr(ObjRef obj, unsigned field, ObjRef value)
 {
     std::uint64_t addr = fieldAddress(obj, field, FieldKind::kPtr);
     onInstructions(costs_.ptr_refs + kAccessOverheadInstr + costs_.check_instrs);
-    onStore(addr, costs_.ptr_bytes, true, allocationSize(value));
+    onStore(addr, costs_.ptr_bytes, true, allocationSize(value),
+            value);
     storeRaw(addr, value);
 }
 
@@ -260,7 +261,7 @@ Context::storeWordAt(ObjRef array, std::uint64_t index,
     if (kind != FieldKind::kWord)
         support::panic("storeWordAt on pointer array");
     onInstructions(1 + kAccessOverheadInstr + costs_.check_instrs);
-    onStore(addr, 8, false, 0);
+    onStore(addr, 8, false, 0, 0);
     storeRaw(addr, value);
 }
 
@@ -285,7 +286,8 @@ Context::storePtrAt(ObjRef array, std::uint64_t index, ObjRef value)
     if (kind != FieldKind::kPtr)
         support::panic("storePtrAt on word array");
     onInstructions(costs_.ptr_refs + kAccessOverheadInstr + costs_.check_instrs);
-    onStore(addr, costs_.ptr_bytes, true, allocationSize(value));
+    onStore(addr, costs_.ptr_bytes, true, allocationSize(value),
+            value);
     storeRaw(addr, value);
 }
 

@@ -153,13 +153,19 @@ class Context
   protected:
     // Subclass observation hooks. Sizes are in bytes; is_ptr marks
     // pointer moves; target_size is the pointee allocation size for
-    // pointer values (0 for null/unknown).
+    // pointer values (0 for null/unknown). onStore additionally
+    // carries the stored pointer value itself (the pointee's simulated
+    // base address; 0 for data stores and null pointers) so a timing
+    // context can write the real capability image — base and length —
+    // into simulated memory, where the pointer-chase prefetcher
+    // decodes it on fill.
     virtual void onAlloc(std::uint64_t vaddr, std::uint64_t size) = 0;
     virtual void onFree(std::uint64_t vaddr) = 0;
     virtual void onLoad(std::uint64_t vaddr, std::uint64_t size,
                         bool is_ptr, std::uint64_t target_size) = 0;
     virtual void onStore(std::uint64_t vaddr, std::uint64_t size,
-                         bool is_ptr, std::uint64_t target_size) = 0;
+                         bool is_ptr, std::uint64_t target_size,
+                         std::uint64_t target) = 0;
     virtual void onInstructions(std::uint64_t count) = 0;
 
     /** Allocation size of the object at base vaddr (0 if unknown). */

@@ -65,7 +65,7 @@ class ProfileContext : public Context
 
     void
     onStore(std::uint64_t vaddr, std::uint64_t size, bool is_ptr,
-            std::uint64_t target_size) override
+            std::uint64_t target_size, std::uint64_t /*target*/) override
     {
         access(vaddr, size, is_ptr, target_size);
         if (is_ptr)

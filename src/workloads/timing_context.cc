@@ -1,5 +1,7 @@
 #include "workloads/timing_context.h"
 
+#include "cap/capability.h"
+#include "cap/perms.h"
 #include "mem/physical_memory.h"
 #include "support/bits.h"
 
@@ -34,7 +36,8 @@ TimingContext::onFree(std::uint64_t)
 
 void
 TimingContext::access(std::uint64_t vaddr, std::uint64_t size,
-                      bool is_ptr, bool is_store)
+                      bool is_ptr, bool is_store, std::uint64_t target,
+                      std::uint64_t target_size)
 {
     PhaseCosts &phase_costs = current();
     bool cheri_cap = is_ptr && (model() == CompileModel::kCheri ||
@@ -64,8 +67,17 @@ TimingContext::access(std::uint64_t vaddr, std::uint64_t size,
             std::uint64_t line = support::roundDown(tr.paddr,
                                                     mem::kLineBytes);
             if (is_store) {
+                // Write the real capability image (base = stored
+                // pointer, length = pointee allocation size) so a
+                // pointer-chase prefetcher can decode it on fill. The
+                // tag is always set — the workloads only move valid
+                // capabilities — so tag-manager traffic matches the
+                // seed exactly.
                 mem::TaggedLine tagged;
                 tagged.tag = true;
+                cap::Capability capv = cap::Capability::make(
+                    target, target_size, cap::kPermAll);
+                tagged.data = capv.raw();
                 machine_->memory().writeCapLine(line, tagged, cycles);
             } else {
                 machine_->memory().readCapLine(line, cycles);
@@ -96,14 +108,15 @@ void
 TimingContext::onLoad(std::uint64_t vaddr, std::uint64_t size,
                       bool is_ptr, std::uint64_t)
 {
-    access(vaddr, size, is_ptr, /*is_store=*/false);
+    access(vaddr, size, is_ptr, /*is_store=*/false, 0, 0);
 }
 
 void
 TimingContext::onStore(std::uint64_t vaddr, std::uint64_t size,
-                       bool is_ptr, std::uint64_t)
+                       bool is_ptr, std::uint64_t target_size,
+                       std::uint64_t target)
 {
-    access(vaddr, size, is_ptr, /*is_store=*/true);
+    access(vaddr, size, is_ptr, /*is_store=*/true, target, target_size);
 }
 
 void

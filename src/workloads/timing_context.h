@@ -45,7 +45,7 @@ class TimingContext : public Context
     void onLoad(std::uint64_t vaddr, std::uint64_t size, bool is_ptr,
                 std::uint64_t target_size) override;
     void onStore(std::uint64_t vaddr, std::uint64_t size, bool is_ptr,
-                 std::uint64_t target_size) override;
+                 std::uint64_t target_size, std::uint64_t target) override;
     void onInstructions(std::uint64_t count) override;
 
   private:
@@ -54,9 +54,12 @@ class TimingContext : public Context
                                                ? 0
                                                : 1]; }
 
-    /** One timed access through TLB and caches. */
+    /** One timed access through TLB and caches. For capability
+     *  stores, target/target_size describe the stored pointer so the
+     *  written line carries the real capability image. */
     void access(std::uint64_t vaddr, std::uint64_t size, bool is_ptr,
-                bool is_store);
+                bool is_store, std::uint64_t target,
+                std::uint64_t target_size);
 
     std::unique_ptr<core::Machine> machine_;
     PhaseCosts costs_by_phase_[2];

@@ -48,7 +48,7 @@ class TraceContext : public Context
 
     void
     onStore(std::uint64_t vaddr, std::uint64_t size, bool is_ptr,
-            std::uint64_t target_size) override
+            std::uint64_t target_size, std::uint64_t /*target*/) override
     {
         if (is_ptr)
             trace_.storePtr(vaddr, size, target_size);

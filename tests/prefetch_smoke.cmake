@@ -1,0 +1,23 @@
+# Determinism smoke for the prefetcher x tag-cache ablation sweep:
+# every reported number is simulated state, so the JSON must be
+# byte-identical between --jobs 1 and --jobs 4, and across repeated
+# runs at the same jobs value (the second "4" below overwrites and
+# re-compares, catching any run-to-run nondeterminism such as
+# iteration order over unordered containers).
+#
+# Expects: -DABLATION=<ablation_prefetch binary> -DWORK_DIR=<scratch>
+
+include(${CMAKE_CURRENT_LIST_DIR}/harness_smoke.cmake)
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(ENV{CHERI_BENCH_QUICK} 1)
+
+run_jobs_matrix(
+    NAME ablation-prefetch
+    OUTPUT ${WORK_DIR}/prefetch-j@JOBS@.json
+    JOBS 1 4 4
+    COMMAND ${ABLATION} --jobs @JOBS@ --json @OUTPUT@
+)
+
+message(STATUS "prefetch smoke passed: sweep JSON byte-identical "
+               "across jobs values and repeated runs")

@@ -41,7 +41,7 @@ class NullContext : public Context
                 std::uint64_t) override
     {
     }
-    void onStore(std::uint64_t, std::uint64_t, bool,
+    void onStore(std::uint64_t, std::uint64_t, bool, std::uint64_t,
                  std::uint64_t) override
     {
     }

@@ -32,6 +32,11 @@
  *                          superblock tier per oracle pass, same
  *                          shape as --data-fastpath (the tier is
  *                          inert without the decode cache)
+ *     --prefetch none|nextline|capchase
+ *                          hardware prefetcher in every fuzz machine
+ *                          (default none); the oracle then checks
+ *                          that prefetched fills never change
+ *                          architectural state
  *     --expect-divergence  exit 0 iff a divergence WAS found
  *     --quiet              only print the summary line
  *
@@ -113,6 +118,17 @@ main(int argc, char **argv)
                              mode);
                 return 2;
             }
+        } else if (std::strcmp(argv[i], "--prefetch") == 0 &&
+                   i + 1 < argc) {
+            const char *name = argv[++i];
+            if (!cache::parsePrefetchPolicy(
+                    name, config.prefetch.policy)) {
+                std::fprintf(stderr,
+                             "unknown prefetch policy %s "
+                             "(none|nextline|capchase)\n",
+                             name);
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--expect-divergence") == 0) {
             expect_divergence = true;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -125,6 +141,7 @@ main(int argc, char **argv)
                 "[--inject-fault tag-clear] "
                 "[--data-fastpath follow|on|off] "
                 "[--superblock follow|on|off] "
+                "[--prefetch none|nextline|capchase] "
                 "[--expect-divergence] [--quiet]\n");
             return 2;
         }

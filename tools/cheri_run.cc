@@ -15,6 +15,10 @@
  *     --dram BYTES     DRAM size (default 64 MiB)
  *     --l1 BYTES       L1 data/instruction cache size (default 16 KiB)
  *     --l2 BYTES       L2 cache size (default 64 KiB)
+ *     --prefetch P     hardware prefetcher: none|nextline|capchase
+ *                      (default none)
+ *     --prefetch-degree N
+ *                      prefetch degree, 1..64 (default 2)
  *
  * Exit codes (each failure prints a one-line diagnostic on stderr):
  *   0  guest exited 0 or reached BREAK
@@ -59,15 +63,13 @@ printStats(core::Machine &machine)
     for (const auto &[name, value] : cpu.stats().all())
         std::printf("%-18s %llu\n", name.c_str(),
                     static_cast<unsigned long long>(value));
+    // collectStats already folds in the tag-manager counters; print
+    // only the TLB separately.
     support::StatSet memory_stats = machine.memory().collectStats();
     for (const auto &[name, value] : memory_stats.all())
         std::printf("%-18s %llu\n", name.c_str(),
                     static_cast<unsigned long long>(value));
     for (const auto &[name, value] : machine.tlb().stats().all())
-        std::printf("%-18s %llu\n", name.c_str(),
-                    static_cast<unsigned long long>(value));
-    for (const auto &[name, value] :
-         machine.tagManager().stats().all())
         std::printf("%-18s %llu\n", name.c_str(),
                     static_cast<unsigned long long>(value));
 }
@@ -131,6 +133,30 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--l2") == 0 && i + 1 < argc) {
             config.caches.l2.size_bytes =
                 support::parseU64OrFatal(argv[++i], "--l2");
+        } else if (std::strcmp(argv[i], "--prefetch") == 0 &&
+                   i + 1 < argc) {
+            const char *name = argv[++i];
+            if (!cache::parsePrefetchPolicy(
+                    name, config.caches.prefetch.policy)) {
+                std::fprintf(stderr,
+                             "--prefetch: unknown policy '%s' "
+                             "(none|nextline|capchase)\n",
+                             name);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--prefetch-degree") == 0 &&
+                   i + 1 < argc) {
+            std::uint64_t degree = support::parseU64OrFatal(
+                argv[++i], "--prefetch-degree");
+            if (degree == 0 || degree > 64) {
+                std::fprintf(stderr,
+                             "--prefetch-degree: expected 1..64, got "
+                             "%llu\n",
+                             static_cast<unsigned long long>(degree));
+                return 2;
+            }
+            config.caches.prefetch.degree =
+                static_cast<unsigned>(degree);
         } else if (std::strcmp(argv[i], "--stats") == 0) {
             want_stats = true;
         } else if (std::strcmp(argv[i], "--dump-regs") == 0) {
