@@ -33,8 +33,9 @@ CacheHierarchy::CacheHierarchy(mem::TagManager &manager,
 void
 CacheHierarchy::straddlePanic(std::uint64_t paddr, unsigned size) const
 {
-    support::panic("access [0x%llx, +%u) straddles a cache line",
-                   static_cast<unsigned long long>(paddr), size);
+    support::guestFault("cache",
+                        "access [0x%llx, +%u) straddles a cache line",
+                        static_cast<unsigned long long>(paddr), size);
 }
 
 std::uint32_t
@@ -66,8 +67,9 @@ mem::TaggedLine
 CacheHierarchy::readCapLine(std::uint64_t paddr, std::uint64_t &cycles)
 {
     if (paddr % mem::kLineBytes != 0)
-        support::panic("capability load at unaligned 0x%llx",
-                       static_cast<unsigned long long>(paddr));
+        support::guestFault("cache",
+                            "capability load at unaligned 0x%llx",
+                            static_cast<unsigned long long>(paddr));
     LineAccess access = l1d_.readLine(paddr);
     cycles += access.cycles;
     mem::TaggedLine copy = *access.line;
@@ -81,8 +83,9 @@ CacheHierarchy::writeCapLine(std::uint64_t paddr,
                              std::uint64_t &cycles)
 {
     if (paddr % mem::kLineBytes != 0)
-        support::panic("capability store at unaligned 0x%llx",
-                       static_cast<unsigned long long>(paddr));
+        support::guestFault("cache",
+                            "capability store at unaligned 0x%llx",
+                            static_cast<unsigned long long>(paddr));
     cycles += l1d_.writeLine(paddr, line);
     noteCodeWriteFiltered(paddr);
     if (store_hooks_armed_ && store_observer_ != nullptr)

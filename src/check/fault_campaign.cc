@@ -112,45 +112,65 @@ runTrial(const CampaignGuest &guest, core::Machine &machine,
                        prefix.divergence.c_str());
     }
 
-    FaultOutcome fault = applyFault(machine, plan);
-    if (!fault.applied) {
-        support::panic("campaign guest '%s' trial %llu: no fault "
-                       "class applicable",
-                       guest.name.c_str(),
-                       static_cast<unsigned long long>(trial_index));
-    }
-
-    // Generous budget: a corrupted guest gets twice the remaining
-    // clean instructions plus slack before the watchdog calls it
-    // a timeout.
-    std::uint64_t remaining = clean_instructions - plan.inject_at;
-    LockstepResult post = oracle.runFor(2 * remaining + 10'000);
-
+    // Everything past the injection runs behind the guest-failure
+    // barrier: a corruption that trips an internal state-integrity
+    // check (support::guestFault) unwinds as a GuestFailure — either
+    // caught by Cpu::run (surfacing as fast_internal_fault) or, from
+    // code outside the run loop such as the final memory sweep,
+    // caught here — and classifies the trial as detected_abort
+    // instead of killing the whole campaign. The clean prefix above
+    // deliberately runs outside the scope: an abort there is an
+    // emulator bug, not an injected fault.
     TrialRecord record;
     record.index = trial_index;
     record.requested = plan.fault;
-    record.applied = fault.applied_class;
     record.inject_at = plan.inject_at;
-    record.target = fault.target;
-    record.instructions_after = post.instructions;
-    if (post.diverged) {
-        record.outcome = post.fast_trapped
-                             ? TrialOutcome::kDetectedTrap
-                             : TrialOutcome::kDetectedDivergence;
-        record.detail = firstLine(post.divergence);
-    } else if (post.hit_limit) {
-        record.outcome = TrialOutcome::kTimeout;
-    } else {
-        // The pair reached BREAK (or an identical trap) with all
-        // architectural state matching; only lingering memory
-        // corruption separates masked from silent.
-        std::string sweep;
-        if (oracle.finalStateMatches(sweep)) {
-            record.outcome = TrialOutcome::kMasked;
-        } else {
-            record.outcome = TrialOutcome::kSilentCorruption;
-            record.detail = firstLine(sweep);
+    support::PanicScope barrier;
+    try {
+        FaultOutcome fault = applyFault(machine, plan);
+        if (!fault.applied) {
+            support::panic("campaign guest '%s' trial %llu: no fault "
+                           "class applicable",
+                           guest.name.c_str(),
+                           static_cast<unsigned long long>(trial_index));
         }
+        record.applied = fault.applied_class;
+        record.target = fault.target;
+
+        // Generous budget: a corrupted guest gets twice the remaining
+        // clean instructions plus slack before the watchdog calls it
+        // a timeout.
+        std::uint64_t remaining = clean_instructions - plan.inject_at;
+        LockstepResult post = oracle.runFor(2 * remaining + 10'000);
+
+        record.instructions_after = post.instructions;
+        if (post.fast_internal_fault) {
+            record.outcome = TrialOutcome::kDetectedAbort;
+            record.detail = post.fast_fault.subsystem + ": " +
+                            firstLine(post.fast_fault.message);
+        } else if (post.diverged) {
+            record.outcome = post.fast_trapped
+                                 ? TrialOutcome::kDetectedTrap
+                                 : TrialOutcome::kDetectedDivergence;
+            record.detail = firstLine(post.divergence);
+        } else if (post.hit_limit) {
+            record.outcome = TrialOutcome::kTimeout;
+        } else {
+            // The pair reached BREAK (or an identical trap) with all
+            // architectural state matching; only lingering memory
+            // corruption separates masked from silent.
+            std::string sweep;
+            if (oracle.finalStateMatches(sweep)) {
+                record.outcome = TrialOutcome::kMasked;
+            } else {
+                record.outcome = TrialOutcome::kSilentCorruption;
+                record.detail = firstLine(sweep);
+            }
+        }
+    } catch (const support::GuestFailure &failure) {
+        record.outcome = TrialOutcome::kDetectedAbort;
+        record.detail =
+            failure.subsystem() + ": " + firstLine(failure.message());
     }
     return record;
 }
@@ -277,6 +297,8 @@ trialOutcomeName(TrialOutcome outcome)
         return "detected_trap";
     case TrialOutcome::kDetectedDivergence:
         return "detected_divergence";
+    case TrialOutcome::kDetectedAbort:
+        return "detected_abort";
     case TrialOutcome::kTimeout:
         return "timeout";
     case TrialOutcome::kMasked:

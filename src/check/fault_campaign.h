@@ -15,6 +15,10 @@
  *                         TLB check caught the corruption);
  *  - detected_divergence: architectural state visibly diverged from
  *                         the reference without a trap;
+ *  - detected_abort:      the corruption tripped an internal state-
+ *                         integrity check (support::guestFault) and
+ *                         the guest-failure barrier unwound the trial
+ *                         cleanly instead of killing the campaign;
  *  - timeout:             the corrupted guest blew its instruction
  *                         budget (the watchdog fired);
  *  - masked:              the guest completed and final DRAM + tags
@@ -88,12 +92,13 @@ enum class TrialOutcome
 {
     kDetectedTrap,
     kDetectedDivergence,
+    kDetectedAbort,
     kTimeout,
     kMasked,
     kSilentCorruption,
 };
 
-constexpr unsigned kNumTrialOutcomes = 5;
+constexpr unsigned kNumTrialOutcomes = 6;
 
 /** Stable lower-case name used in reports and JSON keys. */
 const char *trialOutcomeName(TrialOutcome outcome);

@@ -225,6 +225,15 @@ Lockstep::runFor(std::uint64_t max_instructions)
         std::uint64_t before = cpu.totalInstructions();
         core::RunResult rr = cpu.run(1);
         std::uint64_t retired = cpu.totalInstructions() - before;
+        if (rr.reason == core::StopReason::kInternalFault) {
+            // The supervision barrier caught a corruption-induced
+            // integrity failure inside the fast CPU. The machine is
+            // poisoned mid-instruction, so stop the pair here and let
+            // the caller classify the abort.
+            result.fast_internal_fault = true;
+            result.fast_fault = rr.fault;
+            return result;
+        }
         bool cpu_trapped = rr.reason == core::StopReason::kTrap;
         bool cpu_break = rr.reason == core::StopReason::kBreak;
         if (cpu_trapped) {

@@ -62,6 +62,15 @@ struct LockstepResult
      */
     bool fast_trapped = false;
     core::Trap fast_trap;
+    /**
+     * The fast CPU stopped with a guest-induced internal fault
+     * (StopReason::kInternalFault — a corruption tripped a state-
+     * integrity check under an active support::PanicScope). The fast
+     * machine is poisoned and the pair must not be stepped further;
+     * 'fast_fault' holds the captured context.
+     */
+    bool fast_internal_fault = false;
+    core::InternalFault fast_fault;
     /** Instructions retired by the pair during this call. */
     std::uint64_t instructions = 0;
     /** Human-readable first-divergence report; empty when clean. */

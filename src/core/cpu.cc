@@ -35,6 +35,26 @@ requirePow2(std::size_t value, const char *name)
 
 } // namespace
 
+const char *
+stopReasonName(StopReason reason)
+{
+    switch (reason) {
+    case StopReason::kInstLimit:
+        return "inst_limit";
+    case StopReason::kCycleLimit:
+        return "cycle_limit";
+    case StopReason::kExited:
+        return "exited";
+    case StopReason::kTrap:
+        return "trap";
+    case StopReason::kBreak:
+        return "break";
+    case StopReason::kInternalFault:
+        return "internal_fault";
+    }
+    return "unknown";
+}
+
 Cpu::Cpu(cache::CacheHierarchy &memory, tlb::Tlb &tlb, CpuTiming timing,
          CpuAccelConfig accel)
     : memory_(memory), tlb_(tlb), timing_(timing),
@@ -451,32 +471,50 @@ Cpu::run(const RunLimits &limits)
     // switch restored via setPc() would lose the target. Run the
     // delay slot before honouring either budget, so every stop is at
     // a clean commit boundary.
-    while (instructions_ - start_insts < limits.max_instructions ||
-           branch_pending_) {
-        if (cycles_ - start_cycles >= limits.max_cycles &&
-            !branch_pending_) {
-            result.reason = StopReason::kCycleLimit;
-            break;
+    //
+    // The try block is the guest-failure barrier: a state-integrity
+    // check that corrupted guest state can reach (support::guestFault)
+    // throws under an active support::PanicScope, and the run turns it
+    // into a structured kInternalFault stop with full context instead
+    // of aborting the process. The faulting instruction was abandoned
+    // mid-execute, so the machine is poisoned — the caller must roll
+    // it back or discard it. Without a PanicScope the fault aborts
+    // inside guestFault() and this catch never sees it.
+    try {
+        while (instructions_ - start_insts < limits.max_instructions ||
+               branch_pending_) {
+            if (cycles_ - start_cycles >= limits.max_cycles &&
+                !branch_pending_) {
+                result.reason = StopReason::kCycleLimit;
+                break;
+            }
+            trap_pending_ = false;
+            StepOutcome outcome;
+            if (!superblocks_enabled_ || !decode_cache_enabled_ ||
+                !trySuperblock(limits, start_insts, start_cycles,
+                               outcome))
+                outcome = step();
+            if (outcome.trapped) {
+                result.reason = StopReason::kTrap;
+                result.trap = pending_trap_;
+                break;
+            }
+            if (outcome.exited) {
+                result.reason = StopReason::kExited;
+                result.exit_code = outcome.exit_code;
+                break;
+            }
+            if (outcome.hit_break) {
+                result.reason = StopReason::kBreak;
+                break;
+            }
         }
-        trap_pending_ = false;
-        StepOutcome outcome;
-        if (!superblocks_enabled_ || !decode_cache_enabled_ ||
-            !trySuperblock(limits, start_insts, start_cycles, outcome))
-            outcome = step();
-        if (outcome.trapped) {
-            result.reason = StopReason::kTrap;
-            result.trap = pending_trap_;
-            break;
-        }
-        if (outcome.exited) {
-            result.reason = StopReason::kExited;
-            result.exit_code = outcome.exit_code;
-            break;
-        }
-        if (outcome.hit_break) {
-            result.reason = StopReason::kBreak;
-            break;
-        }
+    } catch (const support::GuestFailure &failure) {
+        result.reason = StopReason::kInternalFault;
+        result.fault.subsystem = failure.subsystem();
+        result.fault.message = failure.message();
+        result.fault.pc = current_pc_;
+        result.fault.instructions = instructions_;
     }
     result.instructions = instructions_ - start_insts;
     result.cycles = cycles_ - start_cycles;

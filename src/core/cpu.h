@@ -22,6 +22,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "cache/hierarchy.h"
@@ -90,6 +91,30 @@ enum class StopReason
     kExited,     ///< syscall handler requested exit
     kTrap,       ///< unhandled guest exception (see Trap)
     kBreak,      ///< BREAK instruction
+    /** A guest-induced internal failure crossed the supervision
+     *  barrier: a state-integrity check (support::guestFault) fired
+     *  under an active support::PanicScope and the run unwound
+     *  cleanly instead of aborting. The machine stopped mid-
+     *  instruction and is poisoned — roll it back (restoreSnapshot)
+     *  or discard it (a supervisor re-forks); never resume it. */
+    kInternalFault,
+};
+
+/** Stable lower-case stop-reason name used in reports and JSON. */
+const char *stopReasonName(StopReason reason);
+
+/**
+ * Context captured when a run stops with kInternalFault: which
+ * subsystem's integrity check fired, its message, the PC of the
+ * instruction that was executing, and the retired-instruction count
+ * at the stop (the faulting instruction itself did not retire).
+ */
+struct InternalFault
+{
+    std::string subsystem;
+    std::string message;
+    std::uint64_t pc = 0;
+    std::uint64_t instructions = 0;
 };
 
 /**
@@ -111,6 +136,7 @@ struct RunResult
     std::uint64_t cycles = 0;
     Trap trap;            ///< valid when reason == kTrap
     std::int64_t exit_code = 0; ///< valid when reason == kExited
+    InternalFault fault;  ///< valid when reason == kInternalFault
 };
 
 /** What a syscall handler tells the CPU to do next. */

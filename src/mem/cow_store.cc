@@ -40,11 +40,11 @@ void
 CowStore::checkRange(std::uint64_t paddr, std::uint64_t len) const
 {
     if (paddr > size_bytes_ || len > size_bytes_ - paddr) {
-        support::panic("physical access [0x%llx, +%llu) beyond DRAM "
-                       "size 0x%llx",
-                       static_cast<unsigned long long>(paddr),
-                       static_cast<unsigned long long>(len),
-                       static_cast<unsigned long long>(size_bytes_));
+        support::guestFault(
+            "mem", "physical access [0x%llx, +%llu) beyond DRAM size 0x%llx",
+            static_cast<unsigned long long>(paddr),
+            static_cast<unsigned long long>(len),
+            static_cast<unsigned long long>(size_bytes_));
     }
 }
 
@@ -115,9 +115,10 @@ bool
 CowStore::tagGet(std::uint64_t line_index) const
 {
     if (line_index >= line_count_) {
-        support::panic("tag read beyond DRAM: line %llu of %llu",
-                       static_cast<unsigned long long>(line_index),
-                       static_cast<unsigned long long>(line_count_));
+        support::guestFault(
+            "mem", "tag read beyond DRAM: line %llu of %llu",
+            static_cast<unsigned long long>(line_index),
+            static_cast<unsigned long long>(line_count_));
     }
     std::uint64_t word = line_index / 64;
     const CowPage &p = page(word / kCowPageTagWords);
@@ -128,9 +129,10 @@ void
 CowStore::tagSet(std::uint64_t line_index, bool tag)
 {
     if (line_index >= line_count_) {
-        support::panic("tag write beyond DRAM: line %llu of %llu",
-                       static_cast<unsigned long long>(line_index),
-                       static_cast<unsigned long long>(line_count_));
+        support::guestFault(
+            "mem", "tag write beyond DRAM: line %llu of %llu",
+            static_cast<unsigned long long>(line_index),
+            static_cast<unsigned long long>(line_count_));
     }
     std::uint64_t word = line_index / 64;
     CowPage &p = pageForWrite(word / kCowPageTagWords);

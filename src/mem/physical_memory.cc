@@ -54,8 +54,8 @@ Line
 PhysicalMemory::readLine(std::uint64_t paddr) const
 {
     if (paddr % kLineBytes != 0)
-        support::panic("unaligned line read at 0x%llx",
-                       static_cast<unsigned long long>(paddr));
+        support::guestFault("mem", "unaligned line read at 0x%llx",
+                            static_cast<unsigned long long>(paddr));
     Line line;
     store_->readBytes(paddr, line.data(), kLineBytes);
     return line;
@@ -65,8 +65,8 @@ void
 PhysicalMemory::writeLine(std::uint64_t paddr, const Line &line)
 {
     if (paddr % kLineBytes != 0)
-        support::panic("unaligned line write at 0x%llx",
-                       static_cast<unsigned long long>(paddr));
+        support::guestFault("mem", "unaligned line write at 0x%llx",
+                            static_cast<unsigned long long>(paddr));
     store_->writeBytes(paddr, line.data(), kLineBytes);
 }
 

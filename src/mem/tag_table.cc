@@ -22,8 +22,8 @@ TagTable::lineIndex(std::uint64_t paddr) const
 {
     std::uint64_t idx = paddr / kLineBytes;
     if (idx >= store_->lineCount()) {
-        support::panic("tag access beyond DRAM: paddr 0x%llx",
-                       static_cast<unsigned long long>(paddr));
+        support::guestFault("mem", "tag access beyond DRAM: paddr 0x%llx",
+                            static_cast<unsigned long long>(paddr));
     }
     return idx;
 }

@@ -11,7 +11,27 @@ namespace cheri::support
 namespace
 {
 std::atomic<unsigned long> warn_count{0};
+
+/** Nesting depth of PanicScope on this thread (thread-local so one
+ *  supervised worker never softens another thread's panics). */
+thread_local unsigned panic_scope_depth = 0;
 } // namespace
+
+PanicScope::PanicScope()
+{
+    ++panic_scope_depth;
+}
+
+PanicScope::~PanicScope()
+{
+    --panic_scope_depth;
+}
+
+bool
+PanicScope::active()
+{
+    return panic_scope_depth != 0;
+}
 
 std::string
 vformat(const char *fmt, std::va_list ap)
@@ -45,6 +65,19 @@ panic(const char *fmt, ...)
     std::string s = vformat(fmt, ap);
     va_end(ap);
     std::fprintf(stderr, "panic: %s\n", s.c_str());
+    std::abort();
+}
+
+void
+guestFault(const char *subsystem, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformat(fmt, ap);
+    va_end(ap);
+    if (PanicScope::active())
+        throw GuestFailure(subsystem, s);
+    std::fprintf(stderr, "panic: %s: %s\n", subsystem, s.c_str());
     std::abort();
 }
 

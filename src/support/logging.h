@@ -13,10 +13,58 @@
 #define CHERI_SUPPORT_LOGGING_H
 
 #include <cstdarg>
+#include <exception>
 #include <string>
 
 namespace cheri::support
 {
+
+/**
+ * A guest-induced internal failure caught by the supervision barrier:
+ * a state-integrity check fired that only corrupted guest state (an
+ * injected fault, a poisoned fork) can reach. Thrown by guestFault()
+ * when a PanicScope is active; carries the failing subsystem and the
+ * formatted message so supervisors can classify the incident.
+ */
+class GuestFailure : public std::exception
+{
+  public:
+    GuestFailure(std::string subsystem, std::string message)
+        : subsystem_(std::move(subsystem)), message_(std::move(message)),
+          what_(subsystem_ + ": " + message_)
+    {
+    }
+
+    const std::string &subsystem() const { return subsystem_; }
+    const std::string &message() const { return message_; }
+    const char *what() const noexcept override { return what_.c_str(); }
+
+  private:
+    std::string subsystem_;
+    std::string message_;
+    std::string what_;
+};
+
+/**
+ * RAII guest-failure barrier. While a PanicScope is active on the
+ * current thread, guestFault() throws a GuestFailure that unwinds to
+ * the supervisor instead of aborting the process; outside any scope,
+ * guestFault() behaves exactly like panic(). Scopes nest, and the
+ * flag is thread-local, so one worker supervising a corrupted guest
+ * never changes how another worker's emulator bug is reported.
+ */
+class PanicScope
+{
+  public:
+    PanicScope();
+    ~PanicScope();
+
+    PanicScope(const PanicScope &) = delete;
+    PanicScope &operator=(const PanicScope &) = delete;
+
+    /** True when a PanicScope is active on this thread. */
+    static bool active();
+};
 
 /** Format a printf-style message into a std::string. */
 std::string vformat(const char *fmt, std::va_list ap);
@@ -32,6 +80,17 @@ std::string format(const char *fmt, ...)
  */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal-state integrity violation that corrupted guest
+ * state can reach (see DESIGN.md §15 for the audit). Under an active
+ * PanicScope this throws GuestFailure so the supervising harness can
+ * roll the guest back and retry; with no scope active it is
+ * indistinguishable from panic() — the condition is still an
+ * emulator-level impossibility for a healthy machine.
+ */
+[[noreturn]] void guestFault(const char *subsystem, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
 
 /**
  * Report an unrecoverable user/configuration error and exit(1). Call

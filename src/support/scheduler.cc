@@ -121,4 +121,67 @@ GuestScheduler::run(std::size_t count, const Quantum &quantum) const
         std::rethrow_exception(first_error);
 }
 
+const char *
+guestVerdictName(GuestVerdict verdict)
+{
+    switch (verdict) {
+    case GuestVerdict::kHealthy:
+        return "healthy";
+    case GuestVerdict::kRecovered:
+        return "recovered";
+    case GuestVerdict::kQuarantined:
+        return "quarantined";
+    }
+    return "unknown";
+}
+
+std::vector<GuestOutcome>
+GuestSupervisor::run(std::size_t count, const Quantum &quantum) const
+{
+    std::vector<GuestOutcome> outcomes(count);
+    GuestScheduler scheduler(config_.jobs);
+    scheduler.run(count, [&](std::size_t guest, unsigned worker) {
+        GuestOutcome &outcome = outcomes[guest];
+        Step step = quantum(guest, worker, outcome.attempts - 1);
+        switch (step.kind) {
+        case Step::Kind::kRunnable:
+            return QuantumResult::kRunnable;
+        case Step::Kind::kDone:
+            outcome.verdict = outcome.incidents.empty()
+                                  ? GuestVerdict::kHealthy
+                                  : GuestVerdict::kRecovered;
+            return QuantumResult::kDone;
+        case Step::Kind::kFailed:
+            break;
+        }
+        outcome.incidents.push_back(
+            {outcome.attempts - 1, std::move(step.fault)});
+        bool exhausted = outcome.incidents.size() >
+                         static_cast<std::size_t>(config_.retry_budget);
+        bool stuck = false;
+        if (config_.quarantine_after > 0 &&
+            outcome.incidents.size() >= config_.quarantine_after) {
+            stuck = true;
+            const std::string &last = outcome.incidents.back().fault;
+            for (std::size_t k =
+                     outcome.incidents.size() - config_.quarantine_after;
+                 k < outcome.incidents.size(); ++k) {
+                if (outcome.incidents[k].fault != last) {
+                    stuck = false;
+                    break;
+                }
+            }
+        }
+        if (exhausted || stuck) {
+            outcome.verdict = GuestVerdict::kQuarantined;
+            return QuantumResult::kDone;
+        }
+        // Grant the retry: the bumped attempt index tells the caller
+        // to roll the guest back to its checkpoint before running.
+        ++outcome.attempts;
+        return QuantumResult::kRunnable;
+    });
+    return outcomes;
+}
+
 } // namespace cheri::support

@@ -31,6 +31,9 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace cheri::support
 {
@@ -67,6 +70,123 @@ class GuestScheduler
 
   private:
     unsigned jobs_;
+};
+
+/** Final supervision verdict for one guest. */
+enum class GuestVerdict
+{
+    kHealthy,     ///< completed with zero incidents
+    kRecovered,   ///< failed, rolled back, and later completed clean
+    kQuarantined, ///< exhausted its retry budget (or repeated one
+                  ///< fault quarantine_after times in a row)
+};
+
+/** Stable lower-case name used in reports and JSON. */
+const char *guestVerdictName(GuestVerdict verdict);
+
+/** One recorded failure of one attempt. */
+struct GuestIncident
+{
+    /** Zero-based attempt index the failure happened on. */
+    unsigned attempt = 0;
+    /** Caller-supplied stable failure class, e.g. "trap" or
+     *  "internal_fault:mem". */
+    std::string fault;
+};
+
+/** Per-guest supervision result, merged by guest index. */
+struct GuestOutcome
+{
+    GuestVerdict verdict = GuestVerdict::kHealthy;
+    /** Attempts started (>= 1; attempt indices are [0, attempts)). */
+    unsigned attempts = 1;
+    /** Every failure, in attempt order. Empty iff kHealthy. */
+    std::vector<GuestIncident> incidents;
+};
+
+/**
+ * Rollback-retry supervision layered on GuestScheduler: guests whose
+ * quanta report structured failures are retried from scratch with a
+ * bounded budget instead of killing the fleet, and guests that
+ * exhaust it are quarantined with their incident history intact.
+ *
+ * The supervisor owns only the retry bookkeeping; the caller owns the
+ * rollback itself. The quantum receives the current zero-based
+ * attempt index, and a bumped attempt index IS the rollback signal:
+ * the caller must discard the guest's poisoned state and re-create it
+ * from its checkpoint (e.g. re-fork the COW parent) whenever the
+ * attempt it is handed differs from the one it last minted state for.
+ *
+ * Determinism contract: incidents and verdicts are merged by guest
+ * index and each guest's outcome depends only on what its own quanta
+ * return per (guest, attempt), so a fleet whose quantum is a pure
+ * function of those two values produces byte-identical outcomes at
+ * any worker count — the same contract GuestScheduler gives for
+ * records, extended to failure histories.
+ */
+class GuestSupervisor
+{
+  public:
+    struct Config
+    {
+        /** Scheduler workers: 0 = hardware concurrency, 1 = serial
+         *  reference schedule. */
+        unsigned jobs = 0;
+        /** Rollback-retries granted per guest: a guest may fail
+         *  retry_budget + 1 times before it is quarantined. */
+        unsigned retry_budget = 3;
+        /** Quarantine early after this many consecutive incidents
+         *  with an identical fault string (0 = disabled): a guest
+         *  deterministically re-hitting the same fault will never
+         *  recover, so retrying it further is wasted work. */
+        unsigned quarantine_after = 0;
+    };
+
+    /** What one supervised quantum reports back. */
+    struct Step
+    {
+        enum class Kind
+        {
+            kRunnable, ///< preempted mid-attempt: reschedule
+            kDone,     ///< attempt completed clean: retire the guest
+            kFailed,   ///< attempt failed: roll back or quarantine
+        };
+        Kind kind = Kind::kRunnable;
+        std::string fault;
+
+        static Step runnable() { return {}; }
+        static Step done()
+        {
+            Step step;
+            step.kind = Kind::kDone;
+            return step;
+        }
+        static Step failed(std::string fault)
+        {
+            Step step;
+            step.kind = Kind::kFailed;
+            step.fault = std::move(fault);
+            return step;
+        }
+    };
+
+    using Quantum = std::function<Step(std::size_t guest,
+                                       unsigned worker,
+                                       unsigned attempt)>;
+
+    explicit GuestSupervisor(const Config &config) : config_(config) {}
+
+    /**
+     * Supervise guests [0, count) to a verdict each. A guest's slot
+     * in the returned vector is written only by the worker currently
+     * running it (GuestScheduler's happens-before edge covers it), so
+     * the result is safe to read once run() returns.
+     */
+    std::vector<GuestOutcome> run(std::size_t count,
+                                  const Quantum &quantum) const;
+
+  private:
+    Config config_;
 };
 
 } // namespace cheri::support

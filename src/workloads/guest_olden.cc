@@ -616,9 +616,9 @@ runGuestProgram(core::Machine &machine, const GuestProgram &prog,
     machine.reset(prog.layout.code_base);
     core::RunResult result = machine.cpu().run(max_insts);
     if (result.reason != core::StopReason::kBreak)
-        support::fatal("guest %s stopped without BREAK (reason %d)",
+        support::fatal("guest %s stopped without BREAK (reason %s)",
                        prog.name.c_str(),
-                       static_cast<int>(result.reason));
+                       core::stopReasonName(result.reason));
     if (machine.cpu().gpr(v0) != prog.expected_checksum)
         support::fatal("guest %s checksum %llx != expected %llx",
                        prog.name.c_str(),

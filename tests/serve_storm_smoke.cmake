@@ -1,0 +1,39 @@
+# serve-storm: self-healing supervision must be deterministic. Serves
+# a 1000-guest fleet with 10% of it storm-injured and requires the
+# incident JSON — verdicts, attempt counts, per-attempt fault classes
+# — byte-identical between the serial reference schedule and the
+# work-stealing run. Then runs the storm selftest, which serves the
+# fleet twice (byte-equal reports), serves an internal storm-free
+# fleet, and requires every healthy guest's record byte-identical to
+# its clean-run record and every injured guest classified (recovered
+# or quarantined — never silently healthy). Invoked by ctest as:
+#   cmake -DSERVE=<path> -DWORK_DIR=<dir> -P serve_storm_smoke.cmake
+
+foreach(var SERVE WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "serve_storm_smoke.cmake: ${var} not set")
+    endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+include("${CMAKE_CURRENT_LIST_DIR}/harness_smoke.cmake")
+
+run_jobs_matrix(
+    NAME cheri-serve-storm
+    OUTPUT "${WORK_DIR}/storm_jobs@JOBS@.json"
+    JOBS 1 4 8
+    COMMAND "${SERVE}" --guests 1000 --storm 10 --retry-budget 3
+            --jobs @JOBS@ --quiet --json @OUTPUT@)
+
+execute_process(
+    COMMAND "${SERVE}" --guests 1000 --storm 10 --retry-budget 3
+            --selftest --quiet
+    RESULT_VARIABLE selftest_rv)
+if(NOT selftest_rv EQUAL 0)
+    message(FATAL_ERROR "serve-storm: --storm --selftest failed "
+                        "(exit ${selftest_rv})")
+endif()
+
+message(STATUS "serve-storm: 1000-guest fleet with 10% injured "
+               "byte-identical at --jobs 1, 4 and 8; storm selftest "
+               "(healthy records match the storm-free run, every "
+               "injured guest classified) passed")

@@ -3,9 +3,12 @@
  * cheri-faultsim — the fault-injection campaign driver. Checkpoints
  * each Olden guest kernel once, replays N seeded injections per guest
  * from the checkpoint under the lockstep oracle, and classifies every
- * trial as detected_trap / detected_divergence / timeout / masked /
- * silent_corruption (see check/fault_campaign.h). The JSON report is
- * reproducible byte-for-byte for a fixed seed.
+ * trial as detected_trap / detected_divergence / detected_abort /
+ * timeout / masked / silent_corruption (see check/fault_campaign.h).
+ * Trials run behind the guest-failure barrier (support::PanicScope),
+ * so a corruption that trips an internal integrity check is recorded
+ * as detected_abort instead of killing the whole campaign. The JSON
+ * report is reproducible byte-for-byte for a fixed seed.
  *
  * Usage:
  *   cheri-faultsim [options]
@@ -133,7 +136,8 @@ undetectedTagDrops(const check::CampaignReport &report)
         for (unsigned o = 0; o < check::kNumTrialOutcomes; ++o) {
             auto outcome = static_cast<check::TrialOutcome>(o);
             if (outcome != check::TrialOutcome::kDetectedTrap &&
-                outcome != check::TrialOutcome::kDetectedDivergence)
+                outcome != check::TrialOutcome::kDetectedDivergence &&
+                outcome != check::TrialOutcome::kDetectedAbort)
                 bad += row[o];
         }
     }

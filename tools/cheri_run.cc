@@ -254,6 +254,18 @@ main(int argc, char **argv)
                          machine.cpu().pc()));
         exit_code = 4;
         break;
+      case core::StopReason::kInternalFault:
+        // Only reachable under a support::PanicScope, which cheri-run
+        // does not install — kept for switch exhaustiveness and as a
+        // diagnostic should a supervised embedding reuse this path.
+        std::fprintf(stderr,
+                     "cheri-run: internal fault in %s at pc 0x%llx: "
+                     "%s\n",
+                     result.fault.subsystem.c_str(),
+                     static_cast<unsigned long long>(result.fault.pc),
+                     result.fault.message.c_str());
+        exit_code = 5;
+        break;
     }
 
     if (want_regs)
