@@ -47,6 +47,7 @@
 #include "support/parallel.h"
 #include "support/parse.h"
 #include "workloads/guest_olden.h"
+#include "workloads/vm_guest.h"
 
 using namespace cheri;
 
@@ -157,14 +158,19 @@ main(int argc, char **argv)
     unsigned reps = quick ? 1 : 3;
 
     unsigned jobs = 1;
+    bool with_vm = false;
     if (const char *env = std::getenv("CHERI_BENCH_JOBS"))
         jobs = support::parseJobsOrFatal(env, "CHERI_BENCH_JOBS");
+    if (const char *env = std::getenv("CHERI_BENCH_VM"))
+        with_vm = env[0] == '1';
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             jobs = support::parseJobsOrFatal(argv[++i], "--jobs");
+        } else if (std::strcmp(argv[i], "--vm") == 0) {
+            with_vm = true;
         } else {
             std::fprintf(stderr,
-                         "usage: emu_throughput [--jobs N]\n");
+                         "usage: emu_throughput [--jobs N] [--vm]\n");
             return 2;
         }
     }
@@ -178,6 +184,20 @@ main(int argc, char **argv)
                              : workloads::guestMst(64));
     programs.push_back(quick ? workloads::guestEm3d(10, 3, 2)
                              : workloads::guestEm3d(96, 6, 16));
+    if (with_vm) {
+        // Opt-in (--vm / CHERI_BENCH_VM=1) so the default kernel set
+        // — and the tracked figures — stay unchanged: the bytecode-VM
+        // guest spends its cycles in interpreter dispatch and GC
+        // evacuation, a very different instruction mix from the
+        // pointer-chasing Olden kernels.
+        workloads::VmConfig vm_config;
+        if (!quick) {
+            vm_config.rounds = 48;
+            vm_config.units = 24;
+            vm_config.semispace_objects = 40;
+        }
+        programs.push_back(workloads::guestVm(vm_config));
+    }
 
     std::printf("Emulator throughput on guest Olden kernels "
                 "(%s mode, %u job%s)\n\n",

@@ -114,7 +114,7 @@ generateSpec(std::uint64_t seed)
             {Kind::kPermQuery, 4},    {Kind::kSealUnseal, 4},
             {Kind::kBranch, 5},       {Kind::kCapBranch, 4},
             {Kind::kCapJumpTrap, 2},  {Kind::kLlSc, 5},
-            {Kind::kTlbStride, 4},
+            {Kind::kTlbStride, 4},    {Kind::kPtrRoundTrip, 6},
         };
         unsigned total = 0;
         for (const auto &entry : kWeights)
@@ -342,6 +342,19 @@ generateSpec(std::uint64_t seed)
             else if (op.b + (op.d - 1) * op.c >=
                      kFuzzStrideBase + kFuzzStrideLen)
                 op.b = kFuzzStrideBase;
+            break;
+          }
+          case Kind::kPtrRoundTrip: {
+            op.a = kCapScratchFirst + rng.nextBelow(kCapScratchCount);
+            static const unsigned srcs[] = {kCapArena, kCapSub,
+                                            kCapSub, kCapUntagged,
+                                            kCapScratchFirst};
+            op.b = srcs[rng.nextBelow(5)];
+            // 0/1: remint + tag/base query; 2: poison with ccleartag
+            // first; 3: dereference the reminted capability (traps
+            // on the NULL round-trip of an untagged source).
+            op.c = rng.nextBelow(4);
+            op.d = rng.next(); // data-register selector
             break;
           }
         }
@@ -631,6 +644,29 @@ emitOp(Assembler &a, const FuzzOp &op,
         for (std::uint64_t i = 0; i < op.d; ++i) {
             a.li64(kAddrReg, op.b + i * op.c);
             a.ld(dst, kAddrReg, 0);
+        }
+        break;
+      }
+      case Kind::kPtrRoundTrip: {
+        unsigned cd = static_cast<unsigned>(op.a);
+        unsigned cb = static_cast<unsigned>(op.b);
+        unsigned ptr = dataReg(op.d);
+        // The managed-runtime interop idiom: a capability collapses
+        // to its integer offset within the arena authority (0 for an
+        // untagged source — the NULL convention), is reminted through
+        // the authority, and is then either poisoned, queried, or
+        // dereferenced. Both machines must agree on the tag at every
+        // step.
+        a.ctoptr(ptr, cb, kCapArena);
+        a.cfromptr(cd, kCapArena, ptr);
+        if (op.c == 2)
+            a.ccleartag(cd, cd);
+        if (op.c == 3) {
+            a.li64(kAddrReg, 0);
+            a.clc(cd, cd, kAddrReg, 0);
+        } else {
+            a.cgettag(dataReg(op.d + 1), cd);
+            a.cgetbase(dataReg(op.d + 2), cd);
         }
         break;
       }

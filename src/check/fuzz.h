@@ -78,6 +78,9 @@ struct FuzzOp
         kCapJumpTrap,  ///< cjr through sealed/untagged/no-exec cap
         kLlSc,         ///< lld/scd with optional interleaved store
         kTlbStride,    ///< strided loads across the big region
+        kPtrRoundTrip, ///< ctoptr -> cfromptr remint, optionally
+                       ///< ccleartag-poisoned or dereferenced — the
+                       ///< managed-runtime GC's interop hot path
     };
 
     Kind kind = Kind::kAluImm;

@@ -51,8 +51,9 @@ CapAllocator::allocate(std::uint64_t size, std::uint32_t perms)
         if (derived.ok())
             derived = cap::andPerm(derived.value, perms);
         if (!derived.ok())
-            support::panic("allocator derivation failed: %s",
-                           cap::capCauseName(derived.cause));
+            support::guestFault(
+                "os", "allocator derivation failed: %s",
+                cap::capCauseName(derived.cause));
         return derived.value;
     }
     stats_.add("alloc.failures");
@@ -67,6 +68,26 @@ CapAllocator::free(const cap::Capability &capability)
         support::warn("free of untagged capability ignored");
         return;
     }
+    // A sealed capability or one derived from a different region must
+    // not reach the offset arithmetic below: base() - heap_.base()
+    // would underflow to a garbage offset before the live_blocks_
+    // lookup. Either is allocator-metadata corruption from the
+    // guest's point of view, so it goes through the guest-failure
+    // barrier rather than aborting a whole fleet.
+    if (capability.sealed())
+        support::guestFault(
+            "os", "free of sealed capability (otype %llu)",
+            static_cast<unsigned long long>(capability.otype()));
+    if (capability.base() < heap_.base() ||
+        capability.top() > heap_.top())
+        support::guestFault(
+            "os",
+            "free of capability outside the heap: "
+            "[0x%llx, 0x%llx) not within [0x%llx, 0x%llx)",
+            static_cast<unsigned long long>(capability.base()),
+            static_cast<unsigned long long>(capability.top()),
+            static_cast<unsigned long long>(heap_.base()),
+            static_cast<unsigned long long>(heap_.top()));
     std::uint64_t offset = capability.base() - heap_.base();
     auto it = live_blocks_.find(offset);
     if (it == live_blocks_.end()) {
@@ -84,8 +105,8 @@ CapAllocator::free(const cap::Capability &capability)
     // Insert and coalesce with neighbours.
     auto [pos, inserted] = free_blocks_.emplace(offset, block_size);
     if (!inserted)
-        support::panic("double free at offset 0x%llx",
-                       static_cast<unsigned long long>(offset));
+        support::guestFault("os", "double free at offset 0x%llx",
+                            static_cast<unsigned long long>(offset));
     // Merge with next.
     auto next = std::next(pos);
     if (next != free_blocks_.end() &&

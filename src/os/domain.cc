@@ -20,7 +20,8 @@ DomainManager::createObject(const cap::Capability &code,
     if (authority.ok())
         authority = cap::setLen(authority.value, 1);
     if (!authority.ok())
-        support::panic("sealing authority derivation failed");
+        support::guestFault("os",
+                            "sealing authority derivation failed");
 
     ProtectedObject object;
     object.otype = next_otype_++;

@@ -19,7 +19,7 @@ Process &
 SimpleOs::process(int pid)
 {
     if (pid < 0 || static_cast<std::size_t>(pid) >= processes_.size())
-        support::panic("unknown pid %d", pid);
+        support::guestFault("os", "unknown pid %d", pid);
     return *processes_[static_cast<std::size_t>(pid)];
 }
 

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * vm — the managed-runtime churn profile against the workload
+ * Context. One round builds a linked list of pair records and folds
+ * it; the round boundary drops the whole list, and a semispace-style
+ * collector evacuates the survivors whenever the object budget of
+ * the active space runs out. The profile is what distinguishes a
+ * managed guest from the Olden kernels: allocation-dominated, with
+ * periodic burst copies of every live object.
+ */
+
+#include "workloads/vm_guest.h"
+
+namespace cheri::workloads
+{
+
+namespace
+{
+
+enum : unsigned
+{
+    kKind = 0,
+    kValue = 1,
+    kNext = 2,
+};
+
+} // namespace
+
+std::uint64_t
+VmChurn::run(Context &ctx, const WorkloadParams &params) const
+{
+    unsigned pair = ctx.defineType(
+        {FieldKind::kWord, FieldKind::kWord, FieldKind::kPtr});
+    std::uint64_t rounds = params.size_a ? params.size_a : 1;
+    std::uint64_t units = params.size_b ? params.size_b : 1;
+    // Headroom above the peak live count, like the guest's semispace:
+    // tight enough that every round's garbage forces collections.
+    std::uint64_t capacity = units + units / 2 + 2;
+
+    std::uint64_t result = 0;
+    std::uint64_t allocations = 0;
+    std::uint64_t collections = 0;
+    std::uint64_t in_space = 0; // objects (live or dead) in the space
+    ObjRef head = kNull;
+
+    // Evacuate the live list: a Cheney copy is one fresh allocation
+    // plus a field-for-field move per survivor; the stale from-space
+    // object is released. Mutator allocations are counted; copies
+    // are the collector's own and are not.
+    auto collect = [&] {
+        ObjRef prev = kNull;
+        ObjRef scan = head;
+        head = kNull;
+        std::uint64_t live = 0;
+        while (scan != kNull) {
+            ctx.compute(kCallOverheadInstr);
+            ObjRef to = ctx.alloc(pair);
+            ctx.storeWord(to, kKind, ctx.loadWord(scan, kKind));
+            ctx.storeWord(to, kValue, ctx.loadWord(scan, kValue));
+            ctx.storePtr(to, kNext, kNull);
+            ObjRef next = ctx.loadPtr(scan, kNext);
+            ctx.free(scan);
+            if (prev == kNull)
+                head = to;
+            else
+                ctx.storePtr(prev, kNext, to);
+            prev = to;
+            scan = next;
+            ++live;
+        }
+        in_space = live;
+        ++collections;
+    };
+
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+        head = kNull;
+        for (std::uint64_t i = 1; i <= units; ++i) {
+            if (in_space + 1 > capacity)
+                collect();
+            ctx.setPhase(Phase::kAlloc);
+            ObjRef node = ctx.alloc(pair);
+            ++allocations;
+            ++in_space;
+            ctx.storeWord(node, kKind, 1);
+            ctx.storeWord(node, kValue, i);
+            ctx.storePtr(node, kNext, head);
+            head = node;
+        }
+        ctx.setPhase(Phase::kCompute);
+        for (ObjRef p = head; p != kNull; p = ctx.loadPtr(p, kNext)) {
+            result += ctx.loadWord(p, kValue);
+            ctx.compute(2); // add + loop branch
+        }
+        // The round boundary drops the whole list: the objects stay
+        // resident in the active space as garbage until the next
+        // collection skips over them.
+        head = kNull;
+    }
+
+    // The same fold the bytecode guest computes at kHalt.
+    return (result * 31 + collections) * 31 + allocations;
+}
+
+WorkloadParams
+VmChurn::paramsForHeapBytes(std::uint64_t heap_bytes) const
+{
+    // A pair record is 24 bytes under MIPS; roughly half the
+    // allocations are collector copies, so budget mutator rounds at
+    // half the node count.
+    std::uint64_t units = 16;
+    std::uint64_t nodes = heap_bytes / 24;
+    std::uint64_t rounds = nodes / (2 * units);
+    if (rounds == 0)
+        rounds = 1;
+    return {rounds, units, 3};
+}
+
+} // namespace cheri::workloads

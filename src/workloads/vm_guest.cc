@@ -1,0 +1,1618 @@
+#include "workloads/vm_guest.h"
+
+#include <array>
+#include <deque>
+
+#include "isa/assembler.h"
+#include "os/cap_allocator.h"
+#include "support/logging.h"
+#include "tlb/page_table.h"
+
+namespace cheri::workloads
+{
+
+namespace
+{
+
+using isa::Assembler;
+using namespace isa::reg;
+
+/** Local-variable slots at the bottom of the slot array. */
+constexpr unsigned kLocalCount = 6;
+/** Operand-stack slots above the locals. */
+constexpr unsigned kStackSlots = 16;
+constexpr unsigned kTotalSlots = kLocalCount + kStackSlots;
+/** One bytecode instruction: opcode dword + immediate dword. */
+constexpr std::uint64_t kBytecodeInstBytes = 16;
+
+/** CHERI model: one slot holds a full capability image. */
+constexpr std::uint64_t kCapSlotBytes = 32;
+constexpr std::uint64_t kCapObjBytes = 3 * kCapSlotBytes;
+/** Integer models: one slot holds a raw or SMI-encoded dword. */
+constexpr std::uint64_t kIntSlotBytes = 8;
+constexpr std::uint64_t kIntObjBytes = 3 * kIntSlotBytes;
+
+/** Distinct poison results so a defensive exit is attributable. */
+constexpr std::int32_t kOomPoison = 0x000D00D;
+constexpr std::int32_t kBadOpPoison = 0x00BAD07;
+constexpr std::int32_t kTagLossPoison = 0x07A9055;
+constexpr std::int32_t kBoundsPoison = 0x000B0D5;
+
+std::uint64_t
+objBytes(VmModel model)
+{
+    return model == VmModel::kCheri ? kCapObjBytes : kIntObjBytes;
+}
+
+// ---------------------------------------------------------------------
+// Bytecode programs
+// ---------------------------------------------------------------------
+
+// Local-variable slot assignments shared by both programs.
+constexpr unsigned kLocAcc = 0;
+constexpr unsigned kLocHead = 1; // list head / tree root
+constexpr unsigned kLocI = 2;
+constexpr unsigned kLocRound = 3;
+constexpr unsigned kLocCur = 4;
+constexpr unsigned kLocTmp = 5;
+
+/**
+ * listChurn: every round rebuilds a fresh `units`-pair list (the
+ * previous round's list becomes garbage) and folds its values into
+ * acc by walking next-links. Result: rounds * units * (units+1) / 2.
+ */
+std::vector<VmAssembler::Inst>
+buildListChurn(unsigned rounds, unsigned units)
+{
+    VmAssembler b;
+    auto outer = b.newLabel();
+    auto build = b.newLabel();
+    auto walk = b.newLabel();
+    auto walk_done = b.newLabel();
+
+    b.pushi(0);
+    b.storel(kLocAcc);
+    b.pushi(static_cast<std::int32_t>(rounds));
+    b.storel(kLocRound);
+
+    b.bind(outer);
+    b.pushnull();
+    b.storel(kLocHead);
+    b.pushi(static_cast<std::int32_t>(units));
+    b.storel(kLocI);
+
+    b.bind(build); // head = pair{i, head}
+    b.loadl(kLocI);
+    b.loadl(kLocHead);
+    b.newpair();
+    b.storel(kLocHead);
+    b.loadl(kLocI);
+    b.pushi(-1);
+    b.add();
+    b.storel(kLocI);
+    b.loadl(kLocI);
+    b.bnz(build);
+
+    b.loadl(kLocHead);
+    b.storel(kLocCur);
+    b.bind(walk); // acc += cur.f0; cur = cur.f1
+    b.loadl(kLocCur);
+    b.isnull();
+    b.bnz(walk_done);
+    b.loadl(kLocCur);
+    b.getf0();
+    b.loadl(kLocAcc);
+    b.add();
+    b.storel(kLocAcc);
+    b.loadl(kLocCur);
+    b.getf1();
+    b.storel(kLocCur);
+    b.jmp(walk);
+
+    b.bind(walk_done);
+    b.loadl(kLocRound);
+    b.pushi(-1);
+    b.add();
+    b.storel(kLocRound);
+    b.loadl(kLocRound);
+    b.bnz(outer);
+
+    b.loadl(kLocAcc);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * treeChurn: every round rebuilds a spine of `units` nodes whose
+ * right children are value pairs (left child chains the spine down to
+ * a base pair{0, null}), then walks it discriminating node/pair with
+ * ISPAIR. Same arithmetic result as listChurn, twice the live graph.
+ */
+std::vector<VmAssembler::Inst>
+buildTreeChurn(unsigned rounds, unsigned units)
+{
+    VmAssembler b;
+    auto outer = b.newLabel();
+    auto build = b.newLabel();
+    auto walk = b.newLabel();
+    auto walk_pair = b.newLabel();
+    auto walk_done = b.newLabel();
+
+    b.pushi(0);
+    b.storel(kLocAcc);
+    b.pushi(static_cast<std::int32_t>(rounds));
+    b.storel(kLocRound);
+
+    b.bind(outer); // root = pair{0, null}
+    b.pushi(0);
+    b.pushnull();
+    b.newpair();
+    b.storel(kLocHead);
+    b.pushi(static_cast<std::int32_t>(units));
+    b.storel(kLocI);
+
+    b.bind(build); // root = node{root, pair{i, null}}
+    b.loadl(kLocI);
+    b.pushnull();
+    b.newpair();
+    b.storel(kLocTmp);
+    b.loadl(kLocHead);
+    b.loadl(kLocTmp);
+    b.newnode();
+    b.storel(kLocHead);
+    b.loadl(kLocI);
+    b.pushi(-1);
+    b.add();
+    b.storel(kLocI);
+    b.loadl(kLocI);
+    b.bnz(build);
+
+    b.loadl(kLocHead);
+    b.storel(kLocCur);
+    b.bind(walk);
+    b.loadl(kLocCur);
+    b.isnull();
+    b.bnz(walk_done);
+    b.loadl(kLocCur);
+    b.ispair();
+    b.bnz(walk_pair);
+    // node: acc += cur.f1.f0 (right leaf's value); cur = cur.f0
+    b.loadl(kLocCur);
+    b.getf1();
+    b.getf0();
+    b.loadl(kLocAcc);
+    b.add();
+    b.storel(kLocAcc);
+    b.loadl(kLocCur);
+    b.getf0();
+    b.storel(kLocCur);
+    b.jmp(walk);
+    b.bind(walk_pair); // pair: acc += cur.f0; cur = cur.f1 (null)
+    b.loadl(kLocCur);
+    b.getf0();
+    b.loadl(kLocAcc);
+    b.add();
+    b.storel(kLocAcc);
+    b.loadl(kLocCur);
+    b.getf1();
+    b.storel(kLocCur);
+    b.jmp(walk);
+
+    b.bind(walk_done);
+    b.loadl(kLocRound);
+    b.pushi(-1);
+    b.add();
+    b.storel(kLocRound);
+    b.loadl(kLocRound);
+    b.bnz(outer);
+
+    b.loadl(kLocAcc);
+    b.halt();
+    return b.finish();
+}
+
+std::vector<VmAssembler::Inst>
+buildProgram(const VmConfig &config)
+{
+    if (config.rounds == 0 || config.units == 0)
+        support::fatal("vm program needs rounds > 0 and units > 0");
+    return config.program == VmProgram::kListChurn
+               ? buildListChurn(config.rounds, config.units)
+               : buildTreeChurn(config.rounds, config.units);
+}
+
+// ---------------------------------------------------------------------
+// Region carving via the capability allocator
+// ---------------------------------------------------------------------
+
+/** Absolute guest addresses of the VM's four memory regions. */
+struct VmRegions
+{
+    std::uint64_t bytecode = 0;
+    std::uint64_t stack = 0;
+    std::uint64_t space_a = 0;
+    std::uint64_t space_b = 0;
+};
+
+/**
+ * Carve the VM's regions out of the guest heap with os::CapAllocator,
+ * deliberately beginning with an allocate/free cycle so the bytecode
+ * region reuses a freed block — the first guest setup path to
+ * exercise allocator reuse rather than pure bump allocation.
+ */
+VmRegions
+carveRegions(const GuestLayout &layout, std::uint64_t bc_bytes,
+             std::uint64_t stack_bytes, std::uint64_t space_bytes)
+{
+    cap::Capability heap = cap::Capability::make(
+        layout.heap_base, layout.heap_bytes, cap::kPermAll);
+    os::CapAllocator allocator(heap, os::ReusePolicy::kFirstFit);
+
+    auto scratch = allocator.allocate(4096);
+    if (!scratch)
+        support::fatal("vm region carve: scratch allocation failed");
+    allocator.free(*scratch);
+
+    auto grab = [&](std::uint64_t bytes) {
+        auto capability = allocator.allocate(bytes);
+        if (!capability)
+            support::fatal("vm region carve: allocation of %llu failed",
+                           static_cast<unsigned long long>(bytes));
+        return capability->base();
+    };
+
+    VmRegions regions;
+    regions.bytecode = grab(bc_bytes); // reuses the freed scratch block
+    regions.stack = grab(stack_bytes);
+    regions.space_a = grab(space_bytes);
+    regions.space_b = grab(space_bytes);
+    return regions;
+}
+
+// ---------------------------------------------------------------------
+// Host mirror
+// ---------------------------------------------------------------------
+
+struct MVal
+{
+    enum class Kind
+    {
+        kInt,
+        kNull,
+        kRef
+    };
+    Kind kind = Kind::kNull;
+    std::int64_t i = 0;
+    std::size_t obj = 0;
+};
+
+struct MObj
+{
+    int kind = 0; // 0 = pair, 1 = node
+    MVal f0;
+    MVal f1;
+};
+
+class MirrorVm
+{
+  public:
+    MirrorVm(const std::vector<VmAssembler::Inst> &code, unsigned capacity)
+        : code_(code), capacity_(capacity)
+    {
+    }
+
+    VmMirror run();
+
+  private:
+    MVal popAny();
+    std::int64_t popInt();
+    MVal popRefOrNull();
+    void push(MVal value);
+    void maybeCollect();
+    unsigned reachableCount() const;
+
+    const std::vector<VmAssembler::Inst> &code_;
+    unsigned capacity_;
+    std::size_t pc_ = 0;
+    std::array<MVal, kLocalCount> locals_{};
+    std::vector<MVal> stack_;
+    std::vector<MObj> objects_;
+    unsigned in_space_ = 0;
+    VmMirror out_;
+};
+
+MVal
+MirrorVm::popAny()
+{
+    if (stack_.empty())
+        support::fatal("vm mirror: operand stack underflow at pc %llu",
+                       static_cast<unsigned long long>(pc_));
+    MVal value = stack_.back();
+    stack_.pop_back();
+    return value;
+}
+
+std::int64_t
+MirrorVm::popInt()
+{
+    MVal value = popAny();
+    if (value.kind != MVal::Kind::kInt)
+        support::fatal("vm mirror: expected int at pc %llu",
+                       static_cast<unsigned long long>(pc_));
+    return value.i;
+}
+
+MVal
+MirrorVm::popRefOrNull()
+{
+    MVal value = popAny();
+    if (value.kind == MVal::Kind::kInt)
+        support::fatal("vm mirror: expected reference at pc %llu",
+                       static_cast<unsigned long long>(pc_));
+    return value;
+}
+
+void
+MirrorVm::push(MVal value)
+{
+    if (stack_.size() >= kStackSlots)
+        support::fatal("vm mirror: operand stack overflow at pc %llu",
+                       static_cast<unsigned long long>(pc_));
+    stack_.push_back(value);
+}
+
+unsigned
+MirrorVm::reachableCount() const
+{
+    std::vector<bool> marked(objects_.size(), false);
+    std::deque<std::size_t> work;
+    auto root = [&](const MVal &value) {
+        if (value.kind == MVal::Kind::kRef && !marked[value.obj]) {
+            marked[value.obj] = true;
+            work.push_back(value.obj);
+        }
+    };
+    for (const MVal &local : locals_)
+        root(local);
+    for (const MVal &slot : stack_)
+        root(slot);
+    unsigned count = 0;
+    while (!work.empty()) {
+        std::size_t index = work.front();
+        work.pop_front();
+        ++count;
+        root(objects_[index].f0);
+        root(objects_[index].f1);
+    }
+    return count;
+}
+
+void
+MirrorVm::maybeCollect()
+{
+    // The guest checks space (and runs the collector) before popping
+    // the constructor operands, so they are still GC roots here.
+    if (in_space_ < capacity_)
+        return;
+    ++out_.collections;
+    in_space_ = reachableCount();
+    if (in_space_ >= capacity_)
+        support::fatal("vm shape overflows the semispace: %u live of "
+                       "%u capacity after collection",
+                       in_space_, capacity_);
+}
+
+VmMirror
+MirrorVm::run()
+{
+    constexpr std::uint64_t kMaxSteps = 10'000'000;
+    for (std::uint64_t steps = 0;; ++steps) {
+        if (steps > kMaxSteps)
+            support::fatal("vm mirror: program exceeded %llu steps",
+                           static_cast<unsigned long long>(kMaxSteps));
+        if (pc_ >= code_.size())
+            support::fatal("vm mirror: pc %llu out of range",
+                           static_cast<unsigned long long>(pc_));
+        const VmAssembler::Inst inst = code_[pc_++];
+        switch (inst.op) {
+          case VmOp::kHalt: {
+            std::int64_t result = popInt();
+            out_.result = static_cast<std::uint64_t>(result);
+            out_.checksum = (out_.result * 31 + out_.collections) * 31 +
+                            out_.allocations;
+            return out_;
+          }
+          case VmOp::kPushI:
+            push(MVal{MVal::Kind::kInt, inst.imm, 0});
+            break;
+          case VmOp::kPushNull:
+            push(MVal{MVal::Kind::kNull, 0, 0});
+            break;
+          case VmOp::kAdd: {
+            std::int64_t x = popInt();
+            std::int64_t y = popInt();
+            push(MVal{MVal::Kind::kInt, x + y, 0});
+            break;
+          }
+          case VmOp::kLoadL:
+          case VmOp::kStoreL: {
+            if (inst.imm < 0 ||
+                static_cast<unsigned>(inst.imm) >= kLocalCount)
+                support::fatal("vm mirror: bad local slot %d", inst.imm);
+            auto slot = static_cast<std::size_t>(inst.imm);
+            if (inst.op == VmOp::kLoadL)
+                push(locals_[slot]);
+            else
+                locals_[slot] = popAny();
+            break;
+          }
+          case VmOp::kNewPair:
+          case VmOp::kNewNode: {
+            maybeCollect();
+            MVal f1 = popRefOrNull();
+            MVal f0 = popAny();
+            if (inst.op == VmOp::kNewPair &&
+                f0.kind != MVal::Kind::kInt)
+                support::fatal("vm mirror: pair value must be an int");
+            if (inst.op == VmOp::kNewNode &&
+                f0.kind == MVal::Kind::kInt)
+                support::fatal("vm mirror: node child must be a ref");
+            MObj object;
+            object.kind = inst.op == VmOp::kNewPair ? 0 : 1;
+            object.f0 = f0;
+            object.f1 = f1;
+            objects_.push_back(object);
+            ++in_space_;
+            ++out_.allocations;
+            push(MVal{MVal::Kind::kRef, 0, objects_.size() - 1});
+            break;
+          }
+          case VmOp::kGetF0:
+          case VmOp::kGetF1: {
+            MVal ref = popRefOrNull();
+            if (ref.kind != MVal::Kind::kRef)
+                support::fatal("vm mirror: field access on null at "
+                               "pc %llu",
+                               static_cast<unsigned long long>(pc_ - 1));
+            const MObj &object = objects_[ref.obj];
+            push(inst.op == VmOp::kGetF0 ? object.f0 : object.f1);
+            break;
+          }
+          case VmOp::kIsNull: {
+            MVal ref = popRefOrNull();
+            push(MVal{MVal::Kind::kInt,
+                      ref.kind == MVal::Kind::kNull ? 1 : 0, 0});
+            break;
+          }
+          case VmOp::kIsPair: {
+            MVal ref = popRefOrNull();
+            if (ref.kind != MVal::Kind::kRef)
+                support::fatal("vm mirror: ISPAIR on null");
+            push(MVal{MVal::Kind::kInt,
+                      objects_[ref.obj].kind == 0 ? 1 : 0, 0});
+            break;
+          }
+          case VmOp::kJmp:
+            pc_ = static_cast<std::size_t>(inst.imm);
+            break;
+          case VmOp::kBnz:
+            if (popInt() != 0)
+                pc_ = static_cast<std::size_t>(inst.imm);
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared emission helpers
+// ---------------------------------------------------------------------
+
+/**
+ * The exit scrub: after the checksum is computed (held in t5), the
+ * guest overwrites every byte it had mapped — heap, stack region,
+ * and its own already-executed code — before BREAK. A managed
+ * runtime tearing down leaves no reachable state behind; for the
+ * fault campaign this is what makes "zero silent corruption"
+ * achievable at all, since an injected flip in memory the program
+ * has finished with is either overwritten here (masked) or consumed
+ * on the way (detected) instead of lingering into the final sweep.
+ *
+ * The code scrub cannot zero the instructions it is executing from:
+ * the tail reads its own address with CGetPCC, zeroes [code_base,
+ * tail), skips exactly `tail_bytes` of itself, and zeroes the
+ * remaining page slack up to the next page boundary. `tail_bytes`
+ * is measured by a scratch emission (the immediate does not change
+ * any instruction's width, so the measurement is exact).
+ */
+void
+emitScrubTailBody(Assembler &a, const GuestLayout &layout,
+                  std::int32_t tail_bytes, bool pad)
+{
+    auto heap_loop = a.newLabel();
+    auto stack_loop = a.newLabel();
+    auto code_loop = a.newLabel();
+    auto slack_loop = a.newLabel();
+    auto slack_done = a.newLabel();
+
+    a.cgetpcc(9, t1); // t1 = address of this instruction (tail start)
+    // The dword at the heap tail is externally owned (cheri-serve
+    // parks each guest's salt there) — carry it across the scrub.
+    a.li64(t0, layout.heap_base + layout.heap_bytes - 8);
+    a.ld(t6, t0, 0);
+    a.li64(t0, layout.heap_base);
+    a.li64(t2, layout.heap_base + layout.heap_bytes);
+    a.bind(heap_loop);
+    a.sd(zero, t0, 0);
+    a.daddiu(t0, t0, 8);
+    a.bne(t0, t2, heap_loop);
+    a.nop();
+    a.sd(t6, t0, -8); // salt back (the zeroing already cleared tags)
+    a.li64(t0, layout.stack_top - layout.stack_bytes);
+    a.li64(t2, layout.stack_top);
+    a.bind(stack_loop);
+    a.sd(zero, t0, 0);
+    a.daddiu(t0, t0, 8);
+    a.bne(t0, t2, stack_loop);
+    a.nop();
+    a.li64(t0, layout.code_base);
+    a.bind(code_loop);
+    a.sd(zero, t0, 0);
+    a.daddiu(t0, t0, 8);
+    a.bne(t0, t1, code_loop);
+    a.nop();
+    // Page slack past the text's end: [tail + tail_bytes, page end).
+    a.daddiu(t2, t1, tail_bytes);
+    a.move(t0, t2);
+    a.daddiu(t2, t2, 4095);
+    a.dsrl(t2, t2, 12);
+    a.dsll(t2, t2, 12);
+    a.beq(t0, t2, slack_done);
+    a.nop();
+    a.bind(slack_loop);
+    a.sd(zero, t0, 0);
+    a.daddiu(t0, t0, 8);
+    a.bne(t0, t2, slack_loop);
+    a.nop();
+    a.bind(slack_done);
+    // The tail's own lines are the one region no zeroing store ever
+    // touches, so a forged tag-table bit there would survive to the
+    // final sweep. Rewrite one dword per 32-byte line with its own
+    // bytes: the general-purpose store clears the line's tag without
+    // changing the (still-executing) code underneath it.
+    auto rewrite_loop = a.newLabel();
+    a.dsrl(t0, t1, 5);
+    a.dsll(t0, t0, 5);
+    a.daddiu(t2, t1, tail_bytes);
+    a.bind(rewrite_loop);
+    a.ld(t3, t0, 0);
+    a.sd(t3, t0, 0);
+    a.daddiu(t0, t0, 32);
+    a.sltu(t3, t0, t2);
+    a.bne(t3, zero, rewrite_loop);
+    a.nop();
+    a.move(s0, t5);
+    a.move(v0, t5);
+    if (pad) // keeps the tail a multiple of 8 bytes (see caller)
+        a.nop();
+    a.break_();
+}
+
+void
+emitScrubTail(Assembler &a, const GuestLayout &layout)
+{
+    Assembler scratch(0);
+    emitScrubTailBody(scratch, layout, 0, false);
+    unsigned words = static_cast<unsigned>(scratch.finish().size());
+    bool pad = words % 2 != 0;
+    if (pad)
+        ++words;
+    // The dword scrub loops need an 8-aligned tail start and length.
+    if (a.here() % 8 != 0)
+        a.nop();
+    emitScrubTailBody(a, layout, static_cast<std::int32_t>(4 * words),
+                      pad);
+}
+
+/**
+ * Materialize the bytecode stream into guest memory with a stepping
+ * write pointer. The CHERI flavour stores through the (still
+ * writable) bytecode capability; the integer flavour through an
+ * absolute address.
+ */
+void
+emitBytecodeImage(Assembler &a,
+                  const std::vector<VmAssembler::Inst> &code,
+                  bool cheri, std::uint64_t bc_base)
+{
+    if (cheri)
+        a.move(t0, zero);
+    else
+        a.li64(t0, bc_base);
+    for (const VmAssembler::Inst &inst : code) {
+        a.li(t1, static_cast<std::int32_t>(inst.op));
+        if (cheri)
+            a.csd(t1, 1, t0, 0);
+        else
+            a.sd(t1, t0, 0);
+        a.li(t1, inst.imm);
+        if (cheri)
+            a.csd(t1, 1, t0, 8);
+        else
+            a.sd(t1, t0, 8);
+        a.daddiu(t0, t0, static_cast<std::int32_t>(kBytecodeInstBytes));
+    }
+}
+
+// ---------------------------------------------------------------------
+// CHERI-model emitter
+// ---------------------------------------------------------------------
+
+/*
+ * Register map (CHERI model):
+ *   s0 vm pc            s1 slot pointer (locals + operand stack)
+ *   s2 alloc offset     s3 collections    s4 GC tag counter
+ *   s5 allocations      gp semispace limit (bytes)
+ *   c1 bytecode (load-only after setup)   c2 slot array
+ *   c4 active space     c5 reserve space
+ *   c7 evacuate arg/result   c8 newly minted object   c9/c10 scratch
+ *   GC: a0 scan offset, a1 free offset, a2 saved ra, t3/t4 loops;
+ *   evacuate clobbers t0/t1/t2 and c8/c9 only.
+ */
+void
+emitCheriVm(Assembler &a, const std::vector<VmAssembler::Inst> &code,
+            const VmConfig &config, const VmRegions &regions,
+            std::uint64_t space_bytes, const GuestLayout &layout)
+{
+    const bool cap_copy = config.gc_copy == VmGcCopy::kCapability;
+
+    auto scrub = a.newLabel();
+    auto vm_loop = a.newLabel();
+    auto bad_op = a.newLabel();
+    auto oom_exit = a.newLabel();
+    auto tag_loss_exit = a.newLabel();
+    auto gc_fn = a.newLabel();
+    auto evac_fn = a.newLabel();
+    std::array<Assembler::Label, 14> handlers{};
+    for (auto &label : handlers)
+        label = a.newLabel();
+
+    // --- prologue: derive region capabilities from almighty c0 ---
+    auto derive = [&](unsigned cd, std::uint64_t base,
+                      std::uint64_t bytes) {
+        a.li64(t0, base);
+        a.cincbase(cd, 0, t0);
+        a.li(t1, static_cast<std::int32_t>(bytes));
+        a.csetlen(cd, cd, t1);
+    };
+    derive(1, regions.bytecode, code.size() * kBytecodeInstBytes);
+    derive(2, regions.stack, kTotalSlots * kCapSlotBytes);
+    derive(4, regions.space_a, space_bytes);
+    derive(5, regions.space_b, space_bytes);
+
+    emitBytecodeImage(a, code, true, regions.bytecode);
+    // Bytecode becomes execute-never, write-never data: load only.
+    a.li(t1, static_cast<std::int32_t>(cap::kPermLoad));
+    a.candperm(1, 1, t1);
+
+    a.move(s0, zero);
+    a.li(s1, static_cast<std::int32_t>(kLocalCount));
+    a.li(s2, static_cast<std::int32_t>(kCapObjBytes));
+    a.move(s3, zero);
+    a.move(s4, zero);
+    a.move(s5, zero);
+    a.li(gp, static_cast<std::int32_t>(space_bytes));
+
+    // --- dispatch loop ---
+    a.bind(vm_loop);
+    a.dsll(t0, s0, 4);
+    a.cld(t1, 1, t0, 0);
+    a.cld(t2, 1, t0, 8);
+    a.daddiu(s0, s0, 1);
+    a.beq(t1, zero, handlers[0]);
+    a.nop();
+    for (unsigned op = 1; op < handlers.size(); ++op) {
+        a.daddiu(t3, t1, -static_cast<std::int32_t>(op));
+        a.beq(t3, zero, handlers[op]);
+        a.nop();
+    }
+    a.bind(bad_op);
+    a.li(v0, kBadOpPoison);
+    a.break_();
+
+    auto pushSlotAddr = [&] { a.dsll(t4, s1, 5); };
+
+    // kHalt: fold ((result * 31 + collections) * 31 + allocations).
+    a.bind(handlers[static_cast<unsigned>(VmOp::kHalt)]);
+    a.daddiu(s1, s1, -1);
+    pushSlotAddr();
+    a.cld(t5, 2, t4, 0);
+    a.dsll(t6, t5, 5);
+    a.dsubu(t5, t6, t5);
+    a.daddu(t5, t5, s3);
+    a.dsll(t6, t5, 5);
+    a.dsubu(t5, t6, t5);
+    a.daddu(t5, t5, s5);
+    a.b(scrub); // checksum rides in t5 through the exit scrub
+    a.nop();
+
+    // kPushI: raw dword into the slot (csd clears the slot's tag).
+    a.bind(handlers[static_cast<unsigned>(VmOp::kPushI)]);
+    pushSlotAddr();
+    a.csd(t2, 2, t4, 0);
+    a.daddiu(s1, s1, 1);
+    a.b(vm_loop);
+    a.nop();
+
+    // kPushNull: CFromPtr(c, 0) mints the canonical untagged NULL.
+    a.bind(handlers[static_cast<unsigned>(VmOp::kPushNull)]);
+    a.cfromptr(9, 4, zero);
+    pushSlotAddr();
+    a.csc(9, 2, t4, 0);
+    a.daddiu(s1, s1, 1);
+    a.b(vm_loop);
+    a.nop();
+
+    // kAdd.
+    a.bind(handlers[static_cast<unsigned>(VmOp::kAdd)]);
+    a.daddiu(s1, s1, -1);
+    pushSlotAddr();
+    a.cld(t5, 2, t4, 0);
+    a.daddiu(s1, s1, -1);
+    pushSlotAddr();
+    a.cld(t6, 2, t4, 0);
+    a.daddu(t5, t5, t6);
+    a.csd(t5, 2, t4, 0);
+    a.daddiu(s1, s1, 1);
+    a.b(vm_loop);
+    a.nop();
+
+    // kLoadL: full 32-byte slot image copy, tag included.
+    a.bind(handlers[static_cast<unsigned>(VmOp::kLoadL)]);
+    a.dsll(t4, t2, 5);
+    a.clc(9, 2, t4, 0);
+    pushSlotAddr();
+    a.csc(9, 2, t4, 0);
+    a.daddiu(s1, s1, 1);
+    a.b(vm_loop);
+    a.nop();
+
+    // kStoreL.
+    a.bind(handlers[static_cast<unsigned>(VmOp::kStoreL)]);
+    a.daddiu(s1, s1, -1);
+    pushSlotAddr();
+    a.clc(9, 2, t4, 0);
+    a.dsll(t4, t2, 5);
+    a.csc(9, 2, t4, 0);
+    a.b(vm_loop);
+    a.nop();
+
+    // kNewPair / kNewNode share the allocation path; t7 = header kind.
+    auto alloc_obj = a.newLabel();
+    auto have_space = a.newLabel();
+    a.bind(handlers[static_cast<unsigned>(VmOp::kNewPair)]);
+    a.li(t7, 0);
+    a.b(alloc_obj);
+    a.nop();
+    a.bind(handlers[static_cast<unsigned>(VmOp::kNewNode)]);
+    a.li(t7, 1);
+    a.bind(alloc_obj);
+    // Space check before popping: the operands stay GC roots.
+    a.daddiu(t4, s2, static_cast<std::int32_t>(kCapObjBytes));
+    a.sltu(t5, gp, t4);
+    a.beq(t5, zero, have_space);
+    a.nop();
+    a.jal(gc_fn);
+    a.nop();
+    a.daddiu(t4, s2, static_cast<std::int32_t>(kCapObjBytes));
+    a.sltu(t5, gp, t4);
+    a.bne(t5, zero, oom_exit);
+    a.nop();
+    a.bind(have_space);
+    // Mint the object capability from the active space: CFromPtr of
+    // the bump offset, then CSetLen to exactly one object.
+    a.cfromptr(8, 4, s2);
+    a.li(t6, static_cast<std::int32_t>(kCapObjBytes));
+    a.csetlen(8, 8, t6);
+    a.csd(t7, 8, zero, 0);
+    a.daddiu(s1, s1, -1);
+    pushSlotAddr();
+    a.clc(9, 2, t4, 0);
+    a.csc(9, 8, zero, 64); // field 1 (top of stack)
+    a.daddiu(s1, s1, -1);
+    pushSlotAddr();
+    a.clc(9, 2, t4, 0);
+    a.csc(9, 8, zero, 32); // field 0
+    a.daddiu(s2, s2, static_cast<std::int32_t>(kCapObjBytes));
+    a.daddiu(s5, s5, 1);
+    pushSlotAddr();
+    a.csc(8, 2, t4, 0);
+    a.daddiu(s1, s1, 1);
+    a.b(vm_loop);
+    a.nop();
+
+    // kGetF0 / kGetF1: the second CLC is the deterministic trap site
+    // when the integer-copy collector has stripped the reference's
+    // tag — an untagged base register raises kTagViolation.
+    auto emitGetField = [&](VmOp op, std::int32_t offset) {
+        a.bind(handlers[static_cast<unsigned>(op)]);
+        a.daddiu(s1, s1, -1);
+        pushSlotAddr();
+        a.clc(9, 2, t4, 0);
+        a.clc(10, 9, zero, offset);
+        a.csc(10, 2, t4, 0);
+        a.daddiu(s1, s1, 1);
+        a.b(vm_loop);
+        a.nop();
+    };
+    emitGetField(VmOp::kGetF0, 32);
+    emitGetField(VmOp::kGetF1, 64);
+
+    // kIsNull: base == 0 distinguishes NULL from a real (or even a
+    // tag-stripped) reference — a stripped reference still carries
+    // its old nonzero base, so the walk proceeds into the trap above
+    // instead of silently ending early.
+    a.bind(handlers[static_cast<unsigned>(VmOp::kIsNull)]);
+    a.daddiu(s1, s1, -1);
+    pushSlotAddr();
+    a.clc(9, 2, t4, 0);
+    a.cgetbase(t5, 9);
+    a.sltiu(t5, t5, 1);
+    a.csd(t5, 2, t4, 0);
+    a.daddiu(s1, s1, 1);
+    a.b(vm_loop);
+    a.nop();
+
+    // kIsPair: load the header kind through the reference.
+    a.bind(handlers[static_cast<unsigned>(VmOp::kIsPair)]);
+    a.daddiu(s1, s1, -1);
+    pushSlotAddr();
+    a.clc(9, 2, t4, 0);
+    a.cld(t5, 9, zero, 0);
+    a.sltiu(t5, t5, 1);
+    a.csd(t5, 2, t4, 0);
+    a.daddiu(s1, s1, 1);
+    a.b(vm_loop);
+    a.nop();
+
+    // kJmp.
+    a.bind(handlers[static_cast<unsigned>(VmOp::kJmp)]);
+    a.b(vm_loop);
+    a.move(s0, t2); // delay slot
+
+    // kBnz.
+    a.bind(handlers[static_cast<unsigned>(VmOp::kBnz)]);
+    a.daddiu(s1, s1, -1);
+    pushSlotAddr();
+    a.cld(t5, 2, t4, 0);
+    a.beq(t5, zero, vm_loop);
+    a.nop();
+    a.b(vm_loop);
+    a.move(s0, t2); // delay slot
+
+    // --- collector ---
+    auto root_loop = a.newLabel();
+    auto root_next = a.newLabel();
+    auto scan_loop = a.newLabel();
+    auto scan_f1 = a.newLabel();
+    auto scan_next = a.newLabel();
+    auto gc_done = a.newLabel();
+
+    a.bind(gc_fn);
+    a.move(a2, ra);
+    a.move(s4, zero);
+    a.li(a0, static_cast<std::int32_t>(kCapObjBytes));
+    a.li(a1, static_cast<std::int32_t>(kCapObjBytes));
+    a.move(t3, zero);
+    a.bind(root_loop); // every live slot (locals + operand stack)
+    a.sltu(t4, t3, s1);
+    a.beq(t4, zero, scan_loop);
+    a.nop();
+    a.dsll(t4, t3, 5);
+    a.clc(7, 2, t4, 0);
+    a.cbtu(7, root_next);
+    a.nop();
+    a.jal(evac_fn);
+    a.nop();
+    a.dsll(t4, t3, 5);
+    a.csc(7, 2, t4, 0);
+    a.bind(root_next);
+    a.daddiu(t3, t3, 1);
+    a.b(root_loop);
+    a.nop();
+    a.bind(scan_loop); // Cheney scan of the to-space frontier
+    a.sltu(t3, a0, a1);
+    a.beq(t3, zero, gc_done);
+    a.nop();
+    a.daddiu(t3, a0, 32);
+    a.clc(7, 5, t3, 0);
+    a.cbtu(7, scan_f1);
+    a.nop();
+    a.jal(evac_fn);
+    a.nop();
+    a.daddiu(t3, a0, 32);
+    a.csc(7, 5, t3, 0);
+    a.bind(scan_f1);
+    a.daddiu(t3, a0, 64);
+    a.clc(7, 5, t3, 0);
+    a.cbtu(7, scan_next);
+    a.nop();
+    a.jal(evac_fn);
+    a.nop();
+    a.daddiu(t3, a0, 64);
+    a.csc(7, 5, t3, 0);
+    a.bind(scan_next);
+    a.daddiu(a0, a0, static_cast<std::int32_t>(kCapObjBytes));
+    a.b(scan_loop);
+    a.nop();
+    a.bind(gc_done);
+    // Swap the spaces (CIncBase by zero is the capability move).
+    a.cincbase(9, 4, zero);
+    a.cincbase(4, 5, zero);
+    a.cincbase(5, 9, zero);
+    a.move(s2, a1);
+    a.daddiu(s3, s3, 1);
+    if (cap_copy) {
+        // Tag-preservation invariant: the number of tagged fields in
+        // the new active space must equal the count the evacuation
+        // loop copied. The integer-copy mode deliberately omits this
+        // check — that is the pitfall being reproduced.
+        auto verify_loop = a.newLabel();
+        auto verify_f1 = a.newLabel();
+        auto verify_next = a.newLabel();
+        auto verify_done = a.newLabel();
+        a.move(t3, zero);
+        a.li(t4, static_cast<std::int32_t>(kCapObjBytes));
+        a.bind(verify_loop);
+        a.sltu(t5, t4, s2);
+        a.beq(t5, zero, verify_done);
+        a.nop();
+        a.daddiu(t5, t4, 32);
+        a.clc(9, 4, t5, 0);
+        a.cbtu(9, verify_f1);
+        a.nop();
+        a.daddiu(t3, t3, 1);
+        a.bind(verify_f1);
+        a.daddiu(t5, t4, 64);
+        a.clc(9, 4, t5, 0);
+        a.cbtu(9, verify_next);
+        a.nop();
+        a.daddiu(t3, t3, 1);
+        a.bind(verify_next);
+        a.daddiu(t4, t4, static_cast<std::int32_t>(kCapObjBytes));
+        a.b(verify_loop);
+        a.nop();
+        a.bind(verify_done);
+        a.bne(t3, s4, tag_loss_exit);
+        a.nop();
+    }
+    a.jr(a2);
+    a.nop();
+
+    // --- evacuate one object: c7 in, c7 out ---
+    auto evac_fwd = a.newLabel();
+    a.bind(evac_fn);
+    a.clc(9, 7, zero, 0);
+    a.cbts(9, evac_fwd); // tagged header slot = forwarding pointer
+    a.nop();
+    // CToPtr interop: the object's bump offset within the active
+    // space, used for the integer-indexed header load.
+    a.ctoptr(t0, 7, 4);
+    a.cld(t1, 4, t0, 0);
+    a.cfromptr(8, 5, a1);
+    a.li(t2, static_cast<std::int32_t>(kCapObjBytes));
+    a.csetlen(8, 8, t2);
+    a.csd(t1, 8, zero, 0);
+    if (cap_copy) {
+        // CLC/CSC field moves: the tag travels with the image.
+        auto f0_done = a.newLabel();
+        auto f1_done = a.newLabel();
+        a.clc(9, 7, zero, 32);
+        a.csc(9, 8, zero, 32);
+        a.cbtu(9, f0_done);
+        a.nop();
+        a.daddiu(s4, s4, 1);
+        a.bind(f0_done);
+        a.clc(9, 7, zero, 64);
+        a.csc(9, 8, zero, 64);
+        a.cbtu(9, f1_done);
+        a.nop();
+        a.daddiu(s4, s4, 1);
+        a.bind(f1_done);
+    } else {
+        // The CRuby pitfall: copying the fields through integer
+        // loads/stores moves every byte faithfully — and the CSD
+        // architecturally clears each destination line's tag, so
+        // every reference field arrives untagged.
+        for (std::int32_t off = 32; off < 96; off += 8) {
+            a.cld(t1, 7, zero, off);
+            a.csd(t1, 8, zero, off);
+        }
+    }
+    a.csc(8, 7, zero, 0); // forwarding pointer into the old header
+    a.daddiu(a1, a1, static_cast<std::int32_t>(kCapObjBytes));
+    a.ccleartag(7, 7); // poison the stale from-space reference
+    a.cincbase(7, 8, zero);
+    a.jr(ra);
+    a.nop();
+    a.bind(evac_fwd);
+    a.cincbase(7, 9, zero);
+    a.jr(ra);
+    a.nop();
+
+    a.bind(oom_exit);
+    a.li(v0, kOomPoison);
+    a.break_();
+    a.bind(tag_loss_exit);
+    a.li(v0, kTagLossPoison);
+    a.break_();
+
+    // Exit scrub: must be the last code in the text (it zeroes all
+    // code below itself, then the page slack above itself).
+    a.bind(scrub);
+    emitScrubTail(a, layout);
+}
+
+// ---------------------------------------------------------------------
+// Integer-model emitter (plain MIPS and CCured)
+// ---------------------------------------------------------------------
+
+/*
+ * Register map (integer models):
+ *   s0 vm pc            s1 slot pointer   s2 alloc offset
+ *   s3 collections      s5 allocations    gp semispace limit
+ *   k0 bytecode base    k1 slot base
+ *   s6 active base      s7 reserve base
+ *   a3 evacuate arg/result; a0 scan, a1 free, a2 saved ra
+ *   CCured only: s4 heap lower bound, fp heap upper bound.
+ *   Integers are SMI-encoded ((v << 1) | 1); references are raw even
+ *   addresses; null is 0.
+ */
+void
+emitIntVm(Assembler &a, const std::vector<VmAssembler::Inst> &code,
+          bool checks, const VmRegions &regions,
+          std::uint64_t space_bytes, const GuestLayout &layout)
+{
+    auto scrub = a.newLabel();
+    auto vm_loop = a.newLabel();
+    auto bad_op = a.newLabel();
+    auto oom_exit = a.newLabel();
+    auto bounds_fail = a.newLabel();
+    auto gc_fn = a.newLabel();
+    auto evac_fn = a.newLabel();
+    std::array<Assembler::Label, 14> handlers{};
+    for (auto &label : handlers)
+        label = a.newLabel();
+
+    emitBytecodeImage(a, code, false, regions.bytecode);
+    a.li64(k0, regions.bytecode);
+    a.li64(k1, regions.stack);
+    a.li64(s6, regions.space_a);
+    a.li64(s7, regions.space_b);
+    if (checks) {
+        // CCured-style metadata: the heap's bounds, kept in
+        // registers like a compiler would home a global fat-pointer
+        // bound. (The runtime — GC and allocator — is trusted, as
+        // CCured trusts its own runtime.)
+        std::uint64_t lo = std::min(regions.space_a, regions.space_b);
+        std::uint64_t hi =
+            std::max(regions.space_a, regions.space_b) + space_bytes;
+        a.li64(s4, lo);
+        a.li64(fp, hi);
+    }
+    a.move(s0, zero);
+    a.li(s1, static_cast<std::int32_t>(kLocalCount));
+    a.li(s2, static_cast<std::int32_t>(kIntObjBytes));
+    a.move(s3, zero);
+    a.move(s5, zero);
+    a.li(gp, static_cast<std::int32_t>(space_bytes));
+
+    // --- dispatch loop ---
+    a.bind(vm_loop);
+    if (checks) {
+        a.sltiu(t3, s0, static_cast<std::int32_t>(code.size()));
+        a.beq(t3, zero, bounds_fail);
+        a.nop();
+    }
+    a.dsll(t0, s0, 4);
+    a.daddu(t0, k0, t0);
+    a.ld(t1, t0, 0);
+    a.ld(t2, t0, 8);
+    a.daddiu(s0, s0, 1);
+    a.beq(t1, zero, handlers[0]);
+    a.nop();
+    for (unsigned op = 1; op < handlers.size(); ++op) {
+        a.daddiu(t3, t1, -static_cast<std::int32_t>(op));
+        a.beq(t3, zero, handlers[op]);
+        a.nop();
+    }
+    a.bind(bad_op);
+    a.li(v0, kBadOpPoison);
+    a.break_();
+
+    auto slotAddr = [&] { // address of slot s1 -> t4
+        a.dsll(t4, s1, 3);
+        a.daddu(t4, k1, t4);
+    };
+    auto pushCheck = [&] {
+        if (!checks)
+            return;
+        a.sltiu(t3, s1, static_cast<std::int32_t>(kTotalSlots));
+        a.beq(t3, zero, bounds_fail);
+        a.nop();
+    };
+    auto popCheck = [&] {
+        if (!checks)
+            return;
+        a.sltiu(t3, s1, static_cast<std::int32_t>(kLocalCount + 1));
+        a.bne(t3, zero, bounds_fail);
+        a.nop();
+    };
+    auto heapCheck = [&](unsigned addr_reg) {
+        if (!checks)
+            return;
+        a.sltu(t8, addr_reg, s4);
+        a.bne(t8, zero, bounds_fail);
+        a.nop();
+        a.sltu(t8, addr_reg, fp);
+        a.beq(t8, zero, bounds_fail);
+        a.nop();
+    };
+
+    // kHalt: decode the SMI result, fold the checksum.
+    a.bind(handlers[static_cast<unsigned>(VmOp::kHalt)]);
+    popCheck();
+    a.daddiu(s1, s1, -1);
+    slotAddr();
+    a.ld(t5, t4, 0);
+    a.dsra(t5, t5, 1);
+    a.dsll(t6, t5, 5);
+    a.dsubu(t5, t6, t5);
+    a.daddu(t5, t5, s3);
+    a.dsll(t6, t5, 5);
+    a.dsubu(t5, t6, t5);
+    a.daddu(t5, t5, s5);
+    a.b(scrub); // checksum rides in t5 through the exit scrub
+    a.nop();
+
+    // kPushI: SMI-encode the immediate.
+    a.bind(handlers[static_cast<unsigned>(VmOp::kPushI)]);
+    pushCheck();
+    a.dsll(t5, t2, 1);
+    a.ori(t5, t5, 1);
+    slotAddr();
+    a.sd(t5, t4, 0);
+    a.daddiu(s1, s1, 1);
+    a.b(vm_loop);
+    a.nop();
+
+    // kPushNull.
+    a.bind(handlers[static_cast<unsigned>(VmOp::kPushNull)]);
+    pushCheck();
+    slotAddr();
+    a.sd(zero, t4, 0);
+    a.daddiu(s1, s1, 1);
+    a.b(vm_loop);
+    a.nop();
+
+    // kAdd: (x<<1|1) + (y<<1|1) - 1 == ((x+y)<<1|1).
+    a.bind(handlers[static_cast<unsigned>(VmOp::kAdd)]);
+    popCheck();
+    a.daddiu(s1, s1, -1);
+    slotAddr();
+    a.ld(t5, t4, 0);
+    popCheck();
+    a.daddiu(s1, s1, -1);
+    slotAddr();
+    a.ld(t6, t4, 0);
+    a.daddu(t5, t5, t6);
+    a.daddiu(t5, t5, -1);
+    a.sd(t5, t4, 0);
+    a.daddiu(s1, s1, 1);
+    a.b(vm_loop);
+    a.nop();
+
+    // kLoadL.
+    a.bind(handlers[static_cast<unsigned>(VmOp::kLoadL)]);
+    pushCheck();
+    a.dsll(t4, t2, 3);
+    a.daddu(t4, k1, t4);
+    a.ld(t5, t4, 0);
+    slotAddr();
+    a.sd(t5, t4, 0);
+    a.daddiu(s1, s1, 1);
+    a.b(vm_loop);
+    a.nop();
+
+    // kStoreL.
+    a.bind(handlers[static_cast<unsigned>(VmOp::kStoreL)]);
+    popCheck();
+    a.daddiu(s1, s1, -1);
+    slotAddr();
+    a.ld(t5, t4, 0);
+    a.dsll(t4, t2, 3);
+    a.daddu(t4, k1, t4);
+    a.sd(t5, t4, 0);
+    a.b(vm_loop);
+    a.nop();
+
+    // kNewPair / kNewNode.
+    auto alloc_obj = a.newLabel();
+    auto have_space = a.newLabel();
+    a.bind(handlers[static_cast<unsigned>(VmOp::kNewPair)]);
+    a.li(t7, 0);
+    a.b(alloc_obj);
+    a.nop();
+    a.bind(handlers[static_cast<unsigned>(VmOp::kNewNode)]);
+    a.li(t7, 1);
+    a.bind(alloc_obj);
+    a.daddiu(t4, s2, static_cast<std::int32_t>(kIntObjBytes));
+    a.sltu(t5, gp, t4);
+    a.beq(t5, zero, have_space);
+    a.nop();
+    a.jal(gc_fn);
+    a.nop();
+    a.daddiu(t4, s2, static_cast<std::int32_t>(kIntObjBytes));
+    a.sltu(t5, gp, t4);
+    a.bne(t5, zero, oom_exit);
+    a.nop();
+    a.bind(have_space);
+    a.daddu(t6, s6, s2); // object address
+    a.sd(t7, t6, 0);
+    popCheck();
+    a.daddiu(s1, s1, -1);
+    slotAddr();
+    a.ld(t5, t4, 0);
+    a.sd(t5, t6, 16); // field 1 (top of stack)
+    popCheck();
+    a.daddiu(s1, s1, -1);
+    slotAddr();
+    a.ld(t5, t4, 0);
+    a.sd(t5, t6, 8); // field 0
+    a.daddiu(s2, s2, static_cast<std::int32_t>(kIntObjBytes));
+    a.daddiu(s5, s5, 1);
+    slotAddr();
+    a.sd(t6, t4, 0);
+    a.daddiu(s1, s1, 1);
+    a.b(vm_loop);
+    a.nop();
+
+    // kGetF0 / kGetF1.
+    auto emitGetField = [&](VmOp op, std::int32_t offset) {
+        a.bind(handlers[static_cast<unsigned>(op)]);
+        popCheck();
+        a.daddiu(s1, s1, -1);
+        slotAddr();
+        a.ld(t5, t4, 0);
+        heapCheck(t5);
+        a.ld(t6, t5, offset);
+        a.sd(t6, t4, 0);
+        a.daddiu(s1, s1, 1);
+        a.b(vm_loop);
+        a.nop();
+    };
+    emitGetField(VmOp::kGetF0, 8);
+    emitGetField(VmOp::kGetF1, 16);
+
+    // kIsNull.
+    a.bind(handlers[static_cast<unsigned>(VmOp::kIsNull)]);
+    popCheck();
+    a.daddiu(s1, s1, -1);
+    slotAddr();
+    a.ld(t5, t4, 0);
+    a.sltiu(t5, t5, 1);
+    a.dsll(t5, t5, 1);
+    a.ori(t5, t5, 1);
+    a.sd(t5, t4, 0);
+    a.daddiu(s1, s1, 1);
+    a.b(vm_loop);
+    a.nop();
+
+    // kIsPair.
+    a.bind(handlers[static_cast<unsigned>(VmOp::kIsPair)]);
+    popCheck();
+    a.daddiu(s1, s1, -1);
+    slotAddr();
+    a.ld(t5, t4, 0);
+    heapCheck(t5);
+    a.ld(t5, t5, 0);
+    a.sltiu(t5, t5, 1);
+    a.dsll(t5, t5, 1);
+    a.ori(t5, t5, 1);
+    a.sd(t5, t4, 0);
+    a.daddiu(s1, s1, 1);
+    a.b(vm_loop);
+    a.nop();
+
+    // kJmp.
+    a.bind(handlers[static_cast<unsigned>(VmOp::kJmp)]);
+    a.b(vm_loop);
+    a.move(s0, t2); // delay slot
+
+    // kBnz: SMI-encoded zero is 1.
+    a.bind(handlers[static_cast<unsigned>(VmOp::kBnz)]);
+    popCheck();
+    a.daddiu(s1, s1, -1);
+    slotAddr();
+    a.ld(t5, t4, 0);
+    a.daddiu(t5, t5, -1);
+    a.beq(t5, zero, vm_loop);
+    a.nop();
+    a.b(vm_loop);
+    a.move(s0, t2); // delay slot
+
+    // --- collector ---
+    auto root_loop = a.newLabel();
+    auto root_next = a.newLabel();
+    auto scan_loop = a.newLabel();
+    auto scan_f1 = a.newLabel();
+    auto scan_next = a.newLabel();
+    auto gc_done = a.newLabel();
+
+    // A reference is a nonzero even dword; SMIs are odd, null is 0.
+    auto refTest = [&](unsigned value_reg, Assembler::Label skip) {
+        a.beq(value_reg, zero, skip);
+        a.nop();
+        a.andi(t4, value_reg, 1);
+        a.bne(t4, zero, skip);
+        a.nop();
+    };
+
+    a.bind(gc_fn);
+    a.move(a2, ra);
+    a.li(a0, static_cast<std::int32_t>(kIntObjBytes));
+    a.li(a1, static_cast<std::int32_t>(kIntObjBytes));
+    a.move(t3, zero);
+    a.bind(root_loop);
+    a.sltu(t4, t3, s1);
+    a.beq(t4, zero, scan_loop);
+    a.nop();
+    a.dsll(t4, t3, 3);
+    a.daddu(t4, k1, t4);
+    a.ld(a3, t4, 0);
+    refTest(a3, root_next);
+    a.jal(evac_fn);
+    a.nop();
+    a.dsll(t4, t3, 3);
+    a.daddu(t4, k1, t4);
+    a.sd(a3, t4, 0);
+    a.bind(root_next);
+    a.daddiu(t3, t3, 1);
+    a.b(root_loop);
+    a.nop();
+    a.bind(scan_loop);
+    a.sltu(t3, a0, a1);
+    a.beq(t3, zero, gc_done);
+    a.nop();
+    a.daddu(t3, s7, a0);
+    a.ld(a3, t3, 8);
+    refTest(a3, scan_f1);
+    a.jal(evac_fn);
+    a.nop();
+    a.daddu(t3, s7, a0);
+    a.sd(a3, t3, 8);
+    a.bind(scan_f1);
+    a.daddu(t3, s7, a0);
+    a.ld(a3, t3, 16);
+    refTest(a3, scan_next);
+    a.jal(evac_fn);
+    a.nop();
+    a.daddu(t3, s7, a0);
+    a.sd(a3, t3, 16);
+    a.bind(scan_next);
+    a.daddiu(a0, a0, static_cast<std::int32_t>(kIntObjBytes));
+    a.b(scan_loop);
+    a.nop();
+    a.bind(gc_done);
+    a.move(t3, s6);
+    a.move(s6, s7);
+    a.move(s7, t3);
+    a.move(s2, a1);
+    a.daddiu(s3, s3, 1);
+    a.jr(a2);
+    a.nop();
+
+    // --- evacuate one object: a3 in, a3 out ---
+    auto evac_fwd = a.newLabel();
+    a.bind(evac_fn);
+    a.ld(t5, a3, 0);
+    // Header kinds are 0/1; anything >= 2 is a forwarding address.
+    a.sltiu(t6, t5, 2);
+    a.beq(t6, zero, evac_fwd);
+    a.nop();
+    a.daddu(t6, s7, a1);
+    a.sd(t5, t6, 0);
+    a.ld(t7, a3, 8);
+    a.sd(t7, t6, 8);
+    a.ld(t7, a3, 16);
+    a.sd(t7, t6, 16);
+    a.sd(t6, a3, 0); // forwarding pointer
+    a.daddiu(a1, a1, static_cast<std::int32_t>(kIntObjBytes));
+    a.move(a3, t6);
+    a.jr(ra);
+    a.nop();
+    a.bind(evac_fwd);
+    a.move(a3, t5);
+    a.jr(ra);
+    a.nop();
+
+    a.bind(oom_exit);
+    a.li(v0, kOomPoison);
+    a.break_();
+    a.bind(bounds_fail);
+    a.li(v0, kBoundsPoison);
+    a.break_();
+
+    // Exit scrub: must be the last code in the text (it zeroes all
+    // code below itself, then the page slack above itself).
+    a.bind(scrub);
+    emitScrubTail(a, layout);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// VmAssembler
+// ---------------------------------------------------------------------
+
+VmAssembler::Label
+VmAssembler::newLabel()
+{
+    label_pcs_.push_back(-1);
+    return label_pcs_.size() - 1;
+}
+
+void
+VmAssembler::bind(Label label)
+{
+    if (label >= label_pcs_.size())
+        support::fatal("VmAssembler::bind of unknown label");
+    if (label_pcs_[label] >= 0)
+        support::fatal("VmAssembler::bind of already-bound label");
+    label_pcs_[label] = static_cast<std::int64_t>(insts_.size());
+}
+
+void
+VmAssembler::emit(VmOp op, std::int32_t imm, bool is_label)
+{
+    if (finished_)
+        support::fatal("VmAssembler::emit after finish");
+    insts_.push_back(Raw{op, imm, is_label});
+}
+
+void VmAssembler::halt() { emit(VmOp::kHalt, 0); }
+void VmAssembler::pushi(std::int32_t value) { emit(VmOp::kPushI, value); }
+void VmAssembler::pushnull() { emit(VmOp::kPushNull, 0); }
+void VmAssembler::add() { emit(VmOp::kAdd, 0); }
+
+void
+VmAssembler::loadl(unsigned slot)
+{
+    emit(VmOp::kLoadL, static_cast<std::int32_t>(slot));
+}
+
+void
+VmAssembler::storel(unsigned slot)
+{
+    emit(VmOp::kStoreL, static_cast<std::int32_t>(slot));
+}
+
+void VmAssembler::newpair() { emit(VmOp::kNewPair, 0); }
+void VmAssembler::newnode() { emit(VmOp::kNewNode, 0); }
+void VmAssembler::getf0() { emit(VmOp::kGetF0, 0); }
+void VmAssembler::getf1() { emit(VmOp::kGetF1, 0); }
+void VmAssembler::isnull() { emit(VmOp::kIsNull, 0); }
+void VmAssembler::ispair() { emit(VmOp::kIsPair, 0); }
+
+void
+VmAssembler::jmp(Label label)
+{
+    emit(VmOp::kJmp, static_cast<std::int32_t>(label), true);
+}
+
+void
+VmAssembler::bnz(Label label)
+{
+    emit(VmOp::kBnz, static_cast<std::int32_t>(label), true);
+}
+
+std::vector<VmAssembler::Inst>
+VmAssembler::finish()
+{
+    if (finished_)
+        support::fatal("VmAssembler::finish called twice");
+    finished_ = true;
+    std::vector<Inst> resolved;
+    resolved.reserve(insts_.size());
+    for (const Raw &raw : insts_) {
+        Inst inst;
+        inst.op = raw.op;
+        if (raw.is_label) {
+            auto label = static_cast<std::size_t>(raw.imm);
+            if (label >= label_pcs_.size() || label_pcs_[label] < 0)
+                support::fatal("VmAssembler::finish: unbound label");
+            inst.imm = static_cast<std::int32_t>(label_pcs_[label]);
+        } else {
+            inst.imm = static_cast<std::int32_t>(raw.imm);
+        }
+        resolved.push_back(inst);
+    }
+    return resolved;
+}
+
+// ---------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------
+
+const char *
+vmModelName(VmModel model)
+{
+    switch (model) {
+      case VmModel::kMips:
+        return "mips";
+      case VmModel::kCcured:
+        return "ccured";
+      case VmModel::kCheri:
+        return "cheri";
+    }
+    return "?";
+}
+
+VmMirror
+vmMirror(const VmConfig &config)
+{
+    std::vector<VmAssembler::Inst> code = buildProgram(config);
+    return MirrorVm(code, config.semispace_objects).run();
+}
+
+GuestProgram
+guestVm(const VmConfig &config)
+{
+    if (config.gc_copy == VmGcCopy::kInteger &&
+        config.model != VmModel::kCheri)
+        support::fatal("integer-copy GC mode exists to strip tags and "
+                       "needs the CHERI model");
+    if (config.semispace_objects < 2)
+        support::fatal("vm semispace must hold at least 2 objects");
+
+    std::vector<VmAssembler::Inst> code = buildProgram(config);
+    VmMirror mirror = MirrorVm(code, config.semispace_objects).run();
+
+    GuestProgram prog;
+    prog.name = std::string("vm-") + vmModelName(config.model) +
+                (config.program == VmProgram::kTreeChurn ? "-tree"
+                                                         : "-list");
+    if (config.gc_copy == VmGcCopy::kInteger)
+        prog.name += "-intcopy";
+    prog.expected_checksum = mirror.checksum;
+
+    const bool cheri = config.model == VmModel::kCheri;
+    const std::uint64_t stride = cheri ? kCapSlotBytes : kIntSlotBytes;
+    const std::uint64_t space_bytes =
+        (config.semispace_objects + 1) * objBytes(config.model);
+    VmRegions regions = carveRegions(
+        prog.layout, code.size() * kBytecodeInstBytes,
+        kTotalSlots * stride, space_bytes);
+
+    // Shrink the mapped footprint to the carved working set (the
+    // regions are carved contiguously from the heap base) plus one
+    // stack page: the exit scrub overwrites every mapped byte, so
+    // unused mapped slack would only be dead weight to zero — and
+    // dead space where an injected fault could hide from detection.
+    const std::uint64_t page = tlb::kPageBytes;
+    const std::uint64_t carved =
+        regions.space_b + space_bytes - prog.layout.heap_base;
+    prog.layout.heap_bytes = (carved + page - 1) / page * page;
+    prog.layout.stack_bytes = page; // the VM never touches the stack
+
+    Assembler a(prog.layout.code_base);
+    if (cheri)
+        emitCheriVm(a, code, config, regions, space_bytes,
+                    prog.layout);
+    else
+        emitIntVm(a, code, config.model == VmModel::kCcured, regions,
+                  space_bytes, prog.layout);
+    prog.text = a.finish();
+    return prog;
+}
+
+} // namespace cheri::workloads

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * A managed-runtime guest: a small stack-bytecode VM with a semispace
+ * copying garbage collector, emitted as guest assembly and executed
+ * by the real CPU interpreter like the guest Olden kernels. This is
+ * the first guest that behaves like real managed software rather than
+ * a pointer kernel: an interpreter dispatch loop, heap records
+ * discriminated at runtime, and a Cheney-style evacuating collector
+ * whose copy loop must preserve capability tags.
+ *
+ * The kernel is emitted for all three compilation models of the
+ * paper's evaluation (Section 7): plain MIPS pointers, CCured-style
+ * software bounds checks, and CHERI capabilities. Under the CHERI
+ * model, heap objects are capability-addressed records, object
+ * references are tagged capabilities, and the GC's copy loop moves
+ * field slots with CLC/CSC so tags survive evacuation. A deliberate
+ * "integer copy" mode reproduces the CRuby-on-CHERI tag-stripping
+ * pitfall: the evacuation loop copies objects through CLD/CSD, which
+ * architecturally clears the tags of the copied capability fields, so
+ * the mutator's next dereference of a moved reference must raise a
+ * tag-violation trap — never silently corrupt the heap.
+ *
+ * The VM's memory regions (bytecode, operand stack, both semispaces)
+ * are carved out of the guest heap with os::CapAllocator in the setup
+ * path — including an allocate/free/reallocate sequence, making this
+ * the first guest to exercise allocator reuse — and the hot paths
+ * exercise CFromPtr (object-capability minting from a bump offset),
+ * CToPtr (capability-to-offset interop in the evacuator) and
+ * CClearTag (poisoning the stale from-space capability).
+ */
+
+#ifndef CHERI_WORKLOADS_VM_GUEST_H
+#define CHERI_WORKLOADS_VM_GUEST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/guest_olden.h"
+#include "workloads/workload.h"
+
+namespace cheri::workloads
+{
+
+/** Compilation model the VM kernel is emitted for. */
+enum class VmModel
+{
+    kMips,   ///< raw 8-byte pointers, no checks
+    kCcured, ///< raw pointers + software bounds-check sequences
+    kCheri,  ///< tagged capabilities, hardware-checked
+};
+
+/** Stable lower-case model name ("mips", "ccured", "cheri"). */
+const char *vmModelName(VmModel model);
+
+/** How the collector's evacuation loop copies object fields. */
+enum class VmGcCopy
+{
+    kCapability, ///< CLC/CSC per field slot: tags survive the move
+    kInteger,    ///< CLD/CSD over the raw bytes: the CRuby pitfall —
+                 ///< tags are architecturally stripped, and the
+                 ///< mutator's next dereference must trap
+};
+
+/**
+ * Bytecode operations. One instruction is an (opcode, immediate)
+ * pair of 64-bit words; the immediate is an integer constant, a
+ * local-slot index, or an absolute bytecode pc for branches.
+ */
+enum class VmOp : std::uint32_t
+{
+    kHalt = 0, ///< pop the result int, checksum, BREAK
+    kPushI,    ///< push the immediate as an int
+    kPushNull, ///< push the null reference
+    kAdd,      ///< pop two ints, push their sum
+    kLoadL,    ///< push a copy of local slot imm
+    kStoreL,   ///< pop into local slot imm
+    kNewPair,  ///< pop next(ref), val(int); push pair{val, next}
+    kNewNode,  ///< pop right(ref), left(ref); push node{left, right}
+    kGetF0,    ///< pop ref, push field 0 (pair val / node left)
+    kGetF1,    ///< pop ref, push field 1 (pair next / node right)
+    kIsNull,   ///< pop ref, push 1 if null else 0
+    kIsPair,   ///< pop ref, push 1 if pair else 0
+    kJmp,      ///< pc = imm
+    kBnz,      ///< pop int; if nonzero pc = imm
+};
+
+/**
+ * The bytecode assembler used in the guest's setup path: programs are
+ * authored against labels, then finish() resolves branch targets to
+ * absolute bytecode pcs. The resulting (op, imm) stream is
+ * materialized into the guest's bytecode region by the emitted
+ * prologue and interpreted by the in-guest dispatch loop.
+ */
+class VmAssembler
+{
+  public:
+    using Label = std::size_t;
+
+    Label newLabel();
+    void bind(Label label);
+
+    void halt();
+    void pushi(std::int32_t value);
+    void pushnull();
+    void add();
+    void loadl(unsigned slot);
+    void storel(unsigned slot);
+    void newpair();
+    void newnode();
+    void getf0();
+    void getf1();
+    void isnull();
+    void ispair();
+    void jmp(Label label);
+    void bnz(Label label);
+
+    /** One resolved bytecode instruction. */
+    struct Inst
+    {
+        VmOp op = VmOp::kHalt;
+        std::int32_t imm = 0;
+    };
+
+    /** Resolve labels; every label must be bound exactly once. */
+    std::vector<Inst> finish();
+
+  private:
+    void emit(VmOp op, std::int32_t imm, bool is_label = false);
+
+    struct Raw
+    {
+        VmOp op;
+        std::int64_t imm;
+        bool is_label;
+    };
+    std::vector<Raw> insts_;
+    std::vector<std::int64_t> label_pcs_;
+    bool finished_ = false;
+};
+
+/** Which churn program the VM runs. */
+enum class VmProgram
+{
+    kListChurn, ///< rebuild + walk a linked list of pairs each round
+    kTreeChurn, ///< rebuild + walk a node spine with pair leaves
+};
+
+/** Shape of one VM guest. */
+struct VmConfig
+{
+    VmModel model = VmModel::kCheri;
+    VmGcCopy gc_copy = VmGcCopy::kCapability;
+    VmProgram program = VmProgram::kListChurn;
+    /** Churn rounds; each round's previous structure becomes garbage. */
+    unsigned rounds = 6;
+    /** List pairs (kListChurn) or spine nodes (kTreeChurn) per round. */
+    unsigned units = 12;
+    /** Live-object capacity of one semispace; must exceed the peak
+     *  reachable count or the mirror rejects the shape as OOM. */
+    unsigned semispace_objects = 18;
+};
+
+/** Host-mirror outcome of one VM run (model-independent). */
+struct VmMirror
+{
+    std::uint64_t result = 0;
+    std::uint64_t allocations = 0;
+    std::uint64_t collections = 0;
+    /** ((result * 31 + collections) * 31 + allocations), exactly the
+     *  fold the guest computes at kHalt. */
+    std::uint64_t checksum = 0;
+};
+
+/**
+ * Simulate the configured program on the host, including the
+ * semispace collection schedule, and return the expected outcome.
+ * Fatals if the shape overflows the semispace or the operand stack —
+ * the same shapes guestVm() would refuse.
+ */
+VmMirror vmMirror(const VmConfig &config);
+
+/**
+ * Emit the VM guest for one model. The returned program runs from
+ * entry to BREAK with the mirror's checksum in v0; under
+ * VmGcCopy::kInteger (CHERI model only) it instead deterministically
+ * raises a capability tag-violation trap on the first dereference of
+ * a reference whose tag the integer copy stripped.
+ */
+GuestProgram guestVm(const VmConfig &config);
+
+/**
+ * The managed-runtime profile as a Context workload: the same
+ * list-churn + semispace-evacuation schedule as the bytecode guest,
+ * modeled through the cost-accounting Context so the limit study and
+ * timing machinery can weigh a GC-heavy, allocation-heavy profile
+ * against the Olden pointer kernels. size_a = churn rounds, size_b =
+ * list pairs per round; the collection schedule is counted in
+ * objects, so the checksum is identical across compilation models.
+ *
+ * Reachable through makeWorkload("vm") only — it is deliberately not
+ * part of fpgaBenchmarks()/oldenSuite(), which reproduce the paper's
+ * figures.
+ */
+class VmChurn : public Workload
+{
+  public:
+    std::string name() const override { return "vm"; }
+    std::uint64_t run(Context &context,
+                      const WorkloadParams &params) const override;
+    WorkloadParams defaultParams() const override { return {6, 12, 3}; }
+    WorkloadParams paperParams() const override { return {48, 24, 3}; }
+    WorkloadParams
+    paramsForHeapBytes(std::uint64_t heap_bytes) const override;
+};
+
+} // namespace cheri::workloads
+
+#endif // CHERI_WORKLOADS_VM_GUEST_H

@@ -1,6 +1,7 @@
 #include "workloads/workload.h"
 
 #include "workloads/olden.h"
+#include "workloads/vm_guest.h"
 
 namespace cheri::workloads
 {
@@ -33,6 +34,10 @@ makeWorkload(const std::string &name)
     for (auto &workload : oldenSuite())
         if (workload->name() == name)
             return std::move(workload);
+    // The managed-runtime churn profile is reachable by name but is
+    // not part of the paper-figure suites above.
+    if (name == "vm")
+        return std::make_unique<VmChurn>();
     return nullptr;
 }
 

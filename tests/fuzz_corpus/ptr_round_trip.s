@@ -1,0 +1,28 @@
+# Guard for the managed-runtime interop round-trip (the VM guest's
+# GC hot path): CToPtr collapses a derived capability to its integer
+# offset within the arena authority, CFromPtr remints a tagged
+# capability from that offset, the remint works as a real store/load
+# authority, and CClearTag poisons it so the next CToPtr observes the
+# NULL convention (untagged -> 0). Both CPUs must agree on every tag,
+# base, and offset along the way.
+        lui      $t8, 0x10
+        cincbase $c1, $c0, $t8
+        daddiu   $t8, $zero, 4096
+        csetlen  $c1, $c1, $t8
+        daddiu   $t8, $zero, 64
+        cincbase $c2, $c1, $t8
+        daddiu   $t8, $zero, 96
+        csetlen  $c2, $c2, $t8
+        ctoptr   $v0, $c2, $c1
+        cfromptr $c3, $c1, $v0
+        cgettag  $v1, $c3
+        cgetbase $a0, $c3
+        daddiu   $t8, $zero, 0
+        csc      $c1, $t8, 0($c3)
+        clc      $c4, $t8, 0($c3)
+        cgettag  $a1, $c4
+        ccleartag $c5, $c3
+        ctoptr   $a2, $c5, $c1
+        cfromptr $c6, $c1, $a2
+        cgettag  $a3, $c6
+        break

@@ -1,0 +1,16 @@
+# The CRuby-on-CHERI pitfall in miniature: an integer copy strips a
+# reference's tag, the stripped reference collapses to 0 under
+# CToPtr (the NULL convention), CFromPtr remints an untagged NULL,
+# and the dereference must raise a tag-violation trap identically on
+# both CPUs — the fast machine must never read through stale bits.
+        lui      $t8, 0x10
+        cincbase $c1, $c0, $t8
+        daddiu   $t8, $zero, 4096
+        csetlen  $c1, $c1, $t8
+        ccleartag $c2, $c1
+        ctoptr   $v0, $c2, $c1
+        cfromptr $c3, $c1, $v0
+        cgettag  $v1, $c3
+        daddiu   $t8, $zero, 0
+        clc      $c4, $t8, 0($c3)
+        break

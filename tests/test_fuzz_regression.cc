@@ -67,6 +67,43 @@ TEST(FuzzRegression, AllCorpusEntriesRunClean)
     }
 }
 
+TEST(FuzzRegression, CorpusRunsCleanUnderForcedTiers)
+{
+    // The plain corpus run toggles all fast paths together; this one
+    // pins the data fast path and the superblock tier so corpus
+    // entries (notably the capability round-trip guards) exercise
+    // every translation tier combination against the oracle.
+    struct Mode
+    {
+        check::DataFastPathMode data;
+        check::SuperblockMode sb;
+        const char *name;
+    };
+    const Mode modes[] = {
+        {check::DataFastPathMode::kForceOn,
+         check::SuperblockMode::kFollow, "data-on"},
+        {check::DataFastPathMode::kForceOff,
+         check::SuperblockMode::kFollow, "data-off"},
+        {check::DataFastPathMode::kForceOn,
+         check::SuperblockMode::kForceOn, "data-on+superblock"},
+    };
+    for (const std::filesystem::path &path : corpusFiles()) {
+        std::ifstream file(path);
+        ASSERT_TRUE(file.is_open());
+        std::stringstream buffer;
+        buffer << file.rdbuf();
+        isa::AsmResult assembled =
+            isa::assembleText(buffer.str(), check::kFuzzCodeBase);
+        ASSERT_TRUE(assembled.ok());
+        for (const Mode &mode : modes) {
+            SCOPED_TRACE(path.filename().string() + " / " + mode.name);
+            check::FuzzRunResult result = check::runFuzzWords(
+                assembled.words, false, 20000, mode.data, mode.sb);
+            EXPECT_FALSE(result.diverged) << result.divergence;
+        }
+    }
+}
+
 TEST(FuzzRegression, FixedSeedsRunClean)
 {
     // A small pinned seed set, separate from the fuzz-smoke ctest, so

@@ -103,8 +103,10 @@ TEST(LockstepOracle, InjectedTagClearFaultIsCaught)
     // Self-test: arm the hierarchy fault that skips the tag clear on
     // data stores. The oracle must diverge on a fuzz program that
     // stores over a tagged line, and the divergence must survive
-    // shrinking down to a small reproducer.
-    const std::uint64_t seed = 1;
+    // shrinking down to a small reproducer. The seed is any one whose
+    // generated program stores over a tagged line; re-pin it if the
+    // generator's op mix changes.
+    const std::uint64_t seed = 2;
     check::FuzzSpec spec = check::generateSpec(seed);
     check::FuzzRunResult result = check::runFuzzWords(
         check::assembleFuzzProgram(spec),
@@ -138,7 +140,7 @@ TEST(LockstepOracle, InjectedTagClearFaultIsCaught)
 TEST(LockstepOracle, CleanWithoutInjection)
 {
     // The same seed runs divergence-free when no fault is armed.
-    check::FuzzSpec spec = check::generateSpec(1);
+    check::FuzzSpec spec = check::generateSpec(2);
     check::FuzzRunResult result =
         check::runFuzzWords(check::assembleFuzzProgram(spec));
     EXPECT_FALSE(result.diverged) << result.divergence;

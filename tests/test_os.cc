@@ -12,6 +12,7 @@
 #include "os/cap_allocator.h"
 #include "os/sandbox.h"
 #include "os/simple_os.h"
+#include "support/logging.h"
 
 namespace cheri::os
 {
@@ -330,6 +331,111 @@ TEST(CapAllocator, NoReusePolicyNeverRecycles)
     ASSERT_TRUE(b.has_value());
     EXPECT_NE(b->base(), a->base()); // address space not reused
     EXPECT_FALSE(allocator.allocate(64).has_value()); // exhausted
+}
+
+// --- the guest-failure barrier at the os layer ------------------------
+//
+// Every condition below is reachable from corrupted *guest* state (a
+// GC bug handing the allocator a stale or laundered capability, a
+// fault campaign flipping allocator metadata), so each must unwind as
+// a structured GuestFailure under a PanicScope instead of killing the
+// whole fleet. The unscoped-abort side is covered in
+// test_scheduler.cc (GuestFailureBarrier.UnscopedGuestFaultStillAborts).
+
+TEST(CapAllocator, FreeOutsideHeapFaultsThroughBarrier)
+{
+    cap::Capability heap =
+        cap::Capability::make(0x10000, 4096, cap::kPermAll);
+    CapAllocator allocator(heap);
+    // A capability from a different region entirely — the offset
+    // arithmetic would underflow if it reached the live-block lookup.
+    cap::Capability foreign =
+        cap::Capability::make(0x8000, 64, cap::kPermAll);
+
+    support::PanicScope barrier;
+    try {
+        allocator.free(foreign);
+        FAIL() << "free of a foreign capability did not fault";
+    } catch (const support::GuestFailure &failure) {
+        EXPECT_EQ(failure.subsystem(), "os");
+        EXPECT_NE(failure.message().find("outside the heap"),
+                  std::string::npos);
+    }
+}
+
+TEST(CapAllocator, FreeSealedCapabilityFaultsThroughBarrier)
+{
+    cap::Capability heap =
+        cap::Capability::make(0x10000, 4096, cap::kPermAll);
+    CapAllocator allocator(heap);
+    auto obj = allocator.allocate(64);
+    ASSERT_TRUE(obj.has_value());
+    cap::Capability sealed = *obj;
+    sealed.setSealedRaw(true, 7);
+
+    support::PanicScope barrier;
+    try {
+        allocator.free(sealed);
+        FAIL() << "free of a sealed capability did not fault";
+    } catch (const support::GuestFailure &failure) {
+        EXPECT_EQ(failure.subsystem(), "os");
+        EXPECT_NE(failure.message().find("sealed"),
+                  std::string::npos);
+    }
+}
+
+TEST(CapAllocator, RepeatedFreeIsContainedNotFatal)
+{
+    // A double free from the guest's side lands on the unknown-block
+    // warn path (the offset already left the live map): it must
+    // neither abort nor disturb accounting, and the allocator stays
+    // usable. The stronger both-maps-hold-the-offset case is pure
+    // metadata corruption and is what the guestFault barrier at the
+    // free-list insert covers.
+    cap::Capability heap =
+        cap::Capability::make(0x10000, 4096, cap::kPermAll);
+    CapAllocator allocator(heap);
+    auto a = allocator.allocate(64);
+    auto b = allocator.allocate(64);
+    ASSERT_TRUE(a && b);
+    allocator.free(*a);
+    std::uint64_t in_use = allocator.bytesInUse();
+
+    allocator.free(*a); // double free: warned, ignored
+    EXPECT_EQ(allocator.bytesInUse(), in_use);
+    allocator.free(*b);
+    EXPECT_TRUE(allocator.allocate(128).has_value());
+}
+
+TEST(CapAllocator, DerivationFromSealedHeapFaultsThroughBarrier)
+{
+    // An allocator whose backing heap capability was itself corrupted
+    // (sealed bit forged) fails at CIncBase during derivation.
+    cap::Capability heap =
+        cap::Capability::make(0x10000, 4096, cap::kPermAll);
+    heap.setSealedRaw(true, 3);
+    CapAllocator allocator(heap);
+
+    support::PanicScope barrier;
+    EXPECT_THROW(allocator.allocate(64), support::GuestFailure);
+}
+
+TEST(SimpleOs, UnknownPidFaultsThroughBarrier)
+{
+    core::Machine machine;
+    SimpleOs kernel(machine);
+    kernel.exec(helloProgram());
+
+    support::PanicScope barrier;
+    try {
+        kernel.process(99);
+        FAIL() << "unknown pid did not fault";
+    } catch (const support::GuestFailure &failure) {
+        EXPECT_EQ(failure.subsystem(), "os");
+        EXPECT_NE(failure.message().find("unknown pid"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(kernel.process(-1), support::GuestFailure);
 }
 
 TEST(Sandbox, DerivationRespectsParentBounds)

@@ -33,6 +33,7 @@
 
 #include "core/machine.h"
 #include "isa/assembler.h"
+#include "os/cap_allocator.h"
 #include "support/logging.h"
 #include "support/scheduler.h"
 #include "tlb/page_table.h"
@@ -491,6 +492,63 @@ TEST(GuestSupervisor, IdenticalFaultStreakQuarantinesEarly)
     EXPECT_EQ(outcomes[1].verdict,
               support::GuestVerdict::kQuarantined);
     EXPECT_EQ(outcomes[1].incidents.size(), 11u);
+}
+
+/**
+ * An os-layer guest fault feeds the quarantine path end to end: a
+ * guest whose (simulated) GC handed the allocator a capability from
+ * outside its heap re-hits the same CapAllocator guest fault on every
+ * attempt. The fault must surface as a caught GuestFailure inside the
+ * quantum — never process death — and the deterministic fault streak
+ * must end in kQuarantined while the rest of the fleet stays healthy.
+ */
+TEST(GuestSupervisor, AllocatorCorruptingGuestIsQuarantinedNotFatal)
+{
+    constexpr std::size_t kGuests = 8;
+    support::GuestSupervisor::Config config;
+    config.jobs = 1;
+    config.retry_budget = 5;
+    config.quarantine_after = 2;
+    support::GuestSupervisor supervisor(config);
+    std::vector<support::GuestOutcome> outcomes = supervisor.run(
+        kGuests, [&](std::size_t index, unsigned, unsigned) {
+            cap::Capability heap =
+                cap::Capability::make(0x10000, 4096, cap::kPermAll);
+            os::CapAllocator allocator(heap);
+            auto obj = allocator.allocate(64);
+            EXPECT_TRUE(obj.has_value());
+            // Guest 3's "GC" laundered a foreign capability into its
+            // free path; everyone else frees what it allocated.
+            cap::Capability victim =
+                index == 3 ? cap::Capability::make(0x8000, 64,
+                                                   cap::kPermAll)
+                           : *obj;
+            try {
+                support::PanicScope barrier;
+                allocator.free(victim);
+            } catch (const support::GuestFailure &failure) {
+                return Step::failed(failure.subsystem() + ":" +
+                                    failure.message());
+            }
+            return Step::done();
+        });
+    ASSERT_EQ(outcomes.size(), kGuests);
+    for (std::size_t i = 0; i < kGuests; ++i) {
+        if (i == 3) {
+            EXPECT_EQ(outcomes[i].verdict,
+                      support::GuestVerdict::kQuarantined);
+            ASSERT_EQ(outcomes[i].incidents.size(), 2u);
+            EXPECT_NE(outcomes[i].incidents[0].fault.find(
+                          "outside the heap"),
+                      std::string::npos);
+            EXPECT_EQ(outcomes[i].incidents[0].fault,
+                      outcomes[i].incidents[1].fault);
+        } else {
+            EXPECT_EQ(outcomes[i].verdict,
+                      support::GuestVerdict::kHealthy);
+            EXPECT_TRUE(outcomes[i].incidents.empty());
+        }
+    }
 }
 
 /**

@@ -285,6 +285,38 @@ TEST(Workloads, ChecksumsIdenticalAcrossModels)
     }
 }
 
+TEST(Workloads, VmChurnRegisteredByNameOnly)
+{
+    // The managed-runtime profile is reachable by name but must not
+    // join the paper-figure suites.
+    EXPECT_NE(makeWorkload("vm"), nullptr);
+    for (const auto &workload : oldenSuite())
+        EXPECT_NE(workload->name(), "vm");
+}
+
+TEST(Workloads, VmChurnChecksumIdenticalAcrossModels)
+{
+    auto vm = makeWorkload("vm");
+    ASSERT_NE(vm, nullptr);
+    WorkloadParams params = vm->defaultParams();
+    NullContext mips(CompileModel::kMips);
+    NullContext ccured(CompileModel::kCcured);
+    NullContext cheri(CompileModel::kCheri);
+    std::uint64_t a = vm->run(mips, params);
+    std::uint64_t b = vm->run(ccured, params);
+    std::uint64_t c = vm->run(cheri, params);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+    // The fold is ((result*31 + collections)*31 + allocations) with
+    // result = rounds * units*(units+1)/2 = 468 and allocations =
+    // rounds * units = 72. The mod-31 residue pins the allocation
+    // count, and the zero-collections fold value is excluded — the
+    // churn must actually have forced collections.
+    EXPECT_EQ(a % 31, (6ull * 12) % 31);
+    EXPECT_NE(a, (468ull * 31 + 0) * 31 + 72);
+    EXPECT_GT(a, (468ull * 31 + 0) * 31 + 72);
+}
+
 TEST(Workloads, DeterministicAcrossRuns)
 {
     for (const auto &workload : oldenSuite()) {

@@ -1,0 +1,35 @@
+# vm-smoke: the managed-runtime guest under fleet supervision. A
+# 256-guest COW-forked fleet of bytecode-VM guests — each one running
+# its mutator/GC cycles to completion, including the exit scrub —
+# must render byte-identical JSON at --jobs 1 and 4, with every guest
+# checksum_ok and salt_ok (the scrub must carry the per-guest salt
+# dword across the heap zeroing). Invoked by ctest as:
+#   cmake -DSERVE=<path> -DWORK_DIR=<dir> -P vm_smoke.cmake
+
+foreach(var SERVE WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "vm_smoke.cmake: ${var} not set")
+    endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+include("${CMAKE_CURRENT_LIST_DIR}/harness_smoke.cmake")
+
+run_jobs_matrix(
+    NAME cheri-serve-vm
+    OUTPUT "${WORK_DIR}/vm_jobs@JOBS@.json"
+    JOBS 1 4
+    COMMAND "${SERVE}" --guest vm --guests 256 --quantum 500
+            --jobs @JOBS@ --quiet --json @OUTPUT@)
+
+# The jobs matrix proves determinism; the selftest proves health
+# (every guest checksum_ok + salt_ok, fleet exit 0).
+execute_process(
+    COMMAND "${SERVE}" --guest vm --guests 64 --quantum 500
+            --jobs 4 --quiet --selftest
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "cheri-serve --guest vm --selftest exited ${rc}")
+endif()
+
+message(STATUS "vm-smoke: 256 forked VM guests byte-identical "
+               "at --jobs 1 and 4; selftest healthy")

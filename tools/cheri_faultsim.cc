@@ -25,7 +25,8 @@
  *                    restoring the worker machine; the report is
  *                    byte-identical to restore mode
  *     --guests LIST  comma-separated subset of
- *                    treeadd,bisort,mst,em3d (default all)
+ *                    treeadd,bisort,mst,em3d,vm (default all
+ *                    Olden kernels; vm is opt-in)
  *     --slow         run the fast machine with fast paths disabled
  *     --json PATH    write the JSON report to PATH ('-' for stdout)
  *     --quiet        suppress the summary table
@@ -45,6 +46,7 @@
 #include "support/parallel.h"
 #include "support/parse.h"
 #include "workloads/guest_olden.h"
+#include "workloads/vm_guest.h"
 
 using namespace cheri;
 
@@ -65,6 +67,8 @@ guestsByNames(const std::vector<std::string> &names)
             prog = workloads::guestMst(12);
         else if (name == "em3d")
             prog = workloads::guestEm3d(10, 3, 2);
+        else if (name == "vm")
+            prog = workloads::guestVm(workloads::VmConfig{});
         else {
             std::fprintf(stderr, "cheri-faultsim: unknown guest '%s'\n",
                          name.c_str());

@@ -31,7 +31,7 @@
  * Usage:
  *   cheri-serve [options]
  *     --guests N       fleet size (default 1000)
- *     --guest NAME     kernel: treeadd|bisort|mst|em3d
+ *     --guest NAME     kernel: treeadd|bisort|mst|em3d|vm
  *                      (default treeadd)
  *     --jobs N         scheduler workers (default: hardware
  *                      concurrency; 1 = serial reference schedule)
@@ -86,6 +86,7 @@
 #include "support/rng.h"
 #include "support/scheduler.h"
 #include "workloads/guest_olden.h"
+#include "workloads/vm_guest.h"
 
 using namespace cheri;
 
@@ -149,6 +150,8 @@ programByName(const std::string &name)
         return workloads::guestMst(12);
     if (name == "em3d")
         return workloads::guestEm3d(10, 3, 2);
+    if (name == "vm")
+        return workloads::guestVm(workloads::VmConfig{});
     std::fprintf(stderr, "cheri-serve: unknown guest '%s'\n",
                  name.c_str());
     std::exit(2);
